@@ -1,0 +1,287 @@
+//! cuTS-style trie-backed matcher (labels ignored).
+//!
+//! cuTS (Xiang et al., SC 2021) performs subgraph isomorphism with a trie
+//! that shares prefixes among partial matches, expanding level by level.
+//! Crucially for the paper's comparison, **cuTS does not support labels**
+//! (§5.2: "The cuTS framework does not support labels, leading to a higher
+//! number of matches for a single query graph"). This re-implementation
+//! preserves both properties: structural-only matching and a prefix-sharing
+//! trie over partial matches.
+
+use crate::matcher::Matcher;
+use sigmo_graph::{LabeledGraph, NodeId};
+
+/// The cuTS-style matcher.
+pub struct CutsMatcher;
+
+/// A node of the partial-match trie. Each root-to-leaf path is one partial
+/// (or complete) match in query matching order; siblings share the mapped
+/// prefix, which is the memory optimization cuTS's trie provides.
+#[derive(Debug)]
+struct TrieNode {
+    /// Data vertex mapped at this level.
+    vertex: NodeId,
+    /// Extensions at the next level.
+    children: Vec<TrieNode>,
+}
+
+impl CutsMatcher {
+    /// Connected BFS matching order from the max-degree node.
+    fn order(query: &LabeledGraph) -> Vec<NodeId> {
+        let nq = query.num_nodes();
+        let start = (0..nq as NodeId).max_by_key(|&v| query.degree(v)).unwrap();
+        let mut order = Vec::with_capacity(nq);
+        let mut seen = vec![false; nq];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(start);
+        seen[start as usize] = true;
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &(u, _) in query.neighbors(v) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+        assert_eq!(order.len(), nq, "query must be connected");
+        order
+    }
+
+    /// Expands the trie one level, returning the number of leaves added.
+    #[allow(clippy::too_many_arguments)]
+    fn expand(
+        node: &mut TrieNode,
+        prefix: &mut Vec<NodeId>,
+        level: usize,
+        target_level: usize,
+        query: &LabeledGraph,
+        data: &LabeledGraph,
+        order: &[NodeId],
+        checks: &[Vec<usize>],
+    ) -> u64 {
+        prefix.push(node.vertex);
+        let mut added = 0;
+        if level == target_level {
+            // Extend this leaf with every structurally consistent vertex.
+            let q_checks = &checks[target_level + 1];
+            let anchor = prefix[q_checks[0]];
+            for &(d, _) in data.neighbors(anchor) {
+                if prefix.contains(&d) {
+                    continue;
+                }
+                let ok = q_checks.iter().all(|&p| data.has_edge(prefix[p], d));
+                if ok {
+                    node.children.push(TrieNode {
+                        vertex: d,
+                        children: Vec::new(),
+                    });
+                    added += 1;
+                }
+            }
+        } else {
+            for child in &mut node.children {
+                added += Self::expand(
+                    child,
+                    prefix,
+                    level + 1,
+                    target_level,
+                    query,
+                    data,
+                    order,
+                    checks,
+                );
+            }
+        }
+        prefix.pop();
+        added
+    }
+
+    fn collect(
+        node: &TrieNode,
+        prefix: &mut Vec<NodeId>,
+        depth: usize,
+        full: usize,
+        order: &[NodeId],
+        out: &mut Vec<Vec<NodeId>>,
+        limit: usize,
+    ) {
+        prefix.push(node.vertex);
+        if depth + 1 == full {
+            if out.len() < limit {
+                let mut by_node = vec![0 as NodeId; full];
+                for (k, &d) in prefix.iter().enumerate() {
+                    by_node[order[k] as usize] = d;
+                }
+                out.push(by_node);
+            }
+        } else {
+            for c in &node.children {
+                Self::collect(c, prefix, depth + 1, full, order, out, limit);
+            }
+        }
+        prefix.pop();
+    }
+
+    fn run(query: &LabeledGraph, data: &LabeledGraph, limit: usize) -> (u64, Vec<Vec<NodeId>>) {
+        let nq = query.num_nodes();
+        if nq == 0 || nq > data.num_nodes() {
+            return (0, Vec::new());
+        }
+        let order = Self::order(query);
+        let pos_of: Vec<usize> = {
+            let mut p = vec![0usize; nq];
+            for (i, &v) in order.iter().enumerate() {
+                p[v as usize] = i;
+            }
+            p
+        };
+        // checks[k] = earlier order positions adjacent (structurally) to
+        // order[k].
+        let checks: Vec<Vec<usize>> = order
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| {
+                query
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&(u, _)| pos_of[u as usize] < k)
+                    .map(|&(u, _)| pos_of[u as usize])
+                    .collect()
+            })
+            .collect();
+        // Level-0 roots: every data vertex (no labels!).
+        let mut roots: Vec<TrieNode> = (0..data.num_nodes() as NodeId)
+            .map(|d| TrieNode {
+                vertex: d,
+                children: Vec::new(),
+            })
+            .collect();
+        let mut last_level_count = roots.len() as u64;
+        for target in 0..nq - 1 {
+            let mut added = 0;
+            for root in &mut roots {
+                let mut prefix = Vec::with_capacity(nq);
+                added += Self::expand(root, &mut prefix, 0, target, query, data, &order, &checks);
+            }
+            last_level_count = added;
+            if added == 0 {
+                break;
+            }
+        }
+        let count = if nq == 1 {
+            roots.len() as u64
+        } else {
+            last_level_count
+        };
+        let mut out = Vec::new();
+        if limit > 0 && count > 0 {
+            for root in &roots {
+                let mut prefix = Vec::new();
+                Self::collect(root, &mut prefix, 0, nq, &order, &mut out, limit);
+            }
+        }
+        (count, out)
+    }
+}
+
+impl Matcher for CutsMatcher {
+    fn name(&self) -> &'static str {
+        "cuTS-style"
+    }
+
+    fn supports_labels(&self) -> bool {
+        false
+    }
+
+    fn count_embeddings(&self, query: &LabeledGraph, data: &LabeledGraph) -> u64 {
+        Self::run(query, data, 0).0
+    }
+
+    fn enumerate(
+        &self,
+        query: &LabeledGraph,
+        data: &LabeledGraph,
+        limit: usize,
+    ) -> Vec<Vec<NodeId>> {
+        Self::run(query, data, limit).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::brute_force_count;
+    use sigmo_graph::WILDCARD_LABEL;
+
+    fn labeled(labels: &[u8], edges: &[(u32, u32, u8)]) -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        for &l in labels {
+            g.add_node(l);
+        }
+        for &(a, b, l) in edges {
+            g.add_edge(a, b, l).unwrap();
+        }
+        g
+    }
+
+    /// Strips labels so brute force can serve as the unlabeled oracle.
+    fn unlabel(g: &LabeledGraph) -> LabeledGraph {
+        let mut out = LabeledGraph::new();
+        for _ in 0..g.num_nodes() {
+            out.add_node(WILDCARD_LABEL);
+        }
+        for (a, b, _) in g.edges() {
+            out.add_edge(a, b, sigmo_graph::WILDCARD_EDGE).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn structural_count_matches_unlabeled_brute_force() {
+        let q = labeled(&[1, 3], &[(0, 1, 1)]);
+        let d = labeled(&[1, 3, 2], &[(0, 1, 1), (1, 2, 1)]);
+        let expected = brute_force_count(&unlabel(&q), &d);
+        assert_eq!(CutsMatcher.count_embeddings(&q, &d), expected);
+        assert_eq!(expected, 4, "2 edges × 2 orientations");
+    }
+
+    #[test]
+    fn overcounts_relative_to_labeled_matchers() {
+        // The paper's observation: ignoring labels inflates match counts.
+        let q = labeled(&[1, 3], &[(0, 1, 1)]);
+        let d = labeled(&[1, 3, 2], &[(0, 1, 1), (1, 2, 1)]);
+        let labeled_count = brute_force_count(&q, &d);
+        let cuts_count = CutsMatcher.count_embeddings(&q, &d);
+        assert!(cuts_count > labeled_count);
+    }
+
+    #[test]
+    fn triangle_count_in_k4() {
+        let k4 = labeled(
+            &[1, 2, 3, 4],
+            &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
+        );
+        let tri = labeled(&[9, 9, 9], &[(0, 1, 1), (1, 2, 1), (0, 2, 1)]);
+        assert_eq!(CutsMatcher.count_embeddings(&tri, &k4), 24);
+    }
+
+    #[test]
+    fn enumerated_embeddings_structurally_valid() {
+        let q = labeled(&[1, 1], &[(0, 1, 1)]);
+        let d = labeled(&[1, 2, 3], &[(0, 1, 1), (1, 2, 1)]);
+        let embs = CutsMatcher.enumerate(&q, &d, 100);
+        assert_eq!(embs.len(), 4);
+        let uq = unlabel(&q);
+        for e in &embs {
+            assert!(d.is_valid_embedding(&uq, e));
+        }
+    }
+
+    #[test]
+    fn no_structural_match() {
+        let tri = labeled(&[1; 3], &[(0, 1, 1), (1, 2, 1), (0, 2, 1)]);
+        let path = labeled(&[1; 3], &[(0, 1, 1), (1, 2, 1)]);
+        assert_eq!(CutsMatcher.count_embeddings(&tri, &path), 0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Path-based fingerprint screening — the approximate alternative the
+//! paper's related work discusses ("fingerprint-based algorithms …
+//! inherently approximate, can produce false positives") and ECFP-style
+//! toolkits implement.
+//!
+//! A fingerprint hashes every labeled simple path (up to a length bound)
+//! of a graph into a fixed bitset. Monomorphism preserves paths, so a
+//! query embedded in a data graph implies `fp(query) ⊆ fp(data)`: subset
+//! failure **proves** non-matching (no false negatives), subset success is
+//! only a hint (false positives possible — hash collisions and paths
+//! assembled from different regions). [`FingerprintScreen`] uses the
+//! subset test as a prefilter and a VF3-style matcher for verification,
+//! making it exact end-to-end while skipping most of the grid.
+
+use crate::matcher::Matcher;
+use crate::vf3::Vf3Matcher;
+use sigmo_graph::{LabeledGraph, NodeId};
+
+/// Number of 64-bit words in a fingerprint (256 bits, a common size).
+pub const FP_WORDS: usize = 4;
+
+/// A fixed-width path fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fingerprint(pub [u64; FP_WORDS]);
+
+impl Fingerprint {
+    /// Whether every bit of `self` is also set in `other` — the necessary
+    /// condition for `self`'s graph to embed into `other`'s.
+    pub fn is_subset_of(&self, other: &Fingerprint) -> bool {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Population count.
+    pub fn bits_set(&self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+
+    #[inline]
+    fn set(&mut self, hash: u64) {
+        let bit = (hash % (FP_WORDS as u64 * 64)) as usize;
+        self.0[bit / 64] |= 1 << (bit % 64);
+    }
+}
+
+/// FNV-1a over a byte sequence.
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Computes the path fingerprint of a graph: all simple paths of
+/// `1..=max_len` nodes, encoded as alternating node/edge label sequences,
+/// direction-canonicalized (lexicographic min of the two readings).
+pub fn fingerprint(g: &LabeledGraph, max_len: usize) -> Fingerprint {
+    let mut fp = Fingerprint::default();
+    let mut path: Vec<NodeId> = Vec::with_capacity(max_len);
+    let mut on_path = vec![false; g.num_nodes()];
+    let mut seq: Vec<u8> = Vec::with_capacity(2 * max_len);
+    for start in 0..g.num_nodes() as NodeId {
+        path.push(start);
+        on_path[start as usize] = true;
+        dfs_paths(g, max_len, &mut path, &mut on_path, &mut seq, &mut fp);
+        on_path[start as usize] = false;
+        path.pop();
+    }
+    fp
+}
+
+fn dfs_paths(
+    g: &LabeledGraph,
+    max_len: usize,
+    path: &mut Vec<NodeId>,
+    on_path: &mut Vec<bool>,
+    seq: &mut Vec<u8>,
+    fp: &mut Fingerprint,
+) {
+    // Emit the current path (canonical direction).
+    seq.clear();
+    for (i, &v) in path.iter().enumerate() {
+        if i > 0 {
+            seq.push(g.edge_label(path[i - 1], v).expect("path edge"));
+        }
+        seq.push(g.label(v));
+    }
+    let rev: Vec<u8> = seq.iter().rev().copied().collect();
+    let canonical = if *seq <= rev { &*seq } else { &rev };
+    fp.set(fnv1a(canonical));
+
+    if path.len() == max_len {
+        return;
+    }
+    let last = *path.last().expect("non-empty path");
+    for &(u, _) in g.neighbors(last) {
+        if !on_path[u as usize] {
+            path.push(u);
+            on_path[u as usize] = true;
+            dfs_paths(g, max_len, path, on_path, seq, fp);
+            on_path[u as usize] = false;
+            path.pop();
+        }
+    }
+}
+
+/// Exact matcher with a fingerprint prefilter: subset-test first, verify
+/// with VF3-style search only when the test passes.
+pub struct FingerprintScreen {
+    /// Maximum path length (nodes) hashed into fingerprints.
+    pub max_path_len: usize,
+}
+
+impl Default for FingerprintScreen {
+    fn default() -> Self {
+        Self { max_path_len: 5 }
+    }
+}
+
+impl FingerprintScreen {
+    /// Screens a whole grid: returns per-pair booleans `matched[q][d]`
+    /// plus screening statistics.
+    pub fn screen_grid(
+        &self,
+        queries: &[LabeledGraph],
+        data: &[LabeledGraph],
+    ) -> (Vec<Vec<bool>>, ScreenStats) {
+        let qfps: Vec<Fingerprint> = queries
+            .iter()
+            .map(|q| fingerprint(q, self.max_path_len))
+            .collect();
+        let dfps: Vec<Fingerprint> = data
+            .iter()
+            .map(|d| fingerprint(d, self.max_path_len))
+            .collect();
+        let mut stats = ScreenStats::default();
+        let matched = queries
+            .iter()
+            .enumerate()
+            .map(|(qi, q)| {
+                data.iter()
+                    .enumerate()
+                    .map(|(di, d)| {
+                        stats.pairs += 1;
+                        if !qfps[qi].is_subset_of(&dfps[di]) {
+                            stats.screened_out += 1;
+                            return false;
+                        }
+                        stats.verified += 1;
+                        let hit = Vf3Matcher.find_first(q, d).is_some();
+                        if !hit {
+                            stats.false_positives += 1;
+                        }
+                        hit
+                    })
+                    .collect()
+            })
+            .collect();
+        (matched, stats)
+    }
+}
+
+/// Screening statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScreenStats {
+    /// Total (query, data) pairs.
+    pub pairs: u64,
+    /// Pairs eliminated by the fingerprint subset test.
+    pub screened_out: u64,
+    /// Pairs passed to exact verification.
+    pub verified: u64,
+    /// Verified pairs that turned out not to match (the fingerprint's
+    /// false positives).
+    pub false_positives: u64,
+}
+
+impl ScreenStats {
+    /// Fraction of pairs the prefilter eliminated.
+    pub fn screen_rate(&self) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            self.screened_out as f64 / self.pairs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmo_mol::{functional_groups, MoleculeGenerator};
+
+    #[test]
+    fn subgraph_implies_subset() {
+        let mut gen = MoleculeGenerator::with_seed(201);
+        let mols = gen.generate_batch(10);
+        let mut ex = sigmo_mol::QueryExtractor::new(7);
+        for m in &mols {
+            if let Some(q) = ex.extract(m, 5) {
+                let qf = fingerprint(&q, 5);
+                let df = fingerprint(m.graph(), 5);
+                assert!(qf.is_subset_of(&df), "extracted subgraph failed subset test");
+            }
+        }
+    }
+
+    #[test]
+    fn screening_is_exact_end_to_end() {
+        let mut gen = MoleculeGenerator::with_seed(202);
+        let data: Vec<LabeledGraph> = gen
+            .generate_batch(15)
+            .iter()
+            .map(|m| m.to_labeled_graph())
+            .collect();
+        let queries: Vec<LabeledGraph> = functional_groups()
+            .into_iter()
+            .take(8)
+            .map(|p| p.graph)
+            .collect();
+        let (matched, stats) = FingerprintScreen::default().screen_grid(&queries, &data);
+        // Must agree exactly with unfiltered VF3 (no false negatives,
+        // verification removes false positives).
+        for (qi, q) in queries.iter().enumerate() {
+            for (di, d) in data.iter().enumerate() {
+                assert_eq!(
+                    matched[qi][di],
+                    Vf3Matcher.find_first(q, d).is_some(),
+                    "pair ({qi}, {di})"
+                );
+            }
+        }
+        assert_eq!(stats.pairs, (queries.len() * data.len()) as u64);
+        assert_eq!(stats.screened_out + stats.verified, stats.pairs);
+    }
+
+    #[test]
+    fn prefilter_actually_screens() {
+        // A nitrile query against nitrogen-free molecules must be screened
+        // out without verification.
+        let nitrile = sigmo_mol::parse_smiles_heavy("C#N").unwrap().to_labeled_graph();
+        let alkanes: Vec<LabeledGraph> = ["CC", "CCC", "CCCC"]
+            .iter()
+            .map(|s| sigmo_mol::parse_smiles(s).unwrap().to_labeled_graph())
+            .collect();
+        let (matched, stats) =
+            FingerprintScreen::default().screen_grid(std::slice::from_ref(&nitrile), &alkanes);
+        assert!(matched[0].iter().all(|&m| !m));
+        assert_eq!(stats.screened_out, 3, "all pairs must be pre-screened");
+        assert_eq!(stats.verified, 0);
+    }
+
+    #[test]
+    fn direction_canonicalization() {
+        // A path read either way hashes identically: C-N=O and O=N-C.
+        let mut a = LabeledGraph::new();
+        let c = a.add_node(1);
+        let n = a.add_node(2);
+        let o = a.add_node(3);
+        a.add_edge(c, n, 1).unwrap();
+        a.add_edge(n, o, 2).unwrap();
+        let mut b = LabeledGraph::new();
+        let o2 = b.add_node(3);
+        let n2 = b.add_node(2);
+        let c2 = b.add_node(1);
+        b.add_edge(o2, n2, 2).unwrap();
+        b.add_edge(n2, c2, 1).unwrap();
+        assert_eq!(fingerprint(&a, 4), fingerprint(&b, 4));
+    }
+
+    #[test]
+    fn fingerprints_populate_reasonably() {
+        let mut gen = MoleculeGenerator::with_seed(203);
+        let m = gen.generate();
+        let fp = fingerprint(m.graph(), 5);
+        let bits = fp.bits_set();
+        assert!(bits > 10, "only {bits} bits set for a whole molecule");
+        assert!(bits <= 256);
+    }
+}

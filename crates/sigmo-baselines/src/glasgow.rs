@@ -1,0 +1,333 @@
+//! Glasgow-style matcher (McCreesh, Prosser & Trimble, ICGT 2020).
+//!
+//! The Glasgow Subgraph Solver applies constraint programming with
+//! **bitset domains**: each query vertex holds a bitset of data-vertex
+//! candidates, assignments propagate by intersecting neighbor domains
+//! with the assigned vertex's adjacency bitset, and search branches on the
+//! smallest domain (fail-first). This re-implementation keeps exactly
+//! those three signatures — bitset domains, adjacency-intersection
+//! propagation, smallest-domain-first branching — with label and
+//! edge-label support (the solver handles labeled graphs too).
+
+use crate::matcher::{edge_ok, label_ok, Matcher};
+use sigmo_graph::{LabeledGraph, NodeId};
+
+/// The Glasgow-style bitset-domain matcher.
+pub struct GlasgowMatcher;
+
+/// A domain: one bit per data vertex.
+#[derive(Clone)]
+struct Domain {
+    words: Vec<u64>,
+}
+
+impl Domain {
+    fn full(n: usize) -> Self {
+        let mut words = vec![u64::MAX; n.div_ceil(64)];
+        let tail = n % 64;
+        if tail != 0 {
+            *words.last_mut().unwrap() = (1u64 << tail) - 1;
+        }
+        Self { words }
+    }
+
+    fn empty(n: usize) -> Self {
+        Self {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn clear(&mut self, v: NodeId) {
+        self.words[v as usize / 64] &= !(1u64 << (v % 64));
+    }
+
+    #[inline]
+    fn set(&mut self, v: NodeId) {
+        self.words[v as usize / 64] |= 1u64 << (v % 64);
+    }
+
+    #[inline]
+    fn contains(&self, v: NodeId) -> bool {
+        self.words[v as usize / 64] & (1u64 << (v % 64)) != 0
+    }
+
+    fn intersect(&mut self, other: &Domain) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    fn count(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some(wi as u32 * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+struct Solver<'a> {
+    query: &'a LabeledGraph,
+    data: &'a LabeledGraph,
+    /// Adjacency bitset of each data vertex, per query edge label (lazy:
+    /// we intersect with the generic adjacency and re-check edge labels at
+    /// assignment time — molecular label sets are tiny, so the generic
+    /// adjacency bitset gives most of the pruning).
+    adj: Vec<Domain>,
+    count: u64,
+    out: Vec<Vec<NodeId>>,
+    limit: usize,
+    stop_first: bool,
+}
+
+impl<'a> Solver<'a> {
+    fn new(query: &'a LabeledGraph, data: &'a LabeledGraph, limit: usize, stop_first: bool) -> Self {
+        let n = data.num_nodes();
+        let adj = (0..n as NodeId)
+            .map(|v| {
+                let mut d = Domain::empty(n);
+                for &(u, _) in data.neighbors(v) {
+                    d.set(u);
+                }
+                d
+            })
+            .collect();
+        Self {
+            query,
+            data,
+            adj,
+            count: 0,
+            out: Vec::new(),
+            limit,
+            stop_first,
+        }
+    }
+
+    fn initial_domains(&self) -> Option<Vec<Domain>> {
+        let n = self.data.num_nodes();
+        let mut domains = Vec::with_capacity(self.query.num_nodes());
+        for q in 0..self.query.num_nodes() as NodeId {
+            let mut d = Domain::full(n);
+            for v in 0..n as NodeId {
+                if !label_ok(self.query.label(q), self.data.label(v))
+                    || self.data.degree(v) < self.query.degree(q)
+                {
+                    d.clear(v);
+                }
+            }
+            if d.count() == 0 {
+                return None;
+            }
+            domains.push(d);
+        }
+        Some(domains)
+    }
+
+    /// Returns true when the search should stop entirely.
+    fn search(&mut self, domains: &Vec<Domain>, assigned: &mut Vec<Option<NodeId>>) -> bool {
+        // Pick the unassigned query vertex with the smallest domain.
+        let pick = (0..self.query.num_nodes())
+            .filter(|&q| assigned[q].is_none())
+            .min_by_key(|&q| domains[q].count());
+        let q = match pick {
+            None => {
+                self.count += 1;
+                if self.out.len() < self.limit {
+                    self.out
+                        .push(assigned.iter().map(|a| a.unwrap()).collect());
+                }
+                return self.stop_first;
+            }
+            Some(q) => q,
+        };
+        let candidates: Vec<NodeId> = domains[q].iter().collect();
+        'cand: for v in candidates {
+            // Injectivity (all-different).
+            if assigned.iter().flatten().any(|&a| a == v) {
+                continue;
+            }
+            // Edge-label consistency with already-assigned neighbors.
+            for &(u, ql) in self.query.neighbors(q as NodeId) {
+                if let Some(av) = assigned[u as usize] {
+                    match self.data.edge_label(av, v) {
+                        Some(dl) => {
+                            if !edge_ok(ql, dl) {
+                                continue 'cand;
+                            }
+                        }
+                        None => continue 'cand,
+                    }
+                }
+            }
+            // Propagate: neighbors' domains intersect v's adjacency.
+            let mut next = domains.clone();
+            next[q] = Domain::empty(self.data.num_nodes());
+            next[q].set(v);
+            let mut wiped = false;
+            for &(u, _) in self.query.neighbors(q as NodeId) {
+                if assigned[u as usize].is_none() {
+                    next[u as usize].intersect(&self.adj[v as usize]);
+                    next[u as usize].clear(v);
+                    if next[u as usize].count() == 0 {
+                        wiped = true;
+                        break;
+                    }
+                }
+            }
+            if wiped {
+                continue;
+            }
+            assigned[q] = Some(v);
+            let stop = self.search(&next, assigned);
+            assigned[q] = None;
+            if stop {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Matcher for GlasgowMatcher {
+    fn name(&self) -> &'static str {
+        "Glasgow-style"
+    }
+
+    fn count_embeddings(&self, query: &LabeledGraph, data: &LabeledGraph) -> u64 {
+        self.run(query, data, 0, false).0
+    }
+
+    fn find_first(&self, query: &LabeledGraph, data: &LabeledGraph) -> Option<Vec<NodeId>> {
+        self.run(query, data, 1, true).1.into_iter().next()
+    }
+
+    fn enumerate(
+        &self,
+        query: &LabeledGraph,
+        data: &LabeledGraph,
+        limit: usize,
+    ) -> Vec<Vec<NodeId>> {
+        self.run(query, data, limit, false).1
+    }
+}
+
+impl GlasgowMatcher {
+    fn run(
+        &self,
+        query: &LabeledGraph,
+        data: &LabeledGraph,
+        limit: usize,
+        stop_first: bool,
+    ) -> (u64, Vec<Vec<NodeId>>) {
+        if query.num_nodes() == 0 || query.num_nodes() > data.num_nodes() {
+            return (0, Vec::new());
+        }
+        let mut solver = Solver::new(query, data, limit, stop_first);
+        let Some(domains) = solver.initial_domains() else {
+            return (0, Vec::new());
+        };
+        let mut assigned = vec![None; query.num_nodes()];
+        solver.search(&domains, &mut assigned);
+        (solver.count, solver.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::brute_force_count;
+
+    fn labeled(labels: &[u8], edges: &[(u32, u32, u8)]) -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        for &l in labels {
+            g.add_node(l);
+        }
+        for &(a, b, l) in edges {
+            g.add_edge(a, b, l).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn agrees_with_brute_force() {
+        let cases = vec![
+            (
+                labeled(&[1, 3], &[(0, 1, 1)]),
+                labeled(&[1, 1, 3], &[(0, 1, 1), (1, 2, 1)]),
+            ),
+            (
+                labeled(&[1, 1, 1], &[(0, 1, 1), (1, 2, 1), (0, 2, 1)]),
+                labeled(
+                    &[1; 4],
+                    &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
+                ),
+            ),
+            (
+                labeled(&[1, 3], &[(0, 1, 2)]),
+                labeled(&[1, 3, 3], &[(0, 1, 2), (0, 2, 1)]),
+            ),
+            (
+                labeled(&[2, 1, 0], &[(0, 1, 1), (1, 2, 1)]),
+                labeled(&[1, 2, 0, 0], &[(1, 0, 1), (0, 2, 1), (0, 3, 1)]),
+            ),
+        ];
+        for (q, d) in cases {
+            assert_eq!(
+                GlasgowMatcher.count_embeddings(&q, &d),
+                brute_force_count(&q, &d),
+                "q={q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn domain_bitset_basics() {
+        let mut d = Domain::full(70);
+        assert_eq!(d.count(), 70);
+        d.clear(69);
+        d.clear(0);
+        assert_eq!(d.count(), 68);
+        assert!(!d.contains(69));
+        assert!(d.contains(64));
+        let collected: Vec<NodeId> = d.iter().collect();
+        assert_eq!(collected.len(), 68);
+        assert_eq!(collected[0], 1);
+        assert!(collected.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn propagation_wipes_impossible_branches_early() {
+        // Query: star with 3 distinct-label leaves; data lacks one label
+        // entirely -> initial domains already fail.
+        let q = labeled(&[1, 2, 3, 4], &[(0, 1, 1), (0, 2, 1), (0, 3, 1)]);
+        let d = labeled(&[1, 2, 3, 3], &[(0, 1, 1), (0, 2, 1), (0, 3, 1)]);
+        assert_eq!(GlasgowMatcher.count_embeddings(&q, &d), 0);
+    }
+
+    #[test]
+    fn find_first_valid_embedding() {
+        let q = labeled(&[1, 3, 0], &[(0, 1, 1), (0, 2, 1)]);
+        let d = labeled(&[0, 1, 3, 0], &[(1, 2, 1), (1, 0, 1), (1, 3, 1)]);
+        let m = GlasgowMatcher.find_first(&q, &d).unwrap();
+        assert!(d.is_valid_embedding(&q, &m));
+    }
+
+    #[test]
+    fn degree_filter_in_initial_domains() {
+        let star4 = labeled(&[1, 0, 0, 0, 0], &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (0, 4, 1)]);
+        let star3 = labeled(&[1, 0, 0, 0], &[(0, 1, 1), (0, 2, 1), (0, 3, 1)]);
+        assert_eq!(GlasgowMatcher.count_embeddings(&star4, &star3), 0);
+    }
+}

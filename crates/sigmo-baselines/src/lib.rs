@@ -1,0 +1,45 @@
+//! Reference subgraph-isomorphism matchers for the state-of-the-art
+//! comparison (paper §5.2, Figure 10).
+//!
+//! Each matcher re-implements the *algorithmic family* of a published
+//! framework under the same graph substrate, so the comparison isolates
+//! algorithmic fit rather than platform constants:
+//!
+//! * [`UllmannMatcher`] — the classic 1976 refinement + backtracking
+//!   algorithm, the ancestor of the filter-and-join strategy;
+//! * [`Vf3Matcher`] — VF2/VF3-family state-space search with label/degree
+//!   feasibility rules and a rarity-driven matching order (the paper's
+//!   leading CPU baseline; supports early stop);
+//! * [`GsiMatcher`] — GSI-style BFS vertex-join: level-by-level expansion
+//!   of a partial-match table (Prealloc-Combine style, memory-hungry —
+//!   the paper reports GSI running out of memory on larger queries);
+//! * [`CutsMatcher`] — cuTS-style trie-backed DFS join that **ignores
+//!   labels**, as the paper notes ("cuTS does not support labels, leading
+//!   to a higher number of matches").
+//!
+//! All matchers implement the common [`Matcher`] trait; semantics are
+//! substructure (monomorphism) matching with edge-label checks, identical
+//! to `sigmo-core`, except where a framework's documented limitation says
+//! otherwise (cuTS).
+
+pub mod cuts;
+pub mod fingerprint;
+pub mod glasgow;
+pub mod gsi;
+pub mod harness;
+pub mod matcher;
+pub mod ri;
+pub mod stmatch;
+pub mod ullmann;
+pub mod vf3;
+
+pub use cuts::CutsMatcher;
+pub use fingerprint::{fingerprint, Fingerprint, FingerprintScreen, ScreenStats};
+pub use glasgow::GlasgowMatcher;
+pub use gsi::GsiMatcher;
+pub use harness::{run_comparison, BaselineResult};
+pub use matcher::{brute_force_count, BruteForceMatcher, Matcher};
+pub use ri::RiMatcher;
+pub use stmatch::StMatchMatcher;
+pub use ullmann::UllmannMatcher;
+pub use vf3::Vf3Matcher;

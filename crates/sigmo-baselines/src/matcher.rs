@@ -1,0 +1,212 @@
+//! The common matcher interface and a brute-force reference.
+
+use sigmo_graph::{LabeledGraph, NodeId, WILDCARD_EDGE, WILDCARD_LABEL};
+
+/// A single-pair subgraph matcher.
+///
+/// Semantics: injective, label-preserving (unless the implementation
+/// documents otherwise), edge-preserving with edge-label equality —
+/// substructure/monomorphism matching, the same contract as `sigmo-core`.
+pub trait Matcher: Sync {
+    /// Display name for harness output.
+    fn name(&self) -> &'static str;
+
+    /// Whether node/edge labels constrain matches (false for cuTS-style).
+    fn supports_labels(&self) -> bool {
+        true
+    }
+
+    /// Counts all embeddings of `query` in `data`.
+    fn count_embeddings(&self, query: &LabeledGraph, data: &LabeledGraph) -> u64;
+
+    /// Returns the first embedding found, if any (early stop). The default
+    /// enumerates with a limit of one.
+    fn find_first(&self, query: &LabeledGraph, data: &LabeledGraph) -> Option<Vec<NodeId>> {
+        self.enumerate(query, data, 1).into_iter().next()
+    }
+
+    /// Enumerates up to `limit` embeddings as query-node-indexed mappings.
+    fn enumerate(&self, query: &LabeledGraph, data: &LabeledGraph, limit: usize)
+        -> Vec<Vec<NodeId>>;
+}
+
+/// Label compatibility under wildcard rules.
+#[inline]
+pub(crate) fn label_ok(ql: u8, dl: u8) -> bool {
+    ql == WILDCARD_LABEL || ql == dl
+}
+
+/// Edge-label compatibility under wildcard rules.
+#[inline]
+pub(crate) fn edge_ok(ql: u8, dl: u8) -> bool {
+    ql == WILDCARD_EDGE || ql == dl
+}
+
+/// Exhaustive brute force: tries every injective assignment in query-node
+/// order with only label pruning. Exponential — tests only.
+pub struct BruteForceMatcher;
+
+impl BruteForceMatcher {
+    fn recurse(
+        query: &LabeledGraph,
+        data: &LabeledGraph,
+        mapping: &mut Vec<NodeId>,
+        used: &mut Vec<bool>,
+        out: &mut Vec<Vec<NodeId>>,
+        limit: usize,
+        count: &mut u64,
+    ) {
+        let depth = mapping.len();
+        if depth == query.num_nodes() {
+            *count += 1;
+            if out.len() < limit {
+                out.push(mapping.clone());
+            }
+            return;
+        }
+        let q = depth as NodeId;
+        for d in 0..data.num_nodes() as NodeId {
+            if used[d as usize] || !label_ok(query.label(q), data.label(d)) {
+                continue;
+            }
+            // Check all query edges to already-mapped nodes.
+            let consistent = query.neighbors(q).iter().all(|&(u, ql)| {
+                if u >= q {
+                    return true; // not mapped yet
+                }
+                match data.edge_label(mapping[u as usize], d) {
+                    Some(dl) => edge_ok(ql, dl),
+                    None => false,
+                }
+            });
+            if !consistent {
+                continue;
+            }
+            mapping.push(d);
+            used[d as usize] = true;
+            Self::recurse(query, data, mapping, used, out, limit, count);
+            used[d as usize] = false;
+            mapping.pop();
+        }
+    }
+
+    fn run(query: &LabeledGraph, data: &LabeledGraph, limit: usize) -> (u64, Vec<Vec<NodeId>>) {
+        if query.num_nodes() == 0 || query.num_nodes() > data.num_nodes() {
+            return (0, Vec::new());
+        }
+        let mut out = Vec::new();
+        let mut count = 0;
+        Self::recurse(
+            query,
+            data,
+            &mut Vec::with_capacity(query.num_nodes()),
+            &mut vec![false; data.num_nodes()],
+            &mut out,
+            limit,
+            &mut count,
+        );
+        (count, out)
+    }
+}
+
+impl Matcher for BruteForceMatcher {
+    fn name(&self) -> &'static str {
+        "brute-force"
+    }
+
+    fn count_embeddings(&self, query: &LabeledGraph, data: &LabeledGraph) -> u64 {
+        Self::run(query, data, 0).0
+    }
+
+    fn enumerate(
+        &self,
+        query: &LabeledGraph,
+        data: &LabeledGraph,
+        limit: usize,
+    ) -> Vec<Vec<NodeId>> {
+        Self::run(query, data, limit).1
+    }
+}
+
+/// Convenience wrapper for tests.
+pub fn brute_force_count(query: &LabeledGraph, data: &LabeledGraph) -> u64 {
+    BruteForceMatcher.count_embeddings(query, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labeled(labels: &[u8], edges: &[(u32, u32, u8)]) -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        for &l in labels {
+            g.add_node(l);
+        }
+        for &(a, b, l) in edges {
+            g.add_edge(a, b, l).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn brute_force_edge_in_edge() {
+        let q = labeled(&[1, 1], &[(0, 1, 1)]);
+        assert_eq!(brute_force_count(&q, &q), 2);
+    }
+
+    #[test]
+    fn brute_force_respects_labels() {
+        let q = labeled(&[1, 2], &[(0, 1, 1)]);
+        let d = labeled(&[1, 3], &[(0, 1, 1)]);
+        assert_eq!(brute_force_count(&q, &d), 0);
+    }
+
+    #[test]
+    fn brute_force_respects_edge_labels() {
+        let q = labeled(&[1, 3], &[(0, 1, 2)]);
+        let d = labeled(&[1, 3], &[(0, 1, 1)]);
+        assert_eq!(brute_force_count(&q, &d), 0);
+        let d2 = labeled(&[1, 3], &[(0, 1, 2)]);
+        assert_eq!(brute_force_count(&q, &d2), 1);
+    }
+
+    #[test]
+    fn brute_force_triangle_in_k4() {
+        // K4 with uniform labels: triangles = 4 choose 3 × 3! = 24.
+        let k4 = labeled(
+            &[1; 4],
+            &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
+        );
+        let tri = labeled(&[1; 3], &[(0, 1, 1), (1, 2, 1), (0, 2, 1)]);
+        assert_eq!(brute_force_count(&tri, &k4), 24);
+    }
+
+    #[test]
+    fn enumerate_returns_valid_embeddings() {
+        let q = labeled(&[1, 0], &[(0, 1, 1)]);
+        let d = labeled(&[1, 0, 0], &[(0, 1, 1), (0, 2, 1)]);
+        let embs = BruteForceMatcher.enumerate(&q, &d, 10);
+        assert_eq!(embs.len(), 2);
+        for e in &embs {
+            assert!(d.is_valid_embedding(&q, e));
+        }
+    }
+
+    #[test]
+    fn find_first_default_impl() {
+        let q = labeled(&[1, 0], &[(0, 1, 1)]);
+        let d = labeled(&[1, 0], &[(0, 1, 1)]);
+        let m = BruteForceMatcher.find_first(&q, &d).unwrap();
+        assert!(d.is_valid_embedding(&q, &m));
+        assert!(BruteForceMatcher.find_first(&d, &q).is_some());
+        let unmatched = labeled(&[2, 2], &[(0, 1, 1)]);
+        assert!(BruteForceMatcher.find_first(&unmatched, &d).is_none());
+    }
+
+    #[test]
+    fn oversized_query_yields_zero() {
+        let q = labeled(&[1, 1, 1], &[(0, 1, 1), (1, 2, 1)]);
+        let d = labeled(&[1, 1], &[(0, 1, 1)]);
+        assert_eq!(brute_force_count(&q, &d), 0);
+    }
+}

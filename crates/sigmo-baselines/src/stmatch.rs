@@ -1,0 +1,263 @@
+//! STMatch-style matcher (Wei & Jiang, SC 2022).
+//!
+//! STMatch accelerates GPU pattern matching by replacing recursive DFS
+//! with **stack-based loop optimizations**: an explicit per-thread stack of
+//! candidate cursors, no call frames, no recursion — the same technique
+//! SIGMo's join adopts (§4.6 cites STMatch for it). Like cuTS, STMatch
+//! targets *unlabeled* pattern matching (the paper's Table 2 groups it
+//! with the label-free GPU matchers), so this re-implementation ignores
+//! node and edge labels; its distinguishing trait versus [`crate::cuts`]
+//! is the iterative stack machine instead of a materialized trie.
+
+use crate::matcher::Matcher;
+use sigmo_graph::{LabeledGraph, NodeId};
+
+const INVALID: NodeId = NodeId::MAX;
+
+/// The STMatch-style matcher: explicit-stack structural DFS.
+pub struct StMatchMatcher;
+
+struct Plan {
+    order: Vec<NodeId>,
+    /// Earlier order-positions adjacent (structurally) to each position.
+    checks: Vec<Vec<usize>>,
+    /// Anchor (first earlier neighbor) per position > 0.
+    anchor: Vec<usize>,
+}
+
+impl StMatchMatcher {
+    fn plan(query: &LabeledGraph) -> Plan {
+        let nq = query.num_nodes();
+        let start = (0..nq as NodeId).max_by_key(|&v| query.degree(v)).unwrap();
+        let mut order = Vec::with_capacity(nq);
+        let mut seen = vec![false; nq];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(start);
+        seen[start as usize] = true;
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &(u, _) in query.neighbors(v) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+        assert_eq!(order.len(), nq, "query must be connected");
+        let pos_of: Vec<usize> = {
+            let mut p = vec![0usize; nq];
+            for (i, &v) in order.iter().enumerate() {
+                p[v as usize] = i;
+            }
+            p
+        };
+        let checks: Vec<Vec<usize>> = order
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| {
+                query
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&(u, _)| pos_of[u as usize] < k)
+                    .map(|&(u, _)| pos_of[u as usize])
+                    .collect()
+            })
+            .collect();
+        let anchor: Vec<usize> = checks
+            .iter()
+            .map(|c| c.first().copied().unwrap_or(0))
+            .collect();
+        Plan {
+            order,
+            checks,
+            anchor,
+        }
+    }
+
+    /// The stack machine: cursors per depth, no recursion. Returns
+    /// (count, collected embeddings in query-node order).
+    fn run(
+        query: &LabeledGraph,
+        data: &LabeledGraph,
+        limit: usize,
+        stop_first: bool,
+    ) -> (u64, Vec<Vec<NodeId>>) {
+        let nq = query.num_nodes();
+        if nq == 0 || nq > data.num_nodes() {
+            return (0, Vec::new());
+        }
+        let plan = Self::plan(query);
+        let mut mapping: Vec<NodeId> = vec![INVALID; nq];
+        let mut cursors: Vec<usize> = vec![0; nq];
+        let mut count = 0u64;
+        let mut out: Vec<Vec<NodeId>> = Vec::new();
+        let mut depth = 0usize;
+        loop {
+            // Advance the cursor at `depth` to the next valid candidate.
+            let cand = loop {
+                let c = cursors[depth];
+                let next = if depth == 0 {
+                    // Level 0 scans all data vertices.
+                    if c >= data.num_nodes() {
+                        break None;
+                    }
+                    cursors[0] = c + 1;
+                    c as NodeId
+                } else {
+                    let nbrs = data.neighbors(mapping[plan.anchor[depth]]);
+                    if c >= nbrs.len() {
+                        break None;
+                    }
+                    cursors[depth] = c + 1;
+                    nbrs[c].0
+                };
+                if mapping[..depth].contains(&next) {
+                    continue;
+                }
+                let ok = plan.checks[depth]
+                    .iter()
+                    .all(|&p| data.has_edge(mapping[p], next));
+                if ok {
+                    break Some(next);
+                }
+            };
+            match cand {
+                Some(d) => {
+                    mapping[depth] = d;
+                    if depth + 1 == nq {
+                        count += 1;
+                        if out.len() < limit {
+                            let mut by_node = vec![INVALID; nq];
+                            for (k, &dn) in mapping.iter().enumerate() {
+                                by_node[plan.order[k] as usize] = dn;
+                            }
+                            out.push(by_node);
+                        }
+                        mapping[depth] = INVALID;
+                        if stop_first {
+                            return (count, out);
+                        }
+                    } else {
+                        depth += 1;
+                        cursors[depth] = 0;
+                    }
+                }
+                None => {
+                    mapping[depth] = INVALID;
+                    if depth == 0 {
+                        return (count, out);
+                    }
+                    depth -= 1;
+                    mapping[depth] = INVALID;
+                }
+            }
+        }
+    }
+}
+
+impl Matcher for StMatchMatcher {
+    fn name(&self) -> &'static str {
+        "STMatch-style"
+    }
+
+    fn supports_labels(&self) -> bool {
+        false
+    }
+
+    fn count_embeddings(&self, query: &LabeledGraph, data: &LabeledGraph) -> u64 {
+        Self::run(query, data, 0, false).0
+    }
+
+    fn find_first(&self, query: &LabeledGraph, data: &LabeledGraph) -> Option<Vec<NodeId>> {
+        Self::run(query, data, 1, true).1.into_iter().next()
+    }
+
+    fn enumerate(
+        &self,
+        query: &LabeledGraph,
+        data: &LabeledGraph,
+        limit: usize,
+    ) -> Vec<Vec<NodeId>> {
+        Self::run(query, data, limit, false).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cuts::CutsMatcher;
+
+    fn labeled(labels: &[u8], edges: &[(u32, u32, u8)]) -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        for &l in labels {
+            g.add_node(l);
+        }
+        for &(a, b, l) in edges {
+            g.add_edge(a, b, l).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn agrees_with_cuts_on_structural_counts() {
+        // Both are label-free; they must count identically.
+        let cases = vec![
+            (
+                labeled(&[1, 2], &[(0, 1, 1)]),
+                labeled(&[3, 4, 5], &[(0, 1, 1), (1, 2, 2)]),
+            ),
+            (
+                labeled(&[0; 3], &[(0, 1, 1), (1, 2, 1), (0, 2, 1)]),
+                labeled(
+                    &[9; 4],
+                    &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
+                ),
+            ),
+            (
+                labeled(&[0; 4], &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]),
+                labeled(&[0; 6], &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1), (5, 0, 1)]),
+            ),
+        ];
+        for (q, d) in cases {
+            assert_eq!(
+                StMatchMatcher.count_embeddings(&q, &d),
+                CutsMatcher.count_embeddings(&q, &d),
+                "q={q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_count_in_k4() {
+        let k4 = labeled(
+            &[1, 2, 3, 4],
+            &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
+        );
+        let tri = labeled(&[7, 8, 9], &[(0, 1, 1), (1, 2, 1), (0, 2, 1)]);
+        assert_eq!(StMatchMatcher.count_embeddings(&tri, &k4), 24);
+    }
+
+    #[test]
+    fn find_first_is_structurally_valid() {
+        let q = labeled(&[1, 1, 1], &[(0, 1, 1), (1, 2, 1)]);
+        let d = labeled(&[2, 3, 4, 5], &[(0, 1, 1), (1, 2, 2), (2, 3, 3)]);
+        let m = StMatchMatcher.find_first(&q, &d).unwrap();
+        // Validate structure only: every query edge maps to a data edge.
+        for (a, b, _) in q.edges() {
+            assert!(d.has_edge(m[a as usize], m[b as usize]));
+        }
+        // Injective.
+        let mut s = m.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), m.len());
+    }
+
+    #[test]
+    fn no_match_when_structure_absent() {
+        let tri = labeled(&[0; 3], &[(0, 1, 1), (1, 2, 1), (0, 2, 1)]);
+        let path = labeled(&[0; 4], &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        assert_eq!(StMatchMatcher.count_embeddings(&tri, &path), 0);
+        assert!(StMatchMatcher.find_first(&tri, &path).is_none());
+    }
+}

@@ -1,0 +1,224 @@
+//! Ullmann's algorithm (1976): candidate-matrix refinement + backtracking.
+//!
+//! The ancestor of every filter-and-join matcher. A boolean candidate
+//! matrix `M[q][d]` is initialized from labels and degrees, then refined:
+//! a candidate survives only if each of its query node's neighbors has at
+//! least one candidate among the data node's neighbors. Backtracking then
+//! assigns query nodes in index order.
+
+use crate::matcher::{edge_ok, label_ok, Matcher};
+use sigmo_graph::{LabeledGraph, NodeId};
+
+/// The classic Ullmann matcher.
+pub struct UllmannMatcher;
+
+struct State<'a> {
+    query: &'a LabeledGraph,
+    data: &'a LabeledGraph,
+    limit: usize,
+    count: u64,
+    out: Vec<Vec<NodeId>>,
+    stop_after_first: bool,
+}
+
+impl UllmannMatcher {
+    fn init_matrix(query: &LabeledGraph, data: &LabeledGraph) -> Vec<Vec<bool>> {
+        let nq = query.num_nodes();
+        let nd = data.num_nodes();
+        let mut m = vec![vec![false; nd]; nq];
+        for q in 0..nq as NodeId {
+            for d in 0..nd as NodeId {
+                m[q as usize][d as usize] = label_ok(query.label(q), data.label(d))
+                    && data.degree(d) >= query.degree(q);
+            }
+        }
+        m
+    }
+
+    /// One pass of Ullmann refinement; returns true if anything changed.
+    fn refine(query: &LabeledGraph, data: &LabeledGraph, m: &mut [Vec<bool>]) -> bool {
+        let mut changed = false;
+        for q in 0..query.num_nodes() as NodeId {
+            for d in 0..data.num_nodes() as NodeId {
+                if !m[q as usize][d as usize] {
+                    continue;
+                }
+                // Every query neighbor needs a candidate among d's neighbors.
+                let ok = query.neighbors(q).iter().all(|&(qn, _)| {
+                    data.neighbors(d)
+                        .iter()
+                        .any(|&(dn, _)| m[qn as usize][dn as usize])
+                });
+                if !ok {
+                    m[q as usize][d as usize] = false;
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    fn backtrack(st: &mut State<'_>, m: &[Vec<bool>], mapping: &mut Vec<NodeId>, used: &mut [bool]) -> bool {
+        let depth = mapping.len();
+        if depth == st.query.num_nodes() {
+            st.count += 1;
+            if st.out.len() < st.limit {
+                st.out.push(mapping.clone());
+            }
+            return st.stop_after_first;
+        }
+        let q = depth as NodeId;
+        for d in 0..st.data.num_nodes() as NodeId {
+            if used[d as usize] || !m[depth][d as usize] {
+                continue;
+            }
+            let consistent = st.query.neighbors(q).iter().all(|&(u, ql)| {
+                if u >= q {
+                    return true;
+                }
+                match st.data.edge_label(mapping[u as usize], d) {
+                    Some(dl) => edge_ok(ql, dl),
+                    None => false,
+                }
+            });
+            if !consistent {
+                continue;
+            }
+            mapping.push(d);
+            used[d as usize] = true;
+            let stop = Self::backtrack(st, m, mapping, used);
+            used[d as usize] = false;
+            mapping.pop();
+            if stop {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn run(
+        query: &LabeledGraph,
+        data: &LabeledGraph,
+        limit: usize,
+        stop_after_first: bool,
+    ) -> (u64, Vec<Vec<NodeId>>) {
+        if query.num_nodes() == 0 || query.num_nodes() > data.num_nodes() {
+            return (0, Vec::new());
+        }
+        let mut m = Self::init_matrix(query, data);
+        // Refine to fixpoint (small graphs make this cheap).
+        while Self::refine(query, data, &mut m) {}
+        // Any empty row means no match.
+        if m.iter().any(|row| !row.iter().any(|&b| b)) {
+            return (0, Vec::new());
+        }
+        let mut st = State {
+            query,
+            data,
+            limit,
+            count: 0,
+            out: Vec::new(),
+            stop_after_first,
+        };
+        Self::backtrack(
+            &mut st,
+            &m,
+            &mut Vec::with_capacity(query.num_nodes()),
+            &mut vec![false; data.num_nodes()],
+        );
+        (st.count, st.out)
+    }
+}
+
+impl Matcher for UllmannMatcher {
+    fn name(&self) -> &'static str {
+        "Ullmann"
+    }
+
+    fn count_embeddings(&self, query: &LabeledGraph, data: &LabeledGraph) -> u64 {
+        Self::run(query, data, 0, false).0
+    }
+
+    fn find_first(&self, query: &LabeledGraph, data: &LabeledGraph) -> Option<Vec<NodeId>> {
+        Self::run(query, data, 1, true).1.into_iter().next()
+    }
+
+    fn enumerate(
+        &self,
+        query: &LabeledGraph,
+        data: &LabeledGraph,
+        limit: usize,
+    ) -> Vec<Vec<NodeId>> {
+        Self::run(query, data, limit, false).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::brute_force_count;
+
+    fn labeled(labels: &[u8], edges: &[(u32, u32, u8)]) -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        for &l in labels {
+            g.add_node(l);
+        }
+        for &(a, b, l) in edges {
+            g.add_edge(a, b, l).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_small_cases() {
+        let cases = vec![
+            (
+                labeled(&[1, 3], &[(0, 1, 1)]),
+                labeled(&[1, 1, 3], &[(0, 1, 1), (1, 2, 1)]),
+            ),
+            (
+                labeled(&[1, 1, 1], &[(0, 1, 1), (1, 2, 1)]),
+                labeled(&[1; 4], &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)]),
+            ),
+            (
+                labeled(&[1, 2], &[(0, 1, 2)]),
+                labeled(&[1, 2, 2], &[(0, 1, 2), (0, 2, 1)]),
+            ),
+        ];
+        for (q, d) in cases {
+            assert_eq!(
+                UllmannMatcher.count_embeddings(&q, &d),
+                brute_force_count(&q, &d)
+            );
+        }
+    }
+
+    #[test]
+    fn refinement_prunes_isolated_label_match() {
+        // Query C-O; data has a C with no O neighbor — refinement must kill
+        // it before backtracking.
+        let q = labeled(&[1, 3], &[(0, 1, 1)]);
+        let d = labeled(&[1, 1, 3], &[(0, 1, 1), (1, 2, 1)]);
+        let mut m = UllmannMatcher::init_matrix(&q, &d);
+        assert!(m[0][0]); // naive label match
+        while UllmannMatcher::refine(&q, &d, &mut m) {}
+        assert!(!m[0][0], "C without O neighbor must be refined away");
+        assert!(m[0][1]);
+    }
+
+    #[test]
+    fn find_first_stops_early_with_valid_mapping() {
+        let ring: Vec<(u32, u32, u8)> = (0..6).map(|i| (i, (i + 1) % 6, 1)).collect();
+        let q = labeled(&[1; 6], &ring);
+        let m = UllmannMatcher.find_first(&q, &q).unwrap();
+        assert!(q.is_valid_embedding(&q, &m));
+    }
+
+    #[test]
+    fn no_match_cases() {
+        let q = labeled(&[1, 2], &[(0, 1, 1)]);
+        let d = labeled(&[1, 1], &[(0, 1, 1)]);
+        assert_eq!(UllmannMatcher.count_embeddings(&q, &d), 0);
+        assert!(UllmannMatcher.find_first(&q, &d).is_none());
+    }
+}

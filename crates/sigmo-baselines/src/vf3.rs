@@ -1,0 +1,306 @@
+//! VF2/VF3-family state-space matcher.
+//!
+//! Re-implements the algorithmic core of the VF lineage (Cordella et al.
+//! 2004; Carletti et al. 2017), the paper's leading CPU baseline:
+//!
+//! * a static matching order sorted by label rarity (rarest first) then
+//!   degree (highest first), constrained to keep the ordered prefix
+//!   connected — VF3's node-ordering heuristic;
+//! * incremental feasibility rules: label equality, edge consistency with
+//!   the mapped core, and a degree look-ahead (a data node must have at
+//!   least as many unmapped neighbors as the query node still needs);
+//! * natural support for early stop (Find First), which the paper credits
+//!   VF3 with.
+
+use crate::matcher::{edge_ok, label_ok, Matcher};
+use sigmo_graph::{LabeledGraph, NodeId};
+
+/// The VF3-style matcher.
+pub struct Vf3Matcher;
+
+struct Plan {
+    /// Query nodes in matching order.
+    order: Vec<NodeId>,
+    /// For each position, the earlier-ordered query neighbors with labels.
+    checks: Vec<Vec<(usize, u8)>>,
+}
+
+impl Vf3Matcher {
+    fn label_histogram(data: &LabeledGraph) -> [u32; 256] {
+        let mut h = [0u32; 256];
+        for &l in data.labels() {
+            h[l as usize] += 1;
+        }
+        h
+    }
+
+    fn plan(query: &LabeledGraph, data: &LabeledGraph) -> Plan {
+        let nq = query.num_nodes();
+        let hist = Self::label_histogram(data);
+        let rarity = |v: NodeId| hist[query.label(v) as usize];
+        // Greedy connected ordering: first node = rarest label, ties by
+        // degree; subsequent nodes = the frontier node with rarest label.
+        let mut order: Vec<NodeId> = Vec::with_capacity(nq);
+        let mut picked = vec![false; nq];
+        let start = (0..nq as NodeId)
+            .min_by_key(|&v| (rarity(v), usize::MAX - query.degree(v)))
+            .expect("non-empty query");
+        order.push(start);
+        picked[start as usize] = true;
+        while order.len() < nq {
+            let mut best: Option<NodeId> = None;
+            for &v in &order {
+                for &(u, _) in query.neighbors(v) {
+                    if !picked[u as usize] {
+                        let better = match best {
+                            None => true,
+                            Some(b) => {
+                                (rarity(u), usize::MAX - query.degree(u))
+                                    < (rarity(b), usize::MAX - query.degree(b))
+                            }
+                        };
+                        if better {
+                            best = Some(u);
+                        }
+                    }
+                }
+            }
+            let next = best.expect("query graph must be connected");
+            picked[next as usize] = true;
+            order.push(next);
+        }
+        let pos_of: Vec<usize> = {
+            let mut p = vec![0usize; nq];
+            for (i, &v) in order.iter().enumerate() {
+                p[v as usize] = i;
+            }
+            p
+        };
+        let checks = order
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| {
+                query
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&(u, _)| pos_of[u as usize] < k)
+                    .map(|&(u, l)| (pos_of[u as usize], l))
+                    .collect()
+            })
+            .collect();
+        Plan { order, checks }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        query: &LabeledGraph,
+        data: &LabeledGraph,
+        plan: &Plan,
+        depth: usize,
+        mapping: &mut Vec<NodeId>,
+        used: &mut [bool],
+        count: &mut u64,
+        out: &mut Vec<Vec<NodeId>>,
+        limit: usize,
+        stop_first: bool,
+    ) -> bool {
+        if depth == plan.order.len() {
+            *count += 1;
+            if out.len() < limit {
+                // Reorder to query-node indexing.
+                let mut by_node = vec![0 as NodeId; mapping.len()];
+                for (k, &d) in mapping.iter().enumerate() {
+                    by_node[plan.order[k] as usize] = d;
+                }
+                out.push(by_node);
+            }
+            return stop_first;
+        }
+        let q = plan.order[depth];
+        // Candidate generation: neighbors of the first mapped anchor when
+        // one exists (connected order guarantees it beyond depth 0).
+        let candidates: Vec<NodeId> = if let Some(&(anchor_pos, _)) = plan.checks[depth].first() {
+            data.neighbors(mapping[anchor_pos])
+                .iter()
+                .map(|&(d, _)| d)
+                .collect()
+        } else {
+            (0..data.num_nodes() as NodeId).collect()
+        };
+        for d in candidates {
+            if used[d as usize] || !label_ok(query.label(q), data.label(d)) {
+                continue;
+            }
+            // Core consistency.
+            if !plan.checks[depth].iter().all(|&(p, ql)| {
+                data.edge_label(mapping[p], d)
+                    .is_some_and(|dl| edge_ok(ql, dl))
+            }) {
+                continue;
+            }
+            // Look-ahead: d must have enough unmapped neighbors to host q's
+            // remaining (unordered) neighbors.
+            let q_future = query
+                .neighbors(q)
+                .iter()
+                .filter(|&&(u, _)| !plan_contains(plan, depth, u))
+                .count();
+            let d_free = data
+                .neighbors(d)
+                .iter()
+                .filter(|&&(dn, _)| !used[dn as usize])
+                .count();
+            if d_free < q_future {
+                continue;
+            }
+            mapping.push(d);
+            used[d as usize] = true;
+            let stop = Self::recurse(
+                query, data, plan, depth + 1, mapping, used, count, out, limit, stop_first,
+            );
+            used[d as usize] = false;
+            mapping.pop();
+            if stop {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn run(
+        query: &LabeledGraph,
+        data: &LabeledGraph,
+        limit: usize,
+        stop_first: bool,
+    ) -> (u64, Vec<Vec<NodeId>>) {
+        if query.num_nodes() == 0 || query.num_nodes() > data.num_nodes() {
+            return (0, Vec::new());
+        }
+        let plan = Self::plan(query, data);
+        let mut count = 0;
+        let mut out = Vec::new();
+        Self::recurse(
+            query,
+            data,
+            &plan,
+            0,
+            &mut Vec::with_capacity(query.num_nodes()),
+            &mut vec![false; data.num_nodes()],
+            &mut count,
+            &mut out,
+            limit,
+            stop_first,
+        );
+        (count, out)
+    }
+}
+
+/// True when query node `u` appears among the first `depth` order slots.
+fn plan_contains(plan: &Plan, depth: usize, u: NodeId) -> bool {
+    plan.order[..depth].contains(&u)
+}
+
+impl Matcher for Vf3Matcher {
+    fn name(&self) -> &'static str {
+        "VF3-style"
+    }
+
+    fn count_embeddings(&self, query: &LabeledGraph, data: &LabeledGraph) -> u64 {
+        Self::run(query, data, 0, false).0
+    }
+
+    fn find_first(&self, query: &LabeledGraph, data: &LabeledGraph) -> Option<Vec<NodeId>> {
+        Self::run(query, data, 1, true).1.into_iter().next()
+    }
+
+    fn enumerate(
+        &self,
+        query: &LabeledGraph,
+        data: &LabeledGraph,
+        limit: usize,
+    ) -> Vec<Vec<NodeId>> {
+        Self::run(query, data, limit, false).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::brute_force_count;
+
+    fn labeled(labels: &[u8], edges: &[(u32, u32, u8)]) -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        for &l in labels {
+            g.add_node(l);
+        }
+        for &(a, b, l) in edges {
+            g.add_edge(a, b, l).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn agrees_with_brute_force() {
+        let cases = vec![
+            (
+                labeled(&[1, 3], &[(0, 1, 1)]),
+                labeled(&[1, 1, 3, 3], &[(0, 1, 1), (1, 2, 1), (0, 3, 1)]),
+            ),
+            (
+                labeled(&[1, 1, 1], &[(0, 1, 1), (1, 2, 1), (0, 2, 1)]),
+                labeled(
+                    &[1; 4],
+                    &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
+                ),
+            ),
+            (
+                labeled(&[2, 1, 3], &[(0, 1, 1), (1, 2, 2)]),
+                labeled(&[1, 2, 3, 1], &[(0, 1, 1), (0, 2, 2), (0, 3, 1)]),
+            ),
+        ];
+        for (q, d) in cases {
+            assert_eq!(
+                Vf3Matcher.count_embeddings(&q, &d),
+                brute_force_count(&q, &d),
+                "query {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ordering_starts_with_rarest_label() {
+        // Data has many C (1), one N (2). Query C-N: order must start at N.
+        let q = labeled(&[1, 2], &[(0, 1, 1)]);
+        let d = labeled(&[1, 1, 1, 2], &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        let plan = Vf3Matcher::plan(&q, &d);
+        assert_eq!(plan.order[0], 1, "rare N first");
+    }
+
+    #[test]
+    fn find_first_valid() {
+        let q = labeled(&[1, 3, 0], &[(0, 1, 1), (0, 2, 1)]);
+        let d = labeled(&[0, 1, 3, 0], &[(1, 2, 1), (1, 0, 1), (1, 3, 1)]);
+        let m = Vf3Matcher.find_first(&q, &d).unwrap();
+        assert!(d.is_valid_embedding(&q, &m));
+    }
+
+    #[test]
+    fn lookahead_prunes_degree_deficient_candidates() {
+        // Query star with center degree 3; data node of degree 2 can never
+        // host the center.
+        let q = labeled(&[1, 0, 0, 0], &[(0, 1, 1), (0, 2, 1), (0, 3, 1)]);
+        let d = labeled(&[1, 0, 0], &[(0, 1, 1), (0, 2, 1)]);
+        assert_eq!(Vf3Matcher.count_embeddings(&q, &d), 0);
+    }
+
+    #[test]
+    fn enumerated_mappings_are_query_indexed() {
+        let q = labeled(&[2, 1], &[(0, 1, 1)]); // N-C, rare N ordered first
+        let d = labeled(&[1, 2], &[(0, 1, 1)]);
+        let embs = Vf3Matcher.enumerate(&q, &d, 10);
+        assert_eq!(embs.len(), 1);
+        // mapping[0] is the image of query node 0 (N) = data node 1.
+        assert_eq!(embs[0], vec![1, 0]);
+        assert!(d.is_valid_embedding(&q, &embs[0]));
+    }
+}

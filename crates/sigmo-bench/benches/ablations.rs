@@ -1,0 +1,186 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * candidate-bitmap word width (Table 1's tunable);
+//! * filter / join work-group sizes;
+//! * frequency-skewed vs uniform signature bit allocation;
+//! * incremental frontier caching vs from-scratch BFS per iteration;
+//! * DFS join vs a BFS-expansion join (the GSI-style matcher serves as the
+//!   BFS representative, §4.6's memory argument).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigmo_baselines::{run_comparison, GsiMatcher};
+use sigmo_core::{Engine, EngineConfig, LabelSchema, SignatureSet, WordWidth};
+use sigmo_device::{DeviceProfile, Queue};
+use sigmo_mol::{Dataset, DatasetConfig};
+
+fn dataset() -> Dataset {
+    Dataset::build(&DatasetConfig {
+        num_molecules: 150,
+        num_extracted_queries: 15,
+        seed: 33,
+        ..Default::default()
+    })
+}
+
+fn ablate_bitmap_width(c: &mut Criterion) {
+    let d = dataset();
+    let mut group = c.benchmark_group("ablate_bitmap_width");
+    group.sample_size(10);
+    for (label, w) in [("u32", WordWidth::U32), ("u64", WordWidth::U64)] {
+        group.bench_function(label, |b| {
+            let engine = Engine::new(EngineConfig {
+                bitmap_word: w,
+                ..Default::default()
+            });
+            b.iter(|| {
+                let queue = Queue::new(DeviceProfile::host());
+                engine.run(d.queries(), d.data_graphs(), &queue).total_matches
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablate_workgroup(c: &mut Criterion) {
+    let d = dataset();
+    let mut group = c.benchmark_group("ablate_filter_workgroup");
+    group.sample_size(10);
+    for wg in [128usize, 512, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(wg), &wg, |b, &wg| {
+            let engine = Engine::new(EngineConfig {
+                filter_work_group_size: wg,
+                ..Default::default()
+            });
+            b.iter(|| {
+                let queue = Queue::new(DeviceProfile::host());
+                engine.run(d.queries(), d.data_graphs(), &queue).total_matches
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablate_signature_masking(c: &mut Criterion) {
+    let d = dataset();
+    let mut group = c.benchmark_group("ablate_signature_masking");
+    group.sample_size(10);
+    for (label, schema) in [
+        ("frequency_skewed", LabelSchema::organic()),
+        ("uniform", LabelSchema::uniform(12)),
+    ] {
+        group.bench_function(label, |b| {
+            let engine = Engine::new(EngineConfig {
+                schema: schema.clone(),
+                ..Default::default()
+            });
+            b.iter(|| {
+                let queue = Queue::new(DeviceProfile::host());
+                engine.run(d.queries(), d.data_graphs(), &queue).total_matches
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablate_frontier_cache(c: &mut Criterion) {
+    let d = dataset();
+    let data = d.data_batch();
+    let schema = LabelSchema::organic();
+    let mut group = c.benchmark_group("ablate_frontier_cache");
+    group.sample_size(10);
+    // Incremental: one SignatureSet advanced radius by radius.
+    group.bench_function("incremental", |b| {
+        b.iter(|| {
+            let mut sigs = SignatureSet::new(&data, schema.clone());
+            for _ in 0..4 {
+                sigs.advance(&data);
+            }
+            sigs.signature(0)
+        })
+    });
+    // From scratch: the reference full-BFS computation per radius, as a
+    // naive implementation would do each iteration.
+    group.bench_function("from_scratch", |b| {
+        b.iter(|| {
+            let mut last = Default::default();
+            for r in 1..=4u32 {
+                for v in (0..data.num_nodes() as u32).step_by(16) {
+                    last = SignatureSet::reference_signature(&data, &schema, v, r);
+                }
+            }
+            last
+        })
+    });
+    group.finish();
+}
+
+fn ablate_join_strategy(c: &mut Criterion) {
+    let d = dataset();
+    let queries: Vec<_> = d.queries().iter().take(8).cloned().collect();
+    let data: Vec<_> = d.data_graphs().iter().take(60).cloned().collect();
+    let mut group = c.benchmark_group("ablate_join_strategy");
+    group.sample_size(10);
+    group.bench_function("dfs_stack(engine)", |b| {
+        let engine = Engine::new(EngineConfig::default());
+        b.iter(|| {
+            let queue = Queue::new(DeviceProfile::host());
+            engine.run(&queries, &data, &queue).total_matches
+        })
+    });
+    group.bench_function("bfs_expansion(core)", |b| {
+        use sigmo_core::{
+            filter::initialize_candidates, join::QueryPlan, join_bfs, CandidateBitmap, Gmcr,
+        };
+        use sigmo_graph::CsrGo;
+        let qb = CsrGo::from_graphs(&queries);
+        let db = CsrGo::from_graphs(&data);
+        let plans: Vec<QueryPlan> = (0..qb.num_graphs())
+            .map(|qg| QueryPlan::build(&qb, qg, false))
+            .collect();
+        b.iter(|| {
+            let queue = Queue::new(DeviceProfile::host());
+            let bm = CandidateBitmap::new(qb.num_nodes(), db.num_nodes(), WordWidth::U64);
+            initialize_candidates(&queue, &qb, &db, &bm, 1024);
+            let gmcr = Gmcr::build(&queue, &qb, &db, &bm, 1024);
+            join_bfs(&queue, &qb, &db, &bm, &gmcr, &plans, 128).total_matches
+        })
+    });
+    group.bench_function("bfs_expansion(gsi)", |b| {
+        let gsi = GsiMatcher::unbounded();
+        b.iter(|| run_comparison(&gsi, &queries, &data).total_matches)
+    });
+    group.finish();
+}
+
+fn ablate_join_order(c: &mut Criterion) {
+    let d = dataset();
+    let mut group = c.benchmark_group("ablate_join_order");
+    group.sample_size(10);
+    for (label, order) in [
+        ("max_degree", sigmo_core::JoinOrder::MaxDegree),
+        ("min_candidates", sigmo_core::JoinOrder::MinCandidates),
+    ] {
+        group.bench_function(label, |b| {
+            let engine = Engine::new(EngineConfig {
+                join_order: order,
+                ..Default::default()
+            });
+            b.iter(|| {
+                let queue = Queue::new(DeviceProfile::host());
+                engine.run(d.queries(), d.data_graphs(), &queue).total_matches
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_bitmap_width,
+    ablate_workgroup,
+    ablate_signature_masking,
+    ablate_frontier_cache,
+    ablate_join_strategy,
+    ablate_join_order
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benches of the CSR-GO data structure: batch construction and
+//! the binary-search node→graph lookup (§4.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigmo_graph::{CsrGo, LabeledGraph};
+use sigmo_mol::MoleculeGenerator;
+
+fn molecules(n: usize) -> Vec<LabeledGraph> {
+    MoleculeGenerator::with_seed(99)
+        .generate_batch(n)
+        .iter()
+        .map(|m| m.to_labeled_graph())
+        .collect()
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csrgo_from_graphs");
+    for n in [100usize, 500, 2000] {
+        let graphs = molecules(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| CsrGo::from_graphs(&graphs).num_nodes())
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_of_lookup(c: &mut Criterion) {
+    let batch = CsrGo::from_graphs(&molecules(2000));
+    let n = batch.num_nodes() as u32;
+    c.bench_function("csrgo_graph_of_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            let mut v = 0u32;
+            while v < n {
+                acc += batch.graph_of(v);
+                v += 7;
+            }
+            acc
+        })
+    });
+}
+
+fn bench_neighbor_iteration(c: &mut Criterion) {
+    let batch = CsrGo::from_graphs(&molecules(2000));
+    c.bench_function("csrgo_neighbor_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in 0..batch.num_nodes() as u32 {
+                for &u in batch.neighbors(v) {
+                    acc += u as u64;
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_construction, bench_graph_of_lookup, bench_neighbor_iteration
+}
+criterion_main!(benches);

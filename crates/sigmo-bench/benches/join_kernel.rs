@@ -1,0 +1,62 @@
+//! Criterion benches of the join phase: Find All vs Find First, and the
+//! effect of filter depth on join cost (the Figure 6 trade-off in
+//! microbenchmark form).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigmo_core::{Engine, EngineConfig, MatchMode};
+use sigmo_device::{DeviceProfile, Queue};
+use sigmo_mol::{Dataset, DatasetConfig};
+
+fn dataset() -> Dataset {
+    Dataset::build(&DatasetConfig {
+        num_molecules: 150,
+        num_extracted_queries: 20,
+        seed: 7,
+        ..Default::default()
+    })
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let d = dataset();
+    let mut group = c.benchmark_group("join_mode");
+    for (label, mode) in [("find_all", MatchMode::FindAll), ("find_first", MatchMode::FindFirst)]
+    {
+        group.bench_function(label, |b| {
+            let engine = Engine::new(EngineConfig {
+                mode,
+                ..Default::default()
+            });
+            b.iter(|| {
+                let queue = Queue::new(DeviceProfile::host());
+                engine
+                    .run(d.queries(), d.data_graphs(), &queue)
+                    .total_matches
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_join_vs_filter_depth(c: &mut Criterion) {
+    let d = dataset();
+    let mut group = c.benchmark_group("pipeline_by_iterations");
+    for iters in [1usize, 2, 4, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, &iters| {
+            let engine = Engine::new(EngineConfig::with_iterations(iters));
+            b.iter(|| {
+                let queue = Queue::new(DeviceProfile::host());
+                engine
+                    .run(d.queries(), d.data_graphs(), &queue)
+                    .total_matches
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_modes, bench_join_vs_filter_depth
+}
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Figure 7: total time per refinement iteration, grouped by query diameter.
+
+use sigmo_bench::{figures, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!("# Figure 7 — total time by query diameter ({scale:?} scale)");
+    for g in figures::fig07_diameter(scale) {
+        println!("\n## Diameter {} ({} queries){}", g.diameter, g.num_queries,
+            if g.any_matches { "" } else { "  [no matches — anomalous group]" });
+        print!("iters:  ");
+        for (i, _) in &g.series { print!("{i:>9} "); }
+        print!("\ntotal:  ");
+        for (_, t) in &g.series { print!("{t:>9.4} "); }
+        println!("\nbest iteration count: {}", g.best_iterations);
+    }
+}

@@ -1,0 +1,22 @@
+//! Figure 9: instruction roofline of the pipeline phases (V100S profile).
+
+use sigmo_bench::{figures, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let (points, roofs) = figures::fig09_roofline(scale);
+    println!("# Figure 9 — instruction roofline, V100S profile ({scale:?} scale)");
+    println!("## Roofs");
+    for (name, v) in roofs {
+        if name == "Compute" {
+            println!("{name:>8}: {v:.0} Ginstr/s (flat)");
+        } else {
+            println!("{name:>8}: {v:.0} GB/s (throughput = bw × intensity)");
+        }
+    }
+    println!("## Phase points");
+    println!("{:<10} {:>20} {:>16}", "phase", "intensity (instr/B)", "Ginstr/s");
+    for p in points {
+        println!("{:<10} {:>20.4} {:>16.2}", p.phase, p.intensity, p.ginstr_per_s);
+    }
+}

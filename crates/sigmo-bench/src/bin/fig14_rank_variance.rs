@@ -1,0 +1,21 @@
+//! Figure 14: per-rank runtime distribution at the largest configuration.
+
+use sigmo_bench::{figures, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!("# Figure 14 — per-rank runtimes ({scale:?} scale)");
+    for v in figures::fig14_rank_variance(scale) {
+        let n = v.rank_times_s.len();
+        let min = v.rank_times_s.iter().cloned().fold(f64::MAX, f64::min);
+        let max = v.rank_times_s.iter().cloned().fold(0.0, f64::max);
+        let mean = v.rank_times_s.iter().sum::<f64>() / n as f64;
+        println!("\n## {} ({n} ranks)", v.mode);
+        println!("min {min:.4}s  mean {mean:.4}s  max {max:.4}s  CoV {:.1}%", v.cov * 100.0);
+        print!("sample ranks (every {}th): ", (n / 8).max(1));
+        for t in v.rank_times_s.iter().step_by((n / 8).max(1)) {
+            print!("{t:.3} ");
+        }
+        println!();
+    }
+}

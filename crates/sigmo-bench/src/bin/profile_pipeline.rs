@@ -1,0 +1,25 @@
+//! Per-kernel profiling summary of one full pipeline run — the executor's
+//! equivalent of an `nsys`/`rocprof` summary table (supports §5.1.3's
+//! resource-utilization analysis).
+
+use sigmo_bench::BenchScale;
+use sigmo_core::{Engine, EngineConfig};
+use sigmo_device::{render_table, summarize, CostModel, DeviceProfile, Queue};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let d = scale.dataset(0x5167);
+    let queue = Queue::new(DeviceProfile::nvidia_v100s());
+    let report = Engine::new(EngineConfig::default()).run(d.queries(), d.data_graphs(), &queue);
+    let model = CostModel::new(DeviceProfile::nvidia_v100s());
+    println!("# Pipeline kernel profile ({scale:?} scale, V100S model)\n");
+    print!("{}", render_table(&summarize(&queue.records(), &model)));
+    println!("\nmatches: {}", report.total_matches);
+    println!(
+        "memory: bitmap {:.1} MB ({}%), graphs {:.1} MB, signatures {:.1} MB",
+        report.bitmap_bytes as f64 / 1e6,
+        (100 * report.bitmap_bytes) / (report.bitmap_bytes + report.graph_bytes + report.signature_bytes).max(1),
+        report.graph_bytes as f64 / 1e6,
+        report.signature_bytes as f64 / 1e6,
+    );
+}

@@ -1,0 +1,20 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation (§5) on the synthetic ZINC-like dataset.
+//!
+//! Each `figures::figNN_*` / `figures::tableN_*` function computes the
+//! series the corresponding figure plots and returns it as plain data; the
+//! binaries in `src/bin/` print them. Absolute numbers differ from the
+//! paper (the substrate is a CPU executor + analytical device model, the
+//! dataset is synthetic); the *shapes* — who wins, where the optima sit,
+//! how scaling behaves — are the reproduction targets recorded in
+//! EXPERIMENTS.md.
+//!
+//! All experiments share [`BenchScale`], controlled by the
+//! `SIGMO_BENCH_SCALE` environment variable:
+//! `quick` (default; seconds), `paper` (minutes; closest to the paper's
+//! dataset proportions).
+
+pub mod figures;
+pub mod scale;
+
+pub use scale::BenchScale;

@@ -1,0 +1,69 @@
+//! Benchmark scale presets.
+
+use sigmo_mol::{Dataset, DatasetConfig};
+
+/// How big the synthetic dataset is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchScale {
+    /// Small: CI-friendly, every figure in seconds.
+    Quick,
+    /// Proportions closer to the paper's 618 queries / 114,901 molecules
+    /// (scaled to stay tractable on a CPU executor).
+    Paper,
+}
+
+impl BenchScale {
+    /// Reads `SIGMO_BENCH_SCALE` (`quick` | `paper`); defaults to quick.
+    pub fn from_env() -> Self {
+        match std::env::var("SIGMO_BENCH_SCALE").as_deref() {
+            Ok("paper") => BenchScale::Paper,
+            _ => BenchScale::Quick,
+        }
+    }
+
+    /// Number of data molecules.
+    pub fn num_molecules(self) -> usize {
+        match self {
+            BenchScale::Quick => 300,
+            BenchScale::Paper => 6000,
+        }
+    }
+
+    /// Number of extracted queries (the functional-group library adds ~30).
+    pub fn num_extracted_queries(self) -> usize {
+        match self {
+            BenchScale::Quick => 30,
+            BenchScale::Paper => 120,
+        }
+    }
+
+    /// Builds the dataset for this scale.
+    pub fn dataset(self, seed: u64) -> Dataset {
+        Dataset::build(&DatasetConfig {
+            num_molecules: self.num_molecules(),
+            num_extracted_queries: self.num_extracted_queries(),
+            seed,
+            ..Default::default()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_dataset_builds() {
+        let d = BenchScale::Quick.dataset(1);
+        assert_eq!(d.data_graphs().len(), 300);
+        assert!(d.queries().len() >= 30);
+    }
+
+    #[test]
+    fn env_default_is_quick() {
+        // The test environment doesn't set the variable.
+        if std::env::var("SIGMO_BENCH_SCALE").is_err() {
+            assert_eq!(BenchScale::from_env(), BenchScale::Quick);
+        }
+    }
+}

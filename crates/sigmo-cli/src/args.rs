@@ -1,0 +1,200 @@
+//! Hand-rolled argument parsing for the `sigmo` CLI.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The selected subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Batched Find All matching.
+    Match,
+    /// Find First screening with hit counts.
+    Screen,
+    /// Synthetic library generation.
+    Generate,
+    /// Dataset statistics.
+    Info,
+}
+
+impl Command {
+    fn from_str(s: &str) -> Option<Command> {
+        match s {
+            "match" => Some(Command::Match),
+            "screen" => Some(Command::Screen),
+            "generate" => Some(Command::Generate),
+            "info" => Some(Command::Info),
+            _ => None,
+        }
+    }
+}
+
+/// Parsed command line: the subcommand plus `--flag value` options.
+#[derive(Debug, Clone)]
+pub struct ParsedArgs {
+    /// Subcommand.
+    pub command: Command,
+    options: BTreeMap<String, String>,
+}
+
+/// Argument-parsing errors with user-facing messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand supplied.
+    MissingCommand,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// A `--flag` without a value, or a stray positional token.
+    Malformed(String),
+    /// A flag appeared twice.
+    Duplicate(String),
+    /// A required flag is absent.
+    MissingOption(&'static str),
+    /// A value failed to parse.
+    BadValue {
+        /// The flag name.
+        flag: String,
+        /// The offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => {
+                write!(f, "usage: sigmo <match|screen|generate|info> [--flag value]...")
+            }
+            ArgError::UnknownCommand(c) => write!(f, "unknown command {c:?}"),
+            ArgError::Malformed(t) => write!(f, "malformed argument {t:?} (expected --flag value)"),
+            ArgError::Duplicate(fl) => write!(f, "flag --{fl} given twice"),
+            ArgError::MissingOption(fl) => write!(f, "required flag --{fl} missing"),
+            ArgError::BadValue { flag, value, expected } => {
+                write!(f, "--{flag} {value:?}: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parses `args` (without the program name).
+pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgError> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or(ArgError::MissingCommand)?;
+    let command = Command::from_str(cmd).ok_or_else(|| ArgError::UnknownCommand(cmd.clone()))?;
+    let mut options = BTreeMap::new();
+    while let Some(tok) = it.next() {
+        let flag = tok
+            .strip_prefix("--")
+            .ok_or_else(|| ArgError::Malformed(tok.clone()))?;
+        let value = it.next().ok_or_else(|| ArgError::Malformed(tok.clone()))?;
+        if options.insert(flag.to_string(), value.clone()).is_some() {
+            return Err(ArgError::Duplicate(flag.to_string()));
+        }
+    }
+    Ok(ParsedArgs { command, options })
+}
+
+impl ParsedArgs {
+    /// A string option.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.options.get(flag).map(String::as_str)
+    }
+
+    /// A required string option.
+    pub fn require(&self, flag: &'static str) -> Result<&str, ArgError> {
+        self.get(flag).ok_or(ArgError::MissingOption(flag))
+    }
+
+    /// An optional parsed option with a default.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.to_string(),
+                expected,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse_args(&strs(&["match", "--queries", "q.smi", "--data", "d.sdf"])).unwrap();
+        assert_eq!(a.command, Command::Match);
+        assert_eq!(a.get("queries"), Some("q.smi"));
+        assert_eq!(a.require("data").unwrap(), "d.sdf");
+    }
+
+    #[test]
+    fn rejects_missing_and_unknown_commands() {
+        assert_eq!(parse_args(&[]), Err(ArgError::MissingCommand));
+        assert!(matches!(
+            parse_args(&strs(&["frobnicate"])),
+            Err(ArgError::UnknownCommand(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_flags() {
+        assert!(matches!(
+            parse_args(&strs(&["match", "positional"])),
+            Err(ArgError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_args(&strs(&["match", "--queries"])),
+            Err(ArgError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert_eq!(
+            parse_args(&strs(&["match", "--seed", "1", "--seed", "2"])),
+            Err(ArgError::Duplicate("seed".into()))
+        );
+    }
+
+    #[test]
+    fn parsed_option_with_default() {
+        let a = parse_args(&strs(&["generate", "--count", "42"])).unwrap();
+        assert_eq!(a.get_parsed("count", 10usize, "an integer").unwrap(), 42);
+        assert_eq!(a.get_parsed("seed", 7u64, "an integer").unwrap(), 7);
+        let bad = parse_args(&strs(&["generate", "--count", "xx"])).unwrap();
+        assert!(bad.get_parsed("count", 1usize, "an integer").is_err());
+    }
+
+    #[test]
+    fn missing_required_flag() {
+        let a = parse_args(&strs(&["info"])).unwrap();
+        assert_eq!(a.require("data"), Err(ArgError::MissingOption("data")));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(ArgError::MissingCommand.to_string().contains("usage"));
+        assert!(ArgError::MissingOption("data").to_string().contains("--data"));
+    }
+
+    impl PartialEq for ParsedArgs {
+        fn eq(&self, other: &Self) -> bool {
+            self.command == other.command && self.options == other.options
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Library backing the `sigmo` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `sigmo match   --queries Q --data D [options]` — batched substructure
+//!   matching; queries and data are `.smi` (one SMILES per line, optional
+//!   name after whitespace) or `.sdf` files;
+//! * `sigmo screen  --queries Q --data D` — Find First screening with
+//!   per-pattern hit counts;
+//! * `sigmo generate --count N --seed S --output F` — write a synthetic
+//!   drug-like library as SMILES or SDF;
+//! * `sigmo info    --data D` — dataset statistics (atoms, rings,
+//!   descriptors, memory estimate).
+//!
+//! The argument parser is hand-rolled (no external dependency): flags are
+//! `--name value` pairs after the subcommand.
+
+pub mod args;
+pub mod commands;
+pub mod io;
+
+pub use args::{parse_args, Command, ParsedArgs};
+pub use commands::{run_command, CommandOutput};

@@ -1,0 +1,30 @@
+//! The `sigmo` command-line tool. See `sigmo_cli` (lib.rs) for the
+//! subcommand reference.
+
+use sigmo_cli::{parse_args, run_command};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match parse_args(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("sigmo: {e}");
+            std::process::exit(2);
+        }
+    };
+    match run_command(&parsed) {
+        Ok(output) => {
+            for (path, contents) in &output.files {
+                if let Err(e) = std::fs::write(path, contents) {
+                    eprintln!("sigmo: writing {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            print!("{}", output.stdout);
+        }
+        Err(e) => {
+            eprintln!("sigmo: {e}");
+            std::process::exit(1);
+        }
+    }
+}

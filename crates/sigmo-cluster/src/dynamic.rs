@@ -1,0 +1,265 @@
+//! Dynamic (self-scheduling) load balancing — the improvement the paper
+//! points at when discussing its 4–8% static-partitioning runtime spread
+//! (§5.4.2, citing LB4OMP-style adaptive scheduling).
+//!
+//! Molecules are split into chunks; ranks pull the next chunk as they
+//! finish (classic self-scheduling / list scheduling). Chunk costs come
+//! from the same engine + cost-model pipeline the static simulator uses,
+//! so the two schedulers are directly comparable on makespan and CoV.
+
+use rayon::prelude::*;
+use sigmo_core::{Engine, EngineConfig, MatchMode};
+use sigmo_device::{CostModel, DeviceProfile, Queue};
+use sigmo_graph::LabeledGraph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a dynamically scheduled cluster run.
+#[derive(Debug)]
+pub struct DynamicReport {
+    /// Per-rank busy time (seconds) after all chunks are drained.
+    pub rank_times_s: Vec<f64>,
+    /// Chunks processed per rank.
+    pub rank_chunks: Vec<usize>,
+    /// Total matches.
+    pub total_matches: u64,
+    /// Makespan (slowest rank).
+    pub makespan_s: f64,
+    /// Coefficient of variation of rank busy times.
+    pub coefficient_of_variation: f64,
+    /// Number of chunks the workload was split into.
+    pub num_chunks: usize,
+}
+
+impl DynamicReport {
+    /// Matches per second over the makespan.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan_s <= 0.0 {
+            0.0
+        } else {
+            self.total_matches as f64 / self.makespan_s
+        }
+    }
+}
+
+/// Configuration of the dynamic scheduler.
+#[derive(Debug, Clone)]
+pub struct DynamicConfig {
+    /// Number of virtual ranks.
+    pub num_ranks: usize,
+    /// Molecules per chunk (smaller = better balance, more scheduling
+    /// overhead).
+    pub chunk_size: usize,
+    /// Per-chunk dispatch overhead in seconds (models the MPI work-queue
+    /// round-trip a real implementation would pay).
+    pub dispatch_overhead_s: f64,
+    /// Device profile per rank.
+    pub device: DeviceProfile,
+    /// Engine configuration.
+    pub engine: EngineConfig,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        Self {
+            num_ranks: 16,
+            chunk_size: 32,
+            dispatch_overhead_s: 2e-4,
+            device: DeviceProfile::nvidia_a100(),
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// Runs the dynamically scheduled cluster simulation.
+pub fn run_dynamic(
+    config: &DynamicConfig,
+    queries: &[LabeledGraph],
+    data: &[LabeledGraph],
+) -> DynamicReport {
+    assert!(config.num_ranks > 0 && config.chunk_size > 0);
+    let chunks: Vec<&[LabeledGraph]> = data.chunks(config.chunk_size).collect();
+    let model = CostModel::new(config.device.clone());
+    // Cost every chunk (parallel over host cores; rank assignment below is
+    // a deterministic list-scheduling simulation).
+    let costs: Vec<(u64, f64)> = chunks
+        .par_iter()
+        .map(|chunk| {
+            let queue = Queue::new(config.device.clone());
+            let engine = Engine::new(config.engine.clone());
+            let report = engine.run(queries, chunk, &queue);
+            let matches = match config.engine.mode {
+                MatchMode::FindAll => report.total_matches,
+                MatchMode::FindFirst => report.matched_pairs,
+            };
+            (matches, model.total_time_s(&queue.records()))
+        })
+        .collect();
+
+    // Self-scheduling: each chunk goes to the earliest-free rank, in chunk
+    // order (the order molecules arrive from the dataset).
+    let mut heap: BinaryHeap<(Reverse<u64>, usize)> = (0..config.num_ranks)
+        .map(|r| (Reverse(0u64), r))
+        .collect();
+    let to_ns = |s: f64| (s * 1e9) as u64;
+    let mut rank_times = vec![0u64; config.num_ranks];
+    let mut rank_chunks = vec![0usize; config.num_ranks];
+    let mut total_matches = 0u64;
+    for &(matches, cost_s) in &costs {
+        let (Reverse(free_at), rank) = heap.pop().expect("ranks nonempty");
+        let finish = free_at + to_ns(cost_s + config.dispatch_overhead_s);
+        rank_times[rank] = finish;
+        rank_chunks[rank] += 1;
+        total_matches += matches;
+        heap.push((Reverse(finish), rank));
+    }
+    let rank_times_s: Vec<f64> = rank_times.iter().map(|&ns| ns as f64 / 1e9).collect();
+    let makespan_s = rank_times_s.iter().cloned().fold(0.0, f64::max);
+    let busy: Vec<f64> = rank_times_s.clone();
+    let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+    let cov = if mean <= f64::EPSILON {
+        0.0
+    } else {
+        (busy.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / busy.len() as f64).sqrt() / mean
+    };
+    DynamicReport {
+        rank_times_s,
+        rank_chunks,
+        total_matches,
+        makespan_s,
+        coefficient_of_variation: cov,
+        num_chunks: chunks.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{ClusterConfig, ClusterSim};
+    use sigmo_mol::Dataset;
+
+    fn world() -> (Vec<LabeledGraph>, Vec<LabeledGraph>) {
+        let d = Dataset::small(13);
+        (d.queries()[..6].to_vec(), d.data_graphs().to_vec())
+    }
+
+    fn dyn_config(ranks: usize) -> DynamicConfig {
+        DynamicConfig {
+            num_ranks: ranks,
+            chunk_size: 8,
+            engine: EngineConfig {
+                refinement_iterations: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dynamic_total_equals_static_total() {
+        let (queries, data) = world();
+        let dynamic = run_dynamic(&dyn_config(4), &queries, &data);
+        let mut engine = EngineConfig::default();
+        engine.refinement_iterations = 3;
+        let stat = ClusterSim::new(ClusterConfig {
+            num_ranks: 4,
+            engine,
+            ..Default::default()
+        })
+        .run(&queries, &data);
+        assert_eq!(dynamic.total_matches, stat.total_matches);
+    }
+
+    #[test]
+    fn all_chunks_processed() {
+        let (queries, data) = world();
+        let cfg = dyn_config(5);
+        let report = run_dynamic(&cfg, &queries, &data);
+        assert_eq!(report.num_chunks, data.len().div_ceil(cfg.chunk_size));
+        assert_eq!(report.rank_chunks.iter().sum::<usize>(), report.num_chunks);
+    }
+
+    #[test]
+    fn dynamic_beats_static_on_skewed_workloads() {
+        // Build a deliberately skewed corpus: many cheap molecules up
+        // front, all the expensive ones clustered at the tail — the worst
+        // case for static block partitioning, the motivating case for the
+        // paper's adaptive-load-balancing remark.
+        use sigmo_mol::{GeneratorConfig, MoleculeGenerator};
+        let mut small_gen = MoleculeGenerator::new(
+            GeneratorConfig {
+                min_heavy_atoms: 4,
+                max_heavy_atoms: 8,
+                ..Default::default()
+            },
+            1,
+        );
+        let mut big_gen = MoleculeGenerator::new(
+            GeneratorConfig {
+                min_heavy_atoms: 40,
+                max_heavy_atoms: 60,
+                ..Default::default()
+            },
+            2,
+        );
+        let mut data: Vec<LabeledGraph> = small_gen
+            .generate_batch(90)
+            .iter()
+            .map(|m| m.to_labeled_graph())
+            .collect();
+        data.extend(big_gen.generate_batch(30).iter().map(|m| m.to_labeled_graph()));
+        let queries: Vec<LabeledGraph> = sigmo_mol::functional_groups()
+            .into_iter()
+            .take(8)
+            .map(|q| q.graph)
+            .collect();
+
+        let ranks = 4;
+        let engine = EngineConfig {
+            refinement_iterations: 3,
+            ..Default::default()
+        };
+        // Zero the fixed launch/dispatch overheads and shrink the device
+        // so even chunk-sized launches saturate it: at this miniature
+        // scale a full A100 would be overhead- and occupancy-dominated,
+        // masking the property under test — schedule quality on
+        // heterogeneous work. (The paper's real chunks are ~500k
+        // molecules, which saturate a real A100 the same way.)
+        let mut device = DeviceProfile::nvidia_a100();
+        device.launch_overhead_us = 0.0;
+        device.compute_units = 2;
+        device.max_work_items_per_cu = 64;
+        let dynamic = run_dynamic(
+            &DynamicConfig {
+                num_ranks: ranks,
+                chunk_size: 5,
+                dispatch_overhead_s: 0.0,
+                device: device.clone(),
+                engine: engine.clone(),
+            },
+            &queries,
+            &data,
+        );
+        let stat = ClusterSim::new(ClusterConfig {
+            num_ranks: ranks,
+            device,
+            engine,
+        })
+        .run(&queries, &data);
+        assert_eq!(dynamic.total_matches, stat.total_matches);
+        assert!(
+            dynamic.makespan_s < stat.makespan_s,
+            "dynamic makespan {} must beat static {} on skewed data",
+            dynamic.makespan_s,
+            stat.makespan_s
+        );
+    }
+
+    #[test]
+    fn single_rank_makespan_is_sum_of_chunks() {
+        let (queries, data) = world();
+        let report = run_dynamic(&dyn_config(1), &queries, &data);
+        assert!((report.rank_times_s[0] - report.makespan_s).abs() < 1e-12);
+        assert_eq!(report.rank_chunks[0], report.num_chunks);
+    }
+}

@@ -1,0 +1,19 @@
+//! Multi-rank weak-scaling simulation (paper §5.4.2, Figures 13–14).
+//!
+//! The paper runs SIGMo on an HPC cluster of up to 256 NVIDIA A100 GPUs:
+//! one MPI process per GPU, **static partitioning** of 500,000 molecules
+//! per GPU, a fixed query set, and per-rank runtimes whose spread (CoV of
+//! 4–8%) comes from workload differences between partitions. This crate
+//! reproduces that protocol with *virtual ranks*: each rank runs the full
+//! SIGMo pipeline on its partition and is timed by the analytical device
+//! model (A100 profile), so 256 ranks fit on one workstation.
+
+pub mod dynamic;
+pub mod partition;
+pub mod sim;
+pub mod topology;
+
+pub use dynamic::{run_dynamic, DynamicConfig, DynamicReport};
+pub use partition::static_block_partition;
+pub use sim::{ClusterConfig, ClusterReport, ClusterSim, RankResult};
+pub use topology::{run_on_topology, CommModel, Topology, TopologyReport};

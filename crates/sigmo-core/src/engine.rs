@@ -1,0 +1,511 @@
+//! The SIGMo engine: pipeline orchestration (Figure 2).
+//!
+//! ```text
+//! input graphs ─▶ ❶ CSR-GO conversion ─▶ ❷ candidate allocation
+//!   ─▶ [ ❸ signature generation ─▶ ❹ refine ] × refinement iterations
+//!   ─▶ ❺ GMCR mapping ─▶ ❻ stack-based DFS join ─▶ matches
+//! ```
+
+use crate::candidates::{CandidateBitmap, WordWidth};
+use crate::filter::{initialize_candidates, refine_candidates};
+use crate::join::{join, JoinMode, JoinParams, MatchRecord, QueryPlan};
+use sigmo_graph::NodeId;
+use crate::mapping::Gmcr;
+use crate::schema::LabelSchema;
+use crate::signature::SignatureSet;
+use crate::stats::{CandidateStats, IterationStats};
+use sigmo_device::Queue;
+use sigmo_graph::{CsrGo, LabeledGraph};
+use std::time::{Duration, Instant};
+
+/// Find All vs Find First (paper §1: node-to-node vs graph-to-graph).
+pub type MatchMode = JoinMode;
+
+/// Which query node starts the join's BFS matching order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinOrder {
+    /// Start at the max-degree query node (the paper's structural
+    /// heuristic; default).
+    #[default]
+    MaxDegree,
+    /// Start at the query node with the fewest surviving candidates after
+    /// filtering (extension: data-aware ordering, as used by VF3/RI-style
+    /// engines).
+    MinCandidates,
+}
+
+/// Engine configuration. Defaults follow the paper's V100S tuning
+/// (Table 1) and its observed optimum of six refinement iterations.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of refinement iterations (≥ 1). Iteration 1 is label-only
+    /// initialization; iteration `i` extends each node's view to radius
+    /// `i − 1` (§5.1).
+    pub refinement_iterations: usize,
+    /// Filter kernel work-group size (Table 1: 1024 on V100S).
+    pub filter_work_group_size: usize,
+    /// Join kernel work-group size (Table 1: 128 on V100S).
+    pub join_work_group_size: usize,
+    /// Candidate bitmap word width (Table 1: 32-bit on V100S).
+    pub bitmap_word: WordWidth,
+    /// Find All or Find First.
+    pub mode: MatchMode,
+    /// Strict induced matching (extension; default off = substructure
+    /// semantics per Definition 2.1).
+    pub induced: bool,
+    /// Collect at most this many embeddings in the report.
+    pub collect_limit: Option<usize>,
+    /// Signature schema; defaults to the frequency-skewed organic layout.
+    pub schema: LabelSchema,
+    /// Join matching-order heuristic.
+    pub join_order: JoinOrder,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            refinement_iterations: 6,
+            filter_work_group_size: 1024,
+            join_work_group_size: 128,
+            bitmap_word: WordWidth::U32,
+            mode: JoinMode::FindAll,
+            induced: false,
+            collect_limit: None,
+            schema: LabelSchema::organic(),
+            join_order: JoinOrder::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Config in Find First mode.
+    pub fn find_first() -> Self {
+        Self {
+            mode: JoinMode::FindFirst,
+            ..Default::default()
+        }
+    }
+
+    /// Config with a given number of refinement iterations.
+    pub fn with_iterations(iterations: usize) -> Self {
+        Self {
+            refinement_iterations: iterations,
+            ..Default::default()
+        }
+    }
+}
+
+/// Real wall-clock time per pipeline phase.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTimings {
+    /// CSR-GO conversion + bitmap allocation (❶–❷; excluded from the
+    /// paper's timings, reported separately here).
+    pub setup: Duration,
+    /// Filter phase (❸–❹): signature generation + candidate refinement.
+    pub filter: Duration,
+    /// Mapping phase (❺).
+    pub mapping: Duration,
+    /// Join phase (❻).
+    pub join: Duration,
+}
+
+impl PhaseTimings {
+    /// Filter + mapping + join, matching the paper's reported totals
+    /// (which exclude allocation/initialization, §5.2).
+    pub fn total(&self) -> Duration {
+        self.filter + self.mapping + self.join
+    }
+}
+
+/// Full result of one engine run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Total embeddings (Find All) or matched pairs (Find First).
+    pub total_matches: u64,
+    /// Number of (data graph, query graph) pairs with ≥ 1 match.
+    pub matched_pairs: u64,
+    /// Matched (data graph, query graph) pairs from the GMCR booleans.
+    pub matched_pair_list: Vec<(usize, usize)>,
+    /// Collected embeddings (when a collect limit was configured).
+    pub records: Vec<MatchRecord>,
+    /// Per-refinement-iteration candidate statistics (Figure 5).
+    pub iterations: Vec<IterationStats>,
+    /// Real wall-clock phase timings (Figure 6).
+    pub timings: PhaseTimings,
+    /// GMCR pair count after mapping.
+    pub gmcr_pairs: usize,
+    /// Candidate bitmap footprint in bytes (§5.1.3 accounting).
+    pub bitmap_bytes: usize,
+    /// CSR-GO footprint in bytes (queries + data).
+    pub graph_bytes: usize,
+    /// Signature storage in bytes (query + data signature arrays).
+    pub signature_bytes: usize,
+}
+
+impl RunReport {
+    /// Distinct matched node sets per the NLSM problem definition (§2.2):
+    /// the output `X = {X ⊆ V_D | G_D[X] isomorphic to G_Q}` collects node
+    /// *sets*, so automorphic embeddings (e.g. the 12 self-mappings of a
+    /// benzene ring) collapse to one element. Requires the run to have
+    /// collected records (`collect_limit`); returns per-(data graph, query
+    /// graph) sorted node sets, deduplicated.
+    pub fn distinct_match_sets(&self) -> Vec<(usize, usize, Vec<sigmo_graph::NodeId>)> {
+        let mut sets: Vec<(usize, usize, Vec<sigmo_graph::NodeId>)> = self
+            .records
+            .iter()
+            .map(|r| {
+                let mut nodes = r.mapping.clone();
+                nodes.sort_unstable();
+                (r.data_graph, r.query_graph, nodes)
+            })
+            .collect();
+        sets.sort();
+        sets.dedup();
+        sets
+    }
+
+    /// Throughput in matches per second over the paper-comparable total
+    /// time (filter + mapping + join).
+    pub fn throughput(&self) -> f64 {
+        let t = self.timings.total().as_secs_f64();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.total_matches as f64 / t
+        }
+    }
+}
+
+/// The batched subgraph-isomorphism engine.
+///
+/// ```
+/// use sigmo_core::{Engine, EngineConfig};
+/// use sigmo_device::{DeviceProfile, Queue};
+/// use sigmo_graph::LabeledGraph;
+///
+/// // Query: C-O (labels 1, 3). Data: a C-C-O chain.
+/// let query = LabeledGraph::from_edges(&[1, 3], &[(0, 1)]).unwrap();
+/// let data = LabeledGraph::from_edges(&[1, 1, 3], &[(0, 1), (1, 2)]).unwrap();
+///
+/// let queue = Queue::new(DeviceProfile::host());
+/// let report = Engine::new(EngineConfig::default()).run(&[query], &[data], &queue);
+/// assert_eq!(report.total_matches, 1);
+/// ```
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Self { config }
+    }
+
+    /// Creates an engine with default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(EngineConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on pre-batched inputs.
+    pub fn run_batched(&self, queries: &CsrGo, data: &CsrGo, queue: &Queue) -> RunReport {
+        let cfg = &self.config;
+        assert!(cfg.refinement_iterations >= 1, "need ≥ 1 iteration");
+
+        // ❷ allocate candidates + signature state.
+        let t0 = Instant::now();
+        let bitmap = CandidateBitmap::new(queries.num_nodes(), data.num_nodes(), cfg.bitmap_word);
+        let mut query_sigs = SignatureSet::new(queries, cfg.schema.clone());
+        let mut data_sigs = SignatureSet::new(data, cfg.schema.clone());
+        // Figure 2's input arrows: queries + molecules move host → device.
+        queue.record_transfer(
+            "h2d_graphs",
+            (queries.memory_bytes() + data.memory_bytes()) as u64,
+            0,
+        );
+        let setup = t0.elapsed();
+
+        // ❸–❹ filter.
+        let t1 = Instant::now();
+        initialize_candidates(queue, queries, data, &bitmap, cfg.filter_work_group_size);
+        let mut iterations = Vec::with_capacity(cfg.refinement_iterations);
+        iterations.push(IterationStats {
+            iteration: 1,
+            candidates: CandidateStats::from_bitmap(&bitmap),
+            pruned: 0,
+        });
+        for it in 2..=cfg.refinement_iterations {
+            query_sigs.advance(queries);
+            data_sigs.advance(data);
+            let pruned = refine_candidates(
+                queue,
+                queries,
+                data,
+                &query_sigs,
+                &data_sigs,
+                &bitmap,
+                cfg.filter_work_group_size,
+            );
+            iterations.push(IterationStats {
+                iteration: it,
+                candidates: CandidateStats::from_bitmap(&bitmap),
+                pruned,
+            });
+        }
+        let filter = t1.elapsed();
+
+        // ❺ mapping.
+        let t2 = Instant::now();
+        let gmcr = Gmcr::build(queue, queries, data, &bitmap, cfg.filter_work_group_size);
+        let mapping = t2.elapsed();
+
+        // ❻ join.
+        let t3 = Instant::now();
+        let plans: Vec<QueryPlan> = (0..queries.num_graphs())
+            .map(|qg| match cfg.join_order {
+                JoinOrder::MaxDegree => QueryPlan::build(queries, qg, cfg.induced),
+                JoinOrder::MinCandidates => {
+                    let start = queries
+                        .node_range(qg)
+                        .min_by_key(|&v| bitmap.row_count(v as usize))
+                        .expect("non-empty query graph");
+                    QueryPlan::build_from(queries, qg, cfg.induced, start as NodeId)
+                }
+            })
+            .collect();
+        let params = JoinParams {
+            mode: cfg.mode,
+            work_group_size: cfg.join_work_group_size,
+            induced: cfg.induced,
+            collect_limit: cfg.collect_limit,
+        };
+        let outcome = join(queue, queries, data, &bitmap, &gmcr, &plans, &params);
+        // Figure 2's output arrow: matched-pair flags (and any collected
+        // embeddings) move device → host.
+        queue.record_transfer(
+            "d2h_matches",
+            0,
+            gmcr.num_pairs() as u64
+                + outcome
+                    .records
+                    .iter()
+                    .map(|r| r.mapping.len() as u64 * 4)
+                    .sum::<u64>(),
+        );
+        let join_t = t3.elapsed();
+
+        RunReport {
+            total_matches: outcome.total_matches,
+            matched_pairs: outcome.matched_pairs,
+            matched_pair_list: gmcr.matched_pairs(),
+            records: outcome.records,
+            iterations,
+            timings: PhaseTimings {
+                setup,
+                filter,
+                mapping,
+                join: join_t,
+            },
+            gmcr_pairs: gmcr.num_pairs(),
+            bitmap_bytes: bitmap.memory_bytes(),
+            graph_bytes: queries.memory_bytes() + data.memory_bytes(),
+            signature_bytes: (queries.num_nodes() + data.num_nodes()) * 8,
+        }
+    }
+
+    /// Convenience: batches the graph lists and runs.
+    pub fn run(
+        &self,
+        query_graphs: &[LabeledGraph],
+        data_graphs: &[LabeledGraph],
+        queue: &Queue,
+    ) -> RunReport {
+        let queries = CsrGo::from_graphs(query_graphs);
+        let data = CsrGo::from_graphs(data_graphs);
+        self.run_batched(&queries, &data, queue)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmo_device::DeviceProfile;
+    use sigmo_graph::LabeledGraph;
+
+    fn queue() -> Queue {
+        Queue::new(DeviceProfile::host())
+    }
+
+    fn labeled(labels: &[u8], edges: &[(u32, u32, u8)]) -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        for &l in labels {
+            g.add_node(l);
+        }
+        for &(a, b, l) in edges {
+            g.add_edge(a, b, l).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn end_to_end_tiny() {
+        // Query C-O; data: ethanol-ish heavy skeleton C-C-O and methane C.
+        let q = labeled(&[1, 3], &[(0, 1, 1)]);
+        let d0 = labeled(&[1, 1, 3], &[(0, 1, 1), (1, 2, 1)]);
+        let d1 = labeled(&[1], &[]);
+        let engine = Engine::with_defaults();
+        let report = engine.run(&[q], &[d0, d1], &queue());
+        assert_eq!(report.total_matches, 1);
+        assert_eq!(report.matched_pair_list, vec![(0, 0)]);
+        assert_eq!(report.iterations.len(), 6);
+    }
+
+    #[test]
+    fn candidate_totals_shrink_monotonically() {
+        let q = labeled(&[1, 3], &[(0, 1, 1)]);
+        let d: Vec<LabeledGraph> = (0..10)
+            .map(|i| {
+                if i % 2 == 0 {
+                    labeled(&[1, 1, 3], &[(0, 1, 1), (1, 2, 1)])
+                } else {
+                    labeled(&[1, 1], &[(0, 1, 1)])
+                }
+            })
+            .collect();
+        let report = Engine::new(EngineConfig::with_iterations(5)).run(&[q], &d, &queue());
+        for w in report.iterations.windows(2) {
+            assert!(
+                w[1].candidates.total <= w[0].candidates.total,
+                "iteration {} grew candidates",
+                w[1].iteration
+            );
+        }
+    }
+
+    #[test]
+    fn more_iterations_never_change_match_count() {
+        let q = labeled(&[1, 3, 0], &[(0, 1, 1), (0, 2, 1)]);
+        let d = labeled(
+            &[1, 3, 0, 0, 1],
+            &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (0, 4, 1)],
+        );
+        let base = Engine::new(EngineConfig::with_iterations(1))
+            .run(&[q.clone()], &[d.clone()], &queue())
+            .total_matches;
+        for iters in 2..=6 {
+            let m = Engine::new(EngineConfig::with_iterations(iters))
+                .run(&[q.clone()], &[d.clone()], &queue())
+                .total_matches;
+            assert_eq!(m, base, "filter changed results at {iters} iterations");
+        }
+    }
+
+    #[test]
+    fn find_first_pairs_match_find_all_pairs() {
+        let q0 = labeled(&[1, 3], &[(0, 1, 1)]);
+        let q1 = labeled(&[1, 2], &[(0, 1, 1)]);
+        let data: Vec<LabeledGraph> = vec![
+            labeled(&[1, 3, 2], &[(0, 1, 1), (0, 2, 1)]),
+            labeled(&[1, 3], &[(0, 1, 1)]),
+            labeled(&[1, 0], &[(0, 1, 1)]),
+        ];
+        let qs = [q0, q1];
+        let all = Engine::new(EngineConfig::default()).run(&qs, &data, &queue());
+        let first = Engine::new(EngineConfig::find_first()).run(&qs, &data, &queue());
+        assert_eq!(all.matched_pair_list, first.matched_pair_list);
+        assert!(first.total_matches <= all.total_matches);
+    }
+
+    #[test]
+    fn report_memory_accounting_nonzero() {
+        let q = labeled(&[1, 3], &[(0, 1, 1)]);
+        let d = labeled(&[1, 3], &[(0, 1, 1)]);
+        let report = Engine::with_defaults().run(&[q], &[d], &queue());
+        assert!(report.bitmap_bytes > 0);
+        assert!(report.graph_bytes > 0);
+        assert!(report.signature_bytes > 0);
+    }
+
+    #[test]
+    fn throughput_is_finite_and_consistent() {
+        let q = labeled(&[1, 1], &[(0, 1, 1)]);
+        let d = labeled(&[1, 1, 1], &[(0, 1, 1), (1, 2, 1)]);
+        let report = Engine::with_defaults().run(&[q], &[d], &queue());
+        assert!(report.throughput().is_finite());
+        assert_eq!(report.total_matches, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 1 iteration")]
+    fn zero_iterations_rejected() {
+        let q = labeled(&[1], &[]);
+        Engine::new(EngineConfig::with_iterations(0)).run(&[q.clone()], &[q], &queue());
+    }
+}
+
+#[cfg(test)]
+mod nlsm_tests {
+    use super::*;
+    use sigmo_device::DeviceProfile;
+    use sigmo_graph::LabeledGraph;
+
+    #[test]
+    fn node_sets_collapse_automorphic_embeddings() {
+        // C6 ring query in a C6 ring data graph: 12 embeddings, 1 node set.
+        let ring: Vec<(u32, u32)> = (0..6).map(|i| (i, (i + 1) % 6)).collect();
+        let mut q = LabeledGraph::with_uniform_labels(6, 1);
+        for &(a, b) in &ring {
+            q.add_edge(a, b, 1).unwrap();
+        }
+        let d = q.clone();
+        let engine = Engine::new(EngineConfig {
+            collect_limit: Some(1000),
+            ..Default::default()
+        });
+        let report = engine.run(&[q], &[d], &Queue::new(DeviceProfile::host()));
+        assert_eq!(report.total_matches, 12);
+        let sets = report.distinct_match_sets();
+        assert_eq!(sets.len(), 1, "NLSM output is one node set");
+        assert_eq!(sets[0].2, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn node_sets_distinguish_distinct_sites() {
+        // CH2 pattern C(-H)(-H): in CH4 the 4 hydrogens give C(4,2)=6
+        // two-H subsets × 2 orderings = 12 embeddings, 6 node sets.
+        let mut q = LabeledGraph::new();
+        let c = q.add_node(1);
+        let h1 = q.add_node(0);
+        let h2 = q.add_node(0);
+        q.add_edge(c, h1, 1).unwrap();
+        q.add_edge(c, h2, 1).unwrap();
+        let mut d = LabeledGraph::new();
+        let dc = d.add_node(1);
+        for _ in 0..4 {
+            let h = d.add_node(0);
+            d.add_edge(dc, h, 1).unwrap();
+        }
+        let engine = Engine::new(EngineConfig {
+            collect_limit: Some(1000),
+            ..Default::default()
+        });
+        let report = engine.run(&[q], &[d], &Queue::new(DeviceProfile::host()));
+        assert_eq!(report.total_matches, 12);
+        assert_eq!(report.distinct_match_sets().len(), 6);
+    }
+
+    #[test]
+    fn transfer_records_appear_in_queue_log() {
+        let q = LabeledGraph::from_edges(&[1, 1], &[(0, 1)]).unwrap();
+        let queue = Queue::new(DeviceProfile::host());
+        Engine::with_defaults().run(std::slice::from_ref(&q), &[q.clone()], &queue);
+        let recs = queue.records();
+        let transfers: Vec<_> = recs.iter().filter(|r| r.phase == "transfer").collect();
+        assert_eq!(transfers.len(), 2, "h2d at setup, d2h at the end");
+        assert!(transfers[0].counters.bytes_read > 0, "inputs move h2d");
+    }
+}

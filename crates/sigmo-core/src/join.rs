@@ -1,0 +1,615 @@
+//! The join phase: stack-based DFS backtracking (§4.6).
+//!
+//! Each data graph is assigned to a work-group; its work-items iterate over
+//! the query graphs the GMCR mapped to it. GPU hardware has no recursion,
+//! so the DFS runs on an explicit per-work-item stack whose depth is
+//! bounded by the query size (≤ 30 nodes). Candidates are confined to the
+//! data graph's node range via the CSR-GO graph offsets; edge labels (bond
+//! orders) are checked during expansion, and wildcard bonds match anything.
+
+use crate::candidates::CandidateBitmap;
+use crate::mapping::Gmcr;
+use parking_lot::Mutex;
+use sigmo_device::Queue;
+use sigmo_graph::{CsrGo, EdgeLabel, NodeId, WILDCARD_EDGE};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const INVALID: NodeId = NodeId::MAX;
+
+/// How the matcher treats each (query graph, data graph) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinMode {
+    /// Enumerate every embedding (node-to-node matches).
+    FindAll,
+    /// Stop at the first embedding per pair (graph-to-graph matches).
+    FindFirst,
+}
+
+/// One enumerated embedding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchRecord {
+    /// Index of the data graph.
+    pub data_graph: usize,
+    /// Index of the query graph.
+    pub query_graph: usize,
+    /// For each query-local node, the *global* data node it maps to.
+    pub mapping: Vec<NodeId>,
+}
+
+/// Result of the join phase.
+#[derive(Debug)]
+pub struct JoinOutcome {
+    /// Total embeddings found (Find All) or pairs matched (Find First).
+    pub total_matches: u64,
+    /// Number of (data graph, query graph) pairs with ≥ 1 match.
+    pub matched_pairs: u64,
+    /// Collected embeddings, if a collection limit was set. Enumeration is
+    /// not truncated by the limit — only collection is.
+    pub records: Vec<MatchRecord>,
+}
+
+/// Host-precomputed matching order for one query graph.
+///
+/// The order is a BFS from the highest-degree query node, so every node
+/// after the first has at least one earlier neighbor (the *anchor*): its
+/// candidates are enumerated from the anchor image's adjacency list rather
+/// than the whole data graph.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// Query-local node ids in matching order.
+    order: Vec<u32>,
+    /// For position `k > 0`: the order-position of the anchor parent.
+    anchor: Vec<u32>,
+    /// For position `k`: earlier order-positions adjacent in the query,
+    /// with the required edge label.
+    checks: Vec<Vec<(u32, EdgeLabel)>>,
+    /// For position `k`: earlier order-positions NOT adjacent in the query
+    /// (only populated when induced matching is requested).
+    non_edges: Vec<Vec<u32>>,
+}
+
+impl QueryPlan {
+    /// Builds the plan for query graph `qg` of `queries`, starting the BFS
+    /// order at the max-degree node (most structurally constrained first —
+    /// the default heuristic).
+    pub fn build(queries: &CsrGo, qg: usize, induced: bool) -> Self {
+        let range = queries.node_range(qg);
+        let start = range.clone().max_by_key(|&v| queries.degree(v)).unwrap();
+        Self::build_from(queries, qg, induced, start)
+    }
+
+    /// Builds the plan starting the BFS order at an explicit query node —
+    /// used by the min-candidates ordering extension, where the engine
+    /// starts at the node with the fewest surviving candidates.
+    pub fn build_from(queries: &CsrGo, qg: usize, induced: bool, start: NodeId) -> Self {
+        let range = queries.node_range(qg);
+        let base = range.start;
+        let n = (range.end - range.start) as usize;
+        assert!(n > 0, "empty query graph {qg}");
+        assert!(range.contains(&start), "start node outside query graph");
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+        let mut pos_of: Vec<u32> = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(start);
+        pos_of[(start - base) as usize] = 0;
+        while let Some(v) = queue.pop_front() {
+            let pos = order.len() as u32;
+            pos_of[(v - base) as usize] = pos;
+            order.push(v - base);
+            for &u in queries.neighbors(v) {
+                let lu = (u - base) as usize;
+                if pos_of[lu] == u32::MAX {
+                    pos_of[lu] = u32::MAX - 1; // enqueued sentinel
+                    queue.push_back(u);
+                }
+            }
+        }
+        assert_eq!(
+            order.len(),
+            n,
+            "query graph {qg} must be connected (the paper excludes disconnected patterns)"
+        );
+        let mut anchor = vec![0u32; n];
+        let mut checks: Vec<Vec<(u32, EdgeLabel)>> = vec![Vec::new(); n];
+        let mut non_edges: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for k in 1..n {
+            let v = base + order[k];
+            let mut first = u32::MAX;
+            for (i, &u) in queries.neighbors(v).iter().enumerate() {
+                let p = pos_of[(u - base) as usize];
+                if p < k as u32 {
+                    if p < first {
+                        first = p;
+                    }
+                    checks[k].push((p, queries.neighbor_edge_labels(v)[i]));
+                }
+            }
+            debug_assert_ne!(first, u32::MAX, "BFS order guarantees an earlier neighbor");
+            anchor[k] = first;
+            if induced {
+                let adjacent: Vec<u32> = checks[k].iter().map(|&(p, _)| p).collect();
+                for p in 0..k as u32 {
+                    if !adjacent.contains(&p) {
+                        non_edges[k].push(p);
+                    }
+                }
+            }
+        }
+        Self {
+            order,
+            anchor,
+            checks,
+            non_edges,
+        }
+    }
+
+    /// Number of query nodes.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Query-local node id at order position `k`.
+    pub fn order_slot(&self, k: usize) -> u32 {
+        self.order[k]
+    }
+
+    /// Anchor order-position for position `k > 0`.
+    pub fn anchor_slot(&self, k: usize) -> u32 {
+        self.anchor[k]
+    }
+
+    /// Edge checks (earlier order-position, required edge label) at
+    /// position `k`.
+    pub fn checks_at(&self, k: usize) -> &[(u32, EdgeLabel)] {
+        &self.checks[k]
+    }
+
+    /// True when the plan covers no nodes (never constructed in practice).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+/// Configuration of one join launch.
+#[derive(Debug, Clone)]
+pub struct JoinParams {
+    /// Find All or Find First.
+    pub mode: JoinMode,
+    /// Work-group size (Table 1's join tunable; affects modeled cost only).
+    pub work_group_size: usize,
+    /// Strict induced matching (extension; the paper and default use
+    /// substructure/monomorphism semantics).
+    pub induced: bool,
+    /// Collect at most this many embeddings (None = count only).
+    pub collect_limit: Option<usize>,
+}
+
+impl Default for JoinParams {
+    fn default() -> Self {
+        Self {
+            mode: JoinMode::FindAll,
+            work_group_size: 128,
+            induced: false,
+            collect_limit: None,
+        }
+    }
+}
+
+/// Runs the join over all GMCR pairs. `plans[qg]` must hold the plan of
+/// query graph `qg` built with the same `induced` flag.
+pub fn join(
+    queue: &Queue,
+    queries: &CsrGo,
+    data: &CsrGo,
+    bitmap: &CandidateBitmap,
+    gmcr: &Gmcr,
+    plans: &[QueryPlan],
+    params: &JoinParams,
+) -> JoinOutcome {
+    let total = AtomicU64::new(0);
+    let pairs_matched = AtomicU64::new(0);
+    let collected: Mutex<Vec<MatchRecord>> = Mutex::new(Vec::new());
+    let limit = params.collect_limit.unwrap_or(0);
+
+    queue.parallel_for_work_group(
+        "join",
+        "join",
+        data.num_graphs(),
+        params.work_group_size,
+        0,
+        |ctx| {
+            let dg = ctx.group_id;
+            let drange = data.node_range(dg);
+            let mut steps = 0u64;
+            for (k, &qg) in gmcr.queries_for(dg).iter().enumerate() {
+                let plan = &plans[qg as usize];
+                let mut found_any = false;
+                let n_matches = dfs_pair(
+                    data,
+                    bitmap,
+                    queries.node_range(qg as usize).start,
+                    plan,
+                    drange.start,
+                    drange.end,
+                    params,
+                    dg,
+                    qg as usize,
+                    &collected,
+                    limit,
+                    &mut steps,
+                    &mut found_any,
+                );
+                if found_any {
+                    gmcr.mark_matched(gmcr.pair_index(dg, k));
+                    pairs_matched.fetch_add(1, Ordering::Relaxed);
+                }
+                total.fetch_add(n_matches, Ordering::Relaxed);
+                ctx.counters.record_trips(n_matches + 1);
+            }
+            // A DFS step on a GPU is expensive: an uncoalesced candidate
+            // fetch, a bitmap probe, an injectivity scan over the mapped
+            // prefix, and binary-searched edge-label checks — each touching
+            // scattered cache lines (the paper's join is memory-bottlenecked
+            // by "irregular access patterns required to read the query and
+            // data graphs", §5.1.3).
+            ctx.counters.add_instructions(steps * 100);
+            ctx.counters.add_bytes_read(steps * 200);
+        },
+    );
+
+    JoinOutcome {
+        total_matches: total.load(Ordering::Relaxed),
+        matched_pairs: pairs_matched.load(Ordering::Relaxed),
+        records: collected.into_inner(),
+    }
+}
+
+/// Explicit-stack DFS for one (query graph, data graph) pair. Returns the
+/// number of embeddings found (1 max in FindFirst mode).
+#[allow(clippy::too_many_arguments)]
+fn dfs_pair(
+    data: &CsrGo,
+    bitmap: &CandidateBitmap,
+    q_base: NodeId,
+    plan: &QueryPlan,
+    d_lo: NodeId,
+    d_hi: NodeId,
+    params: &JoinParams,
+    dg: usize,
+    qg: usize,
+    collected: &Mutex<Vec<MatchRecord>>,
+    limit: usize,
+    steps: &mut u64,
+    found_any: &mut bool,
+) -> u64 {
+    let qlen = plan.len();
+    if qlen as u32 > d_hi - d_lo {
+        return 0; // query larger than the data graph
+    }
+    // mapping[k] = global data node for the query node at order position k.
+    let mut mapping: Vec<NodeId> = vec![INVALID; qlen];
+    // cursors[k]: next candidate index to try at depth k. Depth 0 scans the
+    // data graph's node range; depth > 0 scans the anchor image's adjacency.
+    let mut cursors: Vec<u32> = vec![0; qlen];
+    let mut matches = 0u64;
+    let mut depth = 0usize;
+    loop {
+        *steps += 1;
+        let cand = next_candidate(
+            data, bitmap, q_base, plan, d_lo, d_hi, &mapping, &mut cursors, depth, params,
+        );
+        match cand {
+            Some(d) => {
+                mapping[depth] = d;
+                if depth + 1 == qlen {
+                    matches += 1;
+                    *found_any = true;
+                    if limit > 0 {
+                        let mut guard = collected.lock();
+                        if guard.len() < limit {
+                            // Reorder mapping to query-local node order.
+                            let mut by_node = vec![INVALID; qlen];
+                            for (k, &dn) in mapping.iter().enumerate() {
+                                by_node[plan.order[k] as usize] = dn;
+                            }
+                            guard.push(MatchRecord {
+                                data_graph: dg,
+                                query_graph: qg,
+                                mapping: by_node,
+                            });
+                        }
+                    }
+                    mapping[depth] = INVALID;
+                    if params.mode == JoinMode::FindFirst {
+                        return matches;
+                    }
+                    // stay at this depth, keep scanning candidates
+                } else {
+                    depth += 1;
+                    cursors[depth] = 0;
+                }
+            }
+            None => {
+                mapping[depth] = INVALID;
+                if depth == 0 {
+                    return matches;
+                }
+                depth -= 1;
+                mapping[depth] = INVALID;
+            }
+        }
+    }
+}
+
+/// Finds the next valid candidate at `depth`, advancing the cursor.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn next_candidate(
+    data: &CsrGo,
+    bitmap: &CandidateBitmap,
+    q_base: NodeId,
+    plan: &QueryPlan,
+    d_lo: NodeId,
+    d_hi: NodeId,
+    mapping: &[NodeId],
+    cursors: &mut [u32],
+    depth: usize,
+    params: &JoinParams,
+) -> Option<NodeId> {
+    let q_node = (q_base + plan.order[depth]) as usize;
+    if depth == 0 {
+        // Scan the data graph's node range.
+        loop {
+            let d = d_lo + cursors[0];
+            if d >= d_hi {
+                return None;
+            }
+            cursors[0] += 1;
+            if bitmap.get(q_node, d as usize) {
+                return Some(d);
+            }
+        }
+    }
+    let anchor_img = mapping[plan.anchor[depth] as usize];
+    let nbrs = data.neighbors(anchor_img);
+    'next: loop {
+        let i = cursors[depth] as usize;
+        if i >= nbrs.len() {
+            return None;
+        }
+        cursors[depth] += 1;
+        let d = nbrs[i];
+        if !bitmap.get(q_node, d as usize) {
+            continue;
+        }
+        // Injectivity.
+        if mapping[..depth].contains(&d) {
+            continue;
+        }
+        // All earlier query neighbors must have a compatible data edge.
+        for &(p, ql) in &plan.checks[depth] {
+            match data.edge_label(mapping[p as usize], d) {
+                Some(dl) => {
+                    if ql != WILDCARD_EDGE && ql != dl {
+                        continue 'next;
+                    }
+                }
+                None => continue 'next,
+            }
+        }
+        // Induced mode: earlier non-neighbors must have NO data edge.
+        if params.induced {
+            for &p in &plan.non_edges[depth] {
+                if data.has_edge(mapping[p as usize], d) {
+                    continue 'next;
+                }
+            }
+        }
+        return Some(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::WordWidth;
+    use crate::filter::initialize_candidates;
+    use sigmo_device::DeviceProfile;
+    use sigmo_graph::LabeledGraph;
+
+    fn queue() -> Queue {
+        Queue::new(DeviceProfile::host())
+    }
+
+    /// Runs the full init→map→join pipeline with no refinement.
+    fn run(
+        query_graphs: &[LabeledGraph],
+        data_graphs: &[LabeledGraph],
+        params: JoinParams,
+    ) -> (JoinOutcome, Vec<(usize, usize)>) {
+        let queries = CsrGo::from_graphs(query_graphs);
+        let data = CsrGo::from_graphs(data_graphs);
+        let q = queue();
+        let bm = CandidateBitmap::new(queries.num_nodes(), data.num_nodes(), WordWidth::U64);
+        initialize_candidates(&q, &queries, &data, &bm, 64);
+        let gmcr = Gmcr::build(&q, &queries, &data, &bm, 64);
+        let plans: Vec<QueryPlan> = (0..queries.num_graphs())
+            .map(|qg| QueryPlan::build(&queries, qg, params.induced))
+            .collect();
+        let out = join(&q, &queries, &data, &bm, &gmcr, &plans, &params);
+        let matched = gmcr.matched_pairs();
+        (out, matched)
+    }
+
+    fn labeled(labels: &[u8], edges: &[(u32, u32, u8)]) -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        for &l in labels {
+            g.add_node(l);
+        }
+        for &(a, b, l) in edges {
+            g.add_edge(a, b, l).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn single_edge_query_counts_both_orientations() {
+        // Query C-C in data C-C: two embeddings (the automorphism).
+        let q = labeled(&[1, 1], &[(0, 1, 1)]);
+        let d = labeled(&[1, 1], &[(0, 1, 1)]);
+        let (out, matched) = run(&[q], &[d], JoinParams::default());
+        assert_eq!(out.total_matches, 2);
+        assert_eq!(matched, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn label_mismatch_yields_nothing() {
+        let q = labeled(&[1, 2], &[(0, 1, 1)]); // C-N
+        let d = labeled(&[1, 3], &[(0, 1, 1)]); // C-O
+        let (out, matched) = run(&[q], &[d], JoinParams::default());
+        assert_eq!(out.total_matches, 0);
+        assert!(matched.is_empty());
+    }
+
+    #[test]
+    fn path_in_triangle_monomorphism_count() {
+        // Query: path C-C-C; data: triangle C3. Monomorphism embeddings:
+        // 3 choices of middle × 2 orientations = 6.
+        let q = labeled(&[1, 1, 1], &[(0, 1, 1), (1, 2, 1)]);
+        let d = labeled(&[1, 1, 1], &[(0, 1, 1), (1, 2, 1), (0, 2, 1)]);
+        let (out, _) = run(&[q], &[d], JoinParams::default());
+        assert_eq!(out.total_matches, 6);
+    }
+
+    #[test]
+    fn induced_mode_rejects_path_in_triangle() {
+        // Induced semantics forbids the extra data edge between the path's
+        // endpoints.
+        let q = labeled(&[1, 1, 1], &[(0, 1, 1), (1, 2, 1)]);
+        let d = labeled(&[1, 1, 1], &[(0, 1, 1), (1, 2, 1), (0, 2, 1)]);
+        let params = JoinParams {
+            induced: true,
+            ..Default::default()
+        };
+        let (out, _) = run(&[q], &[d], params);
+        assert_eq!(out.total_matches, 0);
+    }
+
+    #[test]
+    fn edge_labels_constrain_matches() {
+        // Query C=O (double bond). Data has C=O and C-O.
+        let q = labeled(&[1, 3], &[(0, 1, 2)]);
+        let d_double = labeled(&[1, 3], &[(0, 1, 2)]);
+        let d_single = labeled(&[1, 3], &[(0, 1, 1)]);
+        let (out, matched) = run(&[q], &[d_double.clone(), d_single], JoinParams::default());
+        assert_eq!(out.total_matches, 1);
+        assert_eq!(matched, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn wildcard_edge_matches_any_bond_order() {
+        let q = labeled(&[1, 3], &[(0, 1, WILDCARD_EDGE)]);
+        let d_double = labeled(&[1, 3], &[(0, 1, 2)]);
+        let d_single = labeled(&[1, 3], &[(0, 1, 1)]);
+        let (out, matched) = run(&[q], &[d_double, d_single], JoinParams::default());
+        assert_eq!(out.total_matches, 2);
+        assert_eq!(matched.len(), 2);
+    }
+
+    #[test]
+    fn find_first_reports_pairs_not_embeddings() {
+        // Benzene-like C6 ring query in a C6 ring data graph has 12
+        // automorphic embeddings; FindFirst reports exactly 1.
+        let ring = |n: usize| {
+            let labels = vec![1u8; n];
+            let edges: Vec<(u32, u32, u8)> = (0..n)
+                .map(|i| (i as u32, ((i + 1) % n) as u32, 1))
+                .collect();
+            labeled(&labels, &edges)
+        };
+        let q = ring(6);
+        let d = ring(6);
+        let all = run(&[q.clone()], &[d.clone()], JoinParams::default()).0;
+        assert_eq!(all.total_matches, 12);
+        let first = run(
+            &[q],
+            &[d],
+            JoinParams {
+                mode: JoinMode::FindFirst,
+                ..Default::default()
+            },
+        )
+        .0;
+        assert_eq!(first.total_matches, 1);
+        assert_eq!(first.matched_pairs, 1);
+    }
+
+    #[test]
+    fn collected_records_are_valid_embeddings() {
+        let q = labeled(&[1, 3, 0], &[(0, 1, 1), (0, 2, 1)]);
+        let d = labeled(&[1, 3, 0, 0], &[(0, 1, 1), (0, 2, 1), (0, 3, 1)]);
+        let params = JoinParams {
+            collect_limit: Some(100),
+            ..Default::default()
+        };
+        let query_graphs = [q.clone()];
+        let data_graphs = [d.clone()];
+        let (out, _) = run(&query_graphs, &data_graphs, params);
+        assert_eq!(out.total_matches, 2); // two H choices
+        assert_eq!(out.records.len(), 2);
+        for rec in &out.records {
+            assert!(
+                d.is_valid_embedding(&q, &rec.mapping),
+                "invalid embedding {rec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn collect_limit_truncates_collection_not_count() {
+        let q = labeled(&[1, 0], &[(0, 1, 1)]);
+        // CH4-like star: 4 embeddings.
+        let d = labeled(&[1, 0, 0, 0, 0], &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (0, 4, 1)]);
+        let params = JoinParams {
+            collect_limit: Some(2),
+            ..Default::default()
+        };
+        let (out, _) = run(&[q], &[d], params);
+        assert_eq!(out.total_matches, 4);
+        assert_eq!(out.records.len(), 2);
+    }
+
+    #[test]
+    fn query_larger_than_data_graph_is_skipped() {
+        let q = labeled(&[1, 1, 1], &[(0, 1, 1), (1, 2, 1)]);
+        let d = labeled(&[1, 1], &[(0, 1, 1)]);
+        let (out, _) = run(&[q], &[d], JoinParams::default());
+        assert_eq!(out.total_matches, 0);
+    }
+
+    #[test]
+    fn multiple_data_graphs_are_independent() {
+        let q = labeled(&[1, 3], &[(0, 1, 1)]);
+        let d0 = labeled(&[1, 3], &[(0, 1, 1)]);
+        let d1 = labeled(&[1, 3], &[(0, 1, 1)]);
+        let d2 = labeled(&[1, 2], &[(0, 1, 1)]);
+        let (out, matched) = run(&[q], &[d0, d1, d2], JoinParams::default());
+        assert_eq!(out.total_matches, 2);
+        assert_eq!(matched, vec![(0, 0), (1, 0)]);
+    }
+
+    #[test]
+    fn plan_order_starts_at_max_degree_and_stays_connected() {
+        // Star with center node 2.
+        let g = labeled(&[0, 0, 1, 0], &[(2, 0, 1), (2, 1, 1), (2, 3, 1)]);
+        let queries = CsrGo::from_graphs(&[g]);
+        let plan = QueryPlan::build(&queries, 0, false);
+        assert_eq!(plan.order[0], 2, "max-degree node first");
+        assert_eq!(plan.len(), 4);
+        // Every later node's anchor precedes it.
+        for k in 1..plan.len() {
+            assert!((plan.anchor[k] as usize) < k);
+            assert!(!plan.checks[k].is_empty());
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! BFS-expansion join: the alternative traversal strategy the paper
+//! evaluated and rejected (§4.6).
+//!
+//! "While BFS generates multiple partial matches at each level — leading
+//! to an exponential increase in memory usage — DFS constructs only a
+//! single partial match per step, enabling more efficient memory usage."
+//!
+//! This implementation materializes the full partial-match frontier per
+//! level so the memory blow-up is measurable: [`BfsJoinOutcome`] reports
+//! the peak number of partial matches held at once, which the DFS join
+//! bounds at *one* per work-item. The ablation bench and tests compare the
+//! two directly.
+
+use crate::candidates::CandidateBitmap;
+use crate::join::QueryPlan;
+use crate::mapping::Gmcr;
+use sigmo_device::Queue;
+use sigmo_graph::{CsrGo, NodeId, WILDCARD_EDGE};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Result of a BFS-expansion join.
+#[derive(Debug)]
+pub struct BfsJoinOutcome {
+    /// Total embeddings found (must equal the DFS join's count).
+    pub total_matches: u64,
+    /// Peak partial matches materialized simultaneously across all pairs —
+    /// the memory cost DFS avoids.
+    pub peak_partial_matches: u64,
+    /// Total partial-match rows ever materialized.
+    pub total_partial_matches: u64,
+}
+
+/// Runs the BFS-expansion join over the GMCR pairs. Semantically identical
+/// to [`crate::join::join`] in Find All monomorphism mode; exists to
+/// quantify §4.6's memory argument.
+pub fn join_bfs(
+    queue: &Queue,
+    queries: &CsrGo,
+    data: &CsrGo,
+    bitmap: &CandidateBitmap,
+    gmcr: &Gmcr,
+    plans: &[QueryPlan],
+    work_group_size: usize,
+) -> BfsJoinOutcome {
+    let total = AtomicU64::new(0);
+    let peak = AtomicU64::new(0);
+    let rows_ever = AtomicU64::new(0);
+
+    queue.parallel_for_work_group(
+        "join_bfs",
+        "join",
+        data.num_graphs(),
+        work_group_size,
+        0,
+        |ctx| {
+            let dg = ctx.group_id;
+            let drange = data.node_range(dg);
+            for &qg in gmcr.queries_for(dg) {
+                let plan = &plans[qg as usize];
+                let qlen = plan.len();
+                if qlen as u32 > drange.end - drange.start {
+                    continue;
+                }
+                let q_base = queries.node_range(qg as usize).start;
+                // Level 0: candidates of the first ordered query node.
+                let q0 = (q_base + plan.order_slot(0)) as usize;
+                let mut frontier: Vec<Vec<NodeId>> = bitmap
+                    .iter_row_range(q0, drange.start as usize, drange.end as usize)
+                    .map(|d| vec![d as NodeId])
+                    .collect();
+                let mut local_peak = frontier.len() as u64;
+                let mut local_rows = frontier.len() as u64;
+                for depth in 1..qlen {
+                    let q_node = (q_base + plan.order_slot(depth)) as usize;
+                    let mut next: Vec<Vec<NodeId>> = Vec::new();
+                    for row in &frontier {
+                        let anchor = row[plan.anchor_slot(depth) as usize];
+                        for &d in data.neighbors(anchor) {
+                            if !bitmap.get(q_node, d as usize) || row.contains(&d) {
+                                continue;
+                            }
+                            let ok = plan.checks_at(depth).iter().all(|&(p, ql)| {
+                                data.edge_label(row[p as usize], d)
+                                    .is_some_and(|dl| ql == WILDCARD_EDGE || ql == dl)
+                            });
+                            if ok {
+                                let mut r = row.clone();
+                                r.push(d);
+                                next.push(r);
+                            }
+                        }
+                    }
+                    local_rows += next.len() as u64;
+                    local_peak = local_peak.max((frontier.len() + next.len()) as u64);
+                    frontier = next;
+                    if frontier.is_empty() {
+                        break;
+                    }
+                }
+                total.fetch_add(frontier.len() as u64, Ordering::Relaxed);
+                rows_ever.fetch_add(local_rows, Ordering::Relaxed);
+                peak.fetch_max(local_peak, Ordering::Relaxed);
+                ctx.counters.add_instructions(local_rows * 100);
+                ctx.counters
+                    .add_bytes_read(local_rows * (qlen as u64 * 4 + 200));
+                // BFS writes every materialized row back to memory — the
+                // cost DFS's private stacks avoid.
+                ctx.counters
+                    .add_bytes_written(local_rows * qlen as u64 * 4);
+                ctx.counters.record_trips(local_rows + 1);
+            }
+        },
+    );
+
+    BfsJoinOutcome {
+        total_matches: total.load(Ordering::Relaxed),
+        peak_partial_matches: peak.load(Ordering::Relaxed),
+        total_partial_matches: rows_ever.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::WordWidth;
+    use crate::filter::initialize_candidates;
+    use crate::join::{join, JoinParams};
+    use sigmo_device::DeviceProfile;
+    use sigmo_graph::LabeledGraph;
+
+    fn queue() -> Queue {
+        Queue::new(DeviceProfile::host())
+    }
+
+    fn setup(
+        query_graphs: &[LabeledGraph],
+        data_graphs: &[LabeledGraph],
+    ) -> (CsrGo, CsrGo, CandidateBitmap, Gmcr, Vec<QueryPlan>) {
+        let queries = CsrGo::from_graphs(query_graphs);
+        let data = CsrGo::from_graphs(data_graphs);
+        let q = queue();
+        let bm = CandidateBitmap::new(queries.num_nodes(), data.num_nodes(), WordWidth::U64);
+        initialize_candidates(&q, &queries, &data, &bm, 64);
+        let gmcr = Gmcr::build(&q, &queries, &data, &bm, 64);
+        let plans = (0..queries.num_graphs())
+            .map(|qg| QueryPlan::build(&queries, qg, false))
+            .collect();
+        (queries, data, bm, gmcr, plans)
+    }
+
+    fn labeled(labels: &[u8], edges: &[(u32, u32, u8)]) -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        for &l in labels {
+            g.add_node(l);
+        }
+        for &(a, b, l) in edges {
+            g.add_edge(a, b, l).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn bfs_join_count_equals_dfs_join() {
+        let qs = [
+            labeled(&[1, 3], &[(0, 1, 1)]),
+            labeled(&[1, 1, 1], &[(0, 1, 1), (1, 2, 1)]),
+        ];
+        let ds = [
+            labeled(&[1, 3, 1], &[(0, 1, 1), (0, 2, 1)]),
+            labeled(&[1; 4], &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)]),
+        ];
+        let (queries, data, bm, gmcr, plans) = setup(&qs, &ds);
+        let dfs = join(
+            &queue(),
+            &queries,
+            &data,
+            &bm,
+            &gmcr,
+            &plans,
+            &JoinParams::default(),
+        );
+        let gmcr2 = Gmcr::build(&queue(), &queries, &data, &bm, 64);
+        let bfs = join_bfs(&queue(), &queries, &data, &bm, &gmcr2, &plans, 64);
+        assert_eq!(bfs.total_matches, dfs.total_matches);
+        assert!(bfs.total_matches > 0);
+    }
+
+    #[test]
+    fn bfs_memory_grows_with_automorphisms() {
+        // A uniform ring has many partial matches per level; BFS must
+        // materialize them all at once while DFS never holds more than one.
+        let ring: Vec<(u32, u32, u8)> = (0..8).map(|i| (i, (i + 1) % 8, 1)).collect();
+        let q = labeled(&[1; 8], &ring);
+        let d = labeled(&[1; 8], &ring);
+        let (queries, data, bm, gmcr, plans) = setup(&[q], &[d]);
+        let bfs = join_bfs(&queue(), &queries, &data, &bm, &gmcr, &plans, 64);
+        assert_eq!(bfs.total_matches, 16, "8 rotations × 2 directions");
+        assert!(
+            bfs.peak_partial_matches > bfs.total_matches,
+            "peak {} must exceed the final match count",
+            bfs.peak_partial_matches
+        );
+    }
+
+    #[test]
+    fn bfs_join_empty_when_no_candidates() {
+        let q = labeled(&[2, 2], &[(0, 1, 1)]);
+        let d = labeled(&[1, 1], &[(0, 1, 1)]);
+        let (queries, data, bm, gmcr, plans) = setup(&[q], &[d]);
+        let bfs = join_bfs(&queue(), &queries, &data, &bm, &gmcr, &plans, 64);
+        assert_eq!(bfs.total_matches, 0);
+        assert_eq!(bfs.total_partial_matches, 0);
+    }
+}

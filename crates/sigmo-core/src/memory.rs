@@ -1,0 +1,214 @@
+//! Device-memory accounting (paper §5.1.3).
+//!
+//! The paper reports the footprint of each pipeline structure on its
+//! dataset: candidate bitmaps ≈ 1 GB (80% of the total, predictable as
+//! `|V_Q| × |V_D| / 8` bytes), data graphs ≈ 64 MB, query graphs ≈ 90 KB,
+//! signatures ≈ 128 MB. [`MemoryEstimate`] predicts the same quantities
+//! *before* allocation, which is how Figure 12's out-of-memory point is
+//! detected and how multi-GPU partition sizes would be chosen.
+
+use serde::Serialize;
+use sigmo_graph::{CsrGo, LabeledGraph};
+
+/// Predicted device memory for one engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MemoryEstimate {
+    /// Candidate bitmap bytes: `rows × ceil(cols/64) × 8`.
+    pub bitmap_bytes: u64,
+    /// Query + data CSR-GO bytes.
+    pub graph_bytes: u64,
+    /// Signature array bytes (8 per node) plus the cached BFS frontier
+    /// state (visited bitset + ring, estimated per node).
+    pub signature_bytes: u64,
+    /// GMCR worst case: every pair retained (4 bytes each + offsets).
+    pub gmcr_bytes: u64,
+}
+
+impl MemoryEstimate {
+    /// Total predicted bytes.
+    pub fn total(&self) -> u64 {
+        self.bitmap_bytes + self.graph_bytes + self.signature_bytes + self.gmcr_bytes
+    }
+
+    /// Fraction of the total the candidate bitmap takes (the paper: 80%).
+    pub fn bitmap_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.bitmap_bytes as f64 / self.total() as f64
+        }
+    }
+
+    /// Whether the run fits a device with `device_bytes` of memory.
+    pub fn fits(&self, device_bytes: u64) -> bool {
+        self.total() <= device_bytes
+    }
+}
+
+/// Predicts memory for batched inputs.
+pub fn estimate_batched(queries: &CsrGo, data: &CsrGo) -> MemoryEstimate {
+    let rows = queries.num_nodes() as u64;
+    let cols = data.num_nodes() as u64;
+    let bitmap_bytes = rows * cols.div_ceil(64) * 8;
+    let graph_bytes = (queries.memory_bytes() + data.memory_bytes()) as u64;
+    // 8 bytes per signature + ~24 bytes of frontier state per node.
+    let signature_bytes = (rows + cols) * (8 + 24);
+    let gmcr_bytes =
+        (data.num_graphs() as u64 + 1) * 4 + (data.num_graphs() as u64 * queries.num_graphs() as u64) * 5;
+    MemoryEstimate {
+        bitmap_bytes,
+        graph_bytes,
+        signature_bytes,
+        gmcr_bytes,
+    }
+}
+
+/// Predicts memory for unbatched graph lists.
+pub fn estimate(queries: &[LabeledGraph], data: &[LabeledGraph]) -> MemoryEstimate {
+    estimate_batched(&CsrGo::from_graphs(queries), &CsrGo::from_graphs(data))
+}
+
+/// Exact memory estimate for the base data batch replicated `factor`
+/// times, computed arithmetically (no materialization). Agrees byte-for-
+/// byte with [`estimate_batched`] on the materialized replication.
+pub fn estimate_scaled(queries: &CsrGo, base: &CsrGo, factor: usize) -> MemoryEstimate {
+    let f = factor as u64;
+    let rows = queries.num_nodes() as u64;
+    let n = base.num_nodes() as u64 * f;
+    let m = base.num_edges() as u64 * f;
+    let g = base.num_graphs() as u64 * f;
+    let bitmap_bytes = rows * n.div_ceil(64) * 8;
+    // CSR: row offsets (n+1)×4 + column indices 2m×4 + edge labels 2m +
+    // node labels n; CSR-GO adds graph offsets (g+1)×4.
+    let data_csr = (n + 1) * 4 + 2 * m * 4 + 2 * m + n + (g + 1) * 4;
+    let graph_bytes = queries.memory_bytes() as u64 + data_csr;
+    let signature_bytes = (rows + n) * 32;
+    let gmcr_bytes = (g + 1) * 4 + g * queries.num_graphs() as u64 * 5;
+    MemoryEstimate {
+        bitmap_bytes,
+        graph_bytes,
+        signature_bytes,
+        gmcr_bytes,
+    }
+}
+
+/// Largest dataset scale factor (replication count) that fits a device —
+/// the planning calculation behind Figure 12's x-axis. Returns 0 when even
+/// one copy does not fit.
+pub fn max_scale_factor(
+    queries: &[LabeledGraph],
+    base_data: &[LabeledGraph],
+    device_bytes: u64,
+) -> usize {
+    let q = CsrGo::from_graphs(queries);
+    let base = CsrGo::from_graphs(base_data);
+    let mut factor = 0usize;
+    while factor <= 1 << 20 {
+        if !estimate_scaled(&q, &base, factor + 1).fits(device_bytes) {
+            return factor;
+        }
+        factor += 1;
+    }
+    factor // device effectively unbounded for this input
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmo_graph::random_sparse_graph;
+
+    fn world(n_data: usize) -> (Vec<LabeledGraph>, Vec<LabeledGraph>) {
+        let queries: Vec<LabeledGraph> =
+            (0..10).map(|i| random_sparse_graph(6, 2, 5, i)).collect();
+        let data: Vec<LabeledGraph> = (0..n_data)
+            .map(|i| random_sparse_graph(40, 10, 5, 100 + i as u64))
+            .collect();
+        (queries, data)
+    }
+
+    #[test]
+    fn bitmap_formula_matches_paper_example() {
+        // §5.1.3: 3,413 query nodes × 2,745,872 data nodes ≈ 1.17 GB as
+        // packed bits.
+        let rows = 3413u64;
+        let cols = 2_745_872u64;
+        let bytes = rows * cols.div_ceil(64) * 8;
+        assert!((1.0..1.3).contains(&(bytes as f64 / 1e9)));
+    }
+
+    #[test]
+    fn bitmap_dominates_at_scale() {
+        // Dominance needs a paper-sized query population: with thousands of
+        // query nodes each data node costs rows/8 bitmap bytes, dwarfing
+        // its ~60 bytes of CSR + signature state.
+        let queries: Vec<LabeledGraph> =
+            (0..500).map(|i| random_sparse_graph(7, 2, 5, i)).collect();
+        let data: Vec<LabeledGraph> = (0..100)
+            .map(|i| random_sparse_graph(40, 10, 5, 900 + i as u64))
+            .collect();
+        let est = estimate(&queries, &data);
+        assert!(
+            est.bitmap_fraction() > 0.5,
+            "bitmap fraction {}",
+            est.bitmap_fraction()
+        );
+        assert!(est.total() > 0);
+    }
+
+    #[test]
+    fn scaled_estimate_agrees_with_materialized() {
+        let (queries, data) = world(8);
+        let q = CsrGo::from_graphs(&queries);
+        let base = CsrGo::from_graphs(&data);
+        for f in 1..=4usize {
+            let scaled: Vec<LabeledGraph> =
+                (0..f).flat_map(|_| data.iter().cloned()).collect();
+            let materialized = estimate(&queries, &scaled);
+            let arithmetic = estimate_scaled(&q, &base, f);
+            assert_eq!(arithmetic, materialized, "factor {f}");
+        }
+    }
+
+    #[test]
+    fn estimate_matches_engine_report() {
+        use crate::engine::{Engine, EngineConfig};
+        use sigmo_device::{DeviceProfile, Queue};
+        let (queries, data) = world(20);
+        let est = estimate(&queries, &data);
+        let report = Engine::new(EngineConfig::default()).run(
+            &queries,
+            &data,
+            &Queue::new(DeviceProfile::host()),
+        );
+        assert_eq!(est.bitmap_bytes, report.bitmap_bytes as u64);
+        assert_eq!(est.graph_bytes, report.graph_bytes as u64);
+    }
+
+    #[test]
+    fn fits_is_a_threshold() {
+        let (queries, data) = world(10);
+        let est = estimate(&queries, &data);
+        assert!(est.fits(est.total()));
+        assert!(!est.fits(est.total() - 1));
+    }
+
+    #[test]
+    fn max_scale_factor_is_the_exact_threshold() {
+        let (queries, data) = world(10);
+        let budget = 4u64 << 20; // 4 MiB keeps the sweep short
+        let f = max_scale_factor(&queries, &data, budget);
+        assert!(f >= 1);
+        let q = CsrGo::from_graphs(&queries);
+        let base = CsrGo::from_graphs(&data);
+        assert!(estimate_scaled(&q, &base, f).fits(budget));
+        assert!(!estimate_scaled(&q, &base, f + 1).fits(budget));
+        // Monotone in the budget.
+        assert!(max_scale_factor(&queries, &data, 2 * budget) >= f);
+    }
+
+    #[test]
+    fn max_scale_factor_zero_when_nothing_fits() {
+        let (queries, data) = world(10);
+        assert_eq!(max_scale_factor(&queries, &data, 16), 0);
+    }
+}

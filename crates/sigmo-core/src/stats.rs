@@ -1,0 +1,123 @@
+//! Candidate-set statistics collected per refinement iteration (Figure 5).
+
+use crate::candidates::CandidateBitmap;
+use serde::Serialize;
+
+/// Five-number summary of the per-query-node candidate-set sizes plus the
+/// total — the contents of one box (and one line point) of Figure 5.
+#[derive(Debug, Clone, Serialize)]
+pub struct CandidateStats {
+    /// Minimum candidates over query nodes.
+    pub min: usize,
+    /// First quartile.
+    pub q1: usize,
+    /// Median.
+    pub median: usize,
+    /// Third quartile.
+    pub q3: usize,
+    /// Maximum (the paper's persistent outliers live here).
+    pub max: usize,
+    /// Mean candidates per query node.
+    pub mean: f64,
+    /// Total candidates across all query nodes (the line of Figure 5).
+    pub total: usize,
+}
+
+impl CandidateStats {
+    /// Computes the summary from a candidate bitmap.
+    pub fn from_bitmap(bitmap: &CandidateBitmap) -> Self {
+        let counts: Vec<usize> = (0..bitmap.rows()).map(|r| bitmap.row_count(r)).collect();
+        Self::from_counts(&counts)
+    }
+
+    /// Computes the summary from raw per-query-node counts.
+    pub fn from_counts(counts: &[usize]) -> Self {
+        if counts.is_empty() {
+            return Self {
+                min: 0,
+                q1: 0,
+                median: 0,
+                q3: 0,
+                max: 0,
+                mean: 0.0,
+                total: 0,
+            };
+        }
+        let mut sorted = counts.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let pick = |p: f64| -> usize {
+            let idx = ((n - 1) as f64 * p).round() as usize;
+            sorted[idx]
+        };
+        let total: usize = sorted.iter().sum();
+        Self {
+            min: sorted[0],
+            q1: pick(0.25),
+            median: pick(0.5),
+            q3: pick(0.75),
+            max: sorted[n - 1],
+            mean: total as f64 / n as f64,
+            total,
+        }
+    }
+}
+
+/// Statistics of one refinement iteration, combining candidate pruning with
+/// the iteration's timings (Figures 5 and 6 share these rows).
+#[derive(Debug, Clone, Serialize)]
+pub struct IterationStats {
+    /// 1-based refinement iteration (1 = label-only initialization).
+    pub iteration: usize,
+    /// Candidate summary after this iteration's refinement.
+    pub candidates: CandidateStats,
+    /// Bits cleared by this iteration's refine kernel.
+    pub pruned: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::WordWidth;
+
+    #[test]
+    fn five_number_summary() {
+        let s = CandidateStats::from_counts(&[1, 2, 3, 4, 100]);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.median, 3);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.total, 110);
+        assert!((s.mean - 22.0).abs() < 1e-12);
+        assert_eq!(s.q1, 2);
+        assert_eq!(s.q3, 4);
+    }
+
+    #[test]
+    fn empty_counts() {
+        let s = CandidateStats::from_counts(&[]);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn single_count() {
+        let s = CandidateStats::from_counts(&[7]);
+        assert_eq!(s.min, 7);
+        assert_eq!(s.q1, 7);
+        assert_eq!(s.median, 7);
+        assert_eq!(s.q3, 7);
+        assert_eq!(s.max, 7);
+    }
+
+    #[test]
+    fn from_bitmap_matches_row_counts() {
+        let b = CandidateBitmap::new(3, 100, WordWidth::U64);
+        b.set(0, 1);
+        b.set(0, 2);
+        b.set(1, 50);
+        let s = CandidateStats::from_bitmap(&b);
+        assert_eq!(s.total, 3);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.min, 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Streaming execution: constant-memory matching over unbounded molecule
+//! streams.
+//!
+//! The paper motivates SIGMo with virtual-screening campaigns producing
+//! *trillions* of compounds (§2) — far beyond any device's memory. The
+//! batch engine needs `|V_Q| × |V_D| / 8` bitmap bytes, so data must be
+//! consumed in device-sized chunks. [`StreamRunner`] does exactly that:
+//! it sizes chunks from the [`crate::memory`] model and a byte budget,
+//! runs the full pipeline per chunk, and folds the reports into one
+//! aggregate with globally consistent data-graph indices.
+
+use crate::engine::{Engine, EngineConfig};
+use crate::memory::estimate;
+use sigmo_device::Queue;
+use sigmo_graph::LabeledGraph;
+use std::time::Duration;
+
+/// Aggregate result of a streamed run.
+#[derive(Debug, Default)]
+pub struct StreamReport {
+    /// Total embeddings (Find All) or matched pairs (Find First).
+    pub total_matches: u64,
+    /// Matched `(global data index, query index)` pairs.
+    pub matched_pair_list: Vec<(usize, usize)>,
+    /// Number of chunks processed.
+    pub chunks: usize,
+    /// Molecules processed.
+    pub molecules: usize,
+    /// Peak per-chunk memory estimate (bytes) — must stay under budget.
+    pub peak_chunk_bytes: u64,
+    /// Summed pipeline time across chunks (filter + mapping + join).
+    pub total_time: Duration,
+}
+
+impl StreamReport {
+    /// Matches per second over the summed pipeline time.
+    pub fn throughput(&self) -> f64 {
+        let t = self.total_time.as_secs_f64();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.total_matches as f64 / t
+        }
+    }
+}
+
+/// Streaming wrapper around [`Engine`].
+pub struct StreamRunner {
+    engine: Engine,
+    /// Device-memory budget per chunk in bytes.
+    memory_budget: u64,
+    /// Upper bound on molecules per chunk regardless of memory (keeps
+    /// per-chunk latency bounded).
+    max_chunk_molecules: usize,
+}
+
+impl StreamRunner {
+    /// Creates a runner with a per-chunk memory budget.
+    pub fn new(config: EngineConfig, memory_budget: u64) -> Self {
+        Self {
+            engine: Engine::new(config),
+            memory_budget,
+            max_chunk_molecules: 100_000,
+        }
+    }
+
+    /// Overrides the molecule cap per chunk.
+    pub fn with_max_chunk(mut self, molecules: usize) -> Self {
+        self.max_chunk_molecules = molecules.max(1);
+        self
+    }
+
+    /// Consumes a molecule stream, matching every item against `queries`.
+    ///
+    /// Chunks grow greedily until the memory model says the next molecule
+    /// would exceed the budget (or the molecule cap is hit), then the
+    /// pipeline runs and the chunk is dropped. A single molecule that
+    /// exceeds the budget on its own is processed alone (the engine still
+    /// works; the budget is advisory for such outliers).
+    pub fn run<I>(&self, queries: &[LabeledGraph], stream: I, queue: &Queue) -> StreamReport
+    where
+        I: IntoIterator<Item = LabeledGraph>,
+    {
+        let mut report = StreamReport::default();
+        let mut chunk: Vec<LabeledGraph> = Vec::new();
+        let mut base_index = 0usize;
+        for mol in stream {
+            chunk.push(mol);
+            let over_budget = chunk.len() >= self.max_chunk_molecules || {
+                let est = estimate(queries, &chunk).total();
+                est > self.memory_budget && chunk.len() > 1
+            };
+            if over_budget {
+                // The last molecule tipped the budget: hold it for the next
+                // chunk unless the cap (not memory) triggered.
+                let spill = if chunk.len() >= self.max_chunk_molecules {
+                    None
+                } else {
+                    chunk.pop()
+                };
+                self.flush(queries, &mut chunk, &mut base_index, queue, &mut report);
+                if let Some(m) = spill {
+                    chunk.push(m);
+                }
+            }
+        }
+        if !chunk.is_empty() {
+            self.flush(queries, &mut chunk, &mut base_index, queue, &mut report);
+        }
+        report
+    }
+
+    fn flush(
+        &self,
+        queries: &[LabeledGraph],
+        chunk: &mut Vec<LabeledGraph>,
+        base_index: &mut usize,
+        queue: &Queue,
+        report: &mut StreamReport,
+    ) {
+        let est = estimate(queries, chunk).total();
+        report.peak_chunk_bytes = report.peak_chunk_bytes.max(est);
+        let run = self.engine.run(queries, chunk, queue);
+        report.total_matches += run.total_matches;
+        report
+            .matched_pair_list
+            .extend(run.matched_pair_list.iter().map(|&(d, q)| (*base_index + d, q)));
+        report.chunks += 1;
+        report.molecules += chunk.len();
+        report.total_time += run.timings.total();
+        *base_index += chunk.len();
+        chunk.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::MatchMode;
+    use sigmo_device::DeviceProfile;
+    use sigmo_mol::{functional_groups, MoleculeGenerator};
+
+    fn world() -> (Vec<LabeledGraph>, Vec<LabeledGraph>) {
+        let queries: Vec<LabeledGraph> = functional_groups()
+            .into_iter()
+            .take(10)
+            .map(|q| q.graph)
+            .collect();
+        let data: Vec<LabeledGraph> = MoleculeGenerator::with_seed(301)
+            .generate_batch(60)
+            .iter()
+            .map(|m| m.to_labeled_graph())
+            .collect();
+        (queries, data)
+    }
+
+    #[test]
+    fn streamed_totals_equal_batch_totals() {
+        let (queries, data) = world();
+        let queue = Queue::new(DeviceProfile::host());
+        let batch = Engine::new(EngineConfig::default()).run(&queries, &data, &queue);
+        // Tiny budget forces many chunks.
+        let runner = StreamRunner::new(EngineConfig::default(), 200_000);
+        let streamed = runner.run(&queries, data.iter().cloned(), &queue);
+        assert!(streamed.chunks > 1, "budget must split the stream");
+        assert_eq!(streamed.total_matches, batch.total_matches);
+        assert_eq!(streamed.molecules, data.len());
+        let mut a = streamed.matched_pair_list.clone();
+        a.sort_unstable();
+        let mut b = batch.matched_pair_list.clone();
+        b.sort_unstable();
+        assert_eq!(a, b, "global indices must survive chunking");
+    }
+
+    #[test]
+    fn peak_chunk_respects_budget() {
+        let (queries, data) = world();
+        let queue = Queue::new(DeviceProfile::host());
+        let budget = 300_000u64;
+        let runner = StreamRunner::new(EngineConfig::default(), budget);
+        let streamed = runner.run(&queries, data.into_iter(), &queue);
+        assert!(
+            streamed.peak_chunk_bytes <= budget,
+            "peak {} exceeded budget {}",
+            streamed.peak_chunk_bytes,
+            budget
+        );
+    }
+
+    #[test]
+    fn molecule_cap_bounds_chunks() {
+        let (queries, data) = world();
+        let queue = Queue::new(DeviceProfile::host());
+        let runner =
+            StreamRunner::new(EngineConfig::default(), u64::MAX).with_max_chunk(7);
+        let streamed = runner.run(&queries, data.iter().cloned(), &queue);
+        assert_eq!(streamed.chunks, data.len().div_ceil(7));
+    }
+
+    #[test]
+    fn find_first_mode_streams_pairs() {
+        let (queries, data) = world();
+        let queue = Queue::new(DeviceProfile::host());
+        let batch = Engine::new(EngineConfig::find_first()).run(&queries, &data, &queue);
+        let runner = StreamRunner::new(
+            EngineConfig {
+                mode: MatchMode::FindFirst,
+                ..Default::default()
+            },
+            150_000,
+        );
+        let streamed = runner.run(&queries, data.into_iter(), &queue);
+        assert_eq!(streamed.total_matches, batch.matched_pairs);
+    }
+
+    #[test]
+    fn empty_stream_is_empty_report() {
+        let (queries, _) = world();
+        let queue = Queue::new(DeviceProfile::host());
+        let runner = StreamRunner::new(EngineConfig::default(), 1 << 20);
+        let report = runner.run(&queries, std::iter::empty(), &queue);
+        assert_eq!(report.chunks, 0);
+        assert_eq!(report.total_matches, 0);
+    }
+}

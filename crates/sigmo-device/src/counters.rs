@@ -1,0 +1,216 @@
+//! Kernel operation counters.
+//!
+//! Kernels running on the executor account their own work — executed
+//! instructions, global-memory traffic, atomic operations — into a
+//! [`KernelCounters`] instance. The counters are what the analytical
+//! [`crate::CostModel`] consumes to produce simulated kernel times,
+//! occupancy, and instruction-roofline coordinates, standing in for the
+//! hardware profilers (DCGM, Nsight Compute, VTune, Rocprof) used in §5.
+//!
+//! Accounting convention: kernels call the `add_*` methods with *aggregate*
+//! counts per work-item (or per work-group) rather than per machine
+//! instruction, using relaxed atomics so the overhead stays negligible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe operation counters for one kernel launch.
+#[derive(Debug, Default)]
+pub struct KernelCounters {
+    instructions: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    atomic_ops: AtomicU64,
+    /// Sum of per-work-item trip counts, for divergence estimation.
+    trip_sum: AtomicU64,
+    /// Sum of squared trip counts.
+    trip_sq_sum: AtomicU64,
+    /// Number of work-items that reported a trip count.
+    trip_n: AtomicU64,
+}
+
+/// An immutable snapshot of [`KernelCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CounterSnapshot {
+    /// Executed (modeled) instructions.
+    pub instructions: u64,
+    /// Bytes read from global memory.
+    pub bytes_read: u64,
+    /// Bytes written to global memory.
+    pub bytes_written: u64,
+    /// Atomic read-modify-write operations.
+    pub atomic_ops: u64,
+    /// Coefficient of variation of per-work-item trip counts; proxies
+    /// control-flow divergence (0 = perfectly uniform).
+    pub divergence: f64,
+}
+
+impl CounterSnapshot {
+    /// Total global-memory traffic in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Instruction intensity in instructions per byte — the x-axis of the
+    /// instruction roofline (Figure 9).
+    pub fn instruction_intensity(&self) -> f64 {
+        let b = self.total_bytes();
+        if b == 0 {
+            f64::INFINITY
+        } else {
+            self.instructions as f64 / b as f64
+        }
+    }
+}
+
+impl KernelCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds executed instructions.
+    #[inline]
+    pub fn add_instructions(&self, n: u64) {
+        self.instructions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds bytes read from global memory.
+    #[inline]
+    pub fn add_bytes_read(&self, n: u64) {
+        self.bytes_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds bytes written to global memory.
+    #[inline]
+    pub fn add_bytes_written(&self, n: u64) {
+        self.bytes_written.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds atomic read-modify-write operations (each also counts as one
+    /// instruction and 2× word traffic is the caller's choice).
+    #[inline]
+    pub fn add_atomics(&self, n: u64) {
+        self.atomic_ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one work-item's trip count (loop iterations / visited
+    /// candidates); used to estimate sub-group divergence, the effect the
+    /// paper observes in the join phase (§5.1.3: "warp-level divergence:
+    /// different threads process query graphs of varying size").
+    #[inline]
+    pub fn record_trips(&self, trips: u64) {
+        self.trip_sum.fetch_add(trips, Ordering::Relaxed);
+        self.trip_sq_sum
+            .fetch_add(trips.saturating_mul(trips), Ordering::Relaxed);
+        self.trip_n.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of the current totals.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        let n = self.trip_n.load(Ordering::Relaxed);
+        let divergence = if n == 0 {
+            0.0
+        } else {
+            let sum = self.trip_sum.load(Ordering::Relaxed) as f64;
+            let sq = self.trip_sq_sum.load(Ordering::Relaxed) as f64;
+            let mean = sum / n as f64;
+            if mean <= f64::EPSILON {
+                0.0
+            } else {
+                let var = (sq / n as f64 - mean * mean).max(0.0);
+                var.sqrt() / mean
+            }
+        };
+        CounterSnapshot {
+            instructions: self.instructions.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            atomic_ops: self.atomic_ops.load(Ordering::Relaxed),
+            divergence,
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.instructions.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.atomic_ops.store(0, Ordering::Relaxed);
+        self.trip_sum.store(0, Ordering::Relaxed);
+        self.trip_sq_sum.store(0, Ordering::Relaxed);
+        self.trip_n.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_and_snapshot() {
+        let c = KernelCounters::new();
+        c.add_instructions(100);
+        c.add_bytes_read(40);
+        c.add_bytes_written(10);
+        c.add_atomics(3);
+        let s = c.snapshot();
+        assert_eq!(s.instructions, 100);
+        assert_eq!(s.total_bytes(), 50);
+        assert_eq!(s.atomic_ops, 3);
+        assert!((s.instruction_intensity() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intensity_with_zero_bytes_is_infinite() {
+        let c = KernelCounters::new();
+        c.add_instructions(5);
+        assert!(c.snapshot().instruction_intensity().is_infinite());
+    }
+
+    #[test]
+    fn divergence_zero_for_uniform_trips() {
+        let c = KernelCounters::new();
+        for _ in 0..32 {
+            c.record_trips(10);
+        }
+        assert!(c.snapshot().divergence.abs() < 1e-12);
+    }
+
+    #[test]
+    fn divergence_positive_for_skewed_trips() {
+        let c = KernelCounters::new();
+        for i in 0..32u64 {
+            c.record_trips(if i == 0 { 1000 } else { 1 });
+        }
+        assert!(c.snapshot().divergence > 1.0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = KernelCounters::new();
+        c.add_instructions(7);
+        c.record_trips(3);
+        c.reset();
+        let s = c.snapshot();
+        assert_eq!(s.instructions, 0);
+        assert_eq!(s.divergence, 0.0);
+    }
+
+    #[test]
+    fn concurrent_accumulation_is_lossless() {
+        let c = std::sync::Arc::new(KernelCounters::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.add_instructions(1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.snapshot().instructions, 8000);
+    }
+}

@@ -1,0 +1,225 @@
+//! Device profiles: the hardware parameters of the three GPU platforms the
+//! paper evaluates (Table 1, §5.3) expressed for the analytical cost model.
+
+use serde::{Deserialize, Serialize};
+
+/// Which real device a profile mirrors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// NVIDIA V100S (the paper's primary single-GPU platform).
+    NvidiaV100S,
+    /// AMD MI100.
+    AmdMi100,
+    /// Intel Data Center GPU Max 1100.
+    IntelMax1100,
+    /// NVIDIA A100 (the paper's cluster nodes carry four each).
+    NvidiaA100,
+    /// The host CPU itself (used when measuring real wall-clock only).
+    Host,
+}
+
+/// Analytical description of a device.
+///
+/// Numbers are taken from the paper's §5.3 where stated (peak TFLOPS,
+/// sub-group width) and from public spec sheets otherwise. They feed the
+/// [`crate::CostModel`], which converts kernel operation counts into
+/// simulated kernel times, occupancy, and roofline coordinates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Which device this mirrors.
+    pub kind: DeviceKind,
+    /// Number of compute units (SMs / CUs / Xe-cores).
+    pub compute_units: u32,
+    /// Sub-group (warp / wavefront / SIMD) width in work-items.
+    /// Paper §5.3: 32 for NVIDIA, 64 for AMD, 16 for Intel.
+    pub sub_group_size: u32,
+    /// Maximum resident work-items per compute unit.
+    pub max_work_items_per_cu: u32,
+    /// Maximum work-group size.
+    pub max_work_group_size: u32,
+    /// Peak instruction throughput in giga-instructions per second
+    /// (scaled from the paper's quoted TFLOPS figures).
+    pub peak_ginstr_per_s: f64,
+    /// HBM bandwidth in GB/s.
+    pub mem_bandwidth_gb_s: f64,
+    /// L2 bandwidth in GB/s (used for the instruction-roofline L2 roof).
+    pub l2_bandwidth_gb_s: f64,
+    /// L1 aggregate bandwidth in GB/s (L1 roof).
+    pub l1_bandwidth_gb_s: f64,
+    /// Fixed kernel-launch + host-synchronization overhead in microseconds.
+    /// The filter phase pays this once per refinement iteration per kernel
+    /// (§4.4: "divided into multiple refinement iterations, each separated
+    /// by host-side synchronization").
+    pub launch_overhead_us: f64,
+    /// Device memory capacity in GiB (Figure 12's out-of-memory point).
+    pub memory_gib: f64,
+    /// Host↔device interconnect bandwidth in GB/s (PCIe for the discrete
+    /// GPUs; Figure 2's data-movement arrows are charged against this).
+    pub pcie_bandwidth_gb_s: f64,
+}
+
+impl DeviceProfile {
+    /// NVIDIA V100S: 130 TFLOPS (paper), 32 GiB HBM2, 80 SMs, warp 32.
+    pub fn nvidia_v100s() -> Self {
+        Self {
+            name: "NVIDIA V100S",
+            kind: DeviceKind::NvidiaV100S,
+            compute_units: 80,
+            sub_group_size: 32,
+            max_work_items_per_cu: 2048,
+            max_work_group_size: 1024,
+            peak_ginstr_per_s: 2032.0, // 80 SM * 4 sched * 32 lanes * 1.6 GHz / 8 (issue model)
+            mem_bandwidth_gb_s: 1134.0,
+            l2_bandwidth_gb_s: 2500.0,
+            l1_bandwidth_gb_s: 12000.0,
+            launch_overhead_us: 8.0,
+            memory_gib: 32.0,
+            pcie_bandwidth_gb_s: 16.0,
+        }
+    }
+
+    /// AMD MI100: 180 TFLOPS (paper), 32 GiB, 120 CUs, wavefront 64.
+    pub fn amd_mi100() -> Self {
+        Self {
+            name: "AMD MI100",
+            kind: DeviceKind::AmdMi100,
+            compute_units: 120,
+            sub_group_size: 64,
+            max_work_items_per_cu: 2560,
+            max_work_group_size: 1024,
+            peak_ginstr_per_s: 2765.0,
+            mem_bandwidth_gb_s: 1228.0,
+            l2_bandwidth_gb_s: 3000.0,
+            l1_bandwidth_gb_s: 14000.0,
+            launch_overhead_us: 10.0,
+            memory_gib: 32.0,
+            pcie_bandwidth_gb_s: 32.0,
+        }
+    }
+
+    /// Intel Max 1100: 22 TFLOPS (paper), 48 GiB, 56 Xe-cores, SIMD 16.
+    /// Lower compute peak but relatively strong bandwidth — the paper notes
+    /// Intel wins when the workload is memory-bound (§5.3).
+    pub fn intel_max1100() -> Self {
+        Self {
+            name: "Intel Max 1100",
+            kind: DeviceKind::IntelMax1100,
+            compute_units: 56,
+            sub_group_size: 16,
+            max_work_items_per_cu: 1024,
+            max_work_group_size: 1024,
+            peak_ginstr_per_s: 470.0,
+            mem_bandwidth_gb_s: 1229.0,
+            l2_bandwidth_gb_s: 3200.0,
+            l1_bandwidth_gb_s: 9000.0,
+            launch_overhead_us: 14.0,
+            memory_gib: 48.0,
+            pcie_bandwidth_gb_s: 32.0,
+        }
+    }
+
+    /// NVIDIA A100 (cluster nodes): 40 GiB variant.
+    pub fn nvidia_a100() -> Self {
+        Self {
+            name: "NVIDIA A100",
+            kind: DeviceKind::NvidiaA100,
+            compute_units: 108,
+            sub_group_size: 32,
+            max_work_items_per_cu: 2048,
+            max_work_group_size: 1024,
+            peak_ginstr_per_s: 3121.0,
+            mem_bandwidth_gb_s: 1555.0,
+            l2_bandwidth_gb_s: 4000.0,
+            l1_bandwidth_gb_s: 19000.0,
+            launch_overhead_us: 7.0,
+            memory_gib: 40.0,
+            pcie_bandwidth_gb_s: 32.0,
+        }
+    }
+
+    /// The host CPU (no simulation; real wall-clock measurements only).
+    pub fn host() -> Self {
+        Self {
+            name: "Host CPU",
+            kind: DeviceKind::Host,
+            compute_units: std::thread::available_parallelism()
+                .map(|p| p.get() as u32)
+                .unwrap_or(8),
+            sub_group_size: 8,
+            max_work_items_per_cu: 2,
+            max_work_group_size: 1024,
+            peak_ginstr_per_s: 100.0,
+            mem_bandwidth_gb_s: 50.0,
+            l2_bandwidth_gb_s: 200.0,
+            l1_bandwidth_gb_s: 1000.0,
+            launch_overhead_us: 0.5,
+            memory_gib: 64.0,
+            pcie_bandwidth_gb_s: 100.0,
+        }
+    }
+
+    /// The three portability-study profiles in the paper's §5.3 order.
+    pub fn portability_trio() -> [DeviceProfile; 3] {
+        [
+            DeviceProfile::nvidia_v100s(),
+            DeviceProfile::amd_mi100(),
+            DeviceProfile::intel_max1100(),
+        ]
+    }
+
+    /// Maximum concurrently resident work-items on the whole device.
+    pub fn max_resident_work_items(&self) -> u64 {
+        self.compute_units as u64 * self.max_work_items_per_cu as u64
+    }
+
+    /// Device memory capacity in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.memory_gib * (1u64 << 30) as f64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_group_sizes_match_paper() {
+        assert_eq!(DeviceProfile::nvidia_v100s().sub_group_size, 32);
+        assert_eq!(DeviceProfile::amd_mi100().sub_group_size, 64);
+        assert_eq!(DeviceProfile::intel_max1100().sub_group_size, 16);
+    }
+
+    #[test]
+    fn compute_peak_ordering_matches_paper() {
+        // Paper §5.3: Intel 22 TFLOPS < V100S 130 < MI100 180.
+        let v = DeviceProfile::nvidia_v100s().peak_ginstr_per_s;
+        let a = DeviceProfile::amd_mi100().peak_ginstr_per_s;
+        let i = DeviceProfile::intel_max1100().peak_ginstr_per_s;
+        assert!(i < v && v < a);
+    }
+
+    #[test]
+    fn intel_bandwidth_competitive_despite_low_compute() {
+        // §5.3: "Intel's higher memory bandwidth enables it to outperform"
+        // when memory-bound.
+        let v = DeviceProfile::nvidia_v100s();
+        let i = DeviceProfile::intel_max1100();
+        assert!(i.mem_bandwidth_gb_s >= v.mem_bandwidth_gb_s);
+    }
+
+    #[test]
+    fn memory_capacities() {
+        assert_eq!(DeviceProfile::nvidia_v100s().memory_bytes(), 32 << 30);
+        assert_eq!(DeviceProfile::intel_max1100().memory_bytes(), 48 << 30);
+    }
+
+    #[test]
+    fn resident_work_items_positive() {
+        for p in DeviceProfile::portability_trio() {
+            assert!(p.max_resident_work_items() > 0);
+            assert!(p.max_work_group_size >= p.sub_group_size);
+        }
+    }
+}

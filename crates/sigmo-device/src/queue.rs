@@ -1,0 +1,310 @@
+//! The execution queue: ND-range and work-group kernel dispatch.
+//!
+//! Mirrors the subset of the SYCL queue API SIGMo's kernels need. Kernels
+//! are plain closures; the queue schedules them over rayon, measures real
+//! wall-clock time, and (together with [`crate::KernelCounters`]) feeds the
+//! analytical cost model.
+
+use crate::counters::{CounterSnapshot, KernelCounters};
+use crate::profile::DeviceProfile;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Work-group local memory: a scratch buffer shared by the work-items of
+/// one group, mirroring SYCL local accessors. The filter kernel prefetches
+/// candidate-bitmap words into local memory before filtering (§4.4).
+#[derive(Debug)]
+pub struct LocalMem {
+    words: Vec<u64>,
+}
+
+impl LocalMem {
+    /// Allocates `len` words of local memory, zeroed.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len],
+        }
+    }
+
+    /// The backing words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable backing words.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Clears to zero, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Resizes (zero-filling new words).
+    pub fn resize(&mut self, len: usize) {
+        self.words.resize(len, 0);
+        // Old contents are stale between launches: callers clear explicitly.
+    }
+}
+
+/// Context handed to a work-group kernel body.
+pub struct WorkGroupCtx<'a> {
+    /// Linear group id.
+    pub group_id: usize,
+    /// Work-group size (number of work-items in the group).
+    pub group_size: usize,
+    /// The group's local memory.
+    pub local: &'a mut LocalMem,
+    /// Per-kernel counters for operation accounting.
+    pub counters: &'a KernelCounters,
+}
+
+/// Record of one executed kernel.
+#[derive(Debug, Clone)]
+pub struct KernelRecord {
+    /// Kernel name (for the occupancy timeline / roofline legend).
+    pub name: String,
+    /// Phase tag ("filter" / "mapping" / "join" / other).
+    pub phase: String,
+    /// ND-range size (total work-items launched).
+    pub global_size: usize,
+    /// Work-group size used.
+    pub work_group_size: usize,
+    /// Real wall-clock execution time on the host executor.
+    pub wall_time: Duration,
+    /// Operation counters accumulated by the kernel body.
+    pub counters: CounterSnapshot,
+}
+
+/// An in-order execution queue bound to a device profile.
+///
+/// Unlike a real SYCL queue, execution is synchronous (`parallel_for`
+/// returns when the kernel completes); SIGMo's pipeline is a sequence of
+/// host-synchronized kernels anyway (§4.4), so nothing is lost.
+pub struct Queue {
+    profile: DeviceProfile,
+    records: Mutex<Vec<KernelRecord>>,
+}
+
+impl Queue {
+    /// Creates a queue on the given device profile.
+    pub fn new(profile: DeviceProfile) -> Self {
+        Self {
+            profile,
+            records: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The device profile this queue executes on.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Launches an ND-range kernel of `global_size` independent work-items.
+    ///
+    /// `body(item_id, &counters)` is invoked once per work-item, scheduled
+    /// over the host cores in chunks of `work_group_size` (preserving the
+    /// spatial-locality benefits the paper gets from coalescing: adjacent
+    /// work-items run adjacently).
+    pub fn parallel_for<F>(
+        &self,
+        name: &str,
+        phase: &str,
+        global_size: usize,
+        work_group_size: usize,
+        body: F,
+    ) -> CounterSnapshot
+    where
+        F: Fn(usize, &KernelCounters) + Sync,
+    {
+        let wg = work_group_size.max(1);
+        let counters = KernelCounters::new();
+        let start = Instant::now();
+        let num_groups = global_size.div_ceil(wg);
+        (0..num_groups).into_par_iter().for_each(|g| {
+            let lo = g * wg;
+            let hi = ((g + 1) * wg).min(global_size);
+            for i in lo..hi {
+                body(i, &counters);
+            }
+        });
+        let wall = start.elapsed();
+        let snap = counters.snapshot();
+        self.records.lock().push(KernelRecord {
+            name: name.to_string(),
+            phase: phase.to_string(),
+            global_size,
+            work_group_size: wg,
+            wall_time: wall,
+            counters: snap,
+        });
+        snap
+    }
+
+    /// Launches a work-group kernel: `num_groups` groups, each with its own
+    /// [`LocalMem`] of `local_words` words. The body receives a
+    /// [`WorkGroupCtx`] and is responsible for iterating its work-items
+    /// (the paper's join kernel iterates mapped query graphs this way).
+    pub fn parallel_for_work_group<F>(
+        &self,
+        name: &str,
+        phase: &str,
+        num_groups: usize,
+        work_group_size: usize,
+        local_words: usize,
+        body: F,
+    ) -> CounterSnapshot
+    where
+        F: Fn(&mut WorkGroupCtx<'_>) + Sync,
+    {
+        let counters = KernelCounters::new();
+        let start = Instant::now();
+        (0..num_groups).into_par_iter().for_each_init(
+            || LocalMem::new(local_words),
+            |local, g| {
+                local.clear();
+                let mut ctx = WorkGroupCtx {
+                    group_id: g,
+                    group_size: work_group_size,
+                    local,
+                    counters: &counters,
+                };
+                body(&mut ctx);
+            },
+        );
+        let wall = start.elapsed();
+        let snap = counters.snapshot();
+        self.records.lock().push(KernelRecord {
+            name: name.to_string(),
+            phase: phase.to_string(),
+            global_size: num_groups * work_group_size,
+            work_group_size,
+            wall_time: wall,
+            counters: snap,
+        });
+        snap
+    }
+
+    /// Records a host↔device transfer (Figure 2's data-movement arrows):
+    /// a pseudo-kernel in phase `"transfer"` whose byte counters the cost
+    /// model prices against the PCIe bandwidth instead of HBM.
+    pub fn record_transfer(&self, name: &str, bytes_to_device: u64, bytes_to_host: u64) {
+        let counters = KernelCounters::new();
+        counters.add_bytes_read(bytes_to_device);
+        counters.add_bytes_written(bytes_to_host);
+        self.records.lock().push(KernelRecord {
+            name: name.to_string(),
+            phase: "transfer".to_string(),
+            global_size: 0,
+            work_group_size: 1,
+            wall_time: Duration::ZERO,
+            counters: counters.snapshot(),
+        });
+    }
+
+    /// All kernel records in launch order.
+    pub fn records(&self) -> Vec<KernelRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Clears the kernel record log.
+    pub fn clear_records(&self) {
+        self.records.lock().clear();
+    }
+
+    /// Total real wall-clock time across recorded kernels, per phase tag.
+    pub fn phase_wall_time(&self, phase: &str) -> Duration {
+        self.records
+            .lock()
+            .iter()
+            .filter(|r| r.phase == phase)
+            .map(|r| r.wall_time)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn queue() -> Queue {
+        Queue::new(DeviceProfile::host())
+    }
+
+    #[test]
+    fn parallel_for_visits_every_item_once() {
+        let q = queue();
+        let n = 10_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        q.parallel_for("k", "test", n, 128, |i, _| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_handles_non_divisible_sizes() {
+        let q = queue();
+        let n = 1001;
+        let count = AtomicU64::new(0);
+        q.parallel_for("k", "test", n, 128, |_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), n as u64);
+    }
+
+    #[test]
+    fn parallel_for_zero_items_is_fine() {
+        let q = queue();
+        q.parallel_for("k", "test", 0, 64, |_, _| panic!("no items expected"));
+        assert_eq!(q.records()[0].global_size, 0);
+    }
+
+    #[test]
+    fn work_group_kernel_gets_private_local_memory() {
+        let q = queue();
+        let n_groups = 64;
+        q.parallel_for_work_group("k", "test", n_groups, 4, 8, |ctx| {
+            // Local memory starts zeroed for every group.
+            assert!(ctx.local.words().iter().all(|&w| w == 0));
+            ctx.local.words_mut()[0] = ctx.group_id as u64 + 1;
+            assert_eq!(ctx.local.words()[0], ctx.group_id as u64 + 1);
+        });
+    }
+
+    #[test]
+    fn counters_flow_into_records() {
+        let q = queue();
+        q.parallel_for("counted", "filter", 100, 32, |_, c| {
+            c.add_instructions(10);
+            c.add_bytes_read(4);
+        });
+        let recs = q.records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].counters.instructions, 1000);
+        assert_eq!(recs[0].counters.bytes_read, 400);
+        assert_eq!(recs[0].name, "counted");
+        assert_eq!(recs[0].phase, "filter");
+    }
+
+    #[test]
+    fn phase_wall_time_sums_matching_records() {
+        let q = queue();
+        q.parallel_for("a", "filter", 10, 4, |_, _| {});
+        q.parallel_for("b", "join", 10, 4, |_, _| {});
+        q.parallel_for("c", "filter", 10, 4, |_, _| {});
+        assert_eq!(q.records().len(), 3);
+        assert!(q.phase_wall_time("filter") >= q.records()[0].wall_time);
+    }
+
+    #[test]
+    fn clear_records_empties_log() {
+        let q = queue();
+        q.parallel_for("a", "x", 1, 1, |_, _| {});
+        q.clear_records();
+        assert!(q.records().is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-kernel profiling summaries — the executor's answer to
+//! `nsys`/`rocprof` summary tables, aggregating the kernel record log into
+//! per-kernel-name rows with call counts, times, and operation totals.
+
+use crate::cost::CostModel;
+use crate::queue::KernelRecord;
+use serde::Serialize;
+
+/// Aggregated statistics for one kernel name.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelSummary {
+    /// Kernel name.
+    pub name: String,
+    /// Phase tag.
+    pub phase: String,
+    /// Number of launches.
+    pub calls: usize,
+    /// Total host wall-clock seconds.
+    pub wall_s: f64,
+    /// Total simulated device seconds (incl. launch overhead).
+    pub sim_s: f64,
+    /// Total modeled instructions.
+    pub instructions: u64,
+    /// Total modeled global-memory bytes.
+    pub bytes: u64,
+    /// Total atomic operations.
+    pub atomics: u64,
+    /// Mean occupancy across launches (simple average).
+    pub mean_occupancy: f64,
+}
+
+/// Aggregates a record log into per-kernel summaries, ordered by first
+/// appearance.
+pub fn summarize(records: &[KernelRecord], model: &CostModel) -> Vec<KernelSummary> {
+    let mut order: Vec<String> = Vec::new();
+    let mut map: std::collections::HashMap<String, KernelSummary> = Default::default();
+    for r in records {
+        let cost = model.kernel_cost(r);
+        let entry = map.entry(r.name.clone()).or_insert_with(|| {
+            order.push(r.name.clone());
+            KernelSummary {
+                name: r.name.clone(),
+                phase: r.phase.clone(),
+                calls: 0,
+                wall_s: 0.0,
+                sim_s: 0.0,
+                instructions: 0,
+                bytes: 0,
+                atomics: 0,
+                mean_occupancy: 0.0,
+            }
+        });
+        entry.calls += 1;
+        entry.wall_s += r.wall_time.as_secs_f64();
+        entry.sim_s += cost.total_s();
+        entry.instructions += r.counters.instructions;
+        entry.bytes += r.counters.total_bytes();
+        entry.atomics += r.counters.atomic_ops;
+        entry.mean_occupancy += cost.occupancy;
+    }
+    order
+        .into_iter()
+        .map(|name| {
+            let mut s = map.remove(&name).expect("inserted above");
+            s.mean_occupancy /= s.calls as f64;
+            s
+        })
+        .collect()
+}
+
+/// Renders summaries as an aligned text table.
+pub fn render_table(summaries: &[KernelSummary]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<24} {:<8} {:>6} {:>11} {:>11} {:>13} {:>12} {:>9} {:>7}\n",
+        "kernel", "phase", "calls", "wall (s)", "sim (s)", "instructions", "bytes", "atomics", "occ %"
+    ));
+    for s in summaries {
+        out.push_str(&format!(
+            "{:<24} {:<8} {:>6} {:>11.5} {:>11.6} {:>13} {:>12} {:>9} {:>7.1}\n",
+            s.name,
+            s.phase,
+            s.calls,
+            s.wall_s,
+            s.sim_s,
+            s.instructions,
+            s.bytes,
+            s.atomics,
+            s.mean_occupancy * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::KernelCounters;
+    use crate::profile::DeviceProfile;
+    use std::time::Duration;
+
+    fn rec(name: &str, phase: &str, instr: u64) -> KernelRecord {
+        let c = KernelCounters::new();
+        c.add_instructions(instr);
+        c.add_bytes_read(instr / 2);
+        KernelRecord {
+            name: name.into(),
+            phase: phase.into(),
+            global_size: 1000,
+            work_group_size: 128,
+            wall_time: Duration::from_micros(50),
+            counters: c.snapshot(),
+        }
+    }
+
+    #[test]
+    fn summaries_aggregate_by_name_in_first_seen_order() {
+        let model = CostModel::new(DeviceProfile::nvidia_v100s());
+        let records = vec![
+            rec("refine", "filter", 100),
+            rec("join", "join", 50),
+            rec("refine", "filter", 200),
+        ];
+        let s = summarize(&records, &model);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].name, "refine");
+        assert_eq!(s[0].calls, 2);
+        assert_eq!(s[0].instructions, 300);
+        assert_eq!(s[1].name, "join");
+        assert_eq!(s[1].calls, 1);
+    }
+
+    #[test]
+    fn table_renders_every_kernel() {
+        let model = CostModel::new(DeviceProfile::nvidia_v100s());
+        let records = vec![rec("a", "x", 1), rec("b", "y", 2)];
+        let table = render_table(&summarize(&records, &model));
+        assert!(table.contains("a"));
+        assert!(table.contains("b"));
+        assert_eq!(table.lines().count(), 3);
+    }
+
+    #[test]
+    fn empty_log_summarizes_empty() {
+        let model = CostModel::new(DeviceProfile::nvidia_v100s());
+        assert!(summarize(&[], &model).is_empty());
+    }
+}

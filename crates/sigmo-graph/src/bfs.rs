@@ -1,0 +1,239 @@
+//! BFS utilities with reusable frontiers and ring-at-distance-`k` iteration.
+//!
+//! The filter phase computes node signatures over neighborhoods of growing
+//! radius. To avoid restarting the BFS from scratch at each refinement
+//! iteration, the paper caches the frontier after every step and resumes
+//! from it (§4.4). [`Bfs`] implements exactly that: `advance()` performs one
+//! BFS level and exposes the *ring* `N^k(v) \ N^{k-1}(v)` — the nodes at
+//! distance exactly `k` — which is all the signature update needs.
+
+use crate::csrgo::CsrGo;
+use crate::graph::NodeId;
+
+/// Incremental single-source BFS over a [`CsrGo`] batch.
+///
+/// Because CSR-GO keeps each graph's nodes in a contiguous id range and all
+/// edges intra-graph, a BFS started inside one molecule never leaves it: the
+/// "join all graphs into one disconnected graph" trick from the paper is
+/// safe.
+pub struct Bfs {
+    /// Distance from the source; `u32::MAX` = unvisited.
+    dist: Vec<u32>,
+    /// Nodes at the current depth (the cached frontier).
+    frontier: Vec<NodeId>,
+    /// Scratch for the next frontier.
+    next: Vec<NodeId>,
+    /// Depth of `frontier`.
+    depth: u32,
+    source: NodeId,
+}
+
+impl Bfs {
+    /// Starts a BFS at `source`. The frontier is initialized to the source
+    /// itself at depth 0.
+    pub fn new(num_nodes: usize, source: NodeId) -> Self {
+        let mut dist = vec![u32::MAX; num_nodes];
+        dist[source as usize] = 0;
+        Self {
+            dist,
+            frontier: vec![source],
+            next: Vec::new(),
+            depth: 0,
+            source,
+        }
+    }
+
+    /// Resets the traversal to a new source, reusing allocations. Only the
+    /// entries touched by the previous run are cleared, so a reset after a
+    /// shallow traversal over a huge batch stays cheap.
+    pub fn reset(&mut self, source: NodeId) {
+        for &v in &self.frontier {
+            self.dist[v as usize] = u32::MAX;
+        }
+        // Entries of earlier levels were recorded in dist only; walk back via
+        // full clear when the previous traversal was deep. We track touched
+        // nodes implicitly through rings, so clear lazily:
+        for d in self.dist.iter_mut() {
+            if *d != u32::MAX {
+                *d = u32::MAX;
+            }
+        }
+        self.dist[source as usize] = 0;
+        self.frontier.clear();
+        self.frontier.push(source);
+        self.next.clear();
+        self.depth = 0;
+        self.source = source;
+    }
+
+    /// The source node.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Depth of the current frontier.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Nodes at distance exactly [`Bfs::depth`] from the source (the current
+    /// ring). At depth 0 this is just the source.
+    pub fn ring(&self) -> &[NodeId] {
+        &self.frontier
+    }
+
+    /// Advances one BFS level over `batch`, returning the new ring (nodes at
+    /// distance `depth + 1`). Returns an empty slice once the component is
+    /// exhausted; further calls keep returning empty.
+    pub fn advance(&mut self, batch: &CsrGo) -> &[NodeId] {
+        self.next.clear();
+        for &v in &self.frontier {
+            for &u in batch.neighbors(v) {
+                if self.dist[u as usize] == u32::MAX {
+                    self.dist[u as usize] = self.depth + 1;
+                    self.next.push(u);
+                }
+            }
+        }
+        std::mem::swap(&mut self.frontier, &mut self.next);
+        self.depth += 1;
+        &self.frontier
+    }
+
+    /// Distance from the source to `v`, if reached so far.
+    pub fn distance(&self, v: NodeId) -> Option<u32> {
+        match self.dist[v as usize] {
+            u32::MAX => None,
+            d => Some(d),
+        }
+    }
+
+    /// Runs the BFS to exhaustion and returns the eccentricity of the source
+    /// within its component (the largest finite distance).
+    pub fn run_to_exhaustion(&mut self, batch: &CsrGo) -> u32 {
+        let mut ecc = self.depth;
+        loop {
+            let ring = self.advance(batch);
+            if ring.is_empty() {
+                return ecc;
+            }
+            ecc = self.depth;
+        }
+    }
+}
+
+/// Convenience iterator over rings: yields `(k, nodes at distance k)` for
+/// `k = 1, 2, ...` until the component is exhausted.
+pub struct RingIter<'a> {
+    bfs: Bfs,
+    batch: &'a CsrGo,
+}
+
+impl<'a> RingIter<'a> {
+    /// Creates a ring iterator from `source` over `batch`.
+    pub fn new(batch: &'a CsrGo, source: NodeId) -> Self {
+        Self {
+            bfs: Bfs::new(batch.num_nodes(), source),
+            batch,
+        }
+    }
+}
+
+impl<'a> Iterator for RingIter<'a> {
+    type Item = (u32, Vec<NodeId>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let ring = self.bfs.advance(self.batch).to_vec();
+        if ring.is_empty() {
+            None
+        } else {
+            Some((self.bfs.depth(), ring))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::LabeledGraph;
+
+    fn path5_batch() -> CsrGo {
+        let g =
+            LabeledGraph::from_edges(&[0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        CsrGo::from_graphs(&[g])
+    }
+
+    #[test]
+    fn rings_of_a_path() {
+        let b = path5_batch();
+        let rings: Vec<_> = RingIter::new(&b, 0).collect();
+        assert_eq!(rings.len(), 4);
+        assert_eq!(rings[0], (1, vec![1]));
+        assert_eq!(rings[1], (2, vec![2]));
+        assert_eq!(rings[3], (4, vec![4]));
+    }
+
+    #[test]
+    fn rings_from_center() {
+        let b = path5_batch();
+        let rings: Vec<_> = RingIter::new(&b, 2).collect();
+        assert_eq!(rings.len(), 2);
+        let mut r1 = rings[0].1.clone();
+        r1.sort_unstable();
+        assert_eq!(r1, vec![1, 3]);
+        let mut r2 = rings[1].1.clone();
+        r2.sort_unstable();
+        assert_eq!(r2, vec![0, 4]);
+    }
+
+    #[test]
+    fn distances_recorded() {
+        let b = path5_batch();
+        let mut bfs = Bfs::new(b.num_nodes(), 0);
+        bfs.run_to_exhaustion(&b);
+        for v in 0..5u32 {
+            assert_eq!(bfs.distance(v), Some(v));
+        }
+    }
+
+    #[test]
+    fn bfs_does_not_cross_graph_boundaries() {
+        let g0 = LabeledGraph::from_edges(&[0; 3], &[(0, 1), (1, 2)]).unwrap();
+        let g1 = LabeledGraph::from_edges(&[0; 3], &[(0, 1), (1, 2)]).unwrap();
+        let b = CsrGo::from_graphs(&[g0, g1]);
+        let mut bfs = Bfs::new(b.num_nodes(), 0);
+        bfs.run_to_exhaustion(&b);
+        assert_eq!(bfs.distance(2), Some(2));
+        for v in 3..6 {
+            assert_eq!(bfs.distance(v), None, "node {v} in other graph reached");
+        }
+    }
+
+    #[test]
+    fn exhausted_bfs_keeps_returning_empty() {
+        let b = path5_batch();
+        let mut bfs = Bfs::new(b.num_nodes(), 0);
+        bfs.run_to_exhaustion(&b);
+        assert!(bfs.advance(&b).is_empty());
+        assert!(bfs.advance(&b).is_empty());
+    }
+
+    #[test]
+    fn eccentricity_from_endpoints_and_center() {
+        let b = path5_batch();
+        assert_eq!(Bfs::new(5, 0).run_to_exhaustion(&b), 4);
+        assert_eq!(Bfs::new(5, 2).run_to_exhaustion(&b), 2);
+    }
+
+    #[test]
+    fn reset_reuses_allocations_correctly() {
+        let b = path5_batch();
+        let mut bfs = Bfs::new(b.num_nodes(), 0);
+        bfs.run_to_exhaustion(&b);
+        bfs.reset(4);
+        assert_eq!(bfs.depth(), 0);
+        assert_eq!(bfs.ring(), &[4]);
+        assert_eq!(bfs.run_to_exhaustion(&b), 4);
+        assert_eq!(bfs.distance(0), Some(4));
+    }
+}

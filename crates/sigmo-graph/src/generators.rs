@@ -1,0 +1,220 @@
+//! Random labeled-graph generators beyond the molecular domain.
+//!
+//! The paper's conclusion notes the filter strategy "is broadly applicable
+//! to labeled sparse graphs and can also be applied in domains such as
+//! malware detection and graph database queries." These generators provide
+//! non-molecular labeled sparse graphs — random trees, sparse
+//! Erdős–Rényi-style graphs, and call-graph-shaped DAost skeletons — used
+//! by the `beyond_molecules` example, property tests, and benches.
+
+use crate::graph::{Label, LabeledGraph, NodeId};
+
+/// Simple deterministic xorshift generator so this crate stays free of the
+/// `rand` dependency (only used for test-shaped data).
+#[derive(Debug, Clone)]
+pub struct XorShift(u64);
+
+impl XorShift {
+    /// Seeds the generator (a zero seed is remapped to a fixed constant).
+    pub fn new(seed: u64) -> Self {
+        Self(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A uniformly random labeled tree on `n` nodes (random attachment), with
+/// labels drawn from `0..num_labels`.
+pub fn random_tree(n: usize, num_labels: u8, seed: u64) -> LabeledGraph {
+    let mut rng = XorShift::new(seed);
+    let mut g = LabeledGraph::new();
+    for _ in 0..n {
+        g.add_node((rng.below(num_labels as usize)) as Label);
+    }
+    for v in 1..n as NodeId {
+        let u = rng.below(v as usize) as NodeId;
+        g.add_edge(u, v, 1).expect("tree edge");
+    }
+    g
+}
+
+/// A connected sparse random graph: a random tree plus `extra_edges`
+/// random chords (duplicates silently skipped), labels from
+/// `0..num_labels`. Stays sparse when `extra_edges` is small relative to
+/// `n²`, matching the paper's ≥ 95% sparsity regime.
+pub fn random_sparse_graph(
+    n: usize,
+    extra_edges: usize,
+    num_labels: u8,
+    seed: u64,
+) -> LabeledGraph {
+    let mut g = random_tree(n, num_labels, seed);
+    let mut rng = XorShift::new(seed ^ 0xDEAD_BEEF);
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < extra_edges && attempts < extra_edges * 20 + 20 {
+        attempts += 1;
+        let a = rng.below(n) as NodeId;
+        let b = rng.below(n) as NodeId;
+        if a != b && g.add_edge(a, b, 1 + (rng.below(3)) as u8).is_ok() {
+            added += 1;
+        }
+    }
+    g
+}
+
+/// A call-graph-shaped labeled graph: layered, edges mostly forward by one
+/// or two layers, labels encoding "function kinds" — the malware-detection
+/// workload shape the paper's conclusion gestures at.
+pub fn random_callgraph(
+    layers: usize,
+    width: usize,
+    num_labels: u8,
+    seed: u64,
+) -> LabeledGraph {
+    let mut rng = XorShift::new(seed);
+    let mut g = LabeledGraph::new();
+    let n = layers * width;
+    for _ in 0..n {
+        g.add_node((rng.below(num_labels as usize)) as Label);
+    }
+    let node = |layer: usize, i: usize| (layer * width + i) as NodeId;
+    // Connect each node to ≥ 1 callee in the next layer; occasional skips.
+    for l in 0..layers - 1 {
+        for i in 0..width {
+            let callee = rng.below(width);
+            let _ = g.add_edge(node(l, i), node(l + 1, callee), 1);
+            if rng.below(3) == 0 && l + 2 < layers {
+                let skip = rng.below(width);
+                let _ = g.add_edge(node(l, i), node(l + 2, skip), 1);
+            }
+        }
+    }
+    // Tie stray components to the first node so queries stay meaningful.
+    let comp = crate::metrics::connected_components(&crate::csrgo::CsrGo::from_graphs(
+        std::slice::from_ref(&g),
+    ));
+    for v in 1..n as NodeId {
+        if comp[v as usize] != comp[0] && g.degree(v) == 0 {
+            let _ = g.add_edge(0, v, 1);
+        }
+    }
+    g
+}
+
+/// Samples a connected induced subgraph of `size` nodes by randomized BFS
+/// growth — the generic analogue of the molecular query extractor.
+pub fn random_connected_subgraph(
+    g: &LabeledGraph,
+    size: usize,
+    seed: u64,
+) -> Option<LabeledGraph> {
+    if g.num_nodes() < size || size == 0 {
+        return None;
+    }
+    let mut rng = XorShift::new(seed);
+    for _attempt in 0..16 {
+        let start = rng.below(g.num_nodes()) as NodeId;
+        let mut chosen = vec![start];
+        let mut in_set = vec![false; g.num_nodes()];
+        in_set[start as usize] = true;
+        let mut frontier: Vec<NodeId> = g.neighbors(start).iter().map(|&(u, _)| u).collect();
+        while chosen.len() < size && !frontier.is_empty() {
+            let v = frontier.swap_remove(rng.below(frontier.len()));
+            if in_set[v as usize] {
+                continue;
+            }
+            in_set[v as usize] = true;
+            chosen.push(v);
+            for &(u, _) in g.neighbors(v) {
+                if !in_set[u as usize] {
+                    frontier.push(u);
+                }
+            }
+        }
+        if chosen.len() == size {
+            return Some(g.induced_subgraph(&chosen));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::is_connected;
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        for seed in 0..5 {
+            let g = random_tree(40, 4, seed);
+            assert_eq!(g.num_nodes(), 40);
+            assert_eq!(g.num_edges(), 39);
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn sparse_graph_is_connected_and_sparse() {
+        let g = random_sparse_graph(100, 30, 5, 7);
+        assert!(is_connected(&g));
+        assert!(g.sparsity() >= 0.95, "sparsity {}", g.sparsity());
+        assert!(g.num_edges() >= 99);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_tree(20, 3, 9), random_tree(20, 3, 9));
+        assert_eq!(
+            random_sparse_graph(30, 10, 4, 1),
+            random_sparse_graph(30, 10, 4, 1)
+        );
+        assert_eq!(
+            random_callgraph(4, 5, 6, 2),
+            random_callgraph(4, 5, 6, 2)
+        );
+    }
+
+    #[test]
+    fn callgraph_has_expected_shape() {
+        let g = random_callgraph(5, 8, 6, 3);
+        assert_eq!(g.num_nodes(), 40);
+        assert!(g.num_edges() >= 32, "every non-final layer node calls out");
+        assert!(g.labels().iter().all(|&l| l < 6));
+    }
+
+    #[test]
+    fn subgraph_sampler_returns_connected_induced_pieces() {
+        let g = random_sparse_graph(60, 20, 4, 11);
+        for size in [2usize, 5, 10] {
+            let sub = random_connected_subgraph(&g, size, 13).unwrap();
+            assert_eq!(sub.num_nodes(), size);
+            assert!(is_connected(&sub));
+        }
+        assert!(random_connected_subgraph(&g, 61, 1).is_none());
+    }
+
+    #[test]
+    fn xorshift_below_is_in_range() {
+        let mut rng = XorShift::new(42);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+        // Zero seed does not get stuck at zero.
+        let mut z = XorShift::new(0);
+        assert_ne!(z.next_u64(), 0);
+    }
+}

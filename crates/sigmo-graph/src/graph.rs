@@ -1,0 +1,390 @@
+//! Simple, undirected, labeled graphs with an adjacency-list builder API.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Node identifier, local to a single [`LabeledGraph`] (or global within a
+/// [`crate::CsrGo`] batch).
+pub type NodeId = u32;
+
+/// Node label. In the molecular domain this is an element code produced by
+/// the `sigmo-mol` crate; the filter only requires labels to be small dense
+/// integers so signature bit groups can be assigned per label.
+pub type Label = u8;
+
+/// Edge label (bond kind in the molecular domain).
+pub type EdgeLabel = u8;
+
+/// Wildcard node label: matches any data-node label. Used to implement the
+/// paper's future-work extension (wildcard atoms) — see `sigmo-core`.
+pub const WILDCARD_LABEL: Label = u8::MAX;
+
+/// Wildcard edge label: matches any data-edge label (wildcard bonds).
+pub const WILDCARD_EDGE: EdgeLabel = u8::MAX;
+
+/// Errors produced when constructing or validating graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint referenced a node that does not exist.
+    NodeOutOfRange { node: NodeId, len: usize },
+    /// A self-loop was inserted; molecular graphs are simple.
+    SelfLoop { node: NodeId },
+    /// The same undirected edge was inserted twice.
+    DuplicateEdge { a: NodeId, b: NodeId },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, len } => {
+                write!(f, "node {node} out of range (graph has {len} nodes)")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop on node {node}"),
+            GraphError::DuplicateEdge { a, b } => write!(f, "duplicate edge ({a}, {b})"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A simple, finite, undirected, node- and edge-labeled graph.
+///
+/// The representation is an adjacency list plus a parallel list of edge
+/// labels; it is the mutable "builder" form that gets frozen into [`crate::Csr`]
+/// or batched into [`crate::CsrGo`] for the GPU-style kernels.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabeledGraph {
+    labels: Vec<Label>,
+    adj: Vec<Vec<(NodeId, EdgeLabel)>>,
+    num_edges: usize,
+}
+
+impl LabeledGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a graph with `n` nodes all carrying the same label and no
+    /// edges.
+    pub fn with_uniform_labels(n: usize, label: Label) -> Self {
+        Self {
+            labels: vec![label; n],
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Creates a graph from a label slice and an edge list (unlabeled edges
+    /// get edge label 0). Convenience for tests and examples.
+    pub fn from_edges(labels: &[Label], edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
+        let mut g = Self::new();
+        for &l in labels {
+            g.add_node(l);
+        }
+        for &(a, b) in edges {
+            g.add_edge(a, b, 0)?;
+        }
+        Ok(g)
+    }
+
+    /// Adds a node with the given label, returning its id.
+    pub fn add_node(&mut self, label: Label) -> NodeId {
+        let id = self.labels.len() as NodeId;
+        self.labels.push(label);
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected labeled edge. Fails on self-loops, duplicate
+    /// edges, and out-of-range endpoints (the graph stays simple).
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, label: EdgeLabel) -> Result<(), GraphError> {
+        let n = self.labels.len();
+        if (a as usize) >= n {
+            return Err(GraphError::NodeOutOfRange { node: a, len: n });
+        }
+        if (b as usize) >= n {
+            return Err(GraphError::NodeOutOfRange { node: b, len: n });
+        }
+        if a == b {
+            return Err(GraphError::SelfLoop { node: a });
+        }
+        if self.adj[a as usize].iter().any(|&(v, _)| v == b) {
+            return Err(GraphError::DuplicateEdge { a, b });
+        }
+        self.adj[a as usize].push((b, label));
+        self.adj[b as usize].push((a, label));
+        self.num_edges += 1;
+        Ok(())
+    }
+
+    /// Number of nodes (`n` in the paper's notation).
+    pub fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of undirected edges (`m`).
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Returns true when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Label of node `v`.
+    pub fn label(&self, v: NodeId) -> Label {
+        self.labels[v as usize]
+    }
+
+    /// All node labels in node-id order.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Degree of node `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Neighbors of `v` with edge labels.
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeLabel)] {
+        &self.adj[v as usize]
+    }
+
+    /// Returns the label of edge `(a, b)` if present.
+    pub fn edge_label(&self, a: NodeId, b: NodeId) -> Option<EdgeLabel> {
+        self.adj[a as usize]
+            .iter()
+            .find(|&&(v, _)| v == b)
+            .map(|&(_, l)| l)
+    }
+
+    /// Tests whether the undirected edge `(a, b)` exists.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.edge_label(a, b).is_some()
+    }
+
+    /// Iterator over all undirected edges as `(a, b, label)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, EdgeLabel)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(a, nbrs)| {
+            let a = a as NodeId;
+            nbrs.iter()
+                .filter(move |&&(b, _)| a < b)
+                .map(move |&(b, l)| (a, b, l))
+        })
+    }
+
+    /// Sparsity of the graph: `1 - m / (n(n-1)/2)`. Molecular graphs are
+    /// ≥ 95% sparse (paper §3).
+    pub fn sparsity(&self) -> f64 {
+        let n = self.num_nodes() as f64;
+        if n < 2.0 {
+            return 1.0;
+        }
+        1.0 - (self.num_edges as f64) / (n * (n - 1.0) / 2.0)
+    }
+
+    /// The subgraph induced by `nodes`, relabeling nodes to `0..nodes.len()`
+    /// in the order given. Duplicate entries in `nodes` are not allowed.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> LabeledGraph {
+        let mut map = vec![u32::MAX; self.num_nodes()];
+        let mut g = LabeledGraph::new();
+        for (i, &v) in nodes.iter().enumerate() {
+            debug_assert_eq!(map[v as usize], u32::MAX, "duplicate node in induced set");
+            map[v as usize] = i as u32;
+            g.add_node(self.label(v));
+        }
+        for &v in nodes {
+            let nv = map[v as usize];
+            for &(u, l) in self.neighbors(v) {
+                let nu = map[u as usize];
+                if nu != u32::MAX && nv < nu {
+                    g.add_edge(nv, nu, l).expect("induced edge must be valid");
+                }
+            }
+        }
+        g
+    }
+
+    /// Checks that a candidate mapping `f: query node -> data node` (this
+    /// graph is the data graph) is a valid embedding of `query`:
+    /// label-preserving, injective, and edge-preserving with matching edge
+    /// labels. Wildcard labels on the query side match anything.
+    ///
+    /// This is the reference validity predicate used by tests and property
+    /// checks; engines must only ever report mappings for which this holds.
+    pub fn is_valid_embedding(&self, query: &LabeledGraph, f: &[NodeId]) -> bool {
+        if f.len() != query.num_nodes() {
+            return false;
+        }
+        // Injectivity + label preservation.
+        let mut seen = vec![false; self.num_nodes()];
+        for (q, &d) in f.iter().enumerate() {
+            if (d as usize) >= self.num_nodes() || seen[d as usize] {
+                return false;
+            }
+            seen[d as usize] = true;
+            let ql = query.label(q as NodeId);
+            if ql != WILDCARD_LABEL && ql != self.label(d) {
+                return false;
+            }
+        }
+        // Edge preservation with edge labels.
+        for (a, b, l) in query.edges() {
+            match self.edge_label(f[a as usize], f[b as usize]) {
+                Some(dl) => {
+                    if l != WILDCARD_EDGE && l != dl {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> LabeledGraph {
+        LabeledGraph::from_edges(&[0, 1, 0], &[(0, 1), (1, 2)]).unwrap()
+    }
+
+    #[test]
+    fn build_and_query_basic() {
+        let g = path3();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.label(1), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut g = LabeledGraph::with_uniform_labels(2, 0);
+        assert_eq!(g.add_edge(0, 0, 0), Err(GraphError::SelfLoop { node: 0 }));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge_both_orientations() {
+        let mut g = LabeledGraph::with_uniform_labels(2, 0);
+        g.add_edge(0, 1, 0).unwrap();
+        assert_eq!(
+            g.add_edge(0, 1, 0),
+            Err(GraphError::DuplicateEdge { a: 0, b: 1 })
+        );
+        assert_eq!(
+            g.add_edge(1, 0, 1),
+            Err(GraphError::DuplicateEdge { a: 1, b: 0 })
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_endpoint() {
+        let mut g = LabeledGraph::with_uniform_labels(2, 0);
+        assert_eq!(
+            g.add_edge(0, 5, 0),
+            Err(GraphError::NodeOutOfRange { node: 5, len: 2 })
+        );
+    }
+
+    #[test]
+    fn edge_labels_are_preserved_symmetrically() {
+        let mut g = LabeledGraph::with_uniform_labels(3, 0);
+        g.add_edge(0, 1, 2).unwrap();
+        g.add_edge(1, 2, 1).unwrap();
+        assert_eq!(g.edge_label(0, 1), Some(2));
+        assert_eq!(g.edge_label(1, 0), Some(2));
+        assert_eq!(g.edge_label(2, 1), Some(1));
+        assert_eq!(g.edge_label(0, 2), None);
+    }
+
+    #[test]
+    fn edges_iterator_reports_each_edge_once() {
+        let g = path3();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1, 0), (1, 2, 0)]);
+    }
+
+    #[test]
+    fn sparsity_of_small_graphs() {
+        let g = path3();
+        // 2 edges out of 3 possible.
+        assert!((g.sparsity() - (1.0 - 2.0 / 3.0)).abs() < 1e-12);
+        let empty = LabeledGraph::new();
+        assert_eq!(empty.sparsity(), 1.0);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        // Triangle 0-1-2 plus pendant 3.
+        let mut g = LabeledGraph::from_edges(&[0, 1, 2, 3], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        g.add_edge(2, 3, 0).unwrap();
+        let sub = g.induced_subgraph(&[0, 2, 3]);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_edges(), 2); // (0,2) and (2,3)
+        assert_eq!(sub.labels(), &[0, 2, 3]);
+        assert!(sub.has_edge(0, 1)); // old (0,2)
+        assert!(sub.has_edge(1, 2)); // old (2,3)
+        assert!(!sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn valid_embedding_accepts_identity() {
+        let g = path3();
+        assert!(g.is_valid_embedding(&g, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn valid_embedding_rejects_label_mismatch() {
+        let g = path3();
+        let q = LabeledGraph::from_edges(&[1, 1], &[(0, 1)]).unwrap();
+        assert!(!g.is_valid_embedding(&q, &[0, 1]));
+    }
+
+    #[test]
+    fn valid_embedding_rejects_non_injective() {
+        let g = path3();
+        let q = LabeledGraph::from_edges(&[0, 0], &[]).unwrap();
+        assert!(!g.is_valid_embedding(&q, &[0, 0]));
+    }
+
+    #[test]
+    fn valid_embedding_rejects_missing_edge() {
+        let g = path3();
+        let q = LabeledGraph::from_edges(&[0, 0], &[(0, 1)]).unwrap();
+        assert!(!g.is_valid_embedding(&q, &[0, 2]));
+    }
+
+    #[test]
+    fn wildcard_label_matches_any_node() {
+        let g = path3();
+        let q = LabeledGraph::from_edges(&[WILDCARD_LABEL, WILDCARD_LABEL], &[(0, 1)]).unwrap();
+        assert!(g.is_valid_embedding(&q, &[0, 1]));
+        assert!(g.is_valid_embedding(&q, &[2, 1]));
+    }
+
+    #[test]
+    fn wildcard_edge_matches_any_bond() {
+        let mut g = LabeledGraph::with_uniform_labels(2, 0);
+        g.add_edge(0, 1, 3).unwrap();
+        let mut q = LabeledGraph::with_uniform_labels(2, 0);
+        q.add_edge(0, 1, WILDCARD_EDGE).unwrap();
+        assert!(g.is_valid_embedding(&q, &[0, 1]));
+        let mut q2 = LabeledGraph::with_uniform_labels(2, 0);
+        q2.add_edge(0, 1, 1).unwrap();
+        assert!(!g.is_valid_embedding(&q2, &[0, 1]));
+    }
+}

@@ -1,0 +1,139 @@
+//! Structural graph metrics: connectivity, eccentricity, diameter.
+//!
+//! Figure 7 of the paper groups query graphs by diameter; the experiment
+//! harness uses [`diameter`] to bucket queries the same way.
+
+use crate::csrgo::CsrGo;
+use crate::graph::{LabeledGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Eccentricity of `source` in `g`: the greatest BFS distance to any node
+/// reachable from `source`.
+pub fn eccentricity(g: &LabeledGraph, source: NodeId) -> u32 {
+    let mut dist = vec![u32::MAX; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    let mut ecc = 0;
+    while let Some(v) = queue.pop_front() {
+        for &(u, _) in g.neighbors(v) {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = dist[v as usize] + 1;
+                ecc = ecc.max(dist[u as usize]);
+                queue.push_back(u);
+            }
+        }
+    }
+    ecc
+}
+
+/// Diameter of a connected graph: the maximum eccentricity over all nodes.
+/// For a disconnected graph this returns the largest intra-component
+/// diameter. Returns 0 for graphs with fewer than 2 nodes.
+pub fn diameter(g: &LabeledGraph) -> u32 {
+    (0..g.num_nodes() as NodeId)
+        .map(|v| eccentricity(g, v))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Tests whether `g` is connected (the empty graph counts as connected).
+pub fn is_connected(g: &LabeledGraph) -> bool {
+    if g.num_nodes() <= 1 {
+        return true;
+    }
+    let mut seen = vec![false; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    seen[0] = true;
+    queue.push_back(0 as NodeId);
+    let mut count = 1;
+    while let Some(v) = queue.pop_front() {
+        for &(u, _) in g.neighbors(v) {
+            if !seen[u as usize] {
+                seen[u as usize] = true;
+                count += 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    count == g.num_nodes()
+}
+
+/// Connected components of a [`CsrGo`] batch, as a component id per global
+/// node. For well-formed molecular batches every component lies within one
+/// graph's node range (each molecule is connected).
+pub fn connected_components(batch: &CsrGo) -> Vec<u32> {
+    let n = batch.num_nodes();
+    let mut comp = vec![u32::MAX; n];
+    let mut next_comp = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n as NodeId {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        comp[start as usize] = next_comp;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &u in batch.neighbors(v) {
+                if comp[u as usize] == u32::MAX {
+                    comp[u as usize] = next_comp;
+                    queue.push_back(u);
+                }
+            }
+        }
+        next_comp += 1;
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_diameter() {
+        let g = LabeledGraph::from_edges(&[0; 4], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(diameter(&g), 3);
+        assert_eq!(eccentricity(&g, 1), 2);
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        let g =
+            LabeledGraph::from_edges(&[0; 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+                .unwrap();
+        assert_eq!(diameter(&g), 3);
+    }
+
+    #[test]
+    fn star_diameter() {
+        let g = LabeledGraph::from_edges(&[0; 5], &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        assert_eq!(diameter(&g), 2);
+        assert_eq!(eccentricity(&g, 0), 1);
+    }
+
+    #[test]
+    fn single_node_and_empty() {
+        assert_eq!(diameter(&LabeledGraph::with_uniform_labels(1, 0)), 0);
+        assert_eq!(diameter(&LabeledGraph::new()), 0);
+        assert!(is_connected(&LabeledGraph::new()));
+        assert!(is_connected(&LabeledGraph::with_uniform_labels(1, 0)));
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let connected = LabeledGraph::from_edges(&[0; 3], &[(0, 1), (1, 2)]).unwrap();
+        assert!(is_connected(&connected));
+        let disconnected = LabeledGraph::from_edges(&[0; 3], &[(0, 1)]).unwrap();
+        assert!(!is_connected(&disconnected));
+    }
+
+    #[test]
+    fn components_respect_graph_boundaries() {
+        let g0 = LabeledGraph::from_edges(&[0; 2], &[(0, 1)]).unwrap();
+        let g1 = LabeledGraph::from_edges(&[0; 3], &[(0, 1), (1, 2)]).unwrap();
+        let batch = CsrGo::from_graphs(&[g0, g1]);
+        let comp = connected_components(&batch);
+        assert_eq!(comp, vec![0, 0, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,315 @@
+//! Canonical graph codes via Morgan-style refinement with
+//! individualization (the classic canonical-labeling scheme used by
+//! cheminformatics toolkits for duplicate detection).
+//!
+//! [`canonical_code`] maps a labeled graph to a byte string such that two
+//! graphs get the same code **iff** they are isomorphic (same node labels,
+//! same edge labels, same structure). Used to deduplicate generated
+//! libraries and extracted query patterns, and as an independent oracle in
+//! tests (isomorphic inputs must produce identical engine results).
+
+use sigmo_graph::{LabeledGraph, NodeId};
+use std::collections::HashMap;
+
+/// Equitable refinement: split classes until stable. `classes[v]` is a
+/// dense class id; nodes are equivalent while they share (own class,
+/// multiset of (neighbor class, edge label)).
+fn refine(g: &LabeledGraph, classes: &mut Vec<u32>) {
+    loop {
+        let mut key_of: Vec<(u32, Vec<(u32, u8)>)> = (0..g.num_nodes())
+            .map(|v| {
+                let mut nbrs: Vec<(u32, u8)> = g
+                    .neighbors(v as NodeId)
+                    .iter()
+                    .map(|&(u, l)| (classes[u as usize], l))
+                    .collect();
+                nbrs.sort_unstable();
+                (classes[v], nbrs)
+            })
+            .collect();
+        // Dense re-numbering by sorted key.
+        let mut sorted: Vec<(usize, &(u32, Vec<(u32, u8)>))> = key_of.iter().enumerate().collect();
+        sorted.sort_by(|a, b| a.1.cmp(b.1));
+        let mut next = vec![0u32; g.num_nodes()];
+        let mut id = 0u32;
+        for w in 0..sorted.len() {
+            if w > 0 && sorted[w].1 != sorted[w - 1].1 {
+                id += 1;
+            }
+            next[sorted[w].0] = id;
+        }
+        if next == *classes {
+            return;
+        }
+        *classes = next;
+        key_of.clear();
+    }
+}
+
+/// Emits the adjacency code of `g` under a total order given by
+/// `classes` (which must be discrete: one node per class).
+fn emit_code(g: &LabeledGraph, classes: &[u32]) -> Vec<u8> {
+    let n = g.num_nodes();
+    // position[c] = node with class c.
+    let mut node_at = vec![0 as NodeId; n];
+    for (v, &c) in classes.iter().enumerate() {
+        node_at[c as usize] = v as NodeId;
+    }
+    let mut code = Vec::with_capacity(n + 3 * g.num_edges() + 1);
+    code.push(n as u8);
+    for &v in &node_at {
+        code.push(g.label(v));
+    }
+    let mut edges: Vec<(u32, u32, u8)> = g
+        .edges()
+        .map(|(a, b, l)| {
+            let (ca, cb) = (classes[a as usize], classes[b as usize]);
+            (ca.min(cb), ca.max(cb), l)
+        })
+        .collect();
+    edges.sort_unstable();
+    for (a, b, l) in edges {
+        code.push(a as u8);
+        code.push(b as u8);
+        code.push(l);
+    }
+    code
+}
+
+/// Recursive individualization-refinement search for the minimal code.
+fn search(g: &LabeledGraph, classes: Vec<u32>, best: &mut Option<Vec<u8>>) {
+    // Find the first non-singleton class (by class id).
+    let n = g.num_nodes();
+    let mut members: HashMap<u32, Vec<NodeId>> = HashMap::new();
+    for (v, &c) in classes.iter().enumerate() {
+        members.entry(c).or_default().push(v as NodeId);
+    }
+    let target = (0..n as u32).find(|c| members.get(c).is_some_and(|m| m.len() > 1));
+    match target {
+        None => {
+            let code = emit_code(g, &classes);
+            if best.as_ref().is_none_or(|b| code < *b) {
+                *best = Some(code);
+            }
+        }
+        Some(c) => {
+            for &v in &members[&c] {
+                // Individualize v: give it a class just below its peers,
+                // then re-refine. Shift classes ≥ c up by one to make room.
+                let mut next: Vec<u32> = classes
+                    .iter()
+                    .map(|&x| if x >= c { x + 1 } else { x })
+                    .collect();
+                next[v as usize] = c;
+                refine(g, &mut next);
+                // Newly singled-out parents release their leaves without
+                // further branching.
+                split_sibling_leaves(g, &mut next);
+                search(g, next, best);
+            }
+        }
+    }
+}
+
+/// Fixes the relative order of interchangeable sibling leaves without
+/// branching: leaves (degree 1) hanging off the same parent with the same
+/// node and edge label are automorphic images of one another (swapping two
+/// of them is a graph automorphism), so assigning them consecutive
+/// distinct classes in node-id order cannot change the minimal code. This
+/// collapses the factorial blow-up that explicit hydrogens (CH₃, CH₂…)
+/// would otherwise cause in the individualization search.
+/// Soundness condition: the shortcut applies only to groups whose parent
+/// forms a *singleton* class. Then the group's leaf class is unique to
+/// that parent (the parent's class appears in the leaves' refinement key),
+/// so permuting the group's members is a genuine automorphism and any
+/// fixed order yields the same minimal code. Leaves of non-singleton
+/// parents are left to the branching search — fixing their order could
+/// leak arbitrary node ids into the code.
+fn split_sibling_leaves(g: &LabeledGraph, classes: &mut Vec<u32>) {
+    use std::collections::BTreeMap;
+    let n = g.num_nodes();
+    let mut class_size = vec![0u32; n + 1];
+    for &c in classes.iter() {
+        class_size[c as usize] += 1;
+    }
+    // (leaf class) -> leaves; the class already encodes parent identity
+    // when the parent class is singleton.
+    let mut groups: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
+    for v in 0..n as NodeId {
+        if g.degree(v) == 1 {
+            let (parent, _) = g.neighbors(v)[0];
+            if class_size[classes[parent as usize] as usize] == 1 {
+                groups.entry(classes[v as usize]).or_default().push(v);
+            }
+        }
+    }
+    let mut next_free = classes.iter().copied().max().unwrap_or(0) + 1;
+    let mut changed = false;
+    for (_, leaves) in groups {
+        if leaves.len() < 2 {
+            continue;
+        }
+        for &v in &leaves[1..] {
+            classes[v as usize] = next_free;
+            next_free += 1;
+            changed = true;
+        }
+    }
+    if changed {
+        refine(g, classes);
+    }
+}
+
+/// Canonical byte code of a labeled graph: identical for isomorphic
+/// graphs, distinct otherwise. Graphs must have ≤ 255 nodes (molecular
+/// scale); larger inputs panic.
+pub fn canonical_code(g: &LabeledGraph) -> Vec<u8> {
+    assert!(g.num_nodes() <= 255, "canonical_code is for molecular-scale graphs");
+    if g.num_nodes() == 0 {
+        return vec![0];
+    }
+    // Initial classes by node label.
+    let mut labels: Vec<u8> = g.labels().to_vec();
+    labels.sort_unstable();
+    labels.dedup();
+    let mut classes: Vec<u32> = g
+        .labels()
+        .iter()
+        .map(|l| labels.binary_search(l).unwrap() as u32)
+        .collect();
+    refine(g, &mut classes);
+    split_sibling_leaves(g, &mut classes);
+    let mut best = None;
+    search(g, classes, &mut best);
+    best.expect("search emits at least one code")
+}
+
+/// Isomorphism test via canonical codes.
+pub fn are_isomorphic(a: &LabeledGraph, b: &LabeledGraph) -> bool {
+    a.num_nodes() == b.num_nodes()
+        && a.num_edges() == b.num_edges()
+        && canonical_code(a) == canonical_code(b)
+}
+
+/// Deduplicates graphs up to isomorphism, keeping first occurrences.
+pub fn dedup_isomorphic(graphs: Vec<LabeledGraph>) -> Vec<LabeledGraph> {
+    let mut seen = std::collections::HashSet::new();
+    graphs
+        .into_iter()
+        .filter(|g| seen.insert(canonical_code(g)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::MoleculeGenerator;
+    use crate::smiles::parse_smiles;
+
+    /// Applies a node permutation to a graph.
+    fn permute(g: &LabeledGraph, perm: &[u32]) -> LabeledGraph {
+        let mut out = LabeledGraph::new();
+        // inverse: position i holds old node inv[i].
+        let mut inv = vec![0u32; perm.len()];
+        for (old, &new) in perm.iter().enumerate() {
+            inv[new as usize] = old as u32;
+        }
+        for &old in &inv {
+            out.add_node(g.label(old));
+        }
+        for (a, b, l) in g.edges() {
+            out.add_edge(perm[a as usize], perm[b as usize], l).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn permutation_invariance_on_molecules() {
+        let mut gen = MoleculeGenerator::with_seed(71);
+        for (i, m) in gen.generate_batch(10).iter().enumerate() {
+            let g = m.to_labeled_graph();
+            let n = g.num_nodes() as u32;
+            // A deterministic "rotation + swap" permutation.
+            let perm: Vec<u32> = (0..n).map(|v| (v * 7 + i as u32) % n).collect();
+            // Only valid if perm is a bijection: 7 coprime to n or fallback.
+            let mut check: Vec<u32> = perm.clone();
+            check.sort_unstable();
+            if check != (0..n).collect::<Vec<_>>() {
+                continue;
+            }
+            let h = permute(&g, &perm);
+            assert_eq!(canonical_code(&g), canonical_code(&h), "molecule {i}");
+        }
+    }
+
+    #[test]
+    fn distinguishes_constitutional_isomers() {
+        // Butane vs isobutane: same formula, different skeleton.
+        let butane = parse_smiles("CCCC").unwrap().to_labeled_graph();
+        let isobutane = parse_smiles("CC(C)C").unwrap().to_labeled_graph();
+        assert!(!are_isomorphic(&butane, &isobutane));
+        // Ethanol vs dimethyl ether.
+        let ethanol = parse_smiles("CCO").unwrap().to_labeled_graph();
+        let dme = parse_smiles("COC").unwrap().to_labeled_graph();
+        assert!(!are_isomorphic(&ethanol, &dme));
+    }
+
+    #[test]
+    fn distinguishes_bond_orders() {
+        let single = parse_smiles("CC").unwrap().to_labeled_graph();
+        let double = parse_smiles("C=C").unwrap().to_labeled_graph();
+        assert!(!are_isomorphic(&single, &double));
+    }
+
+    #[test]
+    fn benzene_ring_is_canonical_under_rotation() {
+        let a = parse_smiles("c1ccccc1").unwrap().to_labeled_graph();
+        let n = a.num_nodes() as u32;
+        // Rotate the ring atoms (first 6) among themselves and permute
+        // hydrogens correspondingly via a full rotation of all 12 nodes in
+        // two blocks.
+        let perm: Vec<u32> = (0..n)
+            .map(|v| {
+                if v < 6 {
+                    (v + 2) % 6
+                } else {
+                    6 + ((v - 6) + 2) % 6
+                }
+            })
+            .collect();
+        let b = permute(&a, &perm);
+        assert!(are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn smiles_round_trip_is_isomorphic() {
+        let mut gen = MoleculeGenerator::with_seed(72);
+        for m in gen.generate_batch(8) {
+            let g = m.to_labeled_graph();
+            let smiles = crate::smiles::write_smiles(&m);
+            let back = parse_smiles(&smiles).unwrap().to_labeled_graph();
+            assert!(
+                are_isomorphic(&g, &back),
+                "round trip of {smiles} broke isomorphism"
+            );
+        }
+    }
+
+    #[test]
+    fn dedup_collapses_isomorphic_copies() {
+        let a = parse_smiles("CCO").unwrap().to_labeled_graph();
+        let b = parse_smiles("OCC").unwrap().to_labeled_graph();
+        let c = parse_smiles("CCC").unwrap().to_labeled_graph();
+        let out = dedup_isomorphic(vec![a.clone(), b, c.clone()]);
+        assert_eq!(out.len(), 2);
+        assert!(are_isomorphic(&out[0], &a));
+        assert!(are_isomorphic(&out[1], &c));
+    }
+
+    #[test]
+    fn empty_and_single_node() {
+        assert_eq!(canonical_code(&LabeledGraph::new()), vec![0]);
+        let one = LabeledGraph::with_uniform_labels(1, 5);
+        assert_eq!(canonical_code(&one), vec![1, 5]);
+    }
+}

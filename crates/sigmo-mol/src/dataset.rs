@@ -1,0 +1,256 @@
+//! Dataset assembly: data-graph batches + query batches with scale-factor
+//! replication, mirroring the paper's experimental setup (§5).
+
+use crate::generator::{GeneratorConfig, MoleculeGenerator};
+use crate::molecule::Molecule;
+use crate::queries::{functional_groups, QueryExtractor};
+use sigmo_graph::{diameter, CsrGo, LabeledGraph};
+
+/// Configuration for building a [`Dataset`].
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Number of data molecules to generate.
+    pub num_molecules: usize,
+    /// Number of extracted (subgraph-sampled) queries; the functional-group
+    /// library is always included on top when `include_library` is set.
+    pub num_extracted_queries: usize,
+    /// Include the hand-coded functional-group library.
+    pub include_library: bool,
+    /// Query node-count bounds; the paper's queries have ≤ 30 nodes and
+    /// single-atom patterns removed.
+    pub query_min_nodes: usize,
+    /// Upper bound for extracted query sizes.
+    pub query_max_nodes: usize,
+    /// RNG seed (molecules and queries derive sub-seeds from it).
+    pub seed: u64,
+    /// Molecule generator configuration.
+    pub generator: GeneratorConfig,
+    /// Deduplicate extracted queries up to isomorphism (the Ehrlich–Rarey
+    /// benchmark's query set is duplicate-free). Library patterns are
+    /// already distinct.
+    pub dedup_queries: bool,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self {
+            num_molecules: 400,
+            num_extracted_queries: 40,
+            include_library: true,
+            query_min_nodes: 2,
+            query_max_nodes: 30,
+            seed: 0x51_6D_0,
+            generator: GeneratorConfig::default(),
+            dedup_queries: false,
+        }
+    }
+}
+
+/// A benchmark dataset: molecules (data graphs) and query patterns, plus
+/// their batched CSR-GO forms.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    molecules: Vec<Molecule>,
+    data_graphs: Vec<LabeledGraph>,
+    queries: Vec<LabeledGraph>,
+    query_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Builds a dataset from the config. Deterministic under `seed`.
+    pub fn build(config: &DatasetConfig) -> Self {
+        let mut gen = MoleculeGenerator::new(config.generator.clone(), config.seed);
+        let molecules = gen.generate_batch(config.num_molecules);
+        let data_graphs: Vec<LabeledGraph> =
+            molecules.iter().map(|m| m.to_labeled_graph()).collect();
+
+        let mut queries = Vec::new();
+        let mut query_names = Vec::new();
+        if config.include_library {
+            for q in functional_groups() {
+                query_names.push(q.name.to_string());
+                queries.push(q.graph);
+            }
+        }
+        if config.num_extracted_queries > 0 && !molecules.is_empty() {
+            let mut ex = QueryExtractor::new(config.seed.wrapping_add(1));
+            let mut extracted = ex.extract_batch(
+                &molecules,
+                config.num_extracted_queries,
+                config.query_min_nodes.max(2),
+                config.query_max_nodes,
+            );
+            if config.dedup_queries {
+                extracted = crate::canonical::dedup_isomorphic(extracted);
+            }
+            for (i, q) in extracted.into_iter().enumerate() {
+                query_names.push(format!("extracted-{i}"));
+                queries.push(q);
+            }
+        }
+        Self {
+            molecules,
+            data_graphs,
+            queries,
+            query_names,
+        }
+    }
+
+    /// Builds the small default dataset used across tests and examples.
+    pub fn small(seed: u64) -> Self {
+        Self::build(&DatasetConfig {
+            num_molecules: 120,
+            num_extracted_queries: 20,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    /// The source molecules.
+    pub fn molecules(&self) -> &[Molecule] {
+        &self.molecules
+    }
+
+    /// Data graphs (one per molecule).
+    pub fn data_graphs(&self) -> &[LabeledGraph] {
+        &self.data_graphs
+    }
+
+    /// Query graphs.
+    pub fn queries(&self) -> &[LabeledGraph] {
+        &self.queries
+    }
+
+    /// Query display names, parallel to [`Dataset::queries`].
+    pub fn query_names(&self) -> &[String] {
+        &self.query_names
+    }
+
+    /// Batched CSR-GO over all data graphs.
+    pub fn data_batch(&self) -> CsrGo {
+        CsrGo::from_graphs(&self.data_graphs)
+    }
+
+    /// Batched CSR-GO over all queries.
+    pub fn query_batch(&self) -> CsrGo {
+        CsrGo::from_graphs(&self.queries)
+    }
+
+    /// Replicates the data graphs `factor` times (Figure 12's dataset scale
+    /// factor). Replicas are identical molecules — matching work scales
+    /// linearly, exactly like the paper's weak-scaling protocol of feeding
+    /// more molecules.
+    pub fn scaled_data_graphs(&self, factor: usize) -> Vec<LabeledGraph> {
+        let mut out = Vec::with_capacity(self.data_graphs.len() * factor);
+        for _ in 0..factor {
+            out.extend(self.data_graphs.iter().cloned());
+        }
+        out
+    }
+
+    /// Buckets query indices by graph diameter (Figure 7 groups queries by
+    /// diameter 1..=12).
+    pub fn queries_by_diameter(&self) -> Vec<(u32, Vec<usize>)> {
+        let mut buckets: std::collections::BTreeMap<u32, Vec<usize>> = Default::default();
+        for (i, q) in self.queries.iter().enumerate() {
+            buckets.entry(diameter(q)).or_default().push(i);
+        }
+        buckets.into_iter().collect()
+    }
+
+    /// Total node counts `(query_nodes, data_nodes)` — §5.1.3 reports 3,413
+    /// query nodes and 2,745,872 data nodes for the paper's dataset.
+    pub fn node_counts(&self) -> (usize, usize) {
+        (
+            self.queries.iter().map(|q| q.num_nodes()).sum(),
+            self.data_graphs.iter().map(|d| d.num_nodes()).sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_build_is_deterministic() {
+        let a = Dataset::small(5);
+        let b = Dataset::small(5);
+        assert_eq!(a.data_graphs(), b.data_graphs());
+        assert_eq!(a.queries(), b.queries());
+    }
+
+    #[test]
+    fn query_names_parallel_queries() {
+        let d = Dataset::small(1);
+        assert_eq!(d.queries().len(), d.query_names().len());
+        assert!(d.queries().len() >= 30);
+    }
+
+    #[test]
+    fn no_single_atom_queries() {
+        let d = Dataset::small(2);
+        assert!(d.queries().iter().all(|q| q.num_nodes() >= 2));
+    }
+
+    #[test]
+    fn batches_cover_all_graphs() {
+        let d = Dataset::small(3);
+        let db = d.data_batch();
+        assert_eq!(db.num_graphs(), d.data_graphs().len());
+        let qb = d.query_batch();
+        assert_eq!(qb.num_graphs(), d.queries().len());
+        let (qn, dn) = d.node_counts();
+        assert_eq!(qb.num_nodes(), qn);
+        assert_eq!(db.num_nodes(), dn);
+    }
+
+    #[test]
+    fn scaling_replicates_exactly() {
+        let d = Dataset::small(4);
+        let scaled = d.scaled_data_graphs(3);
+        assert_eq!(scaled.len(), d.data_graphs().len() * 3);
+        assert_eq!(&scaled[..d.data_graphs().len()], d.data_graphs());
+        assert_eq!(&scaled[d.data_graphs().len()..2 * d.data_graphs().len()], d.data_graphs());
+    }
+
+    #[test]
+    fn dedup_removes_isomorphic_extracted_queries() {
+        let base = DatasetConfig {
+            num_molecules: 20,
+            num_extracted_queries: 40,
+            query_min_nodes: 2,
+            query_max_nodes: 3, // tiny patterns collide often
+            include_library: false,
+            seed: 8,
+            ..Default::default()
+        };
+        let plain = Dataset::build(&base);
+        let deduped = Dataset::build(&DatasetConfig {
+            dedup_queries: true,
+            ..base
+        });
+        assert!(deduped.queries().len() < plain.queries().len());
+        // No two deduped queries are isomorphic.
+        for i in 0..deduped.queries().len() {
+            for j in i + 1..deduped.queries().len() {
+                assert!(!crate::canonical::are_isomorphic(
+                    &deduped.queries()[i],
+                    &deduped.queries()[j]
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_buckets_cover_all_queries() {
+        let d = Dataset::small(6);
+        let buckets = d.queries_by_diameter();
+        let total: usize = buckets.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, d.queries().len());
+        // Buckets sorted ascending by diameter.
+        for w in buckets.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! MDL MOL (V2000) and SDF interchange.
+//!
+//! ZINC and most compound databases distribute molecules as SDF — a
+//! concatenation of MOL blocks separated by `$$$$`. This module implements
+//! enough of the V2000 connection-table format to round-trip the molecules
+//! this workspace generates, so real datasets can be loaded when
+//! available.
+
+use crate::elements::Element;
+use crate::molecule::{BondOrder, Molecule};
+use std::fmt;
+
+/// Errors from MOL/SDF parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MolFileError {
+    /// The block is shorter than the mandatory header + counts line.
+    Truncated,
+    /// The counts line is malformed.
+    BadCountsLine(String),
+    /// An atom line is malformed or uses an unsupported element.
+    BadAtomLine { line: usize, content: String },
+    /// A bond line is malformed.
+    BadBondLine { line: usize, content: String },
+    /// The bond violates chemistry (valence, duplicate, self-loop).
+    Chemistry(String),
+}
+
+impl fmt::Display for MolFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MolFileError::Truncated => write!(f, "MOL block truncated"),
+            MolFileError::BadCountsLine(l) => write!(f, "bad counts line: {l:?}"),
+            MolFileError::BadAtomLine { line, content } => {
+                write!(f, "bad atom line {line}: {content:?}")
+            }
+            MolFileError::BadBondLine { line, content } => {
+                write!(f, "bad bond line {line}: {content:?}")
+            }
+            MolFileError::Chemistry(e) => write!(f, "chemistry error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MolFileError {}
+
+/// Serializes one molecule as a V2000 MOL block (3 header lines, counts
+/// line, atom block, bond block, `M  END`).
+pub fn write_mol_block(mol: &Molecule, name: &str) -> String {
+    let mut out = String::new();
+    out.push_str(name);
+    out.push('\n');
+    out.push_str("  sigmo-rs\n\n");
+    out.push_str(&format!(
+        "{:>3}{:>3}  0  0  0  0  0  0  0  0999 V2000\n",
+        mol.num_atoms(),
+        mol.num_bonds()
+    ));
+    for &e in mol.atoms() {
+        // Coordinates are irrelevant for topology; write zeros.
+        out.push_str(&format!(
+            "    0.0000    0.0000    0.0000 {:<3} 0  0  0  0  0  0  0  0  0  0  0  0\n",
+            e.symbol()
+        ));
+    }
+    for b in mol.bonds() {
+        out.push_str(&format!(
+            "{:>3}{:>3}{:>3}  0\n",
+            b.a + 1,
+            b.b + 1,
+            b.order.valence()
+        ));
+    }
+    out.push_str("M  END\n");
+    out
+}
+
+/// Parses one V2000 MOL block.
+pub fn parse_mol_block(block: &str) -> Result<Molecule, MolFileError> {
+    let lines: Vec<&str> = block.lines().collect();
+    if lines.len() < 4 {
+        return Err(MolFileError::Truncated);
+    }
+    let counts = lines[3];
+    if counts.len() < 6 {
+        return Err(MolFileError::BadCountsLine(counts.to_string()));
+    }
+    let natoms: usize = counts[0..3]
+        .trim()
+        .parse()
+        .map_err(|_| MolFileError::BadCountsLine(counts.to_string()))?;
+    let nbonds: usize = counts[3..6]
+        .trim()
+        .parse()
+        .map_err(|_| MolFileError::BadCountsLine(counts.to_string()))?;
+    if lines.len() < 4 + natoms + nbonds {
+        return Err(MolFileError::Truncated);
+    }
+    let mut mol = Molecule::new();
+    for (i, line) in lines[4..4 + natoms].iter().enumerate() {
+        // V2000 atom line: coordinates in columns 0..30, symbol at 31..34.
+        let sym = line
+            .get(31..34)
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| MolFileError::BadAtomLine {
+                line: 5 + i,
+                content: line.to_string(),
+            })?;
+        let e = Element::from_symbol(sym).ok_or_else(|| MolFileError::BadAtomLine {
+            line: 5 + i,
+            content: line.to_string(),
+        })?;
+        mol.add_atom(e);
+    }
+    for (i, line) in lines[4 + natoms..4 + natoms + nbonds].iter().enumerate() {
+        let bad = || MolFileError::BadBondLine {
+            line: 5 + natoms + i,
+            content: line.to_string(),
+        };
+        if line.len() < 9 {
+            return Err(bad());
+        }
+        let a: u32 = line[0..3].trim().parse().map_err(|_| bad())?;
+        let b: u32 = line[3..6].trim().parse().map_err(|_| bad())?;
+        let order: u8 = line[6..9].trim().parse().map_err(|_| bad())?;
+        let order = BondOrder::from_edge_label(order).ok_or_else(bad)?;
+        if a == 0 || b == 0 {
+            return Err(bad());
+        }
+        mol.add_bond(a - 1, b - 1, order)
+            .map_err(|e| MolFileError::Chemistry(e.to_string()))?;
+    }
+    Ok(mol)
+}
+
+/// Serializes a batch of molecules as an SDF string.
+pub fn write_sdf<'a>(mols: impl IntoIterator<Item = (&'a str, &'a Molecule)>) -> String {
+    let mut out = String::new();
+    for (name, m) in mols {
+        out.push_str(&write_mol_block(m, name));
+        out.push_str("$$$$\n");
+    }
+    out
+}
+
+/// Parses an SDF string into molecules. Blocks that fail to parse are
+/// returned as errors alongside their index.
+pub fn parse_sdf(sdf: &str) -> Vec<Result<Molecule, MolFileError>> {
+    sdf.split("$$$$")
+        .map(|b| b.trim_start_matches('\n'))
+        .filter(|b| !b.trim().is_empty())
+        .map(parse_mol_block)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::MoleculeGenerator;
+    use crate::smiles::parse_smiles;
+
+    #[test]
+    fn mol_block_round_trip_ethanol() {
+        let m = parse_smiles("CCO").unwrap();
+        let block = write_mol_block(&m, "ethanol");
+        let back = parse_mol_block(&block).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn mol_block_preserves_bond_orders() {
+        let m = parse_smiles("CC(=O)C#N").unwrap();
+        let back = parse_mol_block(&write_mol_block(&m, "x")).unwrap();
+        assert_eq!(back.bonds(), m.bonds());
+    }
+
+    #[test]
+    fn sdf_round_trip_batch() {
+        let mut gen = MoleculeGenerator::with_seed(404);
+        let mols = gen.generate_batch(10);
+        let named: Vec<(String, &Molecule)> = mols
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (format!("mol{i}"), m))
+            .collect();
+        let sdf = write_sdf(named.iter().map(|(n, m)| (n.as_str(), *m)));
+        let parsed = parse_sdf(&sdf);
+        assert_eq!(parsed.len(), 10);
+        for (orig, got) in mols.iter().zip(parsed) {
+            assert_eq!(&got.unwrap(), orig);
+        }
+    }
+
+    #[test]
+    fn truncated_block_rejected() {
+        assert_eq!(parse_mol_block("x\ny\n"), Err(MolFileError::Truncated));
+        let m = parse_smiles("CC").unwrap();
+        let block = write_mol_block(&m, "ethane");
+        let cut: String = block.lines().take(5).collect::<Vec<_>>().join("\n");
+        assert_eq!(parse_mol_block(&cut), Err(MolFileError::Truncated));
+    }
+
+    #[test]
+    fn bad_element_rejected() {
+        let m = parse_smiles("C").unwrap();
+        let block = write_mol_block(&m, "methane").replace(" C  ", " Zz ");
+        assert!(matches!(
+            parse_mol_block(&block),
+            Err(MolFileError::BadAtomLine { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_bond_index_rejected() {
+        let m = parse_smiles("CC").unwrap();
+        let block = write_mol_block(&m, "ethane");
+        // Bond references atom 0 (1-indexed format forbids it).
+        let bad = block.replace("  1  2  1", "  0  2  1");
+        assert!(matches!(
+            parse_mol_block(&bad),
+            Err(MolFileError::BadBondLine { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_sdf_is_empty() {
+        assert!(parse_sdf("").is_empty());
+        assert!(parse_sdf("\n\n").is_empty());
+    }
+}

@@ -1,0 +1,456 @@
+//! A SMARTS-subset parser for query patterns.
+//!
+//! SMARTS is the de-facto query language for substructure search (the
+//! paper's §6 cites SMARTS evaluation as the rule-based alternative, and
+//! its conclusion announces wildcard atoms/bonds as future work). This
+//! subset maps directly onto the engine's wildcard support:
+//!
+//! * `*` — wildcard atom (`WILDCARD_LABEL`): any element;
+//! * `~` — wildcard bond (`WILDCARD_EDGE`): any bond order;
+//! * element atoms, brackets, branches, ring closures, and `-`/`=`/`#`
+//!   bonds as in the SMILES subset;
+//! * aromatic lowercase atoms are accepted and kekulized like SMILES.
+//!
+//! Not supported: atom lists (`[C,N]`), recursive SMARTS (`$(...)`),
+//! charge/valence/ring-count predicates — rejected with an error so the
+//! caller knows the pattern was not silently weakened.
+//!
+//! SMARTS patterns describe *constraints*, not molecules: the result is a
+//! [`LabeledGraph`] query (hydrogens never added, valence not enforced —
+//! `*(*)(*)(*)(*)*` is a legal pattern even though no atom has valence 5).
+
+use crate::elements::Element;
+use sigmo_graph::{GraphError, LabeledGraph, WILDCARD_EDGE, WILDCARD_LABEL};
+use std::fmt;
+
+/// SMARTS parsing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmartsError {
+    /// Unexpected character.
+    Unexpected { at: usize, found: char },
+    /// A construct outside the supported subset.
+    Unsupported { at: usize, what: &'static str },
+    /// Unknown element symbol.
+    UnknownElement { at: usize, symbol: String },
+    /// Ring-closure bookkeeping failure.
+    RingBond { number: u16, reason: &'static str },
+    /// Parenthesis mismatch.
+    Parenthesis { at: usize },
+    /// Bond with no preceding atom.
+    DanglingBond { at: usize },
+    /// Structural error (duplicate edge etc.).
+    Graph(String),
+    /// Empty pattern.
+    Empty,
+}
+
+impl fmt::Display for SmartsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmartsError::Unexpected { at, found } => {
+                write!(f, "unexpected character {found:?} at offset {at}")
+            }
+            SmartsError::Unsupported { at, what } => {
+                write!(f, "unsupported SMARTS construct at offset {at}: {what}")
+            }
+            SmartsError::UnknownElement { at, symbol } => {
+                write!(f, "unknown element {symbol:?} at offset {at}")
+            }
+            SmartsError::RingBond { number, reason } => {
+                write!(f, "ring bond {number}: {reason}")
+            }
+            SmartsError::Parenthesis { at } => write!(f, "unbalanced parenthesis at {at}"),
+            SmartsError::DanglingBond { at } => write!(f, "bond with no atom at {at}"),
+            SmartsError::Graph(e) => write!(f, "pattern structure error: {e}"),
+            SmartsError::Empty => write!(f, "empty SMARTS"),
+        }
+    }
+}
+
+impl std::error::Error for SmartsError {}
+
+impl From<GraphError> for SmartsError {
+    fn from(e: GraphError) -> Self {
+        SmartsError::Graph(e.to_string())
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Bond {
+    Single,
+    Double,
+    Triple,
+    Any,
+    /// No explicit symbol: single, or "any" between two aromatic atoms
+    /// (aromatic ring bonds alternate; a pattern author writing `cc` means
+    /// "aromatically bonded", which kekulized data encodes as 1 or 2).
+    Implicit,
+}
+
+impl Bond {
+    fn edge_label(self, aromatic_pair: bool) -> u8 {
+        match self {
+            Bond::Single => 1,
+            Bond::Double => 2,
+            Bond::Triple => 3,
+            Bond::Any => WILDCARD_EDGE,
+            Bond::Implicit => {
+                if aromatic_pair {
+                    WILDCARD_EDGE
+                } else {
+                    1
+                }
+            }
+        }
+    }
+}
+
+/// Parses a SMARTS-subset pattern into a query graph.
+pub fn parse_smarts(s: &str) -> Result<LabeledGraph, SmartsError> {
+    let bytes = s.as_bytes();
+    if bytes.is_empty() {
+        return Err(SmartsError::Empty);
+    }
+    let mut g = LabeledGraph::new();
+    let mut aromatic: Vec<bool> = Vec::new();
+    let mut stack: Vec<u32> = Vec::new();
+    let mut prev: Option<u32> = None;
+    let mut pending: Option<Bond> = None;
+    let mut rings: Vec<Option<(u32, Option<Bond>)>> = vec![None; 100];
+
+    let mut push_atom = |g: &mut LabeledGraph,
+                         aromatic_list: &mut Vec<bool>,
+                         prev: &mut Option<u32>,
+                         pending: &mut Option<Bond>,
+                         label: u8,
+                         is_aromatic: bool|
+     -> Result<(), SmartsError> {
+        let id = g.add_node(label);
+        aromatic_list.push(is_aromatic);
+        if let Some(p) = *prev {
+            let bond = pending.take().unwrap_or(Bond::Implicit);
+            let pair = aromatic_list[p as usize] && is_aromatic;
+            g.add_edge(p, id, bond.edge_label(pair))?;
+        }
+        *prev = Some(id);
+        Ok(())
+    };
+
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '*' => {
+                push_atom(&mut g, &mut aromatic, &mut prev, &mut pending, WILDCARD_LABEL, false)?;
+                i += 1;
+            }
+            '~' => {
+                if prev.is_none() {
+                    return Err(SmartsError::DanglingBond { at: i });
+                }
+                pending = Some(Bond::Any);
+                i += 1;
+            }
+            '-' | '=' | '#' => {
+                if prev.is_none() {
+                    return Err(SmartsError::DanglingBond { at: i });
+                }
+                pending = Some(match c {
+                    '-' => Bond::Single,
+                    '=' => Bond::Double,
+                    _ => Bond::Triple,
+                });
+                i += 1;
+            }
+            '(' => {
+                match prev {
+                    Some(p) => stack.push(p),
+                    None => return Err(SmartsError::Parenthesis { at: i }),
+                }
+                i += 1;
+            }
+            ')' => {
+                prev = Some(stack.pop().ok_or(SmartsError::Parenthesis { at: i })?);
+                i += 1;
+            }
+            '1'..='9' => {
+                let num = (c as u8 - b'0') as u16;
+                let cur = prev.ok_or(SmartsError::RingBond {
+                    number: num,
+                    reason: "ring digit before any atom",
+                })?;
+                match rings[num as usize].take() {
+                    None => rings[num as usize] = Some((cur, pending.take())),
+                    Some((other, open_bond)) => {
+                        if other == cur {
+                            return Err(SmartsError::RingBond {
+                                number: num,
+                                reason: "ring closes on the same atom",
+                            });
+                        }
+                        let bond = pending.take().or(open_bond).unwrap_or(Bond::Implicit);
+                        let pair = aromatic[other as usize] && aromatic[cur as usize];
+                        g.add_edge(other, cur, bond.edge_label(pair))?;
+                    }
+                }
+                i += 1;
+            }
+            '[' => {
+                let close = s[i..]
+                    .find(']')
+                    .map(|j| i + j)
+                    .ok_or(SmartsError::Unexpected { at: i, found: '[' })?;
+                let inner = &s[i + 1..close];
+                if inner.contains(',') {
+                    return Err(SmartsError::Unsupported {
+                        at: i,
+                        what: "atom lists ([C,N])",
+                    });
+                }
+                if inner.contains('$') {
+                    return Err(SmartsError::Unsupported {
+                        at: i,
+                        what: "recursive SMARTS ($(...))",
+                    });
+                }
+                if inner == "*" {
+                    push_atom(&mut g, &mut aromatic, &mut prev, &mut pending, WILDCARD_LABEL, false)?;
+                } else {
+                    // Element symbol, optionally with an H-count we ignore
+                    // (patterns don't constrain hydrogens here).
+                    let sym_end = inner
+                        .char_indices()
+                        .take_while(|&(k, ch)| {
+                            (k == 0 && ch.is_ascii_alphabetic())
+                                || (k > 0 && ch.is_ascii_lowercase())
+                        })
+                        .count();
+                    let sym_raw = &inner[..sym_end.max(1).min(inner.len())];
+                    let is_aromatic = sym_raw.chars().next().is_some_and(|ch| ch.is_lowercase());
+                    let mut sym = sym_raw.to_string();
+                    if is_aromatic {
+                        sym = sym.to_uppercase();
+                    }
+                    let rest = &inner[sym_raw.len()..];
+                    if !rest.is_empty() && !rest.starts_with('H') {
+                        return Err(SmartsError::Unsupported {
+                            at: i,
+                            what: "bracket predicates beyond an H count",
+                        });
+                    }
+                    let element =
+                        Element::from_symbol(&sym).ok_or_else(|| SmartsError::UnknownElement {
+                            at: i,
+                            symbol: sym_raw.to_string(),
+                        })?;
+                    push_atom(
+                        &mut g,
+                        &mut aromatic,
+                        &mut prev,
+                        &mut pending,
+                        element.label(),
+                        is_aromatic,
+                    )?;
+                }
+                i = close + 1;
+            }
+            _ if c.is_ascii_alphabetic() => {
+                // Organic-subset atom, maybe two letters.
+                let (sym, len, is_aromatic) = if s[i..].starts_with("Cl") {
+                    ("Cl".to_string(), 2, false)
+                } else if s[i..].starts_with("Br") {
+                    ("Br".to_string(), 2, false)
+                } else if c.is_ascii_uppercase() {
+                    (c.to_string(), 1, false)
+                } else {
+                    (c.to_ascii_uppercase().to_string(), 1, true)
+                };
+                let element =
+                    Element::from_symbol(&sym).ok_or_else(|| SmartsError::UnknownElement {
+                        at: i,
+                        symbol: sym.clone(),
+                    })?;
+                if is_aromatic && !element.can_be_aromatic() {
+                    return Err(SmartsError::UnknownElement { at: i, symbol: sym });
+                }
+                push_atom(
+                    &mut g,
+                    &mut aromatic,
+                    &mut prev,
+                    &mut pending,
+                    element.label(),
+                    is_aromatic,
+                )?;
+                i += len;
+            }
+            _ => return Err(SmartsError::Unexpected { at: i, found: c }),
+        }
+    }
+    if !stack.is_empty() {
+        return Err(SmartsError::Parenthesis { at: bytes.len() });
+    }
+    for (num, slot) in rings.iter().enumerate() {
+        if slot.is_some() {
+            return Err(SmartsError::RingBond {
+                number: num as u16,
+                reason: "ring bond never closed",
+            });
+        }
+    }
+    if g.is_empty() {
+        return Err(SmartsError::Empty);
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmo_graph::is_connected;
+
+    #[test]
+    fn plain_elements_parse_like_smiles_heavy() {
+        let g = parse_smarts("C(=O)O").unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.edge_label(0, 1), Some(2));
+        assert_eq!(g.edge_label(0, 2), Some(1));
+    }
+
+    #[test]
+    fn star_is_wildcard_atom() {
+        let g = parse_smarts("C=*").unwrap();
+        assert_eq!(g.label(1), WILDCARD_LABEL);
+        assert_eq!(g.edge_label(0, 1), Some(2));
+        let g2 = parse_smarts("[*]C").unwrap();
+        assert_eq!(g2.label(0), WILDCARD_LABEL);
+    }
+
+    #[test]
+    fn tilde_is_wildcard_bond() {
+        let g = parse_smarts("C~O").unwrap();
+        assert_eq!(g.edge_label(0, 1), Some(WILDCARD_EDGE));
+    }
+
+    #[test]
+    fn aromatic_ring_uses_wildcard_bonds() {
+        // c1ccccc1 as a *pattern* must match kekulized data rings whose
+        // bonds alternate 1/2 — so implicit aromatic bonds become ~.
+        let g = parse_smarts("c1ccccc1").unwrap();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 6);
+        for (a, b, l) in g.edges() {
+            assert_eq!(l, WILDCARD_EDGE, "aromatic bond {a}-{b}");
+        }
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn smarts_pattern_matches_kekulized_benzene() {
+        use crate::smiles::parse_smiles;
+        let pattern = parse_smarts("c1ccccc1").unwrap();
+        let benzene = parse_smiles("c1ccccc1").unwrap().to_labeled_graph();
+        // Every rotation/reflection: 12 embeddings.
+        let count = sigmo_baselines_shim::count(&pattern, &benzene);
+        assert_eq!(count, 12);
+    }
+
+    /// Minimal local matcher so this crate avoids a dev-dependency cycle.
+    mod sigmo_baselines_shim {
+        use sigmo_graph::{LabeledGraph, NodeId, WILDCARD_EDGE, WILDCARD_LABEL};
+
+        pub fn count(q: &LabeledGraph, d: &LabeledGraph) -> u64 {
+            fn rec(
+                q: &LabeledGraph,
+                d: &LabeledGraph,
+                map: &mut Vec<NodeId>,
+                used: &mut Vec<bool>,
+                n: &mut u64,
+            ) {
+                let depth = map.len();
+                if depth == q.num_nodes() {
+                    *n += 1;
+                    return;
+                }
+                for c in 0..d.num_nodes() as NodeId {
+                    if used[c as usize] {
+                        continue;
+                    }
+                    let ql = q.label(depth as NodeId);
+                    if ql != WILDCARD_LABEL && ql != d.label(c) {
+                        continue;
+                    }
+                    let ok = q.neighbors(depth as NodeId).iter().all(|&(u, l)| {
+                        if u >= depth as NodeId {
+                            return true;
+                        }
+                        match d.edge_label(map[u as usize], c) {
+                            Some(dl) => l == WILDCARD_EDGE || l == dl,
+                            None => false,
+                        }
+                    });
+                    if !ok {
+                        continue;
+                    }
+                    map.push(c);
+                    used[c as usize] = true;
+                    rec(q, d, map, used, n);
+                    used[c as usize] = false;
+                    map.pop();
+                }
+            }
+            let mut n = 0;
+            rec(
+                q,
+                d,
+                &mut Vec::new(),
+                &mut vec![false; d.num_nodes()],
+                &mut n,
+            );
+            n
+        }
+    }
+
+    #[test]
+    fn wildcard_acyl_pattern() {
+        use crate::smiles::parse_smiles;
+        // C(=O)~*: carbonyl carbon bonded (any bond) to anything else.
+        let pattern = parse_smarts("C(=O)~*").unwrap();
+        let amide = parse_smiles("CC(=O)N").unwrap().to_labeled_graph();
+        let ethanol = parse_smiles("CCO").unwrap().to_labeled_graph();
+        assert!(sigmo_baselines_shim::count(&pattern, &amide) > 0);
+        assert_eq!(sigmo_baselines_shim::count(&pattern, &ethanol), 0);
+    }
+
+    #[test]
+    fn unsupported_constructs_are_rejected_loudly() {
+        assert!(matches!(
+            parse_smarts("[C,N]"),
+            Err(SmartsError::Unsupported { what: "atom lists ([C,N])", .. })
+        ));
+        assert!(matches!(
+            parse_smarts("[$(CC)]"),
+            Err(SmartsError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            parse_smarts("[C+]"),
+            Err(SmartsError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn structural_errors() {
+        assert!(matches!(parse_smarts(""), Err(SmartsError::Empty)));
+        assert!(matches!(parse_smarts("~C"), Err(SmartsError::DanglingBond { .. })));
+        assert!(matches!(parse_smarts("C(C"), Err(SmartsError::Parenthesis { .. })));
+        assert!(matches!(parse_smarts("C1CC"), Err(SmartsError::RingBond { .. })));
+        assert!(matches!(parse_smarts("Xy"), Err(SmartsError::UnknownElement { .. })));
+    }
+
+    #[test]
+    fn no_hydrogens_no_valence_enforcement() {
+        // Five neighbors around one carbon: illegal chemistry, legal pattern.
+        let g = parse_smarts("*(*)(*)(*)(*)*").unwrap();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.degree(0), 5);
+    }
+}

@@ -1,0 +1,804 @@
+//! A SMILES-subset parser and writer.
+//!
+//! Supported syntax: organic-subset atoms (`B C N O P S F Cl Br I`),
+//! bracket atoms with an optional hydrogen count (`[Si]`, `[nH]`), bond
+//! symbols (`-`, `=`, `#`), branches (`(...)`), ring-bond closures (digits
+//! `1`–`9` and `%nn`), and aromatic lowercase atoms (`b c n o p s`), which
+//! are kekulized into alternating single/double bonds via backtracking.
+//!
+//! Not supported (rejected with an error): charges, isotopes, stereo
+//! descriptors, dots (multi-fragment), and wildcards. The subset is enough
+//! to express the functional-group query library and load typical drug-like
+//! structures.
+//!
+//! Parsed molecules get explicit hydrogens appended (the paper's data
+//! graphs carry explicit hydrogens — see Figure 1), unless
+//! [`parse_smiles_heavy`] is used.
+
+use crate::elements::Element;
+use crate::molecule::{BondOrder, Molecule, MoleculeError};
+use sigmo_graph::NodeId;
+use std::fmt;
+
+/// SMILES parsing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmilesError {
+    /// Unexpected character at byte offset.
+    Unexpected { at: usize, found: char },
+    /// Unknown element symbol.
+    UnknownElement { at: usize, symbol: String },
+    /// Ring-bond number closed without being opened, or left dangling.
+    RingBond { number: u16, reason: &'static str },
+    /// Branch parenthesis mismatch.
+    Parenthesis { at: usize },
+    /// A bond symbol with no preceding atom.
+    DanglingBond { at: usize },
+    /// Aromatic subgraph admits no kekulization.
+    Kekulization,
+    /// Valence violated while building the molecule.
+    Molecule(String),
+    /// Empty input.
+    Empty,
+}
+
+impl fmt::Display for SmilesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmilesError::Unexpected { at, found } => {
+                write!(f, "unexpected character {found:?} at offset {at}")
+            }
+            SmilesError::UnknownElement { at, symbol } => {
+                write!(f, "unknown element {symbol:?} at offset {at}")
+            }
+            SmilesError::RingBond { number, reason } => {
+                write!(f, "ring bond {number}: {reason}")
+            }
+            SmilesError::Parenthesis { at } => write!(f, "unbalanced parenthesis at {at}"),
+            SmilesError::DanglingBond { at } => write!(f, "bond with no atom at {at}"),
+            SmilesError::Kekulization => write!(f, "aromatic system cannot be kekulized"),
+            SmilesError::Molecule(m) => write!(f, "molecule error: {m}"),
+            SmilesError::Empty => write!(f, "empty SMILES"),
+        }
+    }
+}
+
+impl std::error::Error for SmilesError {}
+
+impl From<MoleculeError> for SmilesError {
+    fn from(e: MoleculeError) -> Self {
+        SmilesError::Molecule(e.to_string())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RawBond {
+    Single,
+    Double,
+    Triple,
+    Aromatic,
+}
+
+#[derive(Debug)]
+struct RawAtom {
+    element: Element,
+    aromatic: bool,
+    /// Explicit H count from a bracket atom, if any.
+    bracket_h: Option<u8>,
+}
+
+/// Parses SMILES and appends explicit hydrogens saturating every atom's
+/// free valence (bracket atoms use their stated H count instead).
+///
+/// ```
+/// let ethanol = sigmo_mol::parse_smiles("CCO").unwrap();
+/// assert_eq!(ethanol.formula(), "C2H6O");
+/// let benzene = sigmo_mol::parse_smiles("c1ccccc1").unwrap();
+/// assert_eq!(benzene.formula(), "C6H6");
+/// ```
+pub fn parse_smiles(s: &str) -> Result<Molecule, SmilesError> {
+    parse_inner(s, true)
+}
+
+/// Parses SMILES without adding implicit hydrogens (heavy-atom skeleton
+/// only; bracket H counts are still honored).
+pub fn parse_smiles_heavy(s: &str) -> Result<Molecule, SmilesError> {
+    parse_inner(s, false)
+}
+
+fn parse_inner(s: &str, implicit_h: bool) -> Result<Molecule, SmilesError> {
+    let bytes = s.as_bytes();
+    if bytes.is_empty() {
+        return Err(SmilesError::Empty);
+    }
+    let mut atoms: Vec<RawAtom> = Vec::new();
+    let mut edges: Vec<(u32, u32, RawBond)> = Vec::new();
+    let mut stack: Vec<u32> = Vec::new();
+    let mut prev: Option<u32> = None;
+    let mut pending: Option<RawBond> = None;
+    // Open ring bonds: number -> (atom, bond symbol if given at open).
+    let mut rings: Vec<Option<(u32, Option<RawBond>)>> = vec![None; 100];
+
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '-' | '=' | '#' | ':' => {
+                let b = match c {
+                    '-' => RawBond::Single,
+                    '=' => RawBond::Double,
+                    '#' => RawBond::Triple,
+                    _ => RawBond::Aromatic,
+                };
+                if prev.is_none() {
+                    return Err(SmilesError::DanglingBond { at: i });
+                }
+                pending = Some(b);
+                i += 1;
+            }
+            '(' => {
+                match prev {
+                    Some(p) => stack.push(p),
+                    None => return Err(SmilesError::Parenthesis { at: i }),
+                }
+                i += 1;
+            }
+            ')' => {
+                prev = Some(stack.pop().ok_or(SmilesError::Parenthesis { at: i })?);
+                i += 1;
+            }
+            '1'..='9' | '%' => {
+                let (num, len) = if c == '%' {
+                    if i + 2 >= bytes.len()
+                        || !bytes[i + 1].is_ascii_digit()
+                        || !bytes[i + 2].is_ascii_digit()
+                    {
+                        return Err(SmilesError::Unexpected { at: i, found: '%' });
+                    }
+                    (
+                        ((bytes[i + 1] - b'0') as u16) * 10 + (bytes[i + 2] - b'0') as u16,
+                        3,
+                    )
+                } else {
+                    ((c as u8 - b'0') as u16, 1)
+                };
+                let cur = prev.ok_or(SmilesError::RingBond {
+                    number: num,
+                    reason: "ring digit before any atom",
+                })?;
+                match rings[num as usize].take() {
+                    None => rings[num as usize] = Some((cur, pending.take())),
+                    Some((other, open_bond)) => {
+                        if other == cur {
+                            return Err(SmilesError::RingBond {
+                                number: num,
+                                reason: "ring closes on the same atom",
+                            });
+                        }
+                        // Bond symbol may be given at either end; closing
+                        // side wins if both present and they agree.
+                        let bond = pending.take().or(open_bond).unwrap_or({
+                            if atoms[cur as usize].aromatic && atoms[other as usize].aromatic {
+                                RawBond::Aromatic
+                            } else {
+                                RawBond::Single
+                            }
+                        });
+                        edges.push((other, cur, bond));
+                    }
+                }
+                i += len;
+            }
+            '[' => {
+                let close = s[i..]
+                    .find(']')
+                    .map(|j| i + j)
+                    .ok_or(SmilesError::Unexpected { at: i, found: '[' })?;
+                let inner = &s[i + 1..close];
+                let (atom, _consumed) = parse_bracket_atom(inner, i + 1)?;
+                let id = atoms.len() as u32;
+                atoms.push(atom);
+                link(&mut edges, &atoms, prev, id, pending.take());
+                prev = Some(id);
+                i = close + 1;
+            }
+            _ => {
+                // Organic-subset atom, possibly two letters (Cl, Br) or
+                // aromatic lowercase.
+                let (element, aromatic, len) = parse_organic_atom(s, i)?;
+                let id = atoms.len() as u32;
+                atoms.push(RawAtom {
+                    element,
+                    aromatic,
+                    bracket_h: None,
+                });
+                link(&mut edges, &atoms, prev, id, pending.take());
+                prev = Some(id);
+                i += len;
+            }
+        }
+    }
+    if !stack.is_empty() {
+        return Err(SmilesError::Parenthesis { at: bytes.len() });
+    }
+    for (num, slot) in rings.iter().enumerate() {
+        if slot.is_some() {
+            return Err(SmilesError::RingBond {
+                number: num as u16,
+                reason: "ring bond never closed",
+            });
+        }
+    }
+    if atoms.is_empty() {
+        return Err(SmilesError::Empty);
+    }
+
+    let orders = kekulize(&atoms, &edges)?;
+
+    let mut mol = Molecule::new();
+    for a in &atoms {
+        mol.add_atom(a.element);
+    }
+    for (k, &(a, b, _)) in edges.iter().enumerate() {
+        mol.add_bond(a as NodeId, b as NodeId, orders[k])?;
+    }
+    // Hydrogens: bracket counts are explicit; otherwise saturate free
+    // valence when requested. Aromatic atoms have one valence unit absorbed
+    // by the ring π system beyond the kekulized orders only for N/O/S with
+    // no double bond — the kekulization already accounts for this because
+    // orders sum correctly, so plain free-valence saturation is right.
+    let heavy = atoms.len();
+    for idx in 0..heavy {
+        let h_count = match atoms[idx].bracket_h {
+            Some(h) => h,
+            None if implicit_h => mol.free_valence(idx as NodeId),
+            None => 0,
+        };
+        for _ in 0..h_count {
+            let h = mol.add_atom(Element::H);
+            mol.add_bond(idx as NodeId, h, BondOrder::Single)?;
+        }
+    }
+    Ok(mol)
+}
+
+fn link(
+    edges: &mut Vec<(u32, u32, RawBond)>,
+    atoms: &[RawAtom],
+    prev: Option<u32>,
+    cur: u32,
+    pending: Option<RawBond>,
+) {
+    if let Some(p) = prev {
+        let bond = pending.unwrap_or({
+            if atoms[p as usize].aromatic && atoms[cur as usize].aromatic {
+                RawBond::Aromatic
+            } else {
+                RawBond::Single
+            }
+        });
+        edges.push((p, cur, bond));
+    }
+}
+
+fn parse_organic_atom(s: &str, i: usize) -> Result<(Element, bool, usize), SmilesError> {
+    let rest = &s[i..];
+    // Two-letter symbols first.
+    for two in ["Cl", "Br", "Si"] {
+        if rest.starts_with(two) {
+            return Ok((Element::from_symbol(two).unwrap(), false, 2));
+        }
+    }
+    let c = rest.chars().next().unwrap();
+    if c.is_ascii_uppercase() {
+        let sym = c.to_string();
+        let e = Element::from_symbol(&sym).ok_or_else(|| SmilesError::UnknownElement {
+            at: i,
+            symbol: sym,
+        })?;
+        Ok((e, false, 1))
+    } else if c.is_ascii_lowercase() {
+        let upper = c.to_ascii_uppercase().to_string();
+        let e = Element::from_symbol(&upper).ok_or_else(|| SmilesError::UnknownElement {
+            at: i,
+            symbol: c.to_string(),
+        })?;
+        if !e.can_be_aromatic() {
+            return Err(SmilesError::UnknownElement {
+                at: i,
+                symbol: c.to_string(),
+            });
+        }
+        Ok((e, true, 1))
+    } else {
+        Err(SmilesError::Unexpected { at: i, found: c })
+    }
+}
+
+fn parse_bracket_atom(inner: &str, at: usize) -> Result<(RawAtom, usize), SmilesError> {
+    // Grammar subset: SYMBOL ('H' COUNT?)?  — anything else is rejected.
+    let mut chars = inner.char_indices().peekable();
+    let (_, first) = chars.next().ok_or(SmilesError::Unexpected { at, found: ']' })?;
+    let aromatic = first.is_ascii_lowercase();
+    let mut sym = first.to_ascii_uppercase().to_string();
+    if let Some(&(_, c2)) = chars.peek() {
+        if c2.is_ascii_lowercase() && Element::from_symbol(&format!("{sym}{c2}")).is_some() {
+            sym.push(c2);
+            chars.next();
+        }
+    }
+    let element = Element::from_symbol(&sym).ok_or_else(|| SmilesError::UnknownElement {
+        at,
+        symbol: sym.clone(),
+    })?;
+    if aromatic && !element.can_be_aromatic() {
+        return Err(SmilesError::UnknownElement { at, symbol: sym });
+    }
+    let mut bracket_h = Some(0u8);
+    if let Some(&(_, 'H')) = chars.peek() {
+        chars.next();
+        let mut count = 1u8;
+        if let Some(&(_, d)) = chars.peek() {
+            if d.is_ascii_digit() {
+                count = d as u8 - b'0';
+                chars.next();
+            }
+        }
+        bracket_h = Some(count);
+    }
+    if let Some((j, c)) = chars.next() {
+        return Err(SmilesError::Unexpected {
+            at: at + j,
+            found: c,
+        });
+    }
+    Ok((
+        RawAtom {
+            element,
+            aromatic,
+            bracket_h,
+        },
+        inner.len(),
+    ))
+}
+
+/// Resolves aromatic bonds to alternating single/double via backtracking.
+///
+/// Every aromatic *carbon* must receive exactly one double bond among its
+/// aromatic bonds; aromatic N/O/S may contribute a lone pair instead and
+/// receive zero. Non-aromatic bonds keep their stated order.
+fn kekulize(atoms: &[RawAtom], edges: &[(u32, u32, RawBond)]) -> Result<Vec<BondOrder>, SmilesError> {
+    let mut orders: Vec<BondOrder> = Vec::with_capacity(edges.len());
+    let mut aromatic_edges: Vec<usize> = Vec::new();
+    for (k, &(_, _, b)) in edges.iter().enumerate() {
+        orders.push(match b {
+            RawBond::Single => BondOrder::Single,
+            RawBond::Double => BondOrder::Double,
+            RawBond::Triple => BondOrder::Triple,
+            RawBond::Aromatic => {
+                aromatic_edges.push(k);
+                BondOrder::Single // may be upgraded below
+            }
+        });
+    }
+    if aromatic_edges.is_empty() {
+        return Ok(orders);
+    }
+    // needs[a]: Some(true) = must get exactly one double bond (aromatic C),
+    // Some(false) = may get at most one (aromatic N/O/S), None = not aromatic.
+    let needs: Vec<Option<bool>> = atoms
+        .iter()
+        .map(|a| {
+            if a.aromatic {
+                // A bracket aromatic N with explicit H ([nH]) is pyrrole-like:
+                // lone pair in the ring, no double bond.
+                // Aromatic carbons must take exactly one ring double bond;
+                // aromatic heteroatoms (incl. pyrrole-type [nH]) may donate
+                // a lone pair instead and take none.
+                Some(a.element == Element::C)
+            } else {
+                None
+            }
+        })
+        .collect();
+    let mut matched = vec![false; atoms.len()];
+    // Pre-existing double bonds on aromatic atoms (exocyclic C=O etc.) count.
+    for (k, &(a, b, _)) in edges.iter().enumerate() {
+        if orders[k] == BondOrder::Double {
+            matched[a as usize] = true;
+            matched[b as usize] = true;
+        }
+    }
+    if backtrack_kekulize(&aromatic_edges, edges, &needs, &mut matched, &mut orders, 0) {
+        Ok(orders)
+    } else {
+        Err(SmilesError::Kekulization)
+    }
+}
+
+fn backtrack_kekulize(
+    aromatic: &[usize],
+    edges: &[(u32, u32, RawBond)],
+    needs: &[Option<bool>],
+    matched: &mut [bool],
+    orders: &mut [BondOrder],
+    pos: usize,
+) -> bool {
+    if pos == aromatic.len() {
+        // All aromatic carbons must be matched.
+        return needs
+            .iter()
+            .enumerate()
+            .all(|(i, n)| *n != Some(true) || matched[i]);
+    }
+    let k = aromatic[pos];
+    let (a, b, _) = edges[k];
+    let (a, b) = (a as usize, b as usize);
+    // Option 1: make this bond double if both endpoints are unmatched.
+    if !matched[a] && !matched[b] {
+        matched[a] = true;
+        matched[b] = true;
+        orders[k] = BondOrder::Double;
+        if backtrack_kekulize(aromatic, edges, needs, matched, orders, pos + 1) {
+            return true;
+        }
+        orders[k] = BondOrder::Single;
+        matched[a] = false;
+        matched[b] = false;
+    }
+    // Option 2: leave it single.
+    backtrack_kekulize(aromatic, edges, needs, matched, orders, pos + 1)
+}
+
+/// Writes a molecule back to SMILES (kekulized form, explicit hydrogens on
+/// heavy atoms are folded into implicit counts; free-standing H₂ and lone
+/// hydrogens are written as `[H]`).
+pub fn write_smiles(mol: &Molecule) -> String {
+    let g = mol.graph();
+    let n = mol.num_atoms();
+    let mut out = String::new();
+    let mut visited = vec![false; n];
+    // Fold hydrogens bonded to heavy atoms.
+    let is_folded_h = |v: NodeId| -> bool {
+        mol.element(v) == Element::H
+            && g.neighbors(v)
+                .iter()
+                .any(|&(u, _)| mol.element(u) != Element::H)
+    };
+    // Assign ring-closure digits: edges not on the DFS tree.
+    let mut ring_digit: Vec<Vec<(NodeId, u16)>> = vec![Vec::new(); n];
+    let mut next_digit = 1u16;
+
+    for start in 0..n as NodeId {
+        if visited[start as usize] || is_folded_h(start) {
+            continue;
+        }
+        if !out.is_empty() {
+            out.push('.');
+        }
+        // Iterative DFS writing atoms; stack holds (node, parent, bond order
+        // from parent, branch depth marker handled via explicit frames).
+        write_component(mol, start, &mut visited, &mut out, &mut ring_digit, &mut next_digit, &is_folded_h);
+    }
+    out
+}
+
+fn bond_symbol(order: BondOrder) -> &'static str {
+    match order {
+        BondOrder::Single => "",
+        BondOrder::Double => "=",
+        BondOrder::Triple => "#",
+    }
+}
+
+fn atom_token(mol: &Molecule, v: NodeId, h_count: usize) -> String {
+    let e = mol.element(v);
+    let organic = matches!(
+        e,
+        Element::B
+            | Element::C
+            | Element::N
+            | Element::O
+            | Element::P
+            | Element::S
+            | Element::F
+            | Element::Cl
+            | Element::Br
+            | Element::I
+    );
+    // Organic-subset atoms rely on implicit-H inference at read time; that
+    // round-trips when either the atom is fully saturated (the reader will
+    // re-add the same hydrogens) or it carries none to restore. Anything
+    // else gets an explicit bracket-H count.
+    if organic && (mol.free_valence(v) == 0 || h_count == 0) {
+        e.symbol().to_string()
+    } else {
+        match h_count {
+            0 => format!("[{}]", e.symbol()),
+            1 => format!("[{}H]", e.symbol()),
+            k => format!("[{}H{k}]", e.symbol()),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_component(
+    mol: &Molecule,
+    start: NodeId,
+    visited: &mut [bool],
+    out: &mut String,
+    ring_digit: &mut [Vec<(NodeId, u16)>],
+    next_digit: &mut u16,
+    is_folded_h: &dyn Fn(NodeId) -> bool,
+) {
+    let g = mol.graph();
+    // First pass: find ring (back) edges with a DFS so digits can be
+    // emitted at both endpoints.
+    let mut parent: Vec<Option<NodeId>> = vec![None; mol.num_atoms()];
+    let mut order: Vec<NodeId> = Vec::new();
+    let mut seen = vec![false; mol.num_atoms()];
+    let mut stack = vec![start];
+    seen[start as usize] = true;
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        for &(u, _) in g.neighbors(v) {
+            if is_folded_h(u) {
+                continue;
+            }
+            if !seen[u as usize] {
+                seen[u as usize] = true;
+                parent[u as usize] = Some(v);
+                stack.push(u);
+            } else if parent[v as usize] != Some(u)
+                && !ring_digit[v as usize].iter().any(|&(w, _)| w == u)
+                && !ring_digit[u as usize].iter().any(|&(w, _)| w == v)
+            {
+                let d = *next_digit;
+                *next_digit += 1;
+                ring_digit[v as usize].push((u, d));
+                ring_digit[u as usize].push((v, d));
+            }
+        }
+    }
+
+    // Second pass: recursive write along the DFS tree.
+    fn rec(
+        mol: &Molecule,
+        v: NodeId,
+        from: Option<NodeId>,
+        visited: &mut [bool],
+        out: &mut String,
+        ring_digit: &[Vec<(NodeId, u16)>],
+        parent: &[Option<NodeId>],
+        is_folded_h: &dyn Fn(NodeId) -> bool,
+    ) {
+        visited[v as usize] = true;
+        let g = mol.graph();
+        if let Some(p) = from {
+            out.push_str(bond_symbol(
+                crate::molecule::BondOrder::from_edge_label(g.edge_label(p, v).unwrap()).unwrap(),
+            ));
+        }
+        let h_count = g
+            .neighbors(v)
+            .iter()
+            .filter(|&&(u, _)| is_folded_h(u))
+            .count();
+        out.push_str(&atom_token(mol, v, h_count));
+        for &(u, d) in &ring_digit[v as usize] {
+            // Emit bond order on the closing side only (when the partner is
+            // already visited).
+            if visited[u as usize] {
+                out.push_str(bond_symbol(
+                    crate::molecule::BondOrder::from_edge_label(g.edge_label(u, v).unwrap())
+                        .unwrap(),
+                ));
+            }
+            if d < 10 {
+                out.push_str(&d.to_string());
+            } else {
+                out.push('%');
+                out.push_str(&format!("{d:02}"));
+            }
+        }
+        for &(u, _) in g.neighbors(v) {
+            if is_folded_h(u) {
+                continue;
+            }
+            // Mark folded hydrogens as visited so outer loop skips them.
+            if parent[u as usize] == Some(v) && !visited[u as usize] {
+                let children_after: Vec<NodeId> = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&(w, _)| {
+                        !is_folded_h(w) && parent[w as usize] == Some(v) && !visited[w as usize]
+                    })
+                    .map(|&(w, _)| w)
+                    .collect();
+                let is_last = children_after.len() == 1;
+                if !is_last {
+                    out.push('(');
+                }
+                rec(mol, u, Some(v), visited, out, ring_digit, parent, is_folded_h);
+                if !is_last {
+                    out.push(')');
+                }
+            }
+        }
+    }
+    rec(mol, start, None, visited, out, ring_digit, &parent, is_folded_h);
+    // Mark folded hydrogens visited.
+    for v in 0..mol.num_atoms() as NodeId {
+        if visited[v as usize] {
+            for &(u, _) in g.neighbors(v) {
+                if is_folded_h(u) {
+                    visited[u as usize] = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heavy_atoms(m: &Molecule) -> usize {
+        m.atoms().iter().filter(|&&e| e != Element::H).count()
+    }
+
+    #[test]
+    fn methane() {
+        let m = parse_smiles("C").unwrap();
+        assert_eq!(m.formula(), "CH4");
+    }
+
+    #[test]
+    fn ethanol() {
+        let m = parse_smiles("CCO").unwrap();
+        assert_eq!(m.formula(), "C2H6O");
+        assert_eq!(heavy_atoms(&m), 3);
+    }
+
+    #[test]
+    fn acetic_acid_with_branch_and_double_bond() {
+        let m = parse_smiles("CC(=O)O").unwrap();
+        assert_eq!(m.formula(), "C2H4O2");
+    }
+
+    #[test]
+    fn acetonitrile_triple_bond() {
+        let m = parse_smiles("CC#N").unwrap();
+        assert_eq!(m.formula(), "C2H3N");
+    }
+
+    #[test]
+    fn cyclohexane_ring_closure() {
+        let m = parse_smiles("C1CCCCC1").unwrap();
+        assert_eq!(m.formula(), "C6H12");
+        assert_eq!(m.graph().max_degree(), 4);
+    }
+
+    #[test]
+    fn benzene_kekulizes() {
+        let m = parse_smiles("c1ccccc1").unwrap();
+        assert_eq!(m.formula(), "C6H6");
+        // Alternating bonds: exactly 3 doubles among ring bonds.
+        let doubles = m
+            .bonds()
+            .iter()
+            .filter(|b| b.order == BondOrder::Double)
+            .count();
+        assert_eq!(doubles, 3);
+    }
+
+    #[test]
+    fn pyrrole_with_bracket_nh() {
+        let m = parse_smiles("c1cc[nH]c1").unwrap();
+        assert_eq!(m.formula(), "C4H5N");
+        let doubles = m
+            .bonds()
+            .iter()
+            .filter(|b| b.order == BondOrder::Double)
+            .count();
+        assert_eq!(doubles, 2, "pyrrole has two ring double bonds");
+    }
+
+    #[test]
+    fn pyridine_aromatic_nitrogen() {
+        let m = parse_smiles("c1ccncc1").unwrap();
+        assert_eq!(m.formula(), "C5H5N");
+    }
+
+    #[test]
+    fn n_acetylpyrrole_from_smiles_matches_builder() {
+        let m = parse_smiles("CC(=O)n1cccc1").unwrap();
+        let built = crate::molecule::n_acetylpyrrole();
+        assert_eq!(m.formula(), built.formula());
+        assert_eq!(m.num_atoms(), built.num_atoms());
+        assert_eq!(m.num_bonds(), built.num_bonds());
+    }
+
+    #[test]
+    fn two_letter_halogens() {
+        let m = parse_smiles("ClCBr").unwrap();
+        assert_eq!(m.formula(), "CH2BrCl");
+    }
+
+    #[test]
+    fn percent_ring_closure() {
+        let a = parse_smiles("C%12CCCCC%12").unwrap();
+        let b = parse_smiles("C1CCCCC1").unwrap();
+        assert_eq!(a.formula(), b.formula());
+        assert_eq!(a.num_bonds(), b.num_bonds());
+    }
+
+    #[test]
+    fn heavy_parse_skips_hydrogens() {
+        let m = parse_smiles_heavy("CCO").unwrap();
+        assert_eq!(m.num_atoms(), 3);
+        assert_eq!(m.formula(), "C2O");
+    }
+
+    #[test]
+    fn error_on_unknown_element() {
+        assert!(matches!(
+            parse_smiles("CXy"),
+            Err(SmilesError::UnknownElement { .. })
+        ));
+    }
+
+    #[test]
+    fn error_on_unbalanced_parens() {
+        assert!(matches!(
+            parse_smiles("C(C"),
+            Err(SmilesError::Parenthesis { .. })
+        ));
+        assert!(matches!(
+            parse_smiles("C)C"),
+            Err(SmilesError::Parenthesis { .. })
+        ));
+    }
+
+    #[test]
+    fn error_on_dangling_ring() {
+        assert!(matches!(
+            parse_smiles("C1CC"),
+            Err(SmilesError::RingBond { .. })
+        ));
+    }
+
+    #[test]
+    fn error_on_leading_bond() {
+        assert!(matches!(
+            parse_smiles("=CC"),
+            Err(SmilesError::DanglingBond { .. })
+        ));
+    }
+
+    #[test]
+    fn error_on_empty() {
+        assert_eq!(parse_smiles(""), Err(SmilesError::Empty));
+    }
+
+    #[test]
+    fn write_then_parse_preserves_formula_simple() {
+        for s in ["C", "CCO", "CC(=O)O", "C1CCCCC1", "CC#N", "c1ccccc1"] {
+            let m = parse_smiles(s).unwrap();
+            let written = write_smiles(&m);
+            let back = parse_smiles(&written).unwrap_or_else(|e| {
+                panic!("re-parse of {written:?} (from {s:?}) failed: {e}")
+            });
+            assert_eq!(back.formula(), m.formula(), "round-trip of {s} via {written}");
+            assert_eq!(back.num_bonds(), m.num_bonds(), "round-trip of {s} via {written}");
+        }
+    }
+
+    #[test]
+    fn valence_violation_is_reported() {
+        // Pentavalent carbon: C with five explicit neighbors.
+        assert!(matches!(
+            parse_smiles("C(C)(C)(C)(C)C"),
+            Err(SmilesError::Molecule(_))
+        ));
+    }
+}

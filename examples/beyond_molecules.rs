@@ -1,0 +1,74 @@
+//! Beyond molecules: the paper's conclusion notes the iterative signature
+//! filter "is broadly applicable to labeled sparse graphs and can also be
+//! applied in domains such as malware detection and graph database
+//! queries." This example runs SIGMo on call-graph-shaped labeled graphs:
+//! patterns are suspicious call chains (label sequences), data graphs are
+//! program call graphs.
+//!
+//! ```sh
+//! cargo run --release --example beyond_molecules
+//! ```
+
+use sigmo::core::{Engine, EngineConfig, MatchMode};
+use sigmo::device::{DeviceProfile, Queue};
+use sigmo::graph::{random_callgraph, random_connected_subgraph, LabeledGraph};
+
+/// Function-kind labels for the synthetic call graphs.
+const KINDS: [&str; 6] = ["io", "net", "crypto", "proc", "reg", "misc"];
+
+fn main() {
+    // A corpus of "program" call graphs.
+    let programs: Vec<LabeledGraph> = (0..300)
+        .map(|i| random_callgraph(6, 10, KINDS.len() as u8, 1000 + i))
+        .collect();
+
+    // "Malware signatures": call patterns lifted from a handful of
+    // reference programs (so some patterns are present in the corpus),
+    // plus a hand-built chain net -> crypto -> io that flags exfiltration-
+    // like behaviour.
+    let mut patterns: Vec<LabeledGraph> = (0..6)
+        .filter_map(|i| random_connected_subgraph(&programs[i], 4, 77 + i as u64))
+        .collect();
+    let mut chain = LabeledGraph::new();
+    let a = chain.add_node(1); // net
+    let b = chain.add_node(2); // crypto
+    let c = chain.add_node(0); // io
+    chain.add_edge(a, b, 1).unwrap();
+    chain.add_edge(b, c, 1).unwrap();
+    patterns.push(chain);
+
+    let queue = Queue::new(DeviceProfile::host());
+    let engine = Engine::new(EngineConfig {
+        mode: MatchMode::FindFirst,
+        ..Default::default()
+    });
+    let t0 = std::time::Instant::now();
+    let report = engine.run(&patterns, &programs, &queue);
+    let elapsed = t0.elapsed();
+
+    let mut hits = vec![0usize; patterns.len()];
+    for &(_, qg) in &report.matched_pair_list {
+        hits[qg] += 1;
+    }
+    println!(
+        "scanned {} call graphs against {} patterns in {:.3}s\n",
+        programs.len(),
+        patterns.len(),
+        elapsed.as_secs_f64()
+    );
+    for (i, &h) in hits.iter().enumerate() {
+        let name = if i < patterns.len() - 1 {
+            format!("lifted-pattern-{i}")
+        } else {
+            "net->crypto->io chain".to_string()
+        };
+        println!(
+            "{name:<24} flagged {h:>4} programs ({:.1}%)",
+            100.0 * h as f64 / programs.len() as f64
+        );
+    }
+    assert!(
+        hits.iter().any(|&h| h > 0),
+        "lifted patterns must match at least their source programs"
+    );
+}

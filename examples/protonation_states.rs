@@ -1,0 +1,79 @@
+//! Protonation-state enumeration (paper §2): "graph patterns are used to
+//! identify atoms with multiple proton configurations" (the Epik-style
+//! workload). Each rule is a pattern centred on an (de)protonatable site;
+//! enumerating all isomorphisms locates every site, and the product of
+//! per-site state counts bounds the molecule's protonation microstates.
+//!
+//! ```sh
+//! cargo run --release --example protonation_states
+//! ```
+
+use sigmo::core::{Engine, EngineConfig};
+use sigmo::device::{DeviceProfile, Queue};
+use sigmo::mol::{parse_smiles, parse_smiles_heavy};
+use std::collections::BTreeSet;
+
+/// A protonation rule: pattern, index of the titratable atom within the
+/// pattern, and the number of protonation states of that site.
+struct Rule {
+    name: &'static str,
+    smiles: &'static str,
+    site_atom: usize,
+    states: usize,
+}
+
+fn main() {
+    let rules = [
+        Rule { name: "carboxylic-acid (COOH/COO-)", smiles: "C(=O)O", site_atom: 2, states: 2 },
+        Rule { name: "primary-amine (NH2/NH3+)", smiles: "CN", site_atom: 1, states: 2 },
+        Rule { name: "thiol (SH/S-)", smiles: "CS", site_atom: 1, states: 2 },
+        Rule { name: "phosphate (3 states)", smiles: "P(=O)(O)O", site_atom: 2, states: 3 },
+    ];
+    let molecules = [
+        ("glycine-like", "NCC(=O)O"),
+        ("cysteine-like", "NC(CS)C(=O)O"),
+        ("aspartate-like", "NC(CC(=O)O)C(=O)O"),
+        ("ethane (no sites)", "CC"),
+    ];
+
+    let queries: Vec<_> = rules
+        .iter()
+        .map(|r| parse_smiles_heavy(r.smiles).unwrap().to_labeled_graph())
+        .collect();
+    let data: Vec<_> = molecules
+        .iter()
+        .map(|(_, s)| parse_smiles(s).unwrap().to_labeled_graph())
+        .collect();
+
+    let queue = Queue::new(DeviceProfile::host());
+    let engine = Engine::new(EngineConfig {
+        collect_limit: Some(100_000),
+        ..Default::default()
+    });
+    let report = engine.run(&queries, &data, &queue);
+
+    // Distinct titratable sites per molecule = distinct data atoms the
+    // rules' site atoms map to (several embeddings can hit one site).
+    let mut bases = vec![0u32; data.len()];
+    for i in 1..data.len() {
+        bases[i] = bases[i - 1] + data[i - 1].num_nodes() as u32;
+    }
+    for (mi, (name, _)) in molecules.iter().enumerate() {
+        let mut microstates = 1usize;
+        let mut sites: Vec<(usize, BTreeSet<u32>)> = rules.iter().map(|_| (0, BTreeSet::new())).collect();
+        for rec in report.records.iter().filter(|r| r.data_graph == mi) {
+            let site_global = rec.mapping[rules[rec.query_graph].site_atom];
+            sites[rec.query_graph].1.insert(site_global - bases[mi]);
+        }
+        println!("## {name}");
+        for (ri, rule) in rules.iter().enumerate() {
+            let n = sites[ri].1.len();
+            if n > 0 {
+                println!("  {:<28} sites: {n}", rule.name);
+                microstates *= rule.states.pow(n as u32);
+            }
+        }
+        println!("  upper bound on protonation microstates: {microstates}\n");
+    }
+    assert!(report.total_matches > 0);
+}

@@ -1,0 +1,57 @@
+//! Quickstart: match one functional-group pattern against a few molecules.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sigmo::core::{Engine, EngineConfig};
+use sigmo::device::{DeviceProfile, Queue};
+use sigmo::mol::parse_smiles;
+
+fn main() {
+    // Data graphs: molecules parsed from SMILES (hydrogens made explicit,
+    // as in the paper's graphs).
+    let molecules = [
+        ("acetic acid", "CC(=O)O"),
+        ("acetone", "CC(=O)C"),
+        ("ethanol", "CCO"),
+        ("N-acetylpyrrole", "CC(=O)n1cccc1"),
+        ("benzene", "c1ccccc1"),
+    ];
+    let data: Vec<_> = molecules
+        .iter()
+        .map(|(_, s)| parse_smiles(s).expect("valid SMILES").to_labeled_graph())
+        .collect();
+
+    // Query graph: a carbonyl group, C=O (heavy atoms only — hydrogens are
+    // left unconstrained, the standard substructure-search convention).
+    let carbonyl = sigmo::mol::parse_smiles_heavy("C=O")
+        .unwrap()
+        .to_labeled_graph();
+
+    // Run the SIGMo pipeline with default configuration (6 refinement
+    // iterations, Find All).
+    let queue = Queue::new(DeviceProfile::host());
+    let engine = Engine::new(EngineConfig {
+        collect_limit: Some(64),
+        ..Default::default()
+    });
+    let report = engine.run(&[carbonyl], &data, &queue);
+
+    println!("total embeddings: {}", report.total_matches);
+    println!("molecules containing a carbonyl:");
+    for &(dg, _) in &report.matched_pair_list {
+        println!("  - {}", molecules[dg].0);
+    }
+    for rec in &report.records {
+        println!(
+            "embedding in {}: query atoms -> data atoms {:?}",
+            molecules[rec.data_graph].0, rec.mapping
+        );
+    }
+    assert_eq!(
+        report.matched_pair_list.len(),
+        3,
+        "acetic acid, acetone, and N-acetylpyrrole carry C=O"
+    );
+}

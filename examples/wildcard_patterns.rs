@@ -1,0 +1,75 @@
+//! Wildcard atoms and bonds — the paper's announced future work
+//! ("we plan to extend SIGMo to support wildcard atoms and bonds, which
+//! are used in cheminformatics to express flexible or partially specified
+//! substructures"), implemented here as an extension.
+//!
+//! A wildcard atom (`WILDCARD_LABEL`) matches any element; a wildcard bond
+//! (`WILDCARD_EDGE`) matches any bond order — the graph-level analogue of
+//! SMARTS `*` and `~`.
+//!
+//! ```sh
+//! cargo run --release --example wildcard_patterns
+//! ```
+
+use sigmo::core::{Engine, EngineConfig};
+use sigmo::device::{DeviceProfile, Queue};
+use sigmo::graph::{LabeledGraph, WILDCARD_EDGE, WILDCARD_LABEL};
+use sigmo::mol::{parse_smiles, Element};
+
+fn main() {
+    let molecules = [
+        ("acetaldehyde", "CC=O"),
+        ("acetamide", "CC(=O)N"),
+        ("acetyl chloride", "CC(=O)Cl"),
+        ("thioacetone-like", "CC(=S)C"),
+        ("ethanol", "CCO"),
+    ];
+    let data: Vec<_> = molecules
+        .iter()
+        .map(|(_, s)| parse_smiles(s).unwrap().to_labeled_graph())
+        .collect();
+
+    // SMARTS-style pattern "C(=O)~*": a carbonyl carbon bonded (any bond)
+    // to any non-oxygen partner — here: carbon double-bonded to O, single
+    // bond to a wildcard atom.
+    let mut acyl_x = LabeledGraph::new();
+    let c = acyl_x.add_node(Element::C.label());
+    let o = acyl_x.add_node(Element::O.label());
+    let x = acyl_x.add_node(WILDCARD_LABEL);
+    acyl_x.add_edge(c, o, 2).unwrap(); // C=O
+    acyl_x.add_edge(c, x, WILDCARD_EDGE).unwrap(); // C~*
+
+    // A fully concrete comparison pattern: C(=O)N (amide only).
+    let amide = sigmo::mol::parse_smiles_heavy("C(=O)N")
+        .unwrap()
+        .to_labeled_graph();
+
+    let queue = Queue::new(DeviceProfile::host());
+    let engine = Engine::new(EngineConfig {
+        collect_limit: Some(1000),
+        ..Default::default()
+    });
+    let report = engine.run(&[acyl_x.clone(), amide], &data, &queue);
+
+    println!("pattern 0: C(=O)~*   (wildcard acyl)");
+    println!("pattern 1: C(=O)N    (amide)\n");
+    for qg in 0..2 {
+        let hits: Vec<&str> = report
+            .matched_pair_list
+            .iter()
+            .filter(|&&(_, q)| q == qg)
+            .map(|&(d, _)| molecules[d].0)
+            .collect();
+        println!("pattern {qg} hits: {}", hits.join(", "));
+    }
+
+    let wildcard_hits = report.matched_pair_list.iter().filter(|&&(_, q)| q == 0).count();
+    let amide_hits = report.matched_pair_list.iter().filter(|&&(_, q)| q == 1).count();
+    assert!(
+        wildcard_hits > amide_hits,
+        "the wildcard pattern must generalize the concrete one"
+    );
+    // Ethanol has no C=O: neither pattern may hit it.
+    assert!(report.matched_pair_list.iter().all(|&(d, _)| d != 4));
+    println!("\nwildcard pattern matched {wildcard_hits} molecules, concrete amide {amide_hits}");
+}

@@ -1,0 +1,18 @@
+//! SIGMo-rs: batched subgraph isomorphism for molecular matching.
+//!
+//! This facade crate re-exports the whole workspace so downstream users can
+//! depend on a single package. See the README for an architecture overview
+//! and the `examples/` directory for runnable scenarios.
+
+pub use sigmo_baselines as baselines;
+pub use sigmo_cluster as cluster;
+pub use sigmo_core as core;
+pub use sigmo_device as device;
+pub use sigmo_graph as graph;
+pub use sigmo_mol as mol;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use sigmo_graph::{CsrGo, LabeledGraph};
+    pub use sigmo_mol::{Dataset, DatasetConfig, Molecule, MoleculeGenerator};
+}

@@ -1,0 +1,173 @@
+//! Cross-crate agreement: the SIGMo engine must produce exactly the same
+//! match counts — and the same match *sets* — as the independent reference
+//! matchers, across generated molecular workloads.
+
+use sigmo::baselines::{Matcher, UllmannMatcher, Vf3Matcher};
+use sigmo::core::{Engine, EngineConfig};
+use sigmo::device::{DeviceProfile, Queue};
+use sigmo::graph::LabeledGraph;
+use sigmo::mol::{functional_groups, Dataset, DatasetConfig, MoleculeGenerator, QueryExtractor};
+
+fn queue() -> Queue {
+    Queue::new(DeviceProfile::host())
+}
+
+/// Per-pair counts from a baseline matcher over the full grid.
+fn baseline_counts(
+    m: &dyn Matcher,
+    queries: &[LabeledGraph],
+    data: &[LabeledGraph],
+) -> Vec<Vec<u64>> {
+    queries
+        .iter()
+        .map(|q| data.iter().map(|d| m.count_embeddings(q, d)).collect())
+        .collect()
+}
+
+/// Per-pair counts from the engine (via collected records would cap; use a
+/// per-pair run instead for exactness on small grids).
+fn engine_total(queries: &[LabeledGraph], data: &[LabeledGraph], iterations: usize) -> u64 {
+    Engine::new(EngineConfig::with_iterations(iterations))
+        .run(queries, data, &queue())
+        .total_matches
+}
+
+#[test]
+fn engine_matches_vf3_on_generated_dataset() {
+    let mut gen = MoleculeGenerator::with_seed(31);
+    let data: Vec<LabeledGraph> = gen
+        .generate_batch(40)
+        .iter()
+        .map(|m| m.to_labeled_graph())
+        .collect();
+    let queries: Vec<LabeledGraph> = functional_groups()
+        .into_iter()
+        .take(12)
+        .map(|q| q.graph)
+        .collect();
+    let expected: u64 = baseline_counts(&Vf3Matcher, &queries, &data)
+        .iter()
+        .flatten()
+        .sum();
+    for iters in [1, 3, 6] {
+        assert_eq!(
+            engine_total(&queries, &data, iters),
+            expected,
+            "engine diverged from VF3 at {iters} iterations"
+        );
+    }
+}
+
+#[test]
+fn engine_matches_ullmann_on_extracted_queries() {
+    let mut gen = MoleculeGenerator::with_seed(77);
+    let mols = gen.generate_batch(15);
+    let data: Vec<LabeledGraph> = mols.iter().map(|m| m.to_labeled_graph()).collect();
+    let mut ex = QueryExtractor::new(5);
+    let queries = ex.extract_batch(&mols, 8, 3, 9);
+    assert!(!queries.is_empty());
+    let expected: u64 = baseline_counts(&UllmannMatcher, &queries, &data)
+        .iter()
+        .flatten()
+        .sum();
+    assert!(expected > 0, "extracted queries must match their sources");
+    assert_eq!(engine_total(&queries, &data, 6), expected);
+}
+
+#[test]
+fn engine_matched_pairs_agree_with_vf3_find_first() {
+    let d = Dataset::build(&DatasetConfig {
+        num_molecules: 30,
+        num_extracted_queries: 10,
+        seed: 3,
+        ..Default::default()
+    });
+    let report = Engine::new(EngineConfig::find_first()).run(d.queries(), d.data_graphs(), &queue());
+    let mut expected: Vec<(usize, usize)> = Vec::new();
+    for (qi, q) in d.queries().iter().enumerate() {
+        for (di, dg) in d.data_graphs().iter().enumerate() {
+            if Vf3Matcher.find_first(q, dg).is_some() {
+                expected.push((di, qi));
+            }
+        }
+    }
+    let mut got = report.matched_pair_list.clone();
+    got.sort_unstable();
+    expected.sort_unstable();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn engine_match_sets_equal_baseline_match_sets() {
+    // Compare the actual embeddings, not just counts, on a small grid.
+    let mut gen = MoleculeGenerator::with_seed(123);
+    let mols = gen.generate_batch(5);
+    let data: Vec<LabeledGraph> = mols.iter().map(|m| m.to_labeled_graph()).collect();
+    let mut ex = QueryExtractor::new(9);
+    let queries: Vec<LabeledGraph> = (0..4)
+        .filter_map(|i| ex.extract(&mols[i % mols.len()], 4))
+        .collect();
+
+    let engine = Engine::new(EngineConfig {
+        collect_limit: Some(1_000_000),
+        ..Default::default()
+    });
+    let report = engine.run(&queries, &data, &queue());
+
+    // Engine records use global data-node ids; translate to local.
+    let mut bases = vec![0u32; data.len()];
+    for i in 1..data.len() {
+        bases[i] = bases[i - 1] + data[i - 1].num_nodes() as u32;
+    }
+    let mut engine_set: Vec<(usize, usize, Vec<u32>)> = report
+        .records
+        .iter()
+        .map(|r| {
+            (
+                r.query_graph,
+                r.data_graph,
+                r.mapping.iter().map(|&g| g - bases[r.data_graph]).collect(),
+            )
+        })
+        .collect();
+    engine_set.sort();
+
+    let mut reference_set: Vec<(usize, usize, Vec<u32>)> = Vec::new();
+    for (qi, q) in queries.iter().enumerate() {
+        for (di, dg) in data.iter().enumerate() {
+            for emb in UllmannMatcher.enumerate(q, dg, usize::MAX) {
+                reference_set.push((qi, di, emb));
+            }
+        }
+    }
+    reference_set.sort();
+    assert_eq!(engine_set, reference_set);
+}
+
+#[test]
+fn all_reported_embeddings_are_valid() {
+    let mut gen = MoleculeGenerator::with_seed(55);
+    let mols = gen.generate_batch(10);
+    let data: Vec<LabeledGraph> = mols.iter().map(|m| m.to_labeled_graph()).collect();
+    let queries: Vec<LabeledGraph> = functional_groups()
+        .into_iter()
+        .take(8)
+        .map(|q| q.graph)
+        .collect();
+    let engine = Engine::new(EngineConfig {
+        collect_limit: Some(100_000),
+        ..Default::default()
+    });
+    let report = engine.run(&queries, &data, &queue());
+    let mut bases = vec![0u32; data.len()];
+    for i in 1..data.len() {
+        bases[i] = bases[i - 1] + data[i - 1].num_nodes() as u32;
+    }
+    for rec in &report.records {
+        let local: Vec<u32> = rec.mapping.iter().map(|&g| g - bases[rec.data_graph]).collect();
+        assert!(
+            data[rec.data_graph].is_valid_embedding(&queries[rec.query_graph], &local),
+            "invalid embedding reported: {rec:?}"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Cross-matcher agreement: every labeled matcher family in the workspace
+//! must report identical counts on molecular workloads; the label-free
+//! families must agree with each other; the engine anchors both groups.
+
+use sigmo::baselines::{
+    CutsMatcher, GlasgowMatcher, Matcher, RiMatcher, StMatchMatcher, UllmannMatcher, Vf3Matcher,
+};
+use sigmo::core::{Engine, EngineConfig};
+use sigmo::device::{DeviceProfile, Queue};
+use sigmo::graph::LabeledGraph;
+use sigmo::mol::{MoleculeGenerator, QueryExtractor};
+
+fn workload() -> (Vec<LabeledGraph>, Vec<LabeledGraph>) {
+    let mut gen = MoleculeGenerator::with_seed(404);
+    let mols = gen.generate_batch(12);
+    let data: Vec<LabeledGraph> = mols.iter().map(|m| m.to_labeled_graph()).collect();
+    let mut ex = QueryExtractor::new(41);
+    let mut queries = ex.extract_batch(&mols, 6, 3, 7);
+    queries.extend(
+        sigmo::mol::functional_groups()
+            .into_iter()
+            .take(6)
+            .map(|p| p.graph),
+    );
+    (queries, data)
+}
+
+fn grid_count(m: &dyn Matcher, queries: &[LabeledGraph], data: &[LabeledGraph]) -> u64 {
+    queries
+        .iter()
+        .map(|q| data.iter().map(|d| m.count_embeddings(q, d)).sum::<u64>())
+        .sum()
+}
+
+#[test]
+fn labeled_matchers_all_agree_with_the_engine() {
+    let (queries, data) = workload();
+    let engine_total = Engine::new(EngineConfig::default())
+        .run(&queries, &data, &Queue::new(DeviceProfile::host()))
+        .total_matches;
+    assert!(engine_total > 0);
+    let labeled: Vec<(&str, u64)> = vec![
+        ("ullmann", grid_count(&UllmannMatcher, &queries, &data)),
+        ("vf3", grid_count(&Vf3Matcher, &queries, &data)),
+        ("ri", grid_count(&RiMatcher, &queries, &data)),
+        ("glasgow", grid_count(&GlasgowMatcher, &queries, &data)),
+    ];
+    for (name, count) in labeled {
+        assert_eq!(count, engine_total, "{name} diverged from the engine");
+    }
+}
+
+#[test]
+fn label_free_matchers_agree_with_each_other() {
+    let (queries, data) = workload();
+    // Use small queries only: unlabeled counts explode on larger ones.
+    let small: Vec<LabeledGraph> = queries
+        .iter()
+        .filter(|q| q.num_nodes() <= 4)
+        .cloned()
+        .collect();
+    assert!(!small.is_empty());
+    let cuts = grid_count(&CutsMatcher, &small, &data);
+    let stmatch = grid_count(&StMatchMatcher, &small, &data);
+    assert_eq!(cuts, stmatch, "the two structural matchers diverged");
+    // Structural counts dominate labeled counts.
+    let labeled = grid_count(&Vf3Matcher, &small, &data);
+    assert!(cuts >= labeled);
+}
+
+#[test]
+fn find_first_agrees_across_labeled_matchers() {
+    let (queries, data) = workload();
+    for (qi, q) in queries.iter().enumerate().take(6) {
+        for (di, d) in data.iter().enumerate().take(6) {
+            let expected = Vf3Matcher.find_first(q, d).is_some();
+            for m in [
+                &UllmannMatcher as &dyn Matcher,
+                &RiMatcher,
+                &GlasgowMatcher,
+            ] {
+                assert_eq!(
+                    m.find_first(q, d).is_some(),
+                    expected,
+                    "{} disagreed on pair ({qi}, {di})",
+                    m.name()
+                );
+            }
+        }
+    }
+}

