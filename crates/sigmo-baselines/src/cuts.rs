@@ -49,7 +49,7 @@ impl CutsMatcher {
     }
 
     /// Expands the trie one level, returning the number of leaves added.
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
     fn expand(
         node: &mut TrieNode,
         prefix: &mut Vec<NodeId>,
@@ -260,7 +260,14 @@ mod tests {
     fn triangle_count_in_k4() {
         let k4 = labeled(
             &[1, 2, 3, 4],
-            &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
+            &[
+                (0, 1, 1),
+                (0, 2, 1),
+                (0, 3, 1),
+                (1, 2, 1),
+                (1, 3, 1),
+                (2, 3, 1),
+            ],
         );
         let tri = labeled(&[9, 9, 9], &[(0, 1, 1), (1, 2, 1), (0, 2, 1)]);
         assert_eq!(CutsMatcher.count_embeddings(&tri, &k4), 24);

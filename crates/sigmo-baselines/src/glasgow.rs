@@ -47,6 +47,7 @@ impl Domain {
         self.words[v as usize / 64] |= 1u64 << (v % 64);
     }
 
+    #[cfg(test)]
     #[inline]
     fn contains(&self, v: NodeId) -> bool {
         self.words[v as usize / 64] & (1u64 << (v % 64)) != 0
@@ -93,7 +94,12 @@ struct Solver<'a> {
 }
 
 impl<'a> Solver<'a> {
-    fn new(query: &'a LabeledGraph, data: &'a LabeledGraph, limit: usize, stop_first: bool) -> Self {
+    fn new(
+        query: &'a LabeledGraph,
+        data: &'a LabeledGraph,
+        limit: usize,
+        stop_first: bool,
+    ) -> Self {
         let n = data.num_nodes();
         let adj = (0..n as NodeId)
             .map(|v| {
@@ -136,7 +142,7 @@ impl<'a> Solver<'a> {
     }
 
     /// Returns true when the search should stop entirely.
-    fn search(&mut self, domains: &Vec<Domain>, assigned: &mut Vec<Option<NodeId>>) -> bool {
+    fn search(&mut self, domains: &[Domain], assigned: &mut Vec<Option<NodeId>>) -> bool {
         // Pick the unassigned query vertex with the smallest domain.
         let pick = (0..self.query.num_nodes())
             .filter(|&q| assigned[q].is_none())
@@ -145,8 +151,7 @@ impl<'a> Solver<'a> {
             None => {
                 self.count += 1;
                 if self.out.len() < self.limit {
-                    self.out
-                        .push(assigned.iter().map(|a| a.unwrap()).collect());
+                    self.out.push(assigned.iter().map(|a| a.unwrap()).collect());
                 }
                 return self.stop_first;
             }
@@ -172,7 +177,7 @@ impl<'a> Solver<'a> {
                 }
             }
             // Propagate: neighbors' domains intersect v's adjacency.
-            let mut next = domains.clone();
+            let mut next = domains.to_vec();
             next[q] = Domain::empty(self.data.num_nodes());
             next[q].set(v);
             let mut wiped = false;
@@ -271,7 +276,14 @@ mod tests {
                 labeled(&[1, 1, 1], &[(0, 1, 1), (1, 2, 1), (0, 2, 1)]),
                 labeled(
                     &[1; 4],
-                    &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
+                    &[
+                        (0, 1, 1),
+                        (0, 2, 1),
+                        (0, 3, 1),
+                        (1, 2, 1),
+                        (1, 3, 1),
+                        (2, 3, 1),
+                    ],
                 ),
             ),
             (
@@ -326,7 +338,10 @@ mod tests {
 
     #[test]
     fn degree_filter_in_initial_domains() {
-        let star4 = labeled(&[1, 0, 0, 0, 0], &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (0, 4, 1)]);
+        let star4 = labeled(
+            &[1, 0, 0, 0, 0],
+            &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (0, 4, 1)],
+        );
         let star3 = labeled(&[1, 0, 0, 0], &[(0, 1, 1), (0, 2, 1), (0, 3, 1)]);
         assert_eq!(GlasgowMatcher.count_embeddings(&star4, &star3), 0);
     }

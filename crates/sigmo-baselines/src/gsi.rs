@@ -81,8 +81,7 @@ impl GsiMatcher {
             .map(|d| vec![d])
             .collect();
 
-        for k in 1..nq {
-            let q = order[k];
+        for (k, &q) in order.iter().enumerate().skip(1) {
             let checks: Vec<(usize, u8)> = query
                 .neighbors(q)
                 .iter()
@@ -98,8 +97,7 @@ impl GsiMatcher {
                         continue;
                     }
                     let ok = checks.iter().all(|&(p, ql)| {
-                        data.edge_label(row[p], d)
-                            .is_some_and(|dl| edge_ok(ql, dl))
+                        data.edge_label(row[p], d).is_some_and(|dl| edge_ok(ql, dl))
                     });
                     if ok {
                         let mut new_row = row.clone();
@@ -234,7 +232,10 @@ mod tests {
             }
         }
         let clique = labeled(&vec![1; n as usize], &edges);
-        let path = labeled(&[1; 6], &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1)]);
+        let path = labeled(
+            &[1; 6],
+            &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1)],
+        );
         let tight = GsiMatcher { row_cap: Some(100) };
         assert!(tight.would_oom(&path, &clique));
         assert_eq!(tight.count_embeddings(&path, &clique), 0, "OOM reports 0");

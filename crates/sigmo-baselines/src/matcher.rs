@@ -26,8 +26,12 @@ pub trait Matcher: Sync {
     }
 
     /// Enumerates up to `limit` embeddings as query-node-indexed mappings.
-    fn enumerate(&self, query: &LabeledGraph, data: &LabeledGraph, limit: usize)
-        -> Vec<Vec<NodeId>>;
+    fn enumerate(
+        &self,
+        query: &LabeledGraph,
+        data: &LabeledGraph,
+        limit: usize,
+    ) -> Vec<Vec<NodeId>>;
 }
 
 /// Label compatibility under wildcard rules.
@@ -175,7 +179,14 @@ mod tests {
         // K4 with uniform labels: triangles = 4 choose 3 × 3! = 24.
         let k4 = labeled(
             &[1; 4],
-            &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
+            &[
+                (0, 1, 1),
+                (0, 2, 1),
+                (0, 3, 1),
+                (1, 2, 1),
+                (1, 3, 1),
+                (2, 3, 1),
+            ],
         );
         let tri = labeled(&[1; 3], &[(0, 1, 1), (1, 2, 1), (0, 2, 1)]);
         assert_eq!(brute_force_count(&tri, &k4), 24);

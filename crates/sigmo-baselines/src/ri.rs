@@ -47,10 +47,7 @@ impl RiMatcher {
                     .iter()
                     .filter(|&&(u, _)| {
                         !picked[u as usize]
-                            && query
-                                .neighbors(u)
-                                .iter()
-                                .any(|&(w, _)| picked[w as usize])
+                            && query.neighbors(u).iter().any(|&(w, _)| picked[w as usize])
                     })
                     .count();
                 let key = (into_prefix, near_prefix, query.degree(v), v);
@@ -131,7 +128,16 @@ impl RiMatcher {
             mapping.push(d);
             used[d as usize] = true;
             let stop = Self::recurse(
-                query, data, plan, depth + 1, mapping, used, count, out, limit, stop_first,
+                query,
+                data,
+                plan,
+                depth + 1,
+                mapping,
+                used,
+                count,
+                out,
+                limit,
+                stop_first,
             );
             used[d as usize] = false;
             mapping.pop();

@@ -210,12 +210,29 @@ mod tests {
                 labeled(&[0; 3], &[(0, 1, 1), (1, 2, 1), (0, 2, 1)]),
                 labeled(
                     &[9; 4],
-                    &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
+                    &[
+                        (0, 1, 1),
+                        (0, 2, 1),
+                        (0, 3, 1),
+                        (1, 2, 1),
+                        (1, 3, 1),
+                        (2, 3, 1),
+                    ],
                 ),
             ),
             (
                 labeled(&[0; 4], &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]),
-                labeled(&[0; 6], &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1), (5, 0, 1)]),
+                labeled(
+                    &[0; 6],
+                    &[
+                        (0, 1, 1),
+                        (1, 2, 1),
+                        (2, 3, 1),
+                        (3, 4, 1),
+                        (4, 5, 1),
+                        (5, 0, 1),
+                    ],
+                ),
             ),
         ];
         for (q, d) in cases {
@@ -231,7 +248,14 @@ mod tests {
     fn triangle_count_in_k4() {
         let k4 = labeled(
             &[1, 2, 3, 4],
-            &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
+            &[
+                (0, 1, 1),
+                (0, 2, 1),
+                (0, 3, 1),
+                (1, 2, 1),
+                (1, 3, 1),
+                (2, 3, 1),
+            ],
         );
         let tri = labeled(&[7, 8, 9], &[(0, 1, 1), (1, 2, 1), (0, 2, 1)]);
         assert_eq!(StMatchMatcher.count_embeddings(&tri, &k4), 24);

@@ -28,8 +28,8 @@ impl UllmannMatcher {
         let mut m = vec![vec![false; nd]; nq];
         for q in 0..nq as NodeId {
             for d in 0..nd as NodeId {
-                m[q as usize][d as usize] = label_ok(query.label(q), data.label(d))
-                    && data.degree(d) >= query.degree(q);
+                m[q as usize][d as usize] =
+                    label_ok(query.label(q), data.label(d)) && data.degree(d) >= query.degree(q);
             }
         }
         m
@@ -58,7 +58,12 @@ impl UllmannMatcher {
         changed
     }
 
-    fn backtrack(st: &mut State<'_>, m: &[Vec<bool>], mapping: &mut Vec<NodeId>, used: &mut [bool]) -> bool {
+    fn backtrack(
+        st: &mut State<'_>,
+        m: &[Vec<bool>],
+        mapping: &mut Vec<NodeId>,
+        used: &mut [bool],
+    ) -> bool {
         let depth = mapping.len();
         if depth == st.query.num_nodes() {
             st.count += 1;

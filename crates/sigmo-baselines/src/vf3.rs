@@ -156,7 +156,16 @@ impl Vf3Matcher {
             mapping.push(d);
             used[d as usize] = true;
             let stop = Self::recurse(
-                query, data, plan, depth + 1, mapping, used, count, out, limit, stop_first,
+                query,
+                data,
+                plan,
+                depth + 1,
+                mapping,
+                used,
+                count,
+                out,
+                limit,
+                stop_first,
             );
             used[d as usize] = false;
             mapping.pop();
@@ -250,7 +259,14 @@ mod tests {
                 labeled(&[1, 1, 1], &[(0, 1, 1), (1, 2, 1), (0, 2, 1)]),
                 labeled(
                     &[1; 4],
-                    &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
+                    &[
+                        (0, 1, 1),
+                        (0, 2, 1),
+                        (0, 3, 1),
+                        (1, 2, 1),
+                        (1, 3, 1),
+                        (2, 3, 1),
+                    ],
                 ),
             ),
             (

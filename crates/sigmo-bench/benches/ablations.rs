@@ -34,7 +34,9 @@ fn ablate_bitmap_width(c: &mut Criterion) {
             });
             b.iter(|| {
                 let queue = Queue::new(DeviceProfile::host());
-                engine.run(d.queries(), d.data_graphs(), &queue).total_matches
+                engine
+                    .run(d.queries(), d.data_graphs(), &queue)
+                    .total_matches
             })
         });
     }
@@ -53,7 +55,9 @@ fn ablate_workgroup(c: &mut Criterion) {
             });
             b.iter(|| {
                 let queue = Queue::new(DeviceProfile::host());
-                engine.run(d.queries(), d.data_graphs(), &queue).total_matches
+                engine
+                    .run(d.queries(), d.data_graphs(), &queue)
+                    .total_matches
             })
         });
     }
@@ -75,7 +79,9 @@ fn ablate_signature_masking(c: &mut Criterion) {
             });
             b.iter(|| {
                 let queue = Queue::new(DeviceProfile::host());
-                engine.run(d.queries(), d.data_graphs(), &queue).total_matches
+                engine
+                    .run(d.queries(), d.data_graphs(), &queue)
+                    .total_matches
             })
         });
     }
@@ -167,7 +173,9 @@ fn ablate_join_order(c: &mut Criterion) {
             });
             b.iter(|| {
                 let queue = Queue::new(DeviceProfile::host());
-                engine.run(d.queries(), d.data_graphs(), &queue).total_matches
+                engine
+                    .run(d.queries(), d.data_graphs(), &queue)
+                    .total_matches
             })
         });
     }

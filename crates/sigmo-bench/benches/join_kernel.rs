@@ -19,8 +19,10 @@ fn dataset() -> Dataset {
 fn bench_modes(c: &mut Criterion) {
     let d = dataset();
     let mut group = c.benchmark_group("join_mode");
-    for (label, mode) in [("find_all", MatchMode::FindAll), ("find_first", MatchMode::FindFirst)]
-    {
+    for (label, mode) in [
+        ("find_all", MatchMode::FindAll),
+        ("find_first", MatchMode::FindFirst),
+    ] {
         group.bench_function(label, |b| {
             let engine = Engine::new(EngineConfig {
                 mode,

@@ -2,8 +2,8 @@
 //! composed with exact verification — screen rate, false-positive rate,
 //! and end-to-end agreement with the SIGMo engine.
 
-use sigmo_bench::BenchScale;
 use sigmo_baselines::FingerprintScreen;
+use sigmo_bench::BenchScale;
 use sigmo_core::{Engine, EngineConfig, MatchMode};
 use sigmo_device::{DeviceProfile, Queue};
 
@@ -39,14 +39,24 @@ fn main() {
         }
     }
     screen_pairs.sort_unstable();
-    assert_eq!(engine_pairs, screen_pairs, "screening diverged from the engine");
+    assert_eq!(
+        engine_pairs, screen_pairs,
+        "screening diverged from the engine"
+    );
 
     println!("# Extension — fingerprint prescreen vs SIGMo engine ({scale:?} scale)");
     println!("pairs:               {}", stats.pairs);
-    println!("screened out:        {} ({:.1}%)", stats.screened_out, stats.screen_rate() * 100.0);
+    println!(
+        "screened out:        {} ({:.1}%)",
+        stats.screened_out,
+        stats.screen_rate() * 100.0
+    );
     println!("verified:            {}", stats.verified);
-    println!("false positives:     {} ({:.1}% of verified)", stats.false_positives,
-        100.0 * stats.false_positives as f64 / stats.verified.max(1) as f64);
+    println!(
+        "false positives:     {} ({:.1}% of verified)",
+        stats.false_positives,
+        100.0 * stats.false_positives as f64 / stats.verified.max(1) as f64
+    );
     println!("matching pairs:      {}", screen_pairs.len());
     println!("screen+verify time:  {:.3}s", screen_time.as_secs_f64());
     println!("engine time:         {:.3}s", engine_time.as_secs_f64());

@@ -12,14 +12,37 @@ fn main() {
     // Skewed corpus: cheap molecules up front, expensive ones at the tail
     // (the static partitioner's worst case).
     let mut small = MoleculeGenerator::new(
-        GeneratorConfig { min_heavy_atoms: 4, max_heavy_atoms: 10, ..Default::default() }, 1);
+        GeneratorConfig {
+            min_heavy_atoms: 4,
+            max_heavy_atoms: 10,
+            ..Default::default()
+        },
+        1,
+    );
     let mut large = MoleculeGenerator::new(
-        GeneratorConfig { min_heavy_atoms: 40, max_heavy_atoms: 64, ..Default::default() }, 2);
-    let mut data: Vec<LabeledGraph> =
-        small.generate_batch(600).iter().map(|m| m.to_labeled_graph()).collect();
-    data.extend(large.generate_batch(200).iter().map(|m| m.to_labeled_graph()));
-    let queries: Vec<LabeledGraph> =
-        sigmo_mol::functional_groups().into_iter().take(12).map(|q| q.graph).collect();
+        GeneratorConfig {
+            min_heavy_atoms: 40,
+            max_heavy_atoms: 64,
+            ..Default::default()
+        },
+        2,
+    );
+    let mut data: Vec<LabeledGraph> = small
+        .generate_batch(600)
+        .iter()
+        .map(|m| m.to_labeled_graph())
+        .collect();
+    data.extend(
+        large
+            .generate_batch(200)
+            .iter()
+            .map(|m| m.to_labeled_graph()),
+    );
+    let queries: Vec<LabeledGraph> = sigmo_mol::functional_groups()
+        .into_iter()
+        .take(12)
+        .map(|q| q.graph)
+        .collect();
 
     // Device sized so chunk launches saturate it (see DESIGN.md: at this
     // miniature scale a full A100 is occupancy-dominated).
@@ -29,9 +52,14 @@ fn main() {
     device.max_work_items_per_cu = 128;
     let engine = EngineConfig::default();
 
-    println!("# Extension — static vs dynamic load balancing (skewed corpus, {} molecules)", data.len());
-    println!("{:>6} | {:>16} {:>10} | {:>16} {:>10} {:>8}",
-        "ranks", "static makespan", "CoV %", "dynamic makespan", "CoV %", "gain");
+    println!(
+        "# Extension — static vs dynamic load balancing (skewed corpus, {} molecules)",
+        data.len()
+    );
+    println!(
+        "{:>6} | {:>16} {:>10} | {:>16} {:>10} {:>8}",
+        "ranks", "static makespan", "CoV %", "dynamic makespan", "CoV %", "gain"
+    );
     for ranks in [4usize, 8, 16, 32] {
         let stat = ClusterSim::new(ClusterConfig {
             num_ranks: ranks,
@@ -51,12 +79,14 @@ fn main() {
             &data,
         );
         assert_eq!(stat.total_matches, dynamic.total_matches);
-        println!("{:>6} | {:>15.4}ms {:>10.1} | {:>15.4}ms {:>10.1} {:>7.2}x",
+        println!(
+            "{:>6} | {:>15.4}ms {:>10.1} | {:>15.4}ms {:>10.1} {:>7.2}x",
             ranks,
             stat.makespan_s * 1e3,
             stat.coefficient_of_variation * 100.0,
             dynamic.makespan_s * 1e3,
             dynamic.coefficient_of_variation * 100.0,
-            stat.makespan_s / dynamic.makespan_s);
+            stat.makespan_s / dynamic.makespan_s
+        );
     }
 }

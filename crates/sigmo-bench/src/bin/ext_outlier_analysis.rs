@@ -61,14 +61,27 @@ fn main() {
     rows.sort_by(|a, b| b.2.total_cmp(&a.2));
 
     println!("# Extension — Figure 5 outlier analysis ({scale:?} scale, 8 refinement iterations)");
-    println!("{:<22} {:>12} {:>20}", "query", "frequency %", "mean candidates/node");
+    println!(
+        "{:<22} {:>12} {:>20}",
+        "query", "frequency %", "mean candidates/node"
+    );
     for &(qg, freq, cands) in rows.iter().take(8) {
-        println!("{:<22} {:>12.1} {:>20.1}", d.query_names()[qg], freq * 100.0, cands);
+        println!(
+            "{:<22} {:>12.1} {:>20.1}",
+            d.query_names()[qg],
+            freq * 100.0,
+            cands
+        );
     }
     println!("...");
     let tail: Vec<(usize, f64, f64)> = rows.iter().rev().take(3).rev().copied().collect();
     for (qg, freq, cands) in tail {
-        println!("{:<22} {:>12.1} {:>20.1}", d.query_names()[qg], freq * 100.0, cands);
+        println!(
+            "{:<22} {:>12.1} {:>20.1}",
+            d.query_names()[qg],
+            freq * 100.0,
+            cands
+        );
     }
 
     // Spearman-style check: rank correlation between frequency and
@@ -81,7 +94,9 @@ fn main() {
         freq_rank[i] = r as f64;
     }
     // rows already sorted by candidates desc -> candidate rank = position.
-    let cand_rank: Vec<f64> = (0..rows.len()).map(|r| (rows.len() - 1 - r) as f64).collect();
+    let cand_rank: Vec<f64> = (0..rows.len())
+        .map(|r| (rows.len() - 1 - r) as f64)
+        .collect();
     let d2: f64 = freq_rank
         .iter()
         .zip(&cand_rank)

@@ -5,11 +5,15 @@ use sigmo_bench::{figures, BenchScale};
 fn main() {
     let scale = BenchScale::from_env();
     println!("# Figure 5 — candidate sets per refinement iteration ({scale:?} scale)");
-    println!("{:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12} {:>14}",
-        "iter", "min", "q1", "median", "q3", "max", "mean", "total");
+    println!(
+        "{:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12} {:>14}",
+        "iter", "min", "q1", "median", "q3", "max", "mean", "total"
+    );
     for it in figures::fig05_candidates(scale) {
         let c = &it.candidates;
-        println!("{:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12.1} {:>14}",
-            it.iteration, c.min, c.q1, c.median, c.q3, c.max, c.mean, c.total);
+        println!(
+            "{:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12.1} {:>14}",
+            it.iteration, c.min, c.q1, c.median, c.q3, c.max, c.mean, c.total
+        );
     }
 }

@@ -6,15 +6,39 @@ fn main() {
     let scale = BenchScale::from_env();
     println!("# Figure 6 — filter vs join vs total time ({scale:?} scale)");
     println!("  host = wall-clock on the CPU executor; V100S = simulated device time");
-    println!("{:>4} | {:>11} {:>11} {:>11} | {:>12} {:>12} {:>12} | {:>12}",
-        "iter", "host flt(s)", "host join", "host total",
-        "V100S flt(s)", "V100S join", "V100S total", "matches");
+    println!(
+        "{:>4} | {:>11} {:>11} {:>11} | {:>12} {:>12} {:>12} | {:>12}",
+        "iter",
+        "host flt(s)",
+        "host join",
+        "host total",
+        "V100S flt(s)",
+        "V100S join",
+        "V100S total",
+        "matches"
+    );
     let rows = figures::fig06_filter_join(scale);
-    let best = rows.iter().min_by(|a, b| a.sim_total_s.total_cmp(&b.sim_total_s)).unwrap().iterations;
+    let best = rows
+        .iter()
+        .min_by(|a, b| a.sim_total_s.total_cmp(&b.sim_total_s))
+        .unwrap()
+        .iterations;
     for r in &rows {
-        let marker = if r.iterations == best { "  <- lowest time" } else { "" };
-        println!("{:>4} | {:>11.4} {:>11.4} {:>11.4} | {:>12.5} {:>12.5} {:>12.5} | {:>12}{marker}",
-            r.iterations, r.filter_s, r.join_s, r.total_s,
-            r.sim_filter_s, r.sim_join_s, r.sim_total_s, r.matches);
+        let marker = if r.iterations == best {
+            "  <- lowest time"
+        } else {
+            ""
+        };
+        println!(
+            "{:>4} | {:>11.4} {:>11.4} {:>11.4} | {:>12.5} {:>12.5} {:>12.5} | {:>12}{marker}",
+            r.iterations,
+            r.filter_s,
+            r.join_s,
+            r.total_s,
+            r.sim_filter_s,
+            r.sim_join_s,
+            r.sim_total_s,
+            r.matches
+        );
     }
 }

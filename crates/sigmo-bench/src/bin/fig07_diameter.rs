@@ -6,12 +6,24 @@ fn main() {
     let scale = BenchScale::from_env();
     println!("# Figure 7 — total time by query diameter ({scale:?} scale)");
     for g in figures::fig07_diameter(scale) {
-        println!("\n## Diameter {} ({} queries){}", g.diameter, g.num_queries,
-            if g.any_matches { "" } else { "  [no matches — anomalous group]" });
+        println!(
+            "\n## Diameter {} ({} queries){}",
+            g.diameter,
+            g.num_queries,
+            if g.any_matches {
+                ""
+            } else {
+                "  [no matches — anomalous group]"
+            }
+        );
         print!("iters:  ");
-        for (i, _) in &g.series { print!("{i:>9} "); }
+        for (i, _) in &g.series {
+            print!("{i:>9} ");
+        }
         print!("\ntotal:  ");
-        for (_, t) in &g.series { print!("{t:>9.4} "); }
+        for (_, t) in &g.series {
+            print!("{t:>9.4} ");
+        }
         println!("\nbest iteration count: {}", g.best_iterations);
     }
 }

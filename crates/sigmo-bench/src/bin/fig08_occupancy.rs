@@ -4,9 +4,17 @@ use sigmo_bench::{figures, BenchScale};
 
 fn main() {
     let scale = BenchScale::from_env();
-    println!("# Figure 8 — occupancy timeline, V100S profile, 6 refinement iterations ({scale:?} scale)");
-    println!("{:>12} {:>12} {:>12} {:<10}", "start (ms)", "end (ms)", "occupancy %", "phase");
+    println!(
+        "# Figure 8 — occupancy timeline, V100S profile, 6 refinement iterations ({scale:?} scale)"
+    );
+    println!(
+        "{:>12} {:>12} {:>12} {:<10}",
+        "start (ms)", "end (ms)", "occupancy %", "phase"
+    );
     for s in figures::fig08_occupancy(scale) {
-        println!("{:>12.3} {:>12.3} {:>12.1} {:<10}", s.t_start_ms, s.t_end_ms, s.occupancy_pct, s.phase);
+        println!(
+            "{:>12.3} {:>12.3} {:>12.1} {:<10}",
+            s.t_start_ms, s.t_end_ms, s.occupancy_pct, s.phase
+        );
     }
 }

@@ -15,8 +15,14 @@ fn main() {
         }
     }
     println!("## Phase points");
-    println!("{:<10} {:>20} {:>16}", "phase", "intensity (instr/B)", "Ginstr/s");
+    println!(
+        "{:<10} {:>20} {:>16}",
+        "phase", "intensity (instr/B)", "Ginstr/s"
+    );
     for p in points {
-        println!("{:<10} {:>20.4} {:>16.2}", p.phase, p.intensity, p.ginstr_per_s);
+        println!(
+            "{:<10} {:>20.4} {:>16.2}",
+            p.phase, p.intensity, p.ginstr_per_s
+        );
     }
 }

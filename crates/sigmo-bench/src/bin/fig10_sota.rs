@@ -7,14 +7,24 @@ fn main() {
     println!("# Figure 10 — state-of-the-art comparison ({scale:?} scale)");
     println!("  'host' columns are wall-clock on this machine; 'V100S' is SIGMo's");
     println!("  modeled device time (the paper runs SIGMo on a V100S, VF3 on CPUs).");
-    println!("{:<12} {:>14} {:>15} {:>12} {:>14} {:>16}",
-        "framework", "host all (s)", "host first (s)", "V100S (s)", "matches", "host matches/s");
+    println!(
+        "{:<12} {:>14} {:>15} {:>12} {:>14} {:>16}",
+        "framework", "host all (s)", "host first (s)", "V100S (s)", "matches", "host matches/s"
+    );
     let rows = figures::fig10_sota(scale);
     for r in &rows {
-        let ff = r.find_first_s.map(|t| format!("{t:.4}")).unwrap_or_else(|| "unsupported".into());
-        let sim = r.sim_v100s_s.map(|t| format!("{t:.5}")).unwrap_or_else(|| "-".into());
-        println!("{:<12} {:>14.4} {:>15} {:>12} {:>14} {:>16.0}",
-            r.name, r.find_all_s, ff, sim, r.matches, r.throughput);
+        let ff = r
+            .find_first_s
+            .map(|t| format!("{t:.4}"))
+            .unwrap_or_else(|| "unsupported".into());
+        let sim = r
+            .sim_v100s_s
+            .map(|t| format!("{t:.5}"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<12} {:>14.4} {:>15} {:>12} {:>14} {:>16.0}",
+            r.name, r.find_all_s, ff, sim, r.matches, r.throughput
+        );
     }
     let sigmo = &rows[0];
     println!("\n## Speedups over SIGMo's modeled V100S time (paper's protocol)");
@@ -24,6 +34,10 @@ fn main() {
     }
     println!("\n## Host-only wall-clock ratios (all frameworks on this CPU)");
     for r in &rows[1..] {
-        println!("vs {:<12}: {:10.1}x", r.name, r.find_all_s / sigmo.find_all_s.max(1e-9));
+        println!(
+            "vs {:<12}: {:10.1}x",
+            r.name,
+            r.find_all_s / sigmo.find_all_s.max(1e-9)
+        );
     }
 }

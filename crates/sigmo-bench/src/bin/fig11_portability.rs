@@ -7,11 +7,21 @@ fn main() {
     println!("# Figure 11 — portability across device profiles ({scale:?} scale)");
     for s in figures::fig11_portability(scale) {
         println!("\n## {}", s.device);
-        println!("{:>4} {:>12} {:>12} {:>12}", "iter", "filter (s)", "join (s)", "total (s)");
+        println!(
+            "{:>4} {:>12} {:>12} {:>12}",
+            "iter", "filter (s)", "join (s)", "total (s)"
+        );
         for (i, f, j, t) in &s.rows {
-            let marker = if *i == s.best_iterations { "  <- fastest" } else { "" };
+            let marker = if *i == s.best_iterations {
+                "  <- fastest"
+            } else {
+                ""
+            };
             println!("{i:>4} {f:>12.4} {j:>12.4} {t:>12.4}{marker}");
         }
-        println!("best: {:.4}s at {} iterations", s.best_total_s, s.best_iterations);
+        println!(
+            "best: {:.4}s at {} iterations",
+            s.best_total_s, s.best_iterations
+        );
     }
 }

@@ -5,14 +5,28 @@ use sigmo_bench::{figures, BenchScale};
 fn main() {
     let scale = BenchScale::from_env();
     println!("# Figure 12 — single-GPU scalability ({scale:?} scale)");
-    println!("{:>6} {:>12} {:>14} {:>14} {:>14}",
-        "factor", "data nodes", "find-all (s)", "find-first (s)", "est mem (MB)");
+    println!(
+        "{:>6} {:>12} {:>14} {:>14} {:>14}",
+        "factor", "data nodes", "find-all (s)", "find-first (s)", "est mem (MB)"
+    );
     let pts = figures::fig12_scaling(scale);
     let base = pts[0].find_all_s.unwrap_or(1.0);
     for p in &pts {
-        let fa = p.find_all_s.map(|t| format!("{t:.4} ({:.1}x)", t / base)).unwrap_or_else(|| "OOM".into());
-        let ff = p.find_first_s.map(|t| format!("{t:.4}")).unwrap_or_else(|| "OOM".into());
-        println!("{:>6} {:>12} {:>14} {:>14} {:>14.1}",
-            p.factor, p.data_nodes, fa, ff, p.est_memory_bytes as f64 / 1e6);
+        let fa = p
+            .find_all_s
+            .map(|t| format!("{t:.4} ({:.1}x)", t / base))
+            .unwrap_or_else(|| "OOM".into());
+        let ff = p
+            .find_first_s
+            .map(|t| format!("{t:.4}"))
+            .unwrap_or_else(|| "OOM".into());
+        println!(
+            "{:>6} {:>12} {:>14} {:>14} {:>14.1}",
+            p.factor,
+            p.data_nodes,
+            fa,
+            ff,
+            p.est_memory_bytes as f64 / 1e6
+        );
     }
 }

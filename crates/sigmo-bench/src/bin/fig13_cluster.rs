@@ -5,10 +5,14 @@ use sigmo_bench::{figures, BenchScale};
 fn main() {
     let scale = BenchScale::from_env();
     println!("# Figure 13 — cluster weak scaling, A100 profiles ({scale:?} scale)");
-    println!("{:>6} {:>14} {:>18} {:>14} {:>18}",
-        "GPUs", "all time (s)", "all matches/s", "first time (s)", "first matches/s");
+    println!(
+        "{:>6} {:>14} {:>18} {:>14} {:>18}",
+        "GPUs", "all time (s)", "all matches/s", "first time (s)", "first matches/s"
+    );
     for p in figures::fig13_cluster(scale) {
-        println!("{:>6} {:>14.4} {:>18.3e} {:>14.4} {:>18.3e}",
-            p.gpus, p.find_all.0, p.find_all.1, p.find_first.0, p.find_first.1);
+        println!(
+            "{:>6} {:>14.4} {:>18.3e} {:>14.4} {:>18.3e}",
+            p.gpus, p.find_all.0, p.find_all.1, p.find_first.0, p.find_first.1
+        );
     }
 }

@@ -11,7 +11,10 @@ fn main() {
         let max = v.rank_times_s.iter().cloned().fold(0.0, f64::max);
         let mean = v.rank_times_s.iter().sum::<f64>() / n as f64;
         println!("\n## {} ({n} ranks)", v.mode);
-        println!("min {min:.4}s  mean {mean:.4}s  max {max:.4}s  CoV {:.1}%", v.cov * 100.0);
+        println!(
+            "min {min:.4}s  mean {mean:.4}s  max {max:.4}s  CoV {:.1}%",
+            v.cov * 100.0
+        );
         print!("sample ranks (every {}th): ", (n / 8).max(1));
         for t in v.rank_times_s.iter().step_by((n / 8).max(1)) {
             print!("{t:.3} ");

@@ -18,7 +18,8 @@ fn main() {
     println!(
         "memory: bitmap {:.1} MB ({}%), graphs {:.1} MB, signatures {:.1} MB",
         report.bitmap_bytes as f64 / 1e6,
-        (100 * report.bitmap_bytes) / (report.bitmap_bytes + report.graph_bytes + report.signature_bytes).max(1),
+        (100 * report.bitmap_bytes)
+            / (report.bitmap_bytes + report.graph_bytes + report.signature_bytes).max(1),
         report.graph_bytes as f64 / 1e6,
         report.signature_bytes as f64 / 1e6,
     );

@@ -5,10 +5,18 @@ use sigmo_bench::{figures, BenchScale};
 fn main() {
     let scale = BenchScale::from_env();
     println!("# Table 1 — per-platform configuration sweep ({scale:?} scale)");
-    println!("{:<18} {:>14} {:>12} {:>10} {:>14}",
-        "GPU", "bitmap word", "filter WG", "join WG", "sim total (s)");
+    println!(
+        "{:<18} {:>14} {:>12} {:>10} {:>14}",
+        "GPU", "bitmap word", "filter WG", "join WG", "sim total (s)"
+    );
     for r in figures::table1_tuning(scale) {
-        println!("{:<18} {:>14} {:>12} {:>10} {:>14.4}",
-            r.device, format!("{:?}", r.bitmap_word), r.filter_wg, r.join_wg, r.sim_total_s);
+        println!(
+            "{:<18} {:>14} {:>12} {:>10} {:>14.4}",
+            r.device,
+            format!("{:?}", r.bitmap_word),
+            r.filter_wg,
+            r.join_wg,
+            r.sim_total_s
+        );
     }
 }

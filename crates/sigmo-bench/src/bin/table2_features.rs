@@ -4,11 +4,19 @@ use sigmo_bench::figures;
 
 fn main() {
     println!("# Table 2 — feature comparison");
-    println!("{:<28} {:>15} {:>12} {:>9} {:>7}",
-        "framework", "domain-specific", "GPU offload", "batched", "exact");
+    println!(
+        "{:<28} {:>15} {:>12} {:>9} {:>7}",
+        "framework", "domain-specific", "GPU offload", "batched", "exact"
+    );
     let tick = |b: bool| if b { "yes" } else { "no" };
     for r in figures::table2_features() {
-        println!("{:<28} {:>15} {:>12} {:>9} {:>7}",
-            r.framework, tick(r.domain_specific), r.gpu_offload, tick(r.batched), tick(r.exact));
+        println!(
+            "{:<28} {:>15} {:>12} {:>9} {:>7}",
+            r.framework,
+            tick(r.domain_specific),
+            r.gpu_offload,
+            tick(r.batched),
+            tick(r.exact)
+        );
     }
 }

@@ -124,8 +124,7 @@ pub fn fig07_diameter(scale: BenchScale) -> Vec<DiameterGroup> {
         .into_iter()
         .filter(|(dia, idx)| *dia >= 1 && !idx.is_empty())
         .map(|(dia, idx)| {
-            let queries: Vec<LabeledGraph> =
-                idx.iter().map(|&i| d.queries()[i].clone()).collect();
+            let queries: Vec<LabeledGraph> = idx.iter().map(|&i| d.queries()[i].clone()).collect();
             let mut series = Vec::new();
             let mut any_matches = false;
             for iters in 1..=8usize {
@@ -558,25 +557,28 @@ pub fn fig14_rank_variance(scale: BenchScale) -> Vec<RankVariance> {
         .take(needed)
         .collect();
     let queries = d.queries().to_vec();
-    [(MatchMode::FindAll, "Find All"), (MatchMode::FindFirst, "Find First")]
-        .into_iter()
-        .map(|(mode, label)| {
-            let sim = ClusterSim::new(ClusterConfig {
-                num_ranks: gpus,
-                engine: EngineConfig {
-                    mode,
-                    ..Default::default()
-                },
+    [
+        (MatchMode::FindAll, "Find All"),
+        (MatchMode::FindFirst, "Find First"),
+    ]
+    .into_iter()
+    .map(|(mode, label)| {
+        let sim = ClusterSim::new(ClusterConfig {
+            num_ranks: gpus,
+            engine: EngineConfig {
+                mode,
                 ..Default::default()
-            });
-            let report = sim.run(&queries, &data);
-            RankVariance {
-                mode: label,
-                rank_times_s: report.ranks.iter().map(|r| r.sim_time_s).collect(),
-                cov: report.coefficient_of_variation,
-            }
-        })
-        .collect()
+            },
+            ..Default::default()
+        });
+        let report = sim.run(&queries, &data);
+        RankVariance {
+            mode: label,
+            rank_times_s: report.ranks.iter().map(|r| r.sim_time_s).collect(),
+            cov: report.coefficient_of_variation,
+        }
+    })
+    .collect()
 }
 
 // ----------------------------------------------------------------- Table 2

@@ -64,13 +64,20 @@ impl fmt::Display for ArgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ArgError::MissingCommand => {
-                write!(f, "usage: sigmo <match|screen|generate|info> [--flag value]...")
+                write!(
+                    f,
+                    "usage: sigmo <match|screen|generate|info> [--flag value]..."
+                )
             }
             ArgError::UnknownCommand(c) => write!(f, "unknown command {c:?}"),
             ArgError::Malformed(t) => write!(f, "malformed argument {t:?} (expected --flag value)"),
             ArgError::Duplicate(fl) => write!(f, "flag --{fl} given twice"),
             ArgError::MissingOption(fl) => write!(f, "required flag --{fl} missing"),
-            ArgError::BadValue { flag, value, expected } => {
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
                 write!(f, "--{flag} {value:?}: expected {expected}")
             }
         }
@@ -189,7 +196,9 @@ mod tests {
     #[test]
     fn error_messages_are_informative() {
         assert!(ArgError::MissingCommand.to_string().contains("usage"));
-        assert!(ArgError::MissingOption("data").to_string().contains("--data"));
+        assert!(ArgError::MissingOption("data")
+            .to_string()
+            .contains("--data"));
     }
 
     impl PartialEq for ParsedArgs {

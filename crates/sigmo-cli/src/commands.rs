@@ -254,7 +254,13 @@ mod tests {
         let q = write_temp("q2.smi", "C=O carbonyl\n");
         let d = write_temp("d2.smi", "CC(=O)C acetone\n");
         let args = parse_args(&strs(&[
-            "match", "--queries", &q, "--data", &d, "--show", "5",
+            "match",
+            "--queries",
+            &q,
+            "--data",
+            &d,
+            "--show",
+            "5",
         ]))
         .unwrap();
         let out = run_command(&args).unwrap();
@@ -303,7 +309,13 @@ mod tests {
         let q = write_temp("q5.smi", "CCC propyl\n");
         let d = write_temp("d5.smi", "CCCC butane\n");
         let args = parse_args(&strs(&[
-            "match", "--queries", &q, "--data", &d, "--induced", "true",
+            "match",
+            "--queries",
+            &q,
+            "--data",
+            &d,
+            "--induced",
+            "true",
         ]))
         .unwrap();
         let out = run_command(&args).unwrap();
@@ -312,10 +324,7 @@ mod tests {
 
     #[test]
     fn missing_file_is_reported() {
-        let args = parse_args(&strs(&[
-            "info", "--data", "/nonexistent/path/x.smi",
-        ]))
-        .unwrap();
+        let args = parse_args(&strs(&["info", "--data", "/nonexistent/path/x.smi"])).unwrap();
         assert!(matches!(run_command(&args), Err(CliError::Io(_))));
     }
 }

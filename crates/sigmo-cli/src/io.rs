@@ -1,7 +1,9 @@
 //! File I/O for the CLI: `.smi` (SMILES-per-line) and `.sdf` formats.
 
 use sigmo_graph::LabeledGraph;
-use sigmo_mol::{parse_sdf, parse_smarts, parse_smiles, parse_smiles_heavy, write_sdf, write_smiles, Molecule};
+use sigmo_mol::{
+    parse_sdf, parse_smarts, parse_smiles, parse_smiles_heavy, write_sdf, write_smiles, Molecule,
+};
 use std::fmt;
 use std::path::Path;
 
@@ -29,7 +31,11 @@ impl fmt::Display for IoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IoError::Fs(e) => write!(f, "I/O error: {e}"),
-            IoError::Parse { file, record, message } => {
+            IoError::Parse {
+                file,
+                record,
+                message,
+            } => {
                 write!(f, "{file}: record {record}: {message}")
             }
             IoError::UnknownFormat(p) => {

@@ -98,9 +98,8 @@ pub fn run_dynamic(
 
     // Self-scheduling: each chunk goes to the earliest-free rank, in chunk
     // order (the order molecules arrive from the dataset).
-    let mut heap: BinaryHeap<(Reverse<u64>, usize)> = (0..config.num_ranks)
-        .map(|r| (Reverse(0u64), r))
-        .collect();
+    let mut heap: BinaryHeap<(Reverse<u64>, usize)> =
+        (0..config.num_ranks).map(|r| (Reverse(0u64), r)).collect();
     let to_ns = |s: f64| (s * 1e9) as u64;
     let mut rank_times = vec![0u64; config.num_ranks];
     let mut rank_chunks = vec![0usize; config.num_ranks];
@@ -207,7 +206,12 @@ mod tests {
             .iter()
             .map(|m| m.to_labeled_graph())
             .collect();
-        data.extend(big_gen.generate_batch(30).iter().map(|m| m.to_labeled_graph()));
+        data.extend(
+            big_gen
+                .generate_batch(30)
+                .iter()
+                .map(|m| m.to_labeled_graph()),
+        );
         let queries: Vec<LabeledGraph> = sigmo_mol::functional_groups()
             .into_iter()
             .take(8)

@@ -27,9 +27,9 @@ pub struct CommModel {
 impl Default for CommModel {
     fn default() -> Self {
         Self {
-            intra_latency_s: 5e-6,   // NVLink-class
-            inter_latency_s: 2e-6,   // modern IB is latency-competitive,
-            intra_bandwidth: 300e9,  // but far narrower than NVLink
+            intra_latency_s: 5e-6,  // NVLink-class
+            inter_latency_s: 2e-6,  // modern IB is latency-competitive,
+            intra_bandwidth: 300e9, // but far narrower than NVLink
             inter_bandwidth: 25e9,
         }
     }
@@ -61,7 +61,7 @@ pub struct Topology {
 impl Topology {
     /// The paper's layout: 4 GPUs per node.
     pub fn paper_layout(total_gpus: usize) -> Self {
-        assert!(total_gpus % 4 == 0, "paper nodes hold 4 GPUs each");
+        assert!(total_gpus.is_multiple_of(4), "paper nodes hold 4 GPUs each");
         Self {
             nodes: total_gpus / 4,
             gpus_per_node: 4,

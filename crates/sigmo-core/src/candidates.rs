@@ -46,7 +46,9 @@ impl CandidateBitmap {
     /// Allocates an all-zero bitmap.
     pub fn new(rows: usize, cols: usize, word_width: WordWidth) -> Self {
         let words_per_row = cols.div_ceil(64);
-        let words = (0..rows * words_per_row).map(|_| AtomicU64::new(0)).collect();
+        let words = (0..rows * words_per_row)
+            .map(|_| AtomicU64::new(0))
+            .collect();
         Self {
             words,
             words_per_row,
@@ -71,19 +73,32 @@ impl CandidateBitmap {
         self.word_width
     }
 
-    /// Bitmap memory footprint in bytes: `rows × cols / 8`, the §5.1.3
-    /// formula (`|V_Q| × |V_D| / 8`).
+    /// Bitmap memory footprint in bytes per the §5.1.3 formula
+    /// `⌈|V_Q| × |V_D| / 8⌉` — the packed-bit size the paper reports.
+    /// The allocation itself pads every row to a whole number of 64-bit
+    /// words; that (strictly larger) figure is
+    /// [`padded_memory_bytes`](Self::padded_memory_bytes).
     pub fn memory_bytes(&self) -> usize {
+        (self.rows * self.cols).div_ceil(8)
+    }
+
+    /// Allocated bytes including per-row word padding:
+    /// `rows × ⌈cols/64⌉ × 8`. Equals [`memory_bytes`](Self::memory_bytes)
+    /// when `cols` is a multiple of 64; otherwise larger by up to
+    /// `rows × 8` bytes.
+    pub fn padded_memory_bytes(&self) -> usize {
         self.rows * self.words_per_row * 8
+    }
+
+    /// Words each row occupies (`⌈cols/64⌉`).
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
     }
 
     #[inline]
     fn index(&self, row: usize, col: usize) -> (usize, u64) {
         debug_assert!(row < self.rows && col < self.cols);
-        (
-            row * self.words_per_row + col / 64,
-            1u64 << (col % 64),
-        )
+        (row * self.words_per_row + col / 64, 1u64 << (col % 64))
     }
 
     /// Atomically sets the bit (marks `col` a candidate for `row`).
@@ -98,6 +113,17 @@ impl CandidateBitmap {
     pub fn clear(&self, row: usize, col: usize) {
         let (w, bit) = self.index(row, col);
         self.words[w].fetch_and(!bit, Ordering::Relaxed);
+    }
+
+    /// Overwrites this bitmap with the contents of `other`, word by word.
+    /// Both bitmaps must have identical dimensions. Used to restore a
+    /// snapshot (e.g. re-running refinement from the same initial state).
+    pub fn copy_from(&self, other: &CandidateBitmap) {
+        assert_eq!(self.rows, other.rows, "row count mismatch");
+        assert_eq!(self.cols, other.cols, "column count mismatch");
+        for (dst, src) in self.words.iter().zip(other.words.iter()) {
+            dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
     }
 
     /// Tests the bit.
@@ -129,17 +155,7 @@ impl CandidateBitmap {
         let last_word = (col_hi - 1) / 64;
         let mut total = 0usize;
         for w in first_word..=last_word {
-            let mut bits = self.words[base + w].load(Ordering::Relaxed);
-            if w == first_word {
-                bits &= u64::MAX << (col_lo % 64);
-            }
-            if w == last_word {
-                let top = col_hi % 64;
-                if top != 0 {
-                    bits &= u64::MAX >> (64 - top);
-                }
-            }
-            total += bits.count_ones() as usize;
+            total += self.masked_word(base, w, col_lo, col_hi).count_ones() as usize;
         }
         total
     }
@@ -154,36 +170,127 @@ impl CandidateBitmap {
         let first_word = col_lo / 64;
         let last_word = (col_hi - 1) / 64;
         for w in first_word..=last_word {
-            let mut bits = self.words[base + w].load(Ordering::Relaxed);
-            if w == first_word {
-                bits &= u64::MAX << (col_lo % 64);
-            }
-            if w == last_word {
-                let top = col_hi % 64;
-                if top != 0 {
-                    bits &= u64::MAX >> (64 - top);
-                }
-            }
-            if bits != 0 {
+            if self.masked_word(base, w, col_lo, col_hi) != 0 {
                 return true;
             }
         }
         false
     }
 
+    /// Loads one word of `row` masked to `[col_lo, col_hi)`; `w` is a
+    /// word index within the row. Shared by all word-parallel scans.
+    #[inline]
+    fn masked_word(&self, base: usize, w: usize, col_lo: usize, col_hi: usize) -> u64 {
+        let mut bits = self.words[base + w].load(Ordering::Relaxed);
+        if w == col_lo / 64 {
+            bits &= u64::MAX << (col_lo % 64);
+        }
+        if w == (col_hi - 1) / 64 {
+            let top = col_hi % 64;
+            if top != 0 {
+                bits &= u64::MAX >> (64 - top);
+            }
+        }
+        bits
+    }
+
     /// Iterates the set columns of `row` within `[col_lo, col_hi)` in
-    /// ascending order.
-    pub fn iter_row_range(
+    /// ascending order, one 64-bit word at a time: each word is loaded
+    /// once and its set bits extracted with `trailing_zeros` /
+    /// `bits &= bits - 1`, so sparse rows cost O(words + set bits) loads
+    /// instead of one load per column (§4.3's bitset enumeration).
+    pub fn iter_set_in_range(
         &self,
         row: usize,
         col_lo: usize,
         col_hi: usize,
     ) -> impl Iterator<Item = usize> + '_ {
+        debug_assert!(col_lo <= col_hi && col_hi <= self.cols);
         let base = row * self.words_per_row;
-        (col_lo..col_hi).filter(move |&c| {
-            let w = base + c / 64;
-            self.words[w].load(Ordering::Relaxed) & (1u64 << (c % 64)) != 0
+        let first_word = col_lo / 64;
+        let last_word = if col_lo == col_hi {
+            0
+        } else {
+            (col_hi - 1) / 64
+        };
+        let mut w = first_word;
+        let mut bits = if col_lo == col_hi {
+            0
+        } else {
+            self.masked_word(base, w, col_lo, col_hi)
+        };
+        std::iter::from_fn(move || {
+            if col_lo == col_hi {
+                return None;
+            }
+            loop {
+                if bits != 0 {
+                    let col = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    return Some(col);
+                }
+                if w == last_word {
+                    return None;
+                }
+                w += 1;
+                bits = self.masked_word(base, w, col_lo, col_hi);
+            }
         })
+    }
+
+    /// First set column of `row` at or after `col_lo` (and below
+    /// `col_hi`), found by scanning words — the join's depth-0 cursor
+    /// advance. Returns `None` when the rest of the range is empty.
+    pub fn next_set_in_range(&self, row: usize, col_lo: usize, col_hi: usize) -> Option<usize> {
+        debug_assert!(col_lo <= col_hi && col_hi <= self.cols);
+        if col_lo == col_hi {
+            return None;
+        }
+        let base = row * self.words_per_row;
+        let first_word = col_lo / 64;
+        let last_word = (col_hi - 1) / 64;
+        for w in first_word..=last_word {
+            let bits = self.masked_word(base, w, col_lo, col_hi);
+            if bits != 0 {
+                return Some(w * 64 + bits.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// [`row_any_in_range`](Self::row_any_in_range) plus the number of
+    /// words actually loaded before the early exit — the figure the
+    /// mapping kernels charge to the device counters.
+    pub fn row_any_in_range_counted(
+        &self,
+        row: usize,
+        col_lo: usize,
+        col_hi: usize,
+    ) -> (bool, u64) {
+        debug_assert!(col_lo <= col_hi && col_hi <= self.cols);
+        if col_lo == col_hi {
+            return (false, 0);
+        }
+        let base = row * self.words_per_row;
+        let first_word = col_lo / 64;
+        let last_word = (col_hi - 1) / 64;
+        let mut loaded = 0u64;
+        for w in first_word..=last_word {
+            loaded += 1;
+            if self.masked_word(base, w, col_lo, col_hi) != 0 {
+                return (true, loaded);
+            }
+        }
+        (false, loaded)
+    }
+
+    /// Number of 64-bit words a `[col_lo, col_hi)` scan of one row spans.
+    pub fn words_in_range(col_lo: usize, col_hi: usize) -> u64 {
+        if col_lo >= col_hi {
+            0
+        } else {
+            ((col_hi - 1) / 64 - col_lo / 64 + 1) as u64
+        }
     }
 
     /// Total candidates across all rows (Figure 5's "total candidates").
@@ -256,15 +363,83 @@ mod tests {
     }
 
     #[test]
-    fn iter_row_range_ascending() {
+    fn iter_set_in_range_ascending() {
         let b = CandidateBitmap::new(1, 130, WordWidth::U64);
         for c in [3, 64, 100, 129] {
             b.set(0, c);
         }
-        let got: Vec<usize> = b.iter_row_range(0, 0, 130).collect();
+        let got: Vec<usize> = b.iter_set_in_range(0, 0, 130).collect();
         assert_eq!(got, vec![3, 64, 100, 129]);
-        let got: Vec<usize> = b.iter_row_range(0, 4, 129).collect();
+        let got: Vec<usize> = b.iter_set_in_range(0, 4, 129).collect();
         assert_eq!(got, vec![64, 100]);
+        let got: Vec<usize> = b.iter_set_in_range(0, 50, 50).collect();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn iter_set_in_range_matches_per_bit_scan() {
+        // Dense-ish row with bits straddling every word boundary; every
+        // sub-range must agree with a naive column-by-column probe.
+        let b = CandidateBitmap::new(2, 200, WordWidth::U64);
+        for c in [0, 1, 62, 63, 64, 65, 126, 127, 128, 191, 192, 199] {
+            b.set(1, c);
+        }
+        for lo in [0usize, 1, 63, 64, 65, 128, 190, 199, 200] {
+            for hi in [lo, 64, 65, 128, 192, 199, 200] {
+                if hi < lo {
+                    continue;
+                }
+                let fast: Vec<usize> = b.iter_set_in_range(1, lo, hi).collect();
+                let slow: Vec<usize> = (lo..hi).filter(|&c| b.get(1, c)).collect();
+                assert_eq!(fast, slow, "range [{lo}, {hi})");
+            }
+        }
+    }
+
+    #[test]
+    fn next_set_in_range_finds_first() {
+        let b = CandidateBitmap::new(1, 300, WordWidth::U64);
+        for c in [70, 150, 299] {
+            b.set(0, c);
+        }
+        assert_eq!(b.next_set_in_range(0, 0, 300), Some(70));
+        assert_eq!(b.next_set_in_range(0, 70, 300), Some(70));
+        assert_eq!(b.next_set_in_range(0, 71, 300), Some(150));
+        assert_eq!(b.next_set_in_range(0, 151, 300), Some(299));
+        assert_eq!(b.next_set_in_range(0, 151, 299), None);
+        assert_eq!(b.next_set_in_range(0, 10, 10), None);
+    }
+
+    #[test]
+    fn row_any_in_range_counted_reports_early_exit() {
+        let b = CandidateBitmap::new(1, 64 * 8, WordWidth::U64);
+        b.set(0, 5); // first word of the range
+        let (any, words) = b.row_any_in_range_counted(0, 0, 512);
+        assert!(any);
+        assert_eq!(words, 1);
+        // Empty range scan touches every word.
+        let (any, words) = b.row_any_in_range_counted(0, 64, 512);
+        assert!(!any);
+        assert_eq!(words, 7);
+        assert_eq!(CandidateBitmap::words_in_range(64, 512), 7);
+        assert_eq!(CandidateBitmap::words_in_range(10, 10), 0);
+        assert_eq!(CandidateBitmap::words_in_range(63, 65), 2);
+    }
+
+    #[test]
+    fn copy_from_restores_snapshot() {
+        let a = CandidateBitmap::new(3, 100, WordWidth::U64);
+        for (r, c) in [(0, 0), (1, 63), (1, 64), (2, 99)] {
+            a.set(r, c);
+        }
+        let b = CandidateBitmap::new(3, 100, WordWidth::U64);
+        b.set(0, 50); // stale content that must be overwritten
+        b.copy_from(&a);
+        for r in 0..3 {
+            for c in 0..100 {
+                assert_eq!(a.get(r, c), b.get(r, c), "bit ({r}, {c})");
+            }
+        }
     }
 
     #[test]
@@ -272,11 +447,22 @@ mod tests {
         // §5.1.3: 3,413 query nodes × 2,745,872 data nodes / 8 ≈ 1.17 GB.
         let rows = 3413usize;
         let cols = 2_745_872usize;
-        let expected = rows * cols.div_ceil(64) * 8;
+        let expected = (rows * cols).div_ceil(8);
         // We can't afford to allocate it; check the formula on a small one.
         let b = CandidateBitmap::new(10, 640, WordWidth::U64);
-        assert_eq!(b.memory_bytes(), 10 * 10 * 8);
+        assert_eq!(b.memory_bytes(), 10 * 640 / 8);
+        assert_eq!(b.padded_memory_bytes(), b.memory_bytes()); // 640 % 64 == 0
         assert!(expected as f64 / 1e9 > 1.0 && (expected as f64 / 1e9) < 1.3);
+    }
+
+    #[test]
+    fn padded_bytes_exceed_packed_when_cols_unaligned() {
+        // 100 cols pack to ⌈3×100/8⌉ = 38 bytes but allocate 2 words/row.
+        let b = CandidateBitmap::new(3, 100, WordWidth::U64);
+        assert_eq!(b.memory_bytes(), 38);
+        assert_eq!(b.padded_memory_bytes(), 3 * 2 * 8);
+        assert!(b.padded_memory_bytes() > b.memory_bytes());
+        assert_eq!(b.words_per_row(), 2);
     }
 
     #[test]

@@ -9,12 +9,12 @@
 use crate::candidates::{CandidateBitmap, WordWidth};
 use crate::filter::{initialize_candidates, refine_candidates};
 use crate::join::{join, JoinMode, JoinParams, MatchRecord, QueryPlan};
-use sigmo_graph::NodeId;
 use crate::mapping::Gmcr;
 use crate::schema::LabelSchema;
 use crate::signature::SignatureSet;
 use crate::stats::{CandidateStats, IterationStats};
 use sigmo_device::Queue;
+use sigmo_graph::NodeId;
 use sigmo_graph::{CsrGo, LabeledGraph};
 use std::time::{Duration, Instant};
 
@@ -134,8 +134,12 @@ pub struct RunReport {
     pub timings: PhaseTimings,
     /// GMCR pair count after mapping.
     pub gmcr_pairs: usize,
-    /// Candidate bitmap footprint in bytes (§5.1.3 accounting).
+    /// Candidate bitmap footprint in bytes per the §5.1.3 packed-bit
+    /// formula `⌈|V_Q| × |V_D| / 8⌉`.
     pub bitmap_bytes: usize,
+    /// Bitmap bytes actually allocated, with each row padded to whole
+    /// 64-bit words (≥ `bitmap_bytes`).
+    pub bitmap_padded_bytes: usize,
     /// CSR-GO footprint in bytes (queries + data).
     pub graph_bytes: usize,
     /// Signature storage in bytes (query + data signature arrays).
@@ -312,6 +316,7 @@ impl Engine {
             },
             gmcr_pairs: gmcr.num_pairs(),
             bitmap_bytes: bitmap.memory_bytes(),
+            bitmap_padded_bytes: bitmap.padded_memory_bytes(),
             graph_bytes: queries.memory_bytes() + data.memory_bytes(),
             signature_bytes: (queries.num_nodes() + data.num_nodes()) * 8,
         }
@@ -426,6 +431,7 @@ mod tests {
         let d = labeled(&[1, 3], &[(0, 1, 1)]);
         let report = Engine::with_defaults().run(&[q], &[d], &queue());
         assert!(report.bitmap_bytes > 0);
+        assert!(report.bitmap_padded_bytes >= report.bitmap_bytes);
         assert!(report.graph_bytes > 0);
         assert!(report.signature_bytes > 0);
     }

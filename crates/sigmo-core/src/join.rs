@@ -296,7 +296,16 @@ fn dfs_pair(
     loop {
         *steps += 1;
         let cand = next_candidate(
-            data, bitmap, q_base, plan, d_lo, d_hi, &mapping, &mut cursors, depth, params,
+            data,
+            bitmap,
+            q_base,
+            plan,
+            d_lo,
+            d_hi,
+            &mapping,
+            &mut cursors,
+            depth,
+            params,
         );
         match cand {
             Some(d) => {
@@ -358,17 +367,13 @@ fn next_candidate(
 ) -> Option<NodeId> {
     let q_node = (q_base + plan.order[depth]) as usize;
     if depth == 0 {
-        // Scan the data graph's node range.
-        loop {
-            let d = d_lo + cursors[0];
-            if d >= d_hi {
-                return None;
-            }
-            cursors[0] += 1;
-            if bitmap.get(q_node, d as usize) {
-                return Some(d);
-            }
-        }
+        // Scan the data graph's node range word-parallel: jump straight
+        // to the next set bit of the root row instead of probing every
+        // column between the cursor and it.
+        let d = bitmap.next_set_in_range(q_node, (d_lo + cursors[0]) as usize, d_hi as usize)?
+            as NodeId;
+        cursors[0] = d - d_lo + 1;
+        return Some(d);
     }
     let anchor_img = mapping[plan.anchor[depth] as usize];
     let nbrs = data.neighbors(anchor_img);
@@ -569,7 +574,10 @@ mod tests {
     fn collect_limit_truncates_collection_not_count() {
         let q = labeled(&[1, 0], &[(0, 1, 1)]);
         // CH4-like star: 4 embeddings.
-        let d = labeled(&[1, 0, 0, 0, 0], &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (0, 4, 1)]);
+        let d = labeled(
+            &[1, 0, 0, 0, 0],
+            &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (0, 4, 1)],
+        );
         let params = JoinParams {
             collect_limit: Some(2),
             ..Default::default()

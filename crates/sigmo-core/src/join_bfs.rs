@@ -65,7 +65,7 @@ pub fn join_bfs(
                 // Level 0: candidates of the first ordered query node.
                 let q0 = (q_base + plan.order_slot(0)) as usize;
                 let mut frontier: Vec<Vec<NodeId>> = bitmap
-                    .iter_row_range(q0, drange.start as usize, drange.end as usize)
+                    .iter_set_in_range(q0, drange.start as usize, drange.end as usize)
                     .map(|d| vec![d as NodeId])
                     .collect();
                 let mut local_peak = frontier.len() as u64;
@@ -105,8 +105,7 @@ pub fn join_bfs(
                     .add_bytes_read(local_rows * (qlen as u64 * 4 + 200));
                 // BFS writes every materialized row back to memory — the
                 // cost DFS's private stacks avoid.
-                ctx.counters
-                    .add_bytes_written(local_rows * qlen as u64 * 4);
+                ctx.counters.add_bytes_written(local_rows * qlen as u64 * 4);
                 ctx.counters.record_trips(local_rows + 1);
             }
         },

@@ -38,6 +38,7 @@ pub mod join;
 pub mod join_bfs;
 pub mod mapping;
 pub mod memory;
+pub mod naive;
 pub mod schema;
 pub mod signature;
 pub mod stats;
@@ -45,6 +46,7 @@ pub mod stream;
 
 pub use candidates::{CandidateBitmap, WordWidth};
 pub use engine::{Engine, EngineConfig, JoinOrder, MatchMode, PhaseTimings, RunReport};
+pub use filter::{LabelBuckets, SignatureClasses};
 pub use join::{JoinOutcome, MatchRecord};
 pub use join_bfs::{join_bfs, BfsJoinOutcome};
 pub use mapping::Gmcr;

@@ -47,16 +47,20 @@ impl Gmcr {
             work_group_size,
             |dg, counters| {
                 let mut c = 0u32;
-                let mut tested_rows = 0u64;
+                let mut probed_rows = 0u64;
+                let mut words_loaded = 0u64;
                 for qg in 0..n_query {
-                    if pair_is_potential(queries, data, bitmap, qg, dg) {
+                    let (potential, rows, words) =
+                        pair_is_potential_counted(queries, data, bitmap, qg, dg);
+                    if potential {
                         c += 1;
                     }
-                    tested_rows += queries.graph_len(qg) as u64;
+                    probed_rows += rows;
+                    words_loaded += words;
                 }
                 counts[dg].store(c, Ordering::Relaxed);
-                counters.add_instructions(tested_rows * 6);
-                counters.add_bytes_read(tested_rows * bitmap.word_width().bytes());
+                counters.add_instructions(probed_rows * 6);
+                counters.add_word_reads(words_loaded, bitmap.word_width().bytes());
                 counters.add_bytes_written(4);
                 // Work per data graph varies with how many query graphs
                 // remain potential — the source of the mapping phase's
@@ -88,22 +92,25 @@ impl Gmcr {
                 work_group_size,
                 |dg, counters| {
                     let mut pos = offsets[dg] as usize;
+                    let mut words_loaded = 0u64;
                     for qg in 0..n_query {
-                        if pair_is_potential(queries, data, bitmap, qg, dg) {
+                        let (potential, _, words) =
+                            pair_is_potential_counted(queries, data, bitmap, qg, dg);
+                        if potential {
                             indices[pos].store(qg as u32, Ordering::Relaxed);
                             pos += 1;
                         }
+                        words_loaded += words;
                     }
                     debug_assert_eq!(pos, offsets[dg + 1] as usize);
                     counters.add_instructions(n_query as u64 * 8);
-                    counters
-                        .add_bytes_written((offsets[dg + 1] - offsets[dg]) as u64 * 4);
+                    counters.add_word_reads(words_loaded, bitmap.word_width().bytes());
+                    counters.add_bytes_written((offsets[dg + 1] - offsets[dg]) as u64 * 4);
                     counters.record_trips((offsets[dg + 1] - offsets[dg]) as u64 + 1);
                 },
             );
         }
-        let query_graph_indices: Vec<u32> =
-            indices.into_iter().map(|a| a.into_inner()).collect();
+        let query_graph_indices: Vec<u32> = indices.into_iter().map(|a| a.into_inner()).collect();
         let matched = (0..total).map(|_| AtomicBool::new(false)).collect();
         Self {
             data_graph_offsets,
@@ -172,18 +179,32 @@ impl Gmcr {
 
 /// A (query graph, data graph) pair is *potential* iff every query node of
 /// `qg` has ≥ 1 surviving candidate within `dg`'s node range.
-fn pair_is_potential(
+///
+/// Both zero-row detection and its accounting are word-granular: each row
+/// is scanned with the early-exiting word probe, the pair check stops at
+/// the first empty row, and the return reports `(potential, rows probed,
+/// bitmap words loaded)` so the kernels charge exactly the traffic the
+/// scan generated.
+fn pair_is_potential_counted(
     queries: &CsrGo,
     data: &CsrGo,
     bitmap: &CandidateBitmap,
     qg: usize,
     dg: usize,
-) -> bool {
+) -> (bool, u64, u64) {
     let drange = data.node_range(dg);
     let (dlo, dhi) = (drange.start as usize, drange.end as usize);
-    queries
-        .node_range(qg)
-        .all(|qn| bitmap.row_any_in_range(qn as usize, dlo, dhi))
+    let mut rows = 0u64;
+    let mut words = 0u64;
+    for qn in queries.node_range(qg) {
+        let (any, w) = bitmap.row_any_in_range_counted(qn as usize, dlo, dhi);
+        rows += 1;
+        words += w;
+        if !any {
+            return (false, rows, words);
+        }
+    }
+    (true, rows, words)
 }
 
 #[cfg(test)]

@@ -13,8 +13,13 @@ use sigmo_graph::{CsrGo, LabeledGraph};
 /// Predicted device memory for one engine run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct MemoryEstimate {
-    /// Candidate bitmap bytes: `rows × ceil(cols/64) × 8`.
+    /// Candidate bitmap bytes per the §5.1.3 packed-bit formula:
+    /// `⌈rows × cols / 8⌉`.
     pub bitmap_bytes: u64,
+    /// Bitmap bytes the allocation actually takes, every row padded to
+    /// whole 64-bit words: `rows × ⌈cols/64⌉ × 8`. This, not the packed
+    /// figure, is what [`total`](Self::total) and OOM planning use.
+    pub bitmap_padded_bytes: u64,
     /// Query + data CSR-GO bytes.
     pub graph_bytes: u64,
     /// Signature array bytes (8 per node) plus the cached BFS frontier
@@ -25,9 +30,9 @@ pub struct MemoryEstimate {
 }
 
 impl MemoryEstimate {
-    /// Total predicted bytes.
+    /// Total predicted bytes (bitmap at its padded allocation size).
     pub fn total(&self) -> u64 {
-        self.bitmap_bytes + self.graph_bytes + self.signature_bytes + self.gmcr_bytes
+        self.bitmap_padded_bytes + self.graph_bytes + self.signature_bytes + self.gmcr_bytes
     }
 
     /// Fraction of the total the candidate bitmap takes (the paper: 80%).
@@ -35,7 +40,7 @@ impl MemoryEstimate {
         if self.total() == 0 {
             0.0
         } else {
-            self.bitmap_bytes as f64 / self.total() as f64
+            self.bitmap_padded_bytes as f64 / self.total() as f64
         }
     }
 
@@ -49,14 +54,16 @@ impl MemoryEstimate {
 pub fn estimate_batched(queries: &CsrGo, data: &CsrGo) -> MemoryEstimate {
     let rows = queries.num_nodes() as u64;
     let cols = data.num_nodes() as u64;
-    let bitmap_bytes = rows * cols.div_ceil(64) * 8;
+    let bitmap_bytes = (rows * cols).div_ceil(8);
+    let bitmap_padded_bytes = rows * cols.div_ceil(64) * 8;
     let graph_bytes = (queries.memory_bytes() + data.memory_bytes()) as u64;
     // 8 bytes per signature + ~24 bytes of frontier state per node.
     let signature_bytes = (rows + cols) * (8 + 24);
-    let gmcr_bytes =
-        (data.num_graphs() as u64 + 1) * 4 + (data.num_graphs() as u64 * queries.num_graphs() as u64) * 5;
+    let gmcr_bytes = (data.num_graphs() as u64 + 1) * 4
+        + (data.num_graphs() as u64 * queries.num_graphs() as u64) * 5;
     MemoryEstimate {
         bitmap_bytes,
+        bitmap_padded_bytes,
         graph_bytes,
         signature_bytes,
         gmcr_bytes,
@@ -77,7 +84,8 @@ pub fn estimate_scaled(queries: &CsrGo, base: &CsrGo, factor: usize) -> MemoryEs
     let n = base.num_nodes() as u64 * f;
     let m = base.num_edges() as u64 * f;
     let g = base.num_graphs() as u64 * f;
-    let bitmap_bytes = rows * n.div_ceil(64) * 8;
+    let bitmap_bytes = (rows * n).div_ceil(8);
+    let bitmap_padded_bytes = rows * n.div_ceil(64) * 8;
     // CSR: row offsets (n+1)×4 + column indices 2m×4 + edge labels 2m +
     // node labels n; CSR-GO adds graph offsets (g+1)×4.
     let data_csr = (n + 1) * 4 + 2 * m * 4 + 2 * m + n + (g + 1) * 4;
@@ -86,6 +94,7 @@ pub fn estimate_scaled(queries: &CsrGo, base: &CsrGo, factor: usize) -> MemoryEs
     let gmcr_bytes = (g + 1) * 4 + g * queries.num_graphs() as u64 * 5;
     MemoryEstimate {
         bitmap_bytes,
+        bitmap_padded_bytes,
         graph_bytes,
         signature_bytes,
         gmcr_bytes,
@@ -118,8 +127,7 @@ mod tests {
     use sigmo_graph::random_sparse_graph;
 
     fn world(n_data: usize) -> (Vec<LabeledGraph>, Vec<LabeledGraph>) {
-        let queries: Vec<LabeledGraph> =
-            (0..10).map(|i| random_sparse_graph(6, 2, 5, i)).collect();
+        let queries: Vec<LabeledGraph> = (0..10).map(|i| random_sparse_graph(6, 2, 5, i)).collect();
         let data: Vec<LabeledGraph> = (0..n_data)
             .map(|i| random_sparse_graph(40, 10, 5, 100 + i as u64))
             .collect();
@@ -132,8 +140,11 @@ mod tests {
         // packed bits.
         let rows = 3413u64;
         let cols = 2_745_872u64;
-        let bytes = rows * cols.div_ceil(64) * 8;
+        let bytes = (rows * cols).div_ceil(8);
         assert!((1.0..1.3).contains(&(bytes as f64 / 1e9)));
+        // Word padding adds at most 8 bytes per row on top of that.
+        let padded = rows * cols.div_ceil(64) * 8;
+        assert!(padded >= bytes && padded - bytes < rows * 8);
     }
 
     #[test]
@@ -161,8 +172,7 @@ mod tests {
         let q = CsrGo::from_graphs(&queries);
         let base = CsrGo::from_graphs(&data);
         for f in 1..=4usize {
-            let scaled: Vec<LabeledGraph> =
-                (0..f).flat_map(|_| data.iter().cloned()).collect();
+            let scaled: Vec<LabeledGraph> = (0..f).flat_map(|_| data.iter().cloned()).collect();
             let materialized = estimate(&queries, &scaled);
             let arithmetic = estimate_scaled(&q, &base, f);
             assert_eq!(arithmetic, materialized, "factor {f}");
@@ -181,6 +191,7 @@ mod tests {
             &Queue::new(DeviceProfile::host()),
         );
         assert_eq!(est.bitmap_bytes, report.bitmap_bytes as u64);
+        assert_eq!(est.bitmap_padded_bytes, report.bitmap_padded_bytes as u64);
         assert_eq!(est.graph_bytes, report.graph_bytes as u64);
     }
 

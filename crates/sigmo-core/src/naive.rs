@@ -1,0 +1,115 @@
+//! Per-bit reference implementations of the filter/enumeration hot paths.
+//!
+//! These are the *pre-optimization* forms of the word-parallel kernels in
+//! [`crate::filter`] and [`crate::candidates`]: one label comparison per
+//! (query node × data node) in init, one domination test per surviving
+//! row in refine, one `get` probe per column when enumerating. They exist
+//! for two reasons:
+//!
+//! 1. the differential regression test (`tests/word_parallel_differential`)
+//!    asserts the optimized paths produce *bit-identical* bitmaps and
+//!    identical match sets;
+//! 2. the `ablate_candidate_scan` benchmark measures the speedup of the
+//!    word-parallel paths against these.
+//!
+//! They run on the host without the device queue — no counters, no
+//! parallelism — so they stay an independent oracle.
+
+use crate::candidates::CandidateBitmap;
+use crate::signature::SignatureSet;
+use sigmo_graph::{CsrGo, NodeId, WILDCARD_LABEL};
+
+/// Per-bit InitializeCandidates: for every data node, scans *all* query
+/// rows and sets the bit on a label match (or query wildcard).
+pub fn initialize_candidates(queries: &CsrGo, data: &CsrGo, bitmap: &CandidateBitmap) {
+    let nq = queries.num_nodes();
+    for d in 0..data.num_nodes() {
+        let dl = data.label(d as NodeId);
+        for q in 0..nq {
+            let ql = queries.label(q as NodeId);
+            if ql == dl || ql == WILDCARD_LABEL {
+                bitmap.set(q, d);
+            }
+        }
+    }
+}
+
+/// Per-row RefineCandidates: for every data node, probes every query row
+/// individually and runs one domination test per surviving bit. Returns
+/// the number of bits cleared.
+pub fn refine_candidates(
+    queries: &CsrGo,
+    query_sigs: &SignatureSet,
+    data_sigs: &SignatureSet,
+    bitmap: &CandidateBitmap,
+    num_data_nodes: usize,
+) -> u64 {
+    let nq = queries.num_nodes();
+    let schema = query_sigs.schema().clone();
+    let mut cleared = 0u64;
+    for d in 0..num_data_nodes {
+        let dsig = data_sigs.signature(d as NodeId);
+        for q in 0..nq {
+            if !bitmap.get(q, d) {
+                continue;
+            }
+            let qsig = query_sigs.signature(q as NodeId);
+            if !dsig.dominates(&schema, &qsig) {
+                bitmap.clear(q, d);
+                cleared += 1;
+            }
+        }
+    }
+    cleared
+}
+
+/// Per-bit candidate enumeration: probes every column of `[col_lo, col_hi)`
+/// with `get`, in ascending order.
+pub fn enumerate_row(
+    bitmap: &CandidateBitmap,
+    row: usize,
+    col_lo: usize,
+    col_hi: usize,
+) -> Vec<usize> {
+    (col_lo..col_hi).filter(|&c| bitmap.get(row, c)).collect()
+}
+
+/// Per-bit variant of [`CandidateBitmap::next_set_in_range`].
+pub fn next_set_in_range(
+    bitmap: &CandidateBitmap,
+    row: usize,
+    col_lo: usize,
+    col_hi: usize,
+) -> Option<usize> {
+    (col_lo..col_hi).find(|&c| bitmap.get(row, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::WordWidth;
+
+    #[test]
+    fn enumerate_row_matches_word_parallel() {
+        let b = CandidateBitmap::new(1, 150, WordWidth::U64);
+        for c in [0, 63, 64, 127, 128, 149] {
+            b.set(0, c);
+        }
+        assert_eq!(
+            enumerate_row(&b, 0, 0, 150),
+            b.iter_set_in_range(0, 0, 150).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            enumerate_row(&b, 0, 64, 128),
+            b.iter_set_in_range(0, 64, 128).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            next_set_in_range(&b, 0, 1, 150),
+            b.next_set_in_range(0, 1, 150)
+        );
+        assert_eq!(
+            next_set_in_range(&b, 0, 129, 149),
+            b.next_set_in_range(0, 129, 149)
+        );
+    }
+}

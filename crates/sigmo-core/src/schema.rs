@@ -66,13 +66,16 @@ impl LabelSchema {
                 .enumerate()
                 .filter(|&(_, &b)| b < 16)
                 .map(|(i, &b)| (i, weights[i] / f64::from(1u32 << b)))
-                .fold((usize::MAX, f64::MIN), |acc, x| {
-                    if x.1 > acc.1 {
-                        x
-                    } else {
-                        acc
-                    }
-                });
+                .fold(
+                    (usize::MAX, f64::MIN),
+                    |acc, x| {
+                        if x.1 > acc.1 {
+                            x
+                        } else {
+                            acc
+                        }
+                    },
+                );
             if best == usize::MAX {
                 break; // all groups capped
             }

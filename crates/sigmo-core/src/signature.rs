@@ -27,7 +27,7 @@ use sigmo_graph::{CsrGo, Label, NodeId, WILDCARD_LABEL};
 /// assert!(data.dominates(&schema, &query));
 /// assert!(!query.dominates(&schema, &data));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Signature(pub u64);
 
 impl Signature {
@@ -289,8 +289,8 @@ mod tests {
 
     fn star_batch() -> CsrGo {
         // Center C (label 1) with 3 H (0) and 1 O (3).
-        let g = LabeledGraph::from_edges(&[1, 0, 0, 0, 3], &[(0, 1), (0, 2), (0, 3), (0, 4)])
-            .unwrap();
+        let g =
+            LabeledGraph::from_edges(&[1, 0, 0, 0, 3], &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
         CsrGo::from_graphs(&[g])
     }
 
@@ -307,7 +307,7 @@ mod tests {
         assert_eq!(sig.count(&s, 0), 3); // three H
         assert_eq!(sig.count(&s, 3), 1); // one O
         assert_eq!(sig.count(&s, 1), 0); // own label not counted
-        // Leaves see only the center.
+                                         // Leaves see only the center.
         assert_eq!(set.signature(1).count(&s, 1), 1);
     }
 

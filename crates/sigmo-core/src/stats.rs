@@ -21,6 +21,9 @@ pub struct CandidateStats {
     pub mean: f64,
     /// Total candidates across all query nodes (the line of Figure 5).
     pub total: usize,
+    /// Query rows left with zero candidates — the rows the mapping phase
+    /// will use to drop (query, data-graph) pairs.
+    pub empty_rows: usize,
 }
 
 impl CandidateStats {
@@ -41,6 +44,7 @@ impl CandidateStats {
                 max: 0,
                 mean: 0.0,
                 total: 0,
+                empty_rows: 0,
             };
         }
         let mut sorted = counts.to_vec();
@@ -59,6 +63,7 @@ impl CandidateStats {
             max: sorted[n - 1],
             mean: total as f64 / n as f64,
             total,
+            empty_rows: sorted.iter().take_while(|&&c| c == 0).count(),
         }
     }
 }
@@ -119,5 +124,13 @@ mod tests {
         assert_eq!(s.total, 3);
         assert_eq!(s.max, 2);
         assert_eq!(s.min, 0);
+        assert_eq!(s.empty_rows, 1);
+    }
+
+    #[test]
+    fn empty_rows_counted() {
+        let s = CandidateStats::from_counts(&[0, 0, 3, 1]);
+        assert_eq!(s.empty_rows, 2);
+        assert_eq!(CandidateStats::from_counts(&[1, 2]).empty_rows, 0);
     }
 }

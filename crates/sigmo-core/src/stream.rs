@@ -122,9 +122,11 @@ impl StreamRunner {
         report.peak_chunk_bytes = report.peak_chunk_bytes.max(est);
         let run = self.engine.run(queries, chunk, queue);
         report.total_matches += run.total_matches;
-        report
-            .matched_pair_list
-            .extend(run.matched_pair_list.iter().map(|&(d, q)| (*base_index + d, q)));
+        report.matched_pair_list.extend(
+            run.matched_pair_list
+                .iter()
+                .map(|&(d, q)| (*base_index + d, q)),
+        );
         report.chunks += 1;
         report.molecules += chunk.len();
         report.total_time += run.timings.total();
@@ -159,8 +161,9 @@ mod tests {
         let (queries, data) = world();
         let queue = Queue::new(DeviceProfile::host());
         let batch = Engine::new(EngineConfig::default()).run(&queries, &data, &queue);
-        // Tiny budget forces many chunks.
-        let runner = StreamRunner::new(EngineConfig::default(), 200_000);
+        // A budget well under the whole batch forces many chunks.
+        let budget = estimate(&queries, &data).total() / 4;
+        let runner = StreamRunner::new(EngineConfig::default(), budget);
         let streamed = runner.run(&queries, data.iter().cloned(), &queue);
         assert!(streamed.chunks > 1, "budget must split the stream");
         assert_eq!(streamed.total_matches, batch.total_matches);
@@ -191,8 +194,7 @@ mod tests {
     fn molecule_cap_bounds_chunks() {
         let (queries, data) = world();
         let queue = Queue::new(DeviceProfile::host());
-        let runner =
-            StreamRunner::new(EngineConfig::default(), u64::MAX).with_max_chunk(7);
+        let runner = StreamRunner::new(EngineConfig::default(), u64::MAX).with_max_chunk(7);
         let streamed = runner.run(&queries, data.iter().cloned(), &queue);
         assert_eq!(streamed.chunks, data.len().div_ceil(7));
     }

@@ -146,8 +146,8 @@ impl CostModel {
         let compute_s = c.instructions as f64 / eff_peak;
         // Atomics serialize within the memory system: charge extra traffic.
         let atomic_bytes = c.atomic_ops * 8;
-        let mem_s = (c.total_bytes() + atomic_bytes) as f64
-            / (self.profile.mem_bandwidth_gb_s * 1e9);
+        let mem_s =
+            (c.total_bytes() + atomic_bytes) as f64 / (self.profile.mem_bandwidth_gb_s * 1e9);
         let exec = compute_s.max(mem_s);
         KernelCost {
             name: rec.name.clone(),

@@ -20,6 +20,8 @@ pub struct KernelCounters {
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     atomic_ops: AtomicU64,
+    /// Bitmap words actually loaded (word-granular traffic, Figures 8/9).
+    word_reads: AtomicU64,
     /// Sum of per-work-item trip counts, for divergence estimation.
     trip_sum: AtomicU64,
     /// Sum of squared trip counts.
@@ -39,6 +41,11 @@ pub struct CounterSnapshot {
     pub bytes_written: u64,
     /// Atomic read-modify-write operations.
     pub atomic_ops: u64,
+    /// Bitmap words loaded from global memory. Word-granular reads are
+    /// *also* included in `bytes_read` (at the modeled word width); this
+    /// field keeps the word count itself visible so traffic per word
+    /// width can be compared across configurations.
+    pub word_reads: u64,
     /// Coefficient of variation of per-work-item trip counts; proxies
     /// control-flow divergence (0 = perfectly uniform).
     pub divergence: f64,
@@ -93,6 +100,19 @@ impl KernelCounters {
         self.atomic_ops.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Adds `words` word-granular bitmap loads of `word_bytes` each: the
+    /// word count lands in `word_reads` and the byte volume in
+    /// `bytes_read`. Kernels that scan the candidate bitmap charge each
+    /// distinct word they actually touch through this method instead of
+    /// estimating traffic from row lengths — the honest accounting the
+    /// word-parallel scans make possible.
+    #[inline]
+    pub fn add_word_reads(&self, words: u64, word_bytes: u64) {
+        self.word_reads.fetch_add(words, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add(words.saturating_mul(word_bytes), Ordering::Relaxed);
+    }
+
     /// Records one work-item's trip count (loop iterations / visited
     /// candidates); used to estimate sub-group divergence, the effect the
     /// paper observes in the join phase (§5.1.3: "warp-level divergence:
@@ -126,6 +146,7 @@ impl KernelCounters {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             atomic_ops: self.atomic_ops.load(Ordering::Relaxed),
+            word_reads: self.word_reads.load(Ordering::Relaxed),
             divergence,
         }
     }
@@ -136,6 +157,7 @@ impl KernelCounters {
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
         self.atomic_ops.store(0, Ordering::Relaxed);
+        self.word_reads.store(0, Ordering::Relaxed);
         self.trip_sum.store(0, Ordering::Relaxed);
         self.trip_sq_sum.store(0, Ordering::Relaxed);
         self.trip_n.store(0, Ordering::Relaxed);
@@ -158,6 +180,18 @@ mod tests {
         assert_eq!(s.total_bytes(), 50);
         assert_eq!(s.atomic_ops, 3);
         assert!((s.instruction_intensity() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn word_reads_count_words_and_bytes() {
+        let c = KernelCounters::new();
+        c.add_bytes_read(5);
+        c.add_word_reads(3, 8);
+        let s = c.snapshot();
+        assert_eq!(s.word_reads, 3);
+        assert_eq!(s.bytes_read, 5 + 24);
+        c.reset();
+        assert_eq!(c.snapshot().word_reads, 0);
     }
 
     #[test]

@@ -25,6 +25,8 @@ pub struct KernelSummary {
     pub bytes: u64,
     /// Total atomic operations.
     pub atomics: u64,
+    /// Total bitmap words loaded (word-granular reads, also in `bytes`).
+    pub word_reads: u64,
     /// Mean occupancy across launches (simple average).
     pub mean_occupancy: f64,
 }
@@ -47,6 +49,7 @@ pub fn summarize(records: &[KernelRecord], model: &CostModel) -> Vec<KernelSumma
                 instructions: 0,
                 bytes: 0,
                 atomics: 0,
+                word_reads: 0,
                 mean_occupancy: 0.0,
             }
         });
@@ -56,6 +59,7 @@ pub fn summarize(records: &[KernelRecord], model: &CostModel) -> Vec<KernelSumma
         entry.instructions += r.counters.instructions;
         entry.bytes += r.counters.total_bytes();
         entry.atomics += r.counters.atomic_ops;
+        entry.word_reads += r.counters.word_reads;
         entry.mean_occupancy += cost.occupancy;
     }
     order
@@ -72,12 +76,21 @@ pub fn summarize(records: &[KernelRecord], model: &CostModel) -> Vec<KernelSumma
 pub fn render_table(summaries: &[KernelSummary]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<24} {:<8} {:>6} {:>11} {:>11} {:>13} {:>12} {:>9} {:>7}\n",
-        "kernel", "phase", "calls", "wall (s)", "sim (s)", "instructions", "bytes", "atomics", "occ %"
+        "{:<24} {:<8} {:>6} {:>11} {:>11} {:>13} {:>12} {:>9} {:>11} {:>7}\n",
+        "kernel",
+        "phase",
+        "calls",
+        "wall (s)",
+        "sim (s)",
+        "instructions",
+        "bytes",
+        "atomics",
+        "word reads",
+        "occ %"
     ));
     for s in summaries {
         out.push_str(&format!(
-            "{:<24} {:<8} {:>6} {:>11.5} {:>11.6} {:>13} {:>12} {:>9} {:>7.1}\n",
+            "{:<24} {:<8} {:>6} {:>11.5} {:>11.6} {:>13} {:>12} {:>9} {:>11} {:>7.1}\n",
             s.name,
             s.phase,
             s.calls,
@@ -86,6 +99,7 @@ pub fn render_table(summaries: &[KernelSummary]) -> String {
             s.instructions,
             s.bytes,
             s.atomics,
+            s.word_reads,
             s.mean_occupancy * 100.0
         ));
     }
@@ -103,6 +117,7 @@ mod tests {
         let c = KernelCounters::new();
         c.add_instructions(instr);
         c.add_bytes_read(instr / 2);
+        c.add_word_reads(3, 8);
         KernelRecord {
             name: name.into(),
             phase: phase.into(),
@@ -126,6 +141,7 @@ mod tests {
         assert_eq!(s[0].name, "refine");
         assert_eq!(s[0].calls, 2);
         assert_eq!(s[0].instructions, 300);
+        assert_eq!(s[0].word_reads, 6, "word reads aggregate across launches");
         assert_eq!(s[1].name, "join");
         assert_eq!(s[1].calls, 1);
     }

@@ -158,8 +158,7 @@ mod tests {
     use crate::graph::LabeledGraph;
 
     fn path5_batch() -> CsrGo {
-        let g =
-            LabeledGraph::from_edges(&[0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let g = LabeledGraph::from_edges(&[0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
         CsrGo::from_graphs(&[g])
     }
 

@@ -177,11 +177,9 @@ mod tests {
     #[test]
     fn csr_row_offsets_match_figure3_shape() {
         // Figure 3's G0: nodes 0..5 with edges per its column indices.
-        let g = LabeledGraph::from_edges(
-            &[0; 5],
-            &[(0, 1), (0, 4), (1, 2), (1, 3), (2, 3), (3, 4)],
-        )
-        .unwrap();
+        let g =
+            LabeledGraph::from_edges(&[0; 5], &[(0, 1), (0, 4), (1, 2), (1, 3), (2, 3), (3, 4)])
+                .unwrap();
         let c = Csr::from_graph(&g);
         assert_eq!(c.row_offsets(), &[0, 2, 5, 7, 10, 12]);
         assert_eq!(c.neighbors(1), &[0, 2, 3]);

@@ -177,11 +177,9 @@ mod tests {
     fn figure3_batch() -> Vec<LabeledGraph> {
         // Figure 3: G0 = 5 nodes (edges as in csr.rs test), G1 = 4 nodes
         // 5-6, 6-7, 6-8 (locally 0-1, 1-2, 1-3).
-        let g0 = LabeledGraph::from_edges(
-            &[0; 5],
-            &[(0, 1), (0, 4), (1, 2), (1, 3), (2, 3), (3, 4)],
-        )
-        .unwrap();
+        let g0 =
+            LabeledGraph::from_edges(&[0; 5], &[(0, 1), (0, 4), (1, 2), (1, 3), (2, 3), (3, 4)])
+                .unwrap();
         let g1 = LabeledGraph::from_edges(&[1; 4], &[(0, 1), (1, 2), (1, 3)]).unwrap();
         vec![g0, g1]
     }

@@ -17,7 +17,11 @@ pub struct XorShift(u64);
 impl XorShift {
     /// Seeds the generator (a zero seed is remapped to a fixed constant).
     pub fn new(seed: u64) -> Self {
-        Self(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+        Self(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
     }
 
     /// Next raw 64-bit value.
@@ -79,12 +83,7 @@ pub fn random_sparse_graph(
 /// A call-graph-shaped labeled graph: layered, edges mostly forward by one
 /// or two layers, labels encoding "function kinds" — the malware-detection
 /// workload shape the paper's conclusion gestures at.
-pub fn random_callgraph(
-    layers: usize,
-    width: usize,
-    num_labels: u8,
-    seed: u64,
-) -> LabeledGraph {
+pub fn random_callgraph(layers: usize, width: usize, num_labels: u8, seed: u64) -> LabeledGraph {
     let mut rng = XorShift::new(seed);
     let mut g = LabeledGraph::new();
     let n = layers * width;
@@ -117,11 +116,7 @@ pub fn random_callgraph(
 
 /// Samples a connected induced subgraph of `size` nodes by randomized BFS
 /// growth — the generic analogue of the molecular query extractor.
-pub fn random_connected_subgraph(
-    g: &LabeledGraph,
-    size: usize,
-    seed: u64,
-) -> Option<LabeledGraph> {
+pub fn random_connected_subgraph(g: &LabeledGraph, size: usize, seed: u64) -> Option<LabeledGraph> {
     if g.num_nodes() < size || size == 0 {
         return None;
     }
@@ -182,10 +177,7 @@ mod tests {
             random_sparse_graph(30, 10, 4, 1),
             random_sparse_graph(30, 10, 4, 1)
         );
-        assert_eq!(
-            random_callgraph(4, 5, 6, 2),
-            random_callgraph(4, 5, 6, 2)
-        );
+        assert_eq!(random_callgraph(4, 5, 6, 2), random_callgraph(4, 5, 6, 2));
     }
 
     #[test]

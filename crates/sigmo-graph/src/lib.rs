@@ -26,6 +26,10 @@ pub mod metrics;
 pub use bfs::{Bfs, RingIter};
 pub use csr::Csr;
 pub use csrgo::CsrGo;
-pub use graph::{EdgeLabel, GraphError, Label, LabeledGraph, NodeId, WILDCARD_EDGE, WILDCARD_LABEL};
-pub use generators::{random_callgraph, random_connected_subgraph, random_sparse_graph, random_tree, XorShift};
+pub use generators::{
+    random_callgraph, random_connected_subgraph, random_sparse_graph, random_tree, XorShift,
+};
+pub use graph::{
+    EdgeLabel, GraphError, Label, LabeledGraph, NodeId, WILDCARD_EDGE, WILDCARD_LABEL,
+};
 pub use metrics::{connected_components, diameter, eccentricity, is_connected};

@@ -11,12 +11,16 @@
 use sigmo_graph::{LabeledGraph, NodeId};
 use std::collections::HashMap;
 
+/// Refinement key of one node: (own class, sorted (neighbor class, edge
+/// label) multiset).
+type RefineKey = (u32, Vec<(u32, u8)>);
+
 /// Equitable refinement: split classes until stable. `classes[v]` is a
 /// dense class id; nodes are equivalent while they share (own class,
 /// multiset of (neighbor class, edge label)).
 fn refine(g: &LabeledGraph, classes: &mut Vec<u32>) {
     loop {
-        let mut key_of: Vec<(u32, Vec<(u32, u8)>)> = (0..g.num_nodes())
+        let mut key_of: Vec<RefineKey> = (0..g.num_nodes())
             .map(|v| {
                 let mut nbrs: Vec<(u32, u8)> = g
                     .neighbors(v as NodeId)
@@ -28,7 +32,7 @@ fn refine(g: &LabeledGraph, classes: &mut Vec<u32>) {
             })
             .collect();
         // Dense re-numbering by sorted key.
-        let mut sorted: Vec<(usize, &(u32, Vec<(u32, u8)>))> = key_of.iter().enumerate().collect();
+        let mut sorted: Vec<(usize, &RefineKey)> = key_of.iter().enumerate().collect();
         sorted.sort_by(|a, b| a.1.cmp(b.1));
         let mut next = vec![0u32; g.num_nodes()];
         let mut id = 0u32;
@@ -164,7 +168,10 @@ fn split_sibling_leaves(g: &LabeledGraph, classes: &mut Vec<u32>) {
 /// graphs, distinct otherwise. Graphs must have ≤ 255 nodes (molecular
 /// scale); larger inputs panic.
 pub fn canonical_code(g: &LabeledGraph) -> Vec<u8> {
-    assert!(g.num_nodes() <= 255, "canonical_code is for molecular-scale graphs");
+    assert!(
+        g.num_nodes() <= 255,
+        "canonical_code is for molecular-scale graphs"
+    );
     if g.num_nodes() == 0 {
         return vec![0];
     }

@@ -39,7 +39,7 @@ impl Default for DatasetConfig {
             include_library: true,
             query_min_nodes: 2,
             query_max_nodes: 30,
-            seed: 0x51_6D_0,
+            seed: 0x0005_16D0,
             generator: GeneratorConfig::default(),
             dedup_queries: false,
         }
@@ -211,7 +211,10 @@ mod tests {
         let scaled = d.scaled_data_graphs(3);
         assert_eq!(scaled.len(), d.data_graphs().len() * 3);
         assert_eq!(&scaled[..d.data_graphs().len()], d.data_graphs());
-        assert_eq!(&scaled[d.data_graphs().len()..2 * d.data_graphs().len()], d.data_graphs());
+        assert_eq!(
+            &scaled[d.data_graphs().len()..2 * d.data_graphs().len()],
+            d.data_graphs()
+        );
     }
 
     #[test]

@@ -172,7 +172,11 @@ mod tests {
             assert_eq!(Element::from_symbol(e.symbol()), Some(e));
         }
         assert_eq!(Element::from_symbol("Xx"), None);
-        assert_eq!(Element::from_symbol("c"), None, "symbols are case-sensitive");
+        assert_eq!(
+            Element::from_symbol("c"),
+            None,
+            "symbols are case-sensitive"
+        );
     }
 
     #[test]

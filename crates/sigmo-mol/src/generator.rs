@@ -132,8 +132,8 @@ impl MoleculeGenerator {
         }
         // Ring closures: pick random atom pairs at skeleton distance 2..=5
         // (favoring 5/6-membered rings) with spare single-bond valence.
-        let n_rings = ((mol.num_atoms() as f64 / 10.0) * self.config.rings_per_10_atoms)
-            .round() as usize;
+        let n_rings =
+            ((mol.num_atoms() as f64 / 10.0) * self.config.rings_per_10_atoms).round() as usize;
         let mut made = 0;
         let mut ring_attempts = 0;
         while made < n_rings && ring_attempts < n_rings * 40 + 40 {

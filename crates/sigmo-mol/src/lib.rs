@@ -34,8 +34,8 @@ pub mod smiles;
 pub use canonical::{are_isomorphic, canonical_code, dedup_isomorphic};
 pub use dataset::{Dataset, DatasetConfig};
 pub use descriptors::{cycle_basis, descriptors, ring_membership, Descriptors};
-pub use formats::{parse_mol_block, parse_sdf, write_mol_block, write_sdf, MolFileError};
 pub use elements::{Element, NUM_ELEMENT_LABELS};
+pub use formats::{parse_mol_block, parse_sdf, write_mol_block, write_sdf, MolFileError};
 pub use generator::{GeneratorConfig, MoleculeGenerator};
 pub use molecule::{Bond, BondOrder, Molecule, MoleculeError};
 pub use queries::{functional_groups, QueryExtractor};

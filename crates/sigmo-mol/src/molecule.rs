@@ -74,7 +74,11 @@ impl fmt::Display for MoleculeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MoleculeError::Graph(e) => write!(f, "graph error: {e}"),
-            MoleculeError::ValenceExceeded { atom, element, used } => write!(
+            MoleculeError::ValenceExceeded {
+                atom,
+                element,
+                used,
+            } => write!(
                 f,
                 "valence exceeded on atom {atom} ({element}): {used} > {}",
                 element.max_valence()
@@ -120,7 +124,12 @@ impl Molecule {
     }
 
     /// Adds a bond, enforcing simple-graph and valence constraints.
-    pub fn add_bond(&mut self, a: NodeId, b: NodeId, order: BondOrder) -> Result<(), MoleculeError> {
+    pub fn add_bond(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        order: BondOrder,
+    ) -> Result<(), MoleculeError> {
         // Validate valence *before* mutating the graph.
         for &atom in &[a, b] {
             if let Some(&elem) = self.atoms.get(atom as usize) {

@@ -140,7 +140,9 @@ impl QueryExtractor {
         while out.len() < count && attempts < count * 10 {
             attempts += 1;
             let src = &sources[self.rng.gen_range(0..sources.len())];
-            let size = self.rng.gen_range(min_size..=max_size.min(src.num_atoms()).max(min_size));
+            let size = self
+                .rng
+                .gen_range(min_size..=max_size.min(src.num_atoms()).max(min_size));
             if let Some(q) = self.extract(src, size) {
                 out.push(q);
             }

@@ -118,12 +118,12 @@ pub fn parse_smarts(s: &str) -> Result<LabeledGraph, SmartsError> {
     let mut pending: Option<Bond> = None;
     let mut rings: Vec<Option<(u32, Option<Bond>)>> = vec![None; 100];
 
-    let mut push_atom = |g: &mut LabeledGraph,
-                         aromatic_list: &mut Vec<bool>,
-                         prev: &mut Option<u32>,
-                         pending: &mut Option<Bond>,
-                         label: u8,
-                         is_aromatic: bool|
+    let push_atom = |g: &mut LabeledGraph,
+                     aromatic_list: &mut Vec<bool>,
+                     prev: &mut Option<u32>,
+                     pending: &mut Option<Bond>,
+                     label: u8,
+                     is_aromatic: bool|
      -> Result<(), SmartsError> {
         let id = g.add_node(label);
         aromatic_list.push(is_aromatic);
@@ -141,7 +141,14 @@ pub fn parse_smarts(s: &str) -> Result<LabeledGraph, SmartsError> {
         let c = bytes[i] as char;
         match c {
             '*' => {
-                push_atom(&mut g, &mut aromatic, &mut prev, &mut pending, WILDCARD_LABEL, false)?;
+                push_atom(
+                    &mut g,
+                    &mut aromatic,
+                    &mut prev,
+                    &mut pending,
+                    WILDCARD_LABEL,
+                    false,
+                )?;
                 i += 1;
             }
             '~' => {
@@ -214,7 +221,14 @@ pub fn parse_smarts(s: &str) -> Result<LabeledGraph, SmartsError> {
                     });
                 }
                 if inner == "*" {
-                    push_atom(&mut g, &mut aromatic, &mut prev, &mut pending, WILDCARD_LABEL, false)?;
+                    push_atom(
+                        &mut g,
+                        &mut aromatic,
+                        &mut prev,
+                        &mut pending,
+                        WILDCARD_LABEL,
+                        false,
+                    )?;
                 } else {
                     // Element symbol, optionally with an H-count we ignore
                     // (patterns don't constrain hydrogens here).
@@ -425,7 +439,10 @@ mod tests {
     fn unsupported_constructs_are_rejected_loudly() {
         assert!(matches!(
             parse_smarts("[C,N]"),
-            Err(SmartsError::Unsupported { what: "atom lists ([C,N])", .. })
+            Err(SmartsError::Unsupported {
+                what: "atom lists ([C,N])",
+                ..
+            })
         ));
         assert!(matches!(
             parse_smarts("[$(CC)]"),
@@ -440,10 +457,22 @@ mod tests {
     #[test]
     fn structural_errors() {
         assert!(matches!(parse_smarts(""), Err(SmartsError::Empty)));
-        assert!(matches!(parse_smarts("~C"), Err(SmartsError::DanglingBond { .. })));
-        assert!(matches!(parse_smarts("C(C"), Err(SmartsError::Parenthesis { .. })));
-        assert!(matches!(parse_smarts("C1CC"), Err(SmartsError::RingBond { .. })));
-        assert!(matches!(parse_smarts("Xy"), Err(SmartsError::UnknownElement { .. })));
+        assert!(matches!(
+            parse_smarts("~C"),
+            Err(SmartsError::DanglingBond { .. })
+        ));
+        assert!(matches!(
+            parse_smarts("C(C"),
+            Err(SmartsError::Parenthesis { .. })
+        ));
+        assert!(matches!(
+            parse_smarts("C1CC"),
+            Err(SmartsError::RingBond { .. })
+        ));
+        assert!(matches!(
+            parse_smarts("Xy"),
+            Err(SmartsError::UnknownElement { .. })
+        ));
     }
 
     #[test]

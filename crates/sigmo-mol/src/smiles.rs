@@ -246,9 +246,8 @@ fn parse_inner(s: &str, implicit_h: bool) -> Result<Molecule, SmilesError> {
     // by the ring π system beyond the kekulized orders only for N/O/S with
     // no double bond — the kekulization already accounts for this because
     // orders sum correctly, so plain free-valence saturation is right.
-    let heavy = atoms.len();
-    for idx in 0..heavy {
-        let h_count = match atoms[idx].bracket_h {
+    for (idx, atom) in atoms.iter().enumerate() {
+        let h_count = match atom.bracket_h {
             Some(h) => h,
             None if implicit_h => mol.free_valence(idx as NodeId),
             None => 0,
@@ -291,10 +290,8 @@ fn parse_organic_atom(s: &str, i: usize) -> Result<(Element, bool, usize), Smile
     let c = rest.chars().next().unwrap();
     if c.is_ascii_uppercase() {
         let sym = c.to_string();
-        let e = Element::from_symbol(&sym).ok_or_else(|| SmilesError::UnknownElement {
-            at: i,
-            symbol: sym,
-        })?;
+        let e =
+            Element::from_symbol(&sym).ok_or(SmilesError::UnknownElement { at: i, symbol: sym })?;
         Ok((e, false, 1))
     } else if c.is_ascii_lowercase() {
         let upper = c.to_ascii_uppercase().to_string();
@@ -317,7 +314,9 @@ fn parse_organic_atom(s: &str, i: usize) -> Result<(Element, bool, usize), Smile
 fn parse_bracket_atom(inner: &str, at: usize) -> Result<(RawAtom, usize), SmilesError> {
     // Grammar subset: SYMBOL ('H' COUNT?)?  — anything else is rejected.
     let mut chars = inner.char_indices().peekable();
-    let (_, first) = chars.next().ok_or(SmilesError::Unexpected { at, found: ']' })?;
+    let (_, first) = chars
+        .next()
+        .ok_or(SmilesError::Unexpected { at, found: ']' })?;
     let aromatic = first.is_ascii_lowercase();
     let mut sym = first.to_ascii_uppercase().to_string();
     if let Some(&(_, c2)) = chars.peek() {
@@ -366,7 +365,10 @@ fn parse_bracket_atom(inner: &str, at: usize) -> Result<(RawAtom, usize), Smiles
 /// Every aromatic *carbon* must receive exactly one double bond among its
 /// aromatic bonds; aromatic N/O/S may contribute a lone pair instead and
 /// receive zero. Non-aromatic bonds keep their stated order.
-fn kekulize(atoms: &[RawAtom], edges: &[(u32, u32, RawBond)]) -> Result<Vec<BondOrder>, SmilesError> {
+fn kekulize(
+    atoms: &[RawAtom],
+    edges: &[(u32, u32, RawBond)],
+) -> Result<Vec<BondOrder>, SmilesError> {
     let mut orders: Vec<BondOrder> = Vec::with_capacity(edges.len());
     let mut aromatic_edges: Vec<usize> = Vec::new();
     for (k, &(_, _, b)) in edges.iter().enumerate() {
@@ -477,7 +479,15 @@ pub fn write_smiles(mol: &Molecule) -> String {
         }
         // Iterative DFS writing atoms; stack holds (node, parent, bond order
         // from parent, branch depth marker handled via explicit frames).
-        write_component(mol, start, &mut visited, &mut out, &mut ring_digit, &mut next_digit, &is_folded_h);
+        write_component(
+            mol,
+            start,
+            &mut visited,
+            &mut out,
+            &mut ring_digit,
+            &mut next_digit,
+            &is_folded_h,
+        );
     }
     out
 }
@@ -618,14 +628,32 @@ fn write_component(
                 if !is_last {
                     out.push('(');
                 }
-                rec(mol, u, Some(v), visited, out, ring_digit, parent, is_folded_h);
+                rec(
+                    mol,
+                    u,
+                    Some(v),
+                    visited,
+                    out,
+                    ring_digit,
+                    parent,
+                    is_folded_h,
+                );
                 if !is_last {
                     out.push(')');
                 }
             }
         }
     }
-    rec(mol, start, None, visited, out, ring_digit, &parent, is_folded_h);
+    rec(
+        mol,
+        start,
+        None,
+        visited,
+        out,
+        ring_digit,
+        &parent,
+        is_folded_h,
+    );
     // Mark folded hydrogens visited.
     for v in 0..mol.num_atoms() as NodeId {
         if visited[v as usize] {
@@ -785,11 +813,18 @@ mod tests {
         for s in ["C", "CCO", "CC(=O)O", "C1CCCCC1", "CC#N", "c1ccccc1"] {
             let m = parse_smiles(s).unwrap();
             let written = write_smiles(&m);
-            let back = parse_smiles(&written).unwrap_or_else(|e| {
-                panic!("re-parse of {written:?} (from {s:?}) failed: {e}")
-            });
-            assert_eq!(back.formula(), m.formula(), "round-trip of {s} via {written}");
-            assert_eq!(back.num_bonds(), m.num_bonds(), "round-trip of {s} via {written}");
+            let back = parse_smiles(&written)
+                .unwrap_or_else(|e| panic!("re-parse of {written:?} (from {s:?}) failed: {e}"));
+            assert_eq!(
+                back.formula(),
+                m.formula(),
+                "round-trip of {s} via {written}"
+            );
+            assert_eq!(
+                back.num_bonds(),
+                m.num_bonds(),
+                "round-trip of {s} via {written}"
+            );
         }
     }
 

@@ -24,10 +24,30 @@ struct Rule {
 
 fn main() {
     let rules = [
-        Rule { name: "carboxylic-acid (COOH/COO-)", smiles: "C(=O)O", site_atom: 2, states: 2 },
-        Rule { name: "primary-amine (NH2/NH3+)", smiles: "CN", site_atom: 1, states: 2 },
-        Rule { name: "thiol (SH/S-)", smiles: "CS", site_atom: 1, states: 2 },
-        Rule { name: "phosphate (3 states)", smiles: "P(=O)(O)O", site_atom: 2, states: 3 },
+        Rule {
+            name: "carboxylic-acid (COOH/COO-)",
+            smiles: "C(=O)O",
+            site_atom: 2,
+            states: 2,
+        },
+        Rule {
+            name: "primary-amine (NH2/NH3+)",
+            smiles: "CN",
+            site_atom: 1,
+            states: 2,
+        },
+        Rule {
+            name: "thiol (SH/S-)",
+            smiles: "CS",
+            site_atom: 1,
+            states: 2,
+        },
+        Rule {
+            name: "phosphate (3 states)",
+            smiles: "P(=O)(O)O",
+            site_atom: 2,
+            states: 3,
+        },
     ];
     let molecules = [
         ("glycine-like", "NCC(=O)O"),
@@ -60,7 +80,8 @@ fn main() {
     }
     for (mi, (name, _)) in molecules.iter().enumerate() {
         let mut microstates = 1usize;
-        let mut sites: Vec<(usize, BTreeSet<u32>)> = rules.iter().map(|_| (0, BTreeSet::new())).collect();
+        let mut sites: Vec<(usize, BTreeSet<u32>)> =
+            rules.iter().map(|_| (0, BTreeSet::new())).collect();
         for rec in report.records.iter().filter(|r| r.data_graph == mi) {
             let site_global = rec.mapping[rules[rec.query_graph].site_atom];
             sites[rec.query_graph].1.insert(site_global - bases[mi]);

@@ -20,10 +20,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(5000);
 
-    let queries: Vec<_> = functional_groups()
-        .into_iter()
-        .map(|p| p.graph)
-        .collect();
+    let queries: Vec<_> = functional_groups().into_iter().map(|p| p.graph).collect();
 
     // A memory budget far smaller than the dataset: 2 MB forces dozens of
     // chunks at this scale (a real deployment would pass the GPU's VRAM).

@@ -63,8 +63,16 @@ fn main() {
         println!("pattern {qg} hits: {}", hits.join(", "));
     }
 
-    let wildcard_hits = report.matched_pair_list.iter().filter(|&&(_, q)| q == 0).count();
-    let amide_hits = report.matched_pair_list.iter().filter(|&&(_, q)| q == 1).count();
+    let wildcard_hits = report
+        .matched_pair_list
+        .iter()
+        .filter(|&&(_, q)| q == 0)
+        .count();
+    let amide_hits = report
+        .matched_pair_list
+        .iter()
+        .filter(|&&(_, q)| q == 1)
+        .count();
     assert!(
         wildcard_hits > amide_hits,
         "the wildcard pattern must generalize the concrete one"

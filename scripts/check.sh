@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Repo-wide lint gate: formatting, clippy (warnings are errors), and a
+# compile check of every bench target. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo clippy -q --all-targets -- -D warnings
+cargo bench --no-run

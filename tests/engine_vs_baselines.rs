@@ -82,7 +82,8 @@ fn engine_matched_pairs_agree_with_vf3_find_first() {
         seed: 3,
         ..Default::default()
     });
-    let report = Engine::new(EngineConfig::find_first()).run(d.queries(), d.data_graphs(), &queue());
+    let report =
+        Engine::new(EngineConfig::find_first()).run(d.queries(), d.data_graphs(), &queue());
     let mut expected: Vec<(usize, usize)> = Vec::new();
     for (qi, q) in d.queries().iter().enumerate() {
         for (di, dg) in d.data_graphs().iter().enumerate() {
@@ -164,7 +165,11 @@ fn all_reported_embeddings_are_valid() {
         bases[i] = bases[i - 1] + data[i - 1].num_nodes() as u32;
     }
     for rec in &report.records {
-        let local: Vec<u32> = rec.mapping.iter().map(|&g| g - bases[rec.data_graph]).collect();
+        let local: Vec<u32> = rec
+            .mapping
+            .iter()
+            .map(|&g| g - bases[rec.data_graph])
+            .collect();
         assert!(
             data[rec.data_graph].is_valid_embedding(&queries[rec.query_graph], &local),
             "invalid embedding reported: {rec:?}"

@@ -74,11 +74,7 @@ fn find_first_agrees_across_labeled_matchers() {
     for (qi, q) in queries.iter().enumerate().take(6) {
         for (di, d) in data.iter().enumerate().take(6) {
             let expected = Vf3Matcher.find_first(q, d).is_some();
-            for m in [
-                &UllmannMatcher as &dyn Matcher,
-                &RiMatcher,
-                &GlasgowMatcher,
-            ] {
+            for m in [&UllmannMatcher as &dyn Matcher, &RiMatcher, &GlasgowMatcher] {
                 assert_eq!(
                     m.find_first(q, d).is_some(),
                     expected,

@@ -1,7 +1,7 @@
 //! End-to-end invariants of the SIGMo pipeline across configurations.
 
 use sigmo::cluster::{ClusterConfig, ClusterSim};
-use sigmo::core::{Engine, EngineConfig, MatchMode, WordWidth};
+use sigmo::core::{Engine, EngineConfig, WordWidth};
 use sigmo::device::{DeviceProfile, Queue};
 use sigmo::mol::Dataset;
 
@@ -33,11 +33,8 @@ fn refinement_iterations_do_not_change_results() {
 #[test]
 fn candidate_totals_monotone_and_gmcr_shrinks_join_work() {
     let d = dataset();
-    let report = Engine::new(EngineConfig::with_iterations(8)).run(
-        d.queries(),
-        d.data_graphs(),
-        &queue(),
-    );
+    let report =
+        Engine::new(EngineConfig::with_iterations(8)).run(d.queries(), d.data_graphs(), &queue());
     for w in report.iterations.windows(2) {
         assert!(w[1].candidates.total <= w[0].candidates.total);
     }
@@ -64,8 +61,7 @@ fn deeper_filtering_never_grows_gmcr() {
 fn find_first_matched_pairs_equal_find_all() {
     let d = dataset();
     let all = Engine::new(EngineConfig::default()).run(d.queries(), d.data_graphs(), &queue());
-    let first =
-        Engine::new(EngineConfig::find_first()).run(d.queries(), d.data_graphs(), &queue());
+    let first = Engine::new(EngineConfig::find_first()).run(d.queries(), d.data_graphs(), &queue());
     assert_eq!(all.matched_pair_list, first.matched_pair_list);
     assert_eq!(first.total_matches, first.matched_pairs);
     assert!(first.total_matches <= all.total_matches);
@@ -172,13 +168,9 @@ fn scaled_dataset_scales_matches_linearly() {
 #[test]
 fn memory_accounting_tracks_input_size() {
     let d = dataset();
-    let small = Engine::new(EngineConfig::default()).run(
-        d.queries(),
-        &d.data_graphs()[..20],
-        &queue(),
-    );
-    let large =
-        Engine::new(EngineConfig::default()).run(d.queries(), d.data_graphs(), &queue());
+    let small =
+        Engine::new(EngineConfig::default()).run(d.queries(), &d.data_graphs()[..20], &queue());
+    let large = Engine::new(EngineConfig::default()).run(d.queries(), d.data_graphs(), &queue());
     assert!(large.bitmap_bytes > small.bitmap_bytes);
     assert!(large.graph_bytes > small.graph_bytes);
     // §5.1.3: the bitmap dominates the footprint at scale.
@@ -192,7 +184,7 @@ fn phase_timings_are_all_populated() {
     assert!(report.timings.filter.as_nanos() > 0);
     assert!(report.timings.join.as_nanos() > 0);
     assert!(report.timings.total() >= report.timings.filter);
-    assert_eq!(report.mode_is_consistent(), true);
+    assert!(report.mode_is_consistent());
 }
 
 /// Helper trait impl check (compile-time shape of the report).

@@ -1,8 +1,8 @@
 //! Property-based tests over randomly generated molecular workloads.
 
 use proptest::prelude::*;
-use sigmo::baselines::{brute_force_count, UllmannMatcher, Vf3Matcher};
 use sigmo::baselines::Matcher;
+use sigmo::baselines::{brute_force_count, UllmannMatcher, Vf3Matcher};
 use sigmo::core::{filter, Engine, EngineConfig, LabelSchema};
 use sigmo::device::{DeviceProfile, Queue};
 use sigmo::graph::{CsrGo, LabeledGraph};

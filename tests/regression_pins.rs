@@ -62,7 +62,9 @@ fn pinned_reference_molecules() {
         ("C(=O)N", "CC", 0),
     ];
     for (qs, ds, expected) in cases {
-        let q = sigmo::mol::parse_smiles_heavy(qs).unwrap().to_labeled_graph();
+        let q = sigmo::mol::parse_smiles_heavy(qs)
+            .unwrap()
+            .to_labeled_graph();
         let d = parse_smiles(ds).unwrap().to_labeled_graph();
         let got = Engine::with_defaults()
             .run(std::slice::from_ref(&q), &[d], &queue())
@@ -75,13 +77,18 @@ fn pinned_reference_molecules() {
 fn pinned_nlsm_node_sets() {
     // The NLSM output for benzene-in-toluene is exactly one node set even
     // though there are 12 embeddings.
-    let q = sigmo::mol::parse_smiles_heavy("c1ccccc1").unwrap().to_labeled_graph();
+    let q = sigmo::mol::parse_smiles_heavy("c1ccccc1")
+        .unwrap()
+        .to_labeled_graph();
     let d = parse_smiles("Cc1ccccc1").unwrap().to_labeled_graph();
     let report = Engine::new(EngineConfig {
         collect_limit: Some(100),
         ..Default::default()
     })
     .run(&[q], &[d], &queue());
-    assert_eq!(report.total_matches, 6, "kekulized ring: 6 order-preserving embeddings");
+    assert_eq!(
+        report.total_matches, 6,
+        "kekulized ring: 6 order-preserving embeddings"
+    );
     assert_eq!(report.distinct_match_sets().len(), 1);
 }

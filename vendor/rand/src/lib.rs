@@ -1,0 +1,191 @@
+//! Offline drop-in for the subset of rand 0.8 this workspace uses:
+//! `StdRng::seed_from_u64`, `Rng::gen_range` over integer ranges,
+//! `Rng::gen::<f64>()`, and `seq::SliceRandom::shuffle`.
+//!
+//! The generator is SplitMix64, not rand's ChaCha12, so streams are *not*
+//! bit-identical with the real crate. That is deliberate slack: every
+//! consumer in this workspace (molecule generator, query extractor,
+//! property tests, regression pins) asserts determinism and statistical
+//! shape, never exact stream values. See `vendor/README.md`.
+
+/// Construction from a 64-bit seed (the only constructor the workspace
+/// uses).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Raw generator output.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from an integer range (`lo..hi` or `lo..=hi`).
+    /// Panics on empty ranges, like the real crate.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Uniform draw from a type's "standard" distribution; the workspace
+    /// only instantiates `f64` (uniform in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Integer range sampling, mirroring `rand::distributions::uniform`'s
+/// role for the `gen_range` call sites in this workspace.
+pub trait SampleRange {
+    type Output;
+    fn sample<R: RngCore>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Types drawable via `rng.gen()`.
+pub trait Standard: Sized {
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> f64 {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = ((hi - lo) as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range of a 64-bit type.
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_ranges!(u8, u16, u32, u64, usize);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64: tiny, full-period, and statistically fine for workload
+    /// generation. Not stream-compatible with rand's real `StdRng`.
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// `shuffle` is the only slice op the workspace uses.
+    pub trait SliceRandom {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            // Fisher–Yates.
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = a.gen_range(3usize..17);
+            assert_eq!(x, b.gen_range(3usize..17));
+            assert!((3..17).contains(&x));
+            let f: f64 = a.gen();
+            let g: f64 = b.gen();
+            assert_eq!(f, g);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_ends() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let draws: Vec<u8> = (0..200).map(|_| rng.gen_range(1..=3u8)).collect();
+        assert!(draws.contains(&1) && draws.contains(&3));
+        assert!(draws.iter().all(|&d| (1..=3).contains(&d)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut s = v.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..50).collect::<Vec<_>>());
+    }
+}

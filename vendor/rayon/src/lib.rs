@@ -1,0 +1,179 @@
+//! Offline drop-in for the subset of rayon's API this workspace uses.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors minimal substitutes for its external dependencies
+//! (see `vendor/README.md`). This one covers:
+//!
+//! - `(range).into_par_iter().for_each(..)` / `.for_each_init(..)` —
+//!   genuinely parallel via `std::thread::scope`, because these back the
+//!   [`sigmo-device`] work-group executor (the hot path);
+//! - `slice.par_iter()` / `slice.par_iter_mut()` / `vec.into_par_iter()` —
+//!   sequential `std` iterators (they back statistics collection and
+//!   harness-level fan-out where ordering semantics matter more than
+//!   speed in this build).
+//!
+//! Trait and method names match rayon so the workspace code is unchanged
+//! and builds against real rayon when the registry is reachable.
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+/// `.par_iter()` on slices (and, by deref, `Vec`s). Sequential here.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+/// `.par_iter_mut()` on slices (and, by deref, `Vec`s). Sequential here.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.iter_mut()
+    }
+}
+
+/// `.into_par_iter()`. For `Range<usize>` this yields [`ParRange`], whose
+/// `for_each`/`for_each_init` fan out over real OS threads; for `Vec` it
+/// is the sequential owning iterator.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// A parallel index range: the one construct that must actually run
+/// multi-threaded, because `sigmo-device`'s `Queue` dispatches every
+/// kernel work-group through it.
+pub struct ParRange {
+    start: usize,
+    end: usize,
+}
+
+impl ParRange {
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn(usize) + Sync + Send,
+    {
+        self.for_each_init(|| (), |(), i| op(i));
+    }
+
+    /// Splits the range into one contiguous chunk per available core and
+    /// runs `op` on scoped threads. `init` runs once per worker thread
+    /// (rayon's per-split semantics, coarsened to per-thread, which is
+    /// valid for the local-memory scratch `Queue` allocates with it).
+    pub fn for_each_init<T, I, F>(self, init: I, op: F)
+    where
+        I: Fn() -> T + Sync + Send,
+        F: Fn(&mut T, usize) + Sync + Send,
+    {
+        let n = self.end.saturating_sub(self.start);
+        if n == 0 {
+            return;
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n);
+        if threads <= 1 {
+            let mut local = init();
+            for i in self.start..self.end {
+                op(&mut local, i);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        let (init, op) = (&init, &op);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let lo = self.start + t * chunk;
+                let hi = (lo + chunk).min(self.end);
+                if lo >= hi {
+                    break;
+                }
+                scope.spawn(move || {
+                    let mut local = init();
+                    for i in lo..hi {
+                        op(&mut local, i);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn range_for_each_visits_every_index_once() {
+        let n = 10_000usize;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        (0..n).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_each_init_gives_each_thread_private_state() {
+        let sum = AtomicU64::new(0);
+        (0..1000usize).into_par_iter().for_each_init(
+            || 0u64,
+            |acc, i| {
+                *acc += i as u64;
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn slice_adapters_are_plain_iterators() {
+        let v = vec![1u64, 2, 3];
+        let s: u64 = v.par_iter().map(|&x| x * 2).sum();
+        assert_eq!(s, 12);
+        let mut w = vec![1u64, 2, 3];
+        w.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(w, vec![2, 3, 4]);
+        let c: Vec<u64> = w.into_par_iter().collect();
+        assert_eq!(c, vec![2, 3, 4]);
+    }
+}

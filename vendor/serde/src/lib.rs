@@ -1,0 +1,15 @@
+//! Offline drop-in for the slice of serde this workspace touches: the
+//! `Serialize`/`Deserialize` trait *names* (imported for derive
+//! annotations) and the derive macros themselves (no-ops, re-exported
+//! from the vendored `serde_derive`). Nothing in the workspace performs
+//! actual serialization — BENCH/figure JSON is hand-rendered — so the
+//! traits carry no methods. See `vendor/README.md`.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! Offline no-op replacements for serde's derive macros. The workspace
+//! annotates types with `#[derive(Serialize, Deserialize)]` for future
+//! interchange but never invokes a serializer (all JSON emitted today is
+//! hand-rendered), so expanding to nothing is sound. `attributes(serde)`
+//! keeps any field/container attributes parseable. See `vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
