@@ -351,6 +351,10 @@ fn dfs_pair(
 }
 
 /// Finds the next valid candidate at `depth`, advancing the cursor.
+// sigmo-lint: allow(uncharged-access) — per-step traffic is charged in
+// aggregate by join(): it prices bitmap words and adjacency bytes per
+// recorded step (steps × per-step cost model), so charging again here
+// would double-count.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn next_candidate(

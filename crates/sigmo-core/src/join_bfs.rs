@@ -52,6 +52,10 @@ pub fn join_bfs(
         data.num_graphs(),
         work_group_size,
         0,
+        // sigmo-lint: allow(alloc-in-kernel) — the BFS frontier
+        // materialization below is the memory blow-up §4.6 measures in
+        // order to *reject* the BFS strategy; allocating per row is the
+        // point of the experiment, and peak/rows_ever quantify it.
         |ctx| {
             let dg = ctx.group_id;
             let drange = data.node_range(dg);

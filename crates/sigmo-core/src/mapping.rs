@@ -185,6 +185,9 @@ impl Gmcr {
 /// the first empty row, and the return reports `(potential, rows probed,
 /// bitmap words loaded)` so the kernels charge exactly the traffic the
 /// scan generated.
+// sigmo-lint: allow(uncharged-access) — deliberately returns (rows, words)
+// instead of charging: both GMCR kernels charge the exact counts this scan
+// reports, at their own launch granularity.
 fn pair_is_potential_counted(
     queries: &CsrGo,
     data: &CsrGo,

@@ -37,6 +37,9 @@ pub fn initialize_candidates(queries: &CsrGo, data: &CsrGo, bitmap: &CandidateBi
 /// Per-row RefineCandidates: for every data node, probes every query row
 /// individually and runs one domination test per surviving bit. Returns
 /// the number of bits cleared.
+// sigmo-lint: allow(per-bit-probe) — this IS the per-bit oracle: the
+// differential tests pin the word-parallel refine against exactly this
+// column-at-a-time form.
 pub fn refine_candidates(
     queries: &CsrGo,
     query_sigs: &SignatureSet,
@@ -65,6 +68,8 @@ pub fn refine_candidates(
 
 /// Per-bit candidate enumeration: probes every column of `[col_lo, col_hi)`
 /// with `get`, in ascending order.
+// sigmo-lint: allow(per-bit-probe) — oracle for iter_set_in_range; the
+// ablation benchmark measures the word-parallel speedup against this.
 pub fn enumerate_row(
     bitmap: &CandidateBitmap,
     row: usize,
@@ -75,6 +80,8 @@ pub fn enumerate_row(
 }
 
 /// Per-bit variant of [`CandidateBitmap::next_set_in_range`].
+// sigmo-lint: allow(per-bit-probe) — oracle for the word-parallel
+// next_set_in_range; kept deliberately column-at-a-time.
 pub fn next_set_in_range(
     bitmap: &CandidateBitmap,
     row: usize,

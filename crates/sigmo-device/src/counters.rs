@@ -67,6 +67,21 @@ impl CounterSnapshot {
             self.instructions as f64 / b as f64
         }
     }
+
+    /// Merges another snapshot into this one: counts add saturating (a
+    /// pathological run must clamp, not wrap, so the roofline stays
+    /// monotone). `divergence` takes the max of the two inputs — the
+    /// per-item trip moments are gone at snapshot granularity, so the
+    /// exact pooled CV is unrecoverable; max is the conservative proxy
+    /// (merging cannot make a divergent phase look uniform).
+    pub fn merge(&mut self, other: &CounterSnapshot) {
+        self.instructions = self.instructions.saturating_add(other.instructions);
+        self.bytes_read = self.bytes_read.saturating_add(other.bytes_read);
+        self.bytes_written = self.bytes_written.saturating_add(other.bytes_written);
+        self.atomic_ops = self.atomic_ops.saturating_add(other.atomic_ops);
+        self.word_reads = self.word_reads.saturating_add(other.word_reads);
+        self.divergence = self.divergence.max(other.divergence);
+    }
 }
 
 impl KernelCounters {
@@ -228,6 +243,96 @@ mod tests {
         let s = c.snapshot();
         assert_eq!(s.instructions, 0);
         assert_eq!(s.divergence, 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_takes_max_divergence() {
+        let a = KernelCounters::new();
+        a.add_instructions(10);
+        a.add_word_reads(2, 8);
+        a.record_trips(5);
+        a.record_trips(5);
+        let b = KernelCounters::new();
+        b.add_instructions(30);
+        b.add_bytes_written(7);
+        b.record_trips(1);
+        b.record_trips(99);
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let mut m = sa;
+        m.merge(&sb);
+        assert_eq!(m.instructions, 40);
+        assert_eq!(m.word_reads, 2);
+        assert_eq!(m.bytes_read, 16);
+        assert_eq!(m.bytes_written, 7);
+        assert_eq!(m.divergence, sa.divergence.max(sb.divergence));
+        assert!(m.divergence > 0.9); // b's skew survives the merge
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = CounterSnapshot {
+            instructions: u64::MAX - 1,
+            bytes_read: u64::MAX,
+            ..Default::default()
+        };
+        let b = CounterSnapshot {
+            instructions: 1000,
+            bytes_read: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.instructions, u64::MAX);
+        assert_eq!(a.bytes_read, u64::MAX);
+    }
+
+    #[test]
+    fn merge_with_empty_snapshot_is_identity() {
+        let c = KernelCounters::new();
+        c.add_instructions(5);
+        c.record_trips(1);
+        c.record_trips(3);
+        let s = c.snapshot();
+        let mut m = s;
+        m.merge(&CounterSnapshot::default());
+        assert_eq!(m, s);
+    }
+
+    #[test]
+    fn divergence_is_zero_when_no_trips_recorded() {
+        let c = KernelCounters::new();
+        c.add_instructions(10);
+        let s = c.snapshot();
+        assert_eq!(s.divergence, 0.0);
+        assert!(s.divergence.is_finite());
+    }
+
+    #[test]
+    fn divergence_is_zero_for_a_single_trip_sample() {
+        let c = KernelCounters::new();
+        c.record_trips(1234);
+        let s = c.snapshot();
+        // One sample: variance is exactly zero, CV must not go NaN.
+        assert!(s.divergence.abs() < 1e-9, "{}", s.divergence);
+        assert!(s.divergence.is_finite());
+    }
+
+    #[test]
+    fn divergence_handles_all_zero_trips() {
+        let c = KernelCounters::new();
+        c.record_trips(0);
+        c.record_trips(0);
+        // Mean is zero: CV is defined as 0 rather than 0/0.
+        assert_eq!(c.snapshot().divergence, 0.0);
+    }
+
+    #[test]
+    fn divergence_stays_finite_on_huge_trip_counts() {
+        // The squared-trip accumulator saturates per item; the result may
+        // lose precision at this scale but must never go NaN/inf.
+        let c = KernelCounters::new();
+        c.record_trips(u64::MAX);
+        c.record_trips(u64::MAX);
+        assert!(c.snapshot().divergence.is_finite());
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! `sigmo-lint` — a workspace invariant analyzer for the SIGMo
+//! reproduction.
+//!
+//! The performance claims of this repo rest on discipline that `rustc`
+//! cannot check: hot paths must scan candidate words rather than bits,
+//! kernel atomics must stay relaxed, bitmap traffic must be charged to the
+//! device counters, kernels must not allocate, and the workspace stays
+//! `unsafe`-free. This crate encodes those invariants as deny-by-default
+//! rules over a blanked lexical view of the source (no `syn` available in
+//! the offline vendor set — the lexer is hand-rolled with 1:1 line/column
+//! fidelity).
+//!
+//! Exceptions are spelled in the source as audited pragmas:
+//!
+//! ```text
+//! // sigmo-lint: allow(per-bit-probe) — oracle path, differential test target
+//! ```
+//!
+//! Unknown rule names in a pragma are themselves diagnostics, so a typo
+//! cannot silently disable enforcement. The `sigmo-lint` binary walks the
+//! workspace (skipping `vendor/`, `target/` and lint fixtures) and is wired
+//! into `scripts/check.sh` as a fourth gate next to fmt/clippy/test.
+
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+
+use pragma::AllowSet;
+use rules::{all_rules, Diagnostic};
+use std::path::{Path, PathBuf};
+
+/// Analyzes one file's source text, returning pragma-filtered diagnostics
+/// sorted by position. `path` should be workspace-relative; rules match on
+/// its file name.
+pub fn analyze_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    let file = lexer::lex(path, src);
+    let pragmas = pragma::parse_pragmas(&file);
+    let allow = AllowSet::build(&file, &pragmas);
+    let known: Vec<&'static str> = all_rules().iter().map(|r| r.name()).collect();
+
+    let mut out = Vec::new();
+    for rule in all_rules() {
+        if !rule.applies(path) {
+            continue;
+        }
+        let mut found = Vec::new();
+        rule.check(&file, &mut found);
+        out.extend(
+            found
+                .into_iter()
+                .filter(|d| !allow.allows(d.rule, d.line - 1)),
+        );
+    }
+    // A pragma naming an unknown rule is a finding of its own: typos must
+    // not silently disable enforcement.
+    for p in &pragmas {
+        for r in &p.rules {
+            if !known.contains(&r.as_str()) {
+                out.push(Diagnostic {
+                    rule: "bad-pragma",
+                    file: file.path.clone(),
+                    line: p.line + 1,
+                    column: 1,
+                    message: format!(
+                        "pragma allows unknown rule `{r}`: known rules are {}",
+                        known.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.column, a.rule).cmp(&(b.line, b.column, b.rule)));
+    // Nested range loops can flag the same probe site once per enclosing
+    // loop; one diagnostic per (rule, site) is enough.
+    out.dedup_by(|a, b| (a.rule, a.line, a.column) == (b.rule, b.line, b.column));
+    out
+}
+
+/// All `.rs` files under `root` that the analyzer should see, sorted,
+/// as paths relative to `root`. Skips the vendored dependency substitutes,
+/// build output, VCS metadata, experiment results and the lint fixtures
+/// (fixtures *must* violate rules; they are asserted on individually by
+/// this crate's tests).
+pub fn walk_workspace(root: &Path) -> Vec<PathBuf> {
+    const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", "fixtures", "results"];
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    files.push(rel.to_path_buf());
+                }
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Analyzes every workspace source file under `root`. Unreadable files are
+/// reported as diagnostics rather than silently skipped.
+pub fn analyze_workspace(root: &Path) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for rel in walk_workspace(root) {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        match std::fs::read_to_string(root.join(&rel)) {
+            Ok(src) => out.extend(analyze_source(&rel_str, &src)),
+            Err(e) => out.push(Diagnostic {
+                rule: "io-error",
+                file: rel_str,
+                line: 0,
+                column: 0,
+                message: format!("cannot read file: {e}"),
+            }),
+        }
+    }
+    out
+}
+
+/// Renders diagnostics in the rustc-like human format.
+pub fn render_human(diags: &[Diagnostic]) -> String {
+    let mut s = String::new();
+    for d in diags {
+        s.push_str(&format!(
+            "error[{}]: {}\n  --> {}:{}:{}\n",
+            d.rule, d.message, d.file, d.line, d.column
+        ));
+    }
+    if diags.is_empty() {
+        s.push_str("sigmo-lint: no violations\n");
+    } else {
+        s.push_str(&format!(
+            "sigmo-lint: {} violation{} found\n",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        ));
+    }
+    s
+}
+
+/// Renders diagnostics as a JSON array of objects with `rule`, `file`,
+/// `line`, `column` and `message` fields. Hand-rendered: the workspace's
+/// serde is a no-op vendor stub.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut s = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n  {{\"rule\":{},\"file\":{},\"line\":{},\"column\":{},\"message\":{}}}",
+            json_str(d.rule),
+            json_str(&d.file),
+            d.line,
+            d.column,
+            json_str(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        s.push('\n');
+    }
+    s.push_str("]\n");
+    s
+}
+
+fn json_str(v: &str) -> String {
+    let mut s = String::with_capacity(v.len() + 2);
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            '\r' => s.push_str("\\r"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_pragma_suppresses_the_diagnostic() {
+        let bad = "fn f() {\n    (lo..hi).find(|&c| bitmap.get(row, c))\n}\n";
+        let allowed =
+            "fn f() {\n    (lo..hi).find(|&c| bitmap.get(row, c)) // sigmo-lint: allow(per-bit-probe) — oracle\n}\n";
+        assert_eq!(analyze_source("naive.rs", bad).len(), 1);
+        assert!(analyze_source("naive.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn unknown_rule_in_pragma_is_reported() {
+        let src = "fn f() {} // sigmo-lint: allow(per-bit-prob) — typo\n";
+        let d = analyze_source("naive.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "bad-pragma");
+        assert!(d[0].message.contains("per-bit-prob"));
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_by_position() {
+        let src = "use std::sync::atomic::Ordering::SeqCst;\nfn f() {\n    for c in 0..n {\n        if b.get(r, c) { x(); }\n    }\n}\n";
+        let d = analyze_source("filter.rs", src);
+        assert!(d.len() >= 2);
+        assert!(d.windows(2).all(|w| w[0].line <= w[1].line));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn json_renders_valid_array() {
+        let d = vec![Diagnostic {
+            rule: "per-bit-probe",
+            file: "x.rs".into(),
+            line: 3,
+            column: 7,
+            message: "msg".into(),
+        }];
+        let j = render_json(&d);
+        assert!(j.starts_with('['));
+        assert!(j.contains("\"rule\":\"per-bit-probe\""));
+        assert!(j.contains("\"line\":3"));
+        assert_eq!(render_json(&[]), "[]\n");
+    }
+
+    #[test]
+    fn human_render_counts_violations() {
+        let d = vec![Diagnostic {
+            rule: "alloc-in-kernel",
+            file: "x.rs".into(),
+            line: 1,
+            column: 1,
+            message: "msg".into(),
+        }];
+        let h = render_human(&d);
+        assert!(h.contains("error[alloc-in-kernel]"));
+        assert!(h.contains("x.rs:1:1"));
+        assert!(h.contains("1 violation found"));
+        assert!(render_human(&[]).contains("no violations"));
+    }
+}

@@ -1,0 +1,90 @@
+//! The `sigmo-lint` binary: walks the workspace (or explicit files) and
+//! reports kernel-discipline violations.
+//!
+//! ```text
+//! sigmo-lint [--root DIR] [--format human|json] [--list-rules] [FILE...]
+//! ```
+//!
+//! Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use sigmo_lint::rules::all_rules;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut format = Format::Human;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    return usage("--root requires a directory");
+                };
+                root = PathBuf::from(dir);
+            }
+            "--format" => {
+                let Some(f) = args.next() else {
+                    return usage("--format requires `human` or `json`");
+                };
+                format = match f.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return usage(&format!("unknown format `{other}`")),
+                };
+            }
+            "--list-rules" => {
+                for rule in all_rules() {
+                    println!("{:<32} {}", rule.name(), rule.description());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("sigmo-lint [--root DIR] [--format human|json] [--list-rules] [FILE...]");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                return usage(&format!("unknown flag `{flag}`"));
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+
+    let diags = if files.is_empty() {
+        sigmo_lint::analyze_workspace(&root)
+    } else {
+        let mut out = Vec::new();
+        for f in &files {
+            match std::fs::read_to_string(f) {
+                Ok(src) => out.extend(sigmo_lint::analyze_source(f, &src)),
+                Err(e) => {
+                    eprintln!("sigmo-lint: cannot read {f}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        out
+    };
+
+    match format {
+        Format::Human => print!("{}", sigmo_lint::render_human(&diags)),
+        Format::Json => print!("{}", sigmo_lint::render_json(&diags)),
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+enum Format {
+    Human,
+    Json,
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("sigmo-lint: {msg}");
+    eprintln!("usage: sigmo-lint [--root DIR] [--format human|json] [--list-rules] [FILE...]");
+    ExitCode::from(2)
+}

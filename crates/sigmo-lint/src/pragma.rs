@@ -1,0 +1,195 @@
+//! Comment pragmas — the audited escape hatch for deny-by-default
+//! diagnostics. A pragma is a comment naming the analyzer, the word
+//! `allow`, and a parenthesized rule list (spelled out here in prose so
+//! this very file does not read as one).
+//!
+//! Two placements are recognized:
+//!
+//! * **trailing** — on the same line as the flagged code: suppresses that
+//!   rule on that line only;
+//! * **standalone** — a comment line of its own: suppresses the rule on
+//!   the next code line, and, when that line opens a brace scope (a `fn`
+//!   item, a loop, a kernel closure), on the entire scope through its
+//!   matching `}`. A `fn` whose signature spans several lines is covered
+//!   in full: the scope search runs to the first `{` (or a `;` for
+//!   declarations).
+//!
+//! Several rules may be allowed at once: `allow(rule-a, rule-b)`. Text
+//! after the closing parenthesis is free-form and *expected*: every pragma
+//! should say why the exception is sound. A pragma naming a rule the
+//! analyzer does not know is itself reported (`bad-pragma`), so typos
+//! cannot silently disable enforcement.
+
+use crate::lexer::{matching_brace, SourceFile};
+
+/// One parsed pragma.
+#[derive(Debug)]
+pub struct Pragma {
+    /// 0-based line the pragma comment sits on.
+    pub line: usize,
+    /// Rule names listed in `allow(...)`.
+    pub rules: Vec<String>,
+    /// True when the pragma shares its line with code (trailing form).
+    pub trailing: bool,
+}
+
+/// All pragmas of a file, in line order.
+pub fn parse_pragmas(file: &SourceFile) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for (n, line) in file.lines.iter().enumerate() {
+        let Some(comment) = &line.comment else {
+            continue;
+        };
+        let Some(at) = comment.find("sigmo-lint:") else {
+            continue;
+        };
+        let rest = comment[at + "sigmo-lint:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rules = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        out.push(Pragma {
+            line: n,
+            rules,
+            trailing: !line.code.trim().is_empty(),
+        });
+    }
+    out
+}
+
+/// Resolved suppression spans: for each rule name, the 0-based line ranges
+/// it is allowed on.
+#[derive(Debug, Default)]
+pub struct AllowSet {
+    spans: Vec<(String, std::ops::RangeInclusive<usize>)>,
+}
+
+impl AllowSet {
+    /// Builds the suppression spans for a file from its pragmas.
+    pub fn build(file: &SourceFile, pragmas: &[Pragma]) -> Self {
+        let mut spans = Vec::new();
+        for p in pragmas {
+            let range = if p.trailing {
+                p.line..=p.line
+            } else {
+                match target_scope(file, p.line) {
+                    Some(r) => r,
+                    None => continue,
+                }
+            };
+            for rule in &p.rules {
+                spans.push((rule.clone(), range.clone()));
+            }
+        }
+        AllowSet { spans }
+    }
+
+    /// True when `rule` is suppressed on 0-based `line`.
+    pub fn allows(&self, rule: &str, line: usize) -> bool {
+        self.spans
+            .iter()
+            .any(|(r, span)| r == rule && span.contains(&line))
+    }
+}
+
+/// The line range a standalone pragma at `pragma_line` covers: from the
+/// next code line through the end of the scope it opens (if any).
+fn target_scope(file: &SourceFile, pragma_line: usize) -> Option<std::ops::RangeInclusive<usize>> {
+    let first =
+        (pragma_line + 1..file.lines.len()).find(|&n| !file.lines[n].code.trim().is_empty())?;
+    // Scan from the start of that line for the first `{` or `;`: a brace
+    // extends the span to its matching close, a semicolon (or nothing)
+    // limits it to the statement's last line.
+    let from = file.line_starts[first];
+    let bytes = file.code.as_bytes();
+    let mut i = from;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => {
+                let close = matching_brace(&file.code, i)?;
+                return Some(first..=file.line_of(close));
+            }
+            b';' => return Some(first..=file.line_of(i)),
+            _ => i += 1,
+        }
+    }
+    Some(first..=file.lines.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_pragma_covers_its_line_only() {
+        let f = lex(
+            "x.rs",
+            "probe(); // sigmo-lint: allow(per-bit-probe) — oracle\nprobe();\n",
+        );
+        let allow = AllowSet::build(&f, &parse_pragmas(&f));
+        assert!(allow.allows("per-bit-probe", 0));
+        assert!(!allow.allows("per-bit-probe", 1));
+        assert!(!allow.allows("other-rule", 0));
+    }
+
+    #[test]
+    fn standalone_pragma_covers_the_following_scope() {
+        let src = "\
+// sigmo-lint: allow(uncharged-access) — charged by the caller
+fn probe_all(
+    x: u32,
+) {
+    touch();
+    touch();
+}
+fn other() { touch(); }
+";
+        let f = lex("x.rs", src);
+        let allow = AllowSet::build(&f, &parse_pragmas(&f));
+        for line in 1..=6 {
+            assert!(allow.allows("uncharged-access", line), "line {line}");
+        }
+        assert!(!allow.allows("uncharged-access", 7));
+    }
+
+    #[test]
+    fn standalone_pragma_on_statement_covers_statement() {
+        let src = "// sigmo-lint: allow(atomic-ordering) — init fence\nuse std::sync::atomic::Ordering::SeqCst;\nother();\n";
+        let f = lex("x.rs", src);
+        let allow = AllowSet::build(&f, &parse_pragmas(&f));
+        assert!(allow.allows("atomic-ordering", 1));
+        assert!(!allow.allows("atomic-ordering", 2));
+    }
+
+    #[test]
+    fn multiple_rules_in_one_pragma() {
+        let f = lex(
+            "x.rs",
+            "x(); // sigmo-lint: allow(rule-a, rule-b): both fine here\n",
+        );
+        let pragmas = parse_pragmas(&f);
+        assert_eq!(pragmas.len(), 1);
+        assert_eq!(pragmas[0].rules, ["rule-a", "rule-b"]);
+        let allow = AllowSet::build(&f, &pragmas);
+        assert!(allow.allows("rule-a", 0));
+        assert!(allow.allows("rule-b", 0));
+    }
+
+    #[test]
+    fn doc_comment_mention_is_not_a_pragma() {
+        let f = lex("x.rs", "// the sigmo-lint analyzer checks this\nx();\n");
+        assert!(parse_pragmas(&f).is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! **alloc-in-kernel** — no heap allocation inside kernel closures.
+//!
+//! A GPU kernel cannot call the host allocator; in SYCL/CUDA the
+//! candidate-set, GMCR and join kernels work entirely in pre-allocated
+//! device buffers and registers. The CPU reproduction keeps the same
+//! discipline so the counter model stays proportional to the traffic a
+//! device kernel would actually generate — a `Vec::push` inside a
+//! `parallel_for` body is host-only convenience that the real kernel
+//! could not express, and its cost would be invisible to the model.
+//!
+//! Detected: allocation constructors/adaptors (`Vec::new`, `vec![]`,
+//! `.collect()`, `.push(..)`, `format!`, …) inside the closure argument of
+//! a `.parallel_for(..)` / `.parallel_for_work_group(..)` launch, outside
+//! `#[cfg(test)]`. `join_bfs.rs` carries a documented pragma: its BFS
+//! frontier materialization is the memory blow-up §4.6 measures in order
+//! to reject the BFS strategy.
+
+use super::{file_name, find_all, in_ranges, Diagnostic, Rule, KERNEL_MODULE_FILES};
+use crate::lexer::{self, SourceFile};
+
+/// See the module docs.
+pub struct AllocInKernel;
+
+const LAUNCHES: &[&str] = &[".parallel_for(", ".parallel_for_work_group("];
+
+const ALLOC_TOKENS: &[&str] = &[
+    "Vec::new(",
+    "Vec::with_capacity(",
+    "vec!",
+    "Box::new(",
+    "String::new(",
+    "String::from(",
+    "format!",
+    ".to_string(",
+    ".to_vec(",
+    ".to_owned(",
+    ".collect(",
+    ".push(",
+    "HashMap::new(",
+    "HashSet::new(",
+    "BTreeMap::new(",
+    "VecDeque::new(",
+];
+
+impl Rule for AllocInKernel {
+    fn name(&self) -> &'static str {
+        "alloc-in-kernel"
+    }
+
+    fn description(&self) -> &'static str {
+        "heap allocation inside a parallel_for / parallel_for_work_group kernel closure"
+    }
+
+    fn applies(&self, path: &str) -> bool {
+        KERNEL_MODULE_FILES.contains(&file_name(path))
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let tests = file.test_ranges();
+        let code = &file.code;
+        for launch in LAUNCHES {
+            for at in find_all(file, 0..code.len(), launch) {
+                if in_ranges(&tests, at) {
+                    continue;
+                }
+                let args_open = at + launch.len() - 1;
+                let Some(args_close) = lexer::matching_paren(code, args_open) else {
+                    continue;
+                };
+                let Some(body) = closure_body(code, args_open + 1, args_close) else {
+                    continue;
+                };
+                for tok in ALLOC_TOKENS {
+                    for hit in find_all(file, body.clone(), tok) {
+                        let (line, column) = file.line_col(hit + 1);
+                        out.push(Diagnostic {
+                            rule: "alloc-in-kernel",
+                            file: file.path.clone(),
+                            line,
+                            column,
+                            message: format!(
+                                "heap allocation `{}` inside a kernel closure: device kernels \
+                                 cannot call the allocator — pre-allocate outside the launch or \
+                                 use fixed-size scratch (LocalMem)",
+                                tok.trim_start_matches('.').trim_end_matches('('),
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The byte range of the kernel-closure body inside a launch's argument
+/// list `(open..close)`: from the closure's closing `|` through either its
+/// brace block or the end of the argument list.
+fn closure_body(code: &str, open: usize, close: usize) -> Option<std::ops::Range<usize>> {
+    let bytes = code.as_bytes();
+    let first = (open..close).find(|&i| bytes[i] == b'|')?;
+    // `||` (no parameters) or `|params|`.
+    let params_end = if bytes.get(first + 1) == Some(&b'|') {
+        first + 1
+    } else {
+        (first + 1..close).find(|&i| bytes[i] == b'|')?
+    };
+    let mut i = params_end + 1;
+    while i < close && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    if i < close && bytes[i] == b'{' {
+        let end = lexer::matching_brace(code, i)?;
+        Some(i + 1..end)
+    } else {
+        Some(i..close)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = lex("crates/sigmo-core/src/filter.rs", src);
+        let mut out = Vec::new();
+        AllocInKernel.check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn vec_new_in_kernel_closure_is_flagged() {
+        let d = run(
+            "fn launch(q: &Queue) {\n    q.parallel_for(\"k\", \"filter\", n, 128, |i, c| {\n        let mut tmp = Vec::new();\n        tmp.push(i);\n    });\n}\n",
+        );
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].message.contains("Vec::new"));
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn collect_in_work_group_closure_is_flagged() {
+        let d = run(
+            "fn launch(q: &Queue) {\n    q.parallel_for_work_group(\"k\", \"join\", g, 4, 8, |ctx| {\n        let xs: Vec<u32> = (0..4).collect();\n        drop(xs);\n    });\n}\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("collect"));
+    }
+
+    #[test]
+    fn allocation_outside_the_closure_is_fine() {
+        let d = run(
+            "fn launch(q: &Queue) {\n    let scratch = vec![0u64; 64];\n    q.parallel_for(\"k\", \"filter\", n, 128, |i, c| {\n        c.add_instructions(scratch[i % 64]);\n    });\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn non_allocating_kernel_is_clean() {
+        let d = run(
+            "fn launch(q: &Queue) {\n    q.parallel_for(\"k\", \"filter\", n, 128, |i, c| {\n        c.add_word_reads(1, 8);\n    });\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn test_modules_are_skipped() {
+        let d = run(
+            "#[cfg(test)]\nmod tests {\n    fn t(q: &Queue) {\n        q.parallel_for(\"k\", \"t\", 1, 1, |_, _| { let v = Vec::new(); drop(v); });\n    }\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn only_kernel_module_files_apply() {
+        assert!(AllocInKernel.applies("crates/sigmo-core/src/join_bfs.rs"));
+        assert!(!AllocInKernel.applies("crates/sigmo-core/src/engine.rs"));
+    }
+}

@@ -1,0 +1,156 @@
+//! **atomic-ordering** — kernel atomics default to `Ordering::Relaxed`.
+//!
+//! The counter model and the candidate bitmap rely on relaxed atomics for
+//! negligible-overhead accounting (counters.rs's stated convention) and
+//! for contended bit updates; the host-synchronized pipeline needs no
+//! inter-kernel fences. Stronger orderings are either accidental (copied
+//! from generic examples, costing real fences on real hardware) or real
+//! publication points — and publication points must be *documented*, via
+//! a pragma that says what is being published to whom.
+//!
+//! Flagged anywhere in the workspace:
+//!
+//! * `Ordering::SeqCst`, `Ordering::AcqRel`, `Ordering::Acquire`,
+//!   `Ordering::Release` — non-relaxed orderings (pragma the documented
+//!   publication points);
+//! * a *bare* ordering identifier (`Relaxed`, `SeqCst`, …) without the
+//!   `Ordering::` qualifier — hides the ordering from review and from
+//!   this analyzer's audit trail; spell it out.
+
+use super::{Diagnostic, Rule};
+use crate::lexer::SourceFile;
+
+/// See the module docs.
+pub struct AtomicOrdering;
+
+const NON_RELAXED: &[&str] = &["SeqCst", "AcqRel", "Acquire", "Release"];
+
+impl Rule for AtomicOrdering {
+    fn name(&self) -> &'static str {
+        "atomic-ordering"
+    }
+
+    fn description(&self) -> &'static str {
+        "non-relaxed or bare atomic memory orderings (kernel discipline: Ordering::Relaxed, documented publication points excepted)"
+    }
+
+    fn applies(&self, _path: &str) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let code = &file.code;
+        for word in NON_RELAXED {
+            for at in word_occurrences(code, word) {
+                let (line, column) = file.line_col(at);
+                if qualified(code, at) {
+                    out.push(Diagnostic {
+                        rule: "atomic-ordering",
+                        file: file.path.clone(),
+                        line,
+                        column,
+                        message: format!(
+                            "non-relaxed atomic ordering `Ordering::{word}`: kernel discipline is \
+                             Ordering::Relaxed — if this is a documented publication point, \
+                             pragma-allow it with the rationale",
+                        ),
+                    });
+                } else {
+                    out.push(bare(file, word, line, column));
+                }
+            }
+        }
+        // Bare `Relaxed` is correct in intent but hides the ordering from
+        // `Ordering::`-anchored audits; require the qualified spelling.
+        for at in word_occurrences(code, "Relaxed") {
+            if !qualified(code, at) {
+                let (line, column) = file.line_col(at);
+                out.push(bare(file, "Relaxed", line, column));
+            }
+        }
+    }
+}
+
+fn bare(file: &SourceFile, word: &str, line: usize, column: usize) -> Diagnostic {
+    Diagnostic {
+        rule: "atomic-ordering",
+        file: file.path.clone(),
+        line,
+        column,
+        message: format!(
+            "bare atomic ordering `{word}`: write `Ordering::{word}` so the ordering stays \
+             visible to review and to this analyzer",
+        ),
+    }
+}
+
+/// True when the identifier at `at` is written `Ordering::<ident>`.
+fn qualified(code: &str, at: usize) -> bool {
+    code[..at].ends_with("Ordering::")
+}
+
+/// All whole-word occurrences of `word` in `code`.
+fn word_occurrences(code: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(at) = crate::lexer::find_word(code, from, word) {
+        out.push(at);
+        from = at + word.len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = lex("crates/sigmo-device/src/counters.rs", src);
+        let mut out = Vec::new();
+        AtomicOrdering.check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn relaxed_qualified_is_clean() {
+        assert!(run("x.fetch_add(1, Ordering::Relaxed);\n").is_empty());
+    }
+
+    #[test]
+    fn seqcst_is_flagged() {
+        let d = run("x.store(1, Ordering::SeqCst);\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("SeqCst"));
+    }
+
+    #[test]
+    fn acquire_release_flagged_including_imports() {
+        let d = run("use std::sync::atomic::Ordering::Acquire;\nx.store(1, Ordering::Release);\n");
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn bare_ordering_is_flagged_even_when_relaxed() {
+        let d = run("x.load(Relaxed);\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("bare"));
+    }
+
+    #[test]
+    fn bare_seqcst_is_flagged_once() {
+        let d = run("x.load(SeqCst);\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("bare"));
+    }
+
+    #[test]
+    fn identifiers_containing_words_are_not_flagged() {
+        assert!(run("let release_mode = AcquireLike::new();\n").is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_are_ignored() {
+        assert!(run("// SeqCst would be wrong here\nlet s = \"Acquire\";\n").is_empty());
+    }
+}

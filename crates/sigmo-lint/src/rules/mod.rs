@@ -1,0 +1,195 @@
+//! The SIGMo kernel-discipline rules.
+//!
+//! Each rule is an independently testable module implementing [`Rule`].
+//! Rules scan the blanked code view of one file (see [`crate::lexer`]) and
+//! emit [`Diagnostic`]s; pragma suppression and ordering happen in the
+//! driver ([`crate::analyze_source`]).
+
+pub mod alloc_in_kernel;
+pub mod atomic_ordering;
+pub mod per_bit_probe;
+pub mod uncharged_access;
+pub mod unsafe_safety;
+
+use crate::lexer::{self, SourceFile};
+
+/// One finding, anchored to a file:line:column span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule name (kebab-case, matches the pragma spelling).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column.
+    pub column: usize,
+    /// Human-readable explanation with the expected remedy.
+    pub message: String,
+}
+
+/// A workspace invariant checked per file.
+pub trait Rule {
+    /// Kebab-case rule name, as written in `allow(...)` pragmas.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn description(&self) -> &'static str;
+    /// Whether the rule runs on this file (matched on the file name, so
+    /// fixtures exercise the same gates as the real tree).
+    fn applies(&self, path: &str) -> bool;
+    /// Scans the file and appends findings.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>);
+}
+
+/// Every rule, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(per_bit_probe::PerBitProbe),
+        Box::new(atomic_ordering::AtomicOrdering),
+        Box::new(uncharged_access::UnchargedAccess),
+        Box::new(unsafe_safety::UnsafeSafety),
+        Box::new(alloc_in_kernel::AllocInKernel),
+    ]
+}
+
+/// File name (final path component) of a `/`-separated relative path.
+pub fn file_name(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+/// The word-parallel hot-path modules: the files whose inner loops define
+/// SIGMo's memory-traffic profile (PR 1's filter/join rework).
+pub const HOT_PATH_FILES: &[&str] = &[
+    "filter.rs",
+    "join.rs",
+    "join_bfs.rs",
+    "candidates.rs",
+    "mapping.rs",
+    "naive.rs",
+];
+
+/// The kernel modules: files that launch device kernels and own the
+/// counter accounting behind `BENCH_pipeline.json`.
+pub const KERNEL_MODULE_FILES: &[&str] = &["filter.rs", "join.rs", "join_bfs.rs", "mapping.rs"];
+
+/// A `fn` item: its name and the byte range of its body in `code`.
+#[derive(Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Offset of the `fn` keyword.
+    pub at: usize,
+    /// Body byte range (inside the braces, exclusive of them).
+    pub body: std::ops::Range<usize>,
+}
+
+/// All `fn` items of a file (any nesting level). Declarations without a
+/// body (`fn f(...);`) are skipped.
+pub fn fn_items(file: &SourceFile) -> Vec<FnItem> {
+    let code = &file.code;
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(at) = lexer::find_word(code, from, "fn") {
+        from = at + 2;
+        let bytes = code.as_bytes();
+        let mut i = at + 2;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let name_start = i;
+        while i < bytes.len() && lexer::is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        if i == name_start {
+            continue; // `fn` in an `Fn(..)` bound or similar
+        }
+        let name = code[name_start..i].to_string();
+        // Parameter list, then the first `{` (body) or `;` (declaration).
+        let Some(open_paren) = code[i..].find('(').map(|p| i + p) else {
+            continue;
+        };
+        let Some(close_paren) = lexer::matching_paren(code, open_paren) else {
+            continue;
+        };
+        let mut j = close_paren + 1;
+        let mut body = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    if let Some(close) = lexer::matching_brace(code, j) {
+                        body = Some(j + 1..close);
+                    }
+                    break;
+                }
+                b';' => break,
+                _ => j += 1,
+            }
+        }
+        if let Some(body) = body {
+            from = body.start;
+            out.push(FnItem { name, at, body });
+        }
+    }
+    out
+}
+
+/// Finds occurrences of `pat` (a literal like `".get("`) within `range`
+/// of the file's code, returning absolute offsets. When `pat` starts with
+/// an identifier byte the match is word-boundary checked on the left.
+pub fn find_all(file: &SourceFile, range: std::ops::Range<usize>, pat: &str) -> Vec<usize> {
+    let code = &file.code[range.clone()];
+    let bytes = file.code.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(pat) {
+        let abs = range.start + from + rel;
+        let boundary_ok = !pat
+            .as_bytes()
+            .first()
+            .is_some_and(|&b| lexer::is_ident_byte(b))
+            || abs == 0
+            || !lexer::is_ident_byte(bytes[abs - 1]);
+        if boundary_ok {
+            out.push(abs);
+        }
+        from += rel + pat.len();
+    }
+    out
+}
+
+/// True when `offset` falls inside any of the given byte ranges.
+pub fn in_ranges(ranges: &[std::ops::Range<usize>], offset: usize) -> bool {
+    ranges.iter().any(|r| r.contains(&offset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn fn_items_finds_multiline_signatures_and_nested_bodies() {
+        let src = "\
+pub fn outer(
+    a: u32,
+) -> u32 {
+    fn inner(b: u32) -> u32 { b }
+    inner(a)
+}
+trait T { fn decl(&self); }
+";
+        let f = lex("x.rs", src);
+        let items = fn_items(&f);
+        let names: Vec<&str> = items.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner"]);
+        let outer = &items[0];
+        assert!(f.code[outer.body.clone()].contains("inner(a)"));
+    }
+
+    #[test]
+    fn find_all_respects_word_boundaries() {
+        let f = lex("x.rs", "bitmap.get(a); xbitmap.get(b); map.fetch_or(c);");
+        assert_eq!(find_all(&f, 0..f.code.len(), "bitmap.get(").len(), 1);
+        assert_eq!(find_all(&f, 0..f.code.len(), ".fetch_or(").len(), 1);
+    }
+}

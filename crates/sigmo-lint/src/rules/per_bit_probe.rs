@@ -1,0 +1,264 @@
+//! **per-bit-probe** — bans per-bit candidate probing in the word-parallel
+//! hot paths.
+//!
+//! PR 1 made candidate scanning word-granular (`iter_set_in_range`,
+//! `next_set_in_range`, `row_any_in_range_counted`): one 64-bit load per
+//! word instead of one probe per column, the difference GSI/GSM show
+//! between a usable and an unusable GPU matcher. This rule keeps future
+//! code from quietly reintroducing column-at-a-time probing in the hot
+//! files. Two shapes are detected, outside `#[cfg(test)]`:
+//!
+//! 1. a `for` loop over a *range* whose body probes `.get(..)` /
+//!    `.test_bit(..)` with the loop variable as an argument — the classic
+//!    per-column scan;
+//! 2. a single-statement iterator chain over a range whose predicate
+//!    closure probes (`(lo..hi).filter(|&c| bitmap.get(row, c))` and
+//!    friends).
+//!
+//! Adjacency-driven probes (`for &d in data.neighbors(x)`) are *not*
+//! flagged: probing one bit per neighbor is exactly the join's design.
+//! The per-bit oracle in `naive.rs` carries documented pragmas — it exists
+//! to differentially test the word-parallel paths.
+
+use super::{file_name, find_all, in_ranges, Diagnostic, Rule, HOT_PATH_FILES};
+use crate::lexer::{self, SourceFile};
+
+/// See the module docs.
+pub struct PerBitProbe;
+
+const PROBES: &[&str] = &[".get(", ".test_bit("];
+const CHAIN_ADAPTORS: &[&str] = &[
+    ".filter(",
+    ".find(",
+    ".filter_map(",
+    ".take_while(",
+    ".skip_while(",
+    ".position(",
+    ".any(",
+    ".all(",
+];
+
+impl Rule for PerBitProbe {
+    fn name(&self) -> &'static str {
+        "per-bit-probe"
+    }
+
+    fn description(&self) -> &'static str {
+        "per-column bitmap probing in word-parallel hot paths (use iter_set_in_range / next_set_in_range)"
+    }
+
+    fn applies(&self, path: &str) -> bool {
+        HOT_PATH_FILES.contains(&file_name(path))
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let tests = file.test_ranges();
+        check_range_loops(file, &tests, out);
+        check_chains(file, &tests, out);
+    }
+}
+
+/// Shape 1: `for <pat> in <range-expr> { ... .get(.., <var>, ..) ... }`.
+fn check_range_loops(
+    file: &SourceFile,
+    tests: &[std::ops::Range<usize>],
+    out: &mut Vec<Diagnostic>,
+) {
+    let code = &file.code;
+    let mut from = 0;
+    while let Some(at) = lexer::find_word(code, from, "for") {
+        from = at + 3;
+        if in_ranges(tests, at) {
+            continue;
+        }
+        let Some(in_kw) = lexer::find_word(code, at + 3, "in") else {
+            continue;
+        };
+        let pattern = &code[at + 3..in_kw];
+        if pattern.contains('{') {
+            continue; // not a loop header (e.g. `for` inside a generic bound)
+        }
+        let loop_vars: Vec<&str> = lexer::idents(pattern)
+            .into_iter()
+            .filter(|w| !matches!(*w, "mut" | "ref" | "_"))
+            .collect();
+        if loop_vars.is_empty() {
+            continue;
+        }
+        // Iterator expression: up to the `{` that opens the body, with
+        // `[...]` index spans stripped so a slice like `&xs[1..]` does not
+        // read as a range iteration.
+        let Some(body_open) = header_body_open(code, in_kw + 2) else {
+            continue;
+        };
+        let iter_expr = strip_index_spans(&code[in_kw + 2..body_open]);
+        if !iter_expr.contains("..") {
+            continue;
+        }
+        let Some(body_close) = lexer::matching_brace(code, body_open) else {
+            continue;
+        };
+        for pat in PROBES {
+            for call in find_all(file, body_open..body_close, pat) {
+                let args_open = call + pat.len() - 1;
+                let Some(args_close) = lexer::matching_paren(code, args_open) else {
+                    continue;
+                };
+                let args = &code[args_open + 1..args_close];
+                if lexer::idents(args).iter().any(|a| loop_vars.contains(a)) {
+                    let (line, column) = file.line_col(call + 1);
+                    out.push(Diagnostic {
+                        rule: "per-bit-probe",
+                        file: file.path.clone(),
+                        line,
+                        column,
+                        message: format!(
+                            "per-bit probe `{}` over range loop variable `{}`: hot paths must scan \
+                             words (iter_set_in_range / next_set_in_range), not columns",
+                            pat.trim_start_matches('.').trim_end_matches('('),
+                            lexer::idents(args)
+                                .iter()
+                                .find(|a| loop_vars.contains(*a))
+                                .unwrap(),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Shape 2: a range and a probing predicate chained on one line.
+fn check_chains(file: &SourceFile, tests: &[std::ops::Range<usize>], out: &mut Vec<Diagnostic>) {
+    for (n, line) in file.lines.iter().enumerate() {
+        let offset = file.line_starts[n];
+        if in_ranges(tests, offset) {
+            continue;
+        }
+        let code = &line.code;
+        if !code.contains("..") || !CHAIN_ADAPTORS.iter().any(|a| code.contains(a)) {
+            continue;
+        }
+        for pat in PROBES {
+            if let Some(col) = code.find(pat) {
+                out.push(Diagnostic {
+                    rule: "per-bit-probe",
+                    file: file.path.clone(),
+                    line: n + 1,
+                    column: col + 2,
+                    message: format!(
+                        "per-bit probe `{}` inside an iterator chain over a range: enumerate set \
+                         bits word-parallel instead",
+                        pat.trim_start_matches('.').trim_end_matches('('),
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Offset of the `{` opening a `for` body, scanning from the iterator
+/// expression start and skipping `(...)`/`[...]` groups (struct-literal
+/// braces cannot appear unparenthesized in a `for` header).
+fn header_body_open(code: &str, from: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut i = from;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => paren += 1,
+            b')' => paren -= 1,
+            b'[' => bracket += 1,
+            b']' => bracket -= 1,
+            b'{' if paren == 0 && bracket == 0 => return Some(i),
+            b';' if paren == 0 && bracket == 0 => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Removes `[...]` spans (index expressions) from a snippet.
+fn strip_index_spans(expr: &str) -> String {
+    let mut out = String::with_capacity(expr.len());
+    let mut depth = 0usize;
+    for c in expr.chars() {
+        match c {
+            '[' => depth += 1,
+            ']' => depth = depth.saturating_sub(1),
+            _ if depth == 0 => out.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = lex("crates/sigmo-core/src/candidates.rs", src);
+        let mut out = Vec::new();
+        PerBitProbe.check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_for_loop_probe_over_range() {
+        let diags = run("fn f() {\n    for col in lo..hi {\n        if bitmap.get(row, col) { n += 1; }\n    }\n}\n");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 3);
+        assert_eq!(diags[0].rule, "per-bit-probe");
+    }
+
+    #[test]
+    fn flags_chained_range_probe() {
+        let diags = run("fn f() {\n    (lo..hi).find(|&c| bitmap.get(row, c))\n}\n");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn adjacency_probes_are_fine() {
+        let diags = run(
+            "fn f() {\n    for &d in data.neighbors(x) {\n        if bitmap.get(q, d as usize) { y(); }\n    }\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn slice_tail_index_is_not_a_range_iteration() {
+        let diags = run(
+            "fn f() {\n    for &q in &members[first + 1..] {\n        if bitmap.get(q as usize, d) { y(); }\n    }\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn probe_not_using_loop_var_is_fine() {
+        let diags = run(
+            "fn f() {\n    for i in 0..n {\n        if bitmap.get(fixed_row, fixed_col) { y(); }\n    }\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn test_modules_are_skipped() {
+        let diags = run(
+            "#[cfg(test)]\nmod tests {\n    fn t() {\n        for c in 0..n { assert!(b.get(r, c)); }\n    }\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn only_hot_path_files_apply() {
+        assert!(PerBitProbe.applies("crates/sigmo-core/src/filter.rs"));
+        assert!(PerBitProbe.applies("crates/sigmo-core/src/naive.rs"));
+        assert!(!PerBitProbe.applies("crates/sigmo-core/src/engine.rs"));
+        assert!(!PerBitProbe.applies("crates/sigmo-device/src/queue.rs"));
+    }
+}

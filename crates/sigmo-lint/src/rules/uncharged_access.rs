@@ -1,0 +1,165 @@
+//! **uncharged-access** — bitmap traffic in kernel modules must be charged
+//! to the device counters.
+//!
+//! The paper-style roofline and the committed `BENCH_pipeline.json` are
+//! derived entirely from the hand-maintained counter model
+//! (`word_reads`, `bytes_read`, `atomic_ops` in `sigmo-device::counters`).
+//! The model only stays honest if every word actually loaded or atomically
+//! updated in a kernel module is charged by the function that generates
+//! the traffic — or by a caller that the function visibly reports its
+//! counts to, which is exactly what the pragma escape hatch documents.
+//!
+//! Per non-test `fn` in a kernel module: if the body performs bitmap
+//! traffic (atomic RMW ops, word-parallel row scans, or probes/updates on
+//! a `bitmap` receiver) but never calls a `counters.*` / `record_*` /
+//! `add_*` charge, every traffic site is flagged.
+
+use super::{file_name, find_all, fn_items, in_ranges, Diagnostic, Rule, KERNEL_MODULE_FILES};
+use crate::lexer::SourceFile;
+
+/// See the module docs.
+pub struct UnchargedAccess;
+
+/// Operations that generate modeled global-memory traffic.
+const TRAFFIC_OPS: &[&str] = &[
+    ".fetch_or(",
+    ".fetch_and(",
+    ".fetch_xor(",
+    ".fetch_add(",
+    ".fetch_sub(",
+    ".fetch_max(",
+    ".fetch_min(",
+    ".iter_set_in_range(",
+    ".next_set_in_range(",
+    ".row_any_in_range(",
+    ".row_any_in_range_counted(",
+    ".row_count_in_range(",
+    "bitmap.get(",
+    "bitmap.set(",
+    "bitmap.clear(",
+];
+
+/// Calls that charge the device counters.
+const CHARGE_CALLS: &[&str] = &[
+    "counters.add_",
+    "counters.record_",
+    ".add_instructions(",
+    ".add_bytes_read(",
+    ".add_bytes_written(",
+    ".add_atomics(",
+    ".add_word_reads(",
+    ".record_trips(",
+];
+
+impl Rule for UnchargedAccess {
+    fn name(&self) -> &'static str {
+        "uncharged-access"
+    }
+
+    fn description(&self) -> &'static str {
+        "bitmap word/atomic traffic in a kernel module whose enclosing fn never charges the device counters"
+    }
+
+    fn applies(&self, path: &str) -> bool {
+        KERNEL_MODULE_FILES.contains(&file_name(path))
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let tests = file.test_ranges();
+        for item in fn_items(file) {
+            if in_ranges(&tests, item.at) {
+                continue;
+            }
+            let charged = CHARGE_CALLS
+                .iter()
+                .any(|c| !find_all(file, item.body.clone(), c).is_empty());
+            if charged {
+                continue;
+            }
+            for op in TRAFFIC_OPS {
+                for at in find_all(file, item.body.clone(), op) {
+                    let (line, column) = file.line_col(at + 1);
+                    out.push(Diagnostic {
+                        rule: "uncharged-access",
+                        file: file.path.clone(),
+                        line,
+                        column,
+                        message: format!(
+                            "`{}` in kernel-module fn `{}` is never charged to the device counters \
+                             (counters.add_* / record_*): the BENCH_pipeline.json accounting model \
+                             would silently drift — charge the traffic or pragma-document who \
+                             charges it",
+                            op.trim_start_matches('.').trim_end_matches('('),
+                            item.name,
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = lex("crates/sigmo-core/src/mapping.rs", src);
+        let mut out = Vec::new();
+        UnchargedAccess.check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn uncharged_scan_is_flagged() {
+        let d = run("fn probe(b: &B) -> bool {\n    b.row_any_in_range(0, 0, 64)\n}\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("probe"));
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn charged_scan_is_clean() {
+        let d = run(
+            "fn probe(b: &B, counters: &K) -> bool {\n    let any = b.row_any_in_range(0, 0, 64);\n    counters.add_word_reads(1, 8);\n    any\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn fetch_ops_count_as_traffic() {
+        let d = run("fn bump(x: &AtomicU64) {\n    x.fetch_add(1, Ordering::Relaxed);\n}\n");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ctx_counters_charge_is_recognized() {
+        let d = run(
+            "fn k(ctx: &Ctx, bitmap: &B) {\n    bitmap.set(0, 1);\n    ctx.counters.add_atomics(1);\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn functions_without_traffic_are_clean() {
+        let d = run("fn pure(a: u32) -> u32 {\n    a + 1\n}\n");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn test_mods_are_skipped() {
+        let d = run(
+            "#[cfg(test)]\nmod tests {\n    fn t(b: &B) { assert!(b.row_any_in_range(0, 0, 8)); }\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn only_kernel_module_files_apply() {
+        assert!(UnchargedAccess.applies("crates/sigmo-core/src/filter.rs"));
+        assert!(UnchargedAccess.applies("crates/sigmo-core/src/join_bfs.rs"));
+        assert!(!UnchargedAccess.applies("crates/sigmo-core/src/candidates.rs"));
+        assert!(!UnchargedAccess.applies("crates/sigmo-device/src/counters.rs"));
+    }
+}

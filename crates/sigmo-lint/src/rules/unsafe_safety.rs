@@ -1,0 +1,129 @@
+//! **unsafe-requires-safety-comment** — the workspace is `unsafe`-free by
+//! construction; lock that in.
+//!
+//! The CPU reproduction deliberately models device memory with safe Rust
+//! (atomics + bitmap words) so that every claim in the counter model is
+//! checkable without UB questions. Should a future PR genuinely need
+//! `unsafe` (e.g. a SIMD intrinsic path), the block must carry a
+//! `// SAFETY:` comment — on the same line or within the three preceding
+//! comment lines — explaining the invariant that makes it sound.
+
+use super::{Diagnostic, Rule};
+use crate::lexer::{self, SourceFile};
+
+/// See the module docs.
+pub struct UnsafeSafety;
+
+impl Rule for UnsafeSafety {
+    fn name(&self) -> &'static str {
+        "unsafe-requires-safety-comment"
+    }
+
+    fn description(&self) -> &'static str {
+        "`unsafe` without an adjacent `// SAFETY:` comment (workspace is unsafe-free by design)"
+    }
+
+    fn applies(&self, _path: &str) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let code = &file.code;
+        let mut from = 0;
+        while let Some(at) = lexer::find_word(code, from, "unsafe") {
+            from = at + "unsafe".len();
+            let (line, column) = file.line_col(at);
+            if has_safety_comment(file, line - 1) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: "unsafe-requires-safety-comment",
+                file: file.path.clone(),
+                line,
+                column,
+                message: "`unsafe` without a `// SAFETY:` comment: this workspace is unsafe-free \
+                          by design — justify the invariant in a SAFETY comment on or directly \
+                          above this line"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// True when line `n` (0-based) or one of the up-to-three comment lines
+/// directly above it carries a `SAFETY:` marker.
+fn has_safety_comment(file: &SourceFile, n: usize) -> bool {
+    let marked = |line: &crate::lexer::Line| {
+        line.comment
+            .as_deref()
+            .is_some_and(|c| c.contains("SAFETY:"))
+    };
+    if marked(&file.lines[n]) {
+        return true;
+    }
+    let mut k = n;
+    for _ in 0..3 {
+        if k == 0 {
+            return false;
+        }
+        k -= 1;
+        let line = &file.lines[k];
+        if !line.code.trim().is_empty() {
+            return false; // intervening code breaks the association
+        }
+        if marked(line) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = lex("crates/sigmo-core/src/candidates.rs", src);
+        let mut out = Vec::new();
+        UnsafeSafety.check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn bare_unsafe_is_flagged() {
+        let d = run("fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn same_line_safety_comment_is_accepted() {
+        let d = run("let v = unsafe { *p }; // SAFETY: p is checked non-null above\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn preceding_safety_comment_is_accepted() {
+        let d = run("// SAFETY: idx < len is established by the bounds check\nlet v = unsafe { *ptr.add(idx) };\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn safety_comment_too_far_above_is_rejected() {
+        let d = run("// SAFETY: stale\nlet a = 1;\nlet b = 2;\nlet v = unsafe { *p };\n");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn unsafe_in_comment_or_string_is_ignored() {
+        let d = run("// unsafe would be wrong here\nlet s = \"unsafe\";\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn identifier_containing_unsafe_is_ignored() {
+        let d = run("let unsafe_count = 0;\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Fixture regression tests: every committed bad fixture must trip exactly
+//! its rule, the good fixtures must stay silent, and the real workspace
+//! must pass clean. The binary's exit codes and JSON output are exercised
+//! end-to-end via `CARGO_BIN_EXE_sigmo-lint`.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(rel: &str) -> (String, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    (format!("tests/fixtures/{rel}"), src)
+}
+
+/// Asserts a bad fixture trips `rule` at least `min` times and no other
+/// rule at all.
+fn assert_trips(rel: &str, rule: &str, min: usize) {
+    let (path, src) = fixture(rel);
+    let diags = sigmo_lint::analyze_source(&path, &src);
+    assert!(
+        diags.len() >= min,
+        "{rel}: expected >= {min} diagnostics, got {diags:?}"
+    );
+    for d in &diags {
+        assert_eq!(d.rule, rule, "{rel}: unexpected co-firing rule: {d:?}");
+        assert!(d.line > 0 && d.column > 0, "{rel}: missing span: {d:?}");
+    }
+}
+
+#[test]
+fn per_bit_probe_fixture_trips_only_its_rule() {
+    assert_trips("per_bit_probe/candidates.rs", "per-bit-probe", 1);
+}
+
+#[test]
+fn atomic_ordering_fixture_trips_only_its_rule() {
+    assert_trips("atomic_ordering/counters.rs", "atomic-ordering", 2);
+}
+
+#[test]
+fn uncharged_access_fixture_trips_only_its_rule() {
+    assert_trips("uncharged_access/filter.rs", "uncharged-access", 1);
+}
+
+#[test]
+fn unsafe_safety_fixture_trips_only_its_rule() {
+    assert_trips(
+        "unsafe_safety/engine.rs",
+        "unsafe-requires-safety-comment",
+        1,
+    );
+}
+
+#[test]
+fn alloc_in_kernel_fixture_trips_only_its_rule() {
+    assert_trips("alloc_in_kernel/join.rs", "alloc-in-kernel", 2);
+}
+
+#[test]
+fn bad_pragma_fixture_trips_only_bad_pragma() {
+    assert_trips("bad_pragma/engine.rs", "bad-pragma", 1);
+}
+
+#[test]
+fn clean_fixture_produces_no_diagnostics() {
+    let (path, src) = fixture("clean/filter.rs");
+    let diags = sigmo_lint::analyze_source(&path, &src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn pragma_allowed_fixture_produces_no_diagnostics() {
+    let (path, src) = fixture("allowed/naive.rs");
+    let diags = sigmo_lint::analyze_source(&path, &src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/sigmo-lint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf()
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let diags = sigmo_lint::analyze_workspace(&workspace_root());
+    assert!(
+        diags.is_empty(),
+        "workspace violations:\n{}",
+        sigmo_lint::render_human(&diags)
+    );
+}
+
+#[test]
+fn workspace_walk_sees_the_kernel_modules_but_not_vendor() {
+    let files = sigmo_lint::walk_workspace(&workspace_root());
+    let names: Vec<String> = files
+        .iter()
+        .map(|p| p.to_string_lossy().replace('\\', "/"))
+        .collect();
+    assert!(names
+        .iter()
+        .any(|n| n.ends_with("sigmo-core/src/filter.rs")));
+    assert!(names
+        .iter()
+        .any(|n| n.ends_with("sigmo-device/src/queue.rs")));
+    assert!(!names.iter().any(|n| n.starts_with("vendor/")));
+    assert!(!names.iter().any(|n| n.contains("/fixtures/")));
+    assert!(!names.iter().any(|n| n.starts_with("target/")));
+}
+
+fn lint_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sigmo-lint"))
+}
+
+#[test]
+fn binary_exits_nonzero_on_each_bad_fixture() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    for rel in [
+        "per_bit_probe/candidates.rs",
+        "atomic_ordering/counters.rs",
+        "uncharged_access/filter.rs",
+        "unsafe_safety/engine.rs",
+        "alloc_in_kernel/join.rs",
+        "bad_pragma/engine.rs",
+    ] {
+        let out = lint_bin().arg(fixtures.join(rel)).output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{rel}: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+#[test]
+fn binary_exits_zero_on_the_workspace() {
+    let out = lint_bin()
+        .arg("--root")
+        .arg(workspace_root())
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no violations"));
+}
+
+#[test]
+fn binary_emits_json_diagnostics_with_spans() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let out = lint_bin()
+        .arg("--format")
+        .arg("json")
+        .arg(fixtures.join("per_bit_probe/candidates.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('['), "{stdout}");
+    assert!(stdout.contains("\"rule\":\"per-bit-probe\""), "{stdout}");
+    assert!(stdout.contains("\"line\":"), "{stdout}");
+    assert!(stdout.contains("\"column\":"), "{stdout}");
+    assert!(stdout.contains("candidates.rs"), "{stdout}");
+}
+
+#[test]
+fn binary_lists_all_five_rules() {
+    let out = lint_bin().arg("--list-rules").output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "per-bit-probe",
+        "atomic-ordering",
+        "uncharged-access",
+        "unsafe-requires-safety-comment",
+        "alloc-in-kernel",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn binary_rejects_unknown_flags_with_usage_exit() {
+    let out = lint_bin().arg("--bogus").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

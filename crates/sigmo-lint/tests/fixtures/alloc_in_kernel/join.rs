@@ -1,0 +1,11 @@
+//! Bad fixture: heap allocation inside a kernel closure. The counters are
+//! charged (so `uncharged-access` stays quiet) — must trip
+//! `alloc-in-kernel` (twice) and nothing else.
+
+pub fn launch(queue: &Queue, n: usize) {
+    queue.parallel_for("bad", "join", n, 128, |i, counters| {
+        let mut scratch = Vec::new();
+        scratch.push(i);
+        counters.add_instructions(scratch.len() as u64);
+    });
+}

@@ -1,0 +1,14 @@
+//! Good fixture: a per-bit probe under a documented pragma. The standalone
+//! pragma covers the whole fn scope; no diagnostics expected.
+
+// sigmo-lint: allow(per-bit-probe) — per-bit oracle kept for differential
+// testing of the word-parallel scan.
+pub fn enumerate(bitmap: &Bitmap, row: usize, lo: usize, hi: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    for col in lo..hi {
+        if bitmap.get(row, col) {
+            out.push(col);
+        }
+    }
+    out
+}

@@ -1,0 +1,7 @@
+//! Bad fixture: a SeqCst store and a bare (unqualified) ordering.
+//! Must trip `atomic-ordering` (twice) and nothing else.
+
+pub fn publish(flag: &AtomicU64) -> u64 {
+    flag.store(1, Ordering::SeqCst);
+    flag.load(Relaxed)
+}

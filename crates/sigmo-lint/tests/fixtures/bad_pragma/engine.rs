@@ -1,0 +1,5 @@
+//! Bad fixture: a pragma naming a rule the analyzer does not know.
+//! Must trip `bad-pragma` — typos must not silently disable enforcement.
+
+// sigmo-lint: allow(per-bit-prob) — misspelled rule name
+pub fn fine() {}

@@ -1,0 +1,18 @@
+//! Good fixture: word-parallel scan, relaxed qualified atomics, charged
+//! traffic, no allocation in the kernel closure. Must produce no
+//! diagnostics despite living under the strictest file-name gates.
+
+pub fn launch(queue: &Queue, bitmap: &Bitmap, n: usize, words: u64) {
+    queue.parallel_for("good", "filter", n, 128, |row, counters| {
+        let survivors = bitmap.row_any_in_range(row, 0, n);
+        counters.add_word_reads(words, 8);
+        if survivors {
+            counters.add_instructions(1);
+        }
+    });
+}
+
+pub fn bump(flag: &AtomicU64, counters: &KernelCounters) -> u64 {
+    counters.add_atomics(1);
+    flag.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,12 @@
+//! Bad fixture: the classic per-column candidate scan that PR 1 removed.
+//! Must trip `per-bit-probe` and nothing else.
+
+pub fn count_candidates(bitmap: &Bitmap, row: usize, lo: usize, hi: usize) -> usize {
+    let mut n = 0;
+    for col in lo..hi {
+        if bitmap.get(row, col) {
+            n += 1;
+        }
+    }
+    n
+}

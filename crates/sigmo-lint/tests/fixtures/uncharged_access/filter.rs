@@ -1,0 +1,7 @@
+//! Bad fixture: a word-parallel row scan in a kernel module that never
+//! charges the device counters. Must trip `uncharged-access` and nothing
+//! else.
+
+pub fn survivors(bitmap: &Bitmap, row: usize, lo: usize, hi: usize) -> bool {
+    bitmap.row_any_in_range(row, lo, hi)
+}

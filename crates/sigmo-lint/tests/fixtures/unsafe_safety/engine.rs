@@ -1,0 +1,6 @@
+//! Bad fixture: an `unsafe` block with no SAFETY comment.
+//! Must trip `unsafe-requires-safety-comment` and nothing else.
+
+pub fn read_first(xs: &[u64]) -> u64 {
+    unsafe { *xs.as_ptr() }
+}

@@ -1,9 +1,31 @@
 #!/usr/bin/env bash
-# Repo-wide lint gate: formatting, clippy (warnings are errors), and a
-# compile check of every bench target. Run from anywhere inside the repo.
+# Repo-wide gate, in dependency order:
+#
+#   1. cargo fmt --check          formatting
+#   2. cargo clippy               warnings are errors, all targets
+#   3. cargo test -q              the full test suite (tier-1)
+#   4. sigmo-lint                 workspace invariants (kernel discipline:
+#                                 per-bit probes, atomic orderings,
+#                                 uncharged traffic, unsafe, kernel allocs)
+#   5. cargo bench --no-run       compile check of every bench target
+#
+# `--fast` skips the bench compilation (stage 5) for quick pre-push runs.
+# Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+FAST=0
+for arg in "$@"; do
+    case "$arg" in
+        --fast) FAST=1 ;;
+        *) echo "usage: $0 [--fast]" >&2; exit 2 ;;
+    esac
+done
+
 cargo fmt --check
 cargo clippy -q --all-targets -- -D warnings
-cargo bench --no-run
+cargo test -q
+cargo run -q --release -p sigmo-lint -- --root .
+if [ "$FAST" -eq 0 ]; then
+    cargo bench --no-run
+fi

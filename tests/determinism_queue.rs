@@ -1,0 +1,98 @@
+//! Determinism smoke test for the device queue's two dispatch paths.
+//!
+//! The counter model is only trustworthy if it is a pure function of the
+//! workload: `parallel_for` and `parallel_for_work_group` fan work-groups
+//! out over threads, and every charge is a relaxed atomic add — an
+//! associative, commutative accumulation whose totals must not depend on
+//! how the scheduler interleaves groups. This test runs the full pipeline
+//! under rayon thread counts 1 and N and requires bit-identical kernel
+//! records (names, launch geometry, counter totals, divergence — wall
+//! clock excluded).
+//!
+//! Kept alone in this file: it mutates `RAYON_NUM_THREADS`, and each
+//! integration-test file runs as its own process, so the env var cannot
+//! race another test.
+
+use sigmo::core::{Engine, EngineConfig};
+use sigmo::device::{DeviceProfile, KernelRecord, Queue};
+use sigmo::graph::LabeledGraph;
+use sigmo::mol::{functional_groups, MoleculeGenerator};
+use std::sync::Mutex;
+
+/// Serializes the tests of this file: both mutate `RAYON_NUM_THREADS`,
+/// and the default test harness runs them on separate threads.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Everything a kernel record claims, minus wall-clock time. Divergence is
+/// compared by bit pattern: it derives from integer trip sums, so even the
+/// float must agree exactly.
+type RecordKey = (String, String, usize, usize, u64, u64, u64, u64, u64, u64);
+
+fn record_keys(records: &[KernelRecord]) -> Vec<RecordKey> {
+    records
+        .iter()
+        .map(|r| {
+            (
+                r.name.clone(),
+                r.phase.clone(),
+                r.global_size,
+                r.work_group_size,
+                r.counters.instructions,
+                r.counters.bytes_read,
+                r.counters.bytes_written,
+                r.counters.atomic_ops,
+                r.counters.word_reads,
+                r.counters.divergence.to_bits(),
+            )
+        })
+        .collect()
+}
+
+fn run_pipeline(threads: &str) -> (u64, Vec<RecordKey>) {
+    std::env::set_var("RAYON_NUM_THREADS", threads);
+    let mut gen = MoleculeGenerator::with_seed(97);
+    let data: Vec<LabeledGraph> = gen
+        .generate_batch(30)
+        .iter()
+        .map(|m| m.to_labeled_graph())
+        .collect();
+    let queries: Vec<LabeledGraph> = functional_groups()
+        .into_iter()
+        .take(10)
+        .map(|q| q.graph)
+        .collect();
+    let queue = Queue::new(DeviceProfile::host());
+    let report = Engine::new(EngineConfig::with_iterations(4)).run(&queries, &data, &queue);
+    (report.total_matches, record_keys(&queue.records()))
+}
+
+#[test]
+fn counter_totals_are_identical_across_thread_counts() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let (matches_1, records_1) = run_pipeline("1");
+    let (matches_4, records_4) = run_pipeline("4");
+    let (matches_8, records_8) = run_pipeline("8");
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    assert_eq!(matches_1, matches_4);
+    assert_eq!(matches_1, matches_8);
+    assert!(
+        matches_1 > 0,
+        "workload produced no matches — test is vacuous"
+    );
+    assert!(!records_1.is_empty(), "no kernel records collected");
+    assert_eq!(records_1.len(), records_4.len());
+    for (i, (a, b)) in records_1.iter().zip(&records_4).enumerate() {
+        assert_eq!(a, b, "record {i} diverged between 1 and 4 threads");
+    }
+    assert_eq!(records_1, records_8);
+}
+
+#[test]
+fn repeated_runs_at_same_thread_count_agree() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let first = run_pipeline("4");
+    let second = run_pipeline("4");
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(first, second);
+}

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use sigmo::baselines::Matcher;
 use sigmo::baselines::{brute_force_count, UllmannMatcher, Vf3Matcher};
-use sigmo::core::{filter, Engine, EngineConfig, LabelSchema};
+use sigmo::core::{filter, naive, CandidateBitmap, Engine, EngineConfig, LabelSchema, WordWidth};
 use sigmo::device::{DeviceProfile, Queue};
 use sigmo::graph::{CsrGo, LabeledGraph};
 use sigmo::mol::{parse_smiles, write_smiles, MoleculeGenerator, QueryExtractor};
@@ -75,6 +75,50 @@ proptest! {
                     cands[qn].contains(&dn),
                     "iteration {} pruned true candidate q{} -> d{}", iters, qn, dn
                 );
+            }
+        }
+    }
+
+    /// The word-parallel bitmap scans agree bit-for-bit with the per-bit
+    /// oracle in `naive.rs`, for arbitrary bit patterns and sub-ranges —
+    /// including empty rows and ranges that start/end exactly on 32/64-bit
+    /// word boundaries (the carry/mask edge cases of the word scan).
+    #[test]
+    fn bitmap_scans_match_per_bit_oracle(
+        cols in 1usize..200,
+        bits in prop::collection::vec(any::<u16>(), 0..64),
+        ranges in prop::collection::vec((any::<u16>(), any::<u16>()), 1..8),
+        wide in any::<bool>(),
+    ) {
+        let width = if wide { WordWidth::U64 } else { WordWidth::U32 };
+        let bitmap = CandidateBitmap::new(2, cols, width);
+        for b in &bits {
+            bitmap.set(0, *b as usize % cols);
+        }
+        // Row 1 stays empty: scans over it must find nothing.
+        let word = width.bytes() as usize * 8;
+        for (a, b) in &ranges {
+            let (mut lo, mut hi) = (*a as usize % (cols + 1), *b as usize % (cols + 1));
+            if lo > hi {
+                std::mem::swap(&mut lo, &mut hi);
+            }
+            // Snap some ranges onto word boundaries to force the edge
+            // cases (a range ending exactly at a word seam, a range
+            // covering exactly one word).
+            let lo_snap = (lo / word) * word;
+            let hi_snap = ((hi / word) * word).max(lo_snap);
+            for (l, h) in [(lo, hi), (lo_snap, hi), (lo, hi_snap), (lo_snap, hi_snap)] {
+                let l = l.min(h); // snapping hi down can undercut lo
+                for row in 0..2 {
+                    let got: Vec<usize> = bitmap.iter_set_in_range(row, l, h).collect();
+                    let want = naive::enumerate_row(&bitmap, row, l, h);
+                    prop_assert_eq!(&got, &want, "iter_set row {} range {}..{}", row, l, h);
+                    prop_assert_eq!(
+                        bitmap.next_set_in_range(row, l, h),
+                        naive::next_set_in_range(&bitmap, row, l, h),
+                        "next_set row {} range {}..{}", row, l, h
+                    );
+                }
             }
         }
     }

@@ -106,10 +106,7 @@ impl ParRange {
         if n == 0 {
             return;
         }
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n);
+        let threads = configured_threads().min(n);
         if threads <= 1 {
             let mut local = init();
             for i in self.start..self.end {
@@ -135,6 +132,23 @@ impl ParRange {
             }
         });
     }
+}
+
+/// Worker-thread count: `RAYON_NUM_THREADS` when set to a positive
+/// integer (the same env var real rayon's default global pool honors),
+/// otherwise the available parallelism. Read per launch rather than
+/// cached so tests can vary it within one process.
+fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(t) = v.trim().parse::<usize>() {
+            if t > 0 {
+                return t;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
