@@ -3,12 +3,13 @@
 
 use crate::args::{ArgError, Command, ParsedArgs};
 use crate::io::{load_molecules, load_query_graphs, serialize_molecules, IoError, NamedMolecule};
-use sigmo_core::{Engine, EngineConfig, MatchMode};
+use sigmo_core::{Engine, EngineConfig, Governor, MatchMode, RunBudget};
 use sigmo_device::{DeviceProfile, Queue};
 use sigmo_graph::LabeledGraph;
 use sigmo_mol::{descriptors, GeneratorConfig, MoleculeGenerator};
 use std::fmt;
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// Result of a command: text for stdout plus optional file payloads.
 #[derive(Debug, Default)]
@@ -68,6 +69,40 @@ fn to_graphs(mols: &[NamedMolecule]) -> Vec<LabeledGraph> {
     mols.iter().map(|m| m.molecule.to_labeled_graph()).collect()
 }
 
+/// Builds the run budget from `--deadline-ms`, `--step-budget` and
+/// `--max-embeddings`. All three are optional; absent flags leave that
+/// axis unlimited, and a fully absent budget runs bit-identically to an
+/// unbudgeted engine.
+fn run_budget(args: &ParsedArgs) -> Result<RunBudget, ArgError> {
+    let mut budget = RunBudget::none();
+    if args.get("deadline-ms").is_some() {
+        let ms = args.get_parsed("deadline-ms", 0u64, "milliseconds (an integer)")?;
+        budget.deadline = Some(Duration::from_millis(ms));
+    }
+    if args.get("step-budget").is_some() {
+        budget.max_join_steps = Some(args.get_parsed("step-budget", 0u64, "an integer")?);
+    }
+    if args.get("max-embeddings").is_some() {
+        budget.max_embeddings = Some(args.get_parsed("max-embeddings", 0u64, "an integer")?);
+    }
+    Ok(budget)
+}
+
+/// One status line for a (possibly truncated) report: `status: complete`
+/// or `status: truncated (reason)` with the partial-result caveat.
+fn status_line(out: &mut String, completion: &sigmo_core::Completion) {
+    if completion.is_complete() {
+        writeln!(out, "status: complete").unwrap();
+    } else {
+        writeln!(
+            out,
+            "status: {completion} — counts below are a sound partial result \
+             (every reported match is real; the run stopped early)"
+        )
+        .unwrap();
+    }
+}
+
 /// Dispatches a parsed command line.
 pub fn run_command(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
     match args.command {
@@ -83,8 +118,14 @@ fn cmd_match(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
     let query_graphs: Vec<LabeledGraph> = queries.iter().map(|q| q.graph.clone()).collect();
     let data = load_molecules(args.require("data")?, false)?;
     let config = engine_config(args, MatchMode::FindAll)?;
+    let budget = run_budget(args)?;
     let queue = Queue::new(DeviceProfile::host());
-    let report = Engine::new(config).run(&query_graphs, &to_graphs(&data), &queue);
+    let report = Engine::new(config).run_with_governor(
+        &query_graphs,
+        &to_graphs(&data),
+        &queue,
+        &Governor::new(&budget),
+    );
 
     let mut out = String::new();
     writeln!(
@@ -96,6 +137,7 @@ fn cmd_match(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
         report.timings.total().as_secs_f64()
     )
     .unwrap();
+    status_line(&mut out, &report.completion);
     for &(dg, qg) in &report.matched_pair_list {
         writeln!(out, "match\t{}\t{}", queries[qg].name, data[dg].name).unwrap();
     }
@@ -121,8 +163,14 @@ fn cmd_screen(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
     let query_graphs: Vec<LabeledGraph> = queries.iter().map(|q| q.graph.clone()).collect();
     let data = load_molecules(args.require("data")?, false)?;
     let config = engine_config(args, MatchMode::FindFirst)?;
+    let budget = run_budget(args)?;
     let queue = Queue::new(DeviceProfile::host());
-    let report = Engine::new(config).run(&query_graphs, &to_graphs(&data), &queue);
+    let report = Engine::new(config).run_with_governor(
+        &query_graphs,
+        &to_graphs(&data),
+        &queue,
+        &Governor::new(&budget),
+    );
 
     let mut hits = vec![0usize; queries.len()];
     for &(_, qg) in &report.matched_pair_list {
@@ -137,6 +185,7 @@ fn cmd_screen(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
         report.timings.total().as_secs_f64()
     )
     .unwrap();
+    status_line(&mut out, &report.completion);
     writeln!(out, "{:<24}\thits\trate%", "pattern").unwrap();
     for (q, &h) in queries.iter().zip(&hits) {
         writeln!(
@@ -320,6 +369,81 @@ mod tests {
         .unwrap();
         let out = run_command(&args).unwrap();
         assert!(out.stdout.contains("embeddings"));
+    }
+
+    #[test]
+    fn unbudgeted_match_reports_complete_status() {
+        let q = write_temp("q6.smi", "C=O carbonyl\n");
+        let d = write_temp("d6.smi", "CC(=O)O acid\n");
+        let args = parse_args(&strs(&["match", "--queries", &q, "--data", &d])).unwrap();
+        let out = run_command(&args).unwrap();
+        assert!(out.stdout.contains("status: complete"), "{}", out.stdout);
+        assert!(!out.stdout.contains("truncated"));
+    }
+
+    #[test]
+    fn step_budget_truncates_with_status_line() {
+        // A 1-step join budget cannot finish any real workload; the
+        // command must still succeed and label the partial result. Step
+        // budgets (not deadlines) keep this test timing-independent.
+        let q = write_temp("q7.smi", "CCO ethanolish\n");
+        let d = write_temp("d7.smi", "CCCO a\nCCCCO b\nCCO c\n");
+        let args = parse_args(&strs(&[
+            "match",
+            "--queries",
+            &q,
+            "--data",
+            &d,
+            "--step-budget",
+            "1",
+        ]))
+        .unwrap();
+        let out = run_command(&args).unwrap();
+        assert!(
+            out.stdout.contains("status: truncated (step-budget)"),
+            "{}",
+            out.stdout
+        );
+        assert!(out.stdout.contains("sound partial result"));
+    }
+
+    #[test]
+    fn screen_accepts_budget_flags() {
+        let q = write_temp("q8.smi", "CO hydroxyl\n");
+        let d = write_temp("d8.smi", "CCO a\nCC b\n");
+        let args = parse_args(&strs(&[
+            "screen",
+            "--queries",
+            &q,
+            "--data",
+            &d,
+            "--max-embeddings",
+            "1000000",
+            "--deadline-ms",
+            "60000",
+        ]))
+        .unwrap();
+        let out = run_command(&args).unwrap();
+        // Generous budgets must not change a small run's outcome.
+        assert!(out.stdout.contains("status: complete"), "{}", out.stdout);
+        assert!(out.stdout.contains("hydroxyl"));
+    }
+
+    #[test]
+    fn bad_budget_values_are_arg_errors() {
+        let q = write_temp("q9.smi", "CO hydroxyl\n");
+        let d = write_temp("d9.smi", "CCO a\n");
+        let args = parse_args(&strs(&[
+            "match",
+            "--queries",
+            &q,
+            "--data",
+            &d,
+            "--deadline-ms",
+            "soon",
+        ]))
+        .unwrap();
+        assert!(matches!(run_command(&args), Err(CliError::Args(_))));
     }
 
     #[test]

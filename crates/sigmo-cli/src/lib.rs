@@ -12,6 +12,13 @@
 //! * `sigmo info    --data D` — dataset statistics (atoms, rings,
 //!   descriptors, memory estimate).
 //!
+//! `match` and `screen` accept run-budget flags (all optional, all
+//! composable): `--deadline-ms N` (wall-clock deadline), `--step-budget N`
+//! (DFS join steps per work-group), `--max-embeddings N` (global cap).
+//! A tripped budget ends the run early with `status: truncated (reason)`
+//! and sound partial counts; without budget flags runs are bit-identical
+//! to an unbudgeted engine and report `status: complete`.
+//!
 //! The argument parser is hand-rolled (no external dependency): flags are
 //! `--name value` pairs after the subcommand.
 

@@ -1,0 +1,551 @@
+//! Deterministic fault injection and retry for the cluster simulator.
+//!
+//! The paper's 256-GPU MPI deployment (§6, Fig. 14) uses static
+//! partitioning with no recovery story: a crashed rank loses its shard and
+//! a straggler stretches the barrier for everyone. This module injects
+//! both fault classes *deterministically* (seeded, so every run of a test
+//! sees the same faults) and adds the recovery protocol a production
+//! deployment needs: failed shards are re-dispatched to surviving ranks
+//! with bounded attempts and exponential backoff, all in simulated time.
+//! [`FaultClusterReport::reconciled`] then certifies the invariant that
+//! matters: an injected-fault run recovers the *exact* clean-run totals.
+//!
+//! Fault model:
+//!
+//! * **Rank crash** — the rank dies at dispatch: its shard's first attempt
+//!   fails instantly and the rank never executes anything again (also not
+//!   retries of other shards).
+//! * **Straggler** — the rank completes its work, slowed by a constant
+//!   factor (the paper's CoV tail, exaggerated).
+//! * **Transient dispatch failure** — a shard's dispatch fails the first
+//!   `k` times regardless of rank (network blips), exercising multi-round
+//!   backoff.
+
+use crate::partition::static_block_partition;
+use crate::sim::ClusterSim;
+use rayon::prelude::*;
+use sigmo_core::{Engine, MatchMode};
+use sigmo_device::{CostModel, Queue};
+use sigmo_graph::LabeledGraph;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which faults a cluster run will experience. Built deterministically
+/// from a seed so fault runs are reproducible.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Total ranks the plan was drawn for (must match the sim config).
+    pub num_ranks: usize,
+    /// Ranks that crash at dispatch and stay dead for the whole run.
+    pub crashed: BTreeSet<usize>,
+    /// Straggler ranks and their slowdown factor (> 1.0).
+    pub stragglers: BTreeMap<usize, f64>,
+    /// Per-shard count of transient dispatch failures before success.
+    pub transient_failures: BTreeMap<usize, usize>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none(num_ranks: usize) -> Self {
+        Self {
+            num_ranks,
+            crashed: BTreeSet::new(),
+            stragglers: BTreeMap::new(),
+            transient_failures: BTreeMap::new(),
+        }
+    }
+
+    /// Draws `crashes` crashed ranks and `stragglers` straggler ranks
+    /// (disjoint sets) from a seeded shuffle of the rank ids. The same
+    /// seed always selects the same ranks.
+    pub fn seeded(
+        seed: u64,
+        num_ranks: usize,
+        crashes: usize,
+        stragglers: usize,
+        slowdown: f64,
+    ) -> Self {
+        assert!(
+            crashes + stragglers <= num_ranks,
+            "cannot fault {} of {num_ranks} ranks",
+            crashes + stragglers
+        );
+        assert!(slowdown >= 1.0, "a straggler is slower, not faster");
+        let mut ids: Vec<usize> = (0..num_ranks).collect();
+        let mut state = seed;
+        // Seeded Fisher–Yates over rank ids (splitmix64 — no external RNG).
+        for i in (1..ids.len()).rev() {
+            let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+            ids.swap(i, j);
+        }
+        let crashed: BTreeSet<usize> = ids[..crashes].iter().copied().collect();
+        let straggler_map: BTreeMap<usize, f64> = ids[crashes..crashes + stragglers]
+            .iter()
+            .map(|&r| (r, slowdown))
+            .collect();
+        Self {
+            num_ranks,
+            crashed,
+            stragglers: straggler_map,
+            transient_failures: BTreeMap::new(),
+        }
+    }
+
+    /// Adds `failures` transient dispatch failures to `shard` (it fails
+    /// that many times on any rank before succeeding).
+    pub fn with_transient(mut self, shard: usize, failures: usize) -> Self {
+        self.transient_failures.insert(shard, failures);
+        self
+    }
+
+    /// The slowdown factor of `rank` (1.0 when not a straggler).
+    pub fn slowdown(&self, rank: usize) -> f64 {
+        self.stragglers.get(&rank).copied().unwrap_or(1.0)
+    }
+}
+
+/// splitmix64: tiny, deterministic, dependency-free PRNG step.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Bounded-retry policy with exponential backoff in simulated time.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum dispatch attempts per shard (including the first).
+    pub max_attempts: usize,
+    /// Backoff before the first retry; doubles every further retry.
+    pub backoff_base_s: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            backoff_base_s: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Simulated wait before retry number `retry` (1-based: the first
+    /// retry waits the base, the second twice that, ...).
+    pub fn backoff_s(&self, retry: usize) -> f64 {
+        assert!(retry >= 1);
+        self.backoff_base_s * 2f64.powi(retry as i32 - 1)
+    }
+}
+
+/// What one dispatch attempt did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// The target rank was crashed: the dispatch failed instantly.
+    CrashedRank,
+    /// Injected transient failure: the dispatch failed instantly.
+    TransientFailure,
+    /// The shard ran to completion on the target rank.
+    Completed,
+}
+
+/// One dispatch attempt of one shard, in simulated time.
+#[derive(Debug, Clone)]
+pub struct ShardAttempt {
+    /// 1-based attempt number.
+    pub attempt: usize,
+    /// Rank the shard was dispatched to.
+    pub rank: usize,
+    /// Backoff waited before this attempt (0 for the first).
+    pub backoff_s: f64,
+    /// Simulated time the attempt started executing.
+    pub start_s: f64,
+    /// Simulated execution time (0 for failed dispatches).
+    pub duration_s: f64,
+    /// How the attempt ended.
+    pub outcome: AttemptOutcome,
+}
+
+/// Final outcome of one shard across all its attempts.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// Shard id (== the rank that owns it under static partitioning).
+    pub shard: usize,
+    /// Molecules in the shard.
+    pub molecules: usize,
+    /// Matches contributed (0 unless some attempt completed).
+    pub matches: u64,
+    /// Every dispatch attempt, in order.
+    pub attempts: Vec<ShardAttempt>,
+    /// Whether some attempt completed.
+    pub completed: bool,
+}
+
+/// Aggregate result of a fault-injected cluster run.
+#[derive(Debug)]
+pub struct FaultClusterReport {
+    /// Per-shard outcomes, shard order.
+    pub shards: Vec<ShardOutcome>,
+    /// Total matches across completed shards.
+    pub total_matches: u64,
+    /// Simulated makespan including retries and backoff waits.
+    pub makespan_s: f64,
+    /// Ranks the plan crashed.
+    pub injected_crashes: Vec<usize>,
+    /// Ranks the plan slowed down.
+    pub injected_stragglers: Vec<usize>,
+    /// Shards that exhausted their attempts without completing.
+    pub failed_shards: Vec<usize>,
+    /// Total retry dispatches across all shards.
+    pub total_retries: usize,
+}
+
+impl FaultClusterReport {
+    /// True when every shard completed — the run's totals then equal a
+    /// clean (fault-free) run's totals exactly.
+    pub fn reconciled(&self) -> bool {
+        self.failed_shards.is_empty()
+    }
+
+    /// Matches per simulated second over the makespan.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan_s <= 0.0 {
+            0.0
+        } else {
+            self.total_matches as f64 / self.makespan_s
+        }
+    }
+}
+
+impl ClusterSim {
+    /// Runs the workload under a [`FaultPlan`] and [`RetryPolicy`].
+    ///
+    /// Each shard's pipeline runs once on the host (the engine is
+    /// deterministic, so a retry re-executing the same shard would produce
+    /// identical results); the *schedule* — crashes, retries, backoff,
+    /// straggler slowdown — plays out in simulated time. Retries are
+    /// re-dispatched greedily to the least-loaded surviving rank (ties to
+    /// the lowest rank id), making the whole schedule deterministic.
+    pub fn run_with_faults(
+        &self,
+        queries: &[LabeledGraph],
+        data: &[LabeledGraph],
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+    ) -> FaultClusterReport {
+        let cfg = self.config();
+        assert_eq!(
+            plan.num_ranks, cfg.num_ranks,
+            "fault plan drawn for a different rank count"
+        );
+        assert!(policy.max_attempts >= 1);
+        let parts = static_block_partition(data, cfg.num_ranks);
+        let model = CostModel::new(cfg.device.clone());
+        let engine_cfg = cfg.engine.clone();
+
+        // Phase 0: compute every shard's matches and base simulated
+        // duration once (reused for retries — the engine is deterministic).
+        let shard_runs: Vec<(u64, f64)> = parts
+            .par_iter()
+            .map(|part| {
+                if part.is_empty() {
+                    return (0u64, 0.0);
+                }
+                let queue = Queue::new(cfg.device.clone());
+                let engine = Engine::new(engine_cfg.clone());
+                let report = engine.run(queries, part, &queue);
+                let m = match engine_cfg.mode {
+                    MatchMode::FindAll => report.total_matches,
+                    MatchMode::FindFirst => report.matched_pairs,
+                };
+                (m, model.total_time_s(&queue.records()))
+            })
+            .collect();
+
+        // Phase 1: first dispatch, every shard on its owning rank.
+        let mut rank_clock = vec![0.0f64; cfg.num_ranks];
+        let mut shards: Vec<ShardOutcome> = Vec::with_capacity(cfg.num_ranks);
+        let mut pending: Vec<(usize, f64, usize)> = Vec::new(); // (shard, failure time, transient left)
+        for (s, part) in parts.iter().enumerate() {
+            let (matches, base_s) = shard_runs[s];
+            let mut outcome = ShardOutcome {
+                shard: s,
+                molecules: part.len(),
+                matches: 0,
+                attempts: Vec::new(),
+                completed: false,
+            };
+            let transient_left = plan.transient_failures.get(&s).copied().unwrap_or(0);
+            if plan.crashed.contains(&s) {
+                outcome.attempts.push(ShardAttempt {
+                    attempt: 1,
+                    rank: s,
+                    backoff_s: 0.0,
+                    start_s: 0.0,
+                    duration_s: 0.0,
+                    outcome: AttemptOutcome::CrashedRank,
+                });
+                pending.push((s, 0.0, transient_left));
+            } else if transient_left > 0 {
+                outcome.attempts.push(ShardAttempt {
+                    attempt: 1,
+                    rank: s,
+                    backoff_s: 0.0,
+                    start_s: 0.0,
+                    duration_s: 0.0,
+                    outcome: AttemptOutcome::TransientFailure,
+                });
+                pending.push((s, 0.0, transient_left - 1));
+            } else {
+                let duration = base_s * plan.slowdown(s);
+                outcome.attempts.push(ShardAttempt {
+                    attempt: 1,
+                    rank: s,
+                    backoff_s: 0.0,
+                    start_s: 0.0,
+                    duration_s: duration,
+                    outcome: AttemptOutcome::Completed,
+                });
+                outcome.matches = matches;
+                outcome.completed = true;
+                rank_clock[s] += duration;
+            }
+            shards.push(outcome);
+        }
+
+        // Phase 2: retries, shard order — greedy least-loaded surviving
+        // rank, exponential backoff from the last failure.
+        let mut total_retries = 0usize;
+        for (s, mut failed_at, mut transient_left) in pending {
+            let (matches, base_s) = shard_runs[s];
+            for attempt in 2..=policy.max_attempts {
+                let backoff = policy.backoff_s(attempt - 1);
+                let scheduled = failed_at + backoff;
+                // Least-loaded surviving rank; ties to the lowest id.
+                let Some(rank) = (0..cfg.num_ranks)
+                    .filter(|r| !plan.crashed.contains(r))
+                    .min_by(|&a, &b| rank_clock[a].total_cmp(&rank_clock[b]))
+                else {
+                    break; // every rank is dead: the shard cannot run
+                };
+                total_retries += 1;
+                let start = scheduled.max(rank_clock[rank]);
+                if transient_left > 0 {
+                    transient_left -= 1;
+                    failed_at = start;
+                    shards[s].attempts.push(ShardAttempt {
+                        attempt,
+                        rank,
+                        backoff_s: backoff,
+                        start_s: start,
+                        duration_s: 0.0,
+                        outcome: AttemptOutcome::TransientFailure,
+                    });
+                    continue;
+                }
+                let duration = base_s * plan.slowdown(rank);
+                shards[s].attempts.push(ShardAttempt {
+                    attempt,
+                    rank,
+                    backoff_s: backoff,
+                    start_s: start,
+                    duration_s: duration,
+                    outcome: AttemptOutcome::Completed,
+                });
+                shards[s].matches = matches;
+                shards[s].completed = true;
+                rank_clock[rank] = start + duration;
+                break;
+            }
+        }
+
+        let failed_shards: Vec<usize> = shards
+            .iter()
+            .filter(|o| !o.completed)
+            .map(|o| o.shard)
+            .collect();
+        let total_matches = shards.iter().map(|o| o.matches).sum();
+        let makespan_s = rank_clock.iter().cloned().fold(0.0, f64::max);
+        FaultClusterReport {
+            shards,
+            total_matches,
+            makespan_s,
+            injected_crashes: plan.crashed.iter().copied().collect(),
+            injected_stragglers: plan.stragglers.keys().copied().collect(),
+            failed_shards,
+            total_retries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::ClusterConfig;
+    use sigmo_core::EngineConfig;
+    use sigmo_mol::Dataset;
+
+    fn small_world() -> (Vec<LabeledGraph>, Vec<LabeledGraph>) {
+        let d = Dataset::small(7);
+        (d.queries()[..6].to_vec(), d.data_graphs().to_vec())
+    }
+
+    fn sim(ranks: usize) -> ClusterSim {
+        ClusterSim::new(ClusterConfig {
+            num_ranks: ranks,
+            engine: EngineConfig {
+                refinement_iterations: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn seeded_plan_is_deterministic_and_disjoint() {
+        let a = FaultPlan::seeded(42, 16, 3, 2, 4.0);
+        let b = FaultPlan::seeded(42, 16, 3, 2, 4.0);
+        assert_eq!(a.crashed, b.crashed);
+        assert_eq!(
+            a.stragglers.keys().collect::<Vec<_>>(),
+            b.stragglers.keys().collect::<Vec<_>>()
+        );
+        assert_eq!(a.crashed.len(), 3);
+        assert_eq!(a.stragglers.len(), 2);
+        for r in a.stragglers.keys() {
+            assert!(!a.crashed.contains(r), "crash/straggler sets overlap");
+        }
+        // A different seed draws a different crash set (16 choose 3 makes
+        // a collision on this fixed pair essentially a broken shuffle).
+        let c = FaultPlan::seeded(43, 16, 3, 2, 4.0);
+        assert_ne!(a.crashed, c.crashed);
+    }
+
+    #[test]
+    fn no_faults_matches_clean_run() {
+        let (queries, data) = small_world();
+        let s = sim(4);
+        let clean = s.run(&queries, &data);
+        let faulted = s.run_with_faults(
+            &queries,
+            &data,
+            &FaultPlan::none(4),
+            &RetryPolicy::default(),
+        );
+        assert!(faulted.reconciled());
+        assert_eq!(faulted.total_matches, clean.total_matches);
+        assert_eq!(faulted.total_retries, 0);
+        assert!(faulted
+            .shards
+            .iter()
+            .all(|o| o.attempts.len() == 1 && o.completed));
+    }
+
+    #[test]
+    fn three_of_sixteen_crashes_reconcile_exactly() {
+        // The acceptance scenario: 3 of 16 ranks crash (seeded); retry
+        // recovers the clean-run total exactly, with per-rank attempts
+        // and backoff recorded.
+        let (queries, data) = small_world();
+        let s = sim(16);
+        let clean = s.run(&queries, &data);
+        let plan = FaultPlan::seeded(0x516_0301, 16, 3, 0, 1.0);
+        let report = s.run_with_faults(&queries, &data, &plan, &RetryPolicy::default());
+        assert!(
+            report.reconciled(),
+            "failed shards: {:?}",
+            report.failed_shards
+        );
+        assert_eq!(report.total_matches, clean.total_matches);
+        assert_eq!(report.injected_crashes.len(), 3);
+        assert_eq!(report.total_retries, 3, "one retry per crashed shard");
+        for &r in &report.injected_crashes {
+            let o = &report.shards[r];
+            assert_eq!(o.attempts.len(), 2);
+            assert_eq!(o.attempts[0].outcome, AttemptOutcome::CrashedRank);
+            assert_eq!(o.attempts[1].outcome, AttemptOutcome::Completed);
+            assert!(o.attempts[1].backoff_s > 0.0, "backoff must be recorded");
+            assert!(
+                !plan.crashed.contains(&o.attempts[1].rank),
+                "retry landed on a dead rank"
+            );
+        }
+    }
+
+    #[test]
+    fn transient_failures_back_off_exponentially() {
+        let (queries, data) = small_world();
+        let s = sim(4);
+        let clean = s.run(&queries, &data);
+        let plan = FaultPlan::none(4).with_transient(1, 2);
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            backoff_base_s: 0.25,
+        };
+        let report = s.run_with_faults(&queries, &data, &plan, &policy);
+        assert!(report.reconciled());
+        assert_eq!(report.total_matches, clean.total_matches);
+        let o = &report.shards[1];
+        assert_eq!(o.attempts.len(), 3, "2 transient failures + 1 success");
+        assert_eq!(o.attempts[1].backoff_s, 0.25);
+        assert_eq!(o.attempts[2].backoff_s, 0.5, "backoff doubles");
+        assert!(o.attempts[2].start_s >= o.attempts[1].start_s);
+    }
+
+    #[test]
+    fn exhausted_attempts_leave_shard_failed_not_wrong() {
+        let (queries, data) = small_world();
+        let s = sim(4);
+        let clean = s.run(&queries, &data);
+        // More transient failures than the policy allows attempts.
+        let plan = FaultPlan::none(4).with_transient(0, 10);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            backoff_base_s: 0.1,
+        };
+        let report = s.run_with_faults(&queries, &data, &plan, &policy);
+        assert!(!report.reconciled());
+        assert_eq!(report.failed_shards, vec![0]);
+        assert!(
+            report.total_matches < clean.total_matches,
+            "a failed shard's matches must not be counted"
+        );
+        assert!(!report.shards[0].completed);
+        assert_eq!(report.shards[0].matches, 0);
+    }
+
+    #[test]
+    fn stragglers_stretch_the_makespan() {
+        let (queries, data) = small_world();
+        let s = sim(4);
+        let clean = s.run_with_faults(
+            &queries,
+            &data,
+            &FaultPlan::none(4),
+            &RetryPolicy::default(),
+        );
+        let mut slowed = FaultPlan::none(4);
+        slowed.stragglers.insert(0, 10.0);
+        let report = s.run_with_faults(&queries, &data, &slowed, &RetryPolicy::default());
+        assert!(report.reconciled());
+        assert_eq!(report.total_matches, clean.total_matches);
+        assert!(
+            report.makespan_s > clean.makespan_s,
+            "10x slowdown must stretch the makespan ({} vs {})",
+            report.makespan_s,
+            clean.makespan_s
+        );
+    }
+
+    #[test]
+    fn all_ranks_crashed_fails_every_shard_gracefully() {
+        let (queries, data) = small_world();
+        let s = sim(2);
+        let plan = FaultPlan::seeded(7, 2, 2, 0, 1.0);
+        let report = s.run_with_faults(&queries, &data, &plan, &RetryPolicy::default());
+        assert!(!report.reconciled());
+        assert_eq!(report.failed_shards, vec![0, 1]);
+        assert_eq!(report.total_matches, 0);
+    }
+}

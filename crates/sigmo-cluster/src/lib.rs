@@ -9,11 +9,15 @@
 //! model (A100 profile), so 256 ranks fit on one workstation.
 
 pub mod dynamic;
+pub mod fault;
 pub mod partition;
 pub mod sim;
 pub mod topology;
 
 pub use dynamic::{run_dynamic, DynamicConfig, DynamicReport};
+pub use fault::{
+    AttemptOutcome, FaultClusterReport, FaultPlan, RetryPolicy, ShardAttempt, ShardOutcome,
+};
 pub use partition::static_block_partition;
 pub use sim::{ClusterConfig, ClusterReport, ClusterSim, RankResult};
 pub use topology::{run_on_topology, CommModel, Topology, TopologyReport};

@@ -83,6 +83,11 @@ impl ClusterSim {
         Self { config }
     }
 
+    /// The configuration this simulator runs with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
     /// Runs the workload: `data` is statically partitioned across ranks,
     /// every rank matches the full `queries` set against its partition.
     pub fn run(&self, queries: &[LabeledGraph], data: &[LabeledGraph]) -> ClusterReport {

@@ -7,7 +7,8 @@
 //! ```
 
 use crate::candidates::{CandidateBitmap, WordWidth};
-use crate::filter::{initialize_candidates, refine_candidates};
+use crate::filter::{initialize_candidates_governed, refine_candidates_governed};
+use crate::governor::{Completion, Governor};
 use crate::join::{join, JoinMode, JoinParams, MatchRecord, QueryPlan};
 use crate::mapping::Gmcr;
 use crate::schema::LabelSchema;
@@ -144,6 +145,10 @@ pub struct RunReport {
     pub graph_bytes: usize,
     /// Signature storage in bytes (query + data signature arrays).
     pub signature_bytes: usize,
+    /// Whether the run explored the full search space (`Complete`) or was
+    /// stopped by the governor (`Truncated`). Truncated totals are sound
+    /// lower bounds; see DESIGN.md §8 for the degradation contract.
+    pub completion: Completion,
 }
 
 impl RunReport {
@@ -215,8 +220,26 @@ impl Engine {
         &self.config
     }
 
-    /// Runs the full pipeline on pre-batched inputs.
+    /// Runs the full pipeline on pre-batched inputs with no budgets: the
+    /// governor is unlimited, so behavior is identical to the pre-governor
+    /// engine and the report always comes back `Complete`.
     pub fn run_batched(&self, queries: &CsrGo, data: &CsrGo, queue: &Queue) -> RunReport {
+        self.run_batched_with_governor(queries, data, queue, &Governor::unlimited())
+    }
+
+    /// Runs the full pipeline under a [`Governor`]. The governor's
+    /// heartbeat is consulted at every phase boundary, inside the filter
+    /// kernels once per data node, and inside the join once per DFS step;
+    /// a tripped governor yields a well-formed report whose `completion`
+    /// records the truncation reason and whose totals are sound partial
+    /// results.
+    pub fn run_batched_with_governor(
+        &self,
+        queries: &CsrGo,
+        data: &CsrGo,
+        queue: &Queue,
+        governor: &Governor,
+    ) -> RunReport {
         let cfg = &self.config;
         assert!(cfg.refinement_iterations >= 1, "need ≥ 1 iteration");
 
@@ -235,7 +258,14 @@ impl Engine {
 
         // ❸–❹ filter.
         let t1 = Instant::now();
-        initialize_candidates(queue, queries, data, &bitmap, cfg.filter_work_group_size);
+        initialize_candidates_governed(
+            queue,
+            queries,
+            data,
+            &bitmap,
+            cfg.filter_work_group_size,
+            governor,
+        );
         let mut iterations = Vec::with_capacity(cfg.refinement_iterations);
         iterations.push(IterationStats {
             iteration: 1,
@@ -243,9 +273,14 @@ impl Engine {
             pruned: 0,
         });
         for it in 2..=cfg.refinement_iterations {
+            // Refinement only prunes, so stopping between iterations keeps
+            // a sound (superset) candidate set for the join.
+            if governor.heartbeat() {
+                break;
+            }
             query_sigs.advance(queries);
             data_sigs.advance(data);
-            let pruned = refine_candidates(
+            let pruned = refine_candidates_governed(
                 queue,
                 queries,
                 data,
@@ -253,6 +288,7 @@ impl Engine {
                 &data_sigs,
                 &bitmap,
                 cfg.filter_work_group_size,
+                governor,
             );
             iterations.push(IterationStats {
                 iteration: it,
@@ -273,11 +309,17 @@ impl Engine {
             .map(|qg| match cfg.join_order {
                 JoinOrder::MaxDegree => QueryPlan::build(queries, qg, cfg.induced),
                 JoinOrder::MinCandidates => {
-                    let start = queries
+                    // A zero-node query has no min-candidates node and no
+                    // plan: it matches nothing and the join skips it.
+                    match queries
                         .node_range(qg)
                         .min_by_key(|&v| bitmap.row_count(v as usize))
-                        .expect("non-empty query graph");
-                    QueryPlan::build_from(queries, qg, cfg.induced, start as NodeId)
+                    {
+                        Some(start) => {
+                            QueryPlan::build_from(queries, qg, cfg.induced, start as NodeId)
+                        }
+                        None => QueryPlan::empty(),
+                    }
                 }
             })
             .collect();
@@ -286,6 +328,7 @@ impl Engine {
             work_group_size: cfg.join_work_group_size,
             induced: cfg.induced,
             collect_limit: cfg.collect_limit,
+            governor: governor.clone(),
         };
         let outcome = join(queue, queries, data, &bitmap, &gmcr, &plans, &params);
         // Figure 2's output arrow: matched-pair flags (and any collected
@@ -319,6 +362,7 @@ impl Engine {
             bitmap_padded_bytes: bitmap.padded_memory_bytes(),
             graph_bytes: queries.memory_bytes() + data.memory_bytes(),
             signature_bytes: (queries.num_nodes() + data.num_nodes()) * 8,
+            completion: outcome.completion,
         }
     }
 
@@ -332,6 +376,19 @@ impl Engine {
         let queries = CsrGo::from_graphs(query_graphs);
         let data = CsrGo::from_graphs(data_graphs);
         self.run_batched(&queries, &data, queue)
+    }
+
+    /// Convenience: batches the graph lists and runs under a [`Governor`].
+    pub fn run_with_governor(
+        &self,
+        query_graphs: &[LabeledGraph],
+        data_graphs: &[LabeledGraph],
+        queue: &Queue,
+        governor: &Governor,
+    ) -> RunReport {
+        let queries = CsrGo::from_graphs(query_graphs);
+        let data = CsrGo::from_graphs(data_graphs);
+        self.run_batched_with_governor(&queries, &data, queue, governor)
     }
 }
 

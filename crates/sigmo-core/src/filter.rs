@@ -23,6 +23,7 @@
 //! produce bit-identical bitmaps.
 
 use crate::candidates::CandidateBitmap;
+use crate::governor::Governor;
 use crate::signature::{Signature, SignatureSet};
 use sigmo_device::Queue;
 use sigmo_graph::{CsrGo, Label, NodeId, WILDCARD_LABEL};
@@ -81,14 +82,41 @@ pub fn initialize_candidates(
     bitmap: &CandidateBitmap,
     work_group_size: usize,
 ) {
+    initialize_candidates_governed(
+        queue,
+        queries,
+        data,
+        bitmap,
+        work_group_size,
+        &Governor::unlimited(),
+    )
+}
+
+/// [`initialize_candidates`] under a [`Governor`]: a stopped governor
+/// skips not-yet-started work-groups at dispatch and unprocessed data
+/// nodes inside running groups. A truncated init leaves some candidate
+/// bits unset — strictly fewer candidates, so downstream results remain
+/// sound (every reported embedding is real) but incomplete.
+pub fn initialize_candidates_governed(
+    queue: &Queue,
+    queries: &CsrGo,
+    data: &CsrGo,
+    bitmap: &CandidateBitmap,
+    work_group_size: usize,
+    governor: &Governor,
+) {
     let buckets = LabelBuckets::build(queries);
     let word_bytes = bitmap.word_width().bytes();
-    queue.parallel_for(
+    queue.parallel_for_until(
         "initialize_candidates",
         "filter",
         data.num_nodes(),
         work_group_size,
+        || governor.stopped(),
         |d, counters| {
+            if governor.stopped() {
+                return; // one relaxed load per data node, word-granular
+            }
             let dl = data.label(d as NodeId);
             let mut sets = 0u64;
             for q in buckets.rows_for(dl) {
@@ -180,15 +208,45 @@ pub fn refine_candidates(
     bitmap: &CandidateBitmap,
     work_group_size: usize,
 ) -> u64 {
+    refine_candidates_governed(
+        queue,
+        queries,
+        data,
+        query_sigs,
+        data_sigs,
+        bitmap,
+        work_group_size,
+        &Governor::unlimited(),
+    )
+}
+
+/// [`refine_candidates`] under a [`Governor`]. Refinement only *clears*
+/// bits, so stopping it early leaves a superset of the fully refined
+/// candidates — the join stays correct, just less pruned.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_candidates_governed(
+    queue: &Queue,
+    queries: &CsrGo,
+    data: &CsrGo,
+    query_sigs: &SignatureSet,
+    data_sigs: &SignatureSet,
+    bitmap: &CandidateBitmap,
+    work_group_size: usize,
+    governor: &Governor,
+) -> u64 {
     let schema = query_sigs.schema().clone();
     let classes = SignatureClasses::build(queries, query_sigs);
     let word_bytes = bitmap.word_width().bytes();
-    let snap = queue.parallel_for(
+    let snap = queue.parallel_for_until(
         "refine_candidates",
         "filter",
         data.num_nodes(),
         work_group_size,
+        || governor.stopped(),
         |d, counters| {
+            if governor.stopped() {
+                return; // consult once per data node, never per bit
+            }
             let dsig = data_sigs.signature(d as NodeId);
             let mut cleared = 0u64;
             let mut tests = 0u64;

@@ -8,6 +8,7 @@
 //! orders) are checked during expansion, and wildcard bonds match anything.
 
 use crate::candidates::CandidateBitmap;
+use crate::governor::{Completion, Governor, GovernorTicker};
 use crate::mapping::Gmcr;
 use parking_lot::Mutex;
 use sigmo_device::Queue;
@@ -46,6 +47,9 @@ pub struct JoinOutcome {
     /// Collected embeddings, if a collection limit was set. Enumeration is
     /// not truncated by the limit — only collection is.
     pub records: Vec<MatchRecord>,
+    /// Whether the join explored the full search space or was stopped by
+    /// the governor. Truncated totals are sound lower bounds.
+    pub completion: Completion,
 }
 
 /// Host-precomputed matching order for one query graph.
@@ -74,8 +78,22 @@ impl QueryPlan {
     /// the default heuristic).
     pub fn build(queries: &CsrGo, qg: usize, induced: bool) -> Self {
         let range = queries.node_range(qg);
-        let start = range.clone().max_by_key(|&v| queries.degree(v)).unwrap();
-        Self::build_from(queries, qg, induced, start)
+        // A zero-node query has no max-degree node and no plan: it matches
+        // nothing and the join skips it (degradation contract, DESIGN.md §8).
+        match range.clone().max_by_key(|&v| queries.degree(v)) {
+            Some(start) => Self::build_from(queries, qg, induced, start),
+            None => Self::empty(),
+        }
+    }
+
+    /// The plan of a zero-node query: matches nothing, skipped by the join.
+    pub fn empty() -> Self {
+        Self {
+            order: Vec::new(),
+            anchor: Vec::new(),
+            checks: Vec::new(),
+            non_edges: Vec::new(),
+        }
     }
 
     /// Builds the plan starting the BFS order at an explicit query node —
@@ -85,7 +103,9 @@ impl QueryPlan {
         let range = queries.node_range(qg);
         let base = range.start;
         let n = (range.end - range.start) as usize;
-        assert!(n > 0, "empty query graph {qg}");
+        if n == 0 {
+            return Self::empty();
+        }
         assert!(range.contains(&start), "start node outside query graph");
         let mut order: Vec<u32> = Vec::with_capacity(n);
         let mut pos_of: Vec<u32> = vec![u32::MAX; n];
@@ -164,7 +184,7 @@ impl QueryPlan {
         &self.checks[k]
     }
 
-    /// True when the plan covers no nodes (never constructed in practice).
+    /// True when the plan covers no nodes (a zero-node query).
     pub fn is_empty(&self) -> bool {
         self.order.is_empty()
     }
@@ -182,6 +202,11 @@ pub struct JoinParams {
     pub induced: bool,
     /// Collect at most this many embeddings (None = count only).
     pub collect_limit: Option<usize>,
+    /// Run governor consulted once per DFS step (word granularity — each
+    /// step already touches whole bitmap words / adjacency runs). The
+    /// default unlimited governor never stops and adds one relaxed load
+    /// per step.
+    pub governor: Governor,
 }
 
 impl Default for JoinParams {
@@ -191,6 +216,7 @@ impl Default for JoinParams {
             work_group_size: 128,
             induced: false,
             collect_limit: None,
+            governor: Governor::unlimited(),
         }
     }
 }
@@ -210,19 +236,30 @@ pub fn join(
     let pairs_matched = AtomicU64::new(0);
     let collected: Mutex<Vec<MatchRecord>> = Mutex::new(Vec::new());
     let limit = params.collect_limit.unwrap_or(0);
+    let gov = &params.governor;
 
-    queue.parallel_for_work_group(
+    queue.parallel_for_work_group_until(
         "join",
         "join",
         data.num_graphs(),
         params.work_group_size,
         0,
+        || gov.stopped(),
         |ctx| {
             let dg = ctx.group_id;
             let drange = data.node_range(dg);
-            let mut steps = 0u64;
+            // One ticker per work-group: the step budget is per data graph,
+            // so budget truncation is deterministic across thread counts
+            // (work-groups are independent).
+            let mut ticker = gov.ticker();
             for (k, &qg) in gmcr.queries_for(dg).iter().enumerate() {
+                if gov.stopped() {
+                    break;
+                }
                 let plan = &plans[qg as usize];
+                if plan.is_empty() {
+                    continue; // zero-node query: matches nothing
+                }
                 let mut found_any = false;
                 let n_matches = dfs_pair(
                     data,
@@ -236,7 +273,8 @@ pub fn join(
                     qg as usize,
                     &collected,
                     limit,
-                    &mut steps,
+                    gov,
+                    &mut ticker,
                     &mut found_any,
                 );
                 if found_any {
@@ -252,8 +290,10 @@ pub fn join(
             // scattered cache lines (the paper's join is memory-bottlenecked
             // by "irregular access patterns required to read the query and
             // data graphs", §5.1.3).
+            let steps = ticker.steps();
             ctx.counters.add_instructions(steps * 100);
             ctx.counters.add_bytes_read(steps * 200);
+            gov.flush_steps(&ticker);
         },
     );
 
@@ -261,11 +301,13 @@ pub fn join(
         total_matches: total.load(Ordering::Relaxed),
         matched_pairs: pairs_matched.load(Ordering::Relaxed),
         records: collected.into_inner(),
+        completion: gov.completion(),
     }
 }
 
 /// Explicit-stack DFS for one (query graph, data graph) pair. Returns the
-/// number of embeddings found (1 max in FindFirst mode).
+/// number of embeddings found (1 max in FindFirst mode); on a governor
+/// trip the count found so far is returned (a sound partial result).
 #[allow(clippy::too_many_arguments)]
 fn dfs_pair(
     data: &CsrGo,
@@ -279,7 +321,8 @@ fn dfs_pair(
     qg: usize,
     collected: &Mutex<Vec<MatchRecord>>,
     limit: usize,
-    steps: &mut u64,
+    gov: &Governor,
+    ticker: &mut GovernorTicker,
     found_any: &mut bool,
 ) -> u64 {
     let qlen = plan.len();
@@ -294,7 +337,9 @@ fn dfs_pair(
     let mut matches = 0u64;
     let mut depth = 0usize;
     loop {
-        *steps += 1;
+        if ticker.tick(gov) {
+            return matches; // budget tripped: partial count is still sound
+        }
         let cand = next_candidate(
             data,
             bitmap,
@@ -329,6 +374,9 @@ fn dfs_pair(
                         }
                     }
                     mapping[depth] = INVALID;
+                    if gov.note_embedding() {
+                        return matches; // embedding cap reached
+                    }
                     if params.mode == JoinMode::FindFirst {
                         return matches;
                     }
@@ -381,6 +429,9 @@ fn next_candidate(
     }
     let anchor_img = mapping[plan.anchor[depth] as usize];
     let nbrs = data.neighbors(anchor_img);
+    // sigmo-lint: allow(unbounded-kernel-loop) — bounded by one adjacency
+    // list (the cursor strictly advances toward nbrs.len()); each call is
+    // one DFS step already ticked by dfs_pair's governed loop.
     'next: loop {
         let i = cursors[depth] as usize;
         if i >= nbrs.len() {

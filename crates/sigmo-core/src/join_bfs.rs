@@ -12,6 +12,7 @@
 //! two directly.
 
 use crate::candidates::CandidateBitmap;
+use crate::governor::{Completion, Governor};
 use crate::join::QueryPlan;
 use crate::mapping::Gmcr;
 use sigmo_device::Queue;
@@ -28,6 +29,10 @@ pub struct BfsJoinOutcome {
     pub peak_partial_matches: u64,
     /// Total partial-match rows ever materialized.
     pub total_partial_matches: u64,
+    /// Governor verdict. A truncated BFS join abandons the pair whose
+    /// frontier it was expanding (partial frontiers are not embeddings),
+    /// so the total stays sound: only fully-expanded pairs are counted.
+    pub completion: Completion,
 }
 
 /// Runs the BFS-expansion join over the GMCR pairs. Semantically identical
@@ -42,16 +47,48 @@ pub fn join_bfs(
     plans: &[QueryPlan],
     work_group_size: usize,
 ) -> BfsJoinOutcome {
+    join_bfs_governed(
+        queue,
+        queries,
+        data,
+        bitmap,
+        gmcr,
+        plans,
+        work_group_size,
+        &Governor::unlimited(),
+    )
+}
+
+/// [`join_bfs`] under a [`Governor`]: one ticker per work-group, ticked
+/// once per frontier *row* expanded (each row expansion walks a whole
+/// adjacency run — word granularity, never per bit). A tripped governor
+/// abandons the current pair's frontier and skips remaining pairs.
+// sigmo-lint: allow(uncharged-access) — all frontier traffic is charged in
+// aggregate by the local `charge` helper (counters.add_* per recorded row),
+// called on both the completed-pair and the budget-tripped path.
+#[allow(clippy::too_many_arguments)]
+pub fn join_bfs_governed(
+    queue: &Queue,
+    queries: &CsrGo,
+    data: &CsrGo,
+    bitmap: &CandidateBitmap,
+    gmcr: &Gmcr,
+    plans: &[QueryPlan],
+    work_group_size: usize,
+    governor: &Governor,
+) -> BfsJoinOutcome {
     let total = AtomicU64::new(0);
     let peak = AtomicU64::new(0);
     let rows_ever = AtomicU64::new(0);
+    let gov = governor;
 
-    queue.parallel_for_work_group(
+    queue.parallel_for_work_group_until(
         "join_bfs",
         "join",
         data.num_graphs(),
         work_group_size,
         0,
+        || gov.stopped(),
         // sigmo-lint: allow(alloc-in-kernel) — the BFS frontier
         // materialization below is the memory blow-up §4.6 measures in
         // order to *reject* the BFS strategy; allocating per row is the
@@ -59,11 +96,15 @@ pub fn join_bfs(
         |ctx| {
             let dg = ctx.group_id;
             let drange = data.node_range(dg);
-            for &qg in gmcr.queries_for(dg) {
+            let mut ticker = gov.ticker();
+            'pairs: for &qg in gmcr.queries_for(dg) {
+                if gov.stopped() {
+                    break;
+                }
                 let plan = &plans[qg as usize];
                 let qlen = plan.len();
-                if qlen as u32 > drange.end - drange.start {
-                    continue;
+                if qlen == 0 || qlen as u32 > drange.end - drange.start {
+                    continue; // zero-node query, or query larger than data
                 }
                 let q_base = queries.node_range(qg as usize).start;
                 // Level 0: candidates of the first ordered query node.
@@ -78,6 +119,15 @@ pub fn join_bfs(
                     let q_node = (q_base + plan.order_slot(depth)) as usize;
                     let mut next: Vec<Vec<NodeId>> = Vec::new();
                     for row in &frontier {
+                        if ticker.tick(gov) {
+                            // Truncated mid-pair: the half-expanded
+                            // frontier holds no complete embeddings —
+                            // abandon it uncounted.
+                            charge(ctx.counters, local_rows, qlen);
+                            rows_ever.fetch_add(local_rows, Ordering::Relaxed);
+                            peak.fetch_max(local_peak, Ordering::Relaxed);
+                            break 'pairs;
+                        }
                         let anchor = row[plan.anchor_slot(depth) as usize];
                         for &d in data.neighbors(anchor) {
                             if !bitmap.get(q_node, d as usize) || row.contains(&d) {
@@ -104,14 +154,9 @@ pub fn join_bfs(
                 total.fetch_add(frontier.len() as u64, Ordering::Relaxed);
                 rows_ever.fetch_add(local_rows, Ordering::Relaxed);
                 peak.fetch_max(local_peak, Ordering::Relaxed);
-                ctx.counters.add_instructions(local_rows * 100);
-                ctx.counters
-                    .add_bytes_read(local_rows * (qlen as u64 * 4 + 200));
-                // BFS writes every materialized row back to memory — the
-                // cost DFS's private stacks avoid.
-                ctx.counters.add_bytes_written(local_rows * qlen as u64 * 4);
-                ctx.counters.record_trips(local_rows + 1);
+                charge(ctx.counters, local_rows, qlen);
             }
+            gov.flush_steps(&ticker);
         },
     );
 
@@ -119,7 +164,17 @@ pub fn join_bfs(
         total_matches: total.load(Ordering::Relaxed),
         peak_partial_matches: peak.load(Ordering::Relaxed),
         total_partial_matches: rows_ever.load(Ordering::Relaxed),
+        completion: gov.completion(),
     }
+}
+
+/// Charges one pair's modeled BFS traffic: reads per materialized row,
+/// plus the write-back of every row — the cost DFS's private stacks avoid.
+fn charge(counters: &sigmo_device::KernelCounters, local_rows: u64, qlen: usize) {
+    counters.add_instructions(local_rows * 100);
+    counters.add_bytes_read(local_rows * (qlen as u64 * 4 + 200));
+    counters.add_bytes_written(local_rows * qlen as u64 * 4);
+    counters.record_trips(local_rows + 1);
 }
 
 #[cfg(test)]

@@ -34,6 +34,7 @@
 pub mod candidates;
 pub mod engine;
 pub mod filter;
+pub mod governor;
 pub mod join;
 pub mod join_bfs;
 pub mod mapping;
@@ -47,6 +48,7 @@ pub mod stream;
 pub use candidates::{CandidateBitmap, WordWidth};
 pub use engine::{Engine, EngineConfig, JoinOrder, MatchMode, PhaseTimings, RunReport};
 pub use filter::{LabelBuckets, SignatureClasses};
+pub use governor::{CancelToken, Completion, Governor, RunBudget, TruncationReason};
 pub use join::{JoinOutcome, MatchRecord};
 pub use join_bfs::{join_bfs, BfsJoinOutcome};
 pub use mapping::Gmcr;
@@ -54,4 +56,4 @@ pub use memory::{estimate as estimate_memory, estimate_scaled, max_scale_factor,
 pub use schema::LabelSchema;
 pub use signature::{Signature, SignatureSet};
 pub use stats::{CandidateStats, IterationStats};
-pub use stream::{StreamReport, StreamRunner};
+pub use stream::{Quarantined, StreamReport, StreamRunner};

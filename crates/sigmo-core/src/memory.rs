@@ -31,8 +31,14 @@ pub struct MemoryEstimate {
 
 impl MemoryEstimate {
     /// Total predicted bytes (bitmap at its padded allocation size).
+    /// Saturates at `u64::MAX` for absurdly large synthetic inputs: a
+    /// saturated total still compares correctly against any real device
+    /// budget (`fits` returns false), instead of wrapping and "fitting".
     pub fn total(&self) -> u64 {
-        self.bitmap_padded_bytes + self.graph_bytes + self.signature_bytes + self.gmcr_bytes
+        self.bitmap_padded_bytes
+            .saturating_add(self.graph_bytes)
+            .saturating_add(self.signature_bytes)
+            .saturating_add(self.gmcr_bytes)
     }
 
     /// Fraction of the total the candidate bitmap takes (the paper: 80%).
@@ -50,17 +56,25 @@ impl MemoryEstimate {
     }
 }
 
-/// Predicts memory for batched inputs.
+/// Predicts memory for batched inputs. All arithmetic saturates: a
+/// synthetic input whose true footprint exceeds `u64::MAX` bytes yields a
+/// saturated (still ordered-correct) estimate instead of a wrapped one.
 pub fn estimate_batched(queries: &CsrGo, data: &CsrGo) -> MemoryEstimate {
     let rows = queries.num_nodes() as u64;
     let cols = data.num_nodes() as u64;
-    let bitmap_bytes = (rows * cols).div_ceil(8);
-    let bitmap_padded_bytes = rows * cols.div_ceil(64) * 8;
-    let graph_bytes = (queries.memory_bytes() + data.memory_bytes()) as u64;
+    let bitmap_bytes = rows.saturating_mul(cols).div_ceil(8);
+    let bitmap_padded_bytes = rows.saturating_mul(cols.div_ceil(64)).saturating_mul(8);
+    let graph_bytes = (queries.memory_bytes() as u64).saturating_add(data.memory_bytes() as u64);
     // 8 bytes per signature + ~24 bytes of frontier state per node.
-    let signature_bytes = (rows + cols) * (8 + 24);
-    let gmcr_bytes = (data.num_graphs() as u64 + 1) * 4
-        + (data.num_graphs() as u64 * queries.num_graphs() as u64) * 5;
+    let signature_bytes = rows.saturating_add(cols).saturating_mul(8 + 24);
+    let gmcr_bytes = (data.num_graphs() as u64)
+        .saturating_add(1)
+        .saturating_mul(4)
+        .saturating_add(
+            (data.num_graphs() as u64)
+                .saturating_mul(queries.num_graphs() as u64)
+                .saturating_mul(5),
+        );
     MemoryEstimate {
         bitmap_bytes,
         bitmap_padded_bytes,
@@ -81,17 +95,26 @@ pub fn estimate(queries: &[LabeledGraph], data: &[LabeledGraph]) -> MemoryEstima
 pub fn estimate_scaled(queries: &CsrGo, base: &CsrGo, factor: usize) -> MemoryEstimate {
     let f = factor as u64;
     let rows = queries.num_nodes() as u64;
-    let n = base.num_nodes() as u64 * f;
-    let m = base.num_edges() as u64 * f;
-    let g = base.num_graphs() as u64 * f;
-    let bitmap_bytes = (rows * n).div_ceil(8);
-    let bitmap_padded_bytes = rows * n.div_ceil(64) * 8;
+    let n = (base.num_nodes() as u64).saturating_mul(f);
+    let m = (base.num_edges() as u64).saturating_mul(f);
+    let g = (base.num_graphs() as u64).saturating_mul(f);
+    let bitmap_bytes = rows.saturating_mul(n).div_ceil(8);
+    let bitmap_padded_bytes = rows.saturating_mul(n.div_ceil(64)).saturating_mul(8);
     // CSR: row offsets (n+1)×4 + column indices 2m×4 + edge labels 2m +
     // node labels n; CSR-GO adds graph offsets (g+1)×4.
-    let data_csr = (n + 1) * 4 + 2 * m * 4 + 2 * m + n + (g + 1) * 4;
-    let graph_bytes = queries.memory_bytes() as u64 + data_csr;
-    let signature_bytes = (rows + n) * 32;
-    let gmcr_bytes = (g + 1) * 4 + g * queries.num_graphs() as u64 * 5;
+    let data_csr = n
+        .saturating_add(1)
+        .saturating_mul(4)
+        .saturating_add(m.saturating_mul(8))
+        .saturating_add(m.saturating_mul(2))
+        .saturating_add(n)
+        .saturating_add(g.saturating_add(1).saturating_mul(4));
+    let graph_bytes = (queries.memory_bytes() as u64).saturating_add(data_csr);
+    let signature_bytes = rows.saturating_add(n).saturating_mul(32);
+    let gmcr_bytes = g.saturating_add(1).saturating_mul(4).saturating_add(
+        g.saturating_mul(queries.num_graphs() as u64)
+            .saturating_mul(5),
+    );
     MemoryEstimate {
         bitmap_bytes,
         bitmap_padded_bytes,
@@ -221,5 +244,42 @@ mod tests {
     fn max_scale_factor_zero_when_nothing_fits() {
         let (queries, data) = world(10);
         assert_eq!(max_scale_factor(&queries, &data, 16), 0);
+    }
+
+    #[test]
+    fn huge_scale_factor_saturates_instead_of_wrapping() {
+        // factor = usize::MAX drives every intermediate product past
+        // u64::MAX. The estimate must saturate — a wrapped total could
+        // look tiny and "fit" a real device.
+        let (queries, data) = world(4);
+        let q = CsrGo::from_graphs(&queries);
+        let base = CsrGo::from_graphs(&data);
+        let est = estimate_scaled(&q, &base, usize::MAX);
+        assert_eq!(est.bitmap_padded_bytes, u64::MAX, "must saturate");
+        assert_eq!(est.total(), u64::MAX);
+        assert!(!est.fits(u64::MAX - 1));
+        assert!((0.0..=1.0).contains(&est.bitmap_fraction()));
+        // One step below the edge: still saturated, still ordered.
+        let est2 = estimate_scaled(&q, &base, usize::MAX - 1);
+        assert!(est2.total() >= estimate_scaled(&q, &base, 1000).total());
+    }
+
+    #[test]
+    fn saturated_totals_keep_fits_monotone() {
+        let (queries, data) = world(4);
+        let q = CsrGo::from_graphs(&queries);
+        let base = CsrGo::from_graphs(&data);
+        let mut prev = 0u64;
+        // Sweep across the overflow edge: totals never decrease.
+        for shift in [0usize, 8, 16, 24, 32, 40, 48, 56, 62] {
+            let est = estimate_scaled(&q, &base, 1usize << shift);
+            assert!(
+                est.total() >= prev,
+                "total decreased at factor 2^{shift}: {} < {prev}",
+                est.total()
+            );
+            prev = est.total();
+        }
+        assert_eq!(prev, u64::MAX, "the sweep must reach saturation");
     }
 }

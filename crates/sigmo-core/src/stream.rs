@@ -10,10 +10,25 @@
 //! aggregate with globally consistent data-graph indices.
 
 use crate::engine::{Engine, EngineConfig};
+use crate::governor::{CancelToken, Completion, Governor, RunBudget, TruncationReason};
 use crate::memory::estimate;
 use sigmo_device::Queue;
 use sigmo_graph::LabeledGraph;
 use std::time::Duration;
+
+/// One molecule isolated by the poisoned-chunk protocol: it tripped the
+/// per-chunk budget even when run alone, so its (sound, partial) results
+/// were folded in and the molecule flagged instead of sinking the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantined {
+    /// Global stream index of the molecule.
+    pub index: usize,
+    /// Why its solo run was truncated.
+    pub reason: TruncationReason,
+    /// Matches found before truncation (already included in the stream
+    /// totals — this records how much of the molecule was explored).
+    pub partial_matches: u64,
+}
 
 /// Aggregate result of a streamed run.
 #[derive(Debug, Default)]
@@ -28,8 +43,18 @@ pub struct StreamReport {
     pub molecules: usize,
     /// Peak per-chunk memory estimate (bytes) — must stay under budget.
     pub peak_chunk_bytes: u64,
-    /// Summed pipeline time across chunks (filter + mapping + join).
+    /// Summed pipeline time across chunks (filter + mapping + join),
+    /// including time spent on discarded truncated attempts.
     pub total_time: Duration,
+    /// `Complete` when every molecule was fully explored; `Truncated`
+    /// when anything was quarantined or the stream was cancelled.
+    pub completion: Completion,
+    /// Molecules whose solo runs still tripped the budget (their partial
+    /// results are in the totals).
+    pub quarantined: Vec<Quarantined>,
+    /// Chunks whose results were discarded and re-run as two halves by
+    /// the bisection protocol.
+    pub retried_chunks: usize,
 }
 
 impl StreamReport {
@@ -45,6 +70,17 @@ impl StreamReport {
 }
 
 /// Streaming wrapper around [`Engine`].
+///
+/// With a [`RunBudget`] set, every chunk runs under its own governor
+/// (fresh deadline / step budget per attempt). A chunk that comes back
+/// `Truncated` is *poisoned*: its partial results are discarded and the
+/// chunk is re-run as two halves, recursively, down to a single molecule
+/// — which, if it still trips alone, is quarantined with its partial
+/// results folded in. One pathological molecule therefore costs
+/// `O(log chunk)` retries instead of sinking the whole stream.
+/// Cancellation is different: the shared [`CancelToken`] means the caller
+/// wants out, so the in-flight chunk's partials are kept and the stream
+/// stops without bisection.
 pub struct StreamRunner {
     engine: Engine,
     /// Device-memory budget per chunk in bytes.
@@ -52,6 +88,10 @@ pub struct StreamRunner {
     /// Upper bound on molecules per chunk regardless of memory (keeps
     /// per-chunk latency bounded).
     max_chunk_molecules: usize,
+    /// Per-chunk resource budget (each attempt gets a fresh governor).
+    budget: RunBudget,
+    /// Cancel token observed by every chunk's governor.
+    cancel: CancelToken,
 }
 
 impl StreamRunner {
@@ -61,6 +101,8 @@ impl StreamRunner {
             engine: Engine::new(config),
             memory_budget,
             max_chunk_molecules: 100_000,
+            budget: RunBudget::none(),
+            cancel: CancelToken::new(),
         }
     }
 
@@ -68,6 +110,25 @@ impl StreamRunner {
     pub fn with_max_chunk(mut self, molecules: usize) -> Self {
         self.max_chunk_molecules = molecules.max(1);
         self
+    }
+
+    /// Sets the per-chunk resource budget (deadline / step budget /
+    /// embedding cap), enabling the bisection-and-quarantine protocol.
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the cancel token every chunk's governor observes. Cancelling
+    /// it stops the stream at the next heartbeat, keeping partial results.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The cancel token this runner observes.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// Consumes a molecule stream, matching every item against `queries`.
@@ -85,6 +146,12 @@ impl StreamRunner {
         let mut chunk: Vec<LabeledGraph> = Vec::new();
         let mut base_index = 0usize;
         for mol in stream {
+            if self.cancel.is_cancelled() {
+                report.completion = report
+                    .completion
+                    .merge(Completion::Truncated(TruncationReason::Cancelled));
+                return report;
+            }
             chunk.push(mol);
             let over_budget = chunk.len() >= self.max_chunk_molecules || {
                 let est = estimate(queries, &chunk).total();
@@ -104,8 +171,13 @@ impl StreamRunner {
                 }
             }
         }
-        if !chunk.is_empty() {
+        if !chunk.is_empty() && !self.cancel.is_cancelled() {
             self.flush(queries, &mut chunk, &mut base_index, queue, &mut report);
+        }
+        if self.cancel.is_cancelled() {
+            report.completion = report
+                .completion
+                .merge(Completion::Truncated(TruncationReason::Cancelled));
         }
         report
     }
@@ -120,18 +192,73 @@ impl StreamRunner {
     ) {
         let est = estimate(queries, chunk).total();
         report.peak_chunk_bytes = report.peak_chunk_bytes.max(est);
-        let run = self.engine.run(queries, chunk, queue);
+        self.run_span(queries, chunk, *base_index, queue, report);
+        report.molecules += chunk.len();
+        *base_index += chunk.len();
+        chunk.clear();
+    }
+
+    /// Runs one span of molecules under a fresh per-attempt governor,
+    /// bisecting on truncation. Folds only trusted results into `report`:
+    /// complete runs, quarantined single-molecule partials, and — on
+    /// cancellation — the in-flight partials (the caller asked to stop;
+    /// nothing will be retried).
+    fn run_span(
+        &self,
+        queries: &[LabeledGraph],
+        span: &[LabeledGraph],
+        base_index: usize,
+        queue: &Queue,
+        report: &mut StreamReport,
+    ) {
+        let governor = Governor::with_cancel(&self.budget, self.cancel.clone());
+        let run = self
+            .engine
+            .run_with_governor(queries, span, queue, &governor);
+        report.total_time += run.timings.total();
+        match run.completion {
+            Completion::Complete => {
+                Self::fold(report, &run, base_index);
+                report.chunks += 1;
+            }
+            Completion::Truncated(TruncationReason::Cancelled) => {
+                // The caller asked to stop: keep the sound partials, no
+                // retry. The outer loop sees the token and ends the stream.
+                Self::fold(report, &run, base_index);
+                report.chunks += 1;
+                report.completion = report.completion.merge(run.completion);
+            }
+            Completion::Truncated(reason) if span.len() == 1 => {
+                // Already a single molecule: quarantine it, keep partials.
+                Self::fold(report, &run, base_index);
+                report.chunks += 1;
+                report.completion = report.completion.merge(run.completion);
+                report.quarantined.push(Quarantined {
+                    index: base_index,
+                    reason,
+                    partial_matches: run.total_matches,
+                });
+            }
+            Completion::Truncated(_) => {
+                // Poisoned chunk: discard the partial results (folding them
+                // AND re-running the halves would double-count), bisect.
+                report.retried_chunks += 1;
+                let mid = span.len() / 2;
+                self.run_span(queries, &span[..mid], base_index, queue, report);
+                if !self.cancel.is_cancelled() {
+                    self.run_span(queries, &span[mid..], base_index + mid, queue, report);
+                }
+            }
+        }
+    }
+
+    fn fold(report: &mut StreamReport, run: &crate::engine::RunReport, base_index: usize) {
         report.total_matches += run.total_matches;
         report.matched_pair_list.extend(
             run.matched_pair_list
                 .iter()
-                .map(|&(d, q)| (*base_index + d, q)),
+                .map(|&(d, q)| (base_index + d, q)),
         );
-        report.chunks += 1;
-        report.molecules += chunk.len();
-        report.total_time += run.timings.total();
-        *base_index += chunk.len();
-        chunk.clear();
     }
 }
 

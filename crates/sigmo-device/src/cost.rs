@@ -271,6 +271,8 @@ mod tests {
             work_group_size: 256,
             wall_time: Duration::from_millis(1),
             counters: c.snapshot(),
+            cancelled: false,
+            skipped_groups: 0,
         }
     }
 

@@ -9,6 +9,7 @@ use crate::counters::{CounterSnapshot, KernelCounters};
 use crate::profile::DeviceProfile;
 use parking_lot::Mutex;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Work-group local memory: a scratch buffer shared by the work-items of
@@ -76,6 +77,14 @@ pub struct KernelRecord {
     pub wall_time: Duration,
     /// Operation counters accumulated by the kernel body.
     pub counters: CounterSnapshot,
+    /// True when a stop probe was tripped during this launch: the kernel
+    /// ran under a governor and was cut short cooperatively.
+    pub cancelled: bool,
+    /// Work-groups the dispatcher skipped entirely because the stop probe
+    /// was already tripped when they would have started. Groups already
+    /// running when the probe trips still finish (cooperative, not
+    /// preemptive — the kernel body itself consults the governor).
+    pub skipped_groups: usize,
 }
 
 /// An in-order execution queue bound to a device profile.
@@ -119,11 +128,37 @@ impl Queue {
     where
         F: Fn(usize, &KernelCounters) + Sync,
     {
+        self.parallel_for_until(name, phase, global_size, work_group_size, || false, body)
+    }
+
+    /// [`Queue::parallel_for`] with a cooperative stop probe: before each
+    /// work-group starts, `stop()` is consulted, and a tripped probe skips
+    /// every not-yet-started group (groups already running finish on their
+    /// own — the body is expected to consult the same governor). The
+    /// kernel record notes `cancelled` and the skipped-group count.
+    pub fn parallel_for_until<S, F>(
+        &self,
+        name: &str,
+        phase: &str,
+        global_size: usize,
+        work_group_size: usize,
+        stop: S,
+        body: F,
+    ) -> CounterSnapshot
+    where
+        S: Fn() -> bool + Sync,
+        F: Fn(usize, &KernelCounters) + Sync,
+    {
         let wg = work_group_size.max(1);
         let counters = KernelCounters::new();
+        let skipped = AtomicUsize::new(0);
         let start = Instant::now();
         let num_groups = global_size.div_ceil(wg);
         (0..num_groups).into_par_iter().for_each(|g| {
+            if stop() {
+                skipped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
             let lo = g * wg;
             let hi = ((g + 1) * wg).min(global_size);
             for i in lo..hi {
@@ -132,6 +167,7 @@ impl Queue {
         });
         let wall = start.elapsed();
         let snap = counters.snapshot();
+        let skipped = skipped.load(Ordering::Relaxed);
         self.records.lock().push(KernelRecord {
             name: name.to_string(),
             phase: phase.to_string(),
@@ -139,6 +175,8 @@ impl Queue {
             work_group_size: wg,
             wall_time: wall,
             counters: snap,
+            cancelled: skipped > 0 || stop(),
+            skipped_groups: skipped,
         });
         snap
     }
@@ -159,11 +197,44 @@ impl Queue {
     where
         F: Fn(&mut WorkGroupCtx<'_>) + Sync,
     {
+        self.parallel_for_work_group_until(
+            name,
+            phase,
+            num_groups,
+            work_group_size,
+            local_words,
+            || false,
+            body,
+        )
+    }
+
+    /// [`Queue::parallel_for_work_group`] with a cooperative stop probe —
+    /// same contract as [`Queue::parallel_for_until`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn parallel_for_work_group_until<S, F>(
+        &self,
+        name: &str,
+        phase: &str,
+        num_groups: usize,
+        work_group_size: usize,
+        local_words: usize,
+        stop: S,
+        body: F,
+    ) -> CounterSnapshot
+    where
+        S: Fn() -> bool + Sync,
+        F: Fn(&mut WorkGroupCtx<'_>) + Sync,
+    {
         let counters = KernelCounters::new();
+        let skipped = AtomicUsize::new(0);
         let start = Instant::now();
         (0..num_groups).into_par_iter().for_each_init(
             || LocalMem::new(local_words),
             |local, g| {
+                if stop() {
+                    skipped.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
                 local.clear();
                 let mut ctx = WorkGroupCtx {
                     group_id: g,
@@ -176,6 +247,7 @@ impl Queue {
         );
         let wall = start.elapsed();
         let snap = counters.snapshot();
+        let skipped = skipped.load(Ordering::Relaxed);
         self.records.lock().push(KernelRecord {
             name: name.to_string(),
             phase: phase.to_string(),
@@ -183,6 +255,8 @@ impl Queue {
             work_group_size,
             wall_time: wall,
             counters: snap,
+            cancelled: skipped > 0 || stop(),
+            skipped_groups: skipped,
         });
         snap
     }
@@ -201,6 +275,8 @@ impl Queue {
             work_group_size: 1,
             wall_time: Duration::ZERO,
             counters: counters.snapshot(),
+            cancelled: false,
+            skipped_groups: 0,
         });
     }
 
@@ -306,5 +382,78 @@ mod tests {
         q.parallel_for("a", "x", 1, 1, |_, _| {});
         q.clear_records();
         assert!(q.records().is_empty());
+    }
+
+    #[test]
+    fn untripped_stop_probe_changes_nothing() {
+        let q = queue();
+        let n = 1000;
+        let count = AtomicU64::new(0);
+        q.parallel_for_until(
+            "k",
+            "test",
+            n,
+            64,
+            || false,
+            |_, _| {
+                count.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(count.load(Ordering::Relaxed), n as u64);
+        let rec = &q.records()[0];
+        assert!(!rec.cancelled);
+        assert_eq!(rec.skipped_groups, 0);
+    }
+
+    #[test]
+    fn tripped_stop_probe_skips_every_group_and_marks_record() {
+        let q = queue();
+        q.parallel_for_until(
+            "k",
+            "test",
+            1000,
+            64,
+            || true,
+            |_, _| panic!("no work-item should run under a tripped probe"),
+        );
+        let rec = &q.records()[0];
+        assert!(rec.cancelled);
+        assert_eq!(rec.skipped_groups, 1000usize.div_ceil(64));
+    }
+
+    #[test]
+    fn work_group_stop_probe_skips_groups_once_tripped() {
+        let q = queue();
+        let ran = AtomicU64::new(0);
+        // Trip after the first few groups have been observed: every group
+        // that starts increments `ran`; the probe trips once ran >= 4.
+        q.parallel_for_work_group_until(
+            "k",
+            "test",
+            256,
+            4,
+            0,
+            || ran.load(Ordering::Relaxed) >= 4,
+            |_ctx| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        let rec = &q.records()[0];
+        assert!(rec.cancelled);
+        assert!(rec.skipped_groups > 0, "some groups must be skipped");
+        assert_eq!(
+            rec.skipped_groups as u64 + ran.load(Ordering::Relaxed),
+            256,
+            "every group either ran or was skipped"
+        );
+    }
+
+    #[test]
+    fn transfer_records_are_never_cancelled() {
+        let q = queue();
+        q.record_transfer("h2d", 128, 0);
+        let rec = &q.records()[0];
+        assert!(!rec.cancelled);
+        assert_eq!(rec.skipped_groups, 0);
     }
 }

@@ -125,6 +125,8 @@ mod tests {
             work_group_size: 128,
             wall_time: Duration::from_micros(50),
             counters: c.snapshot(),
+            cancelled: false,
+            skipped_groups: 0,
         }
     }
 

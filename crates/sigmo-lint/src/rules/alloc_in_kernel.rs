@@ -10,18 +10,19 @@
 //!
 //! Detected: allocation constructors/adaptors (`Vec::new`, `vec![]`,
 //! `.collect()`, `.push(..)`, `format!`, …) inside the closure argument of
-//! a `.parallel_for(..)` / `.parallel_for_work_group(..)` launch, outside
+//! a `.parallel_for(..)` / `.parallel_for_work_group(..)` launch (or their
+//! stop-aware `_until` variants), outside
 //! `#[cfg(test)]`. `join_bfs.rs` carries a documented pragma: its BFS
 //! frontier materialization is the memory blow-up §4.6 measures in order
 //! to reject the BFS strategy.
 
-use super::{file_name, find_all, in_ranges, Diagnostic, Rule, KERNEL_MODULE_FILES};
+use super::{
+    file_name, find_all, in_ranges, Diagnostic, Rule, KERNEL_LAUNCHES, KERNEL_MODULE_FILES,
+};
 use crate::lexer::{self, SourceFile};
 
 /// See the module docs.
 pub struct AllocInKernel;
-
-const LAUNCHES: &[&str] = &[".parallel_for(", ".parallel_for_work_group("];
 
 const ALLOC_TOKENS: &[&str] = &[
     "Vec::new(",
@@ -58,7 +59,7 @@ impl Rule for AllocInKernel {
     fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
         let tests = file.test_ranges();
         let code = &file.code;
-        for launch in LAUNCHES {
+        for launch in KERNEL_LAUNCHES {
             for at in find_all(file, 0..code.len(), launch) {
                 if in_ranges(&tests, at) {
                     continue;

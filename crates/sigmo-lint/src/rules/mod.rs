@@ -8,6 +8,7 @@
 pub mod alloc_in_kernel;
 pub mod atomic_ordering;
 pub mod per_bit_probe;
+pub mod unbounded_kernel_loop;
 pub mod uncharged_access;
 pub mod unsafe_safety;
 
@@ -49,6 +50,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(uncharged_access::UnchargedAccess),
         Box::new(unsafe_safety::UnsafeSafety),
         Box::new(alloc_in_kernel::AllocInKernel),
+        Box::new(unbounded_kernel_loop::UnboundedKernelLoop),
     ]
 }
 
@@ -71,6 +73,41 @@ pub const HOT_PATH_FILES: &[&str] = &[
 /// The kernel modules: files that launch device kernels and own the
 /// counter accounting behind `BENCH_pipeline.json`.
 pub const KERNEL_MODULE_FILES: &[&str] = &["filter.rs", "join.rs", "join_bfs.rs", "mapping.rs"];
+
+/// Every kernel-launch entry point, including the stop-aware `_until`
+/// variants PR 3's governor added (the plain forms delegate to them).
+/// Literal match on the trailing `(` keeps `parallel_for` from matching
+/// its own `_until` spelling twice.
+pub const KERNEL_LAUNCHES: &[&str] = &[
+    ".parallel_for(",
+    ".parallel_for_until(",
+    ".parallel_for_work_group(",
+    ".parallel_for_work_group_until(",
+];
+
+/// Offset of the `{` opening a loop body, scanning from `from` (just past
+/// the loop keyword / header start) and skipping `(...)`/`[...]` groups
+/// (struct-literal braces cannot appear unparenthesized in a loop header).
+/// Returns `None` at a `;` — the construct was not a loop with a body.
+pub fn header_body_open(code: &str, from: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut i = from;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => paren += 1,
+            b')' => paren -= 1,
+            b'[' => bracket += 1,
+            b']' => bracket -= 1,
+            b'{' if paren == 0 && bracket == 0 => return Some(i),
+            b';' if paren == 0 && bracket == 0 => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
 
 /// A `fn` item: its name and the byte range of its body in `code`.
 #[derive(Debug)]

@@ -20,7 +20,7 @@
 //! The per-bit oracle in `naive.rs` carries documented pragmas — it exists
 //! to differentially test the word-parallel paths.
 
-use super::{file_name, find_all, in_ranges, Diagnostic, Rule, HOT_PATH_FILES};
+use super::{file_name, find_all, header_body_open, in_ranges, Diagnostic, Rule, HOT_PATH_FILES};
 use crate::lexer::{self, SourceFile};
 
 /// See the module docs.
@@ -155,29 +155,6 @@ fn check_chains(file: &SourceFile, tests: &[std::ops::Range<usize>], out: &mut V
             }
         }
     }
-}
-
-/// Offset of the `{` opening a `for` body, scanning from the iterator
-/// expression start and skipping `(...)`/`[...]` groups (struct-literal
-/// braces cannot appear unparenthesized in a `for` header).
-fn header_body_open(code: &str, from: usize) -> Option<usize> {
-    let bytes = code.as_bytes();
-    let mut i = from;
-    let mut paren = 0i32;
-    let mut bracket = 0i32;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'(' => paren += 1,
-            b')' => paren -= 1,
-            b'[' => bracket += 1,
-            b']' => bracket -= 1,
-            b'{' if paren == 0 && bracket == 0 => return Some(i),
-            b';' if paren == 0 && bracket == 0 => return None,
-            _ => {}
-        }
-        i += 1;
-    }
-    None
 }
 
 /// Removes `[...]` spans (index expressions) from a snippet.

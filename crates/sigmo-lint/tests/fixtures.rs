@@ -60,6 +60,12 @@ fn alloc_in_kernel_fixture_trips_only_its_rule() {
 }
 
 #[test]
+fn unbounded_kernel_loop_fixture_trips_only_its_rule() {
+    // One bare DFS loop + one kernel-closure `while`, both unconsulted.
+    assert_trips("unbounded_kernel_loop/join.rs", "unbounded-kernel-loop", 2);
+}
+
+#[test]
 fn bad_pragma_fixture_trips_only_bad_pragma() {
     assert_trips("bad_pragma/engine.rs", "bad-pragma", 1);
 }
@@ -128,6 +134,7 @@ fn binary_exits_nonzero_on_each_bad_fixture() {
         "uncharged_access/filter.rs",
         "unsafe_safety/engine.rs",
         "alloc_in_kernel/join.rs",
+        "unbounded_kernel_loop/join.rs",
         "bad_pragma/engine.rs",
     ] {
         let out = lint_bin().arg(fixtures.join(rel)).output().unwrap();
@@ -175,7 +182,7 @@ fn binary_emits_json_diagnostics_with_spans() {
 }
 
 #[test]
-fn binary_lists_all_five_rules() {
+fn binary_lists_all_six_rules() {
     let out = lint_bin().arg("--list-rules").output().unwrap();
     assert_eq!(out.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -185,6 +192,7 @@ fn binary_lists_all_five_rules() {
         "uncharged-access",
         "unsafe-requires-safety-comment",
         "alloc-in-kernel",
+        "unbounded-kernel-loop",
     ] {
         assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
     }

@@ -1,0 +1,31 @@
+//! Bad fixture: kernel loops that no budget could ever trip.
+
+fn dfs_pair(data: &CsrGo, mapping: &mut [u32]) -> u64 {
+    let mut matches = 0u64;
+    let mut depth = 0usize;
+    // A DFS loop with no governor consult: a wildcard-clique query spins
+    // here past any deadline.
+    loop {
+        match advance(data, mapping, depth) {
+            Some(d) => {
+                mapping[depth] = d;
+                depth += 1;
+            }
+            None => {
+                if depth == 0 {
+                    return matches;
+                }
+                depth -= 1;
+            }
+        }
+        matches += 1;
+    }
+}
+
+fn launch(q: &Queue, gov: &Governor) {
+    q.parallel_for_work_group_until("join", "join", groups, 4, 8, || gov.stopped(), |ctx| {
+        while frontier_grows(ctx) {
+            expand(ctx);
+        }
+    });
+}

@@ -10,15 +10,21 @@
 #   5. cargo bench --no-run       compile check of every bench target
 #
 # `--fast` skips the bench compilation (stage 5) for quick pre-push runs.
+# `--pathological` adds a governor smoke stage: the ext_pathological
+# binary must terminate the wildcard-clique workload under its 2 s
+# deadline with a Truncated(Deadline) partial result (it asserts this
+# itself and exits nonzero otherwise).
 # Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
+PATHOLOGICAL=0
 for arg in "$@"; do
     case "$arg" in
         --fast) FAST=1 ;;
-        *) echo "usage: $0 [--fast]" >&2; exit 2 ;;
+        --pathological) PATHOLOGICAL=1 ;;
+        *) echo "usage: $0 [--fast] [--pathological]" >&2; exit 2 ;;
     esac
 done
 
@@ -28,4 +34,7 @@ cargo test -q
 cargo run -q --release -p sigmo-lint -- --root .
 if [ "$FAST" -eq 0 ]; then
     cargo bench --no-run
+fi
+if [ "$PATHOLOGICAL" -eq 1 ]; then
+    cargo run -q --release -p sigmo-bench --bin ext_pathological
 fi

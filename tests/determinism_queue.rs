@@ -13,7 +13,7 @@
 //! integration-test file runs as its own process, so the env var cannot
 //! race another test.
 
-use sigmo::core::{Engine, EngineConfig};
+use sigmo::core::{Completion, Engine, EngineConfig, Governor, RunBudget, TruncationReason};
 use sigmo::device::{DeviceProfile, KernelRecord, Queue};
 use sigmo::graph::LabeledGraph;
 use sigmo::mol::{functional_groups, MoleculeGenerator};
@@ -48,8 +48,7 @@ fn record_keys(records: &[KernelRecord]) -> Vec<RecordKey> {
         .collect()
 }
 
-fn run_pipeline(threads: &str) -> (u64, Vec<RecordKey>) {
-    std::env::set_var("RAYON_NUM_THREADS", threads);
+fn workload() -> (Vec<LabeledGraph>, Vec<LabeledGraph>) {
     let mut gen = MoleculeGenerator::with_seed(97);
     let data: Vec<LabeledGraph> = gen
         .generate_batch(30)
@@ -61,9 +60,29 @@ fn run_pipeline(threads: &str) -> (u64, Vec<RecordKey>) {
         .take(10)
         .map(|q| q.graph)
         .collect();
+    (queries, data)
+}
+
+fn run_pipeline(threads: &str) -> (u64, Vec<RecordKey>) {
+    std::env::set_var("RAYON_NUM_THREADS", threads);
+    let (queries, data) = workload();
     let queue = Queue::new(DeviceProfile::host());
     let report = Engine::new(EngineConfig::with_iterations(4)).run(&queries, &data, &queue);
     (report.total_matches, record_keys(&queue.records()))
+}
+
+fn run_pipeline_budgeted(threads: &str, steps: u64) -> (u64, Completion, Vec<RecordKey>) {
+    std::env::set_var("RAYON_NUM_THREADS", threads);
+    let (queries, data) = workload();
+    let queue = Queue::new(DeviceProfile::host());
+    let gov = Governor::new(&RunBudget::none().with_step_budget(steps));
+    let report = Engine::new(EngineConfig::with_iterations(4))
+        .run_with_governor(&queries, &data, &queue, &gov);
+    (
+        report.total_matches,
+        report.completion,
+        record_keys(&queue.records()),
+    )
 }
 
 #[test]
@@ -86,6 +105,33 @@ fn counter_totals_are_identical_across_thread_counts() {
         assert_eq!(a, b, "record {i} diverged between 1 and 4 threads");
     }
     assert_eq!(records_1, records_8);
+}
+
+#[test]
+fn step_budget_truncation_is_identical_across_thread_counts() {
+    // The join-step budget is enforced on ticker-local counters and never
+    // latches the global stop flag, so a truncated run's partial totals —
+    // and the per-kernel counter records — must be bit-identical whether
+    // work-groups run serially or eight-wide. A budget small enough to
+    // truncate (but nonzero) exercises the trip path in many groups.
+    let _guard = ENV_LOCK.lock().unwrap();
+    let (full, _) = run_pipeline("1");
+    let (m1, c1, r1) = run_pipeline_budgeted("1", 40);
+    let (m4, c4, r4) = run_pipeline_budgeted("4", 40);
+    let (m8, c8, r8) = run_pipeline_budgeted("8", 40);
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    assert_eq!(c1, Completion::Truncated(TruncationReason::StepBudget));
+    assert_eq!(c1, c4);
+    assert_eq!(c1, c8);
+    assert!(
+        m1 < full,
+        "a 40-step budget must truncate this workload (got {m1} of {full})"
+    );
+    assert_eq!(m1, m4, "partial totals diverged between 1 and 4 threads");
+    assert_eq!(m1, m8, "partial totals diverged between 1 and 8 threads");
+    assert_eq!(r1, r4, "kernel records diverged between 1 and 4 threads");
+    assert_eq!(r1, r8, "kernel records diverged between 1 and 8 threads");
 }
 
 #[test]

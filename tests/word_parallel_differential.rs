@@ -157,6 +157,7 @@ fn match_sets_are_identical_to_naive() {
                 work_group_size: 64,
                 induced: false,
                 collect_limit: Some(100_000),
+                ..Default::default()
             };
             let outcome = join(&queue, &queries, &data, bitmap, &gmcr, &plans, &params);
             let mut recs: Vec<(usize, usize, Vec<u32>)> = outcome
