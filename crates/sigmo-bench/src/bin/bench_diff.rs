@@ -1,0 +1,202 @@
+//! Regression gate against the committed pipeline profile: re-runs the
+//! `bench_pipeline` workload fresh (same scale, seed, and default engine
+//! configuration) and compares per-phase wall times and the
+//! `refine_candidates` kernel wall against `BENCH_pipeline.json`. Any
+//! phase slower than `committed × 1.25 + 10 ms` fails, as does any drift
+//! in the match totals (those must be bit-identical across filter-mode
+//! and scheduling changes).
+//!
+//! Wall times are the minimum over [`REPS`] fresh runs — the gate asks
+//! "can the current code still hit the committed profile", so best-of-N
+//! is the right statistic for a noisy shared host.
+//!
+//! The baseline JSON is hand-parsed (the vendored serde stub has no
+//! deserializer); the format is exactly what `bench_pipeline` renders.
+//! Override the baseline path with `SIGMO_BENCH_DIFF_BASELINE`.
+
+use sigmo_bench::BenchScale;
+use sigmo_core::{Engine, EngineConfig, RunReport};
+use sigmo_device::{summarize, CostModel, DeviceProfile, Queue};
+
+/// Fresh runs per comparison; each phase takes its minimum wall.
+const REPS: usize = 3;
+/// Relative slack: fail only on a >25 % regression.
+const REL_LIMIT: f64 = 1.25;
+/// Absolute slack so sub-millisecond phases don't flake on timer noise.
+const ABS_SLACK_S: f64 = 0.010;
+
+/// Scans `"key": <number>` inside `text` and parses the number.
+fn find_f64(text: &str, key: &str) -> f64 {
+    let tag = format!("\"{key}\":");
+    let at = text
+        .find(&tag)
+        .unwrap_or_else(|| panic!("baseline is missing {key:?}"));
+    let rest = &text[at + tag.len()..];
+    let end = rest
+        .find([',', '}', '\n'])
+        .unwrap_or_else(|| panic!("unterminated value for {key:?}"));
+    rest[..end]
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("bad number for {key:?}: {:?}", &rest[..end]))
+}
+
+/// Scans `"key": "<string>"` inside `text`.
+fn find_str<'a>(text: &'a str, key: &str) -> &'a str {
+    let tag = format!("\"{key}\":");
+    let at = text
+        .find(&tag)
+        .unwrap_or_else(|| panic!("baseline is missing {key:?}"));
+    let rest = text[at + tag.len()..].trim_start();
+    let rest = rest
+        .strip_prefix('"')
+        .unwrap_or_else(|| panic!("{key:?} is not a string"));
+    let end = rest
+        .find('"')
+        .unwrap_or_else(|| panic!("unterminated string for {key:?}"));
+    &rest[..end]
+}
+
+/// The slice of the baseline holding the `phases_wall_s` object.
+fn phases_section(base: &str) -> &str {
+    let start = base
+        .find("\"phases_wall_s\"")
+        .expect("baseline is missing phases_wall_s");
+    let end = base
+        .find("\"kernels\"")
+        .expect("baseline is missing kernels");
+    &base[start..end]
+}
+
+/// Wall seconds of the named kernel's aggregate line in the baseline.
+fn kernel_wall(base: &str, name: &str) -> f64 {
+    let tag = format!("\"name\": \"{name}\"");
+    let line = base
+        .lines()
+        .find(|l| l.contains(&tag))
+        .unwrap_or_else(|| panic!("baseline has no kernel {name:?}"));
+    find_f64(line, "wall_s")
+}
+
+struct FreshRun {
+    report: RunReport,
+    refine_wall_s: f64,
+}
+
+fn run_once(scale: BenchScale) -> FreshRun {
+    let d = scale.dataset(0x5167);
+    let queue = Queue::new(DeviceProfile::nvidia_v100s());
+    let report = Engine::new(EngineConfig::default()).run(d.queries(), d.data_graphs(), &queue);
+    let model = CostModel::new(DeviceProfile::nvidia_v100s());
+    let refine_wall_s = summarize(&queue.records(), &model)
+        .iter()
+        .find(|k| k.name == "refine_candidates")
+        .map_or(0.0, |k| k.wall_s);
+    FreshRun {
+        report,
+        refine_wall_s,
+    }
+}
+
+fn main() {
+    let baseline_path = std::env::var("SIGMO_BENCH_DIFF_BASELINE")
+        .unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+    let base = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
+
+    let scale = BenchScale::from_env();
+    let committed_scale = find_str(&base, "scale");
+    let fresh_scale = format!("{scale:?}");
+    assert_eq!(
+        committed_scale, fresh_scale,
+        "baseline was recorded at scale {committed_scale} but this run is {fresh_scale}; \
+         set SIGMO_BENCH_SCALE to match or regenerate the baseline"
+    );
+
+    let runs: Vec<FreshRun> = (0..REPS).map(|_| run_once(scale)).collect();
+    let first = &runs[0].report;
+    for r in &runs[1..] {
+        assert_eq!(
+            r.report.total_matches, first.total_matches,
+            "nondeterministic totals"
+        );
+        assert_eq!(
+            r.report.matched_pairs, first.matched_pairs,
+            "nondeterministic totals"
+        );
+        assert_eq!(
+            r.report.gmcr_pairs, first.gmcr_pairs,
+            "nondeterministic totals"
+        );
+    }
+
+    let min_over = |f: &dyn Fn(&FreshRun) -> f64| runs.iter().map(f).fold(f64::INFINITY, f64::min);
+    let fresh: Vec<(&str, f64)> = vec![
+        ("setup", min_over(&|r| r.report.timings.setup.as_secs_f64())),
+        (
+            "filter",
+            min_over(&|r| r.report.timings.filter.as_secs_f64()),
+        ),
+        (
+            "mapping",
+            min_over(&|r| r.report.timings.mapping.as_secs_f64()),
+        ),
+        ("join", min_over(&|r| r.report.timings.join.as_secs_f64())),
+        (
+            "total",
+            min_over(&|r| r.report.timings.total().as_secs_f64()),
+        ),
+        ("refine_candidates", min_over(&|r| r.refine_wall_s)),
+    ];
+
+    let phases = phases_section(&base);
+    let mut failures: Vec<String> = Vec::new();
+    println!(
+        "{:<18} {:>12} {:>12} {:>12}  status",
+        "phase", "committed_s", "fresh_min_s", "limit_s"
+    );
+    for (name, fresh_s) in &fresh {
+        let committed = if *name == "refine_candidates" {
+            kernel_wall(&base, name)
+        } else {
+            find_f64(phases, name)
+        };
+        let limit = committed * REL_LIMIT + ABS_SLACK_S;
+        let ok = *fresh_s <= limit;
+        println!(
+            "{name:<18} {committed:>12.6} {fresh_s:>12.6} {limit:>12.6}  {}",
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        if !ok {
+            failures.push(format!(
+                "{name}: fresh {fresh_s:.6}s > limit {limit:.6}s (committed {committed:.6}s)"
+            ));
+        }
+    }
+
+    for (key, fresh_total) in [
+        ("total_matches", first.total_matches),
+        ("matched_pairs", first.matched_pairs),
+        ("gmcr_pairs", first.gmcr_pairs as u64),
+    ] {
+        let committed = find_f64(&base, key) as u64;
+        if committed != fresh_total {
+            failures.push(format!(
+                "{key}: fresh {fresh_total} != committed {committed} (totals must be bit-identical)"
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        println!("bench_diff: no regression vs {baseline_path}");
+    } else {
+        eprintln!(
+            "bench_diff: {} regression(s) vs {baseline_path}:",
+            failures.len()
+        );
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

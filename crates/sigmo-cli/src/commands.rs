@@ -113,12 +113,35 @@ pub fn run_command(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
     }
 }
 
+/// Renders the per-iteration filter trace (`--profile true`): with
+/// convergence-driven filtering the number of rows is the number of
+/// iterations actually run, and `cleared`/`dirty` show how much work each
+/// refine launch really did.
+fn profile_table(out: &mut String, iterations: &[sigmo_core::IterationStats]) {
+    writeln!(out, "filter profile ({} iterations run):", iterations.len()).unwrap();
+    writeln!(
+        out,
+        "{:>4}\t{:>10}\t{:>10}\t{:>10}",
+        "iter", "candidates", "cleared", "dirty"
+    )
+    .unwrap();
+    for it in iterations {
+        writeln!(
+            out,
+            "{:>4}\t{:>10}\t{:>10}\t{:>10}",
+            it.iteration, it.candidates.total, it.cleared_bits, it.dirty_nodes
+        )
+        .unwrap();
+    }
+}
+
 fn cmd_match(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
     let queries = load_query_graphs(args.require("queries")?)?;
     let query_graphs: Vec<LabeledGraph> = queries.iter().map(|q| q.graph.clone()).collect();
     let data = load_molecules(args.require("data")?, false)?;
     let config = engine_config(args, MatchMode::FindAll)?;
     let budget = run_budget(args)?;
+    let profile = args.get_parsed("profile", false, "true or false")?;
     let queue = Queue::new(DeviceProfile::host());
     let report = Engine::new(config).run_with_governor(
         &query_graphs,
@@ -138,6 +161,9 @@ fn cmd_match(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
     )
     .unwrap();
     status_line(&mut out, &report.completion);
+    if profile {
+        profile_table(&mut out, &report.iterations);
+    }
     for &(dg, qg) in &report.matched_pair_list {
         writeln!(out, "match\t{}\t{}", queries[qg].name, data[dg].name).unwrap();
     }
@@ -369,6 +395,40 @@ mod tests {
         .unwrap();
         let out = run_command(&args).unwrap();
         assert!(out.stdout.contains("embeddings"));
+    }
+
+    #[test]
+    fn profile_flag_renders_iteration_table() {
+        let q = write_temp("qp.smi", "C=O carbonyl\n");
+        let d = write_temp("dp.smi", "CC(=O)O acid\nCCO ethanol\n");
+        let args = parse_args(&strs(&[
+            "match",
+            "--queries",
+            &q,
+            "--data",
+            &d,
+            "--profile",
+            "true",
+        ]))
+        .unwrap();
+        let out = run_command(&args).unwrap();
+        assert!(out.stdout.contains("filter profile"), "{}", out.stdout);
+        assert!(out.stdout.contains("candidates"), "{}", out.stdout);
+        assert!(out.stdout.contains("cleared"), "{}", out.stdout);
+        assert!(out.stdout.contains("dirty"), "{}", out.stdout);
+        // The default incremental engine converges fast on tiny queries:
+        // the table rows are the iterations actually run, not the
+        // configured six.
+        let rows = out
+            .stdout
+            .lines()
+            .filter(|l| l.trim_start().starts_with(char::is_numeric) && l.contains('\t'))
+            .count();
+        assert!(rows >= 2, "{}", out.stdout);
+        // Without the flag, no table.
+        let plain = parse_args(&strs(&["match", "--queries", &q, "--data", &d])).unwrap();
+        let out2 = run_command(&plain).unwrap();
+        assert!(!out2.stdout.contains("filter profile"));
     }
 
     #[test]

@@ -2,9 +2,9 @@
 
 use crate::partition::static_block_partition;
 use rayon::prelude::*;
-use sigmo_core::{Engine, EngineConfig, MatchMode};
+use sigmo_core::{Engine, EngineConfig, MatchMode, QueryPlan};
 use sigmo_device::{CostModel, DeviceProfile, Queue};
-use sigmo_graph::LabeledGraph;
+use sigmo_graph::{CsrGo, LabeledGraph};
 use std::time::Duration;
 
 /// Configuration of a cluster run.
@@ -90,10 +90,15 @@ impl ClusterSim {
 
     /// Runs the workload: `data` is statically partitioned across ranks,
     /// every rank matches the full `queries` set against its partition.
+    ///
+    /// The query-side [`QueryPlan`] is built once on the host and shared
+    /// (borrowed) by every rank — the real cluster broadcasts the plan
+    /// alongside the query batch instead of rebuilding it per GPU.
     pub fn run(&self, queries: &[LabeledGraph], data: &[LabeledGraph]) -> ClusterReport {
         let parts = static_block_partition(data, self.config.num_ranks);
         let model = CostModel::new(self.config.device.clone());
         let engine_cfg = self.config.engine.clone();
+        let plan = QueryPlan::build(queries, &engine_cfg);
         let ranks: Vec<RankResult> = parts
             .into_par_iter()
             .enumerate()
@@ -104,7 +109,7 @@ impl ClusterSim {
                 let (matches, sim_time_s) = if part.is_empty() {
                     (0u64, 0.0)
                 } else {
-                    let report = engine.run(queries, &part, &queue);
+                    let report = engine.run_planned(&plan, &CsrGo::from_graphs(&part), &queue);
                     let m = match engine_cfg.mode {
                         MatchMode::FindAll => report.total_matches,
                         MatchMode::FindFirst => report.matched_pairs,

@@ -7,10 +7,13 @@
 //! ```
 
 use crate::candidates::{CandidateBitmap, WordWidth};
-use crate::filter::{initialize_candidates_governed, refine_candidates_governed};
+use crate::filter::{
+    initialize_candidates_bucketed, refine_candidates_classes, refine_candidates_delta,
+};
 use crate::governor::{Completion, Governor};
-use crate::join::{join, JoinMode, JoinParams, MatchRecord, QueryPlan};
+use crate::join::{join, JoinMode, JoinParams, MatchRecord, QueryPlan as JoinPlan};
 use crate::mapping::Gmcr;
+use crate::plan::QueryPlan;
 use crate::schema::LabelSchema;
 use crate::signature::SignatureSet;
 use crate::stats::{CandidateStats, IterationStats};
@@ -33,6 +36,29 @@ pub enum JoinOrder {
     /// filtering (extension: data-aware ordering, as used by VF3/RI-style
     /// engines).
     MinCandidates,
+}
+
+/// How the filter phase schedules refinement work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FilterMode {
+    /// The paper's fixed schedule: every iteration re-tests every
+    /// signature class against every data node, for exactly
+    /// `refinement_iterations` rounds. Kept as the oracle baseline for
+    /// the differential tests and the `ablate_filter_convergence` bench.
+    Exhaustive,
+    /// Exhaustive kernels plus fixpoint early-exit: refinement stops once
+    /// an iteration clears zero bits while both signature sets report
+    /// drained BFS frontiers — from there every later iteration is
+    /// provably a no-op.
+    EarlyExit,
+    /// Delta-driven refinement (default): each iteration re-tests only
+    /// the signature classes whose representative signature moved at this
+    /// radius, skips data graphs with no live candidate left, and stops
+    /// as soon as the query side converges. Bit-identical to
+    /// [`FilterMode::Exhaustive`] by the monotonicity argument in
+    /// DESIGN.md §4b.
+    #[default]
+    Incremental,
 }
 
 /// Engine configuration. Defaults follow the paper's V100S tuning
@@ -60,6 +86,8 @@ pub struct EngineConfig {
     pub schema: LabelSchema,
     /// Join matching-order heuristic.
     pub join_order: JoinOrder,
+    /// Refinement scheduling: exhaustive, early-exit, or delta-driven.
+    pub filter_mode: FilterMode,
 }
 
 impl Default for EngineConfig {
@@ -74,6 +102,7 @@ impl Default for EngineConfig {
             collect_limit: None,
             schema: LabelSchema::organic(),
             join_order: JoinOrder::default(),
+            filter_mode: FilterMode::default(),
         }
     }
 }
@@ -240,13 +269,51 @@ impl Engine {
         queue: &Queue,
         governor: &Governor,
     ) -> RunReport {
+        // One-shot runs build their plan inline; the plan construction is
+        // query-side-only precomputation, so it counts as setup time.
+        let t0 = Instant::now();
+        let plan = QueryPlan::from_batch(queries.clone(), &self.config);
+        let plan_build = t0.elapsed();
+        let mut report = self.run_planned_with_governor(&plan, data, queue, governor);
+        report.timings.setup += plan_build;
+        report
+    }
+
+    /// Runs the pipeline against a prebuilt [`QueryPlan`] with no budgets.
+    /// This is the reuse entry point: [`crate::StreamRunner`] builds one
+    /// plan per stream and calls this per chunk; `sigmo-cluster` shares
+    /// one plan across all ranks.
+    pub fn run_planned(&self, plan: &QueryPlan, data: &CsrGo, queue: &Queue) -> RunReport {
+        self.run_planned_with_governor(plan, data, queue, &Governor::unlimited())
+    }
+
+    /// [`Engine::run_planned`] under a [`Governor`].
+    pub fn run_planned_with_governor(
+        &self,
+        plan: &QueryPlan,
+        data: &CsrGo,
+        queue: &Queue,
+        governor: &Governor,
+    ) -> RunReport {
         let cfg = &self.config;
         assert!(cfg.refinement_iterations >= 1, "need ≥ 1 iteration");
+        assert!(
+            plan.max_radius() + 1 >= cfg.refinement_iterations,
+            "plan holds {} iterations of query state, config wants {}",
+            plan.max_radius() + 1,
+            cfg.refinement_iterations
+        );
+        assert_eq!(
+            plan.induced(),
+            cfg.induced,
+            "plan and config disagree on induced semantics"
+        );
+        let queries = plan.batch();
 
-        // ❷ allocate candidates + signature state.
+        // ❷ allocate candidates + signature state (query-side state comes
+        // precomputed from the plan).
         let t0 = Instant::now();
         let bitmap = CandidateBitmap::new(queries.num_nodes(), data.num_nodes(), cfg.bitmap_word);
-        let mut query_sigs = SignatureSet::new(queries, cfg.schema.clone());
         let mut data_sigs = SignatureSet::new(data, cfg.schema.clone());
         // Figure 2's input arrows: queries + molecules move host → device.
         queue.record_transfer(
@@ -258,9 +325,9 @@ impl Engine {
 
         // ❸–❹ filter.
         let t1 = Instant::now();
-        initialize_candidates_governed(
+        initialize_candidates_bucketed(
             queue,
-            queries,
+            plan.buckets(),
             data,
             &bitmap,
             cfg.filter_work_group_size,
@@ -270,7 +337,8 @@ impl Engine {
         iterations.push(IterationStats {
             iteration: 1,
             candidates: CandidateStats::from_bitmap(&bitmap),
-            pruned: 0,
+            cleared_bits: 0,
+            dirty_nodes: 0,
         });
         for it in 2..=cfg.refinement_iterations {
             // Refinement only prunes, so stopping between iterations keeps
@@ -278,23 +346,67 @@ impl Engine {
             if governor.heartbeat() {
                 break;
             }
-            query_sigs.advance(queries);
-            data_sigs.advance(data);
-            let pruned = refine_candidates_governed(
-                queue,
-                queries,
-                data,
-                &query_sigs,
-                &data_sigs,
-                &bitmap,
-                cfg.filter_work_group_size,
-                governor,
-            );
+            let radius = it - 1;
+            if cfg.filter_mode == FilterMode::Incremental && radius > plan.last_dirty_radius() {
+                // Query-side fixpoint: no query signature will ever move
+                // again, so no remaining iteration can clear a bit
+                // (DESIGN.md §4b). Skipped work is never charged or ticked.
+                break;
+            }
+            let d_active = data_sigs.advance(data);
+            let (cleared, dirty) = match cfg.filter_mode {
+                FilterMode::Exhaustive | FilterMode::EarlyExit => {
+                    let cleared = refine_candidates_classes(
+                        queue,
+                        data,
+                        &cfg.schema,
+                        plan.classes_at(radius),
+                        &data_sigs,
+                        &bitmap,
+                        cfg.filter_work_group_size,
+                        governor,
+                    );
+                    (cleared, queries.num_nodes() as u64)
+                }
+                FilterMode::Incremental => {
+                    let delta = plan.delta_at(radius);
+                    if delta.is_empty() {
+                        // Rings still moving, but only through wildcard or
+                        // saturated labels: no signature moved, nothing to
+                        // test. Skip the launch entirely.
+                        (0, 0)
+                    } else {
+                        // The transposed kernel scans only the dirty rows'
+                        // bitmap words; dead data graphs are all-zero
+                        // columns and cost 1/64th of a word load each.
+                        let cleared = refine_candidates_delta(
+                            queue,
+                            data,
+                            &cfg.schema,
+                            delta,
+                            &data_sigs,
+                            &bitmap,
+                            governor,
+                        );
+                        (cleared, delta.dirty_rows() as u64)
+                    }
+                }
+            };
             iterations.push(IterationStats {
                 iteration: it,
                 candidates: CandidateStats::from_bitmap(&bitmap),
-                pruned,
+                cleared_bits: cleared,
+                dirty_nodes: dirty,
             });
+            if cfg.filter_mode == FilterMode::EarlyExit
+                && cleared == 0
+                && d_active == 0
+                && plan.active_at(radius) == 0
+            {
+                // Fixpoint: both frontiers drained and nothing cleared —
+                // every further iteration is provably a no-op.
+                break;
+            }
         }
         let filter = t1.elapsed();
 
@@ -305,24 +417,29 @@ impl Engine {
 
         // ❻ join.
         let t3 = Instant::now();
-        let plans: Vec<QueryPlan> = (0..queries.num_graphs())
-            .map(|qg| match cfg.join_order {
-                JoinOrder::MaxDegree => QueryPlan::build(queries, qg, cfg.induced),
-                JoinOrder::MinCandidates => {
-                    // A zero-node query has no min-candidates node and no
-                    // plan: it matches nothing and the join skips it.
-                    match queries
-                        .node_range(qg)
-                        .min_by_key(|&v| bitmap.row_count(v as usize))
-                    {
-                        Some(start) => {
-                            QueryPlan::build_from(queries, qg, cfg.induced, start as NodeId)
+        let min_cand_plans: Vec<JoinPlan>;
+        let plans: &[JoinPlan] = match cfg.join_order {
+            // Max-degree ordering is data-independent: reuse the plan's.
+            JoinOrder::MaxDegree => plan.join_plans(),
+            JoinOrder::MinCandidates => {
+                min_cand_plans = (0..queries.num_graphs())
+                    .map(|qg| {
+                        // A zero-node query has no min-candidates node and
+                        // no plan: it matches nothing, the join skips it.
+                        match queries
+                            .node_range(qg)
+                            .min_by_key(|&v| bitmap.row_count(v as usize))
+                        {
+                            Some(start) => {
+                                JoinPlan::build_from(queries, qg, cfg.induced, start as NodeId)
+                            }
+                            None => JoinPlan::empty(),
                         }
-                        None => QueryPlan::empty(),
-                    }
-                }
-            })
-            .collect();
+                    })
+                    .collect();
+                &min_cand_plans
+            }
+        };
         let params = JoinParams {
             mode: cfg.mode,
             work_group_size: cfg.join_work_group_size,
@@ -330,7 +447,7 @@ impl Engine {
             collect_limit: cfg.collect_limit,
             governor: governor.clone(),
         };
-        let outcome = join(queue, queries, data, &bitmap, &gmcr, &plans, &params);
+        let outcome = join(queue, queries, data, &bitmap, &gmcr, plans, &params);
         // Figure 2's output arrow: matched-pair flags (and any collected
         // embeddings) move device → host.
         queue.record_transfer(
@@ -420,10 +537,81 @@ mod tests {
         let d0 = labeled(&[1, 1, 3], &[(0, 1, 1), (1, 2, 1)]);
         let d1 = labeled(&[1], &[]);
         let engine = Engine::with_defaults();
-        let report = engine.run(&[q], &[d0, d1], &queue());
+        let report = engine.run(&[q.clone()], &[d0.clone(), d1.clone()], &queue());
         assert_eq!(report.total_matches, 1);
         assert_eq!(report.matched_pair_list, vec![(0, 0)]);
-        assert_eq!(report.iterations.len(), 6);
+        // The diameter-1 query converges after radius 1: the default
+        // incremental mode stops after iteration 2 instead of running the
+        // configured 6.
+        assert_eq!(report.iterations.len(), 2);
+        // The exhaustive oracle still runs the full fixed schedule and
+        // produces identical results.
+        let exhaustive = Engine::new(EngineConfig {
+            filter_mode: FilterMode::Exhaustive,
+            ..Default::default()
+        })
+        .run(&[q], &[d0, d1], &queue());
+        assert_eq!(exhaustive.iterations.len(), 6);
+        assert_eq!(exhaustive.total_matches, report.total_matches);
+        assert_eq!(exhaustive.matched_pair_list, report.matched_pair_list);
+    }
+
+    #[test]
+    fn filter_modes_agree_and_stop_early() {
+        let q = labeled(&[1, 3], &[(0, 1, 1)]);
+        let d: Vec<LabeledGraph> = vec![
+            labeled(&[1, 1, 3], &[(0, 1, 1), (1, 2, 1)]),
+            labeled(&[1, 3, 2], &[(0, 1, 1), (0, 2, 1)]),
+            labeled(&[1, 1], &[(0, 1, 1)]),
+        ];
+        let mk = |mode| {
+            Engine::new(EngineConfig {
+                refinement_iterations: 8,
+                filter_mode: mode,
+                ..Default::default()
+            })
+            .run(std::slice::from_ref(&q), &d, &queue())
+        };
+        let ex = mk(FilterMode::Exhaustive);
+        let ee = mk(FilterMode::EarlyExit);
+        let inc = mk(FilterMode::Incremental);
+        assert_eq!(ex.iterations.len(), 8, "exhaustive runs the full schedule");
+        assert!(ee.iterations.len() < 8, "early-exit must stop at fixpoint");
+        assert!(
+            inc.iterations.len() <= ee.iterations.len(),
+            "query convergence implies the generic fixpoint"
+        );
+        for r in [&ee, &inc] {
+            assert_eq!(r.total_matches, ex.total_matches);
+            assert_eq!(r.matched_pair_list, ex.matched_pair_list);
+            assert_eq!(r.gmcr_pairs, ex.gmcr_pairs);
+        }
+        // On the iterations every mode ran, the bitmaps evolve identically.
+        for (a, b) in ex.iterations.iter().zip(&inc.iterations) {
+            assert_eq!(a.candidates.total, b.candidates.total);
+            assert_eq!(a.cleared_bits, b.cleared_bits);
+        }
+        // Delta iterations re-test at most as many rows as exhaustive ones.
+        for (a, b) in ex.iterations.iter().zip(&inc.iterations).skip(1) {
+            assert!(b.dirty_nodes <= a.dirty_nodes);
+        }
+    }
+
+    #[test]
+    fn planned_run_matches_inline_run() {
+        let q = labeled(&[1, 3, 0], &[(0, 1, 1), (0, 2, 1)]);
+        let d = labeled(
+            &[1, 3, 0, 0, 1],
+            &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (0, 4, 1)],
+        );
+        let engine = Engine::with_defaults();
+        let inline = engine.run(std::slice::from_ref(&q), std::slice::from_ref(&d), &queue());
+        let plan = crate::plan::QueryPlan::build(std::slice::from_ref(&q), engine.config());
+        let data = CsrGo::from_graphs(std::slice::from_ref(&d));
+        let planned = engine.run_planned(&plan, &data, &queue());
+        assert_eq!(planned.total_matches, inline.total_matches);
+        assert_eq!(planned.matched_pair_list, inline.matched_pair_list);
+        assert_eq!(planned.iterations.len(), inline.iterations.len());
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 use crate::candidates::CandidateBitmap;
 use crate::governor::Governor;
+use crate::schema::LabelSchema;
 use crate::signature::{Signature, SignatureSet};
 use sigmo_device::Queue;
 use sigmo_graph::{CsrGo, Label, NodeId, WILDCARD_LABEL};
@@ -33,37 +34,60 @@ const INIT_INSTR_PER_QNODE: u64 = 4;
 /// Modeled instruction cost of one domination test (|L| group compares).
 const REFINE_INSTR_PER_TEST: u64 = 24;
 
-/// Per-label query-row lists, built once per batch. `rows_for(dl)` yields
-/// exactly the rows whose candidate bit the init kernel must set for a
-/// data node labeled `dl`: the concrete bucket for `dl` chained with the
-/// wildcard rows. Wildcard query rows live only in the wildcard list, so
-/// every row is yielded at most once for any data label (including the
-/// degenerate case of a wildcard-labeled data node).
+/// Per-label query-row lists, built once per batch (or once per *plan* —
+/// [`crate::plan::QueryPlan`] caches them across stream chunks).
+/// `rows_for(dl)` yields exactly the rows whose candidate bit the init
+/// kernel must set for a data node labeled `dl`: the concrete bucket for
+/// `dl` chained with the wildcard rows. Wildcard query rows live only in
+/// the wildcard list, so every row is yielded at most once for any data
+/// label (including the degenerate case of a wildcard-labeled data node).
+///
+/// Storage is sparse: only labels that actually occur in the batch get a
+/// bucket (molecular batches touch ~a dozen of the 256 possible labels),
+/// and lookup is a linear scan of that short list — cheaper than
+/// allocating 256 `Vec`s per stream chunk ever was.
 pub struct LabelBuckets {
-    by_label: Vec<Vec<u32>>,
+    by_label: Vec<(Label, Vec<u32>)>,
     wildcard: Vec<u32>,
 }
 
 impl LabelBuckets {
-    /// Buckets every query node by its label in one O(|V_Q|) pass.
+    /// Buckets every query node by its label in one O(|V_Q|) pass,
+    /// allocating only for labels the batch actually uses.
     pub fn build(queries: &CsrGo) -> Self {
-        let mut by_label = vec![Vec::new(); 1 + Label::MAX as usize];
+        let mut by_label: Vec<(Label, Vec<u32>)> = Vec::new();
         let mut wildcard = Vec::new();
         for q in 0..queries.num_nodes() {
             let ql = queries.label(q as NodeId);
             if ql == WILDCARD_LABEL {
                 wildcard.push(q as u32);
             } else {
-                by_label[ql as usize].push(q as u32);
+                match by_label.iter_mut().find(|(l, _)| *l == ql) {
+                    Some((_, rows)) => rows.push(q as u32),
+                    None => by_label.push((ql, vec![q as u32])),
+                }
             }
         }
         LabelBuckets { by_label, wildcard }
     }
 
+    /// Number of distinct concrete labels in the batch.
+    pub fn touched_labels(&self) -> usize {
+        self.by_label.len()
+    }
+
+    fn bucket(&self, label: Label) -> &[u32] {
+        self.by_label
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, rows)| rows.as_slice())
+            .unwrap_or(&[])
+    }
+
     /// The query rows matching data label `label`, ascending within each
     /// of the two segments (concrete bucket, then wildcards).
     pub fn rows_for(&self, label: Label) -> impl Iterator<Item = u32> + '_ {
-        self.by_label[label as usize]
+        self.bucket(label)
             .iter()
             .chain(self.wildcard.iter())
             .copied()
@@ -106,27 +130,50 @@ pub fn initialize_candidates_governed(
     governor: &Governor,
 ) {
     let buckets = LabelBuckets::build(queries);
+    initialize_candidates_bucketed(queue, &buckets, data, bitmap, work_group_size, governor)
+}
+
+/// [`initialize_candidates_governed`] with caller-provided
+/// [`LabelBuckets`] — the form [`crate::plan::QueryPlan`] uses so the
+/// buckets are built once per plan instead of once per chunk.
+pub fn initialize_candidates_bucketed(
+    queue: &Queue,
+    buckets: &LabelBuckets,
+    data: &CsrGo,
+    bitmap: &CandidateBitmap,
+    work_group_size: usize,
+    governor: &Governor,
+) {
     let word_bytes = bitmap.word_width().bytes();
-    queue.parallel_for_until(
+    queue.parallel_for_chunks_until(
         "initialize_candidates",
         "filter",
         data.num_nodes(),
         work_group_size,
         || governor.stopped(),
-        |d, counters| {
-            if governor.stopped() {
-                return; // one relaxed load per data node, word-granular
-            }
-            let dl = data.label(d as NodeId);
+        |items, counters| {
+            // Group-local charge accumulation (see the refine kernels):
+            // one counter flush per work-group.
             let mut sets = 0u64;
-            for q in buckets.rows_for(dl) {
-                bitmap.set(q as usize, d);
-                sets += 1;
+            let mut labels = 0u64;
+            let mut visit = |d: usize| {
+                let dl = data.label(d as NodeId);
+                labels += 1;
+                for q in buckets.rows_for(dl) {
+                    bitmap.set(q as usize, d);
+                    sets += 1;
+                }
+            };
+            for d in items {
+                if governor.stopped() {
+                    break; // one relaxed load per data node, word-granular
+                }
+                visit(d);
             }
             // One bucket lookup plus one set per matching row; the dense
             // per-row label compare of the naive kernel is gone.
-            counters.add_instructions(INIT_INSTR_PER_QNODE * sets + 2);
-            counters.add_bytes_read(1); // the data node's label
+            counters.add_instructions(INIT_INSTR_PER_QNODE * sets + 2 * labels);
+            counters.add_bytes_read(labels); // the data nodes' labels
             counters.add_atomics(sets);
             counters.add_bytes_written(sets * word_bytes);
         },
@@ -234,55 +281,95 @@ pub fn refine_candidates_governed(
     work_group_size: usize,
     governor: &Governor,
 ) -> u64 {
-    let schema = query_sigs.schema().clone();
     let classes = SignatureClasses::build(queries, query_sigs);
+    refine_candidates_classes(
+        queue,
+        data,
+        query_sigs.schema(),
+        &classes,
+        data_sigs,
+        bitmap,
+        work_group_size,
+        governor,
+    )
+}
+
+/// [`refine_candidates_governed`] with caller-provided
+/// [`SignatureClasses`]: the form [`crate::plan::QueryPlan`] uses so the
+/// classes are built (and memoized across converged radii) once per plan
+/// instead of once per kernel launch.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_candidates_classes(
+    queue: &Queue,
+    data: &CsrGo,
+    schema: &LabelSchema,
+    classes: &SignatureClasses,
+    data_sigs: &SignatureSet,
+    bitmap: &CandidateBitmap,
+    work_group_size: usize,
+    governor: &Governor,
+) -> u64 {
     let word_bytes = bitmap.word_width().bytes();
-    let snap = queue.parallel_for_until(
+    let snap = queue.parallel_for_chunks_until(
         "refine_candidates",
         "filter",
         data.num_nodes(),
         work_group_size,
         || governor.stopped(),
-        |d, counters| {
-            if governor.stopped() {
-                return; // consult once per data node, never per bit
-            }
-            let dsig = data_sigs.signature(d as NodeId);
+        |items, counters| {
+            // Modeled charges accumulate in group-locals and flush once per
+            // work-group: the shared counter atomics cost a handful of RMWs
+            // per group, not several per data node.
             let mut cleared = 0u64;
             let mut tests = 0u64;
             let mut probes = 0u64;
-            // The paper prefetches the relevant bitmap words into local
-            // memory per work-group; on the host executor the row words are
-            // already cache-resident, so we charge the modeled traffic and
-            // read the shared bitmap directly.
-            for (qsig, members) in classes.classes() {
-                // Probe members until the first surviving bit decides
-                // whether this class needs a test at all.
-                let mut first_live = None;
-                for (i, &q) in members.iter().enumerate() {
-                    probes += 1;
-                    if bitmap.get(q as usize, d) {
-                        first_live = Some(i);
-                        break;
+            let mut trip_sq = 0u64;
+            let mut items_run = 0u64;
+            let mut visit = |d: usize| {
+                let dsig = data_sigs.signature(d as NodeId);
+                let mut node_tests = 0u64;
+                // The paper prefetches the relevant bitmap words into local
+                // memory per work-group; on the host executor the row words
+                // are already cache-resident, so we charge the modeled
+                // traffic and read the shared bitmap directly.
+                for (qsig, members) in classes.classes() {
+                    // Probe members until the first surviving bit decides
+                    // whether this class needs a test at all.
+                    let mut first_live = None;
+                    for (i, &q) in members.iter().enumerate() {
+                        probes += 1;
+                        if bitmap.get(q as usize, d) {
+                            first_live = Some(i);
+                            break;
+                        }
+                    }
+                    let Some(first_live) = first_live else {
+                        continue;
+                    };
+                    node_tests += 1;
+                    if dsig.dominates(schema, qsig) {
+                        // Every member bit survives; the rest need no probe.
+                        continue;
+                    }
+                    bitmap.clear(members[first_live] as usize, d);
+                    cleared += 1;
+                    for &q in &members[first_live + 1..] {
+                        probes += 1;
+                        if bitmap.get(q as usize, d) {
+                            bitmap.clear(q as usize, d);
+                            cleared += 1;
+                        }
                     }
                 }
-                let Some(first_live) = first_live else {
-                    continue;
-                };
-                tests += 1;
-                if dsig.dominates(&schema, qsig) {
-                    // Every member bit survives; the rest need no probe.
-                    continue;
+                tests += node_tests;
+                trip_sq += node_tests * node_tests;
+                items_run += 1;
+            };
+            for d in items {
+                if governor.stopped() {
+                    break; // consult once per data node, never per bit
                 }
-                bitmap.clear(members[first_live] as usize, d);
-                cleared += 1;
-                for &q in &members[first_live + 1..] {
-                    probes += 1;
-                    if bitmap.get(q as usize, d) {
-                        bitmap.clear(q as usize, d);
-                        cleared += 1;
-                    }
-                }
+                visit(d);
             }
             counters.add_instructions(REFINE_INSTR_PER_TEST * tests + probes);
             // Each probed row costs exactly one bitmap word (the word of
@@ -293,7 +380,192 @@ pub fn refine_candidates_governed(
             counters.add_bytes_read(tests * 16);
             counters.add_atomics(cleared);
             counters.add_bytes_written(cleared * word_bytes);
-            counters.record_trips(tests);
+            counters.record_trip_moments(tests, trip_sq, items_run);
+        },
+    );
+    snap.atomic_ops
+}
+
+/// The dirty query rows of one refinement radius, flattened for the
+/// transposed (row-major) delta kernel: rows whose signature *changed*
+/// when the query [`SignatureSet`] advanced to this radius, each carrying
+/// its new signature and its signature class's moved-field mask.
+///
+/// Restricting refinement to these rows is *exact*, not heuristic, by two
+/// monotonicity facts (DESIGN.md §4b): `Signature::add` only grows
+/// per-group counts, so data signatures grow pointwise with radius; and
+/// domination `dsig ⊒ qsig` is monotone in `dsig`. A bit that survived
+/// radius `r−1` against a query signature that did not move at radius `r`
+/// therefore still satisfies `dsig_r ⊒ dsig_{r−1} ⊒ qsig_{r−1} = qsig_r`
+/// — only rows whose signature moved can lose bits.
+pub struct DeltaClasses {
+    rows: Vec<DeltaRow>,
+}
+
+/// One dirty query row at one radius.
+pub struct DeltaRow {
+    /// The row's signature at this radius.
+    pub sig: Signature,
+    /// Union, over the rows sharing `sig`, of the schema groups whose
+    /// count moved reaching this radius (bit `i` = schema group `i`). The
+    /// kernel's domination test checks only these fields — exact per live
+    /// bit, because a surviving bit's data signature already dominates
+    /// every unmoved field (the monotonicity argument above), and the
+    /// union can only add fields the full test would also check.
+    pub changed: u64,
+    /// The dirty query row index.
+    pub row: u32,
+}
+
+impl DeltaClasses {
+    /// Collects the rows with `prev[q] != cur[q]` in one O(|V_Q|) pass,
+    /// recording per signature class which schema fields moved (the union
+    /// over class members — exact for every member, since a skipped field
+    /// is unmoved for *all* of them). Deterministic: rows stay in
+    /// ascending order.
+    pub fn build(schema: &LabelSchema, prev: &[Signature], cur: &[Signature]) -> Self {
+        let mut index: std::collections::HashMap<Signature, usize> =
+            std::collections::HashMap::new();
+        let mut classes: Vec<u64> = Vec::new(); // moved-field union per class
+        let mut dirty: Vec<(u32, u32)> = Vec::new(); // (row, class)
+        for q in 0..cur.len() {
+            let moved = cur[q].diff_groups(schema, &prev[q]);
+            if moved == 0 {
+                continue;
+            }
+            let class = *index.entry(cur[q]).or_insert_with(|| {
+                classes.push(0);
+                classes.len() - 1
+            });
+            classes[class] |= moved;
+            dirty.push((q as u32, class as u32));
+        }
+        let rows = dirty
+            .into_iter()
+            .map(|(row, class)| DeltaRow {
+                sig: cur[row as usize],
+                changed: classes[class as usize],
+                row,
+            })
+            .collect();
+        DeltaClasses { rows }
+    }
+
+    /// True when no query signature moved at this radius — the refine
+    /// launch for this iteration can be skipped entirely.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of dirty query rows (the `dirty_nodes` of
+    /// [`crate::IterationStats`]).
+    pub fn dirty_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The dirty rows, ascending — the delta kernel's work-items.
+    pub fn rows(&self) -> &[DeltaRow] {
+        &self.rows
+    }
+}
+
+/// Dirty rows dispatched per work-group of the transposed delta kernel.
+/// A row work-item scans its whole candidate row — three orders of
+/// magnitude heavier than the node work-items of the full kernel — so the
+/// groups stay small to keep every core busy even at a few hundred dirty
+/// rows.
+const DELTA_ROWS_PER_GROUP: usize = 4;
+
+/// The RefineCandidates kernel restricted to one radius' dirty work,
+/// *transposed*: one work-item per dirty query row (not per data node),
+/// which enumerates its own live candidate bits word-parallel
+/// ([`CandidateBitmap::iter_set_in_range`]) and applies the
+/// field-restricted domination verdict at each live bit. Work is
+/// O(bitmap words + live bits) in the dirty rows — columns whose bits are
+/// long gone cost 1/64th of a word load, and data graphs with no live bit
+/// anywhere (the per-graph deadness the convergence machinery tracks) are
+/// skipped wholesale for free, because their columns are all-zero words.
+/// Skipped work is never charged or ticked, so the word-read accounting in
+/// `KernelSummary` reflects the real savings.
+///
+/// Bit-identical to running the full class set through
+/// [`refine_candidates_classes`] at the same radius: the verdict for a
+/// live bit `(q, d)` depends only on the two signatures, and the
+/// field-restricted test is exact per live bit (see [`DeltaRow`]; the
+/// differential and property tests pin it). Rows are disjoint across
+/// work-items, so clears never race.
+///
+/// Returns the number of bits cleared.
+pub fn refine_candidates_delta(
+    queue: &Queue,
+    data: &CsrGo,
+    schema: &LabelSchema,
+    delta: &DeltaClasses,
+    data_sigs: &SignatureSet,
+    bitmap: &CandidateBitmap,
+    governor: &Governor,
+) -> u64 {
+    let word_bytes = bitmap.word_width().bytes();
+    let n = data.num_nodes();
+    let row_words = n.div_ceil(64) as u64;
+    let rows = delta.rows();
+    let snap = queue.parallel_for_chunks_until(
+        "refine_candidates",
+        "filter",
+        rows.len(),
+        DELTA_ROWS_PER_GROUP,
+        || governor.stopped(),
+        |items, counters| {
+            // Group-local charge accumulation, flushed once per work-group
+            // (same convention as `refine_candidates_classes`).
+            let mut cleared = 0u64;
+            let mut tests = 0u64;
+            let mut test_instr = 0u64;
+            let mut words = 0u64;
+            let mut trip_sq = 0u64;
+            let mut rows_run = 0u64;
+            let mut visit = |r: usize| {
+                let dirty = &rows[r];
+                let q = dirty.row as usize;
+                // Field-restricted test: ~2 instructions per moved field
+                // instead of one compare per schema group (see
+                // [`DeltaRow::changed`]).
+                let mask_cost = 2 * u64::from(dirty.changed.count_ones()) + 2;
+                let mut row_tests = 0u64;
+                for d in bitmap.iter_set_in_range(q, 0, n) {
+                    row_tests += 1;
+                    if !data_sigs.signature(d as NodeId).dominates_groups(
+                        schema,
+                        &dirty.sig,
+                        dirty.changed,
+                    ) {
+                        bitmap.clear(q, d);
+                        cleared += 1;
+                    }
+                }
+                words += row_words;
+                tests += row_tests;
+                test_instr += mask_cost * row_tests;
+                trip_sq += row_tests * row_tests;
+                rows_run += 1;
+            };
+            for r in items {
+                if governor.stopped() {
+                    break; // consult once per row, never per bit
+                }
+                visit(r);
+            }
+            // Cost model of the transposed kernel: every bitmap word of a
+            // scanned row is loaded exactly once (word-granular traffic);
+            // each live bit costs one data-signature load (8 bytes) and a
+            // masked domination test; each scanned row loads its own
+            // signature + mask once (16 bytes).
+            counters.add_instructions(test_instr + words);
+            counters.add_word_reads(words, word_bytes);
+            counters.add_bytes_read(tests * 8 + rows_run * 16);
+            counters.add_atomics(cleared);
+            counters.add_bytes_written(cleared * word_bytes);
+            counters.record_trip_moments(tests, trip_sq, rows_run);
         },
     );
     snap.atomic_ops

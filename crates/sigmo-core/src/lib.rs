@@ -40,19 +40,21 @@ pub mod join_bfs;
 pub mod mapping;
 pub mod memory;
 pub mod naive;
+pub mod plan;
 pub mod schema;
 pub mod signature;
 pub mod stats;
 pub mod stream;
 
 pub use candidates::{CandidateBitmap, WordWidth};
-pub use engine::{Engine, EngineConfig, JoinOrder, MatchMode, PhaseTimings, RunReport};
-pub use filter::{LabelBuckets, SignatureClasses};
+pub use engine::{Engine, EngineConfig, FilterMode, JoinOrder, MatchMode, PhaseTimings, RunReport};
+pub use filter::{DeltaClasses, LabelBuckets, SignatureClasses};
 pub use governor::{CancelToken, Completion, Governor, RunBudget, TruncationReason};
 pub use join::{JoinOutcome, MatchRecord};
 pub use join_bfs::{join_bfs, BfsJoinOutcome};
 pub use mapping::Gmcr;
 pub use memory::{estimate as estimate_memory, estimate_scaled, max_scale_factor, MemoryEstimate};
+pub use plan::QueryPlan;
 pub use schema::LabelSchema;
 pub use signature::{Signature, SignatureSet};
 pub use stats::{CandidateStats, IterationStats};

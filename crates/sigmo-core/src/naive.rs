@@ -16,6 +16,7 @@
 //! parallelism — so they stay an independent oracle.
 
 use crate::candidates::CandidateBitmap;
+use crate::schema::LabelSchema;
 use crate::signature::SignatureSet;
 use sigmo_graph::{CsrGo, NodeId, WILDCARD_LABEL};
 
@@ -66,6 +67,35 @@ pub fn refine_candidates(
     cleared
 }
 
+/// Per-bit reference of the *whole* filter phase: init plus exactly
+/// `iterations − 1` exhaustive refine rounds, never exiting early and
+/// never skipping clean rows or dead graphs. This is the oracle the
+/// convergence-driven paths (fixpoint early-exit, delta-driven refine,
+/// plan reuse) are pinned against: because refinement is monotone — query
+/// signatures stop moving and extra rounds against unchanged signatures
+/// cannot clear a bit — the incremental engine must produce a
+/// *bit-identical* bitmap to this exhaustive form. Returns the total bits
+/// cleared across rounds.
+pub fn reference_filter(
+    queries: &CsrGo,
+    data: &CsrGo,
+    schema: &LabelSchema,
+    iterations: usize,
+    bitmap: &CandidateBitmap,
+) -> u64 {
+    assert!(iterations >= 1, "need ≥ 1 iteration");
+    initialize_candidates(queries, data, bitmap);
+    let mut query_sigs = SignatureSet::new(queries, schema.clone());
+    let mut data_sigs = SignatureSet::new(data, schema.clone());
+    let mut cleared = 0u64;
+    for _ in 2..=iterations {
+        query_sigs.advance(queries);
+        data_sigs.advance(data);
+        cleared += refine_candidates(queries, &query_sigs, &data_sigs, bitmap, data.num_nodes());
+    }
+    cleared
+}
+
 /// Per-bit candidate enumeration: probes every column of `[col_lo, col_hi)`
 /// with `get`, in ascending order.
 // sigmo-lint: allow(per-bit-probe) — oracle for iter_set_in_range; the
@@ -95,6 +125,21 @@ pub fn next_set_in_range(
 mod tests {
     use super::*;
     use crate::candidates::WordWidth;
+
+    #[test]
+    fn reference_filter_one_iteration_is_init_only() {
+        use crate::candidates::WordWidth;
+        use sigmo_graph::LabeledGraph;
+        let queries = CsrGo::from_graphs(&[LabeledGraph::from_edges(&[1, 3], &[(0, 1)]).unwrap()]);
+        let data = CsrGo::from_graphs(&[LabeledGraph::from_edges(&[1, 1, 3], &[(0, 1)]).unwrap()]);
+        let schema = LabelSchema::organic();
+        let bitmap = CandidateBitmap::new(queries.num_nodes(), data.num_nodes(), WordWidth::U64);
+        let cleared = reference_filter(&queries, &data, &schema, 1, &bitmap);
+        assert_eq!(cleared, 0, "a single iteration never refines");
+        // Label matches only: query C row has two C columns, O row one O.
+        assert_eq!(bitmap.row_count(0), 2);
+        assert_eq!(bitmap.row_count(1), 1);
+    }
 
     #[test]
     fn enumerate_row_matches_word_parallel() {

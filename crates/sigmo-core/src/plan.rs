@@ -1,0 +1,274 @@
+//! Reusable query-side plans: everything the filter and join phases can
+//! precompute from the query batch alone, built once and shared.
+//!
+//! The streaming runner used to rebuild the query CSR-GO, the
+//! [`LabelBuckets`], the per-radius query signatures, and the
+//! [`SignatureClasses`] for *every* chunk — and the cluster simulator
+//! replays the same query batch on every rank. All of that state is a
+//! pure function of the query batch and the engine configuration, so
+//! [`QueryPlan`] computes it exactly once:
+//!
+//! * query signatures advanced through every radius the configured
+//!   iteration count can reach, with the per-radius *active* counts the
+//!   engine's fixpoint early-exit consumes;
+//! * [`SignatureClasses`] per radius, memoized — a radius where no query
+//!   signature moved shares the previous radius' classes by `Arc` instead
+//!   of rebuilding them;
+//! * [`DeltaClasses`] per radius — the dirty rows the incremental refine
+//!   kernel re-tests (empty once the query side converges, which is what
+//!   lets the engine stop refining early);
+//! * the label buckets for candidate initialization and the max-degree
+//!   join plans.
+//!
+//! The plan is immutable and `Sync`: [`crate::StreamRunner`] builds one
+//! per stream and every chunk borrows it; `sigmo-cluster` builds one per
+//! run and every rank borrows it.
+
+use crate::engine::EngineConfig;
+use crate::filter::{DeltaClasses, LabelBuckets, SignatureClasses};
+use crate::join;
+use crate::schema::LabelSchema;
+use crate::signature::{Signature, SignatureSet};
+use sigmo_graph::{CsrGo, LabeledGraph};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-wide count of [`QueryPlan`] constructions. Test instrumentation
+/// only: the stream/cluster reuse pins assert a multi-chunk run builds
+/// exactly one plan.
+static PLAN_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of plans built so far in this process (test instrumentation).
+#[doc(hidden)]
+pub fn plan_build_count() -> u64 {
+    PLAN_BUILDS.load(Ordering::Relaxed)
+}
+
+/// Query-side filter state at one refinement radius.
+struct RadiusState {
+    /// Every query node's signature at this radius.
+    sigs: Vec<Signature>,
+    /// Signature-equivalence classes at this radius; shares the previous
+    /// radius' `Arc` when no signature moved.
+    classes: Arc<SignatureClasses>,
+    /// Dirty rows (signature moved reaching this radius), grouped for the
+    /// delta kernel.
+    delta: DeltaClasses,
+    /// Nodes whose BFS ring was non-empty during the advance to this
+    /// radius ([`SignatureSet::advance`]'s return).
+    active: usize,
+}
+
+/// Precomputed, immutable query-side state for [`crate::Engine`] runs.
+pub struct QueryPlan {
+    csr: CsrGo,
+    schema: LabelSchema,
+    induced: bool,
+    buckets: LabelBuckets,
+    /// `radii[r - 1]` is the state at radius `r` (used by iteration
+    /// `r + 1`); radius 0 is the all-empty signature set and needs no
+    /// entry.
+    radii: Vec<RadiusState>,
+    /// Largest radius with a non-empty delta (0 when no signature ever
+    /// moves). Iterations beyond `last_dirty_radius + 1` cannot clear a
+    /// bit, so the incremental engine stops there.
+    last_dirty_radius: usize,
+    /// How many times `SignatureClasses` were actually rebuilt (≤ number
+    /// of radii; the memoization pin tests read this).
+    classes_builds: usize,
+    /// Max-degree join plans per query graph (the data-aware
+    /// min-candidates ordering still has to be built per run).
+    join_plans: Vec<join::QueryPlan>,
+}
+
+impl QueryPlan {
+    /// Builds a plan from raw query graphs.
+    pub fn build(query_graphs: &[LabeledGraph], config: &EngineConfig) -> Self {
+        Self::from_batch(CsrGo::from_graphs(query_graphs), config)
+    }
+
+    /// Builds a plan from an already-batched query CSR-GO.
+    pub fn from_batch(csr: CsrGo, config: &EngineConfig) -> Self {
+        assert!(config.refinement_iterations >= 1, "need ≥ 1 iteration");
+        PLAN_BUILDS.fetch_add(1, Ordering::Relaxed);
+        let buckets = LabelBuckets::build(&csr);
+        let max_radius = config.refinement_iterations - 1;
+        let mut set = SignatureSet::new(&csr, config.schema.clone());
+        let mut radii: Vec<RadiusState> = Vec::with_capacity(max_radius);
+        let mut last_dirty_radius = 0usize;
+        let mut classes_builds = 0usize;
+        let mut prev_sigs: Vec<Signature> = set.signatures().to_vec();
+        for r in 1..=max_radius {
+            let active = set.advance(&csr);
+            let sigs = set.signatures().to_vec();
+            let delta = DeltaClasses::build(&config.schema, &prev_sigs, &sigs);
+            if !delta.is_empty() {
+                last_dirty_radius = r;
+            }
+            // A radius where nothing moved keeps the previous classes —
+            // same signatures, same first-seen grouping.
+            let classes = match radii.last() {
+                Some(prev) if delta.is_empty() => Arc::clone(&prev.classes),
+                _ => {
+                    classes_builds += 1;
+                    Arc::new(SignatureClasses::build(&csr, &set))
+                }
+            };
+            prev_sigs = sigs.clone();
+            radii.push(RadiusState {
+                sigs,
+                classes,
+                delta,
+                active,
+            });
+        }
+        let join_plans = (0..csr.num_graphs())
+            .map(|qg| join::QueryPlan::build(&csr, qg, config.induced))
+            .collect();
+        Self {
+            csr,
+            schema: config.schema.clone(),
+            induced: config.induced,
+            buckets,
+            radii,
+            last_dirty_radius,
+            classes_builds,
+            join_plans,
+        }
+    }
+
+    /// The batched query graphs.
+    pub fn batch(&self) -> &CsrGo {
+        &self.csr
+    }
+
+    /// The signature schema the plan was built with.
+    pub fn schema(&self) -> &LabelSchema {
+        &self.schema
+    }
+
+    /// Whether the join plans use induced semantics.
+    pub fn induced(&self) -> bool {
+        self.induced
+    }
+
+    /// The label buckets for candidate initialization.
+    pub fn buckets(&self) -> &LabelBuckets {
+        &self.buckets
+    }
+
+    /// Largest radius the plan holds state for
+    /// (`refinement_iterations − 1` at build time).
+    pub fn max_radius(&self) -> usize {
+        self.radii.len()
+    }
+
+    /// Largest radius at which any query signature still moved. Refinement
+    /// iterations beyond `last_dirty_radius() + 1` cannot clear a bit.
+    pub fn last_dirty_radius(&self) -> usize {
+        self.last_dirty_radius
+    }
+
+    /// How many distinct `SignatureClasses` were built (the rest were
+    /// memoized from the previous radius).
+    pub fn classes_builds(&self) -> usize {
+        self.classes_builds
+    }
+
+    fn state(&self, radius: usize) -> &RadiusState {
+        assert!(
+            (1..=self.radii.len()).contains(&radius),
+            "plan holds radii 1..={}, asked for {radius}",
+            self.radii.len()
+        );
+        &self.radii[radius - 1]
+    }
+
+    /// Every query signature at `radius` (1-based).
+    pub fn signatures_at(&self, radius: usize) -> &[Signature] {
+        &self.state(radius).sigs
+    }
+
+    /// The signature classes at `radius` (1-based).
+    pub fn classes_at(&self, radius: usize) -> &SignatureClasses {
+        &self.state(radius).classes
+    }
+
+    /// The dirty-row delta at `radius` (1-based).
+    pub fn delta_at(&self, radius: usize) -> &DeltaClasses {
+        &self.state(radius).delta
+    }
+
+    /// Query nodes whose BFS frontier was still active when advancing to
+    /// `radius` (1-based).
+    pub fn active_at(&self, radius: usize) -> usize {
+        self.state(radius).active
+    }
+
+    /// The precomputed max-degree join plans, one per query graph.
+    pub fn join_plans(&self) -> &[join::QueryPlan] {
+        &self.join_plans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmo_graph::LabeledGraph;
+
+    fn queries() -> Vec<LabeledGraph> {
+        vec![
+            // C-O and a lone C: tiny diameters, fast convergence.
+            LabeledGraph::from_edges(&[1, 3], &[(0, 1)]).unwrap(),
+            LabeledGraph::from_edges(&[1], &[]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn plan_converges_and_memoizes_classes() {
+        let cfg = EngineConfig::default(); // 6 iterations → radii 1..=5
+        let plan = QueryPlan::build(&queries(), &cfg);
+        assert_eq!(plan.max_radius(), 5);
+        // C-O has diameter 1: signatures move only at radius 1.
+        assert_eq!(plan.last_dirty_radius(), 1);
+        assert!(!plan.delta_at(1).is_empty());
+        assert!(plan.delta_at(2).is_empty());
+        // Classes rebuilt once (radius 1); radii 2..=5 share that Arc.
+        assert_eq!(plan.classes_builds(), 1);
+        assert_eq!(
+            plan.classes_at(2).classes().len(),
+            plan.classes_at(5).classes().len()
+        );
+        // Frontier counts drain: every node's radius-0 ring (itself) is
+        // non-empty entering the first advance, the isolated node drains
+        // there, and the C-O pair drains during the radius-2 call.
+        assert_eq!(plan.active_at(1), 3);
+        assert_eq!(plan.active_at(2), 2);
+        assert_eq!(plan.active_at(3), 0);
+    }
+
+    #[test]
+    fn plan_signatures_match_a_fresh_signature_set() {
+        let cfg = EngineConfig::with_iterations(4);
+        let plan = QueryPlan::build(&queries(), &cfg);
+        let csr = CsrGo::from_graphs(&queries());
+        let mut set = SignatureSet::new(&csr, cfg.schema.clone());
+        for r in 1..=3usize {
+            set.advance(&csr);
+            assert_eq!(plan.signatures_at(r), set.signatures(), "radius {r}");
+        }
+    }
+
+    #[test]
+    fn join_plans_cover_every_query_graph() {
+        let plan = QueryPlan::build(&queries(), &EngineConfig::default());
+        assert_eq!(plan.join_plans().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "radii 1..=5")]
+    fn out_of_range_radius_panics() {
+        let plan = QueryPlan::build(&queries(), &EngineConfig::default());
+        plan.classes_at(6);
+    }
+}

@@ -70,6 +70,12 @@ impl CandidateStats {
 
 /// Statistics of one refinement iteration, combining candidate pruning with
 /// the iteration's timings (Figures 5 and 6 share these rows).
+///
+/// With convergence-driven filtering the vector of these records is also
+/// the run's *actual* iteration trace: an engine that exits at the filter
+/// fixpoint reports fewer entries than `refinement_iterations`, and the
+/// `cleared_bits` / `dirty_nodes` pair makes the early-exit and delta
+/// behavior observable (surfaced by the CLI `--profile` table).
 #[derive(Debug, Clone, Serialize)]
 pub struct IterationStats {
     /// 1-based refinement iteration (1 = label-only initialization).
@@ -77,7 +83,11 @@ pub struct IterationStats {
     /// Candidate summary after this iteration's refinement.
     pub candidates: CandidateStats,
     /// Bits cleared by this iteration's refine kernel.
-    pub pruned: u64,
+    pub cleared_bits: u64,
+    /// Query rows whose signature moved at this radius — the rows the
+    /// delta kernel re-tested. Exhaustive (non-incremental) iterations
+    /// count every query row; iteration 1 (init) reports 0.
+    pub dirty_nodes: u64,
 }
 
 #[cfg(test)]

@@ -12,8 +12,9 @@
 use crate::engine::{Engine, EngineConfig};
 use crate::governor::{CancelToken, Completion, Governor, RunBudget, TruncationReason};
 use crate::memory::estimate;
+use crate::plan::QueryPlan;
 use sigmo_device::Queue;
-use sigmo_graph::LabeledGraph;
+use sigmo_graph::{CsrGo, LabeledGraph};
 use std::time::Duration;
 
 /// One molecule isolated by the poisoned-chunk protocol: it tripped the
@@ -138,10 +139,15 @@ impl StreamRunner {
     /// pipeline runs and the chunk is dropped. A single molecule that
     /// exceeds the budget on its own is processed alone (the engine still
     /// works; the budget is advisory for such outliers).
+    ///
+    /// The query-side [`QueryPlan`] (signatures at every radius, label
+    /// buckets, signature classes, join plans) is built exactly once here
+    /// and shared by every chunk — the stream only re-does data-side work.
     pub fn run<I>(&self, queries: &[LabeledGraph], stream: I, queue: &Queue) -> StreamReport
     where
         I: IntoIterator<Item = LabeledGraph>,
     {
+        let plan = QueryPlan::build(queries, self.engine.config());
         let mut report = StreamReport::default();
         let mut chunk: Vec<LabeledGraph> = Vec::new();
         let mut base_index = 0usize;
@@ -165,14 +171,28 @@ impl StreamRunner {
                 } else {
                     chunk.pop()
                 };
-                self.flush(queries, &mut chunk, &mut base_index, queue, &mut report);
+                self.flush(
+                    queries,
+                    &plan,
+                    &mut chunk,
+                    &mut base_index,
+                    queue,
+                    &mut report,
+                );
                 if let Some(m) = spill {
                     chunk.push(m);
                 }
             }
         }
         if !chunk.is_empty() && !self.cancel.is_cancelled() {
-            self.flush(queries, &mut chunk, &mut base_index, queue, &mut report);
+            self.flush(
+                queries,
+                &plan,
+                &mut chunk,
+                &mut base_index,
+                queue,
+                &mut report,
+            );
         }
         if self.cancel.is_cancelled() {
             report.completion = report
@@ -185,6 +205,7 @@ impl StreamRunner {
     fn flush(
         &self,
         queries: &[LabeledGraph],
+        plan: &QueryPlan,
         chunk: &mut Vec<LabeledGraph>,
         base_index: &mut usize,
         queue: &Queue,
@@ -192,7 +213,7 @@ impl StreamRunner {
     ) {
         let est = estimate(queries, chunk).total();
         report.peak_chunk_bytes = report.peak_chunk_bytes.max(est);
-        self.run_span(queries, chunk, *base_index, queue, report);
+        self.run_span(plan, chunk, *base_index, queue, report);
         report.molecules += chunk.len();
         *base_index += chunk.len();
         chunk.clear();
@@ -205,16 +226,17 @@ impl StreamRunner {
     /// nothing will be retried).
     fn run_span(
         &self,
-        queries: &[LabeledGraph],
+        plan: &QueryPlan,
         span: &[LabeledGraph],
         base_index: usize,
         queue: &Queue,
         report: &mut StreamReport,
     ) {
         let governor = Governor::with_cancel(&self.budget, self.cancel.clone());
+        let data = CsrGo::from_graphs(span);
         let run = self
             .engine
-            .run_with_governor(queries, span, queue, &governor);
+            .run_planned_with_governor(plan, &data, queue, &governor);
         report.total_time += run.timings.total();
         match run.completion {
             Completion::Complete => {
@@ -244,9 +266,9 @@ impl StreamRunner {
                 // AND re-running the halves would double-count), bisect.
                 report.retried_chunks += 1;
                 let mid = span.len() / 2;
-                self.run_span(queries, &span[..mid], base_index, queue, report);
+                self.run_span(plan, &span[..mid], base_index, queue, report);
                 if !self.cancel.is_cancelled() {
-                    self.run_span(queries, &span[mid..], base_index + mid, queue, report);
+                    self.run_span(plan, &span[mid..], base_index + mid, queue, report);
                 }
             }
         }

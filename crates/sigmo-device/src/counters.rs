@@ -140,6 +140,18 @@ impl KernelCounters {
         self.trip_n.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records pre-aggregated trip moments — the `sum` of trips and
+    /// `sq_sum` of squared trips over `n` work-items — in one charge.
+    /// Work-group kernels accumulate per-item trips locally and flush
+    /// once per group; the pooled divergence estimate is exactly what `n`
+    /// individual [`Self::record_trips`] calls would have produced.
+    #[inline]
+    pub fn record_trip_moments(&self, sum: u64, sq_sum: u64, n: u64) {
+        self.trip_sum.fetch_add(sum, Ordering::Relaxed);
+        self.trip_sq_sum.fetch_add(sq_sum, Ordering::Relaxed);
+        self.trip_n.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Takes a snapshot of the current totals.
     pub fn snapshot(&self) -> CounterSnapshot {
         let n = self.trip_n.load(Ordering::Relaxed);
@@ -232,6 +244,20 @@ mod tests {
             c.record_trips(if i == 0 { 1000 } else { 1 });
         }
         assert!(c.snapshot().divergence > 1.0);
+    }
+
+    #[test]
+    fn trip_moments_match_per_item_recording() {
+        let per_item = KernelCounters::new();
+        let pooled = KernelCounters::new();
+        let trips = [0u64, 3, 3, 17, 1];
+        for &t in &trips {
+            per_item.record_trips(t);
+        }
+        let sum: u64 = trips.iter().sum();
+        let sq: u64 = trips.iter().map(|t| t * t).sum();
+        pooled.record_trip_moments(sum, sq, trips.len() as u64);
+        assert_eq!(per_item.snapshot(), pooled.snapshot());
     }
 
     #[test]

@@ -149,6 +149,42 @@ impl Queue {
         S: Fn() -> bool + Sync,
         F: Fn(usize, &KernelCounters) + Sync,
     {
+        self.parallel_for_chunks_until(
+            name,
+            phase,
+            global_size,
+            work_group_size,
+            stop,
+            |items, counters| {
+                for i in items {
+                    body(i, counters);
+                }
+            },
+        )
+    }
+
+    /// [`Queue::parallel_for_until`] dispatched at work-group charge
+    /// granularity: the body receives each group's contiguous work-item
+    /// range (and the launch counters) exactly once, so a kernel can
+    /// accumulate its modeled charges in group-locals and flush them with
+    /// a handful of counter RMWs per *group* instead of several per
+    /// work-item — the shared-atomic traffic that otherwise dominates
+    /// short work-items on the host executor. Dispatch order, stop-probe
+    /// semantics, and the kernel record are identical to
+    /// [`Queue::parallel_for_until`].
+    pub fn parallel_for_chunks_until<S, F>(
+        &self,
+        name: &str,
+        phase: &str,
+        global_size: usize,
+        work_group_size: usize,
+        stop: S,
+        body: F,
+    ) -> CounterSnapshot
+    where
+        S: Fn() -> bool + Sync,
+        F: Fn(std::ops::Range<usize>, &KernelCounters) + Sync,
+    {
         let wg = work_group_size.max(1);
         let counters = KernelCounters::new();
         let skipped = AtomicUsize::new(0);
@@ -161,9 +197,7 @@ impl Queue {
             }
             let lo = g * wg;
             let hi = ((g + 1) * wg).min(global_size);
-            for i in lo..hi {
-                body(i, &counters);
-            }
+            body(lo..hi, &counters);
         });
         let wall = start.elapsed();
         let snap = counters.snapshot();
@@ -337,6 +371,37 @@ mod tests {
         let q = queue();
         q.parallel_for("k", "test", 0, 64, |_, _| panic!("no items expected"));
         assert_eq!(q.records()[0].global_size, 0);
+    }
+
+    #[test]
+    fn chunk_dispatch_partitions_the_range_exactly() {
+        let q = queue();
+        let n = 1001;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let groups = AtomicU64::new(0);
+        q.parallel_for_chunks_until(
+            "k",
+            "test",
+            n,
+            128,
+            || false,
+            |items, c| {
+                groups.fetch_add(1, Ordering::Relaxed);
+                assert!(items.len() <= 128 && !items.is_empty());
+                c.add_instructions(1); // once per *group*, not per item
+                for i in items {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            },
+        );
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        let recs = q.records();
+        assert_eq!(recs[0].global_size, n, "records the exact ND-range size");
+        assert_eq!(
+            recs[0].counters.instructions,
+            groups.load(Ordering::Relaxed)
+        );
+        assert_eq!(groups.load(Ordering::Relaxed), 8); // ceil(1001 / 128)
     }
 
     #[test]

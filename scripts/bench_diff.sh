@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Performance regression gate: re-runs the bench_pipeline workload and
+# compares per-phase wall times (plus the refine_candidates kernel wall
+# and the match totals) against the committed BENCH_pipeline.json.
+# Fails on a >25% phase regression or any drift in the match totals.
+#
+# Environment:
+#   SIGMO_BENCH_SCALE          must match the committed baseline's scale
+#                              (the bin checks and says so if not)
+#   SIGMO_BENCH_DIFF_BASELINE  alternate baseline path
+#
+# Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -q -p sigmo-bench --bin bench_diff

@@ -8,8 +8,13 @@
 #                                 per-bit probes, atomic orderings,
 #                                 uncharged traffic, unsafe, kernel allocs)
 #   5. cargo bench --no-run       compile check of every bench target
+#   6. ablate_filter_convergence  filter-mode ablation; asserts the
+#                                 incremental refine path stays ≥2× faster
+#                                 than exhaustive with identical totals
+#   7. scripts/bench_diff.sh      per-phase wall-time regression gate vs
+#                                 the committed BENCH_pipeline.json
 #
-# `--fast` skips the bench compilation (stage 5) for quick pre-push runs.
+# `--fast` skips the bench stages (5-7) for quick pre-push runs.
 # `--pathological` adds a governor smoke stage: the ext_pathological
 # binary must terminate the wildcard-clique workload under its 2 s
 # deadline with a Truncated(Deadline) partial result (it asserts this
@@ -34,6 +39,8 @@ cargo test -q
 cargo run -q --release -p sigmo-lint -- --root .
 if [ "$FAST" -eq 0 ]; then
     cargo bench --no-run
+    cargo bench -p sigmo-bench --bench ablate_filter_convergence
+    scripts/bench_diff.sh
 fi
 if [ "$PATHOLOGICAL" -eq 1 ]; then
     cargo run -q --release -p sigmo-bench --bin ext_pathological

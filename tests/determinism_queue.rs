@@ -13,7 +13,9 @@
 //! integration-test file runs as its own process, so the env var cannot
 //! race another test.
 
-use sigmo::core::{Completion, Engine, EngineConfig, Governor, RunBudget, TruncationReason};
+use sigmo::core::{
+    Completion, Engine, EngineConfig, FilterMode, Governor, RunBudget, TruncationReason,
+};
 use sigmo::device::{DeviceProfile, KernelRecord, Queue};
 use sigmo::graph::LabeledGraph;
 use sigmo::mol::{functional_groups, MoleculeGenerator};
@@ -132,6 +134,49 @@ fn step_budget_truncation_is_identical_across_thread_counts() {
     assert_eq!(m1, m8, "partial totals diverged between 1 and 8 threads");
     assert_eq!(r1, r4, "kernel records diverged between 1 and 4 threads");
     assert_eq!(r1, r8, "kernel records diverged between 1 and 8 threads");
+}
+
+fn run_pipeline_mode(threads: &str, mode: FilterMode) -> (u64, Vec<RecordKey>) {
+    std::env::set_var("RAYON_NUM_THREADS", threads);
+    let (queries, data) = workload();
+    let queue = Queue::new(DeviceProfile::host());
+    let report = Engine::new(EngineConfig {
+        filter_mode: mode,
+        ..EngineConfig::with_iterations(4)
+    })
+    .run(&queries, &data, &queue);
+    (report.total_matches, record_keys(&queue.records()))
+}
+
+#[test]
+fn every_filter_mode_is_deterministic_across_thread_counts() {
+    // The delta-driven path is the risky one: per-graph alive snapshots
+    // and dirty-row scheduling must not let the thread interleaving leak
+    // into which work is skipped. Each mode's kernel records (launch
+    // geometry + counter totals) must be a pure function of the workload.
+    let _guard = ENV_LOCK.lock().unwrap();
+    let mut totals = Vec::new();
+    for mode in [
+        FilterMode::Exhaustive,
+        FilterMode::EarlyExit,
+        FilterMode::Incremental,
+    ] {
+        let (m1, r1) = run_pipeline_mode("1", mode);
+        let (m4, r4) = run_pipeline_mode("4", mode);
+        let (m8, r8) = run_pipeline_mode("8", mode);
+        assert_eq!(m1, m4, "{mode:?} totals diverged between 1 and 4 threads");
+        assert_eq!(m1, m8, "{mode:?} totals diverged between 1 and 8 threads");
+        assert_eq!(r1, r4, "{mode:?} records diverged between 1 and 4 threads");
+        assert_eq!(r1, r8, "{mode:?} records diverged between 1 and 8 threads");
+        totals.push(m1);
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert!(
+        totals[0] > 0,
+        "workload produced no matches — test is vacuous"
+    );
+    assert_eq!(totals[0], totals[1], "EarlyExit changed the match total");
+    assert_eq!(totals[0], totals[2], "Incremental changed the match total");
 }
 
 #[test]

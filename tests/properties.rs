@@ -3,9 +3,12 @@
 use proptest::prelude::*;
 use sigmo::baselines::Matcher;
 use sigmo::baselines::{brute_force_count, UllmannMatcher, Vf3Matcher};
-use sigmo::core::{filter, naive, CandidateBitmap, Engine, EngineConfig, LabelSchema, WordWidth};
+use sigmo::core::{
+    filter, naive, CandidateBitmap, Engine, EngineConfig, FilterMode, Governor, LabelSchema,
+    QueryPlan, SignatureSet, WordWidth,
+};
 use sigmo::device::{DeviceProfile, Queue};
-use sigmo::graph::{CsrGo, LabeledGraph};
+use sigmo::graph::{CsrGo, LabeledGraph, WILDCARD_LABEL};
 use sigmo::mol::{parse_smiles, write_smiles, MoleculeGenerator, QueryExtractor};
 
 fn queue() -> Queue {
@@ -121,6 +124,115 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The convergence-driven filter (reusable plan + query-convergence
+    /// early exit + delta-driven refine with per-graph dead skipping) is
+    /// *bit-identical* to the exhaustive per-bit oracle, for random graphs,
+    /// random schemas, wildcard mixes, and every iteration count 1..=8.
+    /// This is the monotonicity argument made executable: skipping clean
+    /// rows, converged radii, and dead graphs must never change a bit.
+    #[test]
+    fn incremental_filter_is_bit_identical_to_reference(
+        q in arb_graph(5),
+        d1 in arb_graph(8),
+        d2 in arb_graph(8),
+        iters in 1usize..=8,
+        wild in any::<u8>(),
+        schema_pick in 0u8..3,
+    ) {
+        // Sprinkle wildcards onto some query nodes (bit i of `wild` decides
+        // node i), rebuilding the graph since labels are fixed at add time.
+        let mut qw = LabeledGraph::new();
+        for v in 0..q.num_nodes() as u32 {
+            let label = if wild >> (v % 8) & 1 == 1 {
+                WILDCARD_LABEL
+            } else {
+                q.label(v)
+            };
+            qw.add_node(label);
+        }
+        for (a, b, l) in q.edges() {
+            qw.add_edge(a, b, l).unwrap();
+        }
+        let schema = match schema_pick {
+            0 => LabelSchema::organic(),
+            1 => LabelSchema::uniform(6),
+            _ => LabelSchema::uniform(12),
+        };
+        let queries = CsrGo::from_graphs(std::slice::from_ref(&qw));
+        let data = CsrGo::from_graphs(&[d1, d2]);
+        let (nq, nd) = (queries.num_nodes(), data.num_nodes());
+
+        // Oracle: per-bit init + exhaustive refinement, no skipping.
+        let reference = CandidateBitmap::new(nq, nd, WordWidth::U64);
+        naive::reference_filter(&queries, &data, &schema, iters, &reference);
+
+        // Convergence-driven path, exactly as the incremental engine runs
+        // it: bucketed init, stop past the last dirty radius, delta kernel
+        // over dirty rows only, graph-alive snapshot refreshed between
+        // launches.
+        let cfg = EngineConfig {
+            refinement_iterations: iters,
+            schema: schema.clone(),
+            filter_mode: FilterMode::Incremental,
+            ..Default::default()
+        };
+        let plan = QueryPlan::from_batch(queries.clone(), &cfg);
+        let bitmap = CandidateBitmap::new(nq, nd, WordWidth::U64);
+        let queue = queue();
+        let gov = Governor::unlimited();
+        filter::initialize_candidates_bucketed(&queue, plan.buckets(), &data, &bitmap, 256, &gov);
+        let mut data_sigs = SignatureSet::new(&data, schema.clone());
+        for it in 2..=iters {
+            let radius = it - 1;
+            if radius > plan.last_dirty_radius() {
+                break;
+            }
+            data_sigs.advance(&data);
+            let delta = plan.delta_at(radius);
+            if delta.is_empty() {
+                continue;
+            }
+            filter::refine_candidates_delta(
+                &queue, &data, &schema, delta, &data_sigs, &bitmap, &gov,
+            );
+        }
+        for row in 0..nq {
+            for col in 0..nd {
+                prop_assert_eq!(
+                    bitmap.get(row, col),
+                    reference.get(row, col),
+                    "bit (q{}, d{}) diverged at {} iterations", row, col, iters
+                );
+            }
+        }
+    }
+
+    /// All three engine filter modes agree on totals and matched pairs for
+    /// random workloads — the engine-level face of the bit-identity above.
+    #[test]
+    fn filter_modes_agree_on_random_workloads(
+        q in arb_graph(4),
+        d in arb_graph(8),
+        iters in 1usize..=8,
+    ) {
+        let run = |mode: FilterMode| {
+            Engine::new(EngineConfig {
+                refinement_iterations: iters,
+                filter_mode: mode,
+                ..Default::default()
+            })
+            .run(std::slice::from_ref(&q), std::slice::from_ref(&d), &queue())
+        };
+        let ex = run(FilterMode::Exhaustive);
+        let ee = run(FilterMode::EarlyExit);
+        let inc = run(FilterMode::Incremental);
+        prop_assert_eq!(ex.total_matches, ee.total_matches);
+        prop_assert_eq!(ex.total_matches, inc.total_matches);
+        prop_assert_eq!(&ex.matched_pair_list, &ee.matched_pair_list);
+        prop_assert_eq!(&ex.matched_pair_list, &inc.matched_pair_list);
+        prop_assert!(inc.iterations.len() <= ex.iterations.len());
     }
 
     /// CSR-GO graph_of agrees with a linear scan for arbitrary batches.
