@@ -187,6 +187,8 @@ fn main() {
         }
     }
 
+    check_serve(scale, &mut failures);
+
     if failures.is_empty() {
         println!("bench_diff: no regression vs {baseline_path}");
     } else {
@@ -198,5 +200,69 @@ fn main() {
             eprintln!("  {f}");
         }
         std::process::exit(1);
+    }
+}
+
+/// Serving-layer gate against `BENCH_serve.json` (skipped with a notice
+/// when no baseline is committed). Wall times get the same
+/// `× 1.25 + 10 ms` slack as the pipeline phases; everything driven by
+/// the virtual clock — per-request totals, final tick, latency ticks —
+/// is deterministic and must match exactly.
+fn check_serve(scale: BenchScale, failures: &mut Vec<String>) {
+    let path = std::env::var("SIGMO_BENCH_SERVE_BASELINE")
+        .unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    let base = match std::fs::read_to_string(&path) {
+        Ok(b) => b,
+        Err(_) => {
+            println!("bench_diff: no {path}, skipping the serve gate");
+            return;
+        }
+    };
+    let committed_scale = find_str(&base, "scale");
+    let fresh_scale = format!("{scale:?}");
+    assert_eq!(
+        committed_scale, fresh_scale,
+        "serve baseline was recorded at scale {committed_scale} but this run is {fresh_scale}"
+    );
+    let fresh = sigmo_bench::serve_bench::run_serve_bench(scale);
+    println!(
+        "{:<18} {:>12} {:>12} {:>12}  status",
+        "serve wall", "committed_s", "fresh_min_s", "limit_s"
+    );
+    for (key, fresh_s) in [
+        ("wall_no_cache_s", fresh.no_cache.wall_s),
+        ("wall_cold_s", fresh.cold.wall_s),
+        ("wall_warm_s", fresh.warm.wall_s),
+    ] {
+        let committed = find_f64(&base, key);
+        let limit = committed * REL_LIMIT + ABS_SLACK_S;
+        let ok = fresh_s <= limit;
+        println!(
+            "{key:<18} {committed:>12.6} {fresh_s:>12.6} {limit:>12.6}  {}",
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        if !ok {
+            failures.push(format!(
+                "{key}: fresh {fresh_s:.6}s > limit {limit:.6}s (committed {committed:.6}s)"
+            ));
+        }
+    }
+    for (key, fresh_v) in [
+        ("requests", fresh.requests as u64),
+        ("total_matches", fresh.total_matches),
+        ("final_tick", fresh.final_tick),
+        ("latency_p50_ticks", fresh.latency_p50),
+        ("latency_p95_ticks", fresh.latency_p95),
+        ("latency_max_ticks", fresh.latency_max),
+        ("result_hits", fresh.stats.result_hits),
+        ("executed_molecules", fresh.stats.executed_molecules),
+    ] {
+        let committed = find_f64(&base, key) as u64;
+        if committed != fresh_v {
+            failures.push(format!(
+                "serve {key}: fresh {fresh_v} != committed {committed} \
+                 (virtual-clock quantities must be bit-identical)"
+            ));
+        }
     }
 }

@@ -16,5 +16,6 @@
 
 pub mod figures;
 pub mod scale;
+pub mod serve_bench;
 
 pub use scale::BenchScale;

@@ -1,0 +1,222 @@
+//! The serving-layer soak benchmark shared by `ext_serve_soak` (which
+//! emits `BENCH_serve.json`) and `bench_diff` (which gates regressions
+//! against the committed copy).
+//!
+//! Three measured configurations over one seeded trace:
+//!
+//! * `no_cache` — caching disabled: every molecule occurrence is executed
+//!   and every plan rebuilt (the ablation baseline);
+//! * `cold` — caches enabled, starting empty (intra-trace reuse only);
+//! * `warm` — the same server runs the trace a second time, so the plan
+//!   and result caches already hold the whole working set.
+//!
+//! Wall times are the minimum over [`REPS`] fresh runs, matching
+//! `bench_diff`'s best-of-N convention. Everything except wall time —
+//! per-request reports, total matches, virtual-clock ticks, latency
+//! percentiles, cache hit counts — is deterministic and the three
+//! configurations must agree on per-request results bit for bit (asserted
+//! here on every run).
+
+use crate::BenchScale;
+use sigmo_device::{DeviceProfile, Queue};
+use sigmo_serve::{
+    generate_workload, run_soak, served_outcome, ServeConfig, ServeStats, Server, SoakReport,
+    TimedRequest, WorkloadConfig,
+};
+use std::time::Instant;
+
+/// Fresh runs per configuration; wall times take the minimum.
+pub const REPS: usize = 3;
+
+/// The soak workload for a bench scale. FindAll-only and query-heavy so
+/// engine work (not canonicalization) dominates each request.
+pub fn workload(scale: BenchScale) -> WorkloadConfig {
+    let (requests, mol_pool) = match scale {
+        BenchScale::Quick => (240, 48),
+        BenchScale::Paper => (1000, 160),
+    };
+    WorkloadConfig {
+        requests,
+        seed: 0x5e7e,
+        mol_pool,
+        query_sets: 4,
+        queries_per_set: 10,
+        max_request_molecules: 16,
+        mean_interarrival: 2,
+        find_first_pct: 0,
+    }
+}
+
+/// The server configuration under test. The queue is sized to admit the
+/// whole trace: the slower ablation would otherwise shed more load than
+/// the cached runs (more service ticks per step → more arrivals land on a
+/// full queue), and the three configurations must serve identical request
+/// sets to be comparable.
+pub fn serve_config(caching: bool) -> ServeConfig {
+    ServeConfig {
+        caching,
+        queue_capacity: 4096,
+        ..ServeConfig::default()
+    }
+}
+
+/// One configuration's measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ConfigResult {
+    /// Best-of-[`REPS`] wall seconds for the soak.
+    pub wall_s: f64,
+    /// Requests per wall second at that best run.
+    pub throughput_rps: f64,
+}
+
+/// Aggregate soak-bench result.
+#[derive(Debug)]
+pub struct ServeBenchResult {
+    /// The scale the workload was built at.
+    pub scale: BenchScale,
+    /// Requests in the trace.
+    pub requests: usize,
+    /// Sum of per-request matches (identical across configurations).
+    pub total_matches: u64,
+    /// Final virtual-clock tick of the cold run (deterministic).
+    pub final_tick: u64,
+    /// Cold-run latency percentiles in ticks (deterministic).
+    pub latency_p50: u64,
+    /// 95th percentile.
+    pub latency_p95: u64,
+    /// Maximum.
+    pub latency_max: u64,
+    /// The ablation (caching off).
+    pub no_cache: ConfigResult,
+    /// Cold caches.
+    pub cold: ConfigResult,
+    /// Warm caches.
+    pub warm: ConfigResult,
+    /// `no_cache.wall_s / warm.wall_s` — the headline cache win.
+    pub warm_speedup: f64,
+    /// Warm-run server stats (cache hit counters).
+    pub stats: ServeStats,
+}
+
+fn soak_wall(server: &mut Server, trace: &[TimedRequest]) -> (SoakReport, f64) {
+    let start = Instant::now();
+    let report = run_soak(server, trace);
+    (report, start.elapsed().as_secs_f64())
+}
+
+fn assert_same_results(a: &SoakReport, b: &SoakReport, what: &str) {
+    assert_eq!(a.entries.len(), b.entries.len(), "{what}: entry counts");
+    for (ea, eb) in a.entries.iter().zip(&b.entries) {
+        assert_eq!(
+            served_outcome(&ea.report),
+            served_outcome(&eb.report),
+            "{what}: request {} diverged",
+            ea.trace_index
+        );
+    }
+}
+
+/// Runs the full three-configuration soak bench.
+pub fn run_serve_bench(scale: BenchScale) -> ServeBenchResult {
+    let trace = generate_workload(&workload(scale));
+    let mut no_cache_wall = f64::INFINITY;
+    let mut cold_wall = f64::INFINITY;
+    let mut warm_wall = f64::INFINITY;
+    let mut reference: Option<SoakReport> = None;
+    let mut final_stats = ServeStats::default();
+    for _ in 0..REPS {
+        let mut ablated = Server::new(serve_config(false), Queue::new(DeviceProfile::host()));
+        let (no_cache_report, w) = soak_wall(&mut ablated, &trace);
+        no_cache_wall = no_cache_wall.min(w);
+
+        let mut cached = Server::new(serve_config(true), Queue::new(DeviceProfile::host()));
+        let (cold_report, w) = soak_wall(&mut cached, &trace);
+        cold_wall = cold_wall.min(w);
+        let (warm_report, w) = soak_wall(&mut cached, &trace);
+        warm_wall = warm_wall.min(w);
+
+        // Caching and batching must be invisible to results, cold or warm.
+        assert_same_results(&cold_report, &no_cache_report, "cold vs no-cache");
+        assert_same_results(&cold_report, &warm_report, "cold vs warm");
+        if let Some(prev) = &reference {
+            assert_same_results(prev, &cold_report, "rep vs rep");
+        } else {
+            reference = Some(cold_report);
+        }
+        final_stats = cached.stats();
+    }
+    let cold_report = reference.expect("at least one rep");
+    let mut lat = cold_report.latencies();
+    lat.sort_unstable();
+    let total_matches = cold_report
+        .entries
+        .iter()
+        .map(|e| e.report.total_matches)
+        .sum();
+    let per = |wall_s: f64| ConfigResult {
+        wall_s,
+        throughput_rps: cold_report.entries.len() as f64 / wall_s.max(1e-9),
+    };
+    ServeBenchResult {
+        scale,
+        requests: trace.len(),
+        total_matches,
+        final_tick: cold_report.final_tick,
+        latency_p50: lat[lat.len() / 2],
+        latency_p95: lat[((lat.len() * 95) / 100).min(lat.len() - 1)],
+        latency_max: *lat.last().unwrap(),
+        no_cache: per(no_cache_wall),
+        cold: per(cold_wall),
+        warm: per(warm_wall),
+        warm_speedup: no_cache_wall / warm_wall.max(1e-9),
+        stats: final_stats,
+    }
+}
+
+/// Renders the flat JSON `BENCH_serve.json` holds. Keys are unique at the
+/// top level so `bench_diff`'s scanning parser can read them back.
+pub fn render_json(r: &ServeBenchResult) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"scale\": \"{:?}\",\n", r.scale));
+    out.push_str(&format!("  \"requests\": {},\n", r.requests));
+    out.push_str(&format!("  \"total_matches\": {},\n", r.total_matches));
+    out.push_str(&format!("  \"final_tick\": {},\n", r.final_tick));
+    out.push_str(&format!("  \"latency_p50_ticks\": {},\n", r.latency_p50));
+    out.push_str(&format!("  \"latency_p95_ticks\": {},\n", r.latency_p95));
+    out.push_str(&format!("  \"latency_max_ticks\": {},\n", r.latency_max));
+    out.push_str(&format!(
+        "  \"wall_no_cache_s\": {:.6},\n",
+        r.no_cache.wall_s
+    ));
+    out.push_str(&format!("  \"wall_cold_s\": {:.6},\n", r.cold.wall_s));
+    out.push_str(&format!("  \"wall_warm_s\": {:.6},\n", r.warm.wall_s));
+    out.push_str(&format!(
+        "  \"throughput_no_cache_rps\": {:.3},\n",
+        r.no_cache.throughput_rps
+    ));
+    out.push_str(&format!(
+        "  \"throughput_cold_rps\": {:.3},\n",
+        r.cold.throughput_rps
+    ));
+    out.push_str(&format!(
+        "  \"throughput_warm_rps\": {:.3},\n",
+        r.warm.throughput_rps
+    ));
+    out.push_str(&format!("  \"warm_speedup\": {:.3},\n", r.warm_speedup));
+    out.push_str(&format!("  \"plan_hits\": {},\n", r.stats.plan_hits));
+    out.push_str(&format!("  \"plan_misses\": {},\n", r.stats.plan_misses));
+    out.push_str(&format!("  \"mol_hits\": {},\n", r.stats.mol_hits));
+    out.push_str(&format!("  \"mol_misses\": {},\n", r.stats.mol_misses));
+    out.push_str(&format!("  \"result_hits\": {},\n", r.stats.result_hits));
+    out.push_str(&format!(
+        "  \"result_misses\": {},\n",
+        r.stats.result_misses
+    ));
+    out.push_str(&format!(
+        "  \"executed_molecules\": {}\n",
+        r.stats.executed_molecules
+    ));
+    out.push_str("}\n");
+    out
+}

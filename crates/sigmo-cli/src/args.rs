@@ -14,6 +14,11 @@ pub enum Command {
     Generate,
     /// Dataset statistics.
     Info,
+    /// Deterministic serving soak over a seeded workload.
+    Serve,
+    /// Serve a workload and verify every request against the unbatched
+    /// oracle.
+    Replay,
 }
 
 impl Command {
@@ -23,6 +28,8 @@ impl Command {
             "screen" => Some(Command::Screen),
             "generate" => Some(Command::Generate),
             "info" => Some(Command::Info),
+            "serve" => Some(Command::Serve),
+            "replay" => Some(Command::Replay),
             _ => None,
         }
     }
@@ -66,7 +73,7 @@ impl fmt::Display for ArgError {
             ArgError::MissingCommand => {
                 write!(
                     f,
-                    "usage: sigmo <match|screen|generate|info> [--flag value]..."
+                    "usage: sigmo <match|screen|generate|info|serve|replay> [--flag value]..."
                 )
             }
             ArgError::UnknownCommand(c) => write!(f, "unknown command {c:?}"),

@@ -7,6 +7,9 @@ use sigmo_core::{Engine, EngineConfig, Governor, MatchMode, RunBudget};
 use sigmo_device::{DeviceProfile, Queue};
 use sigmo_graph::LabeledGraph;
 use sigmo_mol::{descriptors, GeneratorConfig, MoleculeGenerator};
+use sigmo_serve::{
+    generate_workload, oracle_replay, run_soak, served_outcome, ServeConfig, Server, WorkloadConfig,
+};
 use std::fmt;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -110,7 +113,167 @@ pub fn run_command(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
         Command::Screen => cmd_screen(args),
         Command::Generate => cmd_generate(args),
         Command::Info => cmd_info(args),
+        Command::Serve => cmd_serve(args),
+        Command::Replay => cmd_replay(args),
     }
+}
+
+/// Builds the serving and workload configurations shared by `serve` and
+/// `replay` from the common flag set.
+fn serve_setup(args: &ParsedArgs) -> Result<(ServeConfig, WorkloadConfig), ArgError> {
+    let defaults = WorkloadConfig::default();
+    let workload = WorkloadConfig {
+        requests: args.get_parsed("requests", defaults.requests, "an integer ≥ 1")?,
+        seed: args.get_parsed("seed", defaults.seed, "an integer")?,
+        mol_pool: args.get_parsed("mol-pool", defaults.mol_pool, "an integer ≥ 1")?,
+        query_sets: args.get_parsed("query-sets", defaults.query_sets, "an integer ≥ 1")?,
+        queries_per_set: args.get_parsed(
+            "queries-per-set",
+            defaults.queries_per_set,
+            "an integer ≥ 1",
+        )?,
+        max_request_molecules: args.get_parsed(
+            "request-mols",
+            defaults.max_request_molecules,
+            "an integer ≥ 1",
+        )?,
+        mean_interarrival: args.get_parsed(
+            "interarrival",
+            defaults.mean_interarrival,
+            "ticks (an integer)",
+        )?,
+        find_first_pct: args.get_parsed(
+            "find-first-pct",
+            defaults.find_first_pct,
+            "a percentage 0..=100",
+        )?,
+    };
+    let serve_defaults = ServeConfig::default();
+    let config = ServeConfig {
+        budget: run_budget(args)?,
+        queue_capacity: args.get_parsed(
+            "queue-capacity",
+            serve_defaults.queue_capacity,
+            "an integer ≥ 1",
+        )?,
+        max_batch_requests: args.get_parsed(
+            "batch-requests",
+            serve_defaults.max_batch_requests,
+            "an integer ≥ 1",
+        )?,
+        caching: args.get_parsed("cache", true, "true or false")?,
+        ..serve_defaults
+    };
+    Ok((config, workload))
+}
+
+/// Renders latency/cache/throughput summary lines shared by `serve` and
+/// `replay`.
+fn serve_summary(
+    out: &mut String,
+    soak: &sigmo_serve::SoakReport,
+    stats: &sigmo_serve::ServeStats,
+) {
+    let total_matches: u64 = soak.entries.iter().map(|e| e.report.total_matches).sum();
+    let truncated = soak
+        .entries
+        .iter()
+        .filter(|e| !e.report.completion.is_complete())
+        .count();
+    writeln!(
+        out,
+        "served {} requests ({} rejected) in {} ticks over {} steps",
+        soak.entries.len(),
+        soak.rejected.len(),
+        soak.final_tick,
+        soak.steps
+    )
+    .unwrap();
+    writeln!(out, "total matches: {total_matches}").unwrap();
+    if truncated > 0 {
+        writeln!(
+            out,
+            "truncated requests: {truncated} (step-budget partials; sound lower bounds)"
+        )
+        .unwrap();
+    }
+    let mut lat = soak.latencies();
+    lat.sort_unstable();
+    if !lat.is_empty() {
+        let p95 = lat[((lat.len() * 95) / 100).min(lat.len() - 1)];
+        writeln!(
+            out,
+            "latency ticks: p50 {} p95 {} max {}",
+            lat[lat.len() / 2],
+            p95,
+            lat[lat.len() - 1]
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "cache hits/misses: plan {}/{} molecule {}/{} result {}/{}",
+        stats.plan_hits,
+        stats.plan_misses,
+        stats.mol_hits,
+        stats.mol_misses,
+        stats.result_hits,
+        stats.result_misses
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "executed molecules: {} across {} micro-batches",
+        stats.executed_molecules, stats.batches
+    )
+    .unwrap();
+}
+
+fn cmd_serve(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
+    let (config, workload) = serve_setup(args)?;
+    let trace = generate_workload(&workload);
+    let mut server = Server::new(config, Queue::new(DeviceProfile::host()));
+    let soak = run_soak(&mut server, &trace);
+    let mut out = String::new();
+    serve_summary(&mut out, &soak, &server.stats());
+    Ok(CommandOutput {
+        stdout: out,
+        files: Vec::new(),
+    })
+}
+
+fn cmd_replay(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
+    let (config, workload) = serve_setup(args)?;
+    let trace = generate_workload(&workload);
+    let mut server = Server::new(config.clone(), Queue::new(DeviceProfile::host()));
+    let soak = run_soak(&mut server, &trace);
+    let queue = Queue::new(DeviceProfile::host());
+    let mut mismatches = 0usize;
+    let mut out = String::new();
+    for entry in &soak.entries {
+        let oracle = oracle_replay(&config, &trace[entry.trace_index].request, &queue);
+        if served_outcome(&entry.report) != oracle {
+            mismatches += 1;
+            writeln!(
+                out,
+                "MISMATCH request {}: served {} matches, oracle {}",
+                entry.trace_index, entry.report.total_matches, oracle.total_matches
+            )
+            .unwrap();
+        }
+    }
+    writeln!(
+        out,
+        "replay: {}/{} requests bit-identical to the unbatched oracle",
+        soak.entries.len() - mismatches,
+        soak.entries.len()
+    )
+    .unwrap();
+    serve_summary(&mut out, &soak, &server.stats());
+    Ok(CommandOutput {
+        stdout: out,
+        files: Vec::new(),
+    })
 }
 
 /// Renders the per-iteration filter trace (`--profile true`): with
@@ -504,6 +667,59 @@ mod tests {
         ]))
         .unwrap();
         assert!(matches!(run_command(&args), Err(CliError::Args(_))));
+    }
+
+    #[test]
+    fn serve_command_runs_a_deterministic_soak() {
+        let args = parse_args(&strs(&["serve", "--requests", "12", "--seed", "5"])).unwrap();
+        let out = run_command(&args).unwrap();
+        assert!(out.stdout.contains("served 12 requests"), "{}", out.stdout);
+        assert!(out.stdout.contains("cache hits/misses"), "{}", out.stdout);
+        // Same seed, same transcript.
+        let out2 = run_command(&args).unwrap();
+        assert_eq!(out.stdout, out2.stdout);
+        // Different seed, different workload (ticks or matches move).
+        let other = parse_args(&strs(&["serve", "--requests", "12", "--seed", "6"])).unwrap();
+        let out3 = run_command(&other).unwrap();
+        assert_ne!(out.stdout, out3.stdout);
+    }
+
+    #[test]
+    fn replay_command_verifies_against_the_oracle() {
+        let args = parse_args(&strs(&[
+            "replay",
+            "--requests",
+            "8",
+            "--seed",
+            "11",
+            "--step-budget",
+            "200",
+        ]))
+        .unwrap();
+        let out = run_command(&args).unwrap();
+        assert!(
+            out.stdout
+                .contains("replay: 8/8 requests bit-identical to the unbatched oracle"),
+            "{}",
+            out.stdout
+        );
+        assert!(!out.stdout.contains("MISMATCH"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn serve_no_cache_flag_disables_result_reuse() {
+        let args = parse_args(&strs(&[
+            "serve",
+            "--requests",
+            "10",
+            "--seed",
+            "3",
+            "--cache",
+            "false",
+        ]))
+        .unwrap();
+        let out = run_command(&args).unwrap();
+        assert!(out.stdout.contains("result 0/0"), "{}", out.stdout);
     }
 
     #[test]

@@ -10,7 +10,20 @@
 //! * `sigmo generate --count N --seed S --output F` — write a synthetic
 //!   drug-like library as SMILES or SDF;
 //! * `sigmo info    --data D` — dataset statistics (atoms, rings,
-//!   descriptors, memory estimate).
+//!   descriptors, memory estimate);
+//! * `sigmo serve   [--requests N --seed S ...]` — deterministic serving
+//!   soak: a seeded workload drives the batched [`sigmo_serve::Server`]
+//!   on a virtual clock, reporting throughput, latency percentiles, and
+//!   cache hit rates;
+//! * `sigmo replay  [--requests N --seed S ...]` — the same soak, then
+//!   every request is re-run unbatched and uncached and the served
+//!   reports are verified bit-identical against that oracle.
+//!
+//! `serve`/`replay` share workload flags (`--requests`, `--seed`,
+//! `--mol-pool`, `--query-sets`, `--queries-per-set`, `--request-mols`,
+//! `--interarrival`, `--find-first-pct`), server flags
+//! (`--queue-capacity`, `--batch-requests`, `--cache true|false`), and
+//! the run-budget flags below.
 //!
 //! `match` and `screen` accept run-budget flags (all optional, all
 //! composable): `--deadline-ms N` (wall-clock deadline), `--step-budget N`

@@ -156,6 +156,14 @@ pub struct RunReport {
     pub matched_pairs: u64,
     /// Matched (data graph, query graph) pairs from the GMCR booleans.
     pub matched_pair_list: Vec<(usize, usize)>,
+    /// Per-pair attribution: `(data graph, query graph, matches)` for
+    /// every pair with ≥ 1 match; counts sum to `total_matches`. The
+    /// serving layer scatters these back to the requests that contributed
+    /// each data graph.
+    pub pair_counts: Vec<(usize, usize, u64)>,
+    /// Data graphs whose join work-group exhausted its local step budget
+    /// (deterministic per graph; see [`crate::governor`] module docs).
+    pub truncated_graphs: Vec<usize>,
     /// Collected embeddings (when a collect limit was configured).
     pub records: Vec<MatchRecord>,
     /// Per-refinement-iteration candidate statistics (Figure 5).
@@ -466,6 +474,8 @@ impl Engine {
             total_matches: outcome.total_matches,
             matched_pairs: outcome.matched_pairs,
             matched_pair_list: gmcr.matched_pairs(),
+            pair_counts: outcome.pair_counts,
+            truncated_graphs: outcome.truncated_graphs,
             records: outcome.records,
             iterations,
             timings: PhaseTimings {

@@ -412,6 +412,14 @@ impl GovernorTicker {
     pub fn steps(&self) -> u64 {
         self.steps
     }
+
+    /// Whether this ticker exhausted its *local* step budget. Unlike the
+    /// global latch, a local trip is a deterministic property of the
+    /// work-group's own workload — the serving layer uses it to attribute
+    /// truncation to individual data graphs (DESIGN.md §9).
+    pub fn tripped(&self) -> bool {
+        self.steps >= self.budget
+    }
 }
 
 #[cfg(test)]

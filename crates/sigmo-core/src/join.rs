@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 const INVALID: NodeId = NodeId::MAX;
 
 /// How the matcher treats each (query graph, data graph) pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JoinMode {
     /// Enumerate every embedding (node-to-node matches).
     FindAll,
@@ -44,12 +44,22 @@ pub struct JoinOutcome {
     pub total_matches: u64,
     /// Number of (data graph, query graph) pairs with ≥ 1 match.
     pub matched_pairs: u64,
+    /// Per-pair attribution: `(data graph, query graph, matches)` for
+    /// every pair with at least one match, sorted by data graph then GMCR
+    /// pair order. Summing the counts reproduces `total_matches`; the
+    /// serving layer scatters these back to individual requests.
+    pub pair_counts: Vec<(usize, usize, u64)>,
     /// Collected embeddings, if a collection limit was set. Enumeration is
     /// not truncated by the limit — only collection is.
     pub records: Vec<MatchRecord>,
     /// Whether the join explored the full search space or was stopped by
     /// the governor. Truncated totals are sound lower bounds.
     pub completion: Completion,
+    /// Data graphs whose work-group exhausted its *local* step budget
+    /// (sorted). Because step budgets are ticker-local, membership here is
+    /// a deterministic property of each graph's own workload — global
+    /// trips (deadline / cancel / embedding cap) are not attributed.
+    pub truncated_graphs: Vec<usize>,
 }
 
 /// Host-precomputed matching order for one query graph.
@@ -237,6 +247,11 @@ pub fn join(
     let collected: Mutex<Vec<MatchRecord>> = Mutex::new(Vec::new());
     let limit = params.collect_limit.unwrap_or(0);
     let gov = &params.governor;
+    // Pre-allocated attribution buffers (device discipline: no allocation
+    // inside the kernel closure). Each GMCR pair is written by exactly one
+    // work-group; each trip flag by its own group.
+    let pair_matches: Vec<AtomicU64> = (0..gmcr.num_pairs()).map(|_| AtomicU64::new(0)).collect();
+    let group_tripped: Vec<AtomicU64> = (0..data.num_graphs()).map(|_| AtomicU64::new(0)).collect();
 
     queue.parallel_for_work_group_until(
         "join",
@@ -281,8 +296,12 @@ pub fn join(
                     gmcr.mark_matched(gmcr.pair_index(dg, k));
                     pairs_matched.fetch_add(1, Ordering::Relaxed);
                 }
+                pair_matches[gmcr.pair_index(dg, k)].store(n_matches, Ordering::Relaxed);
                 total.fetch_add(n_matches, Ordering::Relaxed);
                 ctx.counters.record_trips(n_matches + 1);
+            }
+            if ticker.tripped() {
+                group_tripped[dg].store(1, Ordering::Relaxed);
             }
             // A DFS step on a GPU is expensive: an uncoalesced candidate
             // fetch, a bitmap probe, an injectivity scan over the mapped
@@ -297,11 +316,29 @@ pub fn join(
         },
     );
 
+    // Host-side gather of the attribution buffers, in deterministic
+    // (data graph, GMCR pair order) order.
+    let mut pair_counts = Vec::new();
+    let mut truncated_graphs = Vec::new();
+    for dg in 0..data.num_graphs() {
+        for (k, &qg) in gmcr.queries_for(dg).iter().enumerate() {
+            let n = pair_matches[gmcr.pair_index(dg, k)].load(Ordering::Relaxed);
+            if n > 0 {
+                pair_counts.push((dg, qg as usize, n));
+            }
+        }
+        if group_tripped[dg].load(Ordering::Relaxed) != 0 {
+            truncated_graphs.push(dg);
+        }
+    }
+
     JoinOutcome {
         total_matches: total.load(Ordering::Relaxed),
         matched_pairs: pairs_matched.load(Ordering::Relaxed),
+        pair_counts,
         records: collected.into_inner(),
         completion: gov.completion(),
+        truncated_graphs,
     }
 }
 

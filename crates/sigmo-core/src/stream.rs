@@ -11,7 +11,7 @@
 
 use crate::engine::{Engine, EngineConfig};
 use crate::governor::{CancelToken, Completion, Governor, RunBudget, TruncationReason};
-use crate::memory::estimate;
+use crate::memory::estimate_batched;
 use crate::plan::QueryPlan;
 use sigmo_device::Queue;
 use sigmo_graph::{CsrGo, LabeledGraph};
@@ -38,6 +38,14 @@ pub struct StreamReport {
     pub total_matches: u64,
     /// Matched `(global data index, query index)` pairs.
     pub matched_pair_list: Vec<(usize, usize)>,
+    /// Per-pair attribution with *global* data indices:
+    /// `(global data index, query index, matches)`; counts sum to
+    /// `total_matches`.
+    pub pair_counts: Vec<(usize, usize, u64)>,
+    /// Global indices of molecules whose join work-group exhausted its
+    /// local step budget (a superset of `quarantined` molecule indices
+    /// when the step budget is the truncating axis).
+    pub truncated_graphs: Vec<usize>,
     /// Number of chunks processed.
     pub chunks: usize,
     /// Molecules processed.
@@ -148,6 +156,19 @@ impl StreamRunner {
         I: IntoIterator<Item = LabeledGraph>,
     {
         let plan = QueryPlan::build(queries, self.engine.config());
+        self.run_with_plan(&plan, stream, queue)
+    }
+
+    /// [`StreamRunner::run`] against a caller-supplied [`QueryPlan`] — the
+    /// serving layer's entry point, where one plan is cached across many
+    /// requests and streams. The plan must have been built from a
+    /// configuration compatible with this runner's (same iteration count,
+    /// schema, and induced flag); `Engine::run_planned_with_governor`
+    /// asserts this per chunk.
+    pub fn run_with_plan<I>(&self, plan: &QueryPlan, stream: I, queue: &Queue) -> StreamReport
+    where
+        I: IntoIterator<Item = LabeledGraph>,
+    {
         let mut report = StreamReport::default();
         let mut chunk: Vec<LabeledGraph> = Vec::new();
         let mut base_index = 0usize;
@@ -160,7 +181,7 @@ impl StreamRunner {
             }
             chunk.push(mol);
             let over_budget = chunk.len() >= self.max_chunk_molecules || {
-                let est = estimate(queries, &chunk).total();
+                let est = estimate_batched(plan.batch(), &CsrGo::from_graphs(&chunk)).total();
                 est > self.memory_budget && chunk.len() > 1
             };
             if over_budget {
@@ -171,28 +192,14 @@ impl StreamRunner {
                 } else {
                     chunk.pop()
                 };
-                self.flush(
-                    queries,
-                    &plan,
-                    &mut chunk,
-                    &mut base_index,
-                    queue,
-                    &mut report,
-                );
+                self.flush(plan, &mut chunk, &mut base_index, queue, &mut report);
                 if let Some(m) = spill {
                     chunk.push(m);
                 }
             }
         }
         if !chunk.is_empty() && !self.cancel.is_cancelled() {
-            self.flush(
-                queries,
-                &plan,
-                &mut chunk,
-                &mut base_index,
-                queue,
-                &mut report,
-            );
+            self.flush(plan, &mut chunk, &mut base_index, queue, &mut report);
         }
         if self.cancel.is_cancelled() {
             report.completion = report
@@ -204,14 +211,13 @@ impl StreamRunner {
 
     fn flush(
         &self,
-        queries: &[LabeledGraph],
         plan: &QueryPlan,
         chunk: &mut Vec<LabeledGraph>,
         base_index: &mut usize,
         queue: &Queue,
         report: &mut StreamReport,
     ) {
-        let est = estimate(queries, chunk).total();
+        let est = estimate_batched(plan.batch(), &CsrGo::from_graphs(chunk)).total();
         report.peak_chunk_bytes = report.peak_chunk_bytes.max(est);
         self.run_span(plan, chunk, *base_index, queue, report);
         report.molecules += chunk.len();
@@ -281,6 +287,14 @@ impl StreamRunner {
                 .iter()
                 .map(|&(d, q)| (base_index + d, q)),
         );
+        report.pair_counts.extend(
+            run.pair_counts
+                .iter()
+                .map(|&(d, q, n)| (base_index + d, q, n)),
+        );
+        report
+            .truncated_graphs
+            .extend(run.truncated_graphs.iter().map(|&d| base_index + d));
     }
 }
 
@@ -288,6 +302,7 @@ impl StreamRunner {
 mod tests {
     use super::*;
     use crate::engine::MatchMode;
+    use crate::memory::estimate;
     use sigmo_device::DeviceProfile;
     use sigmo_mol::{functional_groups, MoleculeGenerator};
 

@@ -1,0 +1,337 @@
+//! The serving layer's three deduplication stores.
+//!
+//! * [`MolStore`] — canonical-molecule interning: every submitted molecule
+//!   is keyed by [`sigmo_mol::canonical_code`], so isomorphic duplicates
+//!   across requests collapse onto one stored representative (the
+//!   first-seen variant) and one [`MolId`].
+//! * [`PlanCache`] — [`QueryPlan`] interning keyed by the *ordered*
+//!   sequence of query canonical codes. Order matters: per-request results
+//!   attribute matches to query indices, so `[A, B]` and `[B, A]` are
+//!   different plans even though they are the same set.
+//! * [`ResultCache`] — per-molecule outcomes keyed by
+//!   `(plan, molecule, mode)`. Sound because a molecule's results are
+//!   batch-composition independent (DESIGN.md §9): complete outcomes are
+//!   exact, and step-budget partials are a deterministic property of the
+//!   molecule's own work-group.
+
+use sigmo_core::engine::EngineConfig;
+use sigmo_core::{MatchMode, QueryPlan};
+use sigmo_graph::LabeledGraph;
+use sigmo_mol::canonical_code;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Dense id of an interned molecule in a [`MolStore`].
+pub type MolId = u32;
+
+/// Dense id of an interned query plan in a [`PlanCache`].
+pub type PlanId = usize;
+
+/// The exact (labeling-sensitive) byte form of a graph: node labels then
+/// the edge list as stored. Two graphs with equal exact keys are equal as
+/// labeled adjacency structures, hence trivially isomorphic — so the
+/// exact map is a sound fast path in front of the canonical one.
+fn exact_key(graph: &LabeledGraph) -> Vec<u8> {
+    let mut key = Vec::with_capacity(8 + graph.num_nodes() + 9 * graph.num_edges());
+    key.extend_from_slice(&(graph.num_nodes() as u32).to_le_bytes());
+    key.extend_from_slice(graph.labels());
+    for (a, b, l) in graph.edges() {
+        key.extend_from_slice(&a.to_le_bytes());
+        key.extend_from_slice(&b.to_le_bytes());
+        key.push(l);
+    }
+    key
+}
+
+/// Canonical-molecule store: interns molecules by canonical code, with an
+/// exact-bytes map in front so repeat submissions of the same variant
+/// (the common case in serving traffic) skip Morgan canonicalization —
+/// which otherwise dominates a warm server's submit path.
+#[derive(Default)]
+pub struct MolStore {
+    exact: HashMap<Vec<u8>, MolId>,
+    index: HashMap<Vec<u8>, MolId>,
+    graphs: Vec<LabeledGraph>,
+    hits: u64,
+    misses: u64,
+}
+
+impl MolStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a molecule, returning the id of its isomorphism class.
+    /// The first-seen variant becomes the stored representative that all
+    /// later lookups (and executions) use.
+    pub fn intern(&mut self, graph: &LabeledGraph) -> MolId {
+        let exact = exact_key(graph);
+        if let Some(&id) = self.exact.get(&exact) {
+            self.hits += 1;
+            return id;
+        }
+        let key = canonical_code(graph);
+        let id = match self.index.get(&key) {
+            Some(&id) => {
+                self.hits += 1;
+                id
+            }
+            None => {
+                self.misses += 1;
+                let id = self.graphs.len() as MolId;
+                self.graphs.push(graph.clone());
+                self.index.insert(key, id);
+                id
+            }
+        };
+        self.exact.insert(exact, id);
+        id
+    }
+
+    /// The stored representative for `id`.
+    pub fn graph(&self, id: MolId) -> &LabeledGraph {
+        &self.graphs[id as usize]
+    }
+
+    /// Number of distinct isomorphism classes stored.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// `(hits, misses)` across all interns.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+struct PlanEntry {
+    queries: Vec<LabeledGraph>,
+    plan: Arc<QueryPlan>,
+}
+
+/// Query-plan cache keyed by the ordered query canonical codes.
+#[derive(Default)]
+pub struct PlanCache {
+    index: HashMap<Vec<u8>, PlanId>,
+    entries: Vec<PlanEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The order-sensitive cache key for a query batch: each query's
+    /// canonical code, length-prefixed so adjacent codes cannot alias.
+    pub fn key(queries: &[LabeledGraph]) -> Vec<u8> {
+        let mut key = Vec::new();
+        for q in queries {
+            let code = canonical_code(q);
+            key.extend_from_slice(&(code.len() as u64).to_le_bytes());
+            key.extend_from_slice(&code);
+        }
+        key
+    }
+
+    /// Interns a query batch, building its [`QueryPlan`] on first sight.
+    pub fn intern(&mut self, queries: &[LabeledGraph], config: &EngineConfig) -> PlanId {
+        let key = Self::key(queries);
+        if let Some(&id) = self.index.get(&key) {
+            self.hits += 1;
+            return id;
+        }
+        self.misses += 1;
+        let id = self.entries.len();
+        self.entries.push(PlanEntry {
+            queries: queries.to_vec(),
+            plan: Arc::new(QueryPlan::build(queries, config)),
+        });
+        self.index.insert(key, id);
+        id
+    }
+
+    /// The cached plan for `id`.
+    pub fn plan(&self, id: PlanId) -> Arc<QueryPlan> {
+        Arc::clone(&self.entries[id].plan)
+    }
+
+    /// The query batch `id` was interned with (the no-cache ablation
+    /// rebuilds plans from these).
+    pub fn queries(&self, id: PlanId) -> &[LabeledGraph] {
+        &self.entries[id].queries
+    }
+
+    /// Number of distinct plans interned.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no plan has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` across all interns.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// One molecule's outcome against one plan in one mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MolOutcome {
+    /// `(query index, matches)` for every query with ≥ 1 match, in plan
+    /// query order.
+    pub pairs: Vec<(usize, u64)>,
+    /// True when the molecule's work-group tripped its local step budget:
+    /// the counts are a deterministic lower bound, not a total.
+    pub truncated: bool,
+}
+
+impl MolOutcome {
+    /// Sum of the per-query counts.
+    pub fn total(&self) -> u64 {
+        self.pairs.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+/// FIFO-evicting cache of per-molecule outcomes keyed by
+/// `(plan, molecule, mode)`.
+pub struct ResultCache {
+    map: HashMap<(PlanId, MolId, MatchMode), Arc<MolOutcome>>,
+    order: VecDeque<(PlanId, MolId, MatchMode)>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` outcomes (0 disables
+    /// insertion entirely).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up an outcome, counting the hit or miss.
+    pub fn get(&mut self, plan: PlanId, mol: MolId, mode: MatchMode) -> Option<Arc<MolOutcome>> {
+        match self.map.get(&(plan, mol, mode)) {
+            Some(outcome) => {
+                self.hits += 1;
+                Some(Arc::clone(outcome))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an outcome, evicting the oldest entry when full.
+    pub fn insert(&mut self, plan: PlanId, mol: MolId, mode: MatchMode, outcome: Arc<MolOutcome>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = (plan, mol, mode);
+        if self.map.insert(key, outcome).is_none() {
+            self.order.push_back(key);
+            if self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Number of cached outcomes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses)` across all lookups.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmo_core::engine::EngineConfig;
+
+    fn chain(labels: &[u8]) -> LabeledGraph {
+        let edges: Vec<(u32, u32)> = (1..labels.len() as u32).map(|i| (i - 1, i)).collect();
+        LabeledGraph::from_edges(labels, &edges).unwrap()
+    }
+
+    #[test]
+    fn mol_store_collapses_isomorphic_variants() {
+        let mut store = MolStore::new();
+        let a = chain(&[1, 3, 1]);
+        // Same chain, nodes listed in reverse.
+        let b = LabeledGraph::from_edges(&[1, 3, 1], &[(2, 1), (1, 0)]).unwrap();
+        let c = chain(&[1, 3, 3]);
+        let ia = store.intern(&a);
+        let ib = store.intern(&b);
+        let ic = store.intern(&c);
+        assert_eq!(ia, ib, "isomorphic variants share an id");
+        assert_ne!(ia, ic);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.counters(), (1, 2));
+        // The representative is the first-seen variant.
+        assert_eq!(store.graph(ia), &a);
+    }
+
+    #[test]
+    fn plan_cache_is_order_sensitive() {
+        let cfg = EngineConfig::default();
+        let q1 = chain(&[1, 3]);
+        let q2 = chain(&[1, 2]);
+        let mut cache = PlanCache::new();
+        let ab = cache.intern(&[q1.clone(), q2.clone()], &cfg);
+        let ba = cache.intern(&[q2.clone(), q1.clone()], &cfg);
+        let ab2 = cache.intern(&[q1, q2], &cfg);
+        assert_ne!(ab, ba, "query order is part of the key");
+        assert_eq!(ab, ab2);
+        assert_eq!(cache.counters(), (1, 2));
+    }
+
+    #[test]
+    fn result_cache_evicts_fifo() {
+        let mut cache = ResultCache::new(2);
+        let out = Arc::new(MolOutcome {
+            pairs: vec![(0, 1)],
+            truncated: false,
+        });
+        cache.insert(0, 0, MatchMode::FindAll, Arc::clone(&out));
+        cache.insert(0, 1, MatchMode::FindAll, Arc::clone(&out));
+        cache.insert(0, 2, MatchMode::FindAll, Arc::clone(&out));
+        assert_eq!(cache.len(), 2);
+        assert!(
+            cache.get(0, 0, MatchMode::FindAll).is_none(),
+            "oldest evicted"
+        );
+        assert!(cache.get(0, 2, MatchMode::FindAll).is_some());
+        // Same molecule, different mode is a distinct key.
+        assert!(cache.get(0, 2, MatchMode::FindFirst).is_none());
+    }
+}

@@ -1,0 +1,449 @@
+//! The batched request server: admission control, micro-batching, and
+//! per-request result scatter.
+//!
+//! A [`Server`] accepts [`MatchRequest`]s (a query set, a molecule set,
+//! and a [`MatchMode`]) into a bounded pending queue. Each [`Server::step`]
+//! drains one micro-batch window, groups compatible requests (same plan,
+//! same mode), executes each group's *unique, uncached* molecules in one
+//! [`StreamRunner`] pass over the shared [`sigmo_core::QueryPlan`], and
+//! scatters the per-pair attribution back into per-request reports.
+//!
+//! Batching and caching are result-invisible: a molecule's outcome is a
+//! pure function of (plan, molecule, mode, step budget), because chunk
+//! truncation is bisected down to solo runs and step budgets are local to
+//! each molecule's work-group (DESIGN.md §9). The soak tests assert this
+//! against an unbatched oracle replay, bit for bit.
+
+use crate::cache::{MolId, MolOutcome, MolStore, PlanCache, PlanId, ResultCache};
+use sigmo_core::engine::EngineConfig;
+use sigmo_core::{Completion, MatchMode, RunBudget, StreamRunner, TruncationReason};
+use sigmo_device::Queue;
+use sigmo_graph::LabeledGraph;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One (query set, molecule set, mode) matching request.
+#[derive(Debug, Clone)]
+pub struct MatchRequest {
+    /// Query graphs; per-request results attribute matches to these by
+    /// index, so order is significant.
+    pub queries: Vec<LabeledGraph>,
+    /// Molecules to match against; results are per request-local index.
+    pub molecules: Vec<LabeledGraph>,
+    /// Find All (count embeddings) or Find First (matched pairs).
+    pub mode: MatchMode,
+}
+
+/// Why admission refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The pending queue is at capacity — back off and retry.
+    QueueFull,
+    /// Empty query or molecule set.
+    Malformed,
+    /// Molecule count above [`ServeConfig::max_request_molecules`], or a
+    /// molecule too large to canonicalize.
+    Oversized,
+}
+
+/// Per-request outcome returned by [`Server::step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestReport {
+    /// The id [`Server::submit`] returned.
+    pub request_id: u64,
+    /// Total embeddings (Find All) or matched pairs (Find First).
+    pub total_matches: u64,
+    /// `(request-local molecule index, query index, matches)` for every
+    /// pair with ≥ 1 match; counts sum to `total_matches`.
+    pub pair_counts: Vec<(usize, usize, u64)>,
+    /// Request-local indices of molecules whose counts are step-budget
+    /// truncated lower bounds.
+    pub truncated_molecules: Vec<usize>,
+    /// `Complete`, or `Truncated(StepBudget)` when any molecule was.
+    pub completion: Completion,
+    /// Molecules answered from the result cache.
+    pub cached_molecules: usize,
+    /// Molecules this request contributed to the executed batch.
+    pub executed_molecules: usize,
+}
+
+/// Aggregate cache/queue counters, exposed by [`Server::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Canonical-molecule store hits (an already-interned class).
+    pub mol_hits: u64,
+    /// Canonical-molecule store misses (a new class stored).
+    pub mol_misses: u64,
+    /// Plan-cache hits.
+    pub plan_hits: u64,
+    /// Plan-cache misses (a plan was built).
+    pub plan_misses: u64,
+    /// Result-cache hits.
+    pub result_hits: u64,
+    /// Result-cache misses.
+    pub result_misses: u64,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests rejected at admission.
+    pub rejected: u64,
+    /// Molecules executed through the engine (post-dedup occurrences).
+    pub executed_molecules: u64,
+    /// Micro-batch groups executed.
+    pub batches: u64,
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Base engine configuration; `mode` is overridden per request.
+    pub engine: EngineConfig,
+    /// Per-chunk device-memory budget handed to the [`StreamRunner`].
+    pub memory_budget: u64,
+    /// Per-chunk governor budget. Only `max_join_steps` yields cacheable
+    /// truncation; deadline / embedding-cap truncations are never cached.
+    pub budget: RunBudget,
+    /// Pending-queue capacity; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Requests drained per [`Server::step`] (the micro-batch window).
+    pub max_batch_requests: usize,
+    /// Admission cap on molecules per request.
+    pub max_request_molecules: usize,
+    /// Result-cache capacity in outcomes.
+    pub result_cache_capacity: usize,
+    /// Master switch for deduplication: `false` disables the result cache
+    /// and plan reuse (the no-cache ablation) while keeping batching.
+    pub caching: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            engine: EngineConfig::default(),
+            memory_budget: 64 << 20,
+            budget: RunBudget::none(),
+            queue_capacity: 64,
+            max_batch_requests: 16,
+            max_request_molecules: 4096,
+            result_cache_capacity: 1 << 16,
+            caching: true,
+        }
+    }
+}
+
+/// An admitted request, canonicalized at the door.
+struct Pending {
+    id: u64,
+    mode: MatchMode,
+    plan: PlanId,
+    mols: Vec<MolId>,
+}
+
+/// Outcome of one [`Server::step`]: the drained window's reports plus the
+/// deterministic work accounting the simulator charges time for.
+#[derive(Debug, Default)]
+pub struct StepOutcome {
+    /// One report per drained request, in admission order.
+    pub reports: Vec<RequestReport>,
+    /// Molecules actually executed this step (after dedup).
+    pub executed_molecules: usize,
+    /// Micro-batch groups executed this step.
+    pub batches: usize,
+}
+
+/// The batched request server. Single-threaded by design: determinism
+/// comes from the sequential admission/step loop, parallelism from the
+/// rayon-backed engine inside each batch.
+pub struct Server {
+    config: ServeConfig,
+    queue: Queue,
+    mols: MolStore,
+    plans: PlanCache,
+    results: ResultCache,
+    pending: Vec<Pending>,
+    next_id: u64,
+    admitted: u64,
+    rejected: u64,
+    executed: u64,
+    batches: u64,
+}
+
+impl Server {
+    /// Creates a server executing on `queue`.
+    pub fn new(config: ServeConfig, queue: Queue) -> Self {
+        let results = ResultCache::new(if config.caching {
+            config.result_cache_capacity
+        } else {
+            0
+        });
+        Self {
+            config,
+            queue,
+            mols: MolStore::new(),
+            plans: PlanCache::new(),
+            results,
+            pending: Vec::new(),
+            next_id: 0,
+            admitted: 0,
+            rejected: 0,
+            executed: 0,
+            batches: 0,
+        }
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Requests admitted but not yet stepped.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Admission control: canonicalizes and enqueues the request, or
+    /// rejects it. Rejection is the backpressure signal — the queue bound
+    /// keeps per-step latency within the governor budget's reach.
+    pub fn submit(&mut self, request: &MatchRequest) -> Result<u64, RejectReason> {
+        if self.pending.len() >= self.config.queue_capacity {
+            self.rejected += 1;
+            return Err(RejectReason::QueueFull);
+        }
+        if request.queries.is_empty() || request.molecules.is_empty() {
+            self.rejected += 1;
+            return Err(RejectReason::Malformed);
+        }
+        if request.molecules.len() > self.config.max_request_molecules
+            || request.molecules.iter().any(|m| m.num_nodes() > 255)
+            || request.queries.iter().any(|q| q.num_nodes() > 255)
+        {
+            self.rejected += 1;
+            return Err(RejectReason::Oversized);
+        }
+        let plan = self.plans.intern(&request.queries, &self.config.engine);
+        let mols = request
+            .molecules
+            .iter()
+            .map(|m| self.mols.intern(m))
+            .collect();
+        let id = self.next_id;
+        self.next_id += 1;
+        self.admitted += 1;
+        self.pending.push(Pending {
+            id,
+            mode: request.mode,
+            plan,
+            mols,
+        });
+        Ok(id)
+    }
+
+    /// Drains one micro-batch window and executes it: groups the drained
+    /// requests by `(plan, mode)`, runs each group's unique uncached
+    /// molecules in one streamed pass, caches the sound outcomes, and
+    /// scatters per-request reports.
+    pub fn step(&mut self) -> StepOutcome {
+        let window = self.config.max_batch_requests.min(self.pending.len());
+        let drained: Vec<Pending> = self.pending.drain(..window).collect();
+        if drained.is_empty() {
+            return StepOutcome::default();
+        }
+        // Group by (plan, mode), preserving first-seen order for
+        // determinism (never iterate a HashMap).
+        let mut group_index: HashMap<(PlanId, MatchMode), usize> = HashMap::new();
+        let mut groups: Vec<((PlanId, MatchMode), Vec<&Pending>)> = Vec::new();
+        for p in &drained {
+            let key = (p.plan, p.mode);
+            match group_index.get(&key) {
+                Some(&g) => groups[g].1.push(p),
+                None => {
+                    group_index.insert(key, groups.len());
+                    groups.push((key, vec![p]));
+                }
+            }
+        }
+        let mut outcome = StepOutcome::default();
+        let mut reports: Vec<RequestReport> = Vec::with_capacity(drained.len());
+        for ((plan_id, mode), members) in &groups {
+            let (executed, group_reports) = self.run_group(*plan_id, *mode, members);
+            outcome.executed_molecules += executed;
+            outcome.batches += 1;
+            reports.extend(group_reports);
+        }
+        reports.sort_by_key(|r| r.request_id);
+        self.executed += outcome.executed_molecules as u64;
+        self.batches += outcome.batches as u64;
+        outcome.reports = reports;
+        outcome
+    }
+
+    /// Executes one `(plan, mode)` group and scatters its reports.
+    fn run_group(
+        &mut self,
+        plan_id: PlanId,
+        mode: MatchMode,
+        members: &[&Pending],
+    ) -> (usize, Vec<RequestReport>) {
+        // Gather the molecules to execute: with caching, each uncached
+        // class once; without, every occurrence (the ablation re-derives
+        // everything, including repeats inside one window).
+        let mut exec: Vec<MolId> = Vec::new();
+        let mut cached: HashMap<MolId, Arc<MolOutcome>> = HashMap::new();
+        if self.config.caching {
+            let mut seen: HashMap<MolId, ()> = HashMap::new();
+            for p in members {
+                for &m in &p.mols {
+                    if seen.contains_key(&m) {
+                        continue;
+                    }
+                    seen.insert(m, ());
+                    match self.results.get(plan_id, m, mode) {
+                        Some(out) => {
+                            cached.insert(m, out);
+                        }
+                        None => exec.push(m),
+                    }
+                }
+            }
+        } else {
+            for p in members {
+                exec.extend(p.mols.iter().copied());
+            }
+        }
+
+        let (fresh, cacheable) = self.execute(plan_id, mode, &exec);
+        if self.config.caching {
+            // Complete outcomes are exact; step-budget partials are a
+            // deterministic property of the molecule's own work-group.
+            // Deadline / embedding-cap / cancellation truncations are
+            // wall-clock- or batch-dependent and never reach the cache.
+            for ((&m, out), &ok) in exec.iter().zip(&fresh).zip(&cacheable) {
+                if ok {
+                    self.results.insert(plan_id, m, mode, Arc::clone(out));
+                }
+            }
+        }
+
+        // Scatter: walk each request's molecules in order, pulling from
+        // the cache map or the freshly executed outcomes.
+        let fresh_by_id: HashMap<MolId, &Arc<MolOutcome>> = if self.config.caching {
+            exec.iter().copied().zip(fresh.iter()).collect()
+        } else {
+            HashMap::new()
+        };
+        let mut reports = Vec::with_capacity(members.len());
+        let mut occurrence = 0usize;
+        for p in members {
+            let mut report = RequestReport {
+                request_id: p.id,
+                total_matches: 0,
+                pair_counts: Vec::new(),
+                truncated_molecules: Vec::new(),
+                completion: Completion::Complete,
+                cached_molecules: 0,
+                executed_molecules: 0,
+            };
+            for (local, &m) in p.mols.iter().enumerate() {
+                let out: &MolOutcome = if self.config.caching {
+                    match cached.get(&m) {
+                        Some(out) => {
+                            report.cached_molecules += 1;
+                            out
+                        }
+                        None => {
+                            report.executed_molecules += 1;
+                            fresh_by_id[&m]
+                        }
+                    }
+                } else {
+                    report.executed_molecules += 1;
+                    let out = &fresh[occurrence];
+                    occurrence += 1;
+                    out
+                };
+                for &(q, n) in &out.pairs {
+                    report.pair_counts.push((local, q, n));
+                    report.total_matches += n;
+                }
+                if out.truncated {
+                    report.truncated_molecules.push(local);
+                    report.completion = report
+                        .completion
+                        .merge(Completion::Truncated(TruncationReason::StepBudget));
+                }
+            }
+            reports.push(report);
+        }
+        (exec.len(), reports)
+    }
+
+    /// Runs `exec` through the streamed engine under the shared plan,
+    /// returning one outcome per executed molecule (in `exec` order) plus
+    /// a parallel cacheability mask.
+    fn execute(
+        &mut self,
+        plan_id: PlanId,
+        mode: MatchMode,
+        exec: &[MolId],
+    ) -> (Vec<Arc<MolOutcome>>, Vec<bool>) {
+        if exec.is_empty() {
+            return (Vec::new(), Vec::new());
+        }
+        let mut cfg = self.config.engine.clone();
+        cfg.mode = mode;
+        let runner = StreamRunner::new(cfg, self.config.memory_budget)
+            .with_budget(self.config.budget.clone());
+        let mols: Vec<LabeledGraph> = exec.iter().map(|&m| self.mols.graph(m).clone()).collect();
+        let report = if self.config.caching {
+            let plan = self.plans.plan(plan_id);
+            runner.run_with_plan(&plan, mols, &self.queue)
+        } else {
+            // Ablation: rebuild the plan for every group execution.
+            runner.run(self.plans.queries(plan_id), mols, &self.queue)
+        };
+        let mut outcomes: Vec<MolOutcome> = exec
+            .iter()
+            .map(|_| MolOutcome {
+                pairs: Vec::new(),
+                truncated: false,
+            })
+            .collect();
+        for &(d, q, n) in &report.pair_counts {
+            outcomes[d].pairs.push((q, n));
+        }
+        for &d in &report.truncated_graphs {
+            outcomes[d].truncated = true;
+        }
+        // Quarantined molecules whose reason is not a local step trip
+        // (deadline / embedding cap) are also truncated, and their
+        // partials are wall-clock- or batch-dependent: report them but
+        // never cache them. With the serving default (step budgets only),
+        // this set is empty.
+        let mut cacheable = vec![true; exec.len()];
+        for quarantined in &report.quarantined {
+            if quarantined.reason != TruncationReason::StepBudget {
+                outcomes[quarantined.index].truncated = true;
+                cacheable[quarantined.index] = false;
+            }
+        }
+        (outcomes.into_iter().map(Arc::new).collect(), cacheable)
+    }
+
+    /// Aggregate cache and admission counters.
+    pub fn stats(&self) -> ServeStats {
+        let (mol_hits, mol_misses) = self.mols.counters();
+        let (plan_hits, plan_misses) = self.plans.counters();
+        let (result_hits, result_misses) = self.results.counters();
+        ServeStats {
+            mol_hits,
+            mol_misses,
+            plan_hits,
+            plan_misses,
+            result_hits,
+            result_misses,
+            admitted: self.admitted,
+            rejected: self.rejected,
+            executed_molecules: self.executed,
+            batches: self.batches,
+        }
+    }
+}

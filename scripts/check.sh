@@ -11,10 +11,16 @@
 #   6. ablate_filter_convergence  filter-mode ablation; asserts the
 #                                 incremental refine path stays ≥2× faster
 #                                 than exhaustive with identical totals
-#   7. scripts/bench_diff.sh      per-phase wall-time regression gate vs
-#                                 the committed BENCH_pipeline.json
+#   7. ext_serve_soak             serving soak: no-cache/cold/warm configs
+#                                 must agree bit for bit and the warm cache
+#                                 must be ≥2× the ablation (output diverted
+#                                 to target/ so the committed BENCH_serve
+#                                 baseline is untouched)
+#   8. scripts/bench_diff.sh      per-phase wall-time regression gate vs
+#                                 the committed BENCH_pipeline.json and
+#                                 BENCH_serve.json
 #
-# `--fast` skips the bench stages (5-7) for quick pre-push runs.
+# `--fast` skips the bench stages (5-8) for quick pre-push runs.
 # `--pathological` adds a governor smoke stage: the ext_pathological
 # binary must terminate the wildcard-clique workload under its 2 s
 # deadline with a Truncated(Deadline) partial result (it asserts this
@@ -40,6 +46,8 @@ cargo run -q --release -p sigmo-lint -- --root .
 if [ "$FAST" -eq 0 ]; then
     cargo bench --no-run
     cargo bench -p sigmo-bench --bench ablate_filter_convergence
+    SIGMO_BENCH_SERVE_OUT=target/BENCH_serve.fresh.json \
+        cargo run -q --release -p sigmo-bench --bin ext_serve_soak
     scripts/bench_diff.sh
 fi
 if [ "$PATHOLOGICAL" -eq 1 ]; then

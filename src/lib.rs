@@ -10,6 +10,7 @@ pub use sigmo_core as core;
 pub use sigmo_device as device;
 pub use sigmo_graph as graph;
 pub use sigmo_mol as mol;
+pub use sigmo_serve as serve;
 
 /// Commonly used items in one import.
 pub mod prelude {

@@ -19,6 +19,10 @@ use sigmo::core::{
 use sigmo::device::{DeviceProfile, KernelRecord, Queue};
 use sigmo::graph::LabeledGraph;
 use sigmo::mol::{functional_groups, MoleculeGenerator};
+use sigmo::serve::{
+    generate_workload, run_soak, served_outcome, OracleOutcome, RejectReason, ServeConfig, Server,
+    WorkloadConfig,
+};
 use std::sync::Mutex;
 
 /// Serializes the tests of this file: both mutate `RAYON_NUM_THREADS`,
@@ -177,6 +181,91 @@ fn every_filter_mode_is_deterministic_across_thread_counts() {
     );
     assert_eq!(totals[0], totals[1], "EarlyExit changed the match total");
     assert_eq!(totals[0], totals[2], "Incremental changed the match total");
+}
+
+/// One serve-soak run's full observable surface: per-request outcomes
+/// with completion ticks and statuses, the rejected set, and the final
+/// virtual-clock tick.
+type SoakTrace = (
+    Vec<(usize, u64, Completion, OracleOutcome)>,
+    Vec<(usize, RejectReason)>,
+    u64,
+);
+
+fn run_serve_soak(threads: &str) -> SoakTrace {
+    std::env::set_var("RAYON_NUM_THREADS", threads);
+    let trace = generate_workload(&WorkloadConfig {
+        requests: 60,
+        seed: 0xbead,
+        mol_pool: 24,
+        query_sets: 3,
+        queries_per_set: 6,
+        max_request_molecules: 6,
+        mean_interarrival: 1, // enough pressure to exercise backpressure
+        find_first_pct: 25,
+    });
+    let config = ServeConfig {
+        queue_capacity: 16,
+        max_batch_requests: 8,
+        // Tight enough to truncate: governor-truncated requests must be
+        // as thread-count-independent as complete ones.
+        budget: RunBudget::none().with_step_budget(60),
+        ..ServeConfig::default()
+    };
+    let mut server = Server::new(config, Queue::new(DeviceProfile::host()));
+    let soak = run_soak(&mut server, &trace);
+    (
+        soak.entries
+            .iter()
+            .map(|e| {
+                (
+                    e.trace_index,
+                    e.completed,
+                    e.report.completion,
+                    served_outcome(&e.report),
+                )
+            })
+            .collect(),
+        soak.rejected,
+        soak.final_tick,
+    )
+}
+
+#[test]
+fn serve_soak_is_identical_across_thread_counts() {
+    // The serving layer sits on top of the whole pipeline — plan reuse,
+    // micro-batching, result caching, stream bisection — and none of it
+    // may leak the rayon thread count into per-request results, completion
+    // ticks, statuses, or the admission decisions themselves.
+    let _guard = ENV_LOCK.lock().unwrap();
+    let a = run_serve_soak("1");
+    let b = run_serve_soak("4");
+    let c = run_serve_soak("8");
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    assert_eq!(a.1, b.1, "rejections diverged between 1 and 4 threads");
+    assert_eq!(a.1, c.1, "rejections diverged between 1 and 8 threads");
+    assert_eq!(a.2, b.2, "final tick diverged between 1 and 4 threads");
+    assert_eq!(a.2, c.2, "final tick diverged between 1 and 8 threads");
+    assert_eq!(a.0.len(), b.0.len());
+    for (i, (ea, eb)) in a.0.iter().zip(&b.0).enumerate() {
+        assert_eq!(ea, eb, "entry {i} diverged between 1 and 4 threads");
+    }
+    assert_eq!(a.0, c.0, "entries diverged between 1 and 8 threads");
+
+    let truncated =
+        a.0.iter()
+            .filter(|(_, _, completion, _)| {
+                *completion == Completion::Truncated(TruncationReason::StepBudget)
+            })
+            .count();
+    assert!(
+        truncated > 0,
+        "the step budget must truncate some requests, or the truncated \
+         path is untested across thread counts"
+    );
+    let matched: u64 = a.0.iter().map(|(_, _, _, o)| o.total_matches).sum();
+    assert!(matched > 0, "soak produced no matches — test is vacuous");
 }
 
 #[test]

@@ -307,6 +307,92 @@ proptest! {
         prop_assert_eq!(back.num_bonds(), m.num_bonds(), "via {}", smiles);
     }
 
+    /// Canonical codes are a sound cache key in the collision direction:
+    /// two graphs with equal codes must be genuinely isomorphic, checked
+    /// by an independent VF3-style matcher (an injective label- and
+    /// edge-preserving map between equal-size, equal-edge-count graphs is
+    /// an isomorphism). `are_isomorphic` itself is code-based, so it
+    /// cannot serve as the referee here.
+    #[test]
+    fn canonical_code_has_no_false_collisions(g in arb_graph(7), h in arb_graph(7)) {
+        let same_code = sigmo::mol::canonical_code(&g) == sigmo::mol::canonical_code(&h);
+        let iso = g.num_nodes() == h.num_nodes()
+            && g.num_edges() == h.num_edges()
+            && Vf3Matcher.count_embeddings(&g, &h) > 0;
+        prop_assert_eq!(
+            same_code, iso,
+            "canonical_code and the VF3 referee disagree on isomorphism"
+        );
+    }
+
+    /// The serving layer's molecule store keys on canonical codes: a
+    /// relabeled (permuted) copy must intern onto the same id, and a copy
+    /// with one node label changed — a different label multiset, hence a
+    /// different isomorphism class — must get a fresh id.
+    #[test]
+    fn mol_store_interns_by_isomorphism_class(g in arb_graph(8), seed in any::<u64>()) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = g.num_nodes();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.shuffle(&mut rng);
+        let mut inv = vec![0u32; n];
+        for (old, &new) in perm.iter().enumerate() {
+            inv[new as usize] = old as u32;
+        }
+        let mut h = LabeledGraph::new();
+        for &old in &inv {
+            h.add_node(g.label(old));
+        }
+        for (a, b, l) in g.edges() {
+            h.add_edge(perm[a as usize], perm[b as usize], l).unwrap();
+        }
+        // One label bumped: the label multiset (and so the class) changes.
+        let bump = (seed as usize) % n;
+        let mut k = LabeledGraph::new();
+        for v in 0..n as u32 {
+            let label = g.label(v);
+            k.add_node(if v as usize == bump { (label + 1) % 6 } else { label });
+        }
+        for (a, b, l) in g.edges() {
+            k.add_edge(a, b, l).unwrap();
+        }
+        let mut store = sigmo::serve::MolStore::new();
+        let ia = store.intern(&g);
+        let ib = store.intern(&h);
+        let ic = store.intern(&k);
+        prop_assert_eq!(ia, ib, "a permuted copy must share the interned id");
+        prop_assert!(ia != ic, "a different label multiset must not collide");
+        prop_assert_eq!(store.len(), 2);
+        prop_assert_eq!(store.counters(), (1, 2));
+    }
+
+    /// A molecule and its SMILES round trip canonicalize identically —
+    /// the property that lets the serve layer dedup a molecule no matter
+    /// which client serialization it arrived in.
+    #[test]
+    fn smiles_round_trip_preserves_canonical_code(seed in any::<u64>()) {
+        let mut gen = MoleculeGenerator::new(
+            sigmo::mol::GeneratorConfig {
+                min_heavy_atoms: 3,
+                max_heavy_atoms: 16,
+                ..Default::default()
+            },
+            seed,
+        );
+        let m = gen.generate();
+        let smiles = write_smiles(&m);
+        let back = parse_smiles(&smiles).map_err(|e| {
+            TestCaseError::fail(format!("re-parse of {smiles:?} failed: {e}"))
+        })?;
+        prop_assert_eq!(
+            sigmo::mol::canonical_code(&m.to_labeled_graph()),
+            sigmo::mol::canonical_code(&back.to_labeled_graph()),
+            "round trip via {} changed the canonical code", smiles
+        );
+    }
+
     /// Extracted queries always match their source molecule (the engine
     /// must find at least one embedding).
     #[test]

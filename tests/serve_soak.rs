@@ -1,0 +1,187 @@
+//! Serving-layer soak tests (DESIGN.md §9): batching and caching must be
+//! invisible to results.
+//!
+//! The acceptance-scale test drives a seeded 1 000-request trace through
+//! the batched, cached server on the virtual clock, then replays every
+//! admitted request unbatched and uncached through a fresh
+//! [`sigmo::core::StreamRunner`] (which bottoms out in
+//! `Engine::run_planned`) under the same budgets, and requires the served
+//! per-request totals, per-pair attribution, and truncated sets to be
+//! bit-identical — including requests the governor's step budget
+//! truncates.
+//!
+//! The cache-equivalence test runs a trace of all-distinct query sets and
+//! molecules twice on one server: the cold pass must miss every cache
+//! (plan and molecule hit counters exactly zero), the warm pass must hit
+//! every lookup and execute nothing, and the two passes' reports must be
+//! identical request for request.
+
+use std::collections::HashSet;
+
+use sigmo::core::{Completion, MatchMode, RunBudget};
+use sigmo::device::{DeviceProfile, Queue};
+use sigmo::graph::LabeledGraph;
+use sigmo::mol::{canonical_code, functional_groups, MoleculeGenerator};
+use sigmo::serve::{
+    generate_workload, oracle_replay, run_soak, served_outcome, MatchRequest, ServeConfig, Server,
+    TimedRequest, WorkloadConfig,
+};
+
+fn queue() -> Queue {
+    Queue::new(DeviceProfile::host())
+}
+
+/// The acceptance-criteria soak: a seeded 1k-request trace, served with
+/// batching and caching on and a step budget tight enough to truncate
+/// some molecules, checked bit for bit against the unbatched oracle.
+#[test]
+fn seeded_1k_trace_is_bit_identical_to_unbatched_oracle() {
+    let trace = generate_workload(&WorkloadConfig {
+        requests: 1000,
+        seed: 0x1517,
+        mol_pool: 96,
+        query_sets: 6,
+        queries_per_set: 6,
+        max_request_molecules: 8,
+        mean_interarrival: 3,
+        find_first_pct: 25,
+    });
+    let config = ServeConfig {
+        queue_capacity: 4096, // admit the whole trace: every request gets an oracle verdict
+        budget: RunBudget::none().with_step_budget(60),
+        ..ServeConfig::default()
+    };
+    let mut server = Server::new(config.clone(), queue());
+    let soak = run_soak(&mut server, &trace);
+    assert!(soak.rejected.is_empty(), "the sized queue must admit all");
+    assert_eq!(soak.entries.len(), trace.len());
+
+    let oracle_queue = queue();
+    let mut truncated_requests = 0usize;
+    for entry in &soak.entries {
+        let oracle = oracle_replay(&config, &trace[entry.trace_index].request, &oracle_queue);
+        assert_eq!(
+            served_outcome(&entry.report),
+            oracle,
+            "request {} diverged from the unbatched oracle",
+            entry.trace_index
+        );
+        if !entry.report.truncated_molecules.is_empty() {
+            assert_eq!(
+                entry.report.completion,
+                Completion::Truncated(sigmo::core::TruncationReason::StepBudget)
+            );
+            truncated_requests += 1;
+        }
+    }
+    assert!(
+        truncated_requests > 0,
+        "the step budget must truncate some requests, or the truncation \
+         path is untested"
+    );
+    let total: u64 = soak.entries.iter().map(|e| e.report.total_matches).sum();
+    assert!(total > 0, "trace produced no matches — test is vacuous");
+
+    // The caches must have actually carried load: the oracle equivalence
+    // above is only interesting if served results came from dedup.
+    let stats = server.stats();
+    assert!(
+        stats.result_hits > 0,
+        "pool reuse must hit the result cache"
+    );
+    assert!(
+        stats.plan_hits > 0,
+        "query-set reuse must hit the plan cache"
+    );
+    assert!(
+        stats.executed_molecules < stats.result_hits + stats.result_misses,
+        "dedup must shrink the executed set"
+    );
+}
+
+/// A trace where every request has a distinct ordered query set and every
+/// molecule is a distinct isomorphism class — so a cold server can hit
+/// nothing, and a warm rerun must hit everything.
+fn all_distinct_trace(requests: usize, mols_per_request: usize) -> Vec<TimedRequest> {
+    let mut gen = MoleculeGenerator::with_seed(0xd157);
+    let mut seen = HashSet::new();
+    let mut mols: Vec<LabeledGraph> = Vec::new();
+    while mols.len() < requests * mols_per_request {
+        let g = gen.generate().to_labeled_graph();
+        if seen.insert(canonical_code(&g)) {
+            mols.push(g);
+        }
+    }
+    let library: Vec<LabeledGraph> = functional_groups().into_iter().map(|q| q.graph).collect();
+    assert!(
+        requests <= library.len(),
+        "need one distinct window per request"
+    );
+    (0..requests)
+        .map(|i| {
+            // Rotating 3-wide windows: distinct ordered sequences, hence
+            // distinct plan-cache keys (the key is order-sensitive).
+            let queries = (0..3)
+                .map(|k| library[(i + k) % library.len()].clone())
+                .collect();
+            let molecules = mols[i * mols_per_request..(i + 1) * mols_per_request].to_vec();
+            TimedRequest {
+                arrival: i as u64,
+                request: MatchRequest {
+                    queries,
+                    molecules,
+                    mode: MatchMode::FindAll,
+                },
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn cold_and_warm_runs_agree_with_exact_hit_counters() {
+    let requests = 12;
+    let mols_per_request = 3;
+    let trace = all_distinct_trace(requests, mols_per_request);
+    let mut server = Server::new(ServeConfig::default(), queue());
+
+    let cold = run_soak(&mut server, &trace);
+    let cold_stats = server.stats();
+    assert_eq!(cold.entries.len(), requests);
+    assert_eq!(
+        cold_stats.plan_hits, 0,
+        "all-distinct trace cannot hit cold"
+    );
+    assert_eq!(cold_stats.mol_hits, 0, "all-distinct trace cannot hit cold");
+    assert_eq!(cold_stats.result_hits, 0);
+    assert_eq!(cold_stats.plan_misses, requests as u64);
+    assert_eq!(cold_stats.mol_misses, (requests * mols_per_request) as u64);
+
+    let warm = run_soak(&mut server, &trace);
+    let warm_stats = server.stats();
+    assert_eq!(warm.entries.len(), requests);
+    // Every warm lookup hits: stats are cumulative, so compare deltas.
+    assert_eq!(warm_stats.plan_hits - cold_stats.plan_hits, requests as u64);
+    assert_eq!(
+        warm_stats.mol_hits - cold_stats.mol_hits,
+        (requests * mols_per_request) as u64
+    );
+    assert_eq!(
+        warm_stats.result_hits - cold_stats.result_hits,
+        (requests * mols_per_request) as u64
+    );
+    assert_eq!(
+        warm_stats.executed_molecules, cold_stats.executed_molecules,
+        "a fully warm pass must execute nothing"
+    );
+
+    // Same per-request results, cold or warm.
+    for (c, w) in cold.entries.iter().zip(&warm.entries) {
+        assert_eq!(c.trace_index, w.trace_index);
+        assert_eq!(served_outcome(&c.report), served_outcome(&w.report));
+        assert_eq!(
+            w.report.cached_molecules, mols_per_request,
+            "warm request must be answered entirely from the cache"
+        );
+        assert_eq!(w.report.executed_molecules, 0);
+    }
+}
