@@ -188,6 +188,7 @@ fn main() {
     }
 
     check_serve(scale, &mut failures);
+    check_adaptive(scale, &mut failures);
 
     if failures.is_empty() {
         println!("bench_diff: no regression vs {baseline_path}");
@@ -208,6 +209,85 @@ fn main() {
 /// `× 1.25 + 10 ms` slack as the pipeline phases; everything driven by
 /// the virtual clock — per-request totals, final tick, latency ticks —
 /// is deterministic and must match exactly.
+/// Adaptive-join gate against `BENCH_adaptive.json` (skipped with a
+/// notice when no baseline is committed). Match totals and the adaptive
+/// engine's per-pair decision tallies are deterministic and must match
+/// exactly; the modeled join walls are deterministic too, but get the
+/// standard `× 1.25 + 10 ms` slack so deliberate cost-model retuning in
+/// a future change reads as a regression only when it actually is one.
+fn check_adaptive(scale: BenchScale, failures: &mut Vec<String>) {
+    let path = std::env::var("SIGMO_BENCH_ADAPTIVE_BASELINE")
+        .unwrap_or_else(|_| "BENCH_adaptive.json".to_string());
+    let base = match std::fs::read_to_string(&path) {
+        Ok(b) => b,
+        Err(_) => {
+            println!("bench_diff: no {path}, skipping the adaptive gate");
+            return;
+        }
+    };
+    let committed_scale = find_str(&base, "scale");
+    let fresh_scale = format!("{scale:?}");
+    assert_eq!(
+        committed_scale, fresh_scale,
+        "adaptive baseline was recorded at scale {committed_scale} but this run is {fresh_scale}"
+    );
+    let fresh = sigmo_bench::adaptive_bench::run_adaptive_bench(scale);
+    println!(
+        "{:<28} {:>12} {:>12} {:>12}  status",
+        "adaptive model", "committed_s", "fresh_s", "limit_s"
+    );
+    for s in &fresh.scenarios {
+        for (key, fresh_v) in [
+            (format!("{}_total_matches", s.name), s.total_matches),
+            (
+                format!("{}_adaptive_dfs_pairs", s.name),
+                s.decisions.dfs_pairs,
+            ),
+            (
+                format!("{}_adaptive_bfs_pairs", s.name),
+                s.decisions.bfs_pairs,
+            ),
+            (
+                format!("{}_adaptive_max_degree_pairs", s.name),
+                s.decisions.max_degree_pairs,
+            ),
+            (
+                format!("{}_adaptive_min_candidates_pairs", s.name),
+                s.decisions.min_candidates_pairs,
+            ),
+        ] {
+            let committed = find_f64(&base, &key) as u64;
+            if committed != fresh_v {
+                failures.push(format!(
+                    "adaptive {key}: fresh {fresh_v} != committed {committed} \
+                     (totals and decisions must be bit-identical)"
+                ));
+            }
+        }
+        for (key, fresh_s) in [
+            (format!("{}_model_adaptive_s", s.name), s.adaptive_model_s),
+            (format!("{}_model_dfs_maxdeg_s", s.name), s.fixed_model_s[0]),
+            (
+                format!("{}_model_bfs_mincand_s", s.name),
+                s.fixed_model_s[3],
+            ),
+        ] {
+            let committed = find_f64(&base, &key);
+            let limit = committed * REL_LIMIT + ABS_SLACK_S;
+            let ok = fresh_s <= limit;
+            println!(
+                "{key:<28} {committed:>12.9} {fresh_s:>12.9} {limit:>12.6}  {}",
+                if ok { "ok" } else { "REGRESSED" }
+            );
+            if !ok {
+                failures.push(format!(
+                    "{key}: fresh {fresh_s:.9}s > limit {limit:.6}s (committed {committed:.9}s)"
+                ));
+            }
+        }
+    }
+}
+
 fn check_serve(scale: BenchScale, failures: &mut Vec<String>) {
     let path = std::env::var("SIGMO_BENCH_SERVE_BASELINE")
         .unwrap_or_else(|_| "BENCH_serve.json".to_string());

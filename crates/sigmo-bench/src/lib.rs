@@ -14,6 +14,7 @@
 //! `quick` (default; seconds), `paper` (minutes; closest to the paper's
 //! dataset proportions).
 
+pub mod adaptive_bench;
 pub mod figures;
 pub mod scale;
 pub mod serve_bench;

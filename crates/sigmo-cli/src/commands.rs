@@ -3,7 +3,7 @@
 
 use crate::args::{ArgError, Command, ParsedArgs};
 use crate::io::{load_molecules, load_query_graphs, serialize_molecules, IoError, NamedMolecule};
-use sigmo_core::{Engine, EngineConfig, Governor, MatchMode, RunBudget};
+use sigmo_core::{Engine, EngineConfig, Governor, JoinStrategy, MatchMode, RunBudget};
 use sigmo_device::{DeviceProfile, Queue};
 use sigmo_graph::LabeledGraph;
 use sigmo_mol::{descriptors, GeneratorConfig, MoleculeGenerator};
@@ -55,6 +55,20 @@ impl From<IoError> for CliError {
     }
 }
 
+fn join_strategy(args: &ParsedArgs) -> Result<JoinStrategy, ArgError> {
+    match args.get("join-strategy") {
+        None => Ok(JoinStrategy::default()),
+        Some("dfs") => Ok(JoinStrategy::Dfs),
+        Some("bfs") => Ok(JoinStrategy::Bfs),
+        Some("adaptive") => Ok(JoinStrategy::Adaptive),
+        Some(v) => Err(ArgError::BadValue {
+            flag: "join-strategy".to_string(),
+            value: v.to_string(),
+            expected: "dfs, bfs, or adaptive",
+        }),
+    }
+}
+
 fn engine_config(args: &ParsedArgs, mode: MatchMode) -> Result<EngineConfig, ArgError> {
     Ok(EngineConfig {
         refinement_iterations: args.get_parsed("iterations", 6usize, "an integer ≥ 1")?,
@@ -64,6 +78,7 @@ fn engine_config(args: &ParsedArgs, mode: MatchMode) -> Result<EngineConfig, Arg
             Some(_) => Some(args.get_parsed("show", 10usize, "an integer")?),
             None => None,
         },
+        join_strategy: join_strategy(args)?,
         ..Default::default()
     })
 }
@@ -298,6 +313,24 @@ fn profile_table(out: &mut String, iterations: &[sigmo_core::IterationStats]) {
     }
 }
 
+/// One line of per-pair join decision tallies (`--profile true`): which
+/// variant and matching order the engine ran each surviving pair with.
+/// Fixed strategies show all pairs in one bucket per axis; adaptive runs
+/// show the cost model's split.
+fn strategy_line(out: &mut String, s: &sigmo_core::StrategyCounts) {
+    writeln!(
+        out,
+        "join decisions: {} pairs — variant dfs {} / bfs {}, \
+         order max-degree {} / min-candidates {}",
+        s.total_pairs(),
+        s.dfs_pairs,
+        s.bfs_pairs,
+        s.max_degree_pairs,
+        s.min_candidates_pairs
+    )
+    .unwrap();
+}
+
 fn cmd_match(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
     let queries = load_query_graphs(args.require("queries")?)?;
     let query_graphs: Vec<LabeledGraph> = queries.iter().map(|q| q.graph.clone()).collect();
@@ -326,6 +359,7 @@ fn cmd_match(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
     status_line(&mut out, &report.completion);
     if profile {
         profile_table(&mut out, &report.iterations);
+        strategy_line(&mut out, &report.strategy);
     }
     for &(dg, qg) in &report.matched_pair_list {
         writeln!(out, "match\t{}\t{}", queries[qg].name, data[dg].name).unwrap();
@@ -592,6 +626,48 @@ mod tests {
         let plain = parse_args(&strs(&["match", "--queries", &q, "--data", &d])).unwrap();
         let out2 = run_command(&plain).unwrap();
         assert!(!out2.stdout.contains("filter profile"));
+    }
+
+    #[test]
+    fn join_strategy_flag_selects_and_profiles_decisions() {
+        let q = write_temp("qs.smi", "C=O carbonyl\n");
+        let d = write_temp("ds.smi", "CC(=O)O acid\nCC(=O)C acetone\n");
+        let run = |strategy: &str| {
+            let args = parse_args(&strs(&[
+                "match",
+                "--queries",
+                &q,
+                "--data",
+                &d,
+                "--join-strategy",
+                strategy,
+                "--profile",
+                "true",
+            ]))
+            .unwrap();
+            run_command(&args).unwrap().stdout
+        };
+        let dfs = run("dfs");
+        let bfs = run("bfs");
+        let adaptive = run("adaptive");
+        for out in [&dfs, &bfs, &adaptive] {
+            assert!(out.contains("2 embeddings"), "{out}");
+            assert!(out.contains("join decisions:"), "{out}");
+        }
+        assert!(dfs.contains("bfs 0"), "{dfs}");
+        assert!(bfs.contains("dfs 0"), "{bfs}");
+
+        let bad = parse_args(&strs(&[
+            "match",
+            "--queries",
+            &q,
+            "--data",
+            &d,
+            "--join-strategy",
+            "quantum",
+        ]))
+        .unwrap();
+        assert!(matches!(run_command(&bad), Err(CliError::Args(_))));
     }
 
     #[test]

@@ -8,15 +8,20 @@
 
 use crate::candidates::{CandidateBitmap, WordWidth};
 use crate::filter::{
-    initialize_candidates_bucketed, refine_candidates_classes, refine_candidates_delta,
+    initialize_candidates_bucketed, label_pair_filter, refine_candidates_classes,
+    refine_candidates_delta,
 };
 use crate::governor::{Completion, Governor};
-use crate::join::{join, JoinMode, JoinParams, MatchRecord, QueryPlan as JoinPlan};
+use crate::join::cost::{JoinVariant, OrderChoice};
+use crate::join::{
+    join_with_policy, JoinMode, JoinParams, JoinPolicy, MatchRecord, PolicyMode,
+    QueryPlan as JoinPlan,
+};
 use crate::mapping::Gmcr;
 use crate::plan::QueryPlan;
 use crate::schema::LabelSchema;
 use crate::signature::SignatureSet;
-use crate::stats::{CandidateStats, IterationStats};
+use crate::stats::{CandidateStats, IterationStats, StrategyCounts};
 use sigmo_device::Queue;
 use sigmo_graph::NodeId;
 use sigmo_graph::{CsrGo, LabeledGraph};
@@ -36,6 +41,39 @@ pub enum JoinOrder {
     /// filtering (extension: data-aware ordering, as used by VF3/RI-style
     /// engines).
     MinCandidates,
+}
+
+/// How the join picks its variant and matching order per pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Explicit-stack DFS for every pair, in the configured
+    /// [`EngineConfig::join_order`] (the historical default).
+    #[default]
+    Dfs,
+    /// Frontier-materializing BFS for every pair, in the configured
+    /// [`EngineConfig::join_order`].
+    Bfs,
+    /// Per-pair cost-model selection of both variant and order from the
+    /// surviving candidate counts (`join::cost`); ignores `join_order`.
+    Adaptive,
+    /// Adaptive with every cost-model decision flipped — the ablation
+    /// control proving the model beats its own anti-model, and the stream
+    /// runner's strategy-retry lever.
+    AdaptiveInverted,
+}
+
+impl JoinStrategy {
+    /// The opposing strategy, used by the stream runner to retry a
+    /// quarantine-bound molecule before giving up on it: fixed variants
+    /// swap, adaptive runs flip their decisions.
+    pub fn flipped(self) -> Self {
+        match self {
+            JoinStrategy::Dfs => JoinStrategy::Bfs,
+            JoinStrategy::Bfs => JoinStrategy::Dfs,
+            JoinStrategy::Adaptive => JoinStrategy::AdaptiveInverted,
+            JoinStrategy::AdaptiveInverted => JoinStrategy::Adaptive,
+        }
+    }
 }
 
 /// How the filter phase schedules refinement work.
@@ -84,10 +122,13 @@ pub struct EngineConfig {
     pub collect_limit: Option<usize>,
     /// Signature schema; defaults to the frequency-skewed organic layout.
     pub schema: LabelSchema,
-    /// Join matching-order heuristic.
+    /// Join matching-order heuristic (used by the fixed strategies; the
+    /// adaptive strategies pick per pair).
     pub join_order: JoinOrder,
     /// Refinement scheduling: exhaustive, early-exit, or delta-driven.
     pub filter_mode: FilterMode,
+    /// Join variant selection: fixed DFS/BFS or per-pair adaptive.
+    pub join_strategy: JoinStrategy,
 }
 
 impl Default for EngineConfig {
@@ -103,6 +144,7 @@ impl Default for EngineConfig {
             schema: LabelSchema::organic(),
             join_order: JoinOrder::default(),
             filter_mode: FilterMode::default(),
+            join_strategy: JoinStrategy::default(),
         }
     }
 }
@@ -186,6 +228,10 @@ pub struct RunReport {
     /// stopped by the governor (`Truncated`). Truncated totals are sound
     /// lower bounds; see DESIGN.md §8 for the degradation contract.
     pub completion: Completion,
+    /// Per-pair join variant/order decision tallies (fixed strategies
+    /// count too: every joined pair lands in one variant + one order
+    /// bucket).
+    pub strategy: StrategyCounts,
 }
 
 impl RunReport {
@@ -341,12 +387,28 @@ impl Engine {
             cfg.filter_work_group_size,
             governor,
         );
+        // Label-pair pre-check: one extra pass over the constrained query
+        // rows, clearing candidates that cannot supply the row's concrete
+        // (edge label, neighbor label) pairs. Edge labels are invisible to
+        // the node-label signature refinement below, so this is the only
+        // filter that prunes bond-order mismatches before the join — and a
+        // cleared bit here makes `next_candidate` reject the extension
+        // word-parallel instead of per-probe. Folded into iteration 1's
+        // stats (it runs at radius 0, before any refinement).
+        let pair_cleared = label_pair_filter(
+            queue,
+            data,
+            plan.pair_schema(),
+            plan.pair_rows(),
+            &bitmap,
+            governor,
+        );
         let mut iterations = Vec::with_capacity(cfg.refinement_iterations);
         iterations.push(IterationStats {
             iteration: 1,
             candidates: CandidateStats::from_bitmap(&bitmap),
-            cleared_bits: 0,
-            dirty_nodes: 0,
+            cleared_bits: pair_cleared,
+            dirty_nodes: plan.pair_rows().len() as u64,
         });
         for it in 2..=cfg.refinement_iterations {
             // Refinement only prunes, so stopping between iterations keeps
@@ -423,30 +485,55 @@ impl Engine {
         let gmcr = Gmcr::build(queue, queries, data, &bitmap, cfg.filter_work_group_size);
         let mapping = t2.elapsed();
 
-        // ❻ join.
+        // ❻ join. The max-degree plans are data-independent and come from
+        // the reusable query plan; the min-candidates ordering depends on
+        // the surviving candidate counts, so its plans are built per run —
+        // and only when something can actually use them.
         let t3 = Instant::now();
+        let adaptive = matches!(
+            cfg.join_strategy,
+            JoinStrategy::Adaptive | JoinStrategy::AdaptiveInverted
+        );
         let min_cand_plans: Vec<JoinPlan>;
-        let plans: &[JoinPlan] = match cfg.join_order {
-            // Max-degree ordering is data-independent: reuse the plan's.
-            JoinOrder::MaxDegree => plan.join_plans(),
-            JoinOrder::MinCandidates => {
-                min_cand_plans = (0..queries.num_graphs())
-                    .map(|qg| {
-                        // A zero-node query has no min-candidates node and
-                        // no plan: it matches nothing, the join skips it.
-                        match queries
-                            .node_range(qg)
-                            .min_by_key(|&v| bitmap.row_count(v as usize))
-                        {
-                            Some(start) => {
-                                JoinPlan::build_from(queries, qg, cfg.induced, start as NodeId)
-                            }
-                            None => JoinPlan::empty(),
+        let min_cand_slice: &[JoinPlan] = if adaptive || cfg.join_order == JoinOrder::MinCandidates
+        {
+            min_cand_plans = (0..queries.num_graphs())
+                .map(|qg| {
+                    // A zero-node query has no min-candidates node and no
+                    // plan: it matches nothing, the join skips it. Count
+                    // ties break toward the smallest node id (min_by_key
+                    // already keeps the first minimum; the explicit key
+                    // makes the ordering a stated contract, not an
+                    // implementation accident — adaptive runs must be
+                    // bit-identical across thread counts).
+                    match queries
+                        .node_range(qg)
+                        .min_by_key(|&v| (bitmap.row_count(v as usize), v))
+                    {
+                        Some(start) => {
+                            JoinPlan::build_from(queries, qg, cfg.induced, start as NodeId)
                         }
-                    })
-                    .collect();
-                &min_cand_plans
-            }
+                        None => JoinPlan::empty(),
+                    }
+                })
+                .collect();
+            &min_cand_plans
+        } else {
+            plan.join_plans()
+        };
+        let fixed_order = match cfg.join_order {
+            JoinOrder::MaxDegree => OrderChoice::MaxDegree,
+            JoinOrder::MinCandidates => OrderChoice::MinCandidates,
+        };
+        let policy = JoinPolicy {
+            max_degree: plan.join_plans(),
+            min_candidates: min_cand_slice,
+            mode: match cfg.join_strategy {
+                JoinStrategy::Dfs => PolicyMode::Fixed(JoinVariant::Dfs, fixed_order),
+                JoinStrategy::Bfs => PolicyMode::Fixed(JoinVariant::Bfs, fixed_order),
+                JoinStrategy::Adaptive => PolicyMode::Adaptive { inverted: false },
+                JoinStrategy::AdaptiveInverted => PolicyMode::Adaptive { inverted: true },
+            },
         };
         let params = JoinParams {
             mode: cfg.mode,
@@ -455,7 +542,7 @@ impl Engine {
             collect_limit: cfg.collect_limit,
             governor: governor.clone(),
         };
-        let outcome = join(queue, queries, data, &bitmap, &gmcr, plans, &params);
+        let outcome = join_with_policy(queue, queries, data, &bitmap, &gmcr, &policy, &params);
         // Figure 2's output arrow: matched-pair flags (and any collected
         // embeddings) move device → host.
         queue.record_transfer(
@@ -490,6 +577,7 @@ impl Engine {
             graph_bytes: queries.memory_bytes() + data.memory_bytes(),
             signature_bytes: (queries.num_nodes() + data.num_nodes()) * 8,
             completion: outcome.completion,
+            strategy: outcome.strategy,
         }
     }
 
@@ -705,6 +793,67 @@ mod tests {
     fn zero_iterations_rejected() {
         let q = labeled(&[1], &[]);
         Engine::new(EngineConfig::with_iterations(0)).run(&[q.clone()], &[q], &queue());
+    }
+
+    #[test]
+    fn all_join_strategies_agree_on_results() {
+        // Mixed batch: a star query (wide candidate rows → BFS territory)
+        // and a rare-label path (selective → min-candidates territory).
+        let star = labeled(&[1, 0, 0, 0], &[(0, 1, 1), (0, 2, 1), (0, 3, 1)]);
+        let path = labeled(&[1, 3, 2], &[(0, 1, 1), (1, 2, 1)]);
+        let data: Vec<LabeledGraph> = vec![
+            labeled(
+                &[1, 0, 0, 0, 0, 0],
+                &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (0, 4, 1), (0, 5, 1)],
+            ),
+            labeled(&[1, 3, 2, 0], &[(0, 1, 1), (1, 2, 1), (0, 3, 1)]),
+            labeled(&[1, 3], &[(0, 1, 1)]),
+        ];
+        let qs = [star, path];
+        let run = |strategy| {
+            Engine::new(EngineConfig {
+                join_strategy: strategy,
+                ..Default::default()
+            })
+            .run(&qs, &data, &queue())
+        };
+        let base = run(JoinStrategy::Dfs);
+        assert!(base.total_matches > 0);
+        assert_eq!(base.strategy.total_pairs(), base.strategy.dfs_pairs);
+        for strategy in [
+            JoinStrategy::Bfs,
+            JoinStrategy::Adaptive,
+            JoinStrategy::AdaptiveInverted,
+        ] {
+            let r = run(strategy);
+            assert_eq!(r.total_matches, base.total_matches, "{strategy:?}");
+            assert_eq!(r.matched_pair_list, base.matched_pair_list, "{strategy:?}");
+            assert_eq!(r.pair_counts, base.pair_counts, "{strategy:?}");
+            assert_eq!(
+                r.strategy.total_pairs(),
+                base.strategy.total_pairs(),
+                "{strategy:?}"
+            );
+        }
+        let bfs = run(JoinStrategy::Bfs);
+        assert_eq!(bfs.strategy.dfs_pairs, 0);
+        assert_eq!(bfs.strategy.total_pairs(), bfs.strategy.bfs_pairs);
+    }
+
+    #[test]
+    fn label_pair_precheck_prunes_bond_mismatch_at_init() {
+        // Query C=O (double bond); data C-O (single). Node labels agree, so
+        // only the pair pre-check can prune before the join.
+        let q = labeled(&[1, 3], &[(0, 1, 2)]);
+        let d = labeled(&[1, 3], &[(0, 1, 1)]);
+        let report = Engine::with_defaults().run(&[q], &[d], &queue());
+        assert_eq!(report.total_matches, 0);
+        assert_eq!(
+            report.iterations[0].cleared_bits, 2,
+            "both rows' only candidate dies in the pre-check"
+        );
+        assert_eq!(report.iterations[0].dirty_nodes, 2, "both rows constrained");
+        assert_eq!(report.gmcr_pairs, 0, "the pair never reaches the join");
     }
 }
 

@@ -27,7 +27,7 @@ use crate::governor::Governor;
 use crate::schema::LabelSchema;
 use crate::signature::{Signature, SignatureSet};
 use sigmo_device::Queue;
-use sigmo_graph::{CsrGo, Label, NodeId, WILDCARD_LABEL};
+use sigmo_graph::{CsrGo, EdgeLabel, Label, NodeId, WILDCARD_EDGE, WILDCARD_LABEL};
 
 /// Modeled instruction cost of one label comparison in the init kernel.
 const INIT_INSTR_PER_QNODE: u64 = 4;
@@ -569,6 +569,145 @@ pub fn refine_candidates_delta(
         },
     );
     snap.atomic_ops
+}
+
+/// Number of (edge label, neighbor label) pair buckets: 16 uniform 4-bit
+/// groups fill the 64-bit pair [`Signature`].
+pub const PAIR_BUCKETS: usize = 16;
+
+/// Schema of the label-pair signatures ([`pair_signature`]).
+pub fn pair_schema() -> LabelSchema {
+    LabelSchema::uniform(PAIR_BUCKETS)
+}
+
+/// Bucket of a fully-concrete (edge label, neighbor node label) pair.
+/// Both sides hash with the same function, so a query pair and the data
+/// pair that satisfies it always land in the same bucket.
+#[inline]
+pub fn pair_bucket(edge_label: EdgeLabel, neighbor_label: Label) -> Label {
+    ((edge_label as u32 * 31 + neighbor_label as u32 * 131) % PAIR_BUCKETS as u32) as u8
+}
+
+/// The label-pair signature of node `v`: saturating bucketed counts of
+/// its fully-concrete incident (edge label, neighbor label) pairs.
+///
+/// Pairs with a wildcard on either side are skipped — on the query side
+/// because a wildcard pair constrains nothing, on the data side because a
+/// wildcard data edge/neighbor can never satisfy a *concrete* query pair
+/// (the join and init kernels require exact equality against concrete
+/// query labels). Soundness: under any embedding, injectivity maps the
+/// query node's concrete pairs to distinct data pairs with equal edge and
+/// neighbor labels, so the data node's bucket counts dominate the query
+/// node's — bucketing (a pure function of the pair) and saturation both
+/// preserve domination.
+pub fn pair_signature(graph: &CsrGo, schema: &LabelSchema, v: NodeId) -> Signature {
+    let mut sig = Signature::EMPTY;
+    let nbrs = graph.neighbors(v);
+    let labels = graph.neighbor_edge_labels(v);
+    for (i, &u) in nbrs.iter().enumerate() {
+        let el = labels[i];
+        let nl = graph.label(u);
+        if el == WILDCARD_EDGE || nl == WILDCARD_LABEL {
+            continue;
+        }
+        sig.add(schema, pair_bucket(el, nl), 1);
+    }
+    sig
+}
+
+/// The label-pair pre-check kernel: clears candidate bits whose data node
+/// cannot supply the query node's concrete (edge label, neighbor label)
+/// pairs. Runs once, right after init — edge labels are invisible to the
+/// signature refinement loop (node-label signatures only), so this is the
+/// one filter that prunes bond-order mismatches *before* the join's
+/// per-extension edge checks, and the bits it clears make `next_candidate`
+/// reject those extensions word-parallel via the bitmap probe.
+///
+/// Transposed like [`refine_candidates_delta`]: one work-item per
+/// constrained query row (`pair_rows`, precomputed by the plan — rows
+/// whose pair signature is non-empty), enumerating its live bits
+/// word-parallel and testing bucket domination at each. Data-side pair
+/// signatures are built host-side per launch (one pass over the data
+/// adjacency, like `SignatureSet::advance`).
+///
+/// Returns the number of bits cleared.
+pub fn label_pair_filter(
+    queue: &Queue,
+    data: &CsrGo,
+    schema: &LabelSchema,
+    pair_rows: &[(u32, Signature)],
+    bitmap: &CandidateBitmap,
+    governor: &Governor,
+) -> u64 {
+    if pair_rows.is_empty() {
+        return 0;
+    }
+    let dsigs: Vec<Signature> = (0..data.num_nodes())
+        .map(|d| pair_signature(data, schema, d as NodeId))
+        .collect();
+    let word_bytes = bitmap.word_width().bytes();
+    let n = data.num_nodes();
+    let row_words = n.div_ceil(64) as u64;
+    let snap = queue.parallel_for_chunks_until(
+        "label_pair_filter",
+        "filter",
+        pair_rows.len(),
+        DELTA_ROWS_PER_GROUP,
+        || governor.stopped(),
+        |items, counters| {
+            // Group-local charge accumulation, flushed once per work-group
+            // (same convention as the refine kernels).
+            let mut cleared = 0u64;
+            let mut tests = 0u64;
+            let mut words = 0u64;
+            let mut trip_sq = 0u64;
+            let mut rows_run = 0u64;
+            let mut visit = |r: usize| {
+                let (q, qsig) = pair_rows[r];
+                let mut row_tests = 0u64;
+                for d in bitmap.iter_set_in_range(q as usize, 0, n) {
+                    row_tests += 1;
+                    if !dsigs[d].dominates(schema, &qsig) {
+                        bitmap.clear(q as usize, d);
+                        cleared += 1;
+                    }
+                }
+                words += row_words;
+                tests += row_tests;
+                trip_sq += row_tests * row_tests;
+                rows_run += 1;
+            };
+            for r in items {
+                if governor.stopped() {
+                    break; // consult once per row, never per bit
+                }
+                visit(r);
+            }
+            // Same cost shape as the transposed delta kernel: each scanned
+            // row loads its bitmap words once, each live bit one data pair
+            // signature (8 bytes) + one domination test, each row its own
+            // signature pair (16 bytes).
+            counters.add_instructions(REFINE_INSTR_PER_TEST * tests + words);
+            counters.add_word_reads(words, word_bytes);
+            counters.add_bytes_read(tests * 8 + rows_run * 16);
+            counters.add_atomics(cleared);
+            counters.add_bytes_written(cleared * word_bytes);
+            counters.record_trip_moments(tests, trip_sq, rows_run);
+        },
+    );
+    snap.atomic_ops
+}
+
+/// The constrained-row list [`label_pair_filter`] consumes: every query
+/// row with a non-empty pair signature, ascending. Plans build this once
+/// per batch.
+pub fn pair_rows(queries: &CsrGo, schema: &LabelSchema) -> Vec<(u32, Signature)> {
+    (0..queries.num_nodes() as u32)
+        .filter_map(|q| {
+            let sig = pair_signature(queries, schema, q);
+            (sig != Signature::EMPTY).then_some((q, sig))
+        })
+        .collect()
 }
 
 /// Reference sequential filter for correctness tests: computes, per query

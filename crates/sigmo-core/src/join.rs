@@ -7,9 +7,14 @@
 //! data graph's node range via the CSR-GO graph offsets; edge labels (bond
 //! orders) are checked during expansion, and wildcard bonds match anything.
 
+pub mod cost;
+
 use crate::candidates::CandidateBitmap;
 use crate::governor::{Completion, Governor, GovernorTicker};
+use crate::join_bfs::{bfs_pair, BfsScratch};
 use crate::mapping::Gmcr;
+use crate::stats::StrategyCounts;
+use cost::{Decision, JoinVariant, OrderChoice, PairStats};
 use parking_lot::Mutex;
 use sigmo_device::Queue;
 use sigmo_graph::{CsrGo, EdgeLabel, NodeId, WILDCARD_EDGE};
@@ -60,6 +65,9 @@ pub struct JoinOutcome {
     /// a deterministic property of each graph's own workload — global
     /// trips (deadline / cancel / embedding cap) are not attributed.
     pub truncated_graphs: Vec<usize>,
+    /// Per-pair variant/order decision tallies (adaptive and fixed runs
+    /// both count), gathered host-side in deterministic pair order.
+    pub strategy: StrategyCounts,
 }
 
 /// Host-precomputed matching order for one query graph.
@@ -90,7 +98,13 @@ impl QueryPlan {
         let range = queries.node_range(qg);
         // A zero-node query has no max-degree node and no plan: it matches
         // nothing and the join skips it (degradation contract, DESIGN.md §8).
-        match range.clone().max_by_key(|&v| queries.degree(v)) {
+        // Degree ties break toward the smallest node id so the order is a
+        // pure function of the graph (not of `max_by_key`'s last-wins scan
+        // direction or any future parallel reduction).
+        match range
+            .clone()
+            .max_by_key(|&v| (queries.degree(v), std::cmp::Reverse(v)))
+        {
             Some(start) => Self::build_from(queries, qg, induced, start),
             None => Self::empty(),
         }
@@ -194,6 +208,12 @@ impl QueryPlan {
         &self.checks[k]
     }
 
+    /// Earlier order-positions NOT adjacent in the query at position `k`
+    /// (empty unless the plan was built for induced matching).
+    pub fn non_edges_at(&self, k: usize) -> &[u32] {
+        &self.non_edges[k]
+    }
+
     /// True when the plan covers no nodes (a zero-node query).
     pub fn is_empty(&self) -> bool {
         self.order.is_empty()
@@ -231,8 +251,36 @@ impl Default for JoinParams {
     }
 }
 
+/// How `join_with_policy` picks the variant and order for each pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyMode {
+    /// One variant and one matching order for every pair.
+    Fixed(JoinVariant, OrderChoice),
+    /// Per-pair decision from the [`cost`] model over the pair's surviving
+    /// candidate counts. `inverted` flips every decision — the ablation
+    /// control and the stream runner's strategy-retry lever.
+    Adaptive {
+        /// Flip each cost-model decision to its opposite.
+        inverted: bool,
+    },
+}
+
+/// Plans plus the decision mode for one join launch. Both plan slices are
+/// indexed by query graph; fixed single-order runs may pass the same slice
+/// twice.
+pub struct JoinPolicy<'a> {
+    /// Plans rooted at the max-degree query node.
+    pub max_degree: &'a [QueryPlan],
+    /// Plans rooted at the fewest-surviving-candidates query node.
+    pub min_candidates: &'a [QueryPlan],
+    /// Fixed or adaptive per-pair selection.
+    pub mode: PolicyMode,
+}
+
 /// Runs the join over all GMCR pairs. `plans[qg]` must hold the plan of
-/// query graph `qg` built with the same `induced` flag.
+/// query graph `qg` built with the same `induced` flag. Fixed DFS in the
+/// order the plans encode — the historical default; adaptive runs go
+/// through [`join_with_policy`].
 pub fn join(
     queue: &Queue,
     queries: &CsrGo,
@@ -242,19 +290,49 @@ pub fn join(
     plans: &[QueryPlan],
     params: &JoinParams,
 ) -> JoinOutcome {
+    let policy = JoinPolicy {
+        max_degree: plans,
+        min_candidates: plans,
+        mode: PolicyMode::Fixed(JoinVariant::Dfs, OrderChoice::MaxDegree),
+    };
+    join_with_policy(queue, queries, data, bitmap, gmcr, &policy, params)
+}
+
+/// Runs the join over all GMCR pairs with per-pair variant/order selection.
+///
+/// Kernel naming follows the variant so the summary table attributes the
+/// work honestly: `"join"` for fixed DFS (bit-identical counters to the
+/// pre-adaptive engine), `"join_bfs"` for fixed BFS, `"join_adaptive"`
+/// when the cost model decides per pair.
+pub fn join_with_policy(
+    queue: &Queue,
+    queries: &CsrGo,
+    data: &CsrGo,
+    bitmap: &CandidateBitmap,
+    gmcr: &Gmcr,
+    policy: &JoinPolicy<'_>,
+    params: &JoinParams,
+) -> JoinOutcome {
+    let kernel = match policy.mode {
+        PolicyMode::Fixed(JoinVariant::Dfs, _) => "join",
+        PolicyMode::Fixed(JoinVariant::Bfs, _) => "join_bfs",
+        PolicyMode::Adaptive { .. } => "join_adaptive",
+    };
     let total = AtomicU64::new(0);
     let pairs_matched = AtomicU64::new(0);
     let collected: Mutex<Vec<MatchRecord>> = Mutex::new(Vec::new());
     let limit = params.collect_limit.unwrap_or(0);
     let gov = &params.governor;
+    let word_bytes = bitmap.word_width().bytes();
     // Pre-allocated attribution buffers (device discipline: no allocation
     // inside the kernel closure). Each GMCR pair is written by exactly one
     // work-group; each trip flag by its own group.
     let pair_matches: Vec<AtomicU64> = (0..gmcr.num_pairs()).map(|_| AtomicU64::new(0)).collect();
+    let pair_decisions: Vec<AtomicU64> = (0..gmcr.num_pairs()).map(|_| AtomicU64::new(0)).collect();
     let group_tripped: Vec<AtomicU64> = (0..data.num_graphs()).map(|_| AtomicU64::new(0)).collect();
 
     queue.parallel_for_work_group_until(
-        "join",
+        kernel,
         "join",
         data.num_graphs(),
         params.work_group_size,
@@ -267,31 +345,79 @@ pub fn join(
             // so budget truncation is deterministic across thread counts
             // (work-groups are independent).
             let mut ticker = gov.ticker();
+            // Frontier buffers for BFS pairs, reused across the group's
+            // pairs so the per-pair steady state is allocation-free.
+            let mut scratch = BfsScratch::default();
             for (k, &qg) in gmcr.queries_for(dg).iter().enumerate() {
                 if gov.stopped() {
                     break;
                 }
-                let plan = &plans[qg as usize];
-                if plan.is_empty() {
+                if policy.max_degree[qg as usize].is_empty() {
                     continue; // zero-node query: matches nothing
                 }
+                let decision = match policy.mode {
+                    PolicyMode::Fixed(variant, order) => Decision { variant, order },
+                    PolicyMode::Adaptive { inverted } => {
+                        let stats = PairStats::gather(
+                            bitmap,
+                            queries.node_range(qg as usize).start,
+                            &policy.max_degree[qg as usize],
+                            &policy.min_candidates[qg as usize],
+                            drange.start,
+                            drange.end,
+                        );
+                        // The gather scans each candidate row of the pair
+                        // twice (once per order) at word granularity.
+                        ctx.counters.add_word_reads(stats.words_scanned, word_bytes);
+                        let base = cost::decide(&stats, params.mode);
+                        if inverted {
+                            base.inverted()
+                        } else {
+                            base
+                        }
+                    }
+                };
+                let plan = match decision.order {
+                    OrderChoice::MaxDegree => &policy.max_degree[qg as usize],
+                    OrderChoice::MinCandidates => &policy.min_candidates[qg as usize],
+                };
+                pair_decisions[gmcr.pair_index(dg, k)].store(decision.code(), Ordering::Relaxed);
                 let mut found_any = false;
-                let n_matches = dfs_pair(
-                    data,
-                    bitmap,
-                    queries.node_range(qg as usize).start,
-                    plan,
-                    drange.start,
-                    drange.end,
-                    params,
-                    dg,
-                    qg as usize,
-                    &collected,
-                    limit,
-                    gov,
-                    &mut ticker,
-                    &mut found_any,
-                );
+                let n_matches = match decision.variant {
+                    JoinVariant::Dfs => dfs_pair(
+                        data,
+                        bitmap,
+                        queries.node_range(qg as usize).start,
+                        plan,
+                        drange.start,
+                        drange.end,
+                        params,
+                        dg,
+                        qg as usize,
+                        &collected,
+                        limit,
+                        gov,
+                        &mut ticker,
+                        &mut found_any,
+                    ),
+                    JoinVariant::Bfs => bfs_pair(
+                        data,
+                        bitmap,
+                        queries.node_range(qg as usize).start,
+                        plan,
+                        drange.start,
+                        drange.end,
+                        params,
+                        dg,
+                        qg as usize,
+                        &collected,
+                        limit,
+                        gov,
+                        &mut ticker,
+                        &mut found_any,
+                        &mut scratch,
+                    ),
+                };
                 if found_any {
                     gmcr.mark_matched(gmcr.pair_index(dg, k));
                     pairs_matched.fetch_add(1, Ordering::Relaxed);
@@ -308,10 +434,15 @@ pub fn join(
             // prefix, and binary-searched edge-label checks — each touching
             // scattered cache lines (the paper's join is memory-bottlenecked
             // by "irregular access patterns required to read the query and
-            // data graphs", §5.1.3).
+            // data graphs", §5.1.3). BFS steps expand whole frontier rows;
+            // their extra traffic is the materialized rows, charged as
+            // bytes written.
             let steps = ticker.steps();
             ctx.counters.add_instructions(steps * 100);
             ctx.counters.add_bytes_read(steps * 200);
+            if scratch.bytes_materialized > 0 {
+                ctx.counters.add_bytes_written(scratch.bytes_materialized);
+            }
             gov.flush_steps(&ticker);
         },
     );
@@ -320,11 +451,24 @@ pub fn join(
     // (data graph, GMCR pair order) order.
     let mut pair_counts = Vec::new();
     let mut truncated_graphs = Vec::new();
+    let mut strategy = StrategyCounts::default();
     for dg in 0..data.num_graphs() {
         for (k, &qg) in gmcr.queries_for(dg).iter().enumerate() {
             let n = pair_matches[gmcr.pair_index(dg, k)].load(Ordering::Relaxed);
             if n > 0 {
                 pair_counts.push((dg, qg as usize, n));
+            }
+            if let Some(d) =
+                Decision::from_code(pair_decisions[gmcr.pair_index(dg, k)].load(Ordering::Relaxed))
+            {
+                match d.variant {
+                    JoinVariant::Dfs => strategy.dfs_pairs += 1,
+                    JoinVariant::Bfs => strategy.bfs_pairs += 1,
+                }
+                match d.order {
+                    OrderChoice::MaxDegree => strategy.max_degree_pairs += 1,
+                    OrderChoice::MinCandidates => strategy.min_candidates_pairs += 1,
+                }
             }
         }
         if group_tripped[dg].load(Ordering::Relaxed) != 0 {
@@ -339,6 +483,7 @@ pub fn join(
         records: collected.into_inner(),
         completion: gov.completion(),
         truncated_graphs,
+        strategy,
     }
 }
 

@@ -1,0 +1,267 @@
+//! The per-pair join cost model (adaptive strategy selection).
+//!
+//! The filter phase already paid for everything the model needs: the
+//! candidate bitmap holds, for every query node, the surviving candidate
+//! set restricted to each data graph's node range. The model turns those
+//! counts into two cheap decisions per (query graph, data graph) pair:
+//!
+//! * **Matching order** — max-degree-first vs min-candidates-first. Each
+//!   order's cost is estimated as the classic prefix-product series
+//!   `Σ_j Π_{k≤j} c_k` over the per-position candidate counts `c_k`
+//!   (unconditional counts, so it is an upper-bound shape, not a truth):
+//!   the order whose constrained rows come earlier has the smaller
+//!   series. Ties keep max-degree, the historical default.
+//! * **Join variant** — DFS vs BFS. The frontier-materializing BFS wins
+//!   when many partial rows share an anchor image (its per-level
+//!   candidate memo then amortizes the bitmap probes and edge-label
+//!   checks DFS re-does per row); wide candidate rows are the cheap
+//!   proxy for that regime. Find First always takes DFS: BFS cannot stop
+//!   before materializing the levels below the first embedding.
+//!
+//! Every quantity is integer arithmetic over deterministic bitmap counts,
+//! so adaptive runs are bit-identical across thread counts.
+
+use crate::candidates::CandidateBitmap;
+use crate::join::{JoinMode, QueryPlan};
+use sigmo_graph::NodeId;
+
+/// A pair is wide enough for BFS when some candidate row in the data
+/// graph's range has at least this many survivors (the anchor memo then
+/// has repetition to exploit).
+pub const BFS_MIN_FANOUT: u64 = 10;
+
+/// BFS needs at least this many query nodes to re-use a frontier at all
+/// (a 2-node query has a single extension level).
+pub const BFS_MIN_QUERY: usize = 3;
+
+/// Which join loop runs a pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinVariant {
+    /// Explicit-stack depth-first backtracking (`join.rs`).
+    Dfs,
+    /// Level-synchronous frontier expansion (`join_bfs.rs`).
+    Bfs,
+}
+
+/// Which matching order a pair uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderChoice {
+    /// BFS order rooted at the max-degree query node (the default).
+    MaxDegree,
+    /// BFS order rooted at the fewest-surviving-candidates query node.
+    MinCandidates,
+}
+
+/// One pair's resolved (variant, order) choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// DFS or BFS.
+    pub variant: JoinVariant,
+    /// Max-degree or min-candidates matching order.
+    pub order: OrderChoice,
+}
+
+impl Decision {
+    /// The opposite choice on both axes — the ablation control and the
+    /// stream runner's strategy-retry lever.
+    pub fn inverted(self) -> Self {
+        Self {
+            variant: match self.variant {
+                JoinVariant::Dfs => JoinVariant::Bfs,
+                JoinVariant::Bfs => JoinVariant::Dfs,
+            },
+            order: match self.order {
+                OrderChoice::MaxDegree => OrderChoice::MinCandidates,
+                OrderChoice::MinCandidates => OrderChoice::MaxDegree,
+            },
+        }
+    }
+
+    /// Nonzero wire code for the per-pair decision buffer (0 = pair never
+    /// ran).
+    pub fn code(self) -> u64 {
+        let v = match self.variant {
+            JoinVariant::Dfs => 0u64,
+            JoinVariant::Bfs => 2u64,
+        };
+        let o = match self.order {
+            OrderChoice::MaxDegree => 0u64,
+            OrderChoice::MinCandidates => 1u64,
+        };
+        1 + v + o
+    }
+
+    /// Inverse of [`Decision::code`]; `None` for the never-ran code 0.
+    pub fn from_code(code: u64) -> Option<Self> {
+        let (variant, order) = match code {
+            1 => (JoinVariant::Dfs, OrderChoice::MaxDegree),
+            2 => (JoinVariant::Dfs, OrderChoice::MinCandidates),
+            3 => (JoinVariant::Bfs, OrderChoice::MaxDegree),
+            4 => (JoinVariant::Bfs, OrderChoice::MinCandidates),
+            _ => return None,
+        };
+        Some(Self { variant, order })
+    }
+}
+
+/// The statistics one decision reads: per-order prefix-product cost
+/// estimates and the widest candidate row, all restricted to the pair's
+/// data-graph node range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairStats {
+    /// Query size.
+    pub qlen: usize,
+    /// Prefix-product cost series of the max-degree order.
+    pub max_degree_cost: u64,
+    /// Prefix-product cost series of the min-candidates order.
+    pub min_candidates_cost: u64,
+    /// Largest surviving-candidate count over the pair's query rows.
+    pub max_row_candidates: u64,
+    /// Bitmap words touched computing the counts (charged by the caller).
+    pub words_scanned: u64,
+}
+
+impl PairStats {
+    /// Gathers the pair's statistics from the candidate bitmap: one
+    /// word-granular row count per query node per order (each order walks
+    /// its own position sequence).
+    pub fn gather(
+        bitmap: &CandidateBitmap,
+        q_base: NodeId,
+        max_degree: &QueryPlan,
+        min_candidates: &QueryPlan,
+        d_lo: NodeId,
+        d_hi: NodeId,
+    ) -> Self {
+        let qlen = max_degree.len();
+        let span_words = ((d_hi - d_lo) as u64).div_ceil(64).max(1);
+        let mut max_row = 0u64;
+        let mut count_of = |plan: &QueryPlan, track_max: bool| -> u64 {
+            let mut cost = 0u64;
+            let mut prefix = 1u64;
+            for k in 0..plan.len() {
+                let row = (q_base + plan.order_slot(k)) as usize;
+                let c = bitmap.row_count_in_range(row, d_lo as usize, d_hi as usize) as u64;
+                if track_max && c > max_row {
+                    max_row = c;
+                }
+                prefix = prefix.saturating_mul(c.max(1));
+                cost = cost.saturating_add(prefix);
+            }
+            cost
+        };
+        let max_degree_cost = count_of(max_degree, true);
+        let min_candidates_cost = count_of(min_candidates, false);
+        Self {
+            qlen,
+            max_degree_cost,
+            min_candidates_cost,
+            max_row_candidates: max_row,
+            words_scanned: 2 * qlen as u64 * span_words,
+        }
+    }
+}
+
+/// Resolves one pair's (variant, order) from its statistics.
+pub fn decide(stats: &PairStats, mode: JoinMode) -> Decision {
+    let order = if stats.min_candidates_cost < stats.max_degree_cost {
+        OrderChoice::MinCandidates
+    } else {
+        OrderChoice::MaxDegree
+    };
+    let variant = if mode == JoinMode::FindAll
+        && stats.qlen >= BFS_MIN_QUERY
+        && stats.max_row_candidates >= BFS_MIN_FANOUT
+    {
+        JoinVariant::Bfs
+    } else {
+        JoinVariant::Dfs
+    };
+    Decision { variant, order }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(maxd: u64, minc: u64, widest: u64, qlen: usize) -> PairStats {
+        PairStats {
+            qlen,
+            max_degree_cost: maxd,
+            min_candidates_cost: minc,
+            max_row_candidates: widest,
+            words_scanned: 0,
+        }
+    }
+
+    #[test]
+    fn order_prefers_smaller_cost_series_and_keeps_default_on_tie() {
+        let d = decide(&stats(100, 10, 2, 4), JoinMode::FindAll);
+        assert_eq!(d.order, OrderChoice::MinCandidates);
+        let d = decide(&stats(10, 100, 2, 4), JoinMode::FindAll);
+        assert_eq!(d.order, OrderChoice::MaxDegree);
+        let d = decide(&stats(50, 50, 2, 4), JoinMode::FindAll);
+        assert_eq!(d.order, OrderChoice::MaxDegree, "tie keeps the default");
+    }
+
+    #[test]
+    fn wide_find_all_pairs_take_bfs_and_find_first_never_does() {
+        let wide = stats(100, 100, BFS_MIN_FANOUT, BFS_MIN_QUERY);
+        assert_eq!(decide(&wide, JoinMode::FindAll).variant, JoinVariant::Bfs);
+        assert_eq!(
+            decide(&wide, JoinMode::FindFirst).variant,
+            JoinVariant::Dfs,
+            "Find First cannot profit from level materialization"
+        );
+        let narrow = stats(100, 100, BFS_MIN_FANOUT - 1, 8);
+        assert_eq!(decide(&narrow, JoinMode::FindAll).variant, JoinVariant::Dfs);
+        let tiny = stats(100, 100, 50, BFS_MIN_QUERY - 1);
+        assert_eq!(decide(&tiny, JoinMode::FindAll).variant, JoinVariant::Dfs);
+    }
+
+    #[test]
+    fn decision_codes_round_trip() {
+        assert_eq!(Decision::from_code(0), None);
+        for code in 1..=4 {
+            let d = Decision::from_code(code).unwrap();
+            assert_eq!(d.code(), code);
+            let flipped = d.inverted();
+            assert_ne!(flipped.variant, d.variant);
+            assert_ne!(flipped.order, d.order);
+            assert_eq!(flipped.inverted(), d);
+        }
+    }
+
+    #[test]
+    fn gather_cost_series_is_prefix_products() {
+        use crate::candidates::{CandidateBitmap, WordWidth};
+        use sigmo_graph::{CsrGo, LabeledGraph};
+        // Query: path 0-1-2 (labels 1,1,1); data: 6 nodes all label 1.
+        let mut q = LabeledGraph::new();
+        for _ in 0..3 {
+            q.add_node(1);
+        }
+        q.add_edge(0, 1, 1).unwrap();
+        q.add_edge(1, 2, 1).unwrap();
+        let queries = CsrGo::from_graphs(&[q]);
+        let bm = CandidateBitmap::new(3, 6, WordWidth::U64);
+        // Row candidate counts 2, 3, 1.
+        bm.set(0, 0);
+        bm.set(0, 1);
+        bm.set(1, 0);
+        bm.set(1, 1);
+        bm.set(1, 2);
+        bm.set(2, 5);
+        let maxdeg = QueryPlan::build(&queries, 0, false);
+        // Max-degree root is node 1 (degree 2): order 1,0,2 → counts
+        // 3,2,1 → series 3 + 6 + 6 = 15.
+        let minc = QueryPlan::build_from(&queries, 0, false, 2);
+        // Rooted at node 2: order 2,1,0 → counts 1,3,2 → 1 + 3 + 6 = 10.
+        let s = PairStats::gather(&bm, 0, &maxdeg, &minc, 0, 6);
+        assert_eq!(s.max_degree_cost, 15);
+        assert_eq!(s.min_candidates_cost, 10);
+        assert_eq!(s.max_row_candidates, 3);
+        assert_eq!(s.qlen, 3);
+        assert!(s.words_scanned > 0);
+    }
+}

@@ -12,9 +12,10 @@
 //! two directly.
 
 use crate::candidates::CandidateBitmap;
-use crate::governor::{Completion, Governor};
-use crate::join::QueryPlan;
+use crate::governor::{Completion, Governor, GovernorTicker};
+use crate::join::{JoinMode, JoinParams, MatchRecord, QueryPlan};
 use crate::mapping::Gmcr;
+use parking_lot::Mutex;
 use sigmo_device::Queue;
 use sigmo_graph::{CsrGo, NodeId, WILDCARD_EDGE};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -175,6 +176,196 @@ fn charge(counters: &sigmo_device::KernelCounters, local_rows: u64, qlen: usize)
     counters.add_bytes_read(local_rows * (qlen as u64 * 4 + 200));
     counters.add_bytes_written(local_rows * qlen as u64 * 4);
     counters.record_trips(local_rows + 1);
+}
+
+/// Reusable per-work-group BFS buffers: flat row-major double-buffered
+/// frontiers (all rows at one level have the same length, so a level is
+/// one `Vec` with a stride) plus a one-entry candidate memo keyed on the
+/// current anchor image. Reused across a work-group's pairs, so the
+/// steady state allocates nothing.
+#[derive(Debug, Default)]
+pub struct BfsScratch {
+    /// The current level's rows, `stride` nodes each.
+    cur: Vec<NodeId>,
+    /// The next level's rows, `stride + 1` nodes each.
+    next: Vec<NodeId>,
+    /// Filtered candidates of the last anchor image seen at this level —
+    /// consecutive rows sharing an anchor skip the bitmap and edge-label
+    /// probes entirely (the amortization DFS cannot do).
+    cache: Vec<NodeId>,
+    /// Frontier bytes materialized since construction; the join kernel
+    /// drains this into `bytes_written` once per work-group.
+    pub bytes_materialized: u64,
+}
+
+/// Appends one embedding to the collection buffer, reordering from
+/// matching order to query-local node order. `prefix` holds positions
+/// `0..qlen-1`; `last` is the final extension.
+fn record_row(
+    collected: &Mutex<Vec<MatchRecord>>,
+    limit: usize,
+    plan: &QueryPlan,
+    dg: usize,
+    qg: usize,
+    prefix: &[NodeId],
+    last: NodeId,
+) {
+    if limit == 0 {
+        return;
+    }
+    let mut guard = collected.lock();
+    if guard.len() >= limit {
+        return;
+    }
+    let qlen = plan.len();
+    let mut by_node = vec![NodeId::MAX; qlen];
+    for (k, &dn) in prefix.iter().enumerate() {
+        by_node[plan.order_slot(k) as usize] = dn;
+    }
+    by_node[plan.order_slot(qlen - 1) as usize] = last;
+    guard.push(MatchRecord {
+        data_graph: dg,
+        query_graph: qg,
+        mapping: by_node,
+    });
+}
+
+/// Level-synchronous BFS for one (query graph, data graph) pair, the
+/// per-pair twin of `join::dfs_pair`: same mode/limit/induced semantics,
+/// same return contract (embeddings found; on a governor trip the count
+/// so far — rows only count once fully extended, so partials are sound).
+/// Ticked once per frontier row expanded (word granularity: a row
+/// expansion walks a whole adjacency run).
+// sigmo-lint: allow(uncharged-access) — per-row traffic is charged in
+// aggregate by join_with_policy(): steps × per-step cost at the end of
+// each work-group, plus the scratch's materialized bytes; charging here
+// would double-count.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bfs_pair(
+    data: &CsrGo,
+    bitmap: &CandidateBitmap,
+    q_base: NodeId,
+    plan: &QueryPlan,
+    d_lo: NodeId,
+    d_hi: NodeId,
+    params: &JoinParams,
+    dg: usize,
+    qg: usize,
+    collected: &Mutex<Vec<MatchRecord>>,
+    limit: usize,
+    gov: &Governor,
+    ticker: &mut GovernorTicker,
+    found_any: &mut bool,
+    scratch: &mut BfsScratch,
+) -> u64 {
+    const INVALID: NodeId = NodeId::MAX;
+    let qlen = plan.len();
+    if qlen as u32 > d_hi - d_lo {
+        return 0; // query larger than the data graph
+    }
+    scratch.cur.clear();
+    let q0 = (q_base + plan.order_slot(0)) as usize;
+    for d in bitmap.iter_set_in_range(q0, d_lo as usize, d_hi as usize) {
+        scratch.cur.push(d as NodeId);
+    }
+    scratch.bytes_materialized += scratch.cur.len() as u64 * 4;
+    let mut matches = 0u64;
+    if qlen == 1 {
+        for i in 0..scratch.cur.len() {
+            let d = scratch.cur[i];
+            matches += 1;
+            *found_any = true;
+            record_row(collected, limit, plan, dg, qg, &[], d);
+            if gov.note_embedding() || params.mode == JoinMode::FindFirst {
+                return matches;
+            }
+        }
+        return matches;
+    }
+    let mut stride = 1usize;
+    for depth in 1..qlen {
+        let q_node = (q_base + plan.order_slot(depth)) as usize;
+        let anchor_pos = plan.anchor_slot(depth) as usize;
+        // Required edge label toward the anchor (the anchor is an earlier
+        // adjacent neighbor, so the check list always holds it).
+        let anchor_ql = plan
+            .checks_at(depth)
+            .iter()
+            .find(|&&(p, _)| p as usize == anchor_pos)
+            .map(|&(_, ql)| ql)
+            .unwrap_or(WILDCARD_EDGE);
+        let last_level = depth + 1 == qlen;
+        scratch.next.clear();
+        let mut cached_anchor = INVALID;
+        let rows = scratch.cur.len() / stride;
+        for r in 0..rows {
+            if ticker.tick(gov) {
+                return matches; // trip: completed embeddings stay counted
+            }
+            let row_start = r * stride;
+            let anchor_img = scratch.cur[row_start + anchor_pos];
+            if anchor_img != cached_anchor {
+                cached_anchor = anchor_img;
+                scratch.cache.clear();
+                let nbrs = data.neighbors(anchor_img);
+                let labels = data.neighbor_edge_labels(anchor_img);
+                for (i, &d) in nbrs.iter().enumerate() {
+                    if (anchor_ql == WILDCARD_EDGE || anchor_ql == labels[i])
+                        && bitmap.get(q_node, d as usize)
+                    {
+                        scratch.cache.push(d);
+                    }
+                }
+            }
+            'cand: for ci in 0..scratch.cache.len() {
+                let d = scratch.cache[ci];
+                let row = &scratch.cur[row_start..row_start + stride];
+                if row.contains(&d) {
+                    continue; // injectivity
+                }
+                for &(p, ql) in plan.checks_at(depth) {
+                    if p as usize == anchor_pos {
+                        continue; // validated when the memo was filled
+                    }
+                    match data.edge_label(row[p as usize], d) {
+                        Some(dl) => {
+                            if ql != WILDCARD_EDGE && ql != dl {
+                                continue 'cand;
+                            }
+                        }
+                        None => continue 'cand,
+                    }
+                }
+                if params.induced {
+                    for &p in plan.non_edges_at(depth) {
+                        if data.has_edge(row[p as usize], d) {
+                            continue 'cand;
+                        }
+                    }
+                }
+                if last_level {
+                    matches += 1;
+                    *found_any = true;
+                    record_row(collected, limit, plan, dg, qg, row, d);
+                    if gov.note_embedding() || params.mode == JoinMode::FindFirst {
+                        return matches;
+                    }
+                } else {
+                    scratch.next.extend_from_slice(row);
+                    scratch.next.push(d);
+                    scratch.bytes_materialized += (stride as u64 + 1) * 4;
+                }
+            }
+        }
+        if !last_level {
+            std::mem::swap(&mut scratch.cur, &mut scratch.next);
+            stride += 1;
+            if scratch.cur.is_empty() {
+                return matches;
+            }
+        }
+    }
+    matches
 }
 
 #[cfg(test)]

@@ -47,9 +47,12 @@ pub mod stats;
 pub mod stream;
 
 pub use candidates::{CandidateBitmap, WordWidth};
-pub use engine::{Engine, EngineConfig, FilterMode, JoinOrder, MatchMode, PhaseTimings, RunReport};
+pub use engine::{
+    Engine, EngineConfig, FilterMode, JoinOrder, JoinStrategy, MatchMode, PhaseTimings, RunReport,
+};
 pub use filter::{DeltaClasses, LabelBuckets, SignatureClasses};
 pub use governor::{CancelToken, Completion, Governor, RunBudget, TruncationReason};
+pub use join::cost::{JoinVariant, OrderChoice};
 pub use join::{JoinOutcome, MatchRecord};
 pub use join_bfs::{join_bfs, BfsJoinOutcome};
 pub use mapping::Gmcr;
@@ -57,5 +60,5 @@ pub use memory::{estimate as estimate_memory, estimate_scaled, max_scale_factor,
 pub use plan::QueryPlan;
 pub use schema::LabelSchema;
 pub use signature::{Signature, SignatureSet};
-pub use stats::{CandidateStats, IterationStats};
+pub use stats::{CandidateStats, IterationStats, StrategyCounts};
 pub use stream::{Quarantined, StreamReport, StreamRunner};

@@ -96,6 +96,40 @@ pub fn reference_filter(
     cleared
 }
 
+/// Per-bit reference of the label-pair pre-check: for every set bit,
+/// recomputes both pair signatures from scratch and clears on a failed
+/// domination test. Shares the signature definition with the kernel
+/// (`filter::pair_signature`), so the differential test pins only the
+/// word-parallel row enumeration and the precomputed-row/ data-signature
+/// caching. Returns the number of bits cleared.
+// sigmo-lint: allow(per-bit-probe) — this IS the per-bit oracle for the
+// transposed word-parallel label_pair_filter kernel.
+pub fn label_pair_filter(
+    queries: &CsrGo,
+    data: &CsrGo,
+    schema: &LabelSchema,
+    bitmap: &CandidateBitmap,
+) -> u64 {
+    let mut cleared = 0u64;
+    for q in 0..queries.num_nodes() {
+        let qsig = crate::filter::pair_signature(queries, schema, q as NodeId);
+        if qsig == crate::signature::Signature::EMPTY {
+            continue;
+        }
+        for d in 0..data.num_nodes() {
+            if !bitmap.get(q, d) {
+                continue;
+            }
+            let dsig = crate::filter::pair_signature(data, schema, d as NodeId);
+            if !dsig.dominates(schema, &qsig) {
+                bitmap.clear(q, d);
+                cleared += 1;
+            }
+        }
+    }
+    cleared
+}
+
 /// Per-bit candidate enumeration: probes every column of `[col_lo, col_hi)`
 /// with `get`, in ascending order.
 // sigmo-lint: allow(per-bit-probe) — oracle for iter_set_in_range; the

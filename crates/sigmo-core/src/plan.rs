@@ -25,7 +25,7 @@
 //! run and every rank borrows it.
 
 use crate::engine::EngineConfig;
-use crate::filter::{DeltaClasses, LabelBuckets, SignatureClasses};
+use crate::filter::{self, DeltaClasses, LabelBuckets, SignatureClasses};
 use crate::join;
 use crate::schema::LabelSchema;
 use crate::signature::{Signature, SignatureSet};
@@ -79,6 +79,11 @@ pub struct QueryPlan {
     /// Max-degree join plans per query graph (the data-aware
     /// min-candidates ordering still has to be built per run).
     join_plans: Vec<join::QueryPlan>,
+    /// Schema of the label-pair signatures (fixed 16 uniform buckets).
+    pair_schema: LabelSchema,
+    /// Query rows with a non-empty label-pair signature — the work list of
+    /// the label-pair pre-check kernel (a pure function of the batch).
+    pair_rows: Vec<(u32, Signature)>,
 }
 
 impl QueryPlan {
@@ -125,6 +130,8 @@ impl QueryPlan {
         let join_plans = (0..csr.num_graphs())
             .map(|qg| join::QueryPlan::build(&csr, qg, config.induced))
             .collect();
+        let pair_schema = filter::pair_schema();
+        let pair_rows = filter::pair_rows(&csr, &pair_schema);
         Self {
             csr,
             schema: config.schema.clone(),
@@ -134,6 +141,8 @@ impl QueryPlan {
             last_dirty_radius,
             classes_builds,
             join_plans,
+            pair_schema,
+            pair_rows,
         }
     }
 
@@ -209,6 +218,18 @@ impl QueryPlan {
     pub fn join_plans(&self) -> &[join::QueryPlan] {
         &self.join_plans
     }
+
+    /// The label-pair signature schema.
+    pub fn pair_schema(&self) -> &LabelSchema {
+        &self.pair_schema
+    }
+
+    /// Query rows with a non-empty label-pair signature, ascending — the
+    /// pre-check kernel's work list (empty when every query edge or
+    /// neighbor is a wildcard, in which case the pre-check is skipped).
+    pub fn pair_rows(&self) -> &[(u32, Signature)] {
+        &self.pair_rows
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +284,15 @@ mod tests {
     fn join_plans_cover_every_query_graph() {
         let plan = QueryPlan::build(&queries(), &EngineConfig::default());
         assert_eq!(plan.join_plans().len(), 2);
+    }
+
+    #[test]
+    fn pair_rows_list_constrained_query_nodes_only() {
+        let plan = QueryPlan::build(&queries(), &EngineConfig::default());
+        // Both C-O endpoints carry one concrete (edge, neighbor) pair; the
+        // isolated C node has none and must not enter the work list.
+        let rows: Vec<u32> = plan.pair_rows().iter().map(|&(q, _)| q).collect();
+        assert_eq!(rows, vec![0, 1]);
     }
 
     #[test]

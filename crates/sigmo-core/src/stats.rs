@@ -82,12 +82,47 @@ pub struct IterationStats {
     pub iteration: usize,
     /// Candidate summary after this iteration's refinement.
     pub candidates: CandidateStats,
-    /// Bits cleared by this iteration's refine kernel.
+    /// Bits cleared by this iteration's refine kernel. Iteration 1 (init)
+    /// reports the label-pair pre-check's clears.
     pub cleared_bits: u64,
     /// Query rows whose signature moved at this radius — the rows the
     /// delta kernel re-tested. Exhaustive (non-incremental) iterations
-    /// count every query row; iteration 1 (init) reports 0.
+    /// count every query row; iteration 1 (init) reports the rows the
+    /// label-pair pre-check scanned.
     pub dirty_nodes: u64,
+}
+
+/// Per-run tally of the adaptive join engine's per-pair decisions: which
+/// variant (DFS vs BFS) and which matching order (max-degree vs
+/// min-candidates-first) each surviving GMCR pair was joined with. Fixed
+/// strategies tally too — every run pair lands in exactly one variant
+/// bucket and one order bucket, so `dfs_pairs + bfs_pairs` is the number
+/// of joined pairs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct StrategyCounts {
+    /// Pairs joined with the explicit-stack DFS.
+    pub dfs_pairs: u64,
+    /// Pairs joined with the frontier-materializing BFS.
+    pub bfs_pairs: u64,
+    /// Pairs joined in max-degree-first matching order.
+    pub max_degree_pairs: u64,
+    /// Pairs joined in min-candidates-first matching order.
+    pub min_candidates_pairs: u64,
+}
+
+impl StrategyCounts {
+    /// Number of (query, data-graph) pairs that reached the join.
+    pub fn total_pairs(&self) -> u64 {
+        self.dfs_pairs + self.bfs_pairs
+    }
+
+    /// Accumulates another run's tallies (stream chunks fold into one).
+    pub fn add(&mut self, other: &StrategyCounts) {
+        self.dfs_pairs += other.dfs_pairs;
+        self.bfs_pairs += other.bfs_pairs;
+        self.max_degree_pairs += other.max_degree_pairs;
+        self.min_candidates_pairs += other.min_candidates_pairs;
+    }
 }
 
 #[cfg(test)]

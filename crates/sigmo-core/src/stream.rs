@@ -13,6 +13,7 @@ use crate::engine::{Engine, EngineConfig};
 use crate::governor::{CancelToken, Completion, Governor, RunBudget, TruncationReason};
 use crate::memory::estimate_batched;
 use crate::plan::QueryPlan;
+use crate::stats::StrategyCounts;
 use sigmo_device::Queue;
 use sigmo_graph::{CsrGo, LabeledGraph};
 use std::time::Duration;
@@ -64,6 +65,13 @@ pub struct StreamReport {
     /// Chunks whose results were discarded and re-run as two halves by
     /// the bisection protocol.
     pub retried_chunks: usize,
+    /// Per-pair join variant/order decision tallies, folded across every
+    /// chunk whose results entered the totals.
+    pub strategy: StrategyCounts,
+    /// Single molecules that tripped their budget and were re-run with
+    /// the flipped join strategy before quarantine was considered
+    /// ([`StreamRunner::with_strategy_retry`]).
+    pub strategy_retries: usize,
 }
 
 impl StreamReport {
@@ -101,6 +109,9 @@ pub struct StreamRunner {
     budget: RunBudget,
     /// Cancel token observed by every chunk's governor.
     cancel: CancelToken,
+    /// Retry a budget-tripping single molecule with the flipped join
+    /// strategy before quarantining it.
+    strategy_retry: bool,
 }
 
 impl StreamRunner {
@@ -112,6 +123,7 @@ impl StreamRunner {
             max_chunk_molecules: 100_000,
             budget: RunBudget::none(),
             cancel: CancelToken::new(),
+            strategy_retry: false,
         }
     }
 
@@ -138,6 +150,20 @@ impl StreamRunner {
     /// The cancel token this runner observes.
     pub fn cancel_token(&self) -> CancelToken {
         self.cancel.clone()
+    }
+
+    /// Enables the strategy-retry quarantine path: a molecule that trips
+    /// its budget *alone* is re-run once with the flipped join strategy
+    /// ([`crate::JoinStrategy::flipped`]) under a fresh governor. A search
+    /// space pathological for one exploration order is often tame for the
+    /// other (a DFS stuck in a deep combinatorial pocket may be a few
+    /// shallow BFS frontiers), so this salvages complete results the
+    /// bisection protocol would have quarantined as partial. Off by
+    /// default: the retry burns up to one extra budget per pathological
+    /// molecule.
+    pub fn with_strategy_retry(mut self, enabled: bool) -> Self {
+        self.strategy_retry = enabled;
+        self
     }
 
     /// Consumes a molecule stream, matching every item against `queries`.
@@ -257,7 +283,27 @@ impl StreamRunner {
                 report.completion = report.completion.merge(run.completion);
             }
             Completion::Truncated(reason) if span.len() == 1 => {
-                // Already a single molecule: quarantine it, keep partials.
+                // Already a single molecule. Before quarantining, optionally
+                // retry with the flipped join strategy: the other
+                // exploration order may finish inside the same budget.
+                if self.strategy_retry && !self.cancel.is_cancelled() {
+                    report.strategy_retries += 1;
+                    let mut cfg = self.engine.config().clone();
+                    cfg.join_strategy = cfg.join_strategy.flipped();
+                    let retry_gov = Governor::with_cancel(&self.budget, self.cancel.clone());
+                    let retry =
+                        Engine::new(cfg).run_planned_with_governor(plan, &data, queue, &retry_gov);
+                    report.total_time += retry.timings.total();
+                    if retry.completion.is_complete() {
+                        // The flipped strategy finished: its results are
+                        // exact, the original partials are discarded.
+                        Self::fold(report, &retry, base_index);
+                        report.chunks += 1;
+                        return;
+                    }
+                    // Both strategies tripped: quarantine with the
+                    // original attempt's (deterministic) partials.
+                }
                 Self::fold(report, &run, base_index);
                 report.chunks += 1;
                 report.completion = report.completion.merge(run.completion);
@@ -295,6 +341,7 @@ impl StreamRunner {
         report
             .truncated_graphs
             .extend(run.truncated_graphs.iter().map(|&d| base_index + d));
+        report.strategy.add(&run.strategy);
     }
 }
 
@@ -377,6 +424,51 @@ mod tests {
         );
         let streamed = runner.run(&queries, data.into_iter(), &queue);
         assert_eq!(streamed.total_matches, batch.matched_pairs);
+    }
+
+    #[test]
+    fn strategy_retry_salvages_a_dfs_pathological_molecule() {
+        use sigmo_graph::LabeledGraph;
+        // Query: C with 3 H leaves. Data: C with 8 H leaves → 8·7·6 = 336
+        // embeddings. The DFS ticks once per stack step (~800 for this
+        // pair); the BFS ticks once per frontier row (1 + 8 + 56 = 65). A
+        // step budget between the two makes DFS trip where BFS completes.
+        let mut q = LabeledGraph::new();
+        let qc = q.add_node(1);
+        for _ in 0..3 {
+            let h = q.add_node(0);
+            q.add_edge(qc, h, 1).unwrap();
+        }
+        let mut d = LabeledGraph::new();
+        let dc = d.add_node(1);
+        for _ in 0..8 {
+            let h = d.add_node(0);
+            d.add_edge(dc, h, 1).unwrap();
+        }
+        let queries = [q];
+        let budget = crate::governor::RunBudget::none().with_step_budget(200);
+        let base = StreamRunner::new(EngineConfig::default(), u64::MAX)
+            .with_max_chunk(1)
+            .with_budget(budget.clone());
+        let queue = Queue::new(DeviceProfile::host());
+        let without = base.run(&queries, std::iter::once(d.clone()), &queue);
+        assert_eq!(without.quarantined.len(), 1, "DFS alone must trip");
+        assert_eq!(without.strategy_retries, 0);
+        assert!(without.total_matches < 336, "partial results only");
+
+        let with_retry = StreamRunner::new(EngineConfig::default(), u64::MAX)
+            .with_max_chunk(1)
+            .with_budget(budget)
+            .with_strategy_retry(true);
+        let report = with_retry.run(&queries, std::iter::once(d), &queue);
+        assert_eq!(report.strategy_retries, 1);
+        assert!(
+            report.quarantined.is_empty(),
+            "the flipped strategy saves it"
+        );
+        assert_eq!(report.total_matches, 336);
+        assert!(report.completion.is_complete());
+        assert_eq!(report.strategy.bfs_pairs, 1, "retry ran the BFS variant");
     }
 
     #[test]

@@ -16,11 +16,17 @@
 #                                 must be ≥2× the ablation (output diverted
 #                                 to target/ so the committed BENCH_serve
 #                                 baseline is untouched)
-#   8. scripts/bench_diff.sh      per-phase wall-time regression gate vs
-#                                 the committed BENCH_pipeline.json and
-#                                 BENCH_serve.json
+#   8. ext_adaptive               adaptive-join ablation: no fixed
+#                                 (variant, order) combo may win every
+#                                 scenario, adaptive must beat the worst
+#                                 fixed combo ≥1.3× and stay ≤1.05× the
+#                                 per-scenario oracle (output diverted to
+#                                 target/ like the serve soak)
+#   9. scripts/bench_diff.sh      per-phase wall-time regression gate vs
+#                                 the committed BENCH_pipeline.json,
+#                                 BENCH_serve.json, and BENCH_adaptive.json
 #
-# `--fast` skips the bench stages (5-8) for quick pre-push runs.
+# `--fast` skips the bench stages (5-9) for quick pre-push runs.
 # `--pathological` adds a governor smoke stage: the ext_pathological
 # binary must terminate the wildcard-clique workload under its 2 s
 # deadline with a Truncated(Deadline) partial result (it asserts this
@@ -48,6 +54,8 @@ if [ "$FAST" -eq 0 ]; then
     cargo bench -p sigmo-bench --bench ablate_filter_convergence
     SIGMO_BENCH_SERVE_OUT=target/BENCH_serve.fresh.json \
         cargo run -q --release -p sigmo-bench --bin ext_serve_soak
+    SIGMO_BENCH_ADAPTIVE_OUT=target/BENCH_adaptive.fresh.json \
+        cargo run -q --release -p sigmo-bench --bin ext_adaptive
     scripts/bench_diff.sh
 fi
 if [ "$PATHOLOGICAL" -eq 1 ]; then

@@ -14,7 +14,8 @@
 //! race another test.
 
 use sigmo::core::{
-    Completion, Engine, EngineConfig, FilterMode, Governor, RunBudget, TruncationReason,
+    Completion, Engine, EngineConfig, FilterMode, Governor, JoinStrategy, RunBudget,
+    StrategyCounts, TruncationReason,
 };
 use sigmo::device::{DeviceProfile, KernelRecord, Queue};
 use sigmo::graph::LabeledGraph;
@@ -77,6 +78,23 @@ fn run_pipeline(threads: &str) -> (u64, Vec<RecordKey>) {
     (report.total_matches, record_keys(&queue.records()))
 }
 
+fn run_pipeline_adaptive(threads: &str) -> (u64, StrategyCounts, Vec<RecordKey>) {
+    std::env::set_var("RAYON_NUM_THREADS", threads);
+    let (queries, data) = workload();
+    let queue = Queue::new(DeviceProfile::host());
+    let report = Engine::new(EngineConfig {
+        refinement_iterations: 4,
+        join_strategy: JoinStrategy::Adaptive,
+        ..Default::default()
+    })
+    .run(&queries, &data, &queue);
+    (
+        report.total_matches,
+        report.strategy,
+        record_keys(&queue.records()),
+    )
+}
+
 fn run_pipeline_budgeted(threads: &str, steps: u64) -> (u64, Completion, Vec<RecordKey>) {
     std::env::set_var("RAYON_NUM_THREADS", threads);
     let (queries, data) = workload();
@@ -111,6 +129,37 @@ fn counter_totals_are_identical_across_thread_counts() {
         assert_eq!(a, b, "record {i} diverged between 1 and 4 threads");
     }
     assert_eq!(records_1, records_8);
+}
+
+#[test]
+fn adaptive_strategy_is_identical_across_thread_counts() {
+    // The adaptive join reads per-pair bitmap statistics and picks a
+    // variant and order per pair — all integer arithmetic over counts that
+    // are themselves thread-count-independent, so the decisions, the
+    // per-pair tallies, and every kernel counter (including the
+    // `join_adaptive` kernel's gather charges) must be bit-identical
+    // whether work-groups run serially or eight-wide. Totals must also
+    // agree with the fixed default: strategy changes exploration order,
+    // never the answer.
+    let _guard = ENV_LOCK.lock().unwrap();
+    let (fixed, _) = run_pipeline("1");
+    let (m1, s1, r1) = run_pipeline_adaptive("1");
+    let (m4, s4, r4) = run_pipeline_adaptive("4");
+    let (m8, s8, r8) = run_pipeline_adaptive("8");
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    assert_eq!(m1, fixed, "adaptive changed the match total");
+    assert_eq!(m1, m4);
+    assert_eq!(m1, m8);
+    assert_eq!(s1, s4, "decision tallies diverged between 1 and 4 threads");
+    assert_eq!(s1, s8, "decision tallies diverged between 1 and 8 threads");
+    assert!(s1.total_pairs() > 0, "no pairs reached the join — vacuous");
+    assert!(
+        r1.iter().any(|k| k.0 == "join_adaptive"),
+        "adaptive run must launch the join_adaptive kernel"
+    );
+    assert_eq!(r1, r4, "kernel records diverged between 1 and 4 threads");
+    assert_eq!(r1, r8, "kernel records diverged between 1 and 8 threads");
 }
 
 #[test]
@@ -208,8 +257,9 @@ fn run_serve_soak(threads: &str) -> SoakTrace {
         queue_capacity: 16,
         max_batch_requests: 8,
         // Tight enough to truncate: governor-truncated requests must be
-        // as thread-count-independent as complete ones.
-        budget: RunBudget::none().with_step_budget(60),
+        // as thread-count-independent as complete ones. (The label-pair
+        // pre-check shrinks join workloads, so this sits below the old 60.)
+        budget: RunBudget::none().with_step_budget(25),
         ..ServeConfig::default()
     };
     let mut server = Server::new(config, Queue::new(DeviceProfile::host()));

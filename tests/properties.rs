@@ -4,8 +4,8 @@ use proptest::prelude::*;
 use sigmo::baselines::Matcher;
 use sigmo::baselines::{brute_force_count, UllmannMatcher, Vf3Matcher};
 use sigmo::core::{
-    filter, naive, CandidateBitmap, Engine, EngineConfig, FilterMode, Governor, LabelSchema,
-    QueryPlan, SignatureSet, WordWidth,
+    filter, naive, CandidateBitmap, Engine, EngineConfig, FilterMode, Governor, JoinStrategy,
+    LabelSchema, MatchMode, QueryPlan, RunBudget, SignatureSet, WordWidth,
 };
 use sigmo::device::{DeviceProfile, Queue};
 use sigmo::graph::{CsrGo, LabeledGraph, WILDCARD_LABEL};
@@ -391,6 +391,147 @@ proptest! {
             sigmo::mol::canonical_code(&back.to_labeled_graph()),
             "round trip via {} changed the canonical code", smiles
         );
+    }
+
+    /// All four join strategies — fixed DFS, fixed BFS, the adaptive
+    /// cost-model engine, and its inverted anti-model — agree with brute
+    /// force on totals and bit-for-bit on the matched-pair attribution,
+    /// in Find All mode. The adaptive engine may only ever change *how*
+    /// pairs are explored, never *what* is found.
+    #[test]
+    fn join_strategies_agree_on_find_all(q in arb_graph(4), d in arb_graph(8)) {
+        let expected = brute_force_count(&q, &d);
+        let queue = queue();
+        let run = |strategy: JoinStrategy| {
+            Engine::new(EngineConfig {
+                refinement_iterations: 3,
+                join_strategy: strategy,
+                ..Default::default()
+            })
+            .run(std::slice::from_ref(&q), std::slice::from_ref(&d), &queue)
+        };
+        let base = run(JoinStrategy::Dfs);
+        prop_assert_eq!(base.total_matches, expected);
+        for strategy in [
+            JoinStrategy::Bfs,
+            JoinStrategy::Adaptive,
+            JoinStrategy::AdaptiveInverted,
+        ] {
+            let r = run(strategy);
+            prop_assert_eq!(r.total_matches, expected, "totals diverged under {:?}", strategy);
+            prop_assert_eq!(
+                &r.matched_pair_list, &base.matched_pair_list,
+                "matched pairs diverged under {:?}", strategy
+            );
+            prop_assert_eq!(
+                &r.pair_counts, &base.pair_counts,
+                "per-pair counts diverged under {:?}", strategy
+            );
+        }
+    }
+
+    /// Find First: every strategy reports exactly one match per matchable
+    /// pair and agrees with brute force on *which* pairs match — even
+    /// though the cost model routes Find First differently (it never
+    /// picks BFS there) and the inverted control forces the opposite.
+    #[test]
+    fn join_strategies_agree_on_find_first(q in arb_graph(4), d in arb_graph(8)) {
+        let expected = u64::from(brute_force_count(&q, &d) > 0);
+        let queue = queue();
+        let run = |strategy: JoinStrategy| {
+            Engine::new(EngineConfig {
+                refinement_iterations: 3,
+                mode: MatchMode::FindFirst,
+                join_strategy: strategy,
+                ..Default::default()
+            })
+            .run(std::slice::from_ref(&q), std::slice::from_ref(&d), &queue)
+        };
+        let base = run(JoinStrategy::Dfs);
+        prop_assert_eq!(base.total_matches, expected);
+        for strategy in [
+            JoinStrategy::Bfs,
+            JoinStrategy::Adaptive,
+            JoinStrategy::AdaptiveInverted,
+        ] {
+            let r = run(strategy);
+            prop_assert_eq!(r.total_matches, expected, "totals diverged under {:?}", strategy);
+            prop_assert_eq!(
+                &r.matched_pair_list, &base.matched_pair_list,
+                "matched pairs diverged under {:?}", strategy
+            );
+        }
+    }
+
+    /// Step-budget-truncated runs stay sound under every join strategy:
+    /// a truncated run of the same strategy is bit-identical when
+    /// repeated, reports only true matches (per-pair counts never exceed
+    /// the complete run's), and a run that claims `Complete` matches the
+    /// unbudgeted totals exactly. Different strategies explore different
+    /// frontiers, so *cross*-strategy truncated totals may legitimately
+    /// differ — soundness, not equality, is the cross-strategy contract.
+    #[test]
+    fn truncated_runs_are_sound_and_repeatable(
+        q in arb_graph(4),
+        d in arb_graph(9),
+        steps in 1u64..60,
+    ) {
+        let queue = queue();
+        let run = |strategy: JoinStrategy, budget: &RunBudget| {
+            let gov = Governor::new(budget);
+            Engine::new(EngineConfig {
+                refinement_iterations: 3,
+                join_strategy: strategy,
+                ..Default::default()
+            })
+            .run_with_governor(
+                std::slice::from_ref(&q), std::slice::from_ref(&d), &queue, &gov,
+            )
+        };
+        for strategy in [
+            JoinStrategy::Dfs,
+            JoinStrategy::Bfs,
+            JoinStrategy::Adaptive,
+            JoinStrategy::AdaptiveInverted,
+        ] {
+            let full = run(strategy, &RunBudget::none());
+            let budget = RunBudget::none().with_step_budget(steps);
+            let t1 = run(strategy, &budget);
+            let t2 = run(strategy, &budget);
+            prop_assert_eq!(
+                t1.total_matches, t2.total_matches,
+                "truncated rerun diverged under {:?}", strategy
+            );
+            prop_assert_eq!(&t1.pair_counts, &t2.pair_counts, "{:?}", strategy);
+            prop_assert_eq!(&t1.truncated_graphs, &t2.truncated_graphs, "{:?}", strategy);
+            prop_assert_eq!(
+                t1.completion.is_complete(), t2.completion.is_complete(),
+                "completion flag diverged under {:?}", strategy
+            );
+            prop_assert!(
+                t1.total_matches <= full.total_matches,
+                "truncated total overshot the complete run under {:?}", strategy
+            );
+            for &(dg, qg, count) in &t1.pair_counts {
+                let full_count = full
+                    .pair_counts
+                    .iter()
+                    .find(|&&(fd, fq, _)| fd == dg && fq == qg)
+                    .map_or(0, |&(_, _, c)| c);
+                prop_assert!(
+                    count <= full_count,
+                    "pair (d{}, q{}) overcounted under {:?}: {} > {}",
+                    dg, qg, strategy, count, full_count
+                );
+            }
+            if t1.completion.is_complete() {
+                prop_assert_eq!(
+                    t1.total_matches, full.total_matches,
+                    "a Complete budgeted run must equal the unbudgeted totals ({:?})",
+                    strategy
+                );
+            }
+        }
     }
 
     /// Extracted queries always match their source molecule (the engine
