@@ -115,10 +115,13 @@ pub fn run_dynamic(
     let rank_times_s: Vec<f64> = rank_times.iter().map(|&ns| ns as f64 / 1e9).collect();
     let makespan_s = rank_times_s.iter().cloned().fold(0.0, f64::max);
     let busy: Vec<f64> = rank_times_s.clone();
+    // sigmo-lint: allow(float-accumulation) — sequential fold over the
+    // rank-indexed times vector; summation order is fixed by construction.
     let mean = busy.iter().sum::<f64>() / busy.len() as f64;
     let cov = if mean <= f64::EPSILON {
         0.0
     } else {
+        // sigmo-lint: allow(float-accumulation) — same fixed rank order.
         (busy.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / busy.len() as f64).sqrt() / mean
     };
     DynamicReport {

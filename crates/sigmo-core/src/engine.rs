@@ -316,6 +316,9 @@ impl Engine {
     /// a tripped governor yields a well-formed report whose `completion`
     /// records the truncation reason and whose totals are sound partial
     /// results.
+    // sigmo-lint: allow(wall-clock-in-result) — phase wall timings are
+    // display-only, excluded from determinism keys (the suites compare
+    // counters and match totals, never `timings`).
     pub fn run_batched_with_governor(
         &self,
         queries: &CsrGo,
@@ -342,6 +345,9 @@ impl Engine {
     }
 
     /// [`Engine::run_planned`] under a [`Governor`].
+    // sigmo-lint: allow(wall-clock-in-result) — phase wall timings are
+    // display-only, excluded from determinism keys (see
+    // `run_batched_with_governor`).
     pub fn run_planned_with_governor(
         &self,
         plan: &QueryPlan,

@@ -199,6 +199,9 @@ impl CancelToken {
     }
 
     /// Whether cancellation has been requested.
+    // sigmo-lint: allow(relaxed-read-in-report) — cooperative cancel
+    // probe: any observed interleaving is a valid cancellation outcome,
+    // and the verdict itself latches once (see `record_reason`).
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::Relaxed)
     }
@@ -257,6 +260,9 @@ impl Governor {
 
     /// A governor enforcing `budget` and observing an external cancel
     /// token. The deadline clock starts now.
+    // sigmo-lint: allow(wall-clock-in-result) — deadline budgeting is
+    // wall-clock by definition; the determinism suites run unbudgeted
+    // governors, where this branch never executes.
     pub fn with_cancel(budget: &RunBudget, cancel: CancelToken) -> Self {
         let gov = Self {
             inner: Arc::new(GovernorInner {
@@ -283,6 +289,9 @@ impl Governor {
 
     /// Whether the run has been stopped. One relaxed load — this is the
     /// consult every kernel loop performs.
+    // sigmo-lint: allow(relaxed-read-in-report) — monotonic stop latch:
+    // a late observation only lets a group finish work it would have
+    // done anyway; reported totals never subtract.
     #[inline]
     pub fn stopped(&self) -> bool {
         self.inner.stop.load(Ordering::Relaxed)
@@ -312,6 +321,9 @@ impl Governor {
     /// Checks the wall clock and the cancel token, latching on expiry.
     /// Returns the latched state. Called once per [`HEARTBEAT_STRIDE`]
     /// steps by tickers, and at phase boundaries by the engine.
+    // sigmo-lint: allow(wall-clock-in-result) — the deadline probe is
+    // wall-clock by definition (see `with_cancel`); unbudgeted governors
+    // skip it entirely.
     pub fn heartbeat(&self) -> bool {
         if self.inner.cancel.is_cancelled() {
             self.trip(TruncationReason::Cancelled);
@@ -338,6 +350,9 @@ impl Governor {
 
     /// Charges one found embedding against the global cap. Returns true
     /// when the run should stop (cap reached or already stopped).
+    // sigmo-lint: allow(uncharged-access) — governor budget bookkeeping,
+    // not modeled device traffic; the cost model prices bitmap and CSR
+    // words, not control-plane atomics.
     #[inline]
     pub fn note_embedding(&self) -> bool {
         if let Some(cap) = self.inner.embedding_cap {
@@ -352,6 +367,8 @@ impl Governor {
     /// Flushes a ticker's locally accumulated steps into the shared total
     /// (diagnostics only — enforcement is ticker-local). Call when a
     /// work-group finishes or trips.
+    // sigmo-lint: allow(uncharged-access) — governor bookkeeping, not
+    // modeled device traffic (see `note_embedding`).
     pub fn flush_steps(&self, ticker: &GovernorTicker) {
         self.inner.steps.fetch_add(ticker.steps, Ordering::Relaxed);
     }
@@ -367,6 +384,8 @@ impl Governor {
     }
 
     /// The run's verdict so far.
+    // sigmo-lint: allow(relaxed-read-in-report) — the reason latches
+    // exactly once via CAS and reports read it after kernels quiesce.
     pub fn completion(&self) -> Completion {
         match TruncationReason::from_code(self.inner.reason.load(Ordering::Relaxed)) {
             Some(reason) => Completion::Truncated(reason),

@@ -141,6 +141,9 @@ impl PairStats {
             let mut prefix = 1u64;
             for k in 0..plan.len() {
                 let row = (q_base + plan.order_slot(k)) as usize;
+                // sigmo-lint: allow(uncharged-access) — the scan cost is
+                // returned as `words_scanned` and charged in bulk by the
+                // decide kernel (see join::decide_pair's charge flush).
                 let c = bitmap.row_count_in_range(row, d_lo as usize, d_hi as usize) as u64;
                 if track_max && c > max_row {
                     max_row = c;

@@ -153,6 +153,8 @@ impl Gmcr {
     }
 
     /// All matched (data graph, query graph) pairs.
+    // sigmo-lint: allow(relaxed-read-in-report) — matched flags are read
+    // after the join launch returned; they only ever latch to true.
     pub fn matched_pairs(&self) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
         for dg in 0..self.num_data_graphs() {

@@ -144,8 +144,9 @@ pub fn enumerate_row(
 }
 
 /// Per-bit variant of [`CandidateBitmap::next_set_in_range`].
-// sigmo-lint: allow(per-bit-probe) — oracle for the word-parallel
-// next_set_in_range; kept deliberately column-at-a-time.
+// sigmo-lint: allow(per-bit-probe, uncharged-access) — oracle for the
+// word-parallel next_set_in_range; kept deliberately column-at-a-time
+// and off the measured path, so its probes are never charged.
 pub fn next_set_in_range(
     bitmap: &CandidateBitmap,
     row: usize,

@@ -88,6 +88,8 @@ impl Signature {
         mut group_mask: u64,
     ) -> bool {
         let groups = schema.groups();
+        // sigmo-lint: allow(unbounded-kernel-loop) — clears one bit of
+        // `group_mask` per pass: at most 64 iterations, no consult needed.
         while group_mask != 0 {
             let m = groups[group_mask.trailing_zeros() as usize].mask();
             if (query.0 & m) > (self.0 & m) {

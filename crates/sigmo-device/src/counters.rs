@@ -153,6 +153,9 @@ impl KernelCounters {
     }
 
     /// Takes a snapshot of the current totals.
+    // sigmo-lint: allow(relaxed-read-in-report) — the queue snapshots
+    // only after its parallel bridge joined, so every counter is
+    // quiescent; mid-kernel snapshots are not part of the API.
     pub fn snapshot(&self) -> CounterSnapshot {
         let n = self.trip_n.load(Ordering::Relaxed);
         let divergence = if n == 0 {

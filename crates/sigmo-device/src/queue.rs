@@ -172,6 +172,10 @@ impl Queue {
     /// short work-items on the host executor. Dispatch order, stop-probe
     /// semantics, and the kernel record are identical to
     /// [`Queue::parallel_for_until`].
+    // sigmo-lint: allow(wall-clock-in-result) — wall_time is display-only,
+    // excluded from determinism keys; the cost model prices counters.
+    // sigmo-lint: allow(relaxed-read-in-report) — `skipped` is read after
+    // the parallel bridge joined; no writer remains.
     pub fn parallel_for_chunks_until<S, F>(
         &self,
         name: &str,
@@ -244,6 +248,10 @@ impl Queue {
 
     /// [`Queue::parallel_for_work_group`] with a cooperative stop probe —
     /// same contract as [`Queue::parallel_for_until`].
+    // sigmo-lint: allow(wall-clock-in-result) — wall_time is display-only,
+    // excluded from determinism keys (see `parallel_for_chunks_until`).
+    // sigmo-lint: allow(relaxed-read-in-report) — `skipped` is read after
+    // the parallel bridge joined; no writer remains.
     #[allow(clippy::too_many_arguments)]
     pub fn parallel_for_work_group_until<S, F>(
         &self,

@@ -33,6 +33,9 @@ pub struct KernelSummary {
 
 /// Aggregates a record log into per-kernel summaries, ordered by first
 /// appearance.
+// sigmo-lint: allow(float-accumulation) — sequential fold over the record
+// log in launch order, single-threaded; the accumulation order is fixed
+// by the log itself. (wall_s is display-only besides.)
 pub fn summarize(records: &[KernelRecord], model: &CostModel) -> Vec<KernelSummary> {
     let mut order: Vec<String> = Vec::new();
     let mut map: std::collections::HashMap<String, KernelSummary> = Default::default();

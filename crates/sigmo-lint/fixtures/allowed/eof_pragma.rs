@@ -1,0 +1,4 @@
+//! Good fixture: a trailing pragma on the final line of a file with no
+//! terminating newline — the EOF-flush path. Must produce no diagnostics.
+
+pub fn probe(flag: &AtomicU64) -> u64 { flag.load(Relaxed) } // sigmo-lint: allow(atomic-ordering) — init-time probe, no concurrent writer yet

@@ -1,0 +1,24 @@
+//! Good fixture: a kernel-reachable per-bit oracle under a documented
+//! multi-rule pragma. The standalone pragma covers the whole fn scope and
+//! names every rule the oracle would otherwise trip; no diagnostics
+//! expected.
+
+pub fn launch(queue: &Queue, bitmap: &Bitmap, rows: usize, n: usize) {
+    queue.parallel_for("oracle", "verify", rows, 128, |row, counters| {
+        let found = enumerate(bitmap, row, 0, n);
+        counters.add_instructions(found.len() as u64);
+    });
+}
+
+// sigmo-lint: allow(per-bit-probe, uncharged-access, alloc-in-kernel) —
+// per-bit oracle kept for differential testing of the word-parallel scan;
+// deliberately unmodeled, so its probes are never charged.
+pub fn enumerate(bitmap: &Bitmap, row: usize, lo: usize, hi: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    for col in lo..hi {
+        if bitmap.get(row, col) {
+            out.push(col);
+        }
+    }
+    out
+}

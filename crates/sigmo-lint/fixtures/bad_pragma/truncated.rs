@@ -1,0 +1,6 @@
+//! Bad fixture: a pragma whose allow-list is truncated at EOF (no
+//! closing parenthesis, no trailing newline). Honoring nothing is
+//! correct, but the pragma must surface as `bad-pragma`, not vanish.
+
+pub fn fine() {}
+// sigmo-lint: allow(per-bit-probe

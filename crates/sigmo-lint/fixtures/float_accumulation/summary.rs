@@ -1,0 +1,11 @@
+//! Bad fixture: float `+=` and a float sum on the result surface. Must
+//! trip `float-accumulation` and nothing else.
+
+pub fn merge(records: &[Record]) -> RunReport {
+    let mut wall_s: f64 = 0.0;
+    for r in records {
+        wall_s += r.wall_s;
+    }
+    let sim_s = records.iter().map(|r| r.sim_s).sum::<f64>();
+    RunReport { wall_s, sim_s }
+}

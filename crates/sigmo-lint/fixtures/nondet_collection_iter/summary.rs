@@ -1,0 +1,15 @@
+//! Bad fixture: a report merge iterating a HashMap — hash order leaks
+//! straight into the reported totals vector. Must trip
+//! `nondet-collection-iter` and nothing else.
+
+pub fn merge(records: &[Record]) -> RunReport {
+    let mut by_kernel: HashMap<String, u64> = HashMap::new();
+    for r in records {
+        *by_kernel.entry(r.name.clone()).or_insert(0) += r.count;
+    }
+    let mut totals = Vec::new();
+    for (name, count) in by_kernel.iter() {
+        totals.push((name.clone(), *count));
+    }
+    RunReport { totals }
+}

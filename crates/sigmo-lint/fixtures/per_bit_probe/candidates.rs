@@ -1,0 +1,30 @@
+//! Bad fixture: the classic per-column candidate scan that PR 1 removed,
+//! reached *interprocedurally* — the launch closure calls a helper, so
+//! only call-graph reachability (not the closure's own text or a
+//! file-name gate) connects the violation to kernel context. Must trip
+//! `per-bit-probe` and nothing else: the helper charges its word traffic,
+//! keeping `uncharged-access` quiet.
+
+pub fn launch(queue: &Queue, bitmap: &Bitmap, rows: usize, n: usize) {
+    queue.parallel_for("bad", "filter", rows, 128, |row, counters| {
+        let survivors = count_candidates(bitmap, row, 0, n, counters);
+        counters.add_instructions(survivors as u64);
+    });
+}
+
+fn count_candidates(
+    bitmap: &Bitmap,
+    row: usize,
+    lo: usize,
+    hi: usize,
+    counters: &KernelCounters,
+) -> usize {
+    counters.add_word_reads((hi - lo) as u64, 8);
+    let mut n = 0;
+    for col in lo..hi {
+        if bitmap.get(row, col) {
+            n += 1;
+        }
+    }
+    n
+}

@@ -1,0 +1,10 @@
+//! Bad fixture: relaxed atomic loads flowing into a counter snapshot —
+//! a read racing its writers can publish a partial total. Must trip
+//! `relaxed-read-in-report` and nothing else.
+
+pub fn snapshot(instructions: &AtomicU64, bytes: &AtomicU64) -> CounterSnapshot {
+    CounterSnapshot {
+        instructions: instructions.load(Ordering::Relaxed),
+        bytes: bytes.load(Ordering::Relaxed),
+    }
+}

@@ -22,10 +22,14 @@ fn dfs_pair(data: &CsrGo, mapping: &mut [u32]) -> u64 {
     }
 }
 
-fn launch(q: &Queue, gov: &Governor) {
+fn launch(q: &Queue, gov: &Governor, data: &CsrGo) {
     q.parallel_for_work_group_until("join", "join", groups, 4, 8, || gov.stopped(), |ctx| {
         while frontier_grows(ctx) {
             expand(ctx);
         }
+        // The DFS helper is reached through the call graph, not the
+        // closure text: reachability must carry the rule into it.
+        let mut mapping = [0u32; 8];
+        dfs_pair(data, &mut mapping);
     });
 }

@@ -1,0 +1,15 @@
+//! Bad fixture: a word-parallel row scan in a kernel-reachable helper
+//! that never charges the device counters. Must trip `uncharged-access`
+//! and nothing else.
+
+pub fn launch(queue: &Queue, bitmap: &Bitmap, rows: usize, n: usize) {
+    queue.parallel_for("bad", "filter", rows, 128, |row, counters| {
+        if survivors(bitmap, row, 0, n) {
+            counters.add_instructions(1);
+        }
+    });
+}
+
+fn survivors(bitmap: &Bitmap, row: usize, lo: usize, hi: usize) -> bool {
+    bitmap.row_any_in_range(row, lo, hi)
+}

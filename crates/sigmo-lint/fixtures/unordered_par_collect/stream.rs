@@ -1,0 +1,10 @@
+//! Bad fixture: a parallel `for_each` pushing into a shared, locked
+//! collection — results arrive in scheduling (completion) order, so the
+//! merged vector differs across thread counts. Must trip
+//! `unordered-par-collect` and nothing else.
+
+pub fn collect_matches(chunks: &[Chunk], out: &Mutex<Vec<u64>>) {
+    chunks
+        .par_iter()
+        .for_each(|chunk| out.lock().extend(chunk.matches()));
+}

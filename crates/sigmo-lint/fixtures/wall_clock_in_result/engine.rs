@@ -1,0 +1,12 @@
+//! Bad fixture: wall-clock values captured into a report field — the
+//! bits differ run to run. Must trip `wall-clock-in-result` and nothing
+//! else.
+
+pub fn run(work: &Work) -> RunReport {
+    let t0 = Instant::now();
+    let total = execute(work);
+    RunReport {
+        total,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}

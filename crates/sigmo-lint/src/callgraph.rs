@@ -1,0 +1,344 @@
+//! Lexical call-graph construction over the workspace index.
+//!
+//! The analyzer has no type information (no `syn`, no rustc), so call
+//! edges are *name-based*: an identifier immediately followed by `(` in
+//! the blanked code view is a call of that name, and it resolves to every
+//! `fn` of that name anywhere in the workspace. This over-approximates —
+//! two unrelated `fn len` items alias — but over-approximation is the
+//! right failure mode for an audit: reachability can only grow, so a
+//! violation on a genuinely reachable path is never missed because
+//! resolution was too timid. The noise is bounded in practice by two
+//! choices:
+//!
+//! * ubiquitous method names with no workspace definition (`push`, `get`
+//!   on std types) resolve to nothing and add no edges;
+//! * names defined in *many* places (more than [`AMBIGUITY_CAP`] `fn`s)
+//!   resolve only within the calling file — cross-file fan-out through a
+//!   name that common says more about the name than about the call;
+//! * edges respect the **crate dependency direction**: a call in crate
+//!   `C` can only resolve into crate `D` when `C`'s sources actually
+//!   reference `D` (an identifier like `sigmo_graph` in a `use` or
+//!   path). `rustc` would reject the call otherwise, so a same-named
+//!   `fn` in a crate the caller cannot see (`sigmo-baselines`' CPU
+//!   reference `set`/`iter`, the linter's own `load`) is provably not
+//!   the callee. Files outside `crates/` are unconstrained.
+//!
+//! Macro invocations (`name!(…)`) and control keywords are not calls.
+
+use crate::index::Workspace;
+use crate::lexer;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// A function node: (file index, fn index) into the [`Workspace`].
+pub type FnRef = (usize, usize);
+
+/// Names that look like calls but never are.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "fn", "let",
+    "mut", "ref", "move", "in", "as", "where", "impl", "pub", "use", "mod", "struct", "enum",
+    "trait", "const", "static", "type", "crate", "self", "Self", "super", "dyn", "unsafe", "async",
+    "await", "box",
+];
+
+/// A name defined by more `fn` items than this resolves only within the
+/// calling file (see module docs).
+pub const AMBIGUITY_CAP: usize = 6;
+
+/// Names of ubiquitous std trait methods. A call spelled through one of
+/// these (`x.clone()`, `T::from(v)`) dispatches on a type the lexical
+/// analyzer cannot see, and nearly every workspace type implements them —
+/// so cross-file resolution would connect unrelated impls (a
+/// `From<MoleculeError>` is not on a kernel path because a kernel closure
+/// converts an error). They resolve within the calling file only.
+const TRAIT_METHODS: &[&str] = &[
+    "from",
+    "into",
+    "to_string",
+    "from_str",
+    "from_iter",
+    "fmt",
+    "write_str",
+    "clone",
+    "default",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "next",
+    "drop",
+    "deref",
+    "deref_mut",
+    "index",
+    "index_mut",
+    "as_ref",
+    "as_mut",
+    "borrow",
+    "borrow_mut",
+    "to_owned",
+    "extend",
+];
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Per file, per fn: the set of callee names in its body.
+    pub callees: Vec<Vec<BTreeSet<String>>>,
+    /// Per file: the set of names called inside kernel-launch closures
+    /// (the seeds of kernel reachability). Empty for context-exempt files.
+    pub kernel_seed_names: Vec<BTreeSet<String>>,
+    /// Every `fn` name to its definitions, workspace-wide.
+    pub defs: BTreeMap<String, Vec<FnRef>>,
+    /// Per file: the crate it belongs to (see [`crate::index::crate_of`]).
+    pub file_crate: Vec<String>,
+    /// Per crate: the workspace crates its sources reference (itself
+    /// included) — the visibility set for cross-crate call edges.
+    pub crate_refs: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph for an indexed workspace.
+    pub fn build(ws: &Workspace) -> Self {
+        let mut defs: BTreeMap<String, Vec<FnRef>> = BTreeMap::new();
+        for (fi, file) in ws.files.iter().enumerate() {
+            for (ni, item) in file.fns.iter().enumerate() {
+                defs.entry(item.name.clone()).or_default().push((fi, ni));
+            }
+        }
+        let callees = ws
+            .files
+            .iter()
+            .map(|file| {
+                file.fns
+                    .iter()
+                    .map(|item| callee_names(&file.file.code, item.body.clone()))
+                    .collect()
+            })
+            .collect();
+        let kernel_seed_names = ws
+            .files
+            .iter()
+            .map(|file| {
+                if file.context_exempt {
+                    BTreeSet::new()
+                } else {
+                    file.kernel_closures
+                        .iter()
+                        .flat_map(|r| callee_names(&file.file.code, r.clone()))
+                        .collect()
+                }
+            })
+            .collect();
+        let file_crate: Vec<String> = ws
+            .files
+            .iter()
+            .map(|f| crate::index::crate_of(&f.file.path).to_string())
+            .collect();
+        // A crate "references" every workspace crate whose underscored
+        // name appears as an identifier in any of its files (use items,
+        // qualified paths). Dash and underscore spellings are unified.
+        let crate_names: BTreeSet<String> = file_crate.iter().cloned().collect();
+        let mut crate_refs: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for (fi, file) in ws.files.iter().enumerate() {
+            let refs = crate_refs.entry(file_crate[fi].clone()).or_default();
+            refs.insert(file_crate[fi].clone());
+            for id in lexer::idents(&file.file.code) {
+                let dashed = id.replace('_', "-");
+                if crate_names.contains(&dashed) {
+                    refs.insert(dashed);
+                }
+            }
+        }
+        CallGraph {
+            callees,
+            kernel_seed_names,
+            defs,
+            file_crate,
+            crate_refs,
+        }
+    }
+
+    /// Resolves a callee name from `caller_file` to definition nodes:
+    /// defs in crates the caller cannot reference are excluded, and a
+    /// name that stays ambiguous beyond [`AMBIGUITY_CAP`] resolves only
+    /// within the calling file.
+    pub fn resolve(&self, name: &str, caller_file: usize) -> Vec<FnRef> {
+        let Some(nodes) = self.defs.get(name) else {
+            return Vec::new();
+        };
+        if TRAIT_METHODS.contains(&name) {
+            return nodes
+                .iter()
+                .copied()
+                .filter(|(fi, _)| *fi == caller_file)
+                .collect();
+        }
+        let caller_crate = &self.file_crate[caller_file];
+        let visible: Vec<FnRef> = nodes
+            .iter()
+            .copied()
+            .filter(|&(fi, _)| self.crate_visible(caller_crate, &self.file_crate[fi]))
+            .collect();
+        if visible.len() > AMBIGUITY_CAP {
+            visible
+                .into_iter()
+                .filter(|(fi, _)| *fi == caller_file)
+                .collect()
+        } else {
+            visible
+        }
+    }
+
+    /// True when code in `caller` crate can name items of `def` crate.
+    /// The root pseudo-crate (`""`, files outside `crates/`) is
+    /// unconstrained in both directions.
+    fn crate_visible(&self, caller: &str, def: &str) -> bool {
+        caller == def
+            || caller.is_empty()
+            || def.is_empty()
+            || self
+                .crate_refs
+                .get(caller)
+                .is_some_and(|refs| refs.contains(def))
+    }
+}
+
+/// All callee names in `range` of the blanked code: identifiers whose next
+/// non-whitespace byte is `(`, excluding keywords and macro invocations.
+pub fn callee_names(code: &str, range: Range<usize>) -> BTreeSet<String> {
+    let bytes = code.as_bytes();
+    let mut out = BTreeSet::new();
+    let mut i = range.start;
+    while i < range.end {
+        if lexer::is_ident_byte(bytes[i]) && !bytes[i].is_ascii_digit() {
+            let start = i;
+            while i < range.end && lexer::is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            let name = &code[start..i];
+            let mut j = i;
+            while j < range.end && (bytes[j] == b' ' || bytes[j] == b'\t') {
+                j += 1;
+            }
+            // `name(` is a call; `name!(` is a macro; `name::<T>(` is a
+            // call spelled with a turbofish.
+            let next = bytes.get(j).copied();
+            let is_call = match next {
+                Some(b'(') => true,
+                Some(b':')
+                    if bytes.get(j + 1) == Some(&b':') && bytes.get(j + 2) == Some(&b'<') =>
+                {
+                    turbofish_call(bytes, j + 2, range.end)
+                }
+                _ => false,
+            };
+            if is_call && !KEYWORDS.contains(&name) {
+                out.insert(name.to_string());
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// True when the `<…>` starting at `open` closes and is followed by `(`.
+fn turbofish_call(bytes: &[u8], open: usize, end: usize) -> bool {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < end {
+        match bytes[i] {
+            b'<' => depth += 1,
+            b'>' => {
+                depth -= 1;
+                if depth == 0 {
+                    let mut j = i + 1;
+                    while j < end && bytes[j].is_ascii_whitespace() {
+                        j += 1;
+                    }
+                    return bytes.get(j) == Some(&b'(');
+                }
+            }
+            b';' | b'{' => return false,
+            _ => {}
+        }
+        i += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::Workspace;
+
+    #[test]
+    fn extracts_plain_method_and_turbofish_calls() {
+        let code = "let x = helper(a); y.method(b); z.sum::<u64>(); if cond(x) { vec![1]; m!(2); }";
+        let names = callee_names(code, 0..code.len());
+        assert!(names.contains("helper"));
+        assert!(names.contains("method"));
+        assert!(names.contains("sum"));
+        assert!(names.contains("cond"));
+        assert!(!names.contains("if"));
+        assert!(!names.contains("vec"));
+        assert!(!names.contains("m"));
+    }
+
+    #[test]
+    fn builds_defs_and_kernel_seeds() {
+        let src = "\
+fn host(q: &Queue) {
+    q.parallel_for(\"k\", \"filter\", n, 128, |i, c| {
+        probe_row(i, c);
+    });
+}
+fn probe_row(i: usize, c: &KernelCounters) {
+    c.add_instructions(1);
+}
+";
+        let ws = Workspace::from_sources([("crates/x/src/filter.rs", src)]);
+        let cg = CallGraph::build(&ws);
+        assert!(cg.defs.contains_key("probe_row"));
+        // Seeds are the names called *inside the launch closure* — the
+        // helper's own callees are reached transitively (see `reach`).
+        assert!(cg.kernel_seed_names[0].contains("probe_row"));
+        assert!(!cg.kernel_seed_names[0].contains("add_instructions"));
+        assert_eq!(cg.resolve("probe_row", 0).len(), 1);
+        assert!(cg.resolve("no_such_fn", 0).is_empty());
+    }
+
+    #[test]
+    fn edges_respect_crate_reference_direction() {
+        // `core` references `graph`; neither references `baselines`.
+        let core = "use graph::bitmap;\nfn run() { set(1); }";
+        let graph = "pub fn set(x: u32) {}";
+        let baselines = "pub fn set(x: u32) {}\nfn own() { set(2); }";
+        let ws = Workspace::from_sources([
+            ("crates/core/src/engine.rs", core),
+            ("crates/graph/src/bitmap.rs", graph),
+            ("crates/baselines/src/bitset.rs", baselines),
+        ]);
+        let cg = CallGraph::build(&ws);
+        let core_fi = 1; // files sort by path: baselines, core, graph
+        let resolved = cg.resolve("set", core_fi);
+        assert_eq!(resolved.len(), 1, "{resolved:?}");
+        assert_eq!(cg.file_crate[resolved[0].0], "graph");
+        // From inside baselines, only its own `set` is visible.
+        let from_baselines = cg.resolve("set", 0);
+        assert_eq!(from_baselines, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn ambiguous_names_resolve_within_file_only() {
+        let mk = |n: usize| format!("fn get() {{ work_{n}(); }}");
+        let sources: Vec<(String, String)> = (0..AMBIGUITY_CAP + 2)
+            .map(|n| (format!("crates/x/src/f{n}.rs"), mk(n)))
+            .collect();
+        let ws = Workspace::from_sources(sources);
+        let cg = CallGraph::build(&ws);
+        let resolved = cg.resolve("get", 3);
+        assert_eq!(resolved, vec![(3, 0)]);
+    }
+}

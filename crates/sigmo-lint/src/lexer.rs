@@ -166,22 +166,30 @@ enum State {
 pub fn lex(path: &str, text: &str) -> SourceFile {
     let bytes = text.as_bytes();
     let mut lines = Vec::new();
-    let mut code_buf = String::new();
-    let mut comment_buf = String::new();
+    // Byte buffers, not `String`s: the input is valid UTF-8 and every
+    // replacement is whole-char (a multi-byte char never starts a state
+    // transition, which all trigger on ASCII bytes), so pushing raw bytes
+    // keeps multi-byte text intact *and* byte columns exact — `b as char`
+    // would re-encode bytes ≥ 0x80 and drift every following column.
+    let mut code_buf: Vec<u8> = Vec::new();
+    let mut comment_buf: Vec<u8> = Vec::new();
     let mut state = State::Code;
     let mut i = 0;
 
     macro_rules! flush_line {
         () => {{
-            let comment = comment_buf.trim();
+            let code = String::from_utf8_lossy(&code_buf).into_owned();
+            let comment = String::from_utf8_lossy(&comment_buf);
+            let comment = comment.trim();
             lines.push(Line {
-                code: std::mem::take(&mut code_buf),
+                code,
                 comment: if comment.is_empty() {
                     None
                 } else {
                     Some(comment.to_string())
                 },
             });
+            code_buf.clear();
             comment_buf.clear();
         }};
     }
@@ -200,15 +208,15 @@ pub fn lex(path: &str, text: &str) -> SourceFile {
             State::Code => {
                 if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
                     state = State::LineComment;
-                    code_buf.push_str("  ");
+                    code_buf.extend_from_slice(b"  ");
                     i += 2;
                 } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
                     state = State::BlockComment(1);
-                    code_buf.push_str("  ");
+                    code_buf.extend_from_slice(b"  ");
                     i += 2;
                 } else if b == b'"' {
                     state = State::Str;
-                    code_buf.push('"');
+                    code_buf.push(b'"');
                     i += 1;
                 } else if b == b'r' || b == b'b' {
                     // Possible raw / byte string or byte char; also plain
@@ -218,51 +226,70 @@ pub fn lex(path: &str, text: &str) -> SourceFile {
                     if !prev_ident {
                         if let Some((kind, consumed)) = literal_prefix(bytes, i) {
                             for _ in 0..consumed {
-                                code_buf.push(' ');
+                                code_buf.push(b' ');
                             }
                             // Re-surface the delimiting quote for clarity.
                             code_buf.pop();
-                            code_buf.push('"');
+                            code_buf.push(b'"');
                             state = kind;
                             i += consumed;
                             continue;
                         }
                     }
-                    code_buf.push(b as char);
+                    code_buf.push(b);
                     i += 1;
                 } else if b == b'\'' {
-                    // Char literal vs lifetime/loop label.
+                    // Char literal vs lifetime/loop label. A char
+                    // literal never spans a newline, so a quote whose
+                    // body would cross one (or run off the file) is
+                    // treated as a lone quote — keeping every line's
+                    // byte count intact even on malformed input.
                     let next = bytes.get(i + 1).copied();
                     let is_char = match next {
                         Some(b'\\') => true,
-                        Some(_) => bytes.get(i + 2) == Some(&b'\''),
-                        None => false,
-                    };
-                    if is_char {
-                        let end = char_literal_end(bytes, i);
-                        code_buf.push('\'');
-                        for _ in i + 1..end {
-                            code_buf.push(' ');
+                        Some(b'\n') | None => false,
+                        Some(c) if c >= 0x80 => {
+                            // Multi-byte contents: the closing quote sits
+                            // after the whole UTF-8 sequence, not at i+2.
+                            let len = utf8_len(c);
+                            bytes.get(i + 1 + len) == Some(&b'\'')
                         }
-                        code_buf.push('\'');
-                        i = end + 1;
+                        Some(_) => bytes.get(i + 2) == Some(&b'\''),
+                    };
+                    let end = if is_char {
+                        char_literal_end(bytes, i)
                     } else {
-                        code_buf.push('\'');
-                        i += 1;
+                        None
+                    };
+                    match end {
+                        Some(end) => {
+                            // Blank the quotes too: a quote left beside a
+                            // blanked body (`'  '`) would pair with later
+                            // text if the view were ever re-scanned, and
+                            // no rule keys on char-literal delimiters.
+                            for _ in i..=end {
+                                code_buf.push(b' ');
+                            }
+                            i = end + 1;
+                        }
+                        None => {
+                            code_buf.push(b'\'');
+                            i += 1;
+                        }
                     }
                 } else {
-                    code_buf.push(b as char);
+                    code_buf.push(b);
                     i += 1;
                 }
             }
             State::LineComment => {
-                comment_buf.push(b as char);
-                code_buf.push(' ');
+                comment_buf.push(b);
+                code_buf.push(b' ');
                 i += 1;
             }
             State::BlockComment(depth) => {
                 if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
-                    code_buf.push_str("  ");
+                    code_buf.extend_from_slice(b"  ");
                     i += 2;
                     if depth == 1 {
                         state = State::Code;
@@ -270,13 +297,13 @@ pub fn lex(path: &str, text: &str) -> SourceFile {
                         state = State::BlockComment(depth - 1);
                     }
                 } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
-                    comment_buf.push_str("/*");
-                    code_buf.push_str("  ");
+                    comment_buf.extend_from_slice(b"/*");
+                    code_buf.extend_from_slice(b"  ");
                     i += 2;
                     state = State::BlockComment(depth + 1);
                 } else {
-                    comment_buf.push(b as char);
-                    code_buf.push(' ');
+                    comment_buf.push(b);
+                    code_buf.push(b' ');
                     i += 1;
                 }
             }
@@ -285,31 +312,31 @@ pub fn lex(path: &str, text: &str) -> SourceFile {
                     if bytes.get(i + 1) == Some(&b'\n') {
                         // Line-continuation escape: let the newline branch
                         // flush the line so offsets stay aligned.
-                        code_buf.push(' ');
+                        code_buf.push(b' ');
                         i += 1;
                     } else {
-                        code_buf.push_str("  ");
+                        code_buf.extend_from_slice(b"  ");
                         i += 2;
                     }
                 } else if b == b'"' {
-                    code_buf.push('"');
+                    code_buf.push(b'"');
                     state = State::Code;
                     i += 1;
                 } else {
-                    code_buf.push(' ');
+                    code_buf.push(b' ');
                     i += 1;
                 }
             }
             State::RawStr(hashes) => {
                 if b == b'"' && raw_str_closes(bytes, i, hashes) {
-                    code_buf.push('"');
+                    code_buf.push(b'"');
                     for _ in 0..hashes {
-                        code_buf.push(' ');
+                        code_buf.push(b' ');
                     }
                     state = State::Code;
                     i += 1 + hashes;
                 } else {
-                    code_buf.push(' ');
+                    code_buf.push(b' ');
                     i += 1;
                 }
             }
@@ -374,19 +401,34 @@ fn raw_str_closes(bytes: &[u8], quote: usize, hashes: usize) -> bool {
     (1..=hashes).all(|k| bytes.get(quote + k) == Some(&b'#'))
 }
 
-/// End offset (of the closing `'`) of a char literal starting at `open`.
-fn char_literal_end(bytes: &[u8], open: usize) -> usize {
+/// End offset (of the closing `'`) of a char literal starting at `open`,
+/// or `None` if a newline or end-of-input arrives first — the caller
+/// falls back to a lone quote so line/byte alignment survives malformed
+/// literals.
+fn char_literal_end(bytes: &[u8], open: usize) -> Option<usize> {
     let mut i = open + 1;
-    while i < bytes.len() {
+    while i < bytes.len() && bytes[i] != b'\n' {
         if bytes[i] == b'\\' {
+            if bytes.get(i + 1) == Some(&b'\n') {
+                return None;
+            }
             i += 2;
         } else if bytes[i] == b'\'' {
-            return i;
+            return Some(i);
         } else {
             i += 1;
         }
     }
-    bytes.len() - 1
+    None
+}
+
+/// Byte length of the UTF-8 character starting with `first` (≥ 0x80).
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
 }
 
 #[cfg(test)]

@@ -1,14 +1,22 @@
 //! `sigmo-lint` — a workspace invariant analyzer for the SIGMo
 //! reproduction.
 //!
-//! The performance claims of this repo rest on discipline that `rustc`
-//! cannot check: hot paths must scan candidate words rather than bits,
-//! kernel atomics must stay relaxed, bitmap traffic must be charged to the
-//! device counters, kernels must not allocate, and the workspace stays
-//! `unsafe`-free. This crate encodes those invariants as deny-by-default
-//! rules over a blanked lexical view of the source (no `syn` available in
-//! the offline vendor set — the lexer is hand-rolled with 1:1 line/column
-//! fidelity).
+//! The performance and reproducibility claims of this repo rest on
+//! discipline that `rustc` cannot check: hot paths must scan candidate
+//! words rather than bits, kernel atomics must stay relaxed, bitmap
+//! traffic must be charged to the device counters, kernels must not
+//! allocate, results must be bit-identical across thread counts, and the
+//! workspace stays `unsafe`-free. This crate encodes those invariants as
+//! deny-by-default rules over a blanked lexical view of the source (no
+//! `syn` available in the offline vendor set — the lexer is hand-rolled
+//! with 1:1 line/column fidelity).
+//!
+//! Since PR 7 the analysis is *interprocedural*: every file is indexed
+//! ([`index`]), lexical call edges are resolved workspace-wide
+//! ([`callgraph`]), and the kernel/report reachability sets ([`reach`])
+//! decide which code each rule interrogates — a per-bit probe is a
+//! violation wherever it is reachable from a `parallel_for` closure, not
+//! just in a hard-coded list of kernel files.
 //!
 //! Exceptions are spelled in the source as audited pragmas:
 //!
@@ -16,63 +24,133 @@
 //! // sigmo-lint: allow(per-bit-probe) — oracle path, differential test target
 //! ```
 //!
-//! Unknown rule names in a pragma are themselves diagnostics, so a typo
-//! cannot silently disable enforcement. The `sigmo-lint` binary walks the
-//! workspace (skipping `vendor/`, `target/` and lint fixtures) and is wired
-//! into `scripts/check.sh` as a fourth gate next to fmt/clippy/test.
+//! Unknown rule names and malformed pragmas are themselves diagnostics,
+//! so a typo cannot silently disable enforcement; determinism-family
+//! rules additionally require the pragma to carry a written justification
+//! (at least [`MIN_JUSTIFICATION`] characters after the allow list). The
+//! `sigmo-lint` binary walks the workspace (skipping `vendor/`, `target/`
+//! and lint fixtures) and is wired into `scripts/check.sh` as a gate next
+//! to fmt/clippy/test.
 
+pub mod callgraph;
+pub mod index;
 pub mod lexer;
 pub mod pragma;
+pub mod reach;
 pub mod rules;
 
+use callgraph::CallGraph;
+use index::Workspace;
 use pragma::AllowSet;
-use rules::{all_rules, Diagnostic};
+use reach::Reach;
+use rules::{all_rules, Diagnostic, RuleCtx};
 use std::path::{Path, PathBuf};
 
-/// Analyzes one file's source text, returning pragma-filtered diagnostics
-/// sorted by position. `path` should be workspace-relative; rules match on
-/// its file name.
+/// Minimum length of a written justification on a pragma suppressing a
+/// determinism rule. Short enough for "display-only", long enough that
+/// "ok" does not count as an audit trail.
+pub const MIN_JUSTIFICATION: usize = 8;
+
+/// Analyzes a set of `(path, source)` pairs as one workspace: index, call
+/// graph, reachability, rules, pragma filtering and pragma
+/// meta-diagnostics. Diagnostics come back sorted by (file, line, column,
+/// rule).
+pub fn analyze_sources<I, P, S>(sources: I) -> Vec<Diagnostic>
+where
+    I: IntoIterator<Item = (P, S)>,
+    P: AsRef<str>,
+    S: AsRef<str>,
+{
+    analyze_indexed(&Workspace::from_sources(sources))
+}
+
+/// Analyzes one file's source text — a one-file workspace, so
+/// intra-file reachability (a launch closure calling a helper below it)
+/// still gates the rules. `path` should be workspace-relative.
 pub fn analyze_source(path: &str, src: &str) -> Vec<Diagnostic> {
-    let file = lexer::lex(path, src);
-    let pragmas = pragma::parse_pragmas(&file);
-    let allow = AllowSet::build(&file, &pragmas);
-    let known: Vec<&'static str> = all_rules().iter().map(|r| r.name()).collect();
+    analyze_sources([(path, src)])
+}
+
+/// The full pipeline over an indexed workspace.
+pub fn analyze_indexed(ws: &Workspace) -> Vec<Diagnostic> {
+    let rules = all_rules();
+    let known: Vec<&'static str> = rules.iter().map(|r| r.name()).collect();
+    let cg = CallGraph::build(ws);
+    let reach = Reach::compute(ws, &cg);
 
     let mut out = Vec::new();
-    for rule in all_rules() {
-        if !rule.applies(path) {
-            continue;
+    for (fi, file) in ws.files.iter().enumerate() {
+        let ctx = RuleCtx {
+            kernel: reach.kernel_ranges(ws, fi),
+            report: reach.report_ranges(ws, fi),
+        };
+        let pragmas = pragma::parse_pragmas(&file.file);
+        let allow = AllowSet::build(&file.file, &pragmas);
+        for rule in &rules {
+            let mut found = Vec::new();
+            rule.check(file, &ctx, &mut found);
+            out.extend(
+                found
+                    .into_iter()
+                    .filter(|d| !allow.allows(d.rule, d.line - 1)),
+            );
         }
-        let mut found = Vec::new();
-        rule.check(&file, &mut found);
-        out.extend(
-            found
-                .into_iter()
-                .filter(|d| !allow.allows(d.rule, d.line - 1)),
-        );
-    }
-    // A pragma naming an unknown rule is a finding of its own: typos must
-    // not silently disable enforcement.
-    for p in &pragmas {
-        for r in &p.rules {
-            if !known.contains(&r.as_str()) {
+        // Pragma meta-diagnostics: malformed pragmas, unknown rule names,
+        // and unjustified suppressions of determinism rules. Typos and
+        // shortcuts must not silently disable enforcement.
+        for p in &pragmas {
+            if p.malformed {
                 out.push(Diagnostic {
                     rule: "bad-pragma",
-                    file: file.path.clone(),
+                    file: file.file.path.clone(),
                     line: p.line + 1,
                     column: 1,
-                    message: format!(
-                        "pragma allows unknown rule `{r}`: known rules are {}",
-                        known.join(", ")
-                    ),
+                    message: "malformed pragma: expected `allow(rule, ...)` with a closed \
+                              parenthesis — nothing is suppressed"
+                        .into(),
                 });
+                continue;
+            }
+            for r in &p.rules {
+                let Some(rule) = rules.iter().find(|rule| rule.name() == r.as_str()) else {
+                    out.push(Diagnostic {
+                        rule: "bad-pragma",
+                        file: file.file.path.clone(),
+                        line: p.line + 1,
+                        column: 1,
+                        message: format!(
+                            "pragma allows unknown rule `{r}`: known rules are {}",
+                            known.join(", ")
+                        ),
+                    });
+                    continue;
+                };
+                let justified = p
+                    .justification
+                    .as_deref()
+                    .is_some_and(|j| j.len() >= MIN_JUSTIFICATION);
+                if rule.requires_justification() && !justified {
+                    out.push(Diagnostic {
+                        rule: "unjustified-pragma",
+                        file: file.file.path.clone(),
+                        line: p.line + 1,
+                        column: 1,
+                        message: format!(
+                            "suppressing determinism rule `{r}` requires a written justification \
+                             after the allow list (≥ {MIN_JUSTIFICATION} chars): say what makes \
+                             this site sound",
+                        ),
+                    });
+                }
             }
         }
     }
-    out.sort_by(|a, b| (a.line, a.column, a.rule).cmp(&(b.line, b.column, b.rule)));
-    // Nested range loops can flag the same probe site once per enclosing
-    // loop; one diagnostic per (rule, site) is enough.
-    out.dedup_by(|a, b| (a.rule, a.line, a.column) == (b.rule, b.line, b.column));
+    out.sort_by(|a, b| {
+        (&a.file, a.line, a.column, a.rule).cmp(&(&b.file, b.line, b.column, b.rule))
+    });
+    // Nested range loops or overlapping context ranges can flag the same
+    // site more than once; one diagnostic per (rule, site) is enough.
+    out.dedup_by(|a, b| (a.rule, &a.file, a.line, a.column) == (b.rule, &b.file, b.line, b.column));
     out
 }
 
@@ -111,19 +189,16 @@ pub fn walk_workspace(root: &Path) -> Vec<PathBuf> {
 /// Analyzes every workspace source file under `root`. Unreadable files are
 /// reported as diagnostics rather than silently skipped.
 pub fn analyze_workspace(root: &Path) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
-    for rel in walk_workspace(root) {
-        let rel_str = rel.to_string_lossy().replace('\\', "/");
-        match std::fs::read_to_string(root.join(&rel)) {
-            Ok(src) => out.extend(analyze_source(&rel_str, &src)),
-            Err(e) => out.push(Diagnostic {
-                rule: "io-error",
-                file: rel_str,
-                line: 0,
-                column: 0,
-                message: format!("cannot read file: {e}"),
-            }),
-        }
+    let (ws, errors) = Workspace::load(root);
+    let mut out = analyze_indexed(&ws);
+    for (path, err) in errors {
+        out.push(Diagnostic {
+            rule: "io-error",
+            file: path,
+            line: 0,
+            column: 0,
+            message: format!("cannot read file: {err}"),
+        });
     }
     out
 }
@@ -174,6 +249,70 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
     s
 }
 
+/// Renders diagnostics as a minimal SARIF 2.1.0 log — one run, one
+/// result per diagnostic, rule metadata from the registry — so CI
+/// systems can annotate findings on changed lines. Hand-rendered like
+/// [`render_json`].
+pub fn render_sarif(diags: &[Diagnostic]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [{\n");
+    s.push_str("    \"tool\": {\"driver\": {\"name\": \"sigmo-lint\", \"rules\": [");
+    // Registry rules plus the meta-rules the driver itself emits.
+    let rules = all_rules();
+    let metas: &[(&str, &str)] = &[
+        (
+            "bad-pragma",
+            "malformed pragma or unknown rule name in an allow list",
+        ),
+        (
+            "unjustified-pragma",
+            "determinism-rule suppression without a written justification",
+        ),
+        ("io-error", "workspace file could not be read"),
+    ];
+    let mut first = true;
+    for (id, desc) in rules
+        .iter()
+        .map(|r| (r.name(), r.description()))
+        .chain(metas.iter().copied())
+    {
+        if !first {
+            s.push_str(", ");
+        }
+        first = false;
+        s.push_str(&format!(
+            "{{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+            json_str(id),
+            json_str(desc)
+        ));
+    }
+    s.push_str("]}},\n");
+    s.push_str("    \"results\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n      {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": {}}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}",
+            json_str(d.rule),
+            json_str(&d.message),
+            json_str(&d.file),
+            d.line.max(1),
+            d.column.max(1),
+        ));
+    }
+    if !diags.is_empty() {
+        s.push_str("\n    ");
+    }
+    s.push_str("]\n  }]\n}\n");
+    s
+}
+
 fn json_str(v: &str) -> String {
     let mut s = String::with_capacity(v.len() + 2);
     s.push('"');
@@ -196,13 +335,26 @@ fn json_str(v: &str) -> String {
 mod tests {
     use super::*;
 
+    /// A probing helper made kernel-reachable by a launch in the same
+    /// source.
+    const REACHABLE_PROBE: &str = "\
+fn host(q: &Queue) {
+    q.parallel_for(\"k\", \"scan\", n, 128, |i, c| { f(i, c); });
+}
+fn f(i: usize, c: &K) {
+    c.add_word_reads(1);
+    (lo..hi).find(|&c| bitmap.get(row, c));
+}
+";
+
     #[test]
     fn trailing_pragma_suppresses_the_diagnostic() {
-        let bad = "fn f() {\n    (lo..hi).find(|&c| bitmap.get(row, c))\n}\n";
-        let allowed =
-            "fn f() {\n    (lo..hi).find(|&c| bitmap.get(row, c)) // sigmo-lint: allow(per-bit-probe) — oracle\n}\n";
-        assert_eq!(analyze_source("naive.rs", bad).len(), 1);
-        assert!(analyze_source("naive.rs", allowed).is_empty());
+        let allowed = REACHABLE_PROBE.replace(
+            "(lo..hi).find(|&c| bitmap.get(row, c));",
+            "(lo..hi).find(|&c| bitmap.get(row, c)); // sigmo-lint: allow(per-bit-probe) — oracle",
+        );
+        assert_eq!(analyze_source("naive.rs", REACHABLE_PROBE).len(), 1);
+        assert!(analyze_source("naive.rs", &allowed).is_empty());
     }
 
     #[test]
@@ -215,10 +367,73 @@ mod tests {
     }
 
     #[test]
+    fn malformed_pragma_is_reported() {
+        let src = "fn f() {} // sigmo-lint: allow(per-bit-probe";
+        let d = analyze_source("naive.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "bad-pragma");
+        assert!(d[0].message.contains("malformed"));
+    }
+
+    #[test]
+    fn determinism_pragma_without_justification_is_reported() {
+        let src = "\
+fn merge(counts: &HashMap<u32, u64>) -> RunReport {
+    // sigmo-lint: allow(nondet-collection-iter)
+    let total = counts.values().sum();
+    RunReport { total }
+}
+";
+        let d = analyze_source("merge.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "unjustified-pragma");
+        // With a justification the suppression is accepted silently.
+        let ok = src.replace(
+            "allow(nondet-collection-iter)",
+            "allow(nondet-collection-iter) — values feed a commutative integer sum",
+        );
+        assert!(analyze_source("merge.rs", &ok).is_empty());
+    }
+
+    #[test]
+    fn kernel_discipline_pragmas_do_not_need_justification() {
+        let allowed = REACHABLE_PROBE.replace(
+            "(lo..hi).find(|&c| bitmap.get(row, c));",
+            "(lo..hi).find(|&c| bitmap.get(row, c)); // sigmo-lint: allow(per-bit-probe)",
+        );
+        assert!(analyze_source("naive.rs", &allowed).is_empty());
+    }
+
+    #[test]
+    fn cross_file_reachability_gates_rules() {
+        let launcher = "\
+use b::util::helper;
+fn host(q: &Queue) {
+    q.parallel_for(\"k\", \"scan\", n, 128, |i, c| { helper(i, c); });
+}
+";
+        let helper = "\
+fn helper(i: usize, c: &K) {
+    let s = i.to_string();
+    c.add_instructions(s.len() as u64);
+}
+";
+        let d = analyze_sources([
+            ("crates/a/src/launch.rs", launcher),
+            ("crates/b/src/util.rs", helper),
+        ]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "alloc-in-kernel");
+        assert_eq!(d[0].file, "crates/b/src/util.rs");
+        // Without the launcher, the same helper is host-only and clean.
+        assert!(analyze_source("crates/b/src/util.rs", helper).is_empty());
+    }
+
+    #[test]
     fn diagnostics_are_sorted_by_position() {
-        let src = "use std::sync::atomic::Ordering::SeqCst;\nfn f() {\n    for c in 0..n {\n        if b.get(r, c) { x(); }\n    }\n}\n";
-        let d = analyze_source("filter.rs", src);
-        assert!(d.len() >= 2);
+        let src = format!("use std::sync::atomic::Ordering::SeqCst;\n{REACHABLE_PROBE}");
+        let d = analyze_source("filter.rs", &src);
+        assert!(d.len() >= 2, "{d:?}");
         assert!(d.windows(2).all(|w| w[0].line <= w[1].line));
     }
 
@@ -257,5 +472,28 @@ mod tests {
         assert!(h.contains("x.rs:1:1"));
         assert!(h.contains("1 violation found"));
         assert!(render_human(&[]).contains("no violations"));
+    }
+
+    #[test]
+    fn sarif_lists_rules_and_results() {
+        let d = vec![Diagnostic {
+            rule: "nondet-collection-iter",
+            file: "crates/a/src/x.rs".into(),
+            line: 12,
+            column: 5,
+            message: "iteration order".into(),
+        }];
+        let s = render_sarif(&d);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"name\": \"sigmo-lint\""));
+        assert!(s.contains("\"ruleId\": \"nondet-collection-iter\""));
+        assert!(s.contains("\"startLine\": 12"));
+        // Every registry rule is described in the tool metadata.
+        for rule in all_rules() {
+            assert!(s.contains(rule.name()), "missing {}", rule.name());
+        }
+        // Empty runs still render a well-formed log.
+        let empty = render_sarif(&[]);
+        assert!(empty.contains("\"results\": []"));
     }
 }

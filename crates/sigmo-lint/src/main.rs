@@ -1,15 +1,25 @@
 //! The `sigmo-lint` binary: walks the workspace (or explicit files) and
-//! reports kernel-discipline violations.
+//! reports kernel-discipline and determinism violations.
 //!
 //! ```text
-//! sigmo-lint [--root DIR] [--format human|json] [--list-rules] [FILE...]
+//! sigmo-lint [--root DIR] [--format human|json|sarif] [--list-rules] [FILE...]
 //! ```
 //!
-//! Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
+//! Exit status (stable contract — `scripts/check.sh` and CI depend on it):
+//!
+//! * `0` — analysis ran and found no violations;
+//! * `1` — analysis ran and found at least one violation (any format);
+//! * `2` — the analysis did not run: usage error, unknown flag/format,
+//!   or an explicitly named file could not be read. (Unreadable files
+//!   discovered during a `--root` walk are reported as `io-error`
+//!   diagnostics and exit 1, so a transient read failure cannot pass
+//!   the gate.)
 
 use sigmo_lint::rules::all_rules;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+const USAGE: &str = "sigmo-lint [--root DIR] [--format human|json|sarif] [--list-rules] [FILE...]";
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
@@ -26,11 +36,12 @@ fn main() -> ExitCode {
             }
             "--format" => {
                 let Some(f) = args.next() else {
-                    return usage("--format requires `human` or `json`");
+                    return usage("--format requires `human`, `json` or `sarif`");
                 };
                 format = match f.as_str() {
                     "human" => Format::Human,
                     "json" => Format::Json,
+                    "sarif" => Format::Sarif,
                     other => return usage(&format!("unknown format `{other}`")),
                 };
             }
@@ -41,7 +52,9 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
-                println!("sigmo-lint [--root DIR] [--format human|json] [--list-rules] [FILE...]");
+                println!("{USAGE}");
+                println!();
+                println!("exit status: 0 clean, 1 violations found, 2 usage or I/O error");
                 return ExitCode::SUCCESS;
             }
             flag if flag.starts_with('-') => {
@@ -54,22 +67,25 @@ fn main() -> ExitCode {
     let diags = if files.is_empty() {
         sigmo_lint::analyze_workspace(&root)
     } else {
-        let mut out = Vec::new();
+        // Explicit files are analyzed together as one mini-workspace, so
+        // cross-file reachability between the named files still applies.
+        let mut sources = Vec::new();
         for f in &files {
             match std::fs::read_to_string(f) {
-                Ok(src) => out.extend(sigmo_lint::analyze_source(f, &src)),
+                Ok(src) => sources.push((f.clone(), src)),
                 Err(e) => {
                     eprintln!("sigmo-lint: cannot read {f}: {e}");
                     return ExitCode::from(2);
                 }
             }
         }
-        out
+        sigmo_lint::analyze_sources(sources)
     };
 
     match format {
         Format::Human => print!("{}", sigmo_lint::render_human(&diags)),
         Format::Json => print!("{}", sigmo_lint::render_json(&diags)),
+        Format::Sarif => print!("{}", sigmo_lint::render_sarif(&diags)),
     }
     if diags.is_empty() {
         ExitCode::SUCCESS
@@ -81,10 +97,11 @@ fn main() -> ExitCode {
 enum Format {
     Human,
     Json,
+    Sarif,
 }
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("sigmo-lint: {msg}");
-    eprintln!("usage: sigmo-lint [--root DIR] [--format human|json] [--list-rules] [FILE...]");
+    eprintln!("usage: {USAGE}");
     ExitCode::from(2)
 }

@@ -15,10 +15,16 @@
 //!   declarations).
 //!
 //! Several rules may be allowed at once: `allow(rule-a, rule-b)`. Text
-//! after the closing parenthesis is free-form and *expected*: every pragma
-//! should say why the exception is sound. A pragma naming a rule the
-//! analyzer does not know is itself reported (`bad-pragma`), so typos
-//! cannot silently disable enforcement.
+//! after the closing parenthesis is the pragma's *justification* — for
+//! most rules it is free-form but expected; for the determinism family
+//! ([`crate::rules::Rule::requires_justification`]) it is **mandatory**,
+//! and a suppression without one is itself a diagnostic
+//! (`unjustified-pragma`). A pragma naming a rule the analyzer does not
+//! know, or one whose allow-list never closes its parenthesis (e.g. a
+//! truncated final line), is reported as `bad-pragma` — typos and
+//! truncation cannot silently disable enforcement. Pragmas on a final
+//! line without a trailing newline parse like any other: the lexer
+//! flushes its last line at EOF.
 
 use crate::lexer::{matching_brace, SourceFile};
 
@@ -27,13 +33,21 @@ use crate::lexer::{matching_brace, SourceFile};
 pub struct Pragma {
     /// 0-based line the pragma comment sits on.
     pub line: usize,
-    /// Rule names listed in `allow(...)`.
+    /// Rule names listed in `allow(...)`. Empty for malformed pragmas.
     pub rules: Vec<String>,
     /// True when the pragma shares its line with code (trailing form).
     pub trailing: bool,
+    /// Justification text after the closing parenthesis, stripped of
+    /// leading separators (dashes, colons). `None` when absent or blank.
+    pub justification: Option<String>,
+    /// True when the pragma was recognized but could not be parsed (an
+    /// allow-list that never closes). Reported as `bad-pragma` by the
+    /// driver; suppresses nothing.
+    pub malformed: bool,
 }
 
-/// All pragmas of a file, in line order.
+/// All pragmas of a file, in line order — including malformed ones, which
+/// the driver reports instead of honoring.
 pub fn parse_pragmas(file: &SourceFile) -> Vec<Pragma> {
     let mut out = Vec::new();
     for (n, line) in file.lines.iter().enumerate() {
@@ -48,10 +62,18 @@ pub fn parse_pragmas(file: &SourceFile) -> Vec<Pragma> {
             continue;
         };
         let rest = rest.trim_start();
+        let trailing = !line.code.trim().is_empty();
         let Some(rest) = rest.strip_prefix('(') else {
+            // The allow keyword with no parenthesized list: intent is
+            // unmistakable, syntax is not — report rather than guess.
+            out.push(malformed(n, trailing));
             continue;
         };
         let Some(close) = rest.find(')') else {
+            // An allow-list that never closes (e.g. truncated at EOF)
+            // must not vanish silently: nothing is suppressed, and the
+            // driver reports the pragma itself.
+            out.push(malformed(n, trailing));
             continue;
         };
         let rules = rest[..close]
@@ -59,13 +81,30 @@ pub fn parse_pragmas(file: &SourceFile) -> Vec<Pragma> {
             .map(|r| r.trim().to_string())
             .filter(|r| !r.is_empty())
             .collect();
+        let justification = rest[close + 1..]
+            .trim_start_matches(|c: char| {
+                c.is_whitespace() || matches!(c, '—' | '–' | '-' | ':' | '.' | ',')
+            })
+            .trim();
         out.push(Pragma {
             line: n,
             rules,
-            trailing: !line.code.trim().is_empty(),
+            trailing,
+            justification: (!justification.is_empty()).then(|| justification.to_string()),
+            malformed: false,
         });
     }
     out
+}
+
+fn malformed(line: usize, trailing: bool) -> Pragma {
+    Pragma {
+        line,
+        rules: Vec::new(),
+        trailing,
+        justification: None,
+        malformed: true,
+    }
 }
 
 /// Resolved suppression spans: for each rule name, the 0-based line ranges
@@ -77,9 +116,13 @@ pub struct AllowSet {
 
 impl AllowSet {
     /// Builds the suppression spans for a file from its pragmas.
+    /// Malformed pragmas suppress nothing.
     pub fn build(file: &SourceFile, pragmas: &[Pragma]) -> Self {
         let mut spans = Vec::new();
         for p in pragmas {
+            if p.malformed {
+                continue;
+            }
             let range = if p.trailing {
                 p.line..=p.line
             } else {
@@ -185,6 +228,67 @@ fn other() { touch(); }
         let allow = AllowSet::build(&f, &pragmas);
         assert!(allow.allows("rule-a", 0));
         assert!(allow.allows("rule-b", 0));
+    }
+
+    #[test]
+    fn justification_text_is_captured_and_stripped() {
+        let f = lex(
+            "x.rs",
+            "x(); // sigmo-lint: allow(rule-a) — wall_time is display-only\ny(); // sigmo-lint: allow(rule-b): charged by caller\nz(); // sigmo-lint: allow(rule-c)\n",
+        );
+        let p = parse_pragmas(&f);
+        assert_eq!(
+            p[0].justification.as_deref(),
+            Some("wall_time is display-only")
+        );
+        assert_eq!(p[1].justification.as_deref(), Some("charged by caller"));
+        assert_eq!(p[2].justification, None);
+    }
+
+    #[test]
+    fn pragma_on_final_line_without_newline_still_parses() {
+        // The satellite bug report: a trailing pragma on an EOF-terminated
+        // last line. The lexer flushes its final line, so the pragma must
+        // parse and suppress exactly like a newline-terminated one.
+        let f = lex(
+            "x.rs",
+            "probe(); // sigmo-lint: allow(per-bit-probe) — oracle",
+        );
+        let p = parse_pragmas(&f);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].rules, ["per-bit-probe"]);
+        assert!(!p[0].malformed);
+        let allow = AllowSet::build(&f, &p);
+        assert!(allow.allows("per-bit-probe", 0));
+    }
+
+    #[test]
+    fn standalone_pragma_at_eof_without_newline_parses() {
+        let f = lex("x.rs", "fn f() {}\n// sigmo-lint: allow(rule-a) — why");
+        let p = parse_pragmas(&f);
+        assert_eq!(p.len(), 1);
+        assert!(!p[0].trailing);
+    }
+
+    #[test]
+    fn unterminated_allow_list_is_reported_not_dropped() {
+        // Truncated at EOF mid-list: honoring nothing is correct, but the
+        // pragma must surface as malformed instead of vanishing.
+        let f = lex("x.rs", "probe(); // sigmo-lint: allow(per-bit-probe");
+        let p = parse_pragmas(&f);
+        assert_eq!(p.len(), 1);
+        assert!(p[0].malformed);
+        assert!(p[0].rules.is_empty());
+        let allow = AllowSet::build(&f, &p);
+        assert!(!allow.allows("per-bit-probe", 0));
+    }
+
+    #[test]
+    fn allow_without_list_is_reported() {
+        let f = lex("x.rs", "probe(); // sigmo-lint: allow everything\n");
+        let p = parse_pragmas(&f);
+        assert_eq!(p.len(), 1);
+        assert!(p[0].malformed);
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Kernel- and report-reachability over the lexical call graph.
+//!
+//! Two sets of functions define the determinism audit surface:
+//!
+//! * **kernel-reachable** — functions transitively callable from a
+//!   kernel-launch closure (`Queue::parallel_for*`). This is the code
+//!   that executes concurrently: scheduling order must not be observable
+//!   in anything it computes. The kernel-discipline rules (per-bit
+//!   probes, allocations, uncharged traffic, unbounded loops) apply
+//!   here — *wherever* the function lives, not just in a hard-coded list
+//!   of kernel module files.
+//!
+//! * **report-reachable** — functions that construct result reports
+//!   ([`REPORT_TYPES`]: `RunReport`, `StreamReport`, kernel records,
+//!   counter snapshots/merges — any `…Report` struct counts), plus
+//!   everything they transitively call. This is the code whose outputs
+//!   the repo pins bit-identical across thread counts; nondeterministic
+//!   iteration, float accumulation, racy reads and wall-clock values
+//!   must not leak into it unjustified.
+//!
+//! Kernel reachability is a *backward-from-execution-context* closure
+//! (seeded by names called inside launch closures); report reachability
+//! is a *forward-from-construction* closure (a report builder's callees
+//! all feed the report). Both propagate through the name-resolved call
+//! graph, so the sets are over-approximations — the audit's escape hatch
+//! for a justified false positive is a pragma with a written rationale.
+
+use crate::callgraph::CallGraph;
+use crate::index::Workspace;
+use crate::lexer;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Type names whose construction marks a function as a report root.
+/// `KernelRecord` and `CounterSnapshot` carry the counter totals the
+/// determinism tests key on; `KernelSummary` aggregates them;
+/// `StrategyCounts` is the per-pair decision tally merged across chunks.
+/// Any identifier ending in `Report` is also a root marker.
+pub const REPORT_TYPES: &[&str] = &[
+    "KernelRecord",
+    "CounterSnapshot",
+    "KernelSummary",
+    "StrategyCounts",
+];
+
+/// The computed reachability sets.
+#[derive(Debug, Default)]
+pub struct Reach {
+    /// Per file: fn indices that are kernel-reachable.
+    pub kernel: Vec<BTreeSet<usize>>,
+    /// Per file: fn indices that are report-reachable (roots included).
+    pub report: Vec<BTreeSet<usize>>,
+}
+
+impl Reach {
+    /// Computes both reachability sets for an indexed workspace.
+    pub fn compute(ws: &Workspace, cg: &CallGraph) -> Self {
+        let kernel = closure_from_names(
+            ws,
+            cg,
+            cg.kernel_seed_names
+                .iter()
+                .enumerate()
+                .flat_map(|(fi, names)| names.iter().map(move |n| (fi, n.as_str()))),
+        );
+        let roots = report_roots(ws);
+        let report = closure_from_nodes(ws, cg, roots);
+        Reach { kernel, report }
+    }
+
+    /// Kernel-context byte ranges of file `fi`: launch closure bodies
+    /// plus the bodies of kernel-reachable fns. Empty for context-exempt
+    /// files.
+    pub fn kernel_ranges(&self, ws: &Workspace, fi: usize) -> Vec<Range<usize>> {
+        let file = &ws.files[fi];
+        if file.context_exempt {
+            return Vec::new();
+        }
+        let mut out = file.kernel_closures.clone();
+        out.extend(self.kernel[fi].iter().map(|&ni| file.fns[ni].body.clone()));
+        out.sort_by_key(|r| r.start);
+        out
+    }
+
+    /// Report-context byte ranges of file `fi`: bodies of
+    /// report-reachable fns. Empty for context-exempt files.
+    pub fn report_ranges(&self, ws: &Workspace, fi: usize) -> Vec<Range<usize>> {
+        let file = &ws.files[fi];
+        if file.context_exempt {
+            return Vec::new();
+        }
+        let mut out: Vec<Range<usize>> = self.report[fi]
+            .iter()
+            .map(|&ni| file.fns[ni].body.clone())
+            .collect();
+        out.sort_by_key(|r| r.start);
+        out
+    }
+}
+
+/// Fns that construct or manipulate a report type (see [`REPORT_TYPES`]):
+/// the roots of report reachability. Test code and context-exempt files
+/// never root the audit surface.
+fn report_roots(ws: &Workspace) -> Vec<(usize, usize)> {
+    let mut roots = Vec::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        if file.context_exempt {
+            continue;
+        }
+        for (ni, item) in file.fns.iter().enumerate() {
+            if crate::rules::in_ranges(&file.tests, item.at) {
+                continue;
+            }
+            if mentions_report_type(&file.file.code, item.body.clone()) {
+                roots.push((fi, ni));
+            }
+        }
+    }
+    roots
+}
+
+/// True when `range` of the blanked code mentions a report type as a
+/// whole word (construction, `Default::default()` binding, or merge —
+/// any manipulation marks the fn).
+pub fn mentions_report_type(code: &str, range: Range<usize>) -> bool {
+    let slice = &code[range];
+    for ty in REPORT_TYPES {
+        if lexer::find_word(slice, 0, ty).is_some() {
+            return true;
+        }
+    }
+    // Any `…Report` identifier: scan idents once.
+    lexer::idents(slice)
+        .iter()
+        .any(|w| w.len() > "Report".len() && w.ends_with("Report"))
+}
+
+/// Transitive closure from `(file, callee-name)` seeds.
+fn closure_from_names<'a, I>(ws: &Workspace, cg: &CallGraph, seeds: I) -> Vec<BTreeSet<usize>>
+where
+    I: Iterator<Item = (usize, &'a str)>,
+{
+    let mut marked: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); ws.files.len()];
+    let mut work: Vec<(usize, usize)> = Vec::new();
+    for (fi, name) in seeds {
+        for node in cg.resolve(name, fi) {
+            push_node(ws, &mut marked, &mut work, node);
+        }
+    }
+    propagate(ws, cg, marked, work)
+}
+
+/// Transitive closure from explicit root nodes.
+fn closure_from_nodes(
+    ws: &Workspace,
+    cg: &CallGraph,
+    roots: Vec<(usize, usize)>,
+) -> Vec<BTreeSet<usize>> {
+    let mut marked: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); ws.files.len()];
+    let mut work: Vec<(usize, usize)> = Vec::new();
+    for node in roots {
+        push_node(ws, &mut marked, &mut work, node);
+    }
+    propagate(ws, cg, marked, work)
+}
+
+fn push_node(
+    ws: &Workspace,
+    marked: &mut [BTreeSet<usize>],
+    work: &mut Vec<(usize, usize)>,
+    (fi, ni): (usize, usize),
+) {
+    // Context-exempt files carry no audit context even when reachable.
+    if ws.files[fi].context_exempt {
+        return;
+    }
+    if marked[fi].insert(ni) {
+        work.push((fi, ni));
+    }
+}
+
+fn propagate(
+    ws: &Workspace,
+    cg: &CallGraph,
+    mut marked: Vec<BTreeSet<usize>>,
+    mut work: Vec<(usize, usize)>,
+) -> Vec<BTreeSet<usize>> {
+    while let Some((fi, ni)) = work.pop() {
+        for name in &cg.callees[fi][ni] {
+            for node in cg.resolve(name, fi) {
+                push_node(ws, &mut marked, &mut work, node);
+            }
+        }
+    }
+    marked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::index::Workspace;
+
+    fn reach_of(sources: &[(&str, &str)]) -> (Workspace, Reach) {
+        let ws = Workspace::from_sources(sources.iter().copied());
+        let cg = CallGraph::build(&ws);
+        let r = Reach::compute(&ws, &cg);
+        (ws, r)
+    }
+
+    #[test]
+    fn kernel_reach_crosses_files() {
+        let launcher = "\
+use b::helpers::deep_helper;
+fn host(q: &Queue) {
+    q.parallel_for(\"k\", \"filter\", n, 128, |i, c| {
+        deep_helper(i, c);
+    });
+}
+";
+        let helpers = "\
+fn deep_helper(i: usize, c: &KernelCounters) {
+    leaf(i, c);
+}
+fn leaf(i: usize, c: &KernelCounters) {
+    c.add_instructions(1);
+}
+fn host_only() {}
+";
+        let (ws, r) = reach_of(&[
+            ("crates/a/src/filter.rs", launcher),
+            ("crates/b/src/helpers.rs", helpers),
+        ]);
+        let hi = ws.file_index("crates/b/src/helpers.rs").unwrap();
+        let names: Vec<&str> = r.kernel[hi]
+            .iter()
+            .map(|&ni| ws.files[hi].fns[ni].name.as_str())
+            .collect();
+        assert_eq!(names, ["deep_helper", "leaf"]);
+        // `host` launches but does not itself run inside the kernel.
+        let li = ws.file_index("crates/a/src/filter.rs").unwrap();
+        assert!(r.kernel[li].is_empty());
+        assert!(!r.kernel_ranges(&ws, li).is_empty(), "closure body counts");
+    }
+
+    #[test]
+    fn report_reach_follows_callees_of_constructors() {
+        let src = "\
+fn build(records: &[Rec]) -> RunReport {
+    let t = tally(records);
+    RunReport { total: t }
+}
+fn tally(records: &[Rec]) -> u64 {
+    records.len() as u64
+}
+fn unrelated() {}
+";
+        let (ws, r) = reach_of(&[("crates/a/src/engine.rs", src)]);
+        let names: Vec<&str> = r.report[0]
+            .iter()
+            .map(|&ni| ws.files[0].fns[ni].name.as_str())
+            .collect();
+        assert_eq!(names, ["build", "tally"]);
+    }
+
+    #[test]
+    fn any_report_suffix_roots_the_surface() {
+        let src = "fn f() -> FaultClusterReport { FaultClusterReport { x: 1 } }\n";
+        let (_ws, r) = reach_of(&[("crates/a/src/fault.rs", src)]);
+        assert_eq!(r.report[0].len(), 1);
+    }
+
+    #[test]
+    fn exempt_files_are_never_context() {
+        let src = "\
+fn bench_host(q: &Queue) {
+    q.parallel_for(\"k\", \"bench\", n, 128, |i, c| { measured(i, c); });
+}
+fn measured(i: usize, c: &KernelCounters) { c.add_instructions(1); }
+fn report() -> BenchReport { BenchReport { t: 0.0 } }
+";
+        let (ws, r) = reach_of(&[("crates/sigmo-bench/src/figures.rs", src)]);
+        assert!(r.kernel[0].is_empty());
+        assert!(r.report[0].is_empty());
+        assert!(r.kernel_ranges(&ws, 0).is_empty());
+    }
+}

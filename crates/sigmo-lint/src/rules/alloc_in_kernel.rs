@@ -1,4 +1,4 @@
-//! **alloc-in-kernel** — no heap allocation inside kernel closures.
+//! **alloc-in-kernel** — no heap allocation in kernel-reachable code.
 //!
 //! A GPU kernel cannot call the host allocator; in SYCL/CUDA the
 //! candidate-set, GMCR and join kernels work entirely in pre-allocated
@@ -9,17 +9,15 @@
 //! could not express, and its cost would be invisible to the model.
 //!
 //! Detected: allocation constructors/adaptors (`Vec::new`, `vec![]`,
-//! `.collect()`, `.push(..)`, `format!`, …) inside the closure argument of
-//! a `.parallel_for(..)` / `.parallel_for_work_group(..)` launch (or their
-//! stop-aware `_until` variants), outside
-//! `#[cfg(test)]`. `join_bfs.rs` carries a documented pragma: its BFS
-//! frontier materialization is the memory blow-up §4.6 measures in order
-//! to reject the BFS strategy.
+//! `.collect()`, `.push(..)`, `format!`, …) anywhere in kernel context:
+//! launch closure bodies *and* every function the call graph reaches from
+//! them, so an allocation hidden in a helper two files away is caught.
+//! `join_bfs.rs` carries a documented pragma: its BFS frontier
+//! materialization is the memory blow-up §4.6 measures in order to reject
+//! the BFS strategy.
 
-use super::{
-    file_name, find_all, in_ranges, Diagnostic, Rule, KERNEL_LAUNCHES, KERNEL_MODULE_FILES,
-};
-use crate::lexer::{self, SourceFile};
+use super::{find_all, Diagnostic, Rule, RuleCtx};
+use crate::index::FileIndex;
 
 /// See the module docs.
 pub struct AllocInKernel;
@@ -49,84 +47,39 @@ impl Rule for AllocInKernel {
     }
 
     fn description(&self) -> &'static str {
-        "heap allocation inside a parallel_for / parallel_for_work_group kernel closure"
+        "heap allocation in kernel-reachable code (launch closures and everything they call)"
     }
 
-    fn applies(&self, path: &str) -> bool {
-        KERNEL_MODULE_FILES.contains(&file_name(path))
-    }
-
-    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
-        let tests = file.test_ranges();
-        let code = &file.code;
-        for launch in KERNEL_LAUNCHES {
-            for at in find_all(file, 0..code.len(), launch) {
-                if in_ranges(&tests, at) {
-                    continue;
-                }
-                let args_open = at + launch.len() - 1;
-                let Some(args_close) = lexer::matching_paren(code, args_open) else {
-                    continue;
-                };
-                let Some(body) = closure_body(code, args_open + 1, args_close) else {
-                    continue;
-                };
-                for tok in ALLOC_TOKENS {
-                    for hit in find_all(file, body.clone(), tok) {
-                        let (line, column) = file.line_col(hit + 1);
-                        out.push(Diagnostic {
-                            rule: "alloc-in-kernel",
-                            file: file.path.clone(),
-                            line,
-                            column,
-                            message: format!(
-                                "heap allocation `{}` inside a kernel closure: device kernels \
-                                 cannot call the allocator — pre-allocate outside the launch or \
-                                 use fixed-size scratch (LocalMem)",
-                                tok.trim_start_matches('.').trim_end_matches('('),
-                            ),
-                        });
-                    }
+    fn check(&self, file: &FileIndex, ctx: &RuleCtx, out: &mut Vec<Diagnostic>) {
+        for range in &ctx.kernel {
+            for tok in ALLOC_TOKENS {
+                for hit in find_all(&file.file, range.clone(), tok) {
+                    let (line, column) = file.file.line_col(hit + 1);
+                    out.push(Diagnostic {
+                        rule: "alloc-in-kernel",
+                        file: file.file.path.clone(),
+                        line,
+                        column,
+                        message: format!(
+                            "heap allocation `{}` in kernel-reachable code: device kernels \
+                             cannot call the allocator — pre-allocate outside the launch or \
+                             use fixed-size scratch (LocalMem)",
+                            tok.trim_start_matches('.').trim_end_matches('('),
+                        ),
+                    });
                 }
             }
         }
     }
 }
 
-/// The byte range of the kernel-closure body inside a launch's argument
-/// list `(open..close)`: from the closure's closing `|` through either its
-/// brace block or the end of the argument list.
-fn closure_body(code: &str, open: usize, close: usize) -> Option<std::ops::Range<usize>> {
-    let bytes = code.as_bytes();
-    let first = (open..close).find(|&i| bytes[i] == b'|')?;
-    // `||` (no parameters) or `|params|`.
-    let params_end = if bytes.get(first + 1) == Some(&b'|') {
-        first + 1
-    } else {
-        (first + 1..close).find(|&i| bytes[i] == b'|')?
-    };
-    let mut i = params_end + 1;
-    while i < close && bytes[i].is_ascii_whitespace() {
-        i += 1;
-    }
-    if i < close && bytes[i] == b'{' {
-        let end = lexer::matching_brace(code, i)?;
-        Some(i + 1..end)
-    } else {
-        Some(i..close)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lexer::lex;
+    use crate::rules::run_rule;
 
     fn run(src: &str) -> Vec<Diagnostic> {
-        let f = lex("crates/sigmo-core/src/filter.rs", src);
-        let mut out = Vec::new();
-        AllocInKernel.check(&f, &mut out);
-        out
+        run_rule(&AllocInKernel, "crates/sigmo-core/src/filter.rs", src)
     }
 
     #[test]
@@ -137,6 +90,16 @@ mod tests {
         assert_eq!(d.len(), 2, "{d:?}");
         assert!(d[0].message.contains("Vec::new"));
         assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn allocation_in_reachable_helper_is_flagged() {
+        let d = run(
+            "fn launch(q: &Queue) {\n    q.parallel_for(\"k\", \"filter\", n, 128, |i, c| {\n        helper(i, c);\n    });\n}\nfn helper(i: usize, c: &K) {\n    let s = i.to_string();\n    c.add_instructions(s.len() as u64);\n}\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("to_string"));
+        assert_eq!(d[0].line, 7);
     }
 
     #[test]
@@ -157,6 +120,14 @@ mod tests {
     }
 
     #[test]
+    fn allocation_in_unreachable_fn_is_fine() {
+        let d = run(
+            "fn launch(q: &Queue) {\n    q.parallel_for(\"k\", \"filter\", n, 128, |i, c| { c.add_instructions(1); });\n}\nfn host_setup() -> Vec<u64> {\n    let mut v = Vec::new();\n    v.push(1);\n    v\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
     fn non_allocating_kernel_is_clean() {
         let d = run(
             "fn launch(q: &Queue) {\n    q.parallel_for(\"k\", \"filter\", n, 128, |i, c| {\n        c.add_word_reads(1, 8);\n    });\n}\n",
@@ -170,11 +141,5 @@ mod tests {
             "#[cfg(test)]\nmod tests {\n    fn t(q: &Queue) {\n        q.parallel_for(\"k\", \"t\", 1, 1, |_, _| { let v = Vec::new(); drop(v); });\n    }\n}\n",
         );
         assert!(d.is_empty(), "{d:?}");
-    }
-
-    #[test]
-    fn only_kernel_module_files_apply() {
-        assert!(AllocInKernel.applies("crates/sigmo-core/src/join_bfs.rs"));
-        assert!(!AllocInKernel.applies("crates/sigmo-core/src/engine.rs"));
     }
 }

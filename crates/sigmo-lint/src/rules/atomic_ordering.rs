@@ -17,7 +17,8 @@
 //!   `Ordering::` qualifier — hides the ordering from review and from
 //!   this analyzer's audit trail; spell it out.
 
-use super::{Diagnostic, Rule};
+use super::{Diagnostic, Rule, RuleCtx};
+use crate::index::FileIndex;
 use crate::lexer::SourceFile;
 
 /// See the module docs.
@@ -34,11 +35,8 @@ impl Rule for AtomicOrdering {
         "non-relaxed or bare atomic memory orderings (kernel discipline: Ordering::Relaxed, documented publication points excepted)"
     }
 
-    fn applies(&self, _path: &str) -> bool {
-        true
-    }
-
-    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    fn check(&self, file: &FileIndex, _ctx: &RuleCtx, out: &mut Vec<Diagnostic>) {
+        let file = &file.file;
         let code = &file.code;
         for word in NON_RELAXED {
             for at in word_occurrences(code, word) {
@@ -103,13 +101,9 @@ fn word_occurrences(code: &str, word: &str) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lexer::lex;
 
     fn run(src: &str) -> Vec<Diagnostic> {
-        let f = lex("crates/sigmo-device/src/counters.rs", src);
-        let mut out = Vec::new();
-        AtomicOrdering.check(&f, &mut out);
-        out
+        crate::rules::run_rule(&AtomicOrdering, "crates/sigmo-device/src/counters.rs", src)
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! **nondet-collection-iter** — no hash-order iteration on the result
+//! surface.
+//!
+//! `HashMap`/`HashSet` iteration order depends on the hasher seed and
+//! insertion history; anything it feeds — a merged report, a candidate
+//! list, a retry schedule — varies run to run and thread-count to
+//! thread-count, which is exactly the class of bug GSI/GSM pick up in
+//! their joint/merge phases and exactly what this repo's bit-identical
+//! invariant forbids. The repo's own convention (see `summary.rs`,
+//! `server.rs`) is: hash containers for *keyed access*, `BTreeMap`/
+//! `BTreeSet` or an explicit order `Vec` for anything iterated.
+//!
+//! Detected, on the result surface (kernel- or report-reachable code):
+//! iteration over a binding whose declaration ties it to a hash container
+//! (`name: HashMap<...>` field/param/let, or `name = HashMap::new()`),
+//! via `.iter()` / `.keys()` / `.values()` / `.drain(..)` / `.retain(..)`
+//! and friends, or a `for` loop whose iterated expression is such a
+//! binding. Keyed access (`get`, `insert`, `remove`, `contains_key`) is
+//! not flagged — that is what hash containers are for.
+//!
+//! Suppressing this rule requires a written justification (e.g. "feeds a
+//! sort before use").
+
+use super::{bound_names, find_all, receiver_segment, Diagnostic, Rule, RuleCtx};
+use crate::index::FileIndex;
+use crate::lexer;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// See the module docs.
+pub struct NondetCollectionIter;
+
+/// Hash-ordered container type names.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+/// Order-exposing methods (iteration, draining, order-dependent
+/// retention).
+const ITER_METHODS: &[&str] = &[
+    ".iter(",
+    ".iter_mut(",
+    ".into_iter(",
+    ".keys(",
+    ".into_keys(",
+    ".values(",
+    ".values_mut(",
+    ".into_values(",
+    ".drain(",
+    ".retain(",
+];
+
+impl Rule for NondetCollectionIter {
+    fn name(&self) -> &'static str {
+        "nondet-collection-iter"
+    }
+
+    fn description(&self) -> &'static str {
+        "HashMap/HashSet iteration on the result surface: hash order leaks into reported output"
+    }
+
+    fn requires_justification(&self) -> bool {
+        true
+    }
+
+    fn check(&self, file: &FileIndex, ctx: &RuleCtx, out: &mut Vec<Diagnostic>) {
+        if ctx.kernel.is_empty() && ctx.report.is_empty() {
+            return;
+        }
+        // Bindings are collected file-wide: a struct field declared at the
+        // top of the file is iterated through `self.`/`plan.` receivers in
+        // fns far below.
+        let hash_names = bound_names(&file.file.code, HASH_TYPES);
+        if hash_names.is_empty() {
+            return;
+        }
+        let mut ranges: Vec<Range<usize>> = ctx.kernel.clone();
+        ranges.extend(ctx.report.iter().cloned());
+        for range in &ranges {
+            check_method_iters(file, range.clone(), &hash_names, out);
+            check_for_loops(file, range.clone(), &hash_names, out);
+        }
+    }
+}
+
+fn check_method_iters(
+    file: &FileIndex,
+    range: Range<usize>,
+    hash_names: &BTreeSet<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let code = &file.file.code;
+    for method in ITER_METHODS {
+        for at in find_all(&file.file, range.clone(), method) {
+            let recv = receiver_segment(code, at);
+            if hash_names.contains(recv) {
+                let (line, column) = file.file.line_col(at + 1);
+                out.push(diag(file, line, column, recv, method));
+            }
+        }
+    }
+}
+
+fn check_for_loops(
+    file: &FileIndex,
+    range: Range<usize>,
+    hash_names: &BTreeSet<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let code = &file.file.code;
+    let mut from = range.start;
+    while let Some(at) = lexer::find_word(code, from, "for") {
+        from = at + 3;
+        if at >= range.end {
+            break;
+        }
+        let Some(in_kw) = lexer::find_word(code, at + 3, "in") else {
+            continue;
+        };
+        let Some(open) = super::header_body_open(code, in_kw + 2) else {
+            continue;
+        };
+        // The iterated expression, stripped of borrows: flag when it is a
+        // plain (possibly dotted) path ending in a hash-bound name.
+        let expr = code[in_kw + 2..open]
+            .trim()
+            .trim_start_matches('&')
+            .trim_start_matches("mut ")
+            .trim();
+        if expr
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+        {
+            if let Some(last) = expr.rsplit('.').next() {
+                if hash_names.contains(last) {
+                    let (line, column) = file.file.line_col(at + 1);
+                    out.push(diag(file, line, column, last, "for … in"));
+                }
+            }
+        }
+    }
+}
+
+fn diag(file: &FileIndex, line: usize, column: usize, name: &str, how: &str) -> Diagnostic {
+    Diagnostic {
+        rule: "nondet-collection-iter",
+        file: file.file.path.clone(),
+        line,
+        column,
+        message: format!(
+            "iteration (`{}`) over hash-ordered `{name}` on the result surface: hash order is \
+             seed- and history-dependent — use BTreeMap/BTreeSet, keep an explicit order Vec, \
+             or sort before use",
+            how.trim_start_matches('.').trim_end_matches('('),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::run_rule;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        run_rule(&NondetCollectionIter, "crates/sigmo-core/src/merge.rs", src)
+    }
+
+    #[test]
+    fn hashmap_iter_in_report_fn_is_flagged() {
+        let d = run(
+            "struct S { counts: HashMap<u32, u64> }\nfn merge(s: &S) -> RunReport {\n    let mut total = 0;\n    for (_k, v) in s.counts.iter() {\n        total += v;\n    }\n    RunReport { total }\n}\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("counts"));
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn struct_field_swapped_to_hashset_is_flagged() {
+        // The seeded-violation shape: a BTreeSet field becomes a HashSet
+        // and an existing `.iter()` in a report merge starts leaking hash
+        // order.
+        let btree = "struct Plan { crashed: BTreeSet<usize> }\nfn report(p: &Plan) -> FaultReport {\n    let order: Vec<usize> = p.crashed.iter().copied().collect();\n    FaultReport { order }\n}\n";
+        let hash = btree.replace("BTreeSet", "HashSet");
+        assert!(run(btree).is_empty());
+        let d = run(&hash);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("crashed"));
+    }
+
+    #[test]
+    fn for_loop_over_hash_binding_is_flagged() {
+        let d = run(
+            "fn merge(seen: HashSet<u64>) -> StreamReport {\n    let mut n = 0;\n    for v in &seen {\n        n += v;\n    }\n    StreamReport { n }\n}\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn keyed_access_is_not_flagged() {
+        let d = run(
+            "fn merge(counts: &HashMap<u32, u64>, keys: &[u32]) -> RunReport {\n    let mut total = 0;\n    for k in keys {\n        total += counts.get(k).copied().unwrap_or(0);\n    }\n    RunReport { total }\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn hash_iteration_off_the_result_surface_is_not_flagged() {
+        // No report type, no kernel: host-side debug helper.
+        let d = run(
+            "fn dump(counts: &HashMap<u32, u64>) {\n    for (k, v) in counts.iter() {\n        log(k, v);\n    }\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn btree_iteration_is_fine() {
+        let d = run(
+            "fn merge(counts: &BTreeMap<u32, u64>) -> RunReport {\n    let total = counts.values().sum();\n    RunReport { total }\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn kernel_reachable_hash_iteration_is_flagged() {
+        let d = run(
+            "fn host(q: &Queue) {\n    q.parallel_for(\"k\", \"join\", n, 64, |i, c| { scan(i, c); });\n}\nfn scan(i: usize, c: &K) {\n    let cache: HashMap<u32, u32> = build(i);\n    for (k, v) in cache.iter() {\n        c.add_instructions(1);\n    }\n}\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+}

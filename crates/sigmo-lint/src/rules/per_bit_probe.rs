@@ -1,12 +1,14 @@
-//! **per-bit-probe** — bans per-bit candidate probing in the word-parallel
-//! hot paths.
+//! **per-bit-probe** — bans per-bit candidate probing in kernel-reachable
+//! code.
 //!
 //! PR 1 made candidate scanning word-granular (`iter_set_in_range`,
 //! `next_set_in_range`, `row_any_in_range_counted`): one 64-bit load per
 //! word instead of one probe per column, the difference GSI/GSM show
 //! between a usable and an unusable GPU matcher. This rule keeps future
-//! code from quietly reintroducing column-at-a-time probing in the hot
-//! files. Two shapes are detected, outside `#[cfg(test)]`:
+//! code from quietly reintroducing column-at-a-time probing anywhere a
+//! kernel can reach — the gate is the call graph (launch closures plus the
+//! functions they transitively call), not a file-name list, so a helper
+//! factored out into a new module stays covered. Two shapes are detected:
 //!
 //! 1. a `for` loop over a *range* whose body probes `.get(..)` /
 //!    `.test_bit(..)` with the loop variable as an argument — the classic
@@ -17,11 +19,12 @@
 //!
 //! Adjacency-driven probes (`for &d in data.neighbors(x)`) are *not*
 //! flagged: probing one bit per neighbor is exactly the join's design.
-//! The per-bit oracle in `naive.rs` carries documented pragmas — it exists
-//! to differentially test the word-parallel paths.
+//! The per-bit oracle in `naive.rs` is host-only differential-test
+//! machinery — no kernel reaches it, so it needs no pragmas anymore.
 
-use super::{file_name, find_all, header_body_open, in_ranges, Diagnostic, Rule, HOT_PATH_FILES};
-use crate::lexer::{self, SourceFile};
+use super::{find_all, header_body_open, Diagnostic, Rule, RuleCtx};
+use crate::index::FileIndex;
+use crate::lexer;
 
 /// See the module docs.
 pub struct PerBitProbe;
@@ -44,31 +47,26 @@ impl Rule for PerBitProbe {
     }
 
     fn description(&self) -> &'static str {
-        "per-column bitmap probing in word-parallel hot paths (use iter_set_in_range / next_set_in_range)"
+        "per-column bitmap probing in kernel-reachable code (use iter_set_in_range / next_set_in_range)"
     }
 
-    fn applies(&self, path: &str) -> bool {
-        HOT_PATH_FILES.contains(&file_name(path))
-    }
-
-    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
-        let tests = file.test_ranges();
-        check_range_loops(file, &tests, out);
-        check_chains(file, &tests, out);
+    fn check(&self, file: &FileIndex, ctx: &RuleCtx, out: &mut Vec<Diagnostic>) {
+        if ctx.kernel.is_empty() {
+            return;
+        }
+        check_range_loops(file, ctx, out);
+        check_chains(file, ctx, out);
     }
 }
 
-/// Shape 1: `for <pat> in <range-expr> { ... .get(.., <var>, ..) ... }`.
-fn check_range_loops(
-    file: &SourceFile,
-    tests: &[std::ops::Range<usize>],
-    out: &mut Vec<Diagnostic>,
-) {
-    let code = &file.code;
+/// Shape 1: `for <pat> in <range-expr> { ... .get(.., <var>, ..) ... }`,
+/// with the `for` keyword in kernel context.
+fn check_range_loops(file: &FileIndex, ctx: &RuleCtx, out: &mut Vec<Diagnostic>) {
+    let code = &file.file.code;
     let mut from = 0;
     while let Some(at) = lexer::find_word(code, from, "for") {
         from = at + 3;
-        if in_ranges(tests, at) {
+        if !ctx.in_kernel(at) {
             continue;
         }
         let Some(in_kw) = lexer::find_word(code, at + 3, "in") else {
@@ -99,22 +97,22 @@ fn check_range_loops(
             continue;
         };
         for pat in PROBES {
-            for call in find_all(file, body_open..body_close, pat) {
+            for call in find_all(&file.file, body_open..body_close, pat) {
                 let args_open = call + pat.len() - 1;
                 let Some(args_close) = lexer::matching_paren(code, args_open) else {
                     continue;
                 };
                 let args = &code[args_open + 1..args_close];
                 if lexer::idents(args).iter().any(|a| loop_vars.contains(a)) {
-                    let (line, column) = file.line_col(call + 1);
+                    let (line, column) = file.file.line_col(call + 1);
                     out.push(Diagnostic {
                         rule: "per-bit-probe",
-                        file: file.path.clone(),
+                        file: file.file.path.clone(),
                         line,
                         column,
                         message: format!(
-                            "per-bit probe `{}` over range loop variable `{}`: hot paths must scan \
-                             words (iter_set_in_range / next_set_in_range), not columns",
+                            "per-bit probe `{}` over range loop variable `{}` in kernel-reachable \
+                             code: scan words (iter_set_in_range / next_set_in_range), not columns",
                             pat.trim_start_matches('.').trim_end_matches('('),
                             lexer::idents(args)
                                 .iter()
@@ -128,22 +126,23 @@ fn check_range_loops(
     }
 }
 
-/// Shape 2: a range and a probing predicate chained on one line.
-fn check_chains(file: &SourceFile, tests: &[std::ops::Range<usize>], out: &mut Vec<Diagnostic>) {
-    for (n, line) in file.lines.iter().enumerate() {
-        let offset = file.line_starts[n];
-        if in_ranges(tests, offset) {
-            continue;
-        }
+/// Shape 2: a range and a probing predicate chained on one line in kernel
+/// context.
+fn check_chains(file: &FileIndex, ctx: &RuleCtx, out: &mut Vec<Diagnostic>) {
+    for (n, line) in file.file.lines.iter().enumerate() {
+        let offset = file.file.line_starts[n];
         let code = &line.code;
         if !code.contains("..") || !CHAIN_ADAPTORS.iter().any(|a| code.contains(a)) {
             continue;
         }
         for pat in PROBES {
             if let Some(col) = code.find(pat) {
+                if !ctx.in_kernel(offset + col) {
+                    continue;
+                }
                 out.push(Diagnostic {
                     rule: "per-bit-probe",
-                    file: file.path.clone(),
+                    file: file.file.path.clone(),
                     line: n + 1,
                     column: col + 2,
                     message: format!(
@@ -175,67 +174,93 @@ fn strip_index_spans(expr: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lexer::lex;
+    use crate::rules::run_rule;
 
     fn run(src: &str) -> Vec<Diagnostic> {
-        let f = lex("crates/sigmo-core/src/candidates.rs", src);
-        let mut out = Vec::new();
-        PerBitProbe.check(&f, &mut out);
-        out
+        run_rule(&PerBitProbe, "crates/sigmo-core/src/candidates.rs", src)
+    }
+
+    /// Wraps a fn body in a kernel launch that calls it, so the body is
+    /// kernel-reachable.
+    fn kernelized(body_fn: &str) -> String {
+        format!(
+            "fn host(q: &Queue) {{\n    q.parallel_for(\"k\", \"scan\", n, 128, |i, c| {{ f(i, c); }});\n}}\n{body_fn}"
+        )
     }
 
     #[test]
-    fn flags_for_loop_probe_over_range() {
-        let diags = run("fn f() {\n    for col in lo..hi {\n        if bitmap.get(row, col) { n += 1; }\n    }\n}\n");
-        assert_eq!(diags.len(), 1);
-        assert_eq!(diags[0].line, 3);
+    fn flags_for_loop_probe_in_reachable_fn() {
+        let diags = run(&kernelized(
+            "fn f(i: usize, c: &K) {\n    for col in lo..hi {\n        if bitmap.get(row, col) { c.add_instructions(1); }\n    }\n}\n",
+        ));
+        assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].rule, "per-bit-probe");
     }
 
     #[test]
-    fn flags_chained_range_probe() {
-        let diags = run("fn f() {\n    (lo..hi).find(|&c| bitmap.get(row, c))\n}\n");
-        assert_eq!(diags.len(), 1);
-        assert_eq!(diags[0].line, 2);
+    fn flags_probe_directly_inside_launch_closure() {
+        let diags = run(
+            "fn host(q: &Queue) {\n    q.parallel_for(\"k\", \"scan\", n, 128, |i, c| {\n        for col in lo..hi {\n            if bitmap.get(i, col) { c.add_instructions(1); }\n        }\n    });\n}\n",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn flags_chained_range_probe_in_reachable_fn() {
+        let diags = run(&kernelized(
+            "fn f(i: usize, c: &K) {\n    (lo..hi).find(|&c| bitmap.get(row, c));\n}\n",
+        ));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn unreachable_probe_is_not_flagged() {
+        // No kernel launch anywhere: host-only oracle code may probe bits.
+        let diags = run(
+            "fn oracle() {\n    for col in lo..hi {\n        if bitmap.get(row, col) { n += 1; }\n    }\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn host_side_probe_next_to_kernel_is_not_flagged() {
+        // A launch exists, but the probing fn is never called from it.
+        let diags = run(
+            "fn host(q: &Queue) {\n    q.parallel_for(\"k\", \"scan\", n, 128, |i, c| { c.add_instructions(1); });\n}\nfn oracle() {\n    for col in lo..hi {\n        if bitmap.get(row, col) { n += 1; }\n    }\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]
     fn adjacency_probes_are_fine() {
-        let diags = run(
-            "fn f() {\n    for &d in data.neighbors(x) {\n        if bitmap.get(q, d as usize) { y(); }\n    }\n}\n",
-        );
+        let diags = run(&kernelized(
+            "fn f(x: usize, c: &K) {\n    for &d in data.neighbors(x) {\n        if bitmap.get(q, d as usize) { c.add_instructions(1); }\n    }\n}\n",
+        ));
         assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]
     fn slice_tail_index_is_not_a_range_iteration() {
-        let diags = run(
-            "fn f() {\n    for &q in &members[first + 1..] {\n        if bitmap.get(q as usize, d) { y(); }\n    }\n}\n",
-        );
+        let diags = run(&kernelized(
+            "fn f(first: usize, c: &K) {\n    for &q in &members[first + 1..] {\n        if bitmap.get(q as usize, d) { c.add_instructions(1); }\n    }\n}\n",
+        ));
         assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]
     fn probe_not_using_loop_var_is_fine() {
-        let diags = run(
-            "fn f() {\n    for i in 0..n {\n        if bitmap.get(fixed_row, fixed_col) { y(); }\n    }\n}\n",
-        );
+        let diags = run(&kernelized(
+            "fn f(i: usize, c: &K) {\n    for i in 0..n {\n        if bitmap.get(fixed_row, fixed_col) { c.add_instructions(1); }\n    }\n}\n",
+        ));
         assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]
-    fn test_modules_are_skipped() {
+    fn test_module_launches_carry_no_context() {
         let diags = run(
-            "#[cfg(test)]\nmod tests {\n    fn t() {\n        for c in 0..n { assert!(b.get(r, c)); }\n    }\n}\n",
+            "#[cfg(test)]\nmod tests {\n    fn t(q: &Queue) {\n        q.parallel_for(\"k\", \"t\", 1, 1, |_, _| { f(); });\n    }\n}\nfn f() {\n    for c in 0..n { if b.get(r, c) { x(); } }\n}\n",
         );
         assert!(diags.is_empty(), "{diags:?}");
-    }
-
-    #[test]
-    fn only_hot_path_files_apply() {
-        assert!(PerBitProbe.applies("crates/sigmo-core/src/filter.rs"));
-        assert!(PerBitProbe.applies("crates/sigmo-core/src/naive.rs"));
-        assert!(!PerBitProbe.applies("crates/sigmo-core/src/engine.rs"));
-        assert!(!PerBitProbe.applies("crates/sigmo-device/src/queue.rs"));
     }
 }

@@ -1,0 +1,97 @@
+//! **relaxed-read-in-report** — relaxed atomic loads must not flow into
+//! reported totals unexamined.
+//!
+//! `Ordering::Relaxed` is the kernel discipline for *writes* (counter
+//! RMWs are commutative, so their order never matters), but a relaxed
+//! *read* taken while writers may still be running can observe a torn-in
+//! snapshot of the totals: correct only if the reader provably runs after
+//! the parallel section has quiesced. Every relaxed load in
+//! report-reachable code is therefore surfaced, and keeping one requires
+//! a written justification naming the synchronization that orders it
+//! after the writers — conventionally "read after the parallel section
+//! joined" (rayon's scoped joins are exactly such a point).
+//!
+//! This complements `atomic-ordering`: that rule keeps orderings relaxed
+//! and visible; this one makes the *read-for-report* sites auditable.
+
+use super::{find_all, Diagnostic, Rule, RuleCtx};
+use crate::index::FileIndex;
+
+/// See the module docs.
+pub struct RelaxedReadInReport;
+
+const RELAXED_LOAD: &str = ".load(Ordering::Relaxed)";
+
+impl Rule for RelaxedReadInReport {
+    fn name(&self) -> &'static str {
+        "relaxed-read-in-report"
+    }
+
+    fn description(&self) -> &'static str {
+        "relaxed atomic load in report-reachable code: justify what orders it after the writers"
+    }
+
+    fn requires_justification(&self) -> bool {
+        true
+    }
+
+    fn check(&self, file: &FileIndex, ctx: &RuleCtx, out: &mut Vec<Diagnostic>) {
+        for range in &ctx.report {
+            for at in find_all(&file.file, range.clone(), RELAXED_LOAD) {
+                let (line, column) = file.file.line_col(at + 1);
+                out.push(Diagnostic {
+                    rule: "relaxed-read-in-report",
+                    file: file.file.path.clone(),
+                    line,
+                    column,
+                    message: "relaxed atomic load flows into a reported total: a read racing \
+                              its writers can observe a partial snapshot — take it after the \
+                              parallel section joins and say so in the pragma justification"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::run_rule;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        run_rule(&RelaxedReadInReport, "crates/sigmo-device/src/q.rs", src)
+    }
+
+    #[test]
+    fn relaxed_load_in_report_builder_is_flagged() {
+        let d = run(
+            "fn finish(skipped: &AtomicUsize) -> KernelRecord {\n    let n = skipped.load(Ordering::Relaxed);\n    KernelRecord { skipped_groups: n }\n}\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn relaxed_load_in_reachable_helper_is_flagged() {
+        let d = run(
+            "fn finish(c: &Counters) -> RunReport {\n    RunReport { total: total_of(c) }\n}\nfn total_of(c: &Counters) -> u64 {\n    c.total.load(Ordering::Relaxed)\n}\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 5);
+    }
+
+    #[test]
+    fn relaxed_load_outside_report_paths_is_fine() {
+        let d = run("fn probe(stop: &AtomicBool) -> bool {\n    stop.load(Ordering::Relaxed)\n}\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn non_load_relaxed_ops_are_not_this_rules_business() {
+        let d = run(
+            "fn finish(c: &AtomicU64) -> RunReport {\n    c.fetch_add(1, Ordering::Relaxed);\n    RunReport { total: 0 }\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,4 +1,4 @@
-//! **unbounded-kernel-loop** — every open-ended loop in a kernel module
+//! **unbounded-kernel-loop** — every open-ended loop on a kernel path
 //! must consult the run governor.
 //!
 //! PR 3's graceful-degradation contract rests on one invariant: a tripped
@@ -6,32 +6,24 @@
 //! every kernel within a bounded number of steps. The DFS join's main
 //! loop does this by calling `ticker.tick(gov)` once per step; the BFS
 //! join and the filter kernels consult `gov.stopped()` per row / node.
-//! A future `loop { ... }` added to a kernel module *without* a consult
+//! A future `loop { ... }` added on a kernel path *without* a consult
 //! would reopen the exact hole the governor closed — a pathological query
 //! (wildcard clique) spins there forever and no budget can stop it.
 //!
-//! Two shapes are detected, outside `#[cfg(test)]`:
-//!
-//! 1. a bare `loop { ... }` anywhere in a kernel module whose body does
-//!    not consult the governor (`.tick(..)`, `.stopped()`, or
-//!    `.heartbeat()`) — `loop` is unbounded by construction, so the
-//!    consult (or an audited pragma arguing a tight static bound) is
-//!    mandatory;
-//! 2. a `while` loop *inside a kernel launch closure* whose body does not
-//!    consult — `while` in host code may be data-bounded, but inside a
-//!    kernel it runs under the same cooperative-cancellation contract.
-//!
-//! `for` loops are not flagged: they iterate a finite iterator and every
-//! kernel's per-element work is already metered by the enclosing tick.
-//! `next_candidate` in `join.rs` carries a documented pragma: its scan
-//! loop is bounded by one adjacency list and each call is one charged
-//! DFS step of the caller.
+//! Detected: a bare `loop { ... }` or a `while` loop whose keyword sits in
+//! kernel context — a launch closure body or a kernel-reachable fn, found
+//! through the call graph — and whose body does not consult the governor
+//! (`.tick(..)`, `.stopped()`, or `.heartbeat()`). `for` loops are not
+//! flagged: they iterate a finite iterator and every kernel's per-element
+//! work is already metered by the enclosing tick. Host-side loops are the
+//! host's business; the cooperative-cancellation contract binds only code
+//! a kernel can reach. `next_candidate` in `join.rs` carries a documented
+//! pragma: its scan loop is bounded by one adjacency list and each call is
+//! one charged DFS step of the caller.
 
-use super::{
-    file_name, find_all, header_body_open, in_ranges, Diagnostic, Rule, KERNEL_LAUNCHES,
-    KERNEL_MODULE_FILES,
-};
-use crate::lexer::{self, SourceFile};
+use super::{find_all, header_body_open, Diagnostic, Rule, RuleCtx};
+use crate::index::FileIndex;
+use crate::lexer;
 
 /// See the module docs.
 pub struct UnboundedKernelLoop;
@@ -46,110 +38,53 @@ impl Rule for UnboundedKernelLoop {
     }
 
     fn description(&self) -> &'static str {
-        "kernel loop without a governor consult (tick / stopped / heartbeat): budgets could never trip it"
+        "loop on a kernel path without a governor consult (tick / stopped / heartbeat): budgets could never trip it"
     }
 
-    fn applies(&self, path: &str) -> bool {
-        KERNEL_MODULE_FILES.contains(&file_name(path))
-    }
-
-    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
-        let tests = file.test_ranges();
-        check_bare_loops(file, &tests, out);
-        check_kernel_whiles(file, &tests, out);
+    fn check(&self, file: &FileIndex, ctx: &RuleCtx, out: &mut Vec<Diagnostic>) {
+        if ctx.kernel.is_empty() {
+            return;
+        }
+        check_keyword(file, ctx, "loop", out);
+        check_keyword(file, ctx, "while", out);
     }
 }
 
 /// True when `range` of the file's code contains a governor consult.
-fn consults(file: &SourceFile, range: std::ops::Range<usize>) -> bool {
+fn consults(file: &FileIndex, range: std::ops::Range<usize>) -> bool {
     CONSULTS
         .iter()
-        .any(|c| !find_all(file, range.clone(), c).is_empty())
+        .any(|c| !find_all(&file.file, range.clone(), c).is_empty())
 }
 
-/// Shape 1: every bare `loop { ... }` outside tests must consult within
-/// its own body.
-fn check_bare_loops(
-    file: &SourceFile,
-    tests: &[std::ops::Range<usize>],
-    out: &mut Vec<Diagnostic>,
-) {
-    let code = &file.code;
+/// Flags every `kw { ... }` loop in kernel context whose body does not
+/// consult.
+fn check_keyword(file: &FileIndex, ctx: &RuleCtx, kw: &str, out: &mut Vec<Diagnostic>) {
+    let code = &file.file.code;
     let mut from = 0;
-    while let Some(at) = lexer::find_word(code, from, "loop") {
-        from = at + 4;
-        if in_ranges(tests, at) {
+    while let Some(at) = lexer::find_word(code, from, kw) {
+        from = at + kw.len();
+        if !ctx.in_kernel(at) {
             continue;
         }
-        let Some(open) = header_body_open(code, at + 4) else {
+        let Some(open) = header_body_open(code, at + kw.len()) else {
             continue;
         };
         let Some(close) = lexer::matching_brace(code, open) else {
             continue;
         };
         if !consults(file, open + 1..close) {
-            let (line, column) = file.line_col(at + 1);
+            let (line, column) = file.file.line_col(at + 1);
             out.push(Diagnostic {
                 rule: "unbounded-kernel-loop",
-                file: file.path.clone(),
+                file: file.file.path.clone(),
                 line,
                 column,
-                message: "`loop` in a kernel module without a governor consult: call \
-                          `ticker.tick(gov)` (or probe `gov.stopped()`) inside the body so \
-                          deadlines, step budgets and cancellation can trip it"
-                    .into(),
-            });
-        }
-    }
-}
-
-/// Shape 2: `while` loops inside kernel launch closures must consult
-/// within their own body.
-fn check_kernel_whiles(
-    file: &SourceFile,
-    tests: &[std::ops::Range<usize>],
-    out: &mut Vec<Diagnostic>,
-) {
-    let code = &file.code;
-    // Collect the kernel launch argument regions first.
-    let mut kernels: Vec<std::ops::Range<usize>> = Vec::new();
-    for launch in KERNEL_LAUNCHES {
-        for at in find_all(file, 0..code.len(), launch) {
-            if in_ranges(tests, at) {
-                continue;
-            }
-            let args_open = at + launch.len() - 1;
-            if let Some(args_close) = lexer::matching_paren(code, args_open) {
-                kernels.push(args_open..args_close);
-            }
-        }
-    }
-    if kernels.is_empty() {
-        return;
-    }
-    let mut from = 0;
-    while let Some(at) = lexer::find_word(code, from, "while") {
-        from = at + 5;
-        if in_ranges(tests, at) || !in_ranges(&kernels, at) {
-            continue;
-        }
-        let Some(open) = header_body_open(code, at + 5) else {
-            continue;
-        };
-        let Some(close) = lexer::matching_brace(code, open) else {
-            continue;
-        };
-        if !consults(file, open + 1..close) {
-            let (line, column) = file.line_col(at + 1);
-            out.push(Diagnostic {
-                rule: "unbounded-kernel-loop",
-                file: file.path.clone(),
-                line,
-                column,
-                message: "`while` inside a kernel closure without a governor consult: the \
-                          cooperative-cancellation contract needs `ticker.tick(gov)` or a \
-                          `gov.stopped()` probe in the loop body"
-                    .into(),
+                message: format!(
+                    "`{kw}` on a kernel path without a governor consult: call \
+                     `ticker.tick(gov)` (or probe `gov.stopped()`) inside the body so \
+                     deadlines, step budgets and cancellation can trip it",
+                ),
             });
         }
     }
@@ -158,40 +93,49 @@ fn check_kernel_whiles(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lexer::lex;
+    use crate::rules::run_rule;
 
     fn run(src: &str) -> Vec<Diagnostic> {
-        let f = lex("crates/sigmo-core/src/join.rs", src);
-        let mut out = Vec::new();
-        UnboundedKernelLoop.check(&f, &mut out);
-        out
+        run_rule(&UnboundedKernelLoop, "crates/sigmo-core/src/join.rs", src)
+    }
+
+    /// A launch whose closure calls `dfs`, making `dfs` kernel-reachable.
+    fn kernelized(body_fn: &str) -> String {
+        format!(
+            "fn host(q: &Queue) {{\n    q.parallel_for(\"k\", \"join\", n, 64, |i, c| {{ dfs(i, c); }});\n}}\n{body_fn}"
+        )
     }
 
     #[test]
-    fn bare_loop_without_consult_is_flagged() {
-        let d = run("fn dfs() {\n    loop {\n        step();\n    }\n}\n");
+    fn bare_loop_in_reachable_fn_without_consult_is_flagged() {
+        let d = run(&kernelized(
+            "fn dfs(i: usize, c: &K) {\n    loop {\n        step();\n    }\n}\n",
+        ));
         assert_eq!(d.len(), 1, "{d:?}");
-        assert_eq!(d[0].line, 2);
         assert!(d[0].message.contains("tick"));
     }
 
     #[test]
     fn loop_with_tick_is_clean() {
-        let d = run("fn dfs(gov: &Governor, ticker: &mut GovernorTicker) {\n    loop {\n        if ticker.tick(gov) { return; }\n        step();\n    }\n}\n");
+        let d = run(&kernelized(
+            "fn dfs(i: usize, c: &K, gov: &Governor, ticker: &mut GovernorTicker) {\n    loop {\n        if ticker.tick(gov) { return; }\n        step();\n    }\n}\n",
+        ));
         assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]
     fn labeled_loop_is_still_a_loop() {
-        let d =
-            run("fn scan() {\n    'next: loop {\n        if done() { break 'next; }\n    }\n}\n");
+        let d = run(&kernelized(
+            "fn dfs(i: usize, c: &K) {\n    'next: loop {\n        if done() { break 'next; }\n    }\n}\n",
+        ));
         assert_eq!(d.len(), 1, "{d:?}");
-        assert_eq!(d[0].line, 2);
     }
 
     #[test]
     fn loop_with_stopped_probe_is_clean() {
-        let d = run("fn f(gov: &Governor) {\n    loop {\n        if gov.stopped() { break; }\n        work();\n    }\n}\n");
+        let d = run(&kernelized(
+            "fn dfs(i: usize, c: &K, gov: &Governor) {\n    loop {\n        if gov.stopped() { break; }\n        work();\n    }\n}\n",
+        ));
         assert!(d.is_empty(), "{d:?}");
     }
 
@@ -214,11 +158,19 @@ mod tests {
     }
 
     #[test]
-    fn host_side_while_is_not_flagged() {
-        // Query-plan construction runs once on the host; `while let` over a
-        // draining queue is bounded and outside any kernel.
+    fn while_in_reachable_helper_without_consult_is_flagged() {
+        let d = run(&kernelized(
+            "fn dfs(i: usize, c: &K) {\n    while advance(i) {\n        c.add_instructions(1);\n    }\n}\n",
+        ));
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn host_side_loops_are_not_flagged() {
+        // Query-plan construction runs once on the host; nothing here is
+        // reachable from a kernel closure.
         let d = run(
-            "fn build_plan(queue: &mut VecDeque<u32>) {\n    while let Some(v) = queue.pop_front() {\n        visit(v);\n    }\n}\n",
+            "fn host(q: &Queue) {\n    q.parallel_for(\"k\", \"join\", n, 64, |i, c| { c.add_instructions(1); });\n}\nfn build_plan(queue: &mut VecDeque<u32>) {\n    while let Some(v) = queue.pop_front() {\n        visit(v);\n    }\n    loop {\n        if settled() { break; }\n    }\n}\n",
         );
         assert!(d.is_empty(), "{d:?}");
     }
@@ -227,13 +179,5 @@ mod tests {
     fn test_modules_are_skipped() {
         let d = run("#[cfg(test)]\nmod tests {\n    fn t() {\n        loop {\n            break;\n        }\n    }\n}\n");
         assert!(d.is_empty(), "{d:?}");
-    }
-
-    #[test]
-    fn only_kernel_module_files_apply() {
-        assert!(UnboundedKernelLoop.applies("crates/sigmo-core/src/join.rs"));
-        assert!(UnboundedKernelLoop.applies("crates/sigmo-core/src/filter.rs"));
-        assert!(!UnboundedKernelLoop.applies("crates/sigmo-core/src/candidates.rs"));
-        assert!(!UnboundedKernelLoop.applies("crates/sigmo-device/src/queue.rs"));
     }
 }

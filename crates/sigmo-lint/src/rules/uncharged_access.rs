@@ -1,21 +1,26 @@
-//! **uncharged-access** — bitmap traffic in kernel modules must be charged
-//! to the device counters.
+//! **uncharged-access** — bitmap traffic in kernel-reachable code must be
+//! charged to the device counters.
 //!
 //! The paper-style roofline and the committed `BENCH_pipeline.json` are
 //! derived entirely from the hand-maintained counter model
 //! (`word_reads`, `bytes_read`, `atomic_ops` in `sigmo-device::counters`).
 //! The model only stays honest if every word actually loaded or atomically
-//! updated in a kernel module is charged by the function that generates
-//! the traffic — or by a caller that the function visibly reports its
-//! counts to, which is exactly what the pragma escape hatch documents.
+//! updated on a kernel path is charged by the function that generates the
+//! traffic — or by a caller that the function visibly reports its counts
+//! to, which is exactly what the pragma escape hatch documents.
 //!
-//! Per non-test `fn` in a kernel module: if the body performs bitmap
-//! traffic (atomic RMW ops, word-parallel row scans, or probes/updates on
-//! a `bitmap` receiver) but never calls a `counters.*` / `record_*` /
-//! `add_*` charge, every traffic site is flagged.
+//! Per kernel-reachable `fn` (found through the call graph, wherever the
+//! fn lives): if the body performs bitmap traffic (atomic RMW ops,
+//! word-parallel row scans, or probes/updates on a `bitmap` receiver) but
+//! never calls a `counters.*` / `record_*` / `add_*` charge, every traffic
+//! site is flagged. Launch closure bodies are checked against their
+//! enclosing fn, which is where their charges conventionally sit. The
+//! counter implementation itself — fns named `add_*` / `record_*` — is the
+//! charge sink and is exempt: its `fetch_add`s *are* the charging.
 
-use super::{file_name, find_all, fn_items, in_ranges, Diagnostic, Rule, KERNEL_MODULE_FILES};
-use crate::lexer::SourceFile;
+use super::{find_all, in_ranges, Diagnostic, Rule, RuleCtx};
+use crate::index::FileIndex;
+use std::ops::Range;
 
 /// See the module docs.
 pub struct UnchargedAccess;
@@ -57,44 +62,78 @@ impl Rule for UnchargedAccess {
     }
 
     fn description(&self) -> &'static str {
-        "bitmap word/atomic traffic in a kernel module whose enclosing fn never charges the device counters"
+        "bitmap word/atomic traffic in a kernel-reachable fn that never charges the device counters"
     }
 
-    fn applies(&self, path: &str) -> bool {
-        KERNEL_MODULE_FILES.contains(&file_name(path))
-    }
-
-    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
-        let tests = file.test_ranges();
-        for item in fn_items(file) {
-            if in_ranges(&tests, item.at) {
+    fn check(&self, file: &FileIndex, ctx: &RuleCtx, out: &mut Vec<Diagnostic>) {
+        if ctx.kernel.is_empty() {
+            return;
+        }
+        // Kernel-reachable fns: traffic and charge both scoped to the body.
+        for item in &file.fns {
+            if !ctx.in_kernel(item.body.start) {
                 continue;
             }
-            let charged = CHARGE_CALLS
+            if item.name.starts_with("add_") || item.name.starts_with("record_") {
+                continue; // the counter implementation is the charge sink
+            }
+            flag_uncharged(file, item.body.clone(), item.body.clone(), &item.name, out);
+        }
+        // Launch closure bodies: traffic inside the closure, charge
+        // accepted anywhere in the enclosing fn (the conventional spot).
+        for closure in &file.kernel_closures {
+            let scope = file
+                .fns
                 .iter()
-                .any(|c| !find_all(file, item.body.clone(), c).is_empty());
-            if charged {
+                .find(|f| f.body.start <= closure.start && closure.end <= f.body.end);
+            // A closure inside a kernel-reachable fn was already covered.
+            if scope.is_some_and(|f| ctx.in_kernel(f.body.start)) {
                 continue;
             }
-            for op in TRAFFIC_OPS {
-                for at in find_all(file, item.body.clone(), op) {
-                    let (line, column) = file.line_col(at + 1);
-                    out.push(Diagnostic {
-                        rule: "uncharged-access",
-                        file: file.path.clone(),
-                        line,
-                        column,
-                        message: format!(
-                            "`{}` in kernel-module fn `{}` is never charged to the device counters \
-                             (counters.add_* / record_*): the BENCH_pipeline.json accounting model \
-                             would silently drift — charge the traffic or pragma-document who \
-                             charges it",
-                            op.trim_start_matches('.').trim_end_matches('('),
-                            item.name,
-                        ),
-                    });
-                }
-            }
+            let (charge_scope, name) = match scope {
+                Some(f) => (f.body.clone(), f.name.as_str()),
+                None => (closure.clone(), "<kernel closure>"),
+            };
+            flag_uncharged(file, closure.clone(), charge_scope, name, out);
+        }
+    }
+}
+
+/// Flags every traffic site in `traffic_scope` unless `charge_scope`
+/// contains a charge call.
+fn flag_uncharged(
+    file: &FileIndex,
+    traffic_scope: Range<usize>,
+    charge_scope: Range<usize>,
+    scope_name: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    if in_ranges(&file.tests, traffic_scope.start) {
+        return;
+    }
+    let charged = CHARGE_CALLS
+        .iter()
+        .any(|c| !find_all(&file.file, charge_scope.clone(), c).is_empty());
+    if charged {
+        return;
+    }
+    for op in TRAFFIC_OPS {
+        for at in find_all(&file.file, traffic_scope.clone(), op) {
+            let (line, column) = file.file.line_col(at + 1);
+            out.push(Diagnostic {
+                rule: "uncharged-access",
+                file: file.file.path.clone(),
+                line,
+                column,
+                message: format!(
+                    "`{}` in kernel-reachable fn `{}` is never charged to the device counters \
+                     (counters.add_* / record_*): the BENCH_pipeline.json accounting model \
+                     would silently drift — charge the traffic or pragma-document who \
+                     charges it",
+                    op.trim_start_matches('.').trim_end_matches('('),
+                    scope_name,
+                ),
+            });
         }
     }
 }
@@ -102,49 +141,68 @@ impl Rule for UnchargedAccess {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lexer::lex;
+    use crate::rules::run_rule;
 
     fn run(src: &str) -> Vec<Diagnostic> {
-        let f = lex("crates/sigmo-core/src/mapping.rs", src);
-        let mut out = Vec::new();
-        UnchargedAccess.check(&f, &mut out);
-        out
+        run_rule(&UnchargedAccess, "crates/sigmo-core/src/mapping.rs", src)
+    }
+
+    /// A launch whose closure calls `probe`, making `probe` kernel-reachable.
+    fn kernelized(body_fn: &str) -> String {
+        format!(
+            "fn host(q: &Queue, c0: &K) {{\n    q.parallel_for(\"k\", \"map\", n, 128, |i, c| {{ probe(i, c); }});\n    c0.add_instructions(1);\n}}\n{body_fn}"
+        )
     }
 
     #[test]
-    fn uncharged_scan_is_flagged() {
-        let d = run("fn probe(b: &B) -> bool {\n    b.row_any_in_range(0, 0, 64)\n}\n");
-        assert_eq!(d.len(), 1);
+    fn uncharged_scan_in_reachable_fn_is_flagged() {
+        let d = run(&kernelized(
+            "fn probe(i: usize, b: &B) -> bool {\n    b.row_any_in_range(0, 0, 64)\n}\n",
+        ));
+        assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("probe"));
-        assert_eq!(d[0].line, 2);
     }
 
     #[test]
     fn charged_scan_is_clean() {
+        let d = run(&kernelized(
+            "fn probe(i: usize, counters: &K) -> bool {\n    let any = b.row_any_in_range(0, 0, 64);\n    counters.add_word_reads(1, 8);\n    any\n}\n",
+        ));
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unreachable_fn_traffic_is_not_flagged() {
+        // `bump` is never called from a kernel: host-side bookkeeping.
         let d = run(
-            "fn probe(b: &B, counters: &K) -> bool {\n    let any = b.row_any_in_range(0, 0, 64);\n    counters.add_word_reads(1, 8);\n    any\n}\n",
+            "fn host(q: &Queue) {\n    q.parallel_for(\"k\", \"map\", n, 128, |i, c| { c.add_instructions(1); });\n}\nfn bump(x: &AtomicU64) {\n    x.fetch_add(1, Ordering::Relaxed);\n}\n",
         );
         assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]
-    fn fetch_ops_count_as_traffic() {
-        let d = run("fn bump(x: &AtomicU64) {\n    x.fetch_add(1, Ordering::Relaxed);\n}\n");
-        assert_eq!(d.len(), 1);
+    fn uncharged_traffic_inside_closure_is_flagged() {
+        let d = run(
+            "fn host(q: &Queue) {\n    q.parallel_for(\"k\", \"map\", n, 128, |i, c| {\n        bitmap.set(i, 1);\n    });\n}\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("host"));
     }
 
     #[test]
-    fn ctx_counters_charge_is_recognized() {
+    fn closure_traffic_charged_in_enclosing_fn_is_clean() {
         let d = run(
-            "fn k(ctx: &Ctx, bitmap: &B) {\n    bitmap.set(0, 1);\n    ctx.counters.add_atomics(1);\n}\n",
+            "fn host(q: &Queue, counters: &K) {\n    q.parallel_for(\"k\", \"map\", n, 128, |i, c| {\n        bitmap.set(i, 1);\n    });\n    counters.add_atomics(n);\n}\n",
         );
         assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]
-    fn functions_without_traffic_are_clean() {
-        let d = run("fn pure(a: u32) -> u32 {\n    a + 1\n}\n");
-        assert!(d.is_empty());
+    fn charge_sink_fns_are_exempt() {
+        let d = run(&kernelized(
+            "fn probe(i: usize, c: &K) {\n    add_atomics(c, 1);\n    c.add_instructions(1);\n}\nfn add_atomics(c: &K, n: u64) {\n    c.total.fetch_add(n, Ordering::Relaxed);\n}\n",
+        ));
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]
@@ -153,13 +211,5 @@ mod tests {
             "#[cfg(test)]\nmod tests {\n    fn t(b: &B) { assert!(b.row_any_in_range(0, 0, 8)); }\n}\n",
         );
         assert!(d.is_empty(), "{d:?}");
-    }
-
-    #[test]
-    fn only_kernel_module_files_apply() {
-        assert!(UnchargedAccess.applies("crates/sigmo-core/src/filter.rs"));
-        assert!(UnchargedAccess.applies("crates/sigmo-core/src/join_bfs.rs"));
-        assert!(!UnchargedAccess.applies("crates/sigmo-core/src/candidates.rs"));
-        assert!(!UnchargedAccess.applies("crates/sigmo-device/src/counters.rs"));
     }
 }

@@ -1,0 +1,195 @@
+//! **unordered-par-collect** — parallel iteration must merge
+//! deterministically.
+//!
+//! Rayon's indexed combinators (`collect` into a `Vec`, indexed `map`)
+//! preserve input order, but two idioms do not and are exactly how
+//! scheduling order leaks into results:
+//!
+//! * `par_bridge()` — explicitly documented as *not* preserving order;
+//!   whatever consumes it sees a scheduling-dependent sequence;
+//! * `.for_each(...)` on a parallel iterator whose closure merges into
+//!   shared state (`push`, `insert`, `extend`, a `lock()`ed collection) —
+//!   the merge happens in completion order.
+//!
+//! The fix is the repo's standard pattern (see `stream.rs`, `queue.rs`):
+//! give every parallel item an *index*, write results into pre-sized
+//! slots or per-chunk buffers, and concatenate in index order on the
+//! host. This rule runs on all product code (tests/benches excepted) —
+//! a nondeterministic merge is a latent bug even before a report path
+//! grows around it. Suppression requires a written justification (e.g.
+//! "results sorted before use").
+
+use super::{find_all, in_ranges, Diagnostic, Rule, RuleCtx};
+use crate::index::FileIndex;
+use crate::lexer;
+
+/// See the module docs.
+pub struct UnorderedParCollect;
+
+/// Parallel-iterator entry points whose downstream chain we inspect.
+const PAR_ADAPTORS: &[&str] = &[
+    ".par_iter(",
+    ".par_iter_mut(",
+    ".into_par_iter(",
+    ".par_chunks(",
+    ".par_chunks_mut(",
+];
+
+/// Order-sensitive merge operations inside a `for_each` closure.
+const MERGE_OPS: &[&str] = &[".push(", ".push_back(", ".insert(", ".extend(", ".lock("];
+
+impl Rule for UnorderedParCollect {
+    fn name(&self) -> &'static str {
+        "unordered-par-collect"
+    }
+
+    fn description(&self) -> &'static str {
+        "parallel iteration merging in completion order (par_bridge / for_each into shared state)"
+    }
+
+    fn requires_justification(&self) -> bool {
+        true
+    }
+
+    fn check(&self, file: &FileIndex, _ctx: &RuleCtx, out: &mut Vec<Diagnostic>) {
+        if file.context_exempt {
+            return;
+        }
+        let code = &file.file.code;
+        // par_bridge never preserves order: always worth a justification.
+        for at in find_all(&file.file, 0..code.len(), ".par_bridge(") {
+            if in_ranges(&file.tests, at) {
+                continue;
+            }
+            let (line, column) = file.file.line_col(at + 1);
+            out.push(Diagnostic {
+                rule: "unordered-par-collect",
+                file: file.file.path.clone(),
+                line,
+                column,
+                message: "`par_bridge()` yields items in scheduling order: anything consuming \
+                          this sequence is nondeterministic — use an indexed parallel iterator \
+                          or sort the results, and justify if the order provably washes out"
+                    .into(),
+            });
+        }
+        // for_each merging into shared state, downstream of a par adaptor.
+        for adaptor in PAR_ADAPTORS {
+            for at in find_all(&file.file, 0..code.len(), adaptor) {
+                if in_ranges(&file.tests, at) {
+                    continue;
+                }
+                let stmt_end = statement_end(code, at);
+                for fe in find_all(&file.file, at..stmt_end, ".for_each(") {
+                    let open = fe + ".for_each(".len() - 1;
+                    let Some(close) = lexer::matching_paren(code, open) else {
+                        continue;
+                    };
+                    if MERGE_OPS
+                        .iter()
+                        .any(|op| !find_all(&file.file, open + 1..close, op).is_empty())
+                    {
+                        let (line, column) = file.file.line_col(fe + 1);
+                        out.push(Diagnostic {
+                            rule: "unordered-par-collect",
+                            file: file.file.path.clone(),
+                            line,
+                            column,
+                            message: "parallel `for_each` merges into shared state in completion \
+                                      order: write into pre-indexed slots (or per-chunk buffers \
+                                      concatenated in index order) so thread count cannot reorder \
+                                      the merge"
+                                .into(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// End of the statement containing offset `at`: the next `;` at bracket
+/// depth 0 relative to `at`, or end of file.
+fn statement_end(code: &str, at: usize) -> usize {
+    let bytes = code.as_bytes();
+    let mut depth = 0i32;
+    let mut i = at;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            b';' if depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::run_rule;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        run_rule(&UnorderedParCollect, "crates/sigmo-core/src/sweep.rs", src)
+    }
+
+    #[test]
+    fn par_bridge_is_flagged() {
+        let d = run("fn f(xs: &[u32]) {\n    xs.iter().par_bridge().for_each(|x| sink(x));\n}\n");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("par_bridge"));
+    }
+
+    #[test]
+    fn for_each_pushing_into_mutex_is_flagged() {
+        let d = run(
+            "fn f(xs: &[u32], out: &Mutex<Vec<u32>>) {\n    xs.par_iter().for_each(|x| {\n        out.lock().push(x * 2);\n    });\n}\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("completion"));
+    }
+
+    #[test]
+    fn indexed_collect_is_fine() {
+        let d =
+            run("fn f(xs: &[u32]) -> Vec<u32> {\n    xs.par_iter().map(|x| x * 2).collect()\n}\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn for_each_without_shared_merge_is_fine() {
+        let d = run(
+            "fn f(n: usize, counters: &K) {\n    (0..n).into_par_iter().for_each(|i| {\n        counters.add_instructions(work(i));\n    });\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn sequential_for_each_push_is_fine() {
+        let d = run(
+            "fn f(xs: &[u32], out: &mut Vec<u32>) {\n    xs.iter().for_each(|x| out.push(x * 2));\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn tests_and_benches_are_exempt() {
+        let d = run(
+            "#[cfg(test)]\nmod tests {\n    fn t(xs: &[u32], out: &Mutex<Vec<u32>>) {\n        xs.par_iter().for_each(|x| out.lock().push(*x));\n    }\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+        let bench = run_rule(
+            &UnorderedParCollect,
+            "crates/sigmo-bench/src/sweep.rs",
+            "fn f(xs: &[u32], out: &Mutex<Vec<u32>>) {\n    xs.par_iter().for_each(|x| out.lock().push(*x));\n}\n",
+        );
+        assert!(bench.is_empty(), "{bench:?}");
+    }
+}

@@ -8,7 +8,8 @@
 //! `// SAFETY:` comment — on the same line or within the three preceding
 //! comment lines — explaining the invariant that makes it sound.
 
-use super::{Diagnostic, Rule};
+use super::{Diagnostic, Rule, RuleCtx};
+use crate::index::FileIndex;
 use crate::lexer::{self, SourceFile};
 
 /// See the module docs.
@@ -23,11 +24,8 @@ impl Rule for UnsafeSafety {
         "`unsafe` without an adjacent `// SAFETY:` comment (workspace is unsafe-free by design)"
     }
 
-    fn applies(&self, _path: &str) -> bool {
-        true
-    }
-
-    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    fn check(&self, file: &FileIndex, _ctx: &RuleCtx, out: &mut Vec<Diagnostic>) {
+        let file = &file.file;
         let code = &file.code;
         let mut from = 0;
         while let Some(at) = lexer::find_word(code, from, "unsafe") {
@@ -81,13 +79,9 @@ fn has_safety_comment(file: &SourceFile, n: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lexer::lex;
 
     fn run(src: &str) -> Vec<Diagnostic> {
-        let f = lex("crates/sigmo-core/src/candidates.rs", src);
-        let mut out = Vec::new();
-        UnsafeSafety.check(&f, &mut out);
-        out
+        crate::rules::run_rule(&UnsafeSafety, "crates/sigmo-core/src/candidates.rs", src)
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! **wall-clock-in-result** — no wall-clock or randomness APIs on the
+//! result surface.
+//!
+//! `Instant::now()`, `SystemTime`, thread identities and RNGs are the
+//! canonical nondeterminism inlets: a value derived from any of them
+//! differs run to run, so if one feeds a reported field the bit-identical
+//! invariant is gone before a scheduler ever gets involved. Measurement
+//! code *should* read clocks — which is why the test/bench harnesses are
+//! context-exempt and why `wall_time`-style fields exist — but every
+//! clock read on a kernel- or report-reachable path must be deliberate
+//! and say so: the standing justification is "display-only, excluded
+//! from determinism keys" (the dynamic tests key records on everything
+//! *except* wall time; see `tests/determinism_queue.rs`).
+
+use super::{find_all, Diagnostic, Rule, RuleCtx};
+use crate::index::FileIndex;
+use std::ops::Range;
+
+/// See the module docs.
+pub struct WallClockInResult;
+
+/// Wall-clock and randomness entry points.
+const CLOCK_APIS: &[&str] = &[
+    "Instant::now(",
+    "SystemTime::now(",
+    ".elapsed(",
+    "thread_rng(",
+    "thread::current(",
+    "ThreadId",
+];
+
+impl Rule for WallClockInResult {
+    fn name(&self) -> &'static str {
+        "wall-clock-in-result"
+    }
+
+    fn description(&self) -> &'static str {
+        "wall-clock / randomness API on the result surface: run-to-run values leak into results"
+    }
+
+    fn requires_justification(&self) -> bool {
+        true
+    }
+
+    fn check(&self, file: &FileIndex, ctx: &RuleCtx, out: &mut Vec<Diagnostic>) {
+        let mut ranges: Vec<Range<usize>> = ctx.kernel.clone();
+        ranges.extend(ctx.report.iter().cloned());
+        for range in &ranges {
+            for api in CLOCK_APIS {
+                for at in find_all(&file.file, range.clone(), api) {
+                    let (line, column) = file.file.line_col(at + 1);
+                    out.push(Diagnostic {
+                        rule: "wall-clock-in-result",
+                        file: file.file.path.clone(),
+                        line,
+                        column,
+                        message: format!(
+                            "`{}` on the result surface: wall-clock/randomness values differ \
+                             run to run — keep them out of reported fields, or justify the \
+                             pragma with \"display-only, excluded from determinism keys\"",
+                            api.trim_end_matches('('),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::run_rule;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        run_rule(&WallClockInResult, "crates/sigmo-device/src/q.rs", src)
+    }
+
+    #[test]
+    fn instant_now_in_report_builder_is_flagged() {
+        let d = run(
+            "fn launch() -> KernelRecord {\n    let start = Instant::now();\n    let wall = start.elapsed();\n    KernelRecord { wall_time: wall }\n}\n",
+        );
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].message.contains("Instant::now"));
+        assert!(d[1].message.contains("elapsed"));
+    }
+
+    #[test]
+    fn clock_in_kernel_reachable_code_is_flagged() {
+        let d = run(
+            "fn host(q: &Queue) {\n    q.parallel_for(\"k\", \"x\", n, 64, |i, c| { step(i, c); });\n}\nfn step(i: usize, c: &K) {\n    let t = Instant::now();\n    c.add_instructions(t.elapsed().as_nanos() as u64);\n}\n",
+        );
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn host_side_timing_is_fine() {
+        let d = run(
+            "fn bench() {\n    let start = Instant::now();\n    work();\n    println!(\"{:?}\", start.elapsed());\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn thread_identity_in_report_is_flagged() {
+        let d = run(
+            "fn tag() -> StreamReport {\n    let id = thread::current().id();\n    StreamReport { id }\n}\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+}

@@ -1,18 +1,22 @@
 //! Fixture regression tests: every committed bad fixture must trip exactly
 //! its rule, the good fixtures must stay silent, and the real workspace
-//! must pass clean. The binary's exit codes and JSON output are exercised
-//! end-to-end via `CARGO_BIN_EXE_sigmo-lint`.
+//! must pass clean. The binary's exit codes and JSON/SARIF output are
+//! exercised end-to-end via `CARGO_BIN_EXE_sigmo-lint`.
+//!
+//! Fixtures live in `crates/sigmo-lint/fixtures/` (not under `tests/`):
+//! harness directories are context-exempt for the reachability-gated
+//! rules, and fixtures must be analyzed as product code.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
 fn fixture(rel: &str) -> (String, String) {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/fixtures")
+        .join("fixtures")
         .join(rel);
     let src = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
-    (format!("tests/fixtures/{rel}"), src)
+    (format!("crates/sigmo-lint/fixtures/{rel}"), src)
 }
 
 /// Asserts a bad fixture trips `rule` at least `min` times and no other
@@ -32,6 +36,9 @@ fn assert_trips(rel: &str, rule: &str, min: usize) {
 
 #[test]
 fn per_bit_probe_fixture_trips_only_its_rule() {
+    // The probe sits in a helper reached through the call graph, not in
+    // the launch closure itself — this exercises interprocedural
+    // reachability end-to-end.
     assert_trips("per_bit_probe/candidates.rs", "per-bit-probe", 1);
 }
 
@@ -61,13 +68,58 @@ fn alloc_in_kernel_fixture_trips_only_its_rule() {
 
 #[test]
 fn unbounded_kernel_loop_fixture_trips_only_its_rule() {
-    // One bare DFS loop + one kernel-closure `while`, both unconsulted.
+    // One bare DFS loop in a call-graph-reached helper + one
+    // kernel-closure `while`, both unconsulted.
     assert_trips("unbounded_kernel_loop/join.rs", "unbounded-kernel-loop", 2);
+}
+
+#[test]
+fn nondet_collection_iter_fixture_trips_only_its_rule() {
+    assert_trips(
+        "nondet_collection_iter/summary.rs",
+        "nondet-collection-iter",
+        1,
+    );
+}
+
+#[test]
+fn float_accumulation_fixture_trips_only_its_rule() {
+    assert_trips("float_accumulation/summary.rs", "float-accumulation", 2);
+}
+
+#[test]
+fn relaxed_read_in_report_fixture_trips_only_its_rule() {
+    assert_trips(
+        "relaxed_read_in_report/counters.rs",
+        "relaxed-read-in-report",
+        2,
+    );
+}
+
+#[test]
+fn wall_clock_in_result_fixture_trips_only_its_rule() {
+    assert_trips("wall_clock_in_result/engine.rs", "wall-clock-in-result", 2);
+}
+
+#[test]
+fn unordered_par_collect_fixture_trips_only_its_rule() {
+    assert_trips(
+        "unordered_par_collect/stream.rs",
+        "unordered-par-collect",
+        1,
+    );
 }
 
 #[test]
 fn bad_pragma_fixture_trips_only_bad_pragma() {
     assert_trips("bad_pragma/engine.rs", "bad-pragma", 1);
+}
+
+#[test]
+fn truncated_pragma_at_eof_trips_bad_pragma() {
+    let (_, src) = fixture("bad_pragma/truncated.rs");
+    assert!(!src.ends_with('\n'), "fixture must end without a newline");
+    assert_trips("bad_pragma/truncated.rs", "bad-pragma", 1);
 }
 
 #[test]
@@ -80,6 +132,16 @@ fn clean_fixture_produces_no_diagnostics() {
 #[test]
 fn pragma_allowed_fixture_produces_no_diagnostics() {
     let (path, src) = fixture("allowed/naive.rs");
+    let diags = sigmo_lint::analyze_source(&path, &src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn eof_trailing_pragma_fixture_produces_no_diagnostics() {
+    // The satellite bug: a trailing pragma on a final line with no
+    // terminating newline must still parse and suppress.
+    let (path, src) = fixture("allowed/eof_pragma.rs");
+    assert!(!src.ends_with('\n'), "fixture must end without a newline");
     let diags = sigmo_lint::analyze_source(&path, &src);
     assert!(diags.is_empty(), "{diags:?}");
 }
@@ -100,6 +162,67 @@ fn real_workspace_is_clean() {
         diags.is_empty(),
         "workspace violations:\n{}",
         sigmo_lint::render_human(&diags)
+    );
+}
+
+#[test]
+fn workspace_audit_completes_within_budget() {
+    // The call-graph + reachability pass is part of the check.sh gate and
+    // must stay interactive: the whole-workspace audit has a 5s budget.
+    let start = std::time::Instant::now();
+    let _ = sigmo_lint::analyze_workspace(&workspace_root());
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_secs(5),
+        "workspace audit took {elapsed:?}, budget is 5s"
+    );
+}
+
+/// Seeded-violation test: mutate a *real* reachable path — swap the
+/// fault-injection plan's ordered containers for hash containers — and
+/// the auditor must catch the hash-order iteration feeding
+/// `FaultClusterReport`. This pins the audit to real code, not synthetic
+/// fixtures: if reachability or binding detection regresses, this fails.
+#[test]
+fn seeded_hash_swap_in_fault_report_is_caught() {
+    let path = workspace_root().join("crates/sigmo-cluster/src/fault.rs");
+    let src = std::fs::read_to_string(&path).unwrap();
+    assert!(src.contains("BTreeSet"), "fault.rs no longer uses BTreeSet");
+    let mutated = src
+        .replace("BTreeSet", "HashSet")
+        .replace("BTreeMap", "HashMap");
+    let diags = sigmo_lint::analyze_source("crates/sigmo-cluster/src/fault.rs", &mutated);
+    assert!(
+        diags.iter().any(|d| d.rule == "nondet-collection-iter"),
+        "expected nondet-collection-iter on the mutated report merge, got {diags:?}"
+    );
+    // The pristine file stays clean (also covered by the workspace test).
+    let clean = sigmo_lint::analyze_source("crates/sigmo-cluster/src/fault.rs", &src);
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+/// Stripping the justification from a real determinism pragma must be
+/// flagged: suppression of the determinism family without a written
+/// rationale is itself a violation, so the workspace-clean gate fails on
+/// unjustified suppressions.
+#[test]
+fn unjustified_suppression_in_real_file_is_caught() {
+    let path = workspace_root().join("crates/sigmo-device/src/summary.rs");
+    let src = std::fs::read_to_string(&path).unwrap();
+    let needle = "allow(float-accumulation) —";
+    assert!(
+        src.contains(needle),
+        "summary.rs lost its justified float-accumulation pragma"
+    );
+    // Cut the pragma line right after the closing parenthesis: the rule
+    // list survives, the justification does not.
+    let at = src.find(needle).unwrap() + "allow(float-accumulation)".len();
+    let eol = src[at..].find('\n').unwrap() + at;
+    let mutated = format!("{}{}", &src[..at], &src[eol..]);
+    let diags = sigmo_lint::analyze_source("crates/sigmo-device/src/summary.rs", &mutated);
+    assert!(
+        diags.iter().any(|d| d.rule == "unjustified-pragma"),
+        "expected unjustified-pragma, got {diags:?}"
     );
 }
 
@@ -127,7 +250,7 @@ fn lint_bin() -> Command {
 
 #[test]
 fn binary_exits_nonzero_on_each_bad_fixture() {
-    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
     for rel in [
         "per_bit_probe/candidates.rs",
         "atomic_ordering/counters.rs",
@@ -135,7 +258,13 @@ fn binary_exits_nonzero_on_each_bad_fixture() {
         "unsafe_safety/engine.rs",
         "alloc_in_kernel/join.rs",
         "unbounded_kernel_loop/join.rs",
+        "nondet_collection_iter/summary.rs",
+        "float_accumulation/summary.rs",
+        "relaxed_read_in_report/counters.rs",
+        "wall_clock_in_result/engine.rs",
+        "unordered_par_collect/stream.rs",
         "bad_pragma/engine.rs",
+        "bad_pragma/truncated.rs",
     ] {
         let out = lint_bin().arg(fixtures.join(rel)).output().unwrap();
         assert_eq!(
@@ -165,7 +294,7 @@ fn binary_exits_zero_on_the_workspace() {
 
 #[test]
 fn binary_emits_json_diagnostics_with_spans() {
-    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
     let out = lint_bin()
         .arg("--format")
         .arg("json")
@@ -182,7 +311,30 @@ fn binary_emits_json_diagnostics_with_spans() {
 }
 
 #[test]
-fn binary_lists_all_six_rules() {
+fn binary_emits_sarif_with_rules_and_results() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let out = lint_bin()
+        .arg("--format")
+        .arg("sarif")
+        .arg(fixtures.join("wall_clock_in_result/engine.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "violations exit 1 in every format"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"version\": \"2.1.0\""), "{stdout}");
+    assert!(
+        stdout.contains("\"ruleId\": \"wall-clock-in-result\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"physicalLocation\""), "{stdout}");
+}
+
+#[test]
+fn binary_lists_all_rules() {
     let out = lint_bin().arg("--list-rules").output().unwrap();
     assert_eq!(out.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -193,6 +345,11 @@ fn binary_lists_all_six_rules() {
         "unsafe-requires-safety-comment",
         "alloc-in-kernel",
         "unbounded-kernel-loop",
+        "nondet-collection-iter",
+        "float-accumulation",
+        "relaxed-read-in-report",
+        "wall-clock-in-result",
+        "unordered-par-collect",
     ] {
         assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
     }

@@ -1,0 +1,237 @@
+//! Property tests pinning the lexer's blanked code view 1:1 with source
+//! byte spans.
+//!
+//! Every rule in the analyzer reports offsets into [`SourceFile::code`]
+//! and maps them back to (line, column) via `line_starts`, so the whole
+//! diagnostic surface rests on one invariant: *byte offsets in the code
+//! view are byte offsets in the original file*. These properties generate
+//! Rust-shaped token soup (strings with escapes, raw strings with hash
+//! fences, char literals, lifetimes, nested block comments, multi-byte
+//! UTF-8 in comments and literals) and check the alignment from several
+//! angles, plus a fixpoint property over near-arbitrary text.
+//!
+//! The vendored proptest shim has no regex/string strategies, so the
+//! generators here are seed-driven: a `Vec<u64>` of draws, each mapped
+//! through a token table.
+
+use proptest::prelude::*;
+use sigmo_lint::lexer::{lex, SourceFile};
+
+/// One Rust-shaped token, chosen by `seed`. Kept newline-free so the
+/// separator table controls line structure (char literals spanning a
+/// newline are not valid Rust and the lexer does not promise alignment
+/// for them).
+fn token_from(seed: u64) -> String {
+    let pick = seed % 24;
+    let n = ((seed >> 8) % 5) as usize;
+    let word = &"survivors"[..1 + n];
+    match pick {
+        0 => format!("{word}_{n}"),
+        1 => "bitmap.get(row, col)".to_string(),
+        // r/b prefixes continuing an identifier must NOT open a literal.
+        2 => "raw_reader".to_string(),
+        3 => "br_table".to_string(),
+        4 => "{ [ ( ) ] };".to_string(),
+        5 => format!("{}.{}", seed % 997, (seed >> 16) % 97),
+        // Plain strings, with escapes and comment-lookalikes inside.
+        6 => format!("\"{word}\""),
+        7 => "\"esc \\\" \\\\ \\n end\"".to_string(),
+        8 => "\"// not a comment\"".to_string(),
+        9 => "\"/* nor this */\"".to_string(),
+        10 => "\"multi — byte ✓\"".to_string(),
+        11 => format!("b\"{word}\""),
+        // Raw strings, zero to two hash fences, quotes inside the
+        // fenced ones.
+        12 => format!("r\"{word}\""),
+        13 => format!("r#\"quote \" inside {word}\"#"),
+        14 => "br##\"fence # \"# deep\"##".to_string(),
+        // Char and byte-char literals, escaped and multi-byte.
+        15 => "'x'".to_string(),
+        16 => "'\\n'".to_string(),
+        17 => "'\\''".to_string(),
+        18 => "b'q'".to_string(),
+        19 => "'—'".to_string(),
+        // Lifetimes and loop labels (a lone quote that is NOT a char).
+        20 => format!("'{word}"),
+        21 => "'static".to_string(),
+        22 => "&'a mut T".to_string(),
+        _ => "x /= 2".to_string(),
+    }
+}
+
+/// A separator between tokens: spacing, newlines, or a whole comment.
+/// Line comments own the rest of their line, so they always end with a
+/// newline here; block comments may nest and carry multi-byte text.
+fn sep_from(seed: u64) -> String {
+    match seed % 9 {
+        0 => " ".to_string(),
+        1 => "  ".to_string(),
+        2 => "\n".to_string(),
+        3 => "\n    ".to_string(),
+        4 => format!(" // note {}\n", seed % 100),
+        5 => " // sigmo-lint: allow(per-bit-probe) — oracle\n".to_string(),
+        6 => format!(" /* c{} */ ", seed % 10),
+        7 => " /* outer /* inner */ still */ ".to_string(),
+        _ => " /* spans\nlines */ ".to_string(),
+    }
+}
+
+/// Rust-shaped source: tokens joined by separators, half the cases
+/// ending mid-line and half with a final newline.
+fn arb_source() -> impl Strategy<Value = String> {
+    (prop::collection::vec(any::<u64>(), 0..24), any::<bool>()).prop_map(
+        |(seeds, trailing_newline)| {
+            let mut s = String::new();
+            for seed in seeds {
+                s.push_str(&token_from(seed));
+                s.push_str(&sep_from(seed >> 24));
+            }
+            if trailing_newline && !s.ends_with('\n') {
+                s.push('\n');
+            } else if !trailing_newline && s.ends_with('\n') {
+                s.pop();
+            }
+            s
+        },
+    )
+}
+
+/// Near-arbitrary text: characters drawn from an adversarial alphabet
+/// (quotes, backslashes, hashes, slashes, stars, newlines, multi-byte)
+/// that reaches every lexer state, including malformed/unterminated
+/// literals that valid Rust never produces.
+fn arb_soup() -> impl Strategy<Value = String> {
+    const ALPHABET: &[char] = &[
+        '"', '\'', '\\', '#', '/', '*', 'r', 'b', 'a', ' ', '\n', '—', '✓', '(', ')', '{', '}',
+        '0', ':', ';',
+    ];
+    prop::collection::vec(0usize..ALPHABET.len(), 0..80)
+        .prop_map(|picks| picks.into_iter().map(|i| ALPHABET[i]).collect())
+}
+
+/// The code view's expected total length: the source minus its final
+/// newline (lines are joined with `\n`, with no trailing separator).
+fn expected_code_len(src: &str) -> usize {
+    src.len() - usize::from(src.ends_with('\n'))
+}
+
+fn source_lines(src: &str) -> Vec<&str> {
+    src.strip_suffix('\n').unwrap_or(src).split('\n').collect()
+}
+
+fn check_alignment(src: &str, sf: &SourceFile) -> Result<(), TestCaseError> {
+    // Same total byte length (modulo the absent trailing newline), and
+    // every byte the lexer did not blank is the source byte at the same
+    // offset. This is the invariant every diagnostic span relies on.
+    prop_assert_eq!(sf.code.len(), expected_code_len(src), "total length");
+    let sb = src.as_bytes();
+    for (i, &b) in sf.code.as_bytes().iter().enumerate() {
+        if b != b' ' {
+            prop_assert_eq!(
+                b,
+                sb[i],
+                "code byte {} ({:?}) diverged from source ({:?})\nsrc: {:?}\ncode: {:?}",
+                i,
+                b as char,
+                sb[i] as char,
+                src,
+                &sf.code
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The blanked view is byte-for-byte aligned with the source.
+    #[test]
+    fn code_view_is_byte_aligned(src in arb_source()) {
+        let sf = lex("crates/x/src/lib.rs", &src);
+        check_alignment(&src, &sf)?;
+    }
+
+    /// Line structure matches the source's newlines exactly: same line
+    /// count, same per-line byte lengths, and `line_starts` is the
+    /// running sum of line lengths plus the join separators.
+    #[test]
+    fn line_structure_matches_source(src in arb_source()) {
+        let sf = lex("crates/x/src/lib.rs", &src);
+        let lines = source_lines(&src);
+        prop_assert_eq!(sf.lines.len(), lines.len(), "line count for {:?}", src);
+        prop_assert_eq!(sf.line_starts.len(), sf.lines.len());
+        let mut at = 0;
+        for (n, (got, want)) in sf.lines.iter().zip(&lines).enumerate() {
+            prop_assert_eq!(
+                got.code.len(),
+                want.len(),
+                "line {} length (code {:?} vs src {:?})",
+                n,
+                &got.code,
+                want
+            );
+            prop_assert_eq!(sf.line_starts[n], at, "line_starts[{}]", n);
+            at += got.code.len() + 1; // the joining '\n'
+        }
+    }
+
+    /// `line_col` round-trips every (line, column) through the flat
+    /// offset: the mapping rules use to place diagnostics.
+    #[test]
+    fn line_col_round_trips(src in arb_source()) {
+        let sf = lex("crates/x/src/lib.rs", &src);
+        for (n, line) in sf.lines.iter().enumerate() {
+            for col in 0..=line.code.len() {
+                // The line's own bytes plus the join newline (which
+                // still maps to this line); the one-past-the-end offset
+                // of the final line is out of the buffer entirely.
+                if sf.line_starts[n] + col >= sf.code.len() && n + 1 == sf.lines.len() {
+                    continue;
+                }
+                let (l, c) = sf.line_col(sf.line_starts[n] + col);
+                prop_assert_eq!((l, c), (n + 1, col + 1));
+            }
+        }
+    }
+
+    /// Every recovered comment is made of words that appear verbatim in
+    /// the source — the pragma parser reads these, so they must never be
+    /// synthesized or reflowed.
+    #[test]
+    fn comments_come_from_the_source(src in arb_source()) {
+        let sf = lex("crates/x/src/lib.rs", &src);
+        for line in &sf.lines {
+            if let Some(c) = &line.comment {
+                prop_assert!(
+                    c.split_whitespace().all(|w| src.contains(w)),
+                    "comment {:?} not from source {:?}",
+                    c,
+                    src
+                );
+            }
+        }
+    }
+
+    /// Blanking is a fixpoint: re-lexing the code view changes nothing.
+    /// Blanked literal bodies are still fenced by their quotes and
+    /// comments are gone entirely, so a second pass must be the
+    /// identity. Checked over adversarial character soup, not just
+    /// Rust-shaped input.
+    #[test]
+    fn blanking_is_a_fixpoint(src in arb_soup()) {
+        let sf = lex("crates/x/src/lib.rs", &src);
+        let again = lex("crates/x/src/lib.rs", &sf.code);
+        prop_assert_eq!(&again.code, &sf.code, "src was {:?}", src);
+        prop_assert_eq!(again.line_starts, sf.line_starts);
+    }
+
+    /// Rust-shaped sources keep the fixpoint too (the soup above cannot
+    /// reach deep literal/comment nesting reliably).
+    #[test]
+    fn blanking_is_a_fixpoint_on_rust_shapes(src in arb_source()) {
+        let sf = lex("crates/x/src/lib.rs", &src);
+        let again = lex("crates/x/src/lib.rs", &sf.code);
+        prop_assert_eq!(&again.code, &sf.code, "src was {:?}", src);
+    }
+}

@@ -4,9 +4,13 @@
 #   1. cargo fmt --check          formatting
 #   2. cargo clippy               warnings are errors, all targets
 #   3. cargo test -q              the full test suite (tier-1)
-#   4. sigmo-lint                 workspace invariants (kernel discipline:
-#                                 per-bit probes, atomic orderings,
-#                                 uncharged traffic, unsafe, kernel allocs)
+#   4. sigmo-lint                 workspace determinism audit (call-graph
+#                                 reachability from kernel launches and
+#                                 result reports: per-bit probes, atomic
+#                                 orderings, uncharged traffic, kernel
+#                                 allocs, nondeterministic iteration,
+#                                 float accumulation, wall clock in
+#                                 results, unordered parallel collection)
 #   5. cargo bench --no-run       compile check of every bench target
 #   6. ablate_filter_convergence  filter-mode ablation; asserts the
 #                                 incremental refine path stays ≥2× faster
@@ -26,38 +30,60 @@
 #                                 the committed BENCH_pipeline.json,
 #                                 BENCH_serve.json, and BENCH_adaptive.json
 #
-# `--fast` skips the bench stages (5-9) for quick pre-push runs.
+# `--fast` skips the bench stages (5-9) for quick pre-push runs. The lint
+# stage is NOT skipped: the determinism audit is cheap (sub-second scan,
+# <5 s budget enforced in its own tests) and is exactly the check that
+# must not be skippable in a hurry.
+# `--lint-only` runs just the sigmo-lint stage — the inner loop while
+# triaging findings or writing pragma justifications.
 # `--pathological` adds a governor smoke stage: the ext_pathological
 # binary must terminate the wildcard-clique workload under its 2 s
 # deadline with a Truncated(Deadline) partial result (it asserts this
 # itself and exits nonzero otherwise).
-# Run from anywhere inside the repo.
+# Each stage reports its wall time; the summary line at the end gives the
+# total. Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
+LINT_ONLY=0
 PATHOLOGICAL=0
 for arg in "$@"; do
     case "$arg" in
         --fast) FAST=1 ;;
+        --lint-only) LINT_ONLY=1 ;;
         --pathological) PATHOLOGICAL=1 ;;
-        *) echo "usage: $0 [--fast] [--pathological]" >&2; exit 2 ;;
+        *) echo "usage: $0 [--fast] [--lint-only] [--pathological]" >&2; exit 2 ;;
     esac
 done
 
-cargo fmt --check
-cargo clippy -q --all-targets -- -D warnings
-cargo test -q
-cargo run -q --release -p sigmo-lint -- --root .
-if [ "$FAST" -eq 0 ]; then
-    cargo bench --no-run
-    cargo bench -p sigmo-bench --bench ablate_filter_convergence
-    SIGMO_BENCH_SERVE_OUT=target/BENCH_serve.fresh.json \
+TOTAL_START=$SECONDS
+# Runs one named stage, timing it: stage <name> <command...>
+stage() {
+    local name=$1
+    shift
+    local start=$SECONDS
+    echo "==> $name"
+    "$@"
+    echo "==> $name ok ($((SECONDS - start))s)"
+}
+
+if [ "$LINT_ONLY" -eq 0 ]; then
+    stage fmt cargo fmt --check
+    stage clippy cargo clippy -q --all-targets -- -D warnings
+    stage test cargo test -q
+fi
+stage lint cargo run -q --release -p sigmo-lint -- --root .
+if [ "$LINT_ONLY" -eq 0 ] && [ "$FAST" -eq 0 ]; then
+    stage bench-build cargo bench --no-run
+    stage ablate-filter cargo bench -p sigmo-bench --bench ablate_filter_convergence
+    stage serve-soak env SIGMO_BENCH_SERVE_OUT=target/BENCH_serve.fresh.json \
         cargo run -q --release -p sigmo-bench --bin ext_serve_soak
-    SIGMO_BENCH_ADAPTIVE_OUT=target/BENCH_adaptive.fresh.json \
+    stage adaptive env SIGMO_BENCH_ADAPTIVE_OUT=target/BENCH_adaptive.fresh.json \
         cargo run -q --release -p sigmo-bench --bin ext_adaptive
-    scripts/bench_diff.sh
+    stage bench-diff scripts/bench_diff.sh
 fi
-if [ "$PATHOLOGICAL" -eq 1 ]; then
-    cargo run -q --release -p sigmo-bench --bin ext_pathological
+if [ "$LINT_ONLY" -eq 0 ] && [ "$PATHOLOGICAL" -eq 1 ]; then
+    stage pathological cargo run -q --release -p sigmo-bench --bin ext_pathological
 fi
+echo "==> all stages passed ($((SECONDS - TOTAL_START))s total)"
