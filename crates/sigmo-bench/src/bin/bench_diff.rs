@@ -189,6 +189,7 @@ fn main() {
 
     check_serve(scale, &mut failures);
     check_adaptive(scale, &mut failures);
+    check_shard(scale, &mut failures);
 
     if failures.is_empty() {
         println!("bench_diff: no regression vs {baseline_path}");
@@ -284,6 +285,83 @@ fn check_adaptive(scale: BenchScale, failures: &mut Vec<String>) {
                     "{key}: fresh {fresh_s:.9}s > limit {limit:.6}s (committed {committed:.9}s)"
                 ));
             }
+        }
+    }
+}
+
+/// Sharded-serving gate against `BENCH_shard.json` (skipped with a
+/// notice when no baseline is committed). The run itself re-asserts
+/// oracle bit-identity and the stealing/degradation invariants (see
+/// `shard_bench`); here the virtual-clock quantities — final ticks per
+/// configuration, latency percentiles, retry/steal/backlog counters —
+/// must match the committed baseline exactly, and the five walls get the
+/// standard `× 1.25 + 10 ms` slack.
+fn check_shard(scale: BenchScale, failures: &mut Vec<String>) {
+    let path = std::env::var("SIGMO_BENCH_SHARD_BASELINE")
+        .unwrap_or_else(|_| "BENCH_shard.json".to_string());
+    let base = match std::fs::read_to_string(&path) {
+        Ok(b) => b,
+        Err(_) => {
+            println!("bench_diff: no {path}, skipping the shard gate");
+            return;
+        }
+    };
+    let committed_scale = find_str(&base, "scale");
+    let fresh_scale = format!("{scale:?}");
+    assert_eq!(
+        committed_scale, fresh_scale,
+        "shard baseline was recorded at scale {committed_scale} but this run is {fresh_scale}"
+    );
+    let fresh = sigmo_bench::shard_bench::run_shard_bench(scale);
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}  status",
+        "shard wall", "committed_s", "fresh_min_s", "limit_s"
+    );
+    for (key, fresh_s) in [
+        ("wall_oracle_s", fresh.oracle_wall_s),
+        ("wall_static_clean_s", fresh.static_clean.wall_s),
+        ("wall_steal_clean_s", fresh.steal_clean.wall_s),
+        ("wall_steal_light_s", fresh.steal_light.wall_s),
+        ("wall_steal_heavy_s", fresh.steal_heavy.wall_s),
+    ] {
+        let committed = find_f64(&base, key);
+        let limit = committed * REL_LIMIT + ABS_SLACK_S;
+        let ok = fresh_s <= limit;
+        println!(
+            "{key:<22} {committed:>12.6} {fresh_s:>12.6} {limit:>12.6}  {}",
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        if !ok {
+            failures.push(format!(
+                "{key}: fresh {fresh_s:.6}s > limit {limit:.6}s (committed {committed:.6}s)"
+            ));
+        }
+    }
+    let mut exact: Vec<(String, u64)> = vec![
+        ("requests".to_string(), fresh.requests as u64),
+        ("total_matches".to_string(), fresh.total_matches),
+        ("latency_p50_ticks".to_string(), fresh.latency_p50),
+        ("latency_p99_ticks".to_string(), fresh.latency_p99),
+        ("final_tick_oracle".to_string(), fresh.oracle_final_tick),
+    ];
+    for (name, c) in [
+        ("static_clean", &fresh.static_clean),
+        ("steal_clean", &fresh.steal_clean),
+        ("steal_light", &fresh.steal_light),
+        ("steal_heavy", &fresh.steal_heavy),
+    ] {
+        exact.push((format!("final_tick_{name}"), c.final_tick));
+        exact.push((format!("retries_{name}"), c.retries));
+        exact.push((format!("steals_{name}"), c.steals));
+        exact.push((format!("hot_depth_{name}"), c.hot_depth));
+    }
+    for (key, fresh_v) in exact {
+        let committed = find_f64(&base, &key) as u64;
+        if committed != fresh_v {
+            failures.push(format!(
+                "shard {key}: fresh {fresh_v} != committed {committed} \
+                 (virtual-clock quantities must be bit-identical)"
+            ));
         }
     }
 }

@@ -18,5 +18,6 @@ pub mod adaptive_bench;
 pub mod figures;
 pub mod scale;
 pub mod serve_bench;
+pub mod shard_bench;
 
 pub use scale::BenchScale;

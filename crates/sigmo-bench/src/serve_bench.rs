@@ -44,6 +44,7 @@ pub fn workload(scale: BenchScale) -> WorkloadConfig {
         max_request_molecules: 16,
         mean_interarrival: 2,
         find_first_pct: 0,
+        pool_skew: 0,
     }
 }
 

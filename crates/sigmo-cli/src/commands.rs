@@ -3,12 +3,14 @@
 
 use crate::args::{ArgError, Command, ParsedArgs};
 use crate::io::{load_molecules, load_query_graphs, serialize_molecules, IoError, NamedMolecule};
+use sigmo_cluster::FaultPlan;
 use sigmo_core::{Engine, EngineConfig, Governor, JoinStrategy, MatchMode, RunBudget};
 use sigmo_device::{DeviceProfile, Queue};
 use sigmo_graph::LabeledGraph;
 use sigmo_mol::{descriptors, GeneratorConfig, MoleculeGenerator};
 use sigmo_serve::{
-    generate_workload, oracle_replay, run_soak, served_outcome, ServeConfig, Server, WorkloadConfig,
+    generate_workload, oracle_replay, run_soak, served_outcome, ServeConfig, Server, ShardConfig,
+    WorkloadConfig,
 };
 use std::fmt;
 use std::fmt::Write as _;
@@ -162,6 +164,7 @@ fn serve_setup(args: &ParsedArgs) -> Result<(ServeConfig, WorkloadConfig), ArgEr
             defaults.find_first_pct,
             "a percentage 0..=100",
         )?,
+        pool_skew: args.get_parsed("pool-skew", defaults.pool_skew, "an integer ≥ 0")?,
     };
     let serve_defaults = ServeConfig::default();
     let config = ServeConfig {
@@ -177,9 +180,80 @@ fn serve_setup(args: &ParsedArgs) -> Result<(ServeConfig, WorkloadConfig), ArgEr
             "an integer ≥ 1",
         )?,
         caching: args.get_parsed("cache", true, "true or false")?,
+        sharding: shard_setup(args)?,
         ..serve_defaults
     };
     Ok((config, workload))
+}
+
+/// Builds the sharded-tier configuration from `--shards` and friends.
+/// `--shards 0` (the default) keeps the single-node serving path.
+fn shard_setup(args: &ParsedArgs) -> Result<Option<ShardConfig>, ArgError> {
+    let shards = args.get_parsed("shards", 0usize, "an integer ≥ 0")?;
+    if shards == 0 {
+        return Ok(None);
+    }
+    let replicas = args.get_parsed("replicas", 2usize.min(shards), "an integer ≥ 1")?;
+    if !(1..=shards).contains(&replicas) {
+        return Err(ArgError::BadValue {
+            flag: "replicas".to_string(),
+            value: replicas.to_string(),
+            expected: "1..=shards replicas",
+        });
+    }
+    let crashes = args.get_parsed("crashes", 0usize, "an integer")?;
+    let stragglers = args.get_parsed("stragglers", 0usize, "an integer")?;
+    let slowdown = args.get_parsed("slowdown", 4.0f64, "a factor ≥ 1.0")?;
+    // Crashes claim the low ranks (clamped so one rank stays healthy);
+    // stragglers claim the high ranks, skipping corpses. Deterministic by
+    // construction — the seed only drives ownership and transient blips.
+    let mut fault = FaultPlan::none(shards);
+    for r in 0..crashes.min(shards.saturating_sub(1)) {
+        fault.crashed.insert(r);
+    }
+    for k in 0..stragglers.min(shards) {
+        let r = shards - 1 - k;
+        if !fault.crashed.contains(&r) {
+            fault.stragglers.insert(r, slowdown.max(1.0));
+        }
+    }
+    let mut config = ShardConfig::new(shards, replicas)
+        .with_fault(fault)
+        .with_transient_pct(args.get_parsed("transient-pct", 0u64, "a percentage 0..=100")?);
+    config.fault_seed = args.get_parsed("fault-seed", config.fault_seed, "an integer")?;
+    config.work_stealing = args.get_parsed("steal", true, "true or false")?;
+    Ok(Some(config))
+}
+
+/// Renders the sharded tier's dispatch/retry/steal summary, including the
+/// hottest shard's deepest primary backlog — the work-stealing signal.
+fn shard_summary(out: &mut String, stats: &[sigmo_serve::ShardStats]) {
+    let retries: u64 = stats.iter().map(|s| s.retries).sum();
+    let steals: u64 = stats.iter().map(|s| s.steals).sum();
+    let degraded: u64 = stats.iter().map(|s| s.degraded_slices).sum();
+    let dispatches: u64 = stats.iter().map(|s| s.dispatches).sum();
+    writeln!(
+        out,
+        "shards: {} — {} dispatches, {} retries, {} steals, {} degraded slices",
+        stats.len(),
+        dispatches,
+        retries,
+        steals,
+        degraded
+    )
+    .unwrap();
+    if let Some((hot, s)) = stats
+        .iter()
+        .enumerate()
+        .max_by_key(|(i, s)| (s.max_queue_depth, std::cmp::Reverse(*i)))
+    {
+        writeln!(
+            out,
+            "hot shard {}: max queue depth {} ticks, {} molecules executed",
+            hot, s.max_queue_depth, s.executed_molecules
+        )
+        .unwrap();
+    }
 }
 
 /// Renders latency/cache/throughput summary lines shared by `serve` and
@@ -190,11 +264,20 @@ fn serve_summary(
     stats: &sigmo_serve::ServeStats,
 ) {
     let total_matches: u64 = soak.entries.iter().map(|e| e.report.total_matches).sum();
+    let unavailable = soak
+        .entries
+        .iter()
+        .filter(|e| {
+            e.report.completion
+                == sigmo_core::Completion::Truncated(sigmo_core::TruncationReason::ShardUnavailable)
+        })
+        .count();
     let truncated = soak
         .entries
         .iter()
         .filter(|e| !e.report.completion.is_complete())
-        .count();
+        .count()
+        - unavailable;
     writeln!(
         out,
         "served {} requests ({} rejected) in {} ticks over {} steps",
@@ -209,6 +292,13 @@ fn serve_summary(
         writeln!(
             out,
             "truncated requests: {truncated} (step-budget partials; sound lower bounds)"
+        )
+        .unwrap();
+    }
+    if unavailable > 0 {
+        writeln!(
+            out,
+            "degraded requests: {unavailable} (shard unavailable; zero-count lower bounds)"
         )
         .unwrap();
     }
@@ -251,6 +341,9 @@ fn cmd_serve(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
     let soak = run_soak(&mut server, &trace);
     let mut out = String::new();
     serve_summary(&mut out, &soak, &server.stats());
+    if let Some(stats) = server.shard_stats() {
+        shard_summary(&mut out, stats);
+    }
     Ok(CommandOutput {
         stdout: out,
         files: Vec::new(),
@@ -264,8 +357,17 @@ fn cmd_replay(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
     let soak = run_soak(&mut server, &trace);
     let queue = Queue::new(DeviceProfile::host());
     let mut mismatches = 0usize;
+    let mut degraded = 0usize;
     let mut out = String::new();
     for entry in &soak.entries {
+        if entry.report.completion
+            == sigmo_core::Completion::Truncated(sigmo_core::TruncationReason::ShardUnavailable)
+        {
+            // Every replica of some shard was exhausted: the served zero
+            // counts are a declared lower bound, not an oracle match.
+            degraded += 1;
+            continue;
+        }
         let oracle = oracle_replay(&config, &trace[entry.trace_index].request, &queue);
         if served_outcome(&entry.report) != oracle {
             mismatches += 1;
@@ -277,14 +379,25 @@ fn cmd_replay(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
             .unwrap();
         }
     }
+    if degraded > 0 {
+        writeln!(
+            out,
+            "degraded requests: {degraded} (shard unavailable; zero-count lower bounds, \
+             excluded from oracle comparison)"
+        )
+        .unwrap();
+    }
     writeln!(
         out,
         "replay: {}/{} requests bit-identical to the unbatched oracle",
-        soak.entries.len() - mismatches,
+        soak.entries.len() - mismatches - degraded,
         soak.entries.len()
     )
     .unwrap();
     serve_summary(&mut out, &soak, &server.stats());
+    if let Some(stats) = server.shard_stats() {
+        shard_summary(&mut out, stats);
+    }
     Ok(CommandOutput {
         stdout: out,
         files: Vec::new(),
@@ -796,6 +909,89 @@ mod tests {
         .unwrap();
         let out = run_command(&args).unwrap();
         assert!(out.stdout.contains("result 0/0"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn serve_sharded_soak_is_deterministic_and_summarized() {
+        let args = parse_args(&strs(&[
+            "serve",
+            "--requests",
+            "16",
+            "--seed",
+            "5",
+            "--shards",
+            "4",
+            "--replicas",
+            "2",
+            "--pool-skew",
+            "3",
+        ]))
+        .unwrap();
+        let out = run_command(&args).unwrap();
+        assert!(out.stdout.contains("served 16 requests"), "{}", out.stdout);
+        assert!(
+            out.stdout.contains("shards: 4 —"),
+            "shard summary missing: {}",
+            out.stdout
+        );
+        assert!(out.stdout.contains("hot shard"), "{}", out.stdout);
+        let out2 = run_command(&args).unwrap();
+        assert_eq!(out.stdout, out2.stdout, "sharded soak must be seeded");
+    }
+
+    #[test]
+    fn replay_sharded_under_faults_matches_the_oracle() {
+        // One crashed rank, one straggler, transient blips: replicas must
+        // absorb every fault, leaving all requests bit-identical to the
+        // unsharded fault-free oracle — and some dispatch must retry.
+        let args = parse_args(&strs(&[
+            "replay",
+            "--requests",
+            "10",
+            "--seed",
+            "11",
+            "--shards",
+            "4",
+            "--replicas",
+            "2",
+            "--crashes",
+            "1",
+            "--stragglers",
+            "1",
+            "--transient-pct",
+            "15",
+        ]))
+        .unwrap();
+        let out = run_command(&args).unwrap();
+        assert!(
+            out.stdout
+                .contains("replay: 10/10 requests bit-identical to the unbatched oracle"),
+            "{}",
+            out.stdout
+        );
+        assert!(!out.stdout.contains("MISMATCH"), "{}", out.stdout);
+        assert!(!out.stdout.contains("degraded requests:"), "{}", out.stdout);
+        assert!(out.stdout.contains("0 degraded slices"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn shard_flag_validation() {
+        // replicas must fit in 1..=shards.
+        let bad = parse_args(&strs(&[
+            "serve",
+            "--requests",
+            "4",
+            "--shards",
+            "2",
+            "--replicas",
+            "3",
+        ]))
+        .unwrap();
+        assert!(matches!(run_command(&bad), Err(CliError::Args(_))));
+        // --shards 0 is the unsharded path: no shard summary.
+        let off = parse_args(&strs(&["serve", "--requests", "4", "--shards", "0"])).unwrap();
+        let out = run_command(&off).unwrap();
+        assert!(!out.stdout.contains("shards:"), "{}", out.stdout);
     }
 
     #[test]

@@ -133,9 +133,43 @@ impl Default for RetryPolicy {
 impl RetryPolicy {
     /// Simulated wait before retry number `retry` (1-based: the first
     /// retry waits the base, the second twice that, ...).
+    ///
+    /// Contract: `retry >= 1` — there is no backoff before the *first*
+    /// attempt, so retry number 0 is a caller bug. It is flagged with a
+    /// `debug_assert!` and clamped to 1 rather than panicking a release
+    /// serving process mid-request. The doubling **saturates**: retry
+    /// numbers whose power of two exceeds `f64`'s range return
+    /// `f64::MAX`, never `inf`, so downstream simulated-time arithmetic
+    /// (`failed_at + backoff`) stays finite and comparable.
     pub fn backoff_s(&self, retry: usize) -> f64 {
-        assert!(retry >= 1);
-        self.backoff_base_s * 2f64.powi(retry as i32 - 1)
+        debug_assert!(retry >= 1, "retry numbers are 1-based");
+        let exp = retry.max(1) - 1;
+        if exp >= f64::MAX_EXP as usize {
+            return f64::MAX;
+        }
+        let backoff = self.backoff_base_s * 2f64.powi(exp as i32);
+        if backoff.is_finite() {
+            backoff
+        } else {
+            f64::MAX
+        }
+    }
+
+    /// Integer-tick backoff for the virtual-clock serving simulator:
+    /// `base_ticks` doubled per further retry, saturating at `u64::MAX`
+    /// (same 1-based contract as [`RetryPolicy::backoff_s`]). Integer
+    /// ticks keep the sharded serving schedule bit-deterministic — no
+    /// float accumulation ever reaches the latency accounting.
+    pub fn backoff_ticks(&self, base_ticks: u64, retry: usize) -> u64 {
+        debug_assert!(retry >= 1, "retry numbers are 1-based");
+        if base_ticks == 0 {
+            return 0;
+        }
+        let exp = retry.max(1) - 1;
+        if exp >= 64 {
+            return u64::MAX;
+        }
+        base_ticks.saturating_mul(1u64 << exp)
     }
 }
 
@@ -400,6 +434,40 @@ mod tests {
             },
             ..Default::default()
         })
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            backoff_base_s: 0.5,
+        };
+        // The documented doubling at small retry numbers.
+        assert_eq!(policy.backoff_s(1), 0.5);
+        assert_eq!(policy.backoff_s(2), 1.0);
+        assert_eq!(policy.backoff_s(3), 2.0);
+        // Doubling past f64's exponent range must saturate, not reach inf.
+        for retry in [1_100, 10_000, usize::MAX] {
+            let b = policy.backoff_s(retry);
+            assert!(b.is_finite(), "backoff_s({retry}) must stay finite");
+            assert_eq!(b, f64::MAX);
+        }
+        // Monotone non-decreasing across the saturation boundary.
+        let mut last = 0.0;
+        for retry in 1..2_000 {
+            let b = policy.backoff_s(retry);
+            assert!(b >= last, "backoff must never shrink (retry {retry})");
+            last = b;
+        }
+
+        // The integer-tick variant saturates at u64::MAX the same way.
+        assert_eq!(policy.backoff_ticks(4, 1), 4);
+        assert_eq!(policy.backoff_ticks(4, 3), 16);
+        assert_eq!(policy.backoff_ticks(1, 64), 1u64 << 63, "2^63 fits");
+        assert_eq!(policy.backoff_ticks(1, 65), u64::MAX);
+        assert_eq!(policy.backoff_ticks(3, 63), 3u64 << 62);
+        assert_eq!(policy.backoff_ticks(u64::MAX, 2), u64::MAX);
+        assert_eq!(policy.backoff_ticks(0, usize::MAX), 0, "zero base is free");
     }
 
     #[test]

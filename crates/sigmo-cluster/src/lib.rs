@@ -20,4 +20,4 @@ pub use fault::{
 };
 pub use partition::static_block_partition;
 pub use sim::{ClusterConfig, ClusterReport, ClusterSim, RankResult};
-pub use topology::{run_on_topology, CommModel, Topology, TopologyReport};
+pub use topology::{replica_placement, run_on_topology, CommModel, Topology, TopologyReport};

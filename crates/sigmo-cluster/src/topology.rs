@@ -73,6 +73,56 @@ impl Topology {
     pub fn total_gpus(&self) -> usize {
         self.nodes * self.gpus_per_node
     }
+
+    /// Deterministic replica placement for `shard` over this topology's
+    /// ranks; see [`replica_placement`].
+    pub fn replica_ranks(&self, shard: usize, replicas: usize) -> Vec<usize> {
+        replica_placement(self.total_gpus(), self.gpus_per_node, shard, replicas)
+    }
+}
+
+/// Deterministic, failure-domain-aware replica placement over `num_ranks`
+/// ranks grouped into nodes of `gpus_per_node`.
+///
+/// The primary of `shard` is `shard % num_ranks`; each further replica
+/// sits one whole node away (the same GPU slot on the next node, wrapping
+/// around), so that up to `nodes` replicas land on pairwise-distinct
+/// nodes — a node-level failure then cannot take out every copy of a
+/// shard. When the node stride cycles before enough distinct ranks are
+/// found (more replicas than nodes, or `num_ranks` not a multiple of
+/// `gpus_per_node`), the remaining replicas fill in from the next unused
+/// rank ids ascending, keeping the placement total and deterministic.
+pub fn replica_placement(
+    num_ranks: usize,
+    gpus_per_node: usize,
+    shard: usize,
+    replicas: usize,
+) -> Vec<usize> {
+    assert!(num_ranks >= 1 && gpus_per_node >= 1);
+    assert!(
+        (1..=num_ranks).contains(&replicas),
+        "need 1..={num_ranks} replicas, got {replicas}"
+    );
+    let primary = shard % num_ranks;
+    let mut out = vec![primary];
+    // One node-stride per further replica: same slot, next node.
+    let mut hop = 1usize;
+    while out.len() < replicas && hop * gpus_per_node < num_ranks {
+        let r = (primary + hop * gpus_per_node) % num_ranks;
+        if !out.contains(&r) {
+            out.push(r);
+        }
+        hop += 1;
+    }
+    // Fill: next unused rank ids, ascending from the primary.
+    let mut next = (primary + 1) % num_ranks;
+    while out.len() < replicas {
+        if !out.contains(&next) {
+            out.push(next);
+        }
+        next = (next + 1) % num_ranks;
+    }
+    out
 }
 
 /// Report of a topology-aware run: compute report + aggregation cost.
@@ -168,6 +218,50 @@ mod tests {
     #[should_panic(expected = "4 GPUs each")]
     fn paper_layout_rejects_odd_counts() {
         Topology::paper_layout(10);
+    }
+
+    #[test]
+    fn replica_placement_spreads_across_nodes() {
+        // 16 ranks, 4 per node: replicas must land on distinct nodes as
+        // long as there are nodes left, and on distinct ranks always.
+        for shard in 0..32 {
+            let ranks = replica_placement(16, 4, shard, 4);
+            assert_eq!(ranks.len(), 4);
+            assert_eq!(ranks[0], shard % 16, "primary owns the shard");
+            let mut sorted = ranks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "replica ranks must be distinct");
+            let nodes: Vec<usize> = ranks.iter().map(|r| r / 4).collect();
+            let mut unique_nodes = nodes.clone();
+            unique_nodes.sort_unstable();
+            unique_nodes.dedup();
+            assert_eq!(unique_nodes.len(), 4, "one replica per node");
+        }
+        // Deterministic: same inputs, same placement.
+        assert_eq!(
+            replica_placement(16, 4, 5, 3),
+            replica_placement(16, 4, 5, 3)
+        );
+    }
+
+    #[test]
+    fn replica_placement_fills_when_replicas_exceed_nodes() {
+        // 8 ranks on 2 nodes but 5 replicas: node-disjointness is
+        // impossible, the fill path must still yield 5 distinct ranks.
+        let ranks = replica_placement(8, 4, 2, 5);
+        assert_eq!(ranks.len(), 5);
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+        assert_eq!(ranks[0], 2);
+        assert_eq!(ranks[1], 6, "second replica is one node away");
+        // Degenerate single-rank cluster: every shard maps to rank 0.
+        assert_eq!(replica_placement(1, 4, 9, 1), vec![0]);
+        // Via the topology wrapper.
+        let t = Topology::paper_layout(8);
+        assert_eq!(t.replica_ranks(2, 5), ranks);
     }
 
     #[test]

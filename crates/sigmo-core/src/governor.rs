@@ -49,7 +49,11 @@ use std::time::{Duration, Instant};
 pub const HEARTBEAT_STRIDE: u32 = 256;
 
 /// Why a run was truncated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The `Ord` derive follows declaration order (which matches the wire
+/// codes): [`Completion::merge_symmetric`] relies on it to pick an
+/// order-invariant winner when folding partial shard reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum TruncationReason {
     /// The wall-clock deadline expired.
     Deadline,
@@ -59,6 +63,10 @@ pub enum TruncationReason {
     EmbeddingCap,
     /// The [`CancelToken`] was cancelled externally.
     Cancelled,
+    /// The serving shard owning the molecule exhausted every replica
+    /// (sharded serving's degraded path): zero counts are reported as a
+    /// sound lower bound instead of failing the request.
+    ShardUnavailable,
 }
 
 impl TruncationReason {
@@ -68,6 +76,7 @@ impl TruncationReason {
             TruncationReason::StepBudget => 2,
             TruncationReason::EmbeddingCap => 3,
             TruncationReason::Cancelled => 4,
+            TruncationReason::ShardUnavailable => 5,
         }
     }
 
@@ -77,6 +86,7 @@ impl TruncationReason {
             2 => Some(TruncationReason::StepBudget),
             3 => Some(TruncationReason::EmbeddingCap),
             4 => Some(TruncationReason::Cancelled),
+            5 => Some(TruncationReason::ShardUnavailable),
             _ => None,
         }
     }
@@ -89,6 +99,7 @@ impl std::fmt::Display for TruncationReason {
             TruncationReason::StepBudget => "step-budget",
             TruncationReason::EmbeddingCap => "embedding-cap",
             TruncationReason::Cancelled => "cancelled",
+            TruncationReason::ShardUnavailable => "shard-unavailable",
         };
         f.write_str(s)
     }
@@ -122,6 +133,19 @@ impl Completion {
         match self {
             Completion::Complete => other,
             truncated => truncated,
+        }
+    }
+
+    /// Folds two verdicts symmetrically: when both are truncated, the
+    /// reason with the smaller wire code wins regardless of argument
+    /// order. The shard scatter/gather path merges partial reports and
+    /// must produce the same verdict whatever order the shards land in
+    /// (unlike [`Completion::merge`], whose first-truncation-wins rule is
+    /// deliberately order-sensitive for sequential streams).
+    pub fn merge_symmetric(self, other: Completion) -> Completion {
+        match (self, other) {
+            (Completion::Complete, c) | (c, Completion::Complete) => c,
+            (Completion::Truncated(a), Completion::Truncated(b)) => Completion::Truncated(a.min(b)),
         }
     }
 }
@@ -444,6 +468,43 @@ impl GovernorTicker {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn symmetric_merge_is_order_invariant() {
+        let reasons = [
+            TruncationReason::Deadline,
+            TruncationReason::StepBudget,
+            TruncationReason::EmbeddingCap,
+            TruncationReason::Cancelled,
+            TruncationReason::ShardUnavailable,
+        ];
+        for &a in &reasons {
+            for &b in &reasons {
+                let ab = Completion::Truncated(a).merge_symmetric(Completion::Truncated(b));
+                let ba = Completion::Truncated(b).merge_symmetric(Completion::Truncated(a));
+                assert_eq!(ab, ba, "symmetric merge must not depend on order");
+            }
+            assert_eq!(
+                Completion::Complete.merge_symmetric(Completion::Truncated(a)),
+                Completion::Truncated(a)
+            );
+            assert_eq!(
+                Completion::Truncated(a).merge_symmetric(Completion::Complete),
+                Completion::Truncated(a)
+            );
+        }
+        assert_eq!(
+            Completion::Complete.merge_symmetric(Completion::Complete),
+            Completion::Complete
+        );
+    }
+
+    #[test]
+    fn shard_unavailable_round_trips_through_codes() {
+        let r = TruncationReason::ShardUnavailable;
+        assert_eq!(TruncationReason::from_code(r.code()), Some(r));
+        assert_eq!(r.to_string(), "shard-unavailable");
+    }
 
     #[test]
     fn unlimited_governor_never_stops() {

@@ -84,6 +84,59 @@ impl StreamReport {
             self.total_matches as f64 / t
         }
     }
+
+    /// Folds a shard-partial report into `self`, remapping the partial's
+    /// local data indices through `index_map` (`index_map[local]` is the
+    /// merged global index). Counts, work counters, and pipeline time are
+    /// summed; peak memory is the max; the completion verdict folds via
+    /// [`Completion::merge_symmetric`]. Absorbing a set of partials with
+    /// disjoint index maps in *any* order, followed by
+    /// [`StreamReport::normalize`], yields an identical merged report —
+    /// the invariant the sharded serving tier's scatter/gather relies on
+    /// (pinned by a proptest in `tests/properties.rs`).
+    pub fn absorb_partial(&mut self, part: &StreamReport, index_map: &[usize]) {
+        self.total_matches += part.total_matches;
+        self.matched_pair_list.extend(
+            part.matched_pair_list
+                .iter()
+                .map(|&(d, q)| (index_map[d], q)),
+        );
+        self.pair_counts.extend(
+            part.pair_counts
+                .iter()
+                .map(|&(d, q, n)| (index_map[d], q, n)),
+        );
+        self.truncated_graphs
+            .extend(part.truncated_graphs.iter().map(|&d| index_map[d]));
+        self.chunks += part.chunks;
+        self.molecules += part.molecules;
+        self.peak_chunk_bytes = self.peak_chunk_bytes.max(part.peak_chunk_bytes);
+        self.total_time += part.total_time;
+        self.completion = self.completion.merge_symmetric(part.completion);
+        self.quarantined
+            .extend(part.quarantined.iter().map(|q| Quarantined {
+                index: index_map[q.index],
+                reason: q.reason,
+                partial_matches: q.partial_matches,
+            }));
+        self.retried_chunks += part.retried_chunks;
+        self.strategy.add(&part.strategy);
+        self.strategy_retries += part.strategy_retries;
+    }
+
+    /// Sorts every index-carrying list into the canonical order a
+    /// sequential single-stream run produces — pair lists by
+    /// `(data index, query index)`, truncated indices ascending and
+    /// deduplicated, quarantine records by index — so a report assembled
+    /// from shard partials compares bit-for-bit against the unsharded
+    /// oracle.
+    pub fn normalize(&mut self) {
+        self.matched_pair_list.sort_unstable();
+        self.pair_counts.sort_unstable();
+        self.truncated_graphs.sort_unstable();
+        self.truncated_graphs.dedup();
+        self.quarantined.sort_by_key(|q| q.index);
+    }
 }
 
 /// Streaming wrapper around [`Engine`].
@@ -469,6 +522,45 @@ mod tests {
         assert_eq!(report.total_matches, 336);
         assert!(report.completion.is_complete());
         assert_eq!(report.strategy.bfs_pairs, 1, "retry ran the BFS variant");
+    }
+
+    #[test]
+    fn absorbed_partials_reconstruct_the_single_stream_report() {
+        // Split the stream into even- and odd-indexed halves, run each
+        // alone, and merge the partials through disjoint index maps — in
+        // both orders. Both merges must equal the single-stream run on
+        // the result surface after normalization.
+        let (queries, data) = world();
+        let queue = Queue::new(DeviceProfile::host());
+        let runner = StreamRunner::new(EngineConfig::default(), 300_000);
+        let mut full = runner.run(&queries, data.iter().cloned(), &queue);
+        full.normalize();
+
+        let evens: Vec<LabeledGraph> = data.iter().step_by(2).cloned().collect();
+        let odds: Vec<LabeledGraph> = data.iter().skip(1).step_by(2).cloned().collect();
+        let map_e: Vec<usize> = (0..data.len()).step_by(2).collect();
+        let map_o: Vec<usize> = (1..data.len()).step_by(2).collect();
+        let part_e = runner.run(&queries, evens, &queue);
+        let part_o = runner.run(&queries, odds, &queue);
+
+        let merge = |first: (&StreamReport, &[usize]), second: (&StreamReport, &[usize])| {
+            let mut m = StreamReport::default();
+            m.absorb_partial(first.0, first.1);
+            m.absorb_partial(second.0, second.1);
+            m.normalize();
+            m
+        };
+        let eo = merge((&part_e, &map_e), (&part_o, &map_o));
+        let oe = merge((&part_o, &map_o), (&part_e, &map_e));
+        for m in [&eo, &oe] {
+            assert_eq!(m.total_matches, full.total_matches);
+            assert_eq!(m.matched_pair_list, full.matched_pair_list);
+            assert_eq!(m.pair_counts, full.pair_counts);
+            assert_eq!(m.truncated_graphs, full.truncated_graphs);
+            assert_eq!(m.molecules, full.molecules);
+            assert_eq!(m.completion, full.completion);
+            assert_eq!(m.quarantined, full.quarantined);
+        }
     }
 
     #[test]

@@ -9,10 +9,13 @@
 //!   attribute matches to query indices, so `[A, B]` and `[B, A]` are
 //!   different plans even though they are the same set.
 //! * [`ResultCache`] — per-molecule outcomes keyed by
-//!   `(plan, molecule, mode)`. Sound because a molecule's results are
-//!   batch-composition independent (DESIGN.md §9): complete outcomes are
-//!   exact, and step-budget partials are a deterministic property of the
-//!   molecule's own work-group.
+//!   `(plan, molecule, mode, shard epoch)`. Sound because a molecule's
+//!   results are batch-composition independent (DESIGN.md §9): complete
+//!   outcomes are exact, and step-budget partials are a deterministic
+//!   property of the molecule's own work-group. The shard epoch is the
+//!   corpus partition version: a repartition (molecule added/removed,
+//!   shard count changed) bumps it, so results merged under the old
+//!   partition can never be served against the new one (DESIGN.md §12).
 
 use sigmo_core::engine::EngineConfig;
 use sigmo_core::{MatchMode, QueryPlan};
@@ -92,6 +95,34 @@ impl MolStore {
     /// The stored representative for `id`.
     pub fn graph(&self, id: MolId) -> &LabeledGraph {
         &self.graphs[id as usize]
+    }
+
+    /// Looks up a molecule's id without interning it and without touching
+    /// the hit/miss counters (an administrative probe, not traffic).
+    pub fn lookup(&self, graph: &LabeledGraph) -> Option<MolId> {
+        if let Some(&id) = self.exact.get(&exact_key(graph)) {
+            return Some(id);
+        }
+        self.index.get(&canonical_code(graph)).copied()
+    }
+
+    /// Forgets the interning entries for `id`: later submissions of the
+    /// molecule (or any isomorphic variant) intern a *fresh* id. The
+    /// stored representative stays resolvable through [`MolStore::graph`]
+    /// so ids held by in-flight requests remain valid. Returns whether
+    /// the id had any live index entry. Callers that retire molecules
+    /// must bump the shard epoch (see `Server::remove_molecule`) so stale
+    /// cached results keyed to the old corpus become unreachable.
+    pub fn retire(&mut self, id: MolId) -> bool {
+        let before = self.exact.len() + self.index.len();
+        // sigmo-lint: allow(nondet-collection-iter) — set-membership
+        // retain; the surviving map is the same whatever order entries
+        // are visited in, and nothing here feeds a report.
+        self.exact.retain(|_, v| *v != id);
+        // sigmo-lint: allow(nondet-collection-iter) — same order-free
+        // retain over the canonical index.
+        self.index.retain(|_, v| *v != id);
+        before != self.exact.len() + self.index.len()
     }
 
     /// Number of distinct isomorphism classes stored.
@@ -192,9 +223,14 @@ pub struct MolOutcome {
     /// `(query index, matches)` for every query with ≥ 1 match, in plan
     /// query order.
     pub pairs: Vec<(usize, u64)>,
-    /// True when the molecule's work-group tripped its local step budget:
-    /// the counts are a deterministic lower bound, not a total.
+    /// True when the molecule's counts are a sound lower bound rather
+    /// than a total (its work-group tripped a budget, or its shard was
+    /// unavailable).
     pub truncated: bool,
+    /// True when the molecule's owning shard exhausted every replica
+    /// (sharded serving's degraded path): `pairs` is empty, the zero
+    /// counts are a sound lower bound, and the outcome is never cached.
+    pub unavailable: bool,
 }
 
 impl MolOutcome {
@@ -205,10 +241,13 @@ impl MolOutcome {
 }
 
 /// FIFO-evicting cache of per-molecule outcomes keyed by
-/// `(plan, molecule, mode)`.
+/// `(plan, molecule, mode, shard epoch)`. The epoch — the corpus
+/// partition version — is part of the key so a repartition invalidates
+/// every older entry wholesale: lookups under the new epoch miss, and the
+/// stale entries age out through normal FIFO eviction.
 pub struct ResultCache {
-    map: HashMap<(PlanId, MolId, MatchMode), Arc<MolOutcome>>,
-    order: VecDeque<(PlanId, MolId, MatchMode)>,
+    map: HashMap<(PlanId, MolId, MatchMode, u64), Arc<MolOutcome>>,
+    order: VecDeque<(PlanId, MolId, MatchMode, u64)>,
     capacity: usize,
     hits: u64,
     misses: u64,
@@ -227,9 +266,16 @@ impl ResultCache {
         }
     }
 
-    /// Looks up an outcome, counting the hit or miss.
-    pub fn get(&mut self, plan: PlanId, mol: MolId, mode: MatchMode) -> Option<Arc<MolOutcome>> {
-        match self.map.get(&(plan, mol, mode)) {
+    /// Looks up an outcome under the given shard epoch, counting the hit
+    /// or miss.
+    pub fn get(
+        &mut self,
+        plan: PlanId,
+        mol: MolId,
+        mode: MatchMode,
+        epoch: u64,
+    ) -> Option<Arc<MolOutcome>> {
+        match self.map.get(&(plan, mol, mode, epoch)) {
             Some(outcome) => {
                 self.hits += 1;
                 Some(Arc::clone(outcome))
@@ -241,12 +287,20 @@ impl ResultCache {
         }
     }
 
-    /// Inserts an outcome, evicting the oldest entry when full.
-    pub fn insert(&mut self, plan: PlanId, mol: MolId, mode: MatchMode, outcome: Arc<MolOutcome>) {
+    /// Inserts an outcome under the given shard epoch, evicting the
+    /// oldest entry when full.
+    pub fn insert(
+        &mut self,
+        plan: PlanId,
+        mol: MolId,
+        mode: MatchMode,
+        epoch: u64,
+        outcome: Arc<MolOutcome>,
+    ) {
         if self.capacity == 0 {
             return;
         }
-        let key = (plan, mol, mode);
+        let key = (plan, mol, mode, epoch);
         if self.map.insert(key, outcome).is_none() {
             self.order.push_back(key);
             if self.order.len() > self.capacity {
@@ -321,17 +375,51 @@ mod tests {
         let out = Arc::new(MolOutcome {
             pairs: vec![(0, 1)],
             truncated: false,
+            unavailable: false,
         });
-        cache.insert(0, 0, MatchMode::FindAll, Arc::clone(&out));
-        cache.insert(0, 1, MatchMode::FindAll, Arc::clone(&out));
-        cache.insert(0, 2, MatchMode::FindAll, Arc::clone(&out));
+        cache.insert(0, 0, MatchMode::FindAll, 0, Arc::clone(&out));
+        cache.insert(0, 1, MatchMode::FindAll, 0, Arc::clone(&out));
+        cache.insert(0, 2, MatchMode::FindAll, 0, Arc::clone(&out));
         assert_eq!(cache.len(), 2);
         assert!(
-            cache.get(0, 0, MatchMode::FindAll).is_none(),
+            cache.get(0, 0, MatchMode::FindAll, 0).is_none(),
             "oldest evicted"
         );
-        assert!(cache.get(0, 2, MatchMode::FindAll).is_some());
+        assert!(cache.get(0, 2, MatchMode::FindAll, 0).is_some());
         // Same molecule, different mode is a distinct key.
-        assert!(cache.get(0, 2, MatchMode::FindFirst).is_none());
+        assert!(cache.get(0, 2, MatchMode::FindFirst, 0).is_none());
+    }
+
+    #[test]
+    fn result_cache_epoch_partitions_the_key_space() {
+        let mut cache = ResultCache::new(8);
+        let out = Arc::new(MolOutcome {
+            pairs: vec![(1, 7)],
+            truncated: false,
+            unavailable: false,
+        });
+        cache.insert(0, 0, MatchMode::FindAll, 0, Arc::clone(&out));
+        // A repartition bumps the epoch: the old entry must not serve.
+        assert!(cache.get(0, 0, MatchMode::FindAll, 1).is_none());
+        assert!(cache.get(0, 0, MatchMode::FindAll, 0).is_some());
+        cache.insert(0, 0, MatchMode::FindAll, 1, Arc::clone(&out));
+        assert_eq!(cache.len(), 2, "epochs are distinct keys");
+    }
+
+    #[test]
+    fn mol_store_retire_forgets_interning_but_keeps_the_graph() {
+        let mut store = MolStore::new();
+        let a = chain(&[1, 3, 1]);
+        let b = LabeledGraph::from_edges(&[1, 3, 1], &[(2, 1), (1, 0)]).unwrap();
+        let ia = store.intern(&a);
+        assert_eq!(store.lookup(&a), Some(ia));
+        assert_eq!(store.lookup(&b), Some(ia), "canonical lookup");
+        assert!(store.retire(ia));
+        assert!(!store.retire(ia), "second retire is a no-op");
+        assert_eq!(store.lookup(&a), None, "retired entries are forgotten");
+        assert_eq!(store.graph(ia), &a, "the representative stays valid");
+        // Re-interning after retirement mints a fresh id.
+        let ia2 = store.intern(&a);
+        assert_ne!(ia, ia2);
     }
 }

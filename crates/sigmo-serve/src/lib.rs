@@ -15,6 +15,10 @@
 //!   codes), and the per-molecule result cache ([`cache::ResultCache`]).
 //! * [`sim`] — a deterministic virtual-clock load simulator and the
 //!   unbatched oracle the soak tests compare against.
+//! * [`shard`] — the sharded serving tier: the corpus partitioned across
+//!   simulated ranks with replica retry, seeded fault injection,
+//!   work-stealing, and graceful degradation — results bit-identical to
+//!   the unsharded fault-free oracle.
 //!
 //! The design contract (DESIGN.md §9): batching and caching are invisible
 //! to results. A molecule's outcome is a pure function of (plan, molecule,
@@ -25,12 +29,14 @@
 
 pub mod cache;
 pub mod server;
+pub mod shard;
 pub mod sim;
 
 pub use cache::{MolOutcome, MolStore, PlanCache, ResultCache};
 pub use server::{
     MatchRequest, RejectReason, RequestReport, ServeConfig, ServeStats, Server, StepOutcome,
 };
+pub use shard::{ShardConfig, ShardRouter, ShardStats, SliceDispatch};
 pub use sim::{
     generate_workload, oracle_replay, run_soak, served_outcome, OracleOutcome, SoakEntry,
     SoakReport, TimedRequest, WorkloadConfig,

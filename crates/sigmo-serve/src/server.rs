@@ -15,8 +15,9 @@
 //! against an unbatched oracle replay, bit for bit.
 
 use crate::cache::{MolId, MolOutcome, MolStore, PlanCache, PlanId, ResultCache};
+use crate::shard::{ShardConfig, ShardRouter, ShardStats};
 use sigmo_core::engine::EngineConfig;
-use sigmo_core::{Completion, MatchMode, RunBudget, StreamRunner, TruncationReason};
+use sigmo_core::{Completion, MatchMode, RunBudget, StreamReport, StreamRunner, TruncationReason};
 use sigmo_device::Queue;
 use sigmo_graph::LabeledGraph;
 use std::collections::HashMap;
@@ -113,6 +114,11 @@ pub struct ServeConfig {
     /// Master switch for deduplication: `false` disables the result cache
     /// and plan reuse (the no-cache ablation) while keeping batching.
     pub caching: bool,
+    /// Sharded serving tier: `Some` partitions the corpus across
+    /// simulated ranks with replica retry, work-stealing, and graceful
+    /// degradation (see [`crate::shard`]); `None` keeps the single-node
+    /// path bit-for-bit unchanged.
+    pub sharding: Option<ShardConfig>,
 }
 
 impl Default for ServeConfig {
@@ -126,6 +132,7 @@ impl Default for ServeConfig {
             max_request_molecules: 4096,
             result_cache_capacity: 1 << 16,
             caching: true,
+            sharding: None,
         }
     }
 }
@@ -144,10 +151,22 @@ struct Pending {
 pub struct StepOutcome {
     /// One report per drained request, in admission order.
     pub reports: Vec<RequestReport>,
+    /// Per-request completion offsets in virtual ticks from the step's
+    /// start, parallel to `reports`. Unsharded, every request completes
+    /// when the whole step does (`offset == service_ticks`); sharded,
+    /// each request finishes when its last shard-slice does, so requests
+    /// untouched by a fault keep their clean latency.
+    pub offsets: Vec<u64>,
     /// Molecules actually executed this step (after dedup).
     pub executed_molecules: usize,
     /// Micro-batch groups executed this step.
     pub batches: usize,
+    /// Deterministic virtual-clock cost of the whole step. Unsharded:
+    /// one tick per micro-batch group plus one per executed molecule
+    /// (the PR 5 accounting, unchanged bit for bit). Sharded: the
+    /// step's makespan across rank clocks — dispatches, backoff waits,
+    /// straggler-stretched service, and degraded give-ups included.
+    pub service_ticks: u64,
 }
 
 /// The batched request server. Single-threaded by design: determinism
@@ -159,6 +178,10 @@ pub struct Server {
     mols: MolStore,
     plans: PlanCache,
     results: ResultCache,
+    router: Option<ShardRouter>,
+    /// Corpus partition version: part of every result-cache key, bumped
+    /// by [`Server::repartition`] so stale merged results never serve.
+    epoch: u64,
     pending: Vec<Pending>,
     next_id: u64,
     admitted: u64,
@@ -175,12 +198,15 @@ impl Server {
         } else {
             0
         });
+        let router = config.sharding.clone().map(ShardRouter::new);
         Self {
             config,
             queue,
             mols: MolStore::new(),
             plans: PlanCache::new(),
             results,
+            router,
+            epoch: 0,
             pending: Vec::new(),
             next_id: 0,
             admitted: 0,
@@ -198,6 +224,40 @@ impl Server {
     /// Requests admitted but not yet stepped.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
+    }
+
+    /// The current shard epoch (corpus partition version).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Per-shard dispatch/latency records, when sharded.
+    pub fn shard_stats(&self) -> Option<&[ShardStats]> {
+        self.router.as_ref().map(|r| r.stats())
+    }
+
+    /// Bumps the shard epoch: molecule→shard ownership is re-drawn from
+    /// the new epoch's hash and every previously cached merged result —
+    /// keyed to the old epoch — becomes unreachable. Call after any
+    /// corpus change that moves molecules between shards.
+    pub fn repartition(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Removes a molecule from the corpus: its interning entries are
+    /// retired (later submissions mint a fresh id) and the partition is
+    /// versioned forward via [`Server::repartition`], so no cached result
+    /// computed against the old corpus can be served. Returns whether the
+    /// molecule was known.
+    pub fn remove_molecule(&mut self, molecule: &LabeledGraph) -> bool {
+        match self.mols.lookup(molecule) {
+            Some(id) => {
+                self.mols.retire(id);
+                self.repartition();
+                true
+            }
+            None => false,
+        }
     }
 
     /// Admission control: canonicalizes and enqueues the request, or
@@ -261,28 +321,51 @@ impl Server {
                 }
             }
         }
+        if let Some(router) = &mut self.router {
+            router.begin_step();
+        }
         let mut outcome = StepOutcome::default();
-        let mut reports: Vec<RequestReport> = Vec::with_capacity(drained.len());
+        let mut tagged: Vec<(RequestReport, u64)> = Vec::with_capacity(drained.len());
         for ((plan_id, mode), members) in &groups {
             let (executed, group_reports) = self.run_group(*plan_id, *mode, members);
             outcome.executed_molecules += executed;
             outcome.batches += 1;
-            reports.extend(group_reports);
+            tagged.extend(group_reports);
         }
-        reports.sort_by_key(|r| r.request_id);
+        tagged.sort_by_key(|(r, _)| r.request_id);
         self.executed += outcome.executed_molecules as u64;
         self.batches += outcome.batches as u64;
-        outcome.reports = reports;
+        outcome.service_ticks = match &self.router {
+            Some(router) => router.step_makespan(),
+            // PR 5 accounting, bit for bit: one tick per group, one per
+            // executed molecule.
+            None => (outcome.batches + outcome.executed_molecules) as u64,
+        };
+        if self.router.is_none() {
+            // Unsharded the step is one indivisible batch: every request
+            // completes when the step does.
+            for t in &mut tagged {
+                t.1 = outcome.service_ticks;
+            }
+        }
+        for (report, offset) in tagged {
+            outcome.reports.push(report);
+            outcome.offsets.push(offset);
+        }
         outcome
     }
 
-    /// Executes one `(plan, mode)` group and scatters its reports.
+    /// Executes one `(plan, mode)` group and scatters its reports, each
+    /// tagged with its completion offset in virtual ticks from the step's
+    /// start (the max finish tick over the request's executed molecules;
+    /// 0 for fully cached requests and every unsharded request — the
+    /// caller overwrites the latter with the step's service ticks).
     fn run_group(
         &mut self,
         plan_id: PlanId,
         mode: MatchMode,
         members: &[&Pending],
-    ) -> (usize, Vec<RequestReport>) {
+    ) -> (usize, Vec<(RequestReport, u64)>) {
         // Gather the molecules to execute: with caching, each uncached
         // class once; without, every occurrence (the ablation re-derives
         // everything, including repeats inside one window).
@@ -296,7 +379,7 @@ impl Server {
                         continue;
                     }
                     seen.insert(m, ());
-                    match self.results.get(plan_id, m, mode) {
+                    match self.results.get(plan_id, m, mode, self.epoch) {
                         Some(out) => {
                             cached.insert(m, out);
                         }
@@ -310,7 +393,13 @@ impl Server {
             }
         }
 
-        let (fresh, cacheable) = self.execute(plan_id, mode, &exec);
+        let (fresh, cacheable, finishes) = if self.router.is_some() {
+            self.execute_sharded(plan_id, mode, &exec)
+        } else {
+            let (fresh, cacheable) = self.execute(plan_id, mode, &exec);
+            let finishes = vec![0u64; exec.len()];
+            (fresh, cacheable, finishes)
+        };
         if self.config.caching {
             // Complete outcomes are exact; step-budget partials are a
             // deterministic property of the molecule's own work-group.
@@ -318,15 +407,20 @@ impl Server {
             // wall-clock- or batch-dependent and never reach the cache.
             for ((&m, out), &ok) in exec.iter().zip(&fresh).zip(&cacheable) {
                 if ok {
-                    self.results.insert(plan_id, m, mode, Arc::clone(out));
+                    self.results
+                        .insert(plan_id, m, mode, self.epoch, Arc::clone(out));
                 }
             }
         }
 
         // Scatter: walk each request's molecules in order, pulling from
         // the cache map or the freshly executed outcomes.
-        let fresh_by_id: HashMap<MolId, &Arc<MolOutcome>> = if self.config.caching {
-            exec.iter().copied().zip(fresh.iter()).collect()
+        let fresh_pos: HashMap<MolId, usize> = if self.config.caching {
+            exec.iter()
+                .copied()
+                .enumerate()
+                .map(|(i, m)| (m, i))
+                .collect()
         } else {
             HashMap::new()
         };
@@ -342,6 +436,7 @@ impl Server {
                 cached_molecules: 0,
                 executed_molecules: 0,
             };
+            let mut offset = 0u64;
             for (local, &m) in p.mols.iter().enumerate() {
                 let out: &MolOutcome = if self.config.caching {
                     match cached.get(&m) {
@@ -351,12 +446,15 @@ impl Server {
                         }
                         None => {
                             report.executed_molecules += 1;
-                            fresh_by_id[&m]
+                            let pos = fresh_pos[&m];
+                            offset = offset.max(finishes[pos]);
+                            &fresh[pos]
                         }
                     }
                 } else {
                     report.executed_molecules += 1;
                     let out = &fresh[occurrence];
+                    offset = offset.max(finishes[occurrence]);
                     occurrence += 1;
                     out
                 };
@@ -364,14 +462,22 @@ impl Server {
                     report.pair_counts.push((local, q, n));
                     report.total_matches += n;
                 }
-                if out.truncated {
+                if out.unavailable {
+                    // Shard gave up after exhausting every replica: the
+                    // zero counts are a sound lower bound, flagged with
+                    // the dedicated reason so callers can re-submit.
+                    report.truncated_molecules.push(local);
+                    report.completion = report
+                        .completion
+                        .merge(Completion::Truncated(TruncationReason::ShardUnavailable));
+                } else if out.truncated {
                     report.truncated_molecules.push(local);
                     report.completion = report
                         .completion
                         .merge(Completion::Truncated(TruncationReason::StepBudget));
                 }
             }
-            reports.push(report);
+            reports.push((report, offset));
         }
         (exec.len(), reports)
     }
@@ -405,6 +511,7 @@ impl Server {
             .map(|_| MolOutcome {
                 pairs: Vec::new(),
                 truncated: false,
+                unavailable: false,
             })
             .collect();
         for &(d, q, n) in &report.pair_counts {
@@ -426,6 +533,107 @@ impl Server {
             }
         }
         (outcomes.into_iter().map(Arc::new).collect(), cacheable)
+    }
+
+    /// Sharded variant of [`Server::execute`]: splits `exec` into
+    /// per-shard slices by epoch-hashed ownership, schedules each slice
+    /// through the [`ShardRouter`] (replica retry, work-stealing, seeded
+    /// faults on the virtual clock), runs the surviving slices through
+    /// the unchanged streamed engine, and folds the partial reports back
+    /// into `exec` order with [`StreamReport::absorb_partial`] /
+    /// [`StreamReport::normalize`] — bit-identical to the unsharded path.
+    /// Returns outcomes, the cacheability mask, and each molecule's
+    /// finish tick (its slice's completion, relative to the step start).
+    fn execute_sharded(
+        &mut self,
+        plan_id: PlanId,
+        mode: MatchMode,
+        exec: &[MolId],
+    ) -> (Vec<Arc<MolOutcome>>, Vec<bool>, Vec<u64>) {
+        if exec.is_empty() {
+            return (Vec::new(), Vec::new(), Vec::new());
+        }
+        let num_shards = self.router.as_ref().expect("sharded path").num_shards();
+        // Partition the exec *positions* by owning shard; iterating the
+        // Vec in shard order keeps the dispatch trace deterministic.
+        let mut slices: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
+        for (pos, &m) in exec.iter().enumerate() {
+            let shard = self
+                .router
+                .as_ref()
+                .expect("sharded path")
+                .owner(m, self.epoch);
+            slices[shard].push(pos);
+        }
+        let mut merged = StreamReport::default();
+        let mut finishes = vec![0u64; exec.len()];
+        let mut degraded: Vec<usize> = Vec::new();
+        for (shard, slice) in slices.iter().enumerate() {
+            if slice.is_empty() {
+                continue;
+            }
+            let dispatch = self
+                .router
+                .as_mut()
+                .expect("sharded path")
+                .schedule_slice(shard, slice.len());
+            for &pos in slice {
+                finishes[pos] = dispatch.finish;
+            }
+            if dispatch.rank.is_none() {
+                // Every replica exhausted: the slice degrades to zero
+                // counts instead of failing the batch.
+                degraded.extend(slice.iter().copied());
+                continue;
+            }
+            let mut cfg = self.config.engine.clone();
+            cfg.mode = mode;
+            let runner = StreamRunner::new(cfg, self.config.memory_budget)
+                .with_budget(self.config.budget.clone());
+            let mols: Vec<LabeledGraph> = slice
+                .iter()
+                .map(|&pos| self.mols.graph(exec[pos]).clone())
+                .collect();
+            let part = if self.config.caching {
+                let plan = self.plans.plan(plan_id);
+                runner.run_with_plan(&plan, mols, &self.queue)
+            } else {
+                runner.run(self.plans.queries(plan_id), mols, &self.queue)
+            };
+            merged.absorb_partial(&part, slice);
+        }
+        merged.normalize();
+        let mut outcomes: Vec<MolOutcome> = exec
+            .iter()
+            .map(|_| MolOutcome {
+                pairs: Vec::new(),
+                truncated: false,
+                unavailable: false,
+            })
+            .collect();
+        for &(d, q, n) in &merged.pair_counts {
+            outcomes[d].pairs.push((q, n));
+        }
+        for &d in &merged.truncated_graphs {
+            outcomes[d].truncated = true;
+        }
+        let mut cacheable = vec![true; exec.len()];
+        for quarantined in &merged.quarantined {
+            if quarantined.reason != TruncationReason::StepBudget {
+                outcomes[quarantined.index].truncated = true;
+                cacheable[quarantined.index] = false;
+            }
+        }
+        for pos in degraded {
+            outcomes[pos].truncated = true;
+            outcomes[pos].unavailable = true;
+            cacheable[pos] = false;
+        }
+        (
+            outcomes.into_iter().map(Arc::new).collect(),
+            cacheable,
+            finishes,
+        )
     }
 
     /// Aggregate cache and admission counters.

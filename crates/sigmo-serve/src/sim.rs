@@ -51,6 +51,12 @@ pub struct WorkloadConfig {
     pub mean_interarrival: u64,
     /// Percentage of requests issued in Find First mode.
     pub find_first_pct: u64,
+    /// Popularity skew: each molecule pick is the *min* of `1 + skew`
+    /// uniform draws, biasing traffic toward low pool indices (and so
+    /// toward a few hot shards). `0` is the uniform trace — exactly one
+    /// draw per molecule, byte-identical to traces generated before this
+    /// knob existed.
+    pub pool_skew: u32,
 }
 
 impl Default for WorkloadConfig {
@@ -64,6 +70,7 @@ impl Default for WorkloadConfig {
             max_request_molecules: 12,
             mean_interarrival: 4,
             find_first_pct: 25,
+            pool_skew: 0,
         }
     }
 }
@@ -105,7 +112,13 @@ pub fn generate_workload(cfg: &WorkloadConfig) -> Vec<TimedRequest> {
         let set = (splitmix64(&mut state) as usize) % sets.len();
         let n_mols = 1 + (splitmix64(&mut state) as usize) % cfg.max_request_molecules;
         let molecules = (0..n_mols)
-            .map(|_| pool[(splitmix64(&mut state) as usize) % pool.len()].clone())
+            .map(|_| {
+                let mut idx = (splitmix64(&mut state) as usize) % pool.len();
+                for _ in 0..cfg.pool_skew {
+                    idx = idx.min((splitmix64(&mut state) as usize) % pool.len());
+                }
+                pool[idx].clone()
+            })
             .collect();
         let mode = if splitmix64(&mut state) % 100 < cfg.find_first_pct {
             MatchMode::FindFirst
@@ -133,7 +146,8 @@ pub struct SoakEntry {
     pub request_id: u64,
     /// Arrival tick (from the trace).
     pub arrival: u64,
-    /// Tick at which the request's step completed.
+    /// Tick at which the request completed: the end of its step
+    /// (unsharded), or its last shard-slice's finish tick (sharded).
     pub completed: u64,
     /// The served report.
     pub report: RequestReport,
@@ -190,10 +204,14 @@ pub fn run_soak(server: &mut Server, trace: &[TimedRequest]) -> SoakReport {
         }
         let outcome = server.step();
         report.steps += 1;
-        // Deterministic service cost: one dispatch tick per micro-batch
-        // group plus one tick per executed molecule.
-        clock += outcome.batches as u64 + outcome.executed_molecules as u64;
-        for served in outcome.reports {
+        // Deterministic service cost, from the step itself: unsharded,
+        // one dispatch tick per micro-batch group plus one tick per
+        // executed molecule (every request completes at the step's end);
+        // sharded, the step's makespan across rank clocks, with each
+        // request completing at its own slice-finish offset.
+        let step_start = clock;
+        clock += outcome.service_ticks;
+        for (served, offset) in outcome.reports.into_iter().zip(outcome.offsets) {
             let pos = inflight
                 .iter()
                 .position(|&(_, id, _)| id == served.request_id)
@@ -203,7 +221,7 @@ pub fn run_soak(server: &mut Server, trace: &[TimedRequest]) -> SoakReport {
                 trace_index,
                 request_id,
                 arrival,
-                completed: clock,
+                completed: step_start + offset,
                 report: served,
             });
         }

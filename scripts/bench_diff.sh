@@ -3,6 +3,10 @@
 # compares per-phase wall times (plus the refine_candidates kernel wall
 # and the match totals) against the committed BENCH_pipeline.json.
 # Fails on a >25% phase regression or any drift in the match totals.
+# Also gates the serving soak (BENCH_serve.json), the adaptive-join
+# ablation (BENCH_adaptive.json), and the sharded fault soak
+# (BENCH_shard.json) — each skipped with a notice when its baseline is
+# not committed; virtual-clock quantities must match exactly.
 #
 # Environment:
 #   SIGMO_BENCH_SCALE          must match the committed baseline's scale

@@ -26,11 +26,18 @@
 #                                 fixed combo ≥1.3× and stay ≤1.05× the
 #                                 per-scenario oracle (output diverted to
 #                                 target/ like the serve soak)
-#   9. scripts/bench_diff.sh      per-phase wall-time regression gate vs
+#   9. ext_shard_soak             sharded fault soak: static/stealing/
+#                                 light-fault/heavy-fault configurations
+#                                 must match the unsharded oracle bit for
+#                                 bit with zero degraded slices, and
+#                                 stealing must cut the hot shard's peak
+#                                 backlog (output diverted to target/)
+#  10. scripts/bench_diff.sh      per-phase wall-time regression gate vs
 #                                 the committed BENCH_pipeline.json,
-#                                 BENCH_serve.json, and BENCH_adaptive.json
+#                                 BENCH_serve.json, BENCH_adaptive.json,
+#                                 and BENCH_shard.json
 #
-# `--fast` skips the bench stages (5-9) for quick pre-push runs. The lint
+# `--fast` skips the bench stages (5-10) for quick pre-push runs. The lint
 # stage is NOT skipped: the determinism audit is cheap (sub-second scan,
 # <5 s budget enforced in its own tests) and is exactly the check that
 # must not be skippable in a hurry.
@@ -81,6 +88,8 @@ if [ "$LINT_ONLY" -eq 0 ] && [ "$FAST" -eq 0 ]; then
         cargo run -q --release -p sigmo-bench --bin ext_serve_soak
     stage adaptive env SIGMO_BENCH_ADAPTIVE_OUT=target/BENCH_adaptive.fresh.json \
         cargo run -q --release -p sigmo-bench --bin ext_adaptive
+    stage shard-soak env SIGMO_BENCH_SHARD_OUT=target/BENCH_shard.fresh.json \
+        cargo run -q --release -p sigmo-bench --bin ext_shard_soak
     stage bench-diff scripts/bench_diff.sh
 fi
 if [ "$LINT_ONLY" -eq 0 ] && [ "$PATHOLOGICAL" -eq 1 ]; then

@@ -14,6 +14,7 @@
 //! integration-test file runs as its own process, so the env var cannot
 //! race another test.
 
+use sigmo::cluster::FaultPlan;
 use sigmo::core::{
     Completion, Engine, EngineConfig, FilterMode, Governor, JoinStrategy, RunBudget,
     StrategyCounts, TruncationReason,
@@ -23,7 +24,7 @@ use sigmo::graph::LabeledGraph;
 use sigmo::mol::{functional_groups, MoleculeGenerator};
 use sigmo::serve::{
     generate_workload, run_soak, served_outcome, OracleOutcome, RejectReason, ServeConfig, Server,
-    WorkloadConfig,
+    ShardConfig, WorkloadConfig,
 };
 use std::sync::Mutex;
 
@@ -266,6 +267,7 @@ fn run_serve_soak(threads: &str) -> SoakTrace {
         max_request_molecules: 6,
         mean_interarrival: 1, // enough pressure to exercise backpressure
         find_first_pct: 25,
+        pool_skew: 0,
     });
     let config = ServeConfig {
         queue_capacity: 16,
@@ -330,6 +332,93 @@ fn serve_soak_is_identical_across_thread_counts() {
     );
     let matched: u64 = a.0.iter().map(|(_, _, _, o)| o.total_matches).sum();
     assert!(matched > 0, "soak produced no matches — test is vacuous");
+}
+
+/// A sharded soak under seeded faults and skewed popularity, admitting
+/// the whole trace so sharded and unsharded runs serve identical request
+/// sets. Returns the same full observable surface as [`run_serve_soak`].
+fn run_sharded_soak(threads: &str, sharding: Option<ShardConfig>) -> SoakTrace {
+    std::env::set_var("RAYON_NUM_THREADS", threads);
+    let trace = generate_workload(&WorkloadConfig {
+        requests: 48,
+        seed: 0xbead,
+        mol_pool: 24,
+        query_sets: 3,
+        queries_per_set: 6,
+        max_request_molecules: 6,
+        mean_interarrival: 1,
+        find_first_pct: 25,
+        pool_skew: 2, // hot molecules → hot shards → stealing exercised
+    });
+    let config = ServeConfig {
+        queue_capacity: 4096, // admit everything: entry sets must match
+        max_batch_requests: 8,
+        budget: RunBudget::none().with_step_budget(25),
+        sharding,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::new(config, Queue::new(DeviceProfile::host()));
+    let soak = run_soak(&mut server, &trace);
+    (
+        soak.entries
+            .iter()
+            .map(|e| {
+                (
+                    e.trace_index,
+                    e.completed,
+                    e.report.completion,
+                    served_outcome(&e.report),
+                )
+            })
+            .collect(),
+        soak.rejected,
+        soak.final_tick,
+    )
+}
+
+/// One crashed rank, one straggler, a 25% transient rate — replicas
+/// absorb all of it for any shard count ≥ 2.
+fn faulty_sharding(shards: usize) -> ShardConfig {
+    let mut fault = FaultPlan::none(shards);
+    fault.crashed.insert(0);
+    fault.stragglers.insert(shards - 1, 3.0);
+    ShardConfig::new(shards, 2)
+        .with_fault(fault)
+        .with_transient_pct(25)
+}
+
+#[test]
+fn sharded_soak_is_identical_across_thread_counts_and_shard_counts() {
+    // The sharded tier adds routing, replica failover, seeded transient
+    // draws, backoff arithmetic, and work-stealing on top of the serving
+    // stack — and none of it may leak the rayon thread count into the
+    // trace surface (results, completion ticks, final tick). 3 and 5
+    // shards exercise different placements, ownership draws, and steal
+    // opportunities.
+    let _guard = ENV_LOCK.lock().unwrap();
+    let mut baseline: Option<SoakTrace> = None;
+    for shards in [3usize, 5] {
+        let a = run_sharded_soak("1", Some(faulty_sharding(shards)));
+        for threads in ["2", "4", "8"] {
+            let b = run_sharded_soak(threads, Some(faulty_sharding(shards)));
+            assert_eq!(
+                a, b,
+                "sharded trace diverged between 1 and {threads} threads at {shards} shards"
+            );
+        }
+        // Shard-count-independent *results*: per-request outcomes and
+        // statuses must match the unsharded serve of the same trace
+        // (clock ticks legitimately differ — routing costs time).
+        let unsharded = baseline.get_or_insert_with(|| run_sharded_soak("1", None));
+        assert_eq!(a.1, unsharded.1, "rejections must match (both empty)");
+        assert_eq!(a.0.len(), unsharded.0.len());
+        for ((si, _, sc, so), (ui, _, uc, uo)) in a.0.iter().zip(&unsharded.0) {
+            assert_eq!(si, ui);
+            assert_eq!(sc, uc, "request {si} status diverged under sharding");
+            assert_eq!(so, uo, "request {si} outcome diverged under sharding");
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
 }
 
 #[test]

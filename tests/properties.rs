@@ -534,6 +534,86 @@ proptest! {
         }
     }
 
+    /// Shard-partial [`sigmo::core::StreamReport`]s with disjoint index
+    /// maps merge order-invariantly: absorbing them in any order and
+    /// normalizing yields identical totals, pair lists, truncated sets,
+    /// quarantine records, and completion — the invariant the sharded
+    /// serving tier's scatter/gather rests on.
+    #[test]
+    fn shard_partial_reports_merge_order_invariantly(
+        shards in 1usize..5,
+        n in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        use sigmo::core::{Completion, Quarantined, StreamReport, TruncationReason};
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Disjoint index maps: each global molecule index lands in
+        // exactly one shard's slice, in ascending order per slice.
+        let mut maps: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for global in 0..n {
+            maps[rng.gen_range(0..shards)].push(global);
+        }
+        let mut partials: Vec<(StreamReport, Vec<usize>)> = Vec::new();
+        for map in maps.into_iter().filter(|m| !m.is_empty()) {
+            let mut part = StreamReport {
+                chunks: rng.gen_range(1..4usize),
+                molecules: map.len(),
+                peak_chunk_bytes: rng.gen_range(0..1000u64),
+                retried_chunks: rng.gen_range(0..3usize),
+                strategy_retries: rng.gen_range(0..3usize),
+                ..StreamReport::default()
+            };
+            for local in 0..map.len() {
+                for q in 0..rng.gen_range(0..3usize) {
+                    let count = rng.gen_range(1..10u64);
+                    part.pair_counts.push((local, q, count));
+                    part.matched_pair_list.push((local, q));
+                    part.total_matches += count;
+                }
+                if rng.gen_range(0..10u32) < 3 {
+                    part.truncated_graphs.push(local);
+                    part.completion = Completion::Truncated(TruncationReason::StepBudget);
+                }
+                if rng.gen_range(0..20u32) < 3 {
+                    part.quarantined.push(Quarantined {
+                        index: local,
+                        reason: TruncationReason::StepBudget,
+                        partial_matches: rng.gen_range(0..5u64),
+                    });
+                }
+            }
+            partials.push((part, map));
+        }
+        let merge = |order: &[usize]| {
+            let mut merged = StreamReport::default();
+            for &i in order {
+                let (part, map) = &partials[i];
+                merged.absorb_partial(part, map);
+            }
+            merged.normalize();
+            merged
+        };
+        let forward: Vec<usize> = (0..partials.len()).collect();
+        let mut shuffled = forward.clone();
+        shuffled.shuffle(&mut rng);
+        let a = merge(&forward);
+        let b = merge(&shuffled);
+        prop_assert_eq!(a.total_matches, b.total_matches);
+        prop_assert_eq!(a.matched_pair_list, b.matched_pair_list);
+        prop_assert_eq!(a.pair_counts, b.pair_counts);
+        prop_assert_eq!(a.truncated_graphs, b.truncated_graphs);
+        prop_assert_eq!(a.quarantined, b.quarantined);
+        prop_assert_eq!(a.completion, b.completion);
+        prop_assert_eq!(a.chunks, b.chunks);
+        prop_assert_eq!(a.molecules, b.molecules);
+        prop_assert_eq!(a.peak_chunk_bytes, b.peak_chunk_bytes);
+        prop_assert_eq!(a.retried_chunks, b.retried_chunks);
+        prop_assert_eq!(a.strategy_retries, b.strategy_retries);
+        prop_assert_eq!(a.molecules, n, "every molecule lands in one slice");
+    }
+
     /// Extracted queries always match their source molecule (the engine
     /// must find at least one embedding).
     #[test]

@@ -45,6 +45,7 @@ fn seeded_1k_trace_is_bit_identical_to_unbatched_oracle() {
         max_request_molecules: 8,
         mean_interarrival: 3,
         find_first_pct: 25,
+        pool_skew: 0,
     });
     let config = ServeConfig {
         queue_capacity: 4096, // admit the whole trace: every request gets an oracle verdict
