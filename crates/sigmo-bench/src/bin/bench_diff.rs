@@ -190,6 +190,7 @@ fn main() {
     check_serve(scale, &mut failures);
     check_adaptive(scale, &mut failures);
     check_shard(scale, &mut failures);
+    check_index(scale, &mut failures);
 
     if failures.is_empty() {
         println!("bench_diff: no regression vs {baseline_path}");
@@ -362,6 +363,77 @@ fn check_shard(scale: BenchScale, failures: &mut Vec<String>) {
                 "shard {key}: fresh {fresh_v} != committed {committed} \
                  (virtual-clock quantities must be bit-identical)"
             ));
+        }
+    }
+}
+
+/// Corpus-screening gate against `BENCH_index.json` (skipped with a
+/// notice when no baseline is committed). The run itself re-asserts
+/// soundness (indexed and index-off match totals identical), the ≥5×
+/// payoff at the largest corpus, and the sublinear screening wall (see
+/// `index_bench`); here the deterministic quantities — survivors and
+/// match totals per tier — must match the committed baseline exactly,
+/// and the per-tier walls get the standard `× 1.25 + 10 ms` slack.
+fn check_index(scale: BenchScale, failures: &mut Vec<String>) {
+    let path = std::env::var("SIGMO_BENCH_INDEX_BASELINE")
+        .unwrap_or_else(|_| "BENCH_index.json".to_string());
+    let base = match std::fs::read_to_string(&path) {
+        Ok(b) => b,
+        Err(_) => {
+            println!("bench_diff: no {path}, skipping the index gate");
+            return;
+        }
+    };
+    let committed_scale = find_str(&base, "scale");
+    let fresh_scale = format!("{scale:?}");
+    assert_eq!(
+        committed_scale, fresh_scale,
+        "index baseline was recorded at scale {committed_scale} but this run is {fresh_scale}"
+    );
+    let fresh = sigmo_bench::index_bench::run_index_bench(scale);
+    let committed_planted = find_f64(&base, "planted") as usize;
+    if committed_planted != fresh.planted {
+        failures.push(format!(
+            "index planted: fresh {} != committed {committed_planted}",
+            fresh.planted
+        ));
+    }
+    println!(
+        "{:<26} {:>12} {:>12} {:>12}  status",
+        "index wall", "committed_s", "fresh_min_s", "limit_s"
+    );
+    for t in &fresh.tiers {
+        let n = t.corpus;
+        for (key, fresh_v) in [
+            (format!("survivors_{n}"), t.survivors as u64),
+            (format!("total_matches_{n}"), t.total_matches),
+        ] {
+            let committed = find_f64(&base, &key) as u64;
+            if committed != fresh_v {
+                failures.push(format!(
+                    "index {key}: fresh {fresh_v} != committed {committed} \
+                     (screening decisions must be bit-identical)"
+                ));
+            }
+        }
+        for (key, fresh_s) in [
+            (format!("wall_build_{n}_s"), t.build_wall_s),
+            (format!("wall_screen_{n}_s"), t.screen_wall_s),
+            (format!("wall_indexed_{n}_s"), t.indexed_wall_s),
+            (format!("wall_off_{n}_s"), t.off_wall_s),
+        ] {
+            let committed = find_f64(&base, &key);
+            let limit = committed * REL_LIMIT + ABS_SLACK_S;
+            let ok = fresh_s <= limit;
+            println!(
+                "{key:<26} {committed:>12.6} {fresh_s:>12.6} {limit:>12.6}  {}",
+                if ok { "ok" } else { "REGRESSED" }
+            );
+            if !ok {
+                failures.push(format!(
+                    "{key}: fresh {fresh_s:.6}s > limit {limit:.6}s (committed {committed:.6}s)"
+                ));
+            }
         }
     }
 }

@@ -16,6 +16,7 @@
 
 pub mod adaptive_bench;
 pub mod figures;
+pub mod index_bench;
 pub mod scale;
 pub mod serve_bench;
 pub mod shard_bench;

@@ -19,6 +19,10 @@ pub enum Command {
     /// Serve a workload and verify every request against the unbatched
     /// oracle.
     Replay,
+    /// Build a persistent signature index over a molecule file.
+    IndexBuild,
+    /// Print the header and section statistics of a persisted index.
+    IndexStat,
 }
 
 impl Command {
@@ -52,6 +56,8 @@ pub enum ArgError {
     UnknownCommand(String),
     /// A `--flag` without a value, or a stray positional token.
     Malformed(String),
+    /// `index` without a `build`/`stat` action, or an unknown action.
+    BadIndexAction(Option<String>),
     /// A flag appeared twice.
     Duplicate(String),
     /// A required flag is absent.
@@ -73,10 +79,14 @@ impl fmt::Display for ArgError {
             ArgError::MissingCommand => {
                 write!(
                     f,
-                    "usage: sigmo <match|screen|generate|info|serve|replay> [--flag value]..."
+                    "usage: sigmo <match|screen|generate|info|serve|replay|index> [--flag value]..."
                 )
             }
             ArgError::UnknownCommand(c) => write!(f, "unknown command {c:?}"),
+            ArgError::BadIndexAction(a) => match a {
+                Some(a) => write!(f, "unknown index action {a:?} (expected build or stat)"),
+                None => write!(f, "usage: sigmo index <build|stat> [--flag value]..."),
+            },
             ArgError::Malformed(t) => write!(f, "malformed argument {t:?} (expected --flag value)"),
             ArgError::Duplicate(fl) => write!(f, "flag --{fl} given twice"),
             ArgError::MissingOption(fl) => write!(f, "required flag --{fl} missing"),
@@ -97,7 +107,16 @@ impl std::error::Error for ArgError {}
 pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgError> {
     let mut it = args.iter();
     let cmd = it.next().ok_or(ArgError::MissingCommand)?;
-    let command = Command::from_str(cmd).ok_or_else(|| ArgError::UnknownCommand(cmd.clone()))?;
+    // `index` is the one two-token command: an action word follows it.
+    let command = if cmd == "index" {
+        match it.next().map(String::as_str) {
+            Some("build") => Command::IndexBuild,
+            Some("stat") => Command::IndexStat,
+            other => return Err(ArgError::BadIndexAction(other.map(str::to_string))),
+        }
+    } else {
+        Command::from_str(cmd).ok_or_else(|| ArgError::UnknownCommand(cmd.clone()))?
+    };
     let mut options = BTreeMap::new();
     while let Some(tok) = it.next() {
         let flag = tok
@@ -192,6 +211,23 @@ mod tests {
         assert_eq!(a.get_parsed("seed", 7u64, "an integer").unwrap(), 7);
         let bad = parse_args(&strs(&["generate", "--count", "xx"])).unwrap();
         assert!(bad.get_parsed("count", 1usize, "an integer").is_err());
+    }
+
+    #[test]
+    fn parses_index_actions() {
+        let a = parse_args(&strs(&["index", "build", "--data", "d.smi"])).unwrap();
+        assert_eq!(a.command, Command::IndexBuild);
+        assert_eq!(a.get("data"), Some("d.smi"));
+        let a = parse_args(&strs(&["index", "stat", "--index", "c.sigmoidx"])).unwrap();
+        assert_eq!(a.command, Command::IndexStat);
+        assert_eq!(
+            parse_args(&strs(&["index"])),
+            Err(ArgError::BadIndexAction(None))
+        );
+        assert_eq!(
+            parse_args(&strs(&["index", "frobnicate"])),
+            Err(ArgError::BadIndexAction(Some("frobnicate".into())))
+        );
     }
 
     #[test]

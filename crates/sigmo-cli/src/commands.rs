@@ -9,8 +9,8 @@ use sigmo_device::{DeviceProfile, Queue};
 use sigmo_graph::LabeledGraph;
 use sigmo_mol::{descriptors, GeneratorConfig, MoleculeGenerator};
 use sigmo_serve::{
-    generate_workload, oracle_replay, run_soak, served_outcome, ServeConfig, Server, ShardConfig,
-    WorkloadConfig,
+    generate_workload, oracle_replay, run_soak, served_outcome, FrozenIndex, IndexConfig, MolStore,
+    ServeConfig, Server, ShardConfig, WorkloadConfig,
 };
 use std::fmt;
 use std::fmt::Write as _;
@@ -21,8 +21,9 @@ use std::time::Duration;
 pub struct CommandOutput {
     /// Text printed to stdout.
     pub stdout: String,
-    /// Files to write: `(path, contents)`.
-    pub files: Vec<(String, String)>,
+    /// Files to write: `(path, contents)` — bytes, so binary index files
+    /// and text formats share one channel.
+    pub files: Vec<(String, Vec<u8>)>,
 }
 
 /// CLI-level errors.
@@ -32,6 +33,9 @@ pub enum CliError {
     Args(ArgError),
     /// File problems.
     Io(IoError),
+    /// Signature-index problems (bad file, schema mismatch, preload into
+    /// a non-empty server).
+    Index(String),
 }
 
 impl fmt::Display for CliError {
@@ -39,6 +43,7 @@ impl fmt::Display for CliError {
         match self {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "{e}"),
+            CliError::Index(e) => write!(f, "index: {e}"),
         }
     }
 }
@@ -132,6 +137,8 @@ pub fn run_command(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
         Command::Info => cmd_info(args),
         Command::Serve => cmd_serve(args),
         Command::Replay => cmd_replay(args),
+        Command::IndexBuild => cmd_index_build(args),
+        Command::IndexStat => cmd_index_stat(args),
     }
 }
 
@@ -181,9 +188,33 @@ fn serve_setup(args: &ParsedArgs) -> Result<(ServeConfig, WorkloadConfig), ArgEr
         )?,
         caching: args.get_parsed("cache", true, "true or false")?,
         sharding: shard_setup(args)?,
+        index: if args.get_parsed("no-index", false, "true or false")? {
+            None
+        } else {
+            Some(IndexConfig {
+                radius: args.get_parsed(
+                    "index-radius",
+                    IndexConfig::default().radius,
+                    "an integer ≥ 0",
+                )?,
+            })
+        },
         ..serve_defaults
     };
     Ok((config, workload))
+}
+
+/// Loads a persisted `--index` file when the flag is given.
+fn load_frozen(args: &ParsedArgs) -> Result<Option<FrozenIndex>, CliError> {
+    match args.get("index") {
+        None => Ok(None),
+        Some(path) => {
+            let bytes = std::fs::read(path).map_err(|e| CliError::Io(IoError::Fs(e)))?;
+            let frozen =
+                FrozenIndex::open(bytes).map_err(|e| CliError::Index(format!("{path}: {e}")))?;
+            Ok(Some(frozen))
+        }
+    }
 }
 
 /// Builds the sharded-tier configuration from `--shards` and friends.
@@ -332,12 +363,25 @@ fn serve_summary(
         stats.executed_molecules, stats.batches
     )
     .unwrap();
+    if stats.index_screened > 0 {
+        writeln!(
+            out,
+            "index screening: {} screened, {} pruned ({:.1}%)",
+            stats.index_screened,
+            stats.index_pruned,
+            100.0 * stats.index_pruned as f64 / stats.index_screened as f64
+        )
+        .unwrap();
+    }
 }
 
 fn cmd_serve(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
     let (config, workload) = serve_setup(args)?;
     let trace = generate_workload(&workload);
     let mut server = Server::new(config, Queue::new(DeviceProfile::host()));
+    if let Some(frozen) = load_frozen(args)? {
+        server.preload_index(&frozen).map_err(CliError::Index)?;
+    }
     let soak = run_soak(&mut server, &trace);
     let mut out = String::new();
     serve_summary(&mut out, &soak, &server.stats());
@@ -354,6 +398,9 @@ fn cmd_replay(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
     let (config, workload) = serve_setup(args)?;
     let trace = generate_workload(&workload);
     let mut server = Server::new(config.clone(), Queue::new(DeviceProfile::host()));
+    if let Some(frozen) = load_frozen(args)? {
+        server.preload_index(&frozen).map_err(CliError::Index)?;
+    }
     let soak = run_soak(&mut server, &trace);
     let queue = Queue::new(DeviceProfile::host());
     let mut mismatches = 0usize;
@@ -565,7 +612,70 @@ fn cmd_generate(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
     let contents = serialize_molecules(&output, &mols)?;
     Ok(CommandOutput {
         stdout: format!("wrote {count} molecules to {output}\n"),
-        files: vec![(output, contents)],
+        files: vec![(output, contents.into_bytes())],
+    })
+}
+
+/// `index build`: digests every molecule in `--data` once (under the
+/// default engine schema, canonical-deduplicated exactly as the server
+/// interns them) and persists the screening index to `--output`.
+fn cmd_index_build(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
+    let data = load_molecules(args.require("data")?, false)?;
+    let output = args.require("output")?.to_string();
+    let radius = args.get_parsed("radius", IndexConfig::default().radius, "an integer ≥ 0")?;
+    let schema = EngineConfig::default().schema;
+    let mut store = MolStore::with_screen_index(IndexConfig { radius }, &schema);
+    for m in &data {
+        store.intern(&m.molecule.to_labeled_graph());
+    }
+    let bytes = store.freeze_index().map_err(CliError::Index)?;
+    let stats = store.screen_index().expect("index maintained").stats();
+    let stdout = format!(
+        "indexed {} molecules ({} classes) at radius {radius}: {output} ({} bytes)\n",
+        data.len(),
+        stats.live,
+        bytes.len()
+    );
+    Ok(CommandOutput {
+        stdout,
+        files: vec![(output, bytes)],
+    })
+}
+
+/// `index stat`: validates a persisted index (magic, version, checksums)
+/// and prints its header and section statistics.
+fn cmd_index_stat(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
+    let path = args.require("index")?;
+    let bytes = std::fs::read(path).map_err(IoError::Fs)?;
+    let file_err = |e: sigmo_serve::IndexFileError| CliError::Index(format!("{path}: {e}"));
+    let frozen = FrozenIndex::open(bytes).map_err(file_err)?;
+    let stat = frozen.stat().map_err(file_err)?;
+    let mut out = String::new();
+    writeln!(out, "index: {path}").unwrap();
+    writeln!(out, "format version: {}", stat.version).unwrap();
+    writeln!(out, "digest radius: {}", stat.radius).unwrap();
+    writeln!(
+        out,
+        "molecules: {} live / {} slots",
+        stat.live, stat.molecules
+    )
+    .unwrap();
+    writeln!(out, "digest entries: {}", stat.digest_entries).unwrap();
+    writeln!(
+        out,
+        "postings: {} ids across {} non-empty label lists",
+        stat.posting_entries, stat.label_postings
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "bytes: {} total ({} stored graphs)",
+        stat.file_bytes, stat.graph_bytes
+    )
+    .unwrap();
+    Ok(CommandOutput {
+        stdout: out,
+        files: Vec::new(),
     })
 }
 
@@ -672,7 +782,8 @@ mod tests {
         let out = run_command(&args).unwrap();
         assert_eq!(out.files.len(), 1);
         let (_, contents) = &out.files[0];
-        let back = crate::io::parse_molecules("lib.smi", contents, false).unwrap();
+        let text = std::str::from_utf8(contents).unwrap();
+        let back = crate::io::parse_molecules("lib.smi", text, false).unwrap();
         assert_eq!(back.len(), 5);
     }
 
@@ -998,5 +1109,107 @@ mod tests {
     fn missing_file_is_reported() {
         let args = parse_args(&strs(&["info", "--data", "/nonexistent/path/x.smi"])).unwrap();
         assert!(matches!(run_command(&args), Err(CliError::Io(_))));
+    }
+
+    #[test]
+    fn index_build_and_stat_round_trip() {
+        let d = write_temp("ib.smi", "CCO ethanol\nCC(=O)O acid\nc1ccccc1 benzene\n");
+        let out_path = std::env::temp_dir()
+            .join("sigmo-cli-tests")
+            .join("ib.sigmoidx")
+            .to_string_lossy()
+            .into_owned();
+        let args = parse_args(&strs(&[
+            "index", "build", "--data", &d, "--output", &out_path,
+        ]))
+        .unwrap();
+        let out = run_command(&args).unwrap();
+        assert!(out.stdout.contains("indexed 3 molecules"), "{}", out.stdout);
+        assert_eq!(out.files.len(), 1);
+        std::fs::write(&out.files[0].0, &out.files[0].1).unwrap();
+        let args = parse_args(&strs(&["index", "stat", "--index", &out_path])).unwrap();
+        let out = run_command(&args).unwrap();
+        assert!(out.stdout.contains("format version: 1"), "{}", out.stdout);
+        assert!(
+            out.stdout.contains("molecules: 3 live / 3 slots"),
+            "{}",
+            out.stdout
+        );
+    }
+
+    #[test]
+    fn index_stat_rejects_corrupt_files() {
+        let path = write_temp("bad.sigmoidx", "not an index file at all");
+        let args = parse_args(&strs(&["index", "stat", "--index", &path])).unwrap();
+        assert!(matches!(run_command(&args), Err(CliError::Index(_))));
+    }
+
+    #[test]
+    fn serve_index_flags_toggle_screening_without_changing_results() {
+        let on = parse_args(&strs(&["serve", "--requests", "10", "--seed", "5"])).unwrap();
+        let out_on = run_command(&on).unwrap();
+        assert!(
+            out_on.stdout.contains("index screening:"),
+            "{}",
+            out_on.stdout
+        );
+        let off = parse_args(&strs(&[
+            "serve",
+            "--requests",
+            "10",
+            "--seed",
+            "5",
+            "--no-index",
+            "true",
+        ]))
+        .unwrap();
+        let out_off = run_command(&off).unwrap();
+        assert!(
+            !out_off.stdout.contains("index screening:"),
+            "{}",
+            out_off.stdout
+        );
+        // Screening is invisible to results: apart from its own summary
+        // line, the transcripts are bit-identical.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("index screening:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&out_on.stdout), strip(&out_off.stdout));
+    }
+
+    #[test]
+    fn replay_with_preloaded_index_matches_the_oracle() {
+        let d = write_temp("pre.smi", "CCO a\nCCN b\nCC(=O)O c\n");
+        let idx_path = std::env::temp_dir()
+            .join("sigmo-cli-tests")
+            .join("pre.sigmoidx")
+            .to_string_lossy()
+            .into_owned();
+        let build = parse_args(&strs(&[
+            "index", "build", "--data", &d, "--output", &idx_path,
+        ]))
+        .unwrap();
+        let out = run_command(&build).unwrap();
+        std::fs::write(&out.files[0].0, &out.files[0].1).unwrap();
+        let args = parse_args(&strs(&[
+            "replay",
+            "--requests",
+            "6",
+            "--seed",
+            "3",
+            "--index",
+            &idx_path,
+        ]))
+        .unwrap();
+        let out = run_command(&args).unwrap();
+        assert!(
+            out.stdout
+                .contains("replay: 6/6 requests bit-identical to the unbatched oracle"),
+            "{}",
+            out.stdout
+        );
     }
 }

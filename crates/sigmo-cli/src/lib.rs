@@ -17,13 +17,21 @@
 //!   cache hit rates;
 //! * `sigmo replay  [--requests N --seed S ...]` — the same soak, then
 //!   every request is re-run unbatched and uncached and the served
-//!   reports are verified bit-identical against that oracle.
+//!   reports are verified bit-identical against that oracle;
+//! * `sigmo index build --data D --output F [--radius K]` — digest a
+//!   molecule file into a persistent `SIGMOIDX` screening index;
+//! * `sigmo index stat --index F` — validate a persisted index (magic,
+//!   version, checksums) and print its statistics.
 //!
 //! `serve`/`replay` share workload flags (`--requests`, `--seed`,
 //! `--mol-pool`, `--query-sets`, `--queries-per-set`, `--request-mols`,
 //! `--interarrival`, `--find-first-pct`), server flags
-//! (`--queue-capacity`, `--batch-requests`, `--cache true|false`), and
-//! the run-budget flags below.
+//! (`--queue-capacity`, `--batch-requests`, `--cache true|false`), the
+//! index flags (`--index F` preloads a persisted corpus, `--no-index
+//! true` disables screening, `--index-radius K` sets the digest radius),
+//! and the run-budget flags below. Screening is sound and invisible to
+//! results: index-on and index-off transcripts are bit-identical apart
+//! from the `index screening:` summary line.
 //!
 //! `match` and `screen` accept run-budget flags (all optional, all
 //! composable): `--deadline-ms N` (wall-clock deadline), `--step-budget N`

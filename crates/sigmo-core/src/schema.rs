@@ -105,6 +105,28 @@ impl LabelSchema {
         Self { groups }
     }
 
+    /// Rebuilds a schema from explicit bit groups — the deserialization
+    /// path for persisted layouts (`sigmo-index` files store the groups
+    /// verbatim). Returns `None` unless every group is non-empty, fits
+    /// in 64 bits, and overlaps no other group, so untrusted bytes can
+    /// never produce a schema whose masked arithmetic misbehaves.
+    pub fn from_groups(groups: Vec<BitGroup>) -> Option<Self> {
+        if groups.is_empty() {
+            return None;
+        }
+        let mut used = 0u64;
+        for g in &groups {
+            if g.bits == 0 || g.bits > 16 || g.shift as u32 + g.bits as u32 > Self::TOTAL_BITS {
+                return None;
+            }
+            if used & g.mask() != 0 {
+                return None;
+            }
+            used |= g.mask();
+        }
+        Some(Self { groups })
+    }
+
     /// The schema for the organic-element universe of `sigmo-mol`
     /// (12 labels, frequency-skewed).
     pub fn organic() -> Self {

@@ -100,6 +100,22 @@ impl Signature {
         true
     }
 
+    /// Per-group maximum of two signatures: for every schema group the
+    /// result stores `max(self, other)`. This is the join of the
+    /// per-group domination order, so the result dominates a query
+    /// signature whenever *either* input does — the accumulation rule
+    /// behind `sigmo-index` molecule digests (a digest is the per-group
+    /// max over a molecule's node signatures, and "digest fails to
+    /// dominate" then proves *no* node dominates in some group).
+    #[inline]
+    pub fn max_groups(&self, schema: &LabelSchema, other: &Signature) -> Signature {
+        let mut out = 0u64;
+        for g in schema.groups() {
+            out |= (self.0 & g.mask()).max(other.0 & g.mask());
+        }
+        Signature(out)
+    }
+
     /// Bitmask (bit `i` = schema group `i`) of the groups whose stored
     /// count differs between `self` and `other` — the "fields that moved"
     /// input to [`Signature::dominates_groups`].
@@ -319,6 +335,29 @@ mod tests {
         let mut d = Signature::EMPTY;
         d.add(&s, 0, 10); // many H, zero N
         assert!(!d.dominates(&s, &q));
+    }
+
+    #[test]
+    fn max_groups_is_the_domination_join() {
+        let s = schema();
+        let mut a = Signature::EMPTY;
+        a.add(&s, 1, 3);
+        a.add(&s, 2, 1);
+        let mut b = Signature::EMPTY;
+        b.add(&s, 1, 1);
+        b.add(&s, 3, 2);
+        let m = a.max_groups(&s, &b);
+        assert_eq!(m.count(&s, 1), 3);
+        assert_eq!(m.count(&s, 2), 1);
+        assert_eq!(m.count(&s, 3), 2);
+        // The join dominates whatever either input dominates.
+        assert!(m.dominates(&s, &a));
+        assert!(m.dominates(&s, &b));
+        assert_eq!(
+            Signature::EMPTY.max_groups(&s, &a),
+            a,
+            "EMPTY is the identity"
+        );
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Per-molecule signature digests.
+//!
+//! A [`MolDigest`] compresses one molecule into the fixed-size facts the
+//! screen needs: which raw labels it contains, and — per contained label
+//! plus once over all nodes — the per-group **maximum** of its node
+//! signatures at the index radius and of its label-pair signatures. The
+//! maxima are taken with [`Signature::max_groups`], the join of the
+//! domination order, so "the digest fails to dominate a query
+//! signature" proves that *no individual node* dominates it: some
+//! schema group's query count exceeds the max over every node.
+//!
+//! Digests are computed by the exact filter's own machinery —
+//! [`SignatureSet`] over a single-molecule batch for neighborhood
+//! signatures (which skips wildcard-labeled neighbors, exactly as the
+//! refinement kernel's inputs do) and
+//! [`sigmo_core::filter::pair_signature`] for the label-pair side — so
+//! digest semantics can never drift from engine semantics.
+
+use sigmo_core::filter::pair_signature;
+use sigmo_core::{LabelSchema, Signature, SignatureSet};
+use sigmo_graph::{CsrGo, Label, LabeledGraph};
+
+/// One present raw label's summary: the per-group max, over the
+/// molecule's nodes carrying exactly that label, of the radius-`k`
+/// signature and the label-pair signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelEntry {
+    /// The raw node label (element id, or the wildcard byte).
+    pub label: Label,
+    /// Per-group max of radius-`k` node signatures under this label.
+    pub sig: Signature,
+    /// Per-group max of label-pair signatures under this label.
+    pub pair: Signature,
+}
+
+/// A molecule's screen summary. See the module docs for the max-join
+/// semantics that make "digest fails to dominate ⟹ every node fails to
+/// dominate" hold per schema group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MolDigest {
+    /// Bit `l` set ⟺ the molecule has ≥ 1 node with raw label `l`.
+    pub presence: [u64; 4],
+    /// Node count (diagnostics only; never used to reject).
+    pub node_count: u32,
+    /// One entry per present label, sorted by label.
+    pub labels: Vec<LabelEntry>,
+    /// Per-group max of radius-`k` signatures over *all* nodes — the
+    /// digest consulted for wildcard-labeled query nodes, whose
+    /// candidate rows span every data node.
+    pub all_sig: Signature,
+    /// Per-group max of label-pair signatures over all nodes.
+    pub all_pair: Signature,
+}
+
+impl MolDigest {
+    /// Summarizes one molecule at the given digest radius. `schema` must
+    /// be the same label schema the serving plans are built with — the
+    /// screen compares digests and query signatures group-for-group.
+    pub fn compute(
+        graph: &LabeledGraph,
+        schema: &LabelSchema,
+        pair_schema: &LabelSchema,
+        radius: usize,
+    ) -> MolDigest {
+        let csr = CsrGo::from_graphs(std::slice::from_ref(graph));
+        let mut sigs = SignatureSet::new(&csr, schema.clone());
+        for _ in 0..radius {
+            sigs.advance(&csr);
+        }
+        let mut digest = MolDigest {
+            presence: [0u64; 4],
+            node_count: csr.num_nodes() as u32,
+            labels: Vec::new(),
+            all_sig: Signature::EMPTY,
+            all_pair: Signature::EMPTY,
+        };
+        for v in 0..csr.num_nodes() as u32 {
+            let label = csr.label(v);
+            let sig = sigs.signature(v);
+            let pair = pair_signature(&csr, pair_schema, v);
+            digest.presence[(label >> 6) as usize] |= 1u64 << (label & 63);
+            digest.all_sig = digest.all_sig.max_groups(schema, &sig);
+            digest.all_pair = digest.all_pair.max_groups(pair_schema, &pair);
+            match digest.labels.binary_search_by_key(&label, |e| e.label) {
+                Ok(i) => {
+                    let e = &mut digest.labels[i];
+                    e.sig = e.sig.max_groups(schema, &sig);
+                    e.pair = e.pair.max_groups(pair_schema, &pair);
+                }
+                Err(i) => digest.labels.insert(i, LabelEntry { label, sig, pair }),
+            }
+        }
+        digest
+    }
+
+    /// Whether the molecule contains ≥ 1 node with raw label `label`.
+    #[inline]
+    pub fn has_label(&self, label: Label) -> bool {
+        self.presence[(label >> 6) as usize] & (1u64 << (label & 63)) != 0
+    }
+
+    /// The summary entry for `label`, when present.
+    #[inline]
+    pub fn entry(&self, label: Label) -> Option<&LabelEntry> {
+        self.labels
+            .binary_search_by_key(&label, |e| e.label)
+            .ok()
+            .map(|i| &self.labels[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmo_core::filter::pair_schema;
+
+    fn chain(labels: &[u8]) -> LabeledGraph {
+        let edges: Vec<(u32, u32)> = (1..labels.len() as u32).map(|i| (i - 1, i)).collect();
+        LabeledGraph::from_edges(labels, &edges).unwrap()
+    }
+
+    #[test]
+    fn digest_presence_and_entries() {
+        let schema = LabelSchema::organic();
+        let pairs = pair_schema();
+        let g = chain(&[1, 3, 1, 2]);
+        let d = MolDigest::compute(&g, &schema, &pairs, 2);
+        assert_eq!(d.node_count, 4);
+        assert!(d.has_label(1) && d.has_label(2) && d.has_label(3));
+        assert!(!d.has_label(0) && !d.has_label(9));
+        assert_eq!(d.labels.len(), 3);
+        assert!(d.entry(1).is_some() && d.entry(7).is_none());
+        // Labels are sorted.
+        let labels: Vec<u8> = d.labels.iter().map(|e| e.label).collect();
+        assert_eq!(labels, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn digest_dominates_every_node_signature() {
+        let schema = LabelSchema::organic();
+        let pairs = pair_schema();
+        let g = chain(&[1, 2, 1, 3, 1, 1, 2]);
+        let radius = 3;
+        let d = MolDigest::compute(&g, &schema, &pairs, radius);
+        let csr = CsrGo::from_graphs(std::slice::from_ref(&g));
+        let mut sigs = SignatureSet::new(&csr, schema.clone());
+        for _ in 0..radius {
+            sigs.advance(&csr);
+        }
+        for v in 0..csr.num_nodes() as u32 {
+            let label = csr.label(v);
+            let e = d.entry(label).expect("present label has an entry");
+            assert!(e.sig.dominates(&schema, &sigs.signature(v)));
+            assert!(d.all_sig.dominates(&schema, &sigs.signature(v)));
+            let p = pair_signature(&csr, &pairs, v);
+            assert!(e.pair.dominates(&pairs, &p));
+            assert!(d.all_pair.dominates(&pairs, &p));
+        }
+    }
+}

@@ -1,0 +1,738 @@
+//! The persistent index file: `SIGMOIDX`, version 1.
+//!
+//! Little-endian, fixed-width, offset-addressed — an mmap-friendly
+//! layout: [`FrozenIndex::open`] validates structure and section
+//! checksums over the raw buffer without copying or allocating
+//! per-record, every accessor reads in place, and nothing in the read
+//! path is `unsafe` (malformed bytes produce a clean
+//! [`IndexFileError`], never UB). [`FrozenIndex::thaw`] rehydrates the
+//! mutable [`MoleculeIndex`] (digests are read back verbatim — no
+//! signature recompute) plus the stored molecule graphs.
+//!
+//! ```text
+//! header   (32 B)  magic "SIGMOIDX" · version u32 · radius u32 ·
+//!                  num_mols u32 · num_labels u32 · sections u32 · 0 u32
+//! table    (6×32 B) per section: id u32 · 0 u32 · offset u64 ·
+//!                  len u64 · fnv1a64 checksum u64
+//! SCHEMA   (1)     n u32 · n×(shift u8, bits u8)   — node schema,
+//!                  then the same for the pair-bucket schema
+//! DIGESTS  (2)     num_mols × 64 B: flags u32 (bit0 = present) ·
+//!                  node_count u32 · entry_off u32 · entry_count u32 ·
+//!                  presence 4×u64 · all_sig u64 · all_pair u64
+//! ENTRIES  (3)     per entry 24 B: label u32 · 0 u32 · sig u64 · pair u64
+//! LABELS   (4)     256×(off u64, count u64) · flat ids u32
+//! PAIRS    (5)     16×(off u64, count u64) · flat ids u32
+//! GRAPHS   (6)     num_mols×(off u64, len u64) · blobs
+//!                  (blob: nodes u32 · labels · edges u32 ·
+//!                  per edge a u32 · b u32 · label u8)
+//! ```
+//!
+//! Serialization *compacts*: tombstoned and absent slots are written as
+//! absent (all-zero directory rows, no postings, no graph), so a
+//! saved-and-reloaded index carries exactly the live corpus while
+//! preserving every live molecule's id. Loading an absent-slot file
+//! into a fresh store is supported (retired ids simply stay retired).
+
+use crate::digest::{LabelEntry, MolDigest};
+use crate::index::{MolId, MoleculeIndex};
+use crate::IndexConfig;
+use sigmo_core::schema::BitGroup;
+use sigmo_core::{LabelSchema, Signature};
+use sigmo_graph::LabeledGraph;
+
+/// File magic: "SIGMOIDX".
+pub const MAGIC: &[u8; 8] = b"SIGMOIDX";
+/// Current (only) format version.
+pub const VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 32;
+const SECTION_COUNT: usize = 6;
+const TABLE_ENTRY_LEN: usize = 32;
+const DIGEST_ROW_LEN: usize = 64;
+const ENTRY_LEN: usize = 24;
+const DIR_ENTRY_LEN: usize = 16;
+
+const SEC_SCHEMA: u32 = 1;
+const SEC_DIGESTS: u32 = 2;
+const SEC_ENTRIES: u32 = 3;
+const SEC_LABELS: u32 = 4;
+const SEC_PAIRS: u32 = 5;
+const SEC_GRAPHS: u32 = 6;
+
+/// Why an index file was rejected. Every variant is a clean load error:
+/// the open path never panics on attacker-shaped bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexFileError {
+    /// Shorter than the fixed header.
+    TooShort,
+    /// The first 8 bytes are not `SIGMOIDX`.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u32),
+    /// A section or record points past the end of the buffer.
+    Truncated(&'static str),
+    /// A section's FNV-1a checksum does not match (section id given).
+    ChecksumMismatch(u32),
+    /// Structurally invalid contents (reason given).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for IndexFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexFileError::TooShort => write!(f, "index file shorter than its header"),
+            IndexFileError::BadMagic => write!(f, "not a SIGMOIDX index file"),
+            IndexFileError::BadVersion(v) => {
+                write!(f, "unsupported index version {v} (expected {VERSION})")
+            }
+            IndexFileError::Truncated(what) => write!(f, "index file truncated: {what}"),
+            IndexFileError::ChecksumMismatch(sec) => {
+                write!(f, "index section {sec} failed its checksum")
+            }
+            IndexFileError::Corrupt(why) => write!(f, "corrupt index file: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexFileError {}
+
+/// Summary of a frozen file, for `sigmo index stat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStat {
+    /// Format version.
+    pub version: u32,
+    /// Digest radius the file was built at.
+    pub radius: u32,
+    /// Digest slots (dense id upper bound).
+    pub molecules: u32,
+    /// Live molecules (present slots).
+    pub live: u32,
+    /// Total per-label digest entries.
+    pub digest_entries: u64,
+    /// Total posting ids across labels and pair buckets.
+    pub posting_entries: u64,
+    /// Non-empty label posting lists.
+    pub label_postings: u32,
+    /// Bytes of stored graph blobs.
+    pub graph_bytes: u64,
+    /// Whole-file size in bytes.
+    pub file_bytes: u64,
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn schema_bytes(schema: &LabelSchema) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 2 * schema.num_labels());
+    put_u32(&mut out, schema.num_labels() as u32);
+    for g in schema.groups() {
+        out.push(g.shift);
+        out.push(g.bits);
+    }
+    out
+}
+
+fn graph_bytes(graph: &LabeledGraph) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + graph.num_nodes() + 9 * graph.num_edges());
+    put_u32(&mut out, graph.num_nodes() as u32);
+    out.extend_from_slice(graph.labels());
+    put_u32(&mut out, graph.num_edges() as u32);
+    for (a, b, l) in graph.edges() {
+        put_u32(&mut out, a);
+        put_u32(&mut out, b);
+        out.push(l);
+    }
+    out
+}
+
+/// Serializes a [`MoleculeIndex`] plus its id-parallel graphs into the
+/// `SIGMOIDX` byte format. `graphs[id]` must be the stored
+/// representative for every live id (`None` or missing entries are
+/// written as absent slots alongside tombstones — the compaction
+/// described in the module docs).
+pub fn serialize(index: &MoleculeIndex, graphs: &[Option<&LabeledGraph>]) -> Vec<u8> {
+    let num_mols = index.len() as u32;
+    let live: Vec<(MolId, &MolDigest)> = index
+        .slots()
+        .filter(|&(id, _, tombstoned)| {
+            !tombstoned && matches!(graphs.get(id as usize), Some(Some(_)))
+        })
+        .map(|(id, digest, _)| (id, digest))
+        .collect();
+
+    // SCHEMA
+    let mut sec_schema = schema_bytes(index.schema());
+    sec_schema.extend_from_slice(&schema_bytes(&sigmo_core::filter::pair_schema()));
+
+    // DIGESTS + ENTRIES
+    let mut sec_digests = Vec::with_capacity(num_mols as usize * DIGEST_ROW_LEN);
+    let mut sec_entries = Vec::new();
+    let mut entry_cursor: u32 = 0;
+    let mut live_iter = live.iter().peekable();
+    for id in 0..num_mols {
+        match live_iter.peek() {
+            Some(&&(live_id, digest)) if live_id == id => {
+                live_iter.next();
+                put_u32(&mut sec_digests, 1); // flags: present
+                put_u32(&mut sec_digests, digest.node_count);
+                put_u32(&mut sec_digests, entry_cursor);
+                put_u32(&mut sec_digests, digest.labels.len() as u32);
+                for w in digest.presence {
+                    put_u64(&mut sec_digests, w);
+                }
+                put_u64(&mut sec_digests, digest.all_sig.0);
+                put_u64(&mut sec_digests, digest.all_pair.0);
+                for e in &digest.labels {
+                    put_u32(&mut sec_entries, e.label as u32);
+                    put_u32(&mut sec_entries, 0);
+                    put_u64(&mut sec_entries, e.sig.0);
+                    put_u64(&mut sec_entries, e.pair.0);
+                }
+                entry_cursor += digest.labels.len() as u32;
+            }
+            _ => sec_digests.extend_from_slice(&[0u8; DIGEST_ROW_LEN]),
+        }
+    }
+
+    // Postings, compacted to live ids.
+    let live_set: Vec<bool> = {
+        let mut v = vec![false; num_mols as usize];
+        for &(id, _) in &live {
+            v[id as usize] = true;
+        }
+        v
+    };
+    let postings_section = |lists: &mut dyn Iterator<Item = Vec<MolId>>, slots: usize| -> Vec<u8> {
+        let lists: Vec<Vec<MolId>> = lists.collect();
+        debug_assert_eq!(lists.len(), slots);
+        let mut out = Vec::new();
+        let mut cursor: u64 = 0;
+        for list in &lists {
+            put_u64(&mut out, cursor);
+            put_u64(&mut out, list.len() as u64);
+            cursor += list.len() as u64;
+        }
+        for list in &lists {
+            for &id in list {
+                put_u32(&mut out, id);
+            }
+        }
+        out
+    };
+    let sec_labels = postings_section(
+        &mut (0..256u16).map(|l| {
+            index
+                .label_posting(l as u8)
+                .iter()
+                .copied()
+                .filter(|&id| live_set[id as usize])
+                .collect()
+        }),
+        256,
+    );
+    let sec_pairs = postings_section(
+        &mut (0..16usize).map(|b| {
+            index
+                .pair_posting(b)
+                .iter()
+                .copied()
+                .filter(|&id| live_set[id as usize])
+                .collect()
+        }),
+        16,
+    );
+
+    // GRAPHS
+    let mut sec_graphs = vec![0u8; num_mols as usize * DIR_ENTRY_LEN];
+    let mut blobs = Vec::new();
+    for &(id, _) in &live {
+        let graph = graphs[id as usize].expect("live slot has a graph");
+        let blob = graph_bytes(graph);
+        let row = id as usize * DIR_ENTRY_LEN;
+        sec_graphs[row..row + 8].copy_from_slice(&(blobs.len() as u64).to_le_bytes());
+        sec_graphs[row + 8..row + 16].copy_from_slice(&(blob.len() as u64).to_le_bytes());
+        blobs.extend_from_slice(&blob);
+    }
+    sec_graphs.extend_from_slice(&blobs);
+
+    // Assemble: header, table, sections.
+    let sections: [(u32, &Vec<u8>); SECTION_COUNT] = [
+        (SEC_SCHEMA, &sec_schema),
+        (SEC_DIGESTS, &sec_digests),
+        (SEC_ENTRIES, &sec_entries),
+        (SEC_LABELS, &sec_labels),
+        (SEC_PAIRS, &sec_pairs),
+        (SEC_GRAPHS, &sec_graphs),
+    ];
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, VERSION);
+    put_u32(&mut out, index.config().radius as u32);
+    put_u32(&mut out, num_mols);
+    put_u32(&mut out, index.schema().num_labels() as u32);
+    put_u32(&mut out, SECTION_COUNT as u32);
+    put_u32(&mut out, 0);
+    let mut offset = (HEADER_LEN + SECTION_COUNT * TABLE_ENTRY_LEN) as u64;
+    for (id, body) in sections {
+        put_u32(&mut out, id);
+        put_u32(&mut out, 0);
+        put_u64(&mut out, offset);
+        put_u64(&mut out, body.len() as u64);
+        put_u64(&mut out, fnv1a64(body));
+        offset += body.len() as u64;
+    }
+    for (_, body) in sections {
+        out.extend_from_slice(body);
+    }
+    out
+}
+
+/// Bounds-checked little-endian readers over the raw buffer.
+fn get_u32(bytes: &[u8], off: usize) -> Result<u32, IndexFileError> {
+    bytes
+        .get(off..off + 4)
+        .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+        .ok_or(IndexFileError::Truncated("u32 read"))
+}
+
+fn get_u64(bytes: &[u8], off: usize) -> Result<u64, IndexFileError> {
+    bytes
+        .get(off..off + 8)
+        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        .ok_or(IndexFileError::Truncated("u64 read"))
+}
+
+/// A validated, zero-copy view over an index file's bytes. Construction
+/// ([`FrozenIndex::open`]) verifies magic, version, the section table,
+/// every section checksum, and every directory range, so accessors can
+/// read in place without re-validating.
+#[derive(Debug)]
+pub struct FrozenIndex {
+    bytes: Vec<u8>,
+    radius: u32,
+    num_mols: u32,
+    /// `(offset, len)` per section id, index `id - 1`.
+    sections: [(usize, usize); SECTION_COUNT],
+}
+
+impl FrozenIndex {
+    /// Validates `bytes` as a `SIGMOIDX` file and takes ownership.
+    pub fn open(bytes: Vec<u8>) -> Result<FrozenIndex, IndexFileError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(IndexFileError::TooShort);
+        }
+        if &bytes[0..8] != MAGIC {
+            return Err(IndexFileError::BadMagic);
+        }
+        let version = get_u32(&bytes, 8)?;
+        if version != VERSION {
+            return Err(IndexFileError::BadVersion(version));
+        }
+        let radius = get_u32(&bytes, 12)?;
+        let num_mols = get_u32(&bytes, 16)?;
+        let section_count = get_u32(&bytes, 24)? as usize;
+        if section_count != SECTION_COUNT {
+            return Err(IndexFileError::Corrupt("wrong section count"));
+        }
+        let mut sections = [(0usize, 0usize); SECTION_COUNT];
+        let mut seen = [false; SECTION_COUNT];
+        for i in 0..SECTION_COUNT {
+            let row = HEADER_LEN + i * TABLE_ENTRY_LEN;
+            let id = get_u32(&bytes, row)?;
+            if !(1..=SECTION_COUNT as u32).contains(&id) {
+                return Err(IndexFileError::Corrupt("unknown section id"));
+            }
+            let slot = (id - 1) as usize;
+            if seen[slot] {
+                return Err(IndexFileError::Corrupt("duplicate section id"));
+            }
+            seen[slot] = true;
+            let off = get_u64(&bytes, row + 8)? as usize;
+            let len = get_u64(&bytes, row + 16)? as usize;
+            let checksum = get_u64(&bytes, row + 24)?;
+            let body = bytes
+                .get(
+                    off..off
+                        .checked_add(len)
+                        .ok_or(IndexFileError::Truncated("section range"))?,
+                )
+                .ok_or(IndexFileError::Truncated("section body"))?;
+            if fnv1a64(body) != checksum {
+                return Err(IndexFileError::ChecksumMismatch(id));
+            }
+            sections[slot] = (off, len);
+        }
+        let frozen = FrozenIndex {
+            bytes,
+            radius,
+            num_mols,
+            sections,
+        };
+        frozen.validate_shapes()?;
+        Ok(frozen)
+    }
+
+    /// Structural validation beyond checksums: fixed-width sections have
+    /// the width the header implies, and every directory row stays in
+    /// range — after this, accessors cannot read out of bounds.
+    fn validate_shapes(&self) -> Result<(), IndexFileError> {
+        let n = self.num_mols as usize;
+        let (_, dlen) = self.section(SEC_DIGESTS);
+        if dlen != n * DIGEST_ROW_LEN {
+            return Err(IndexFileError::Corrupt("digest directory size"));
+        }
+        let (_, elen) = self.section(SEC_ENTRIES);
+        if !elen.is_multiple_of(ENTRY_LEN) {
+            return Err(IndexFileError::Corrupt("entry section size"));
+        }
+        let entries = elen / ENTRY_LEN;
+        for id in 0..self.num_mols {
+            if let Some((entry_off, entry_count, _)) = self.digest_row(id)? {
+                let end = entry_off
+                    .checked_add(entry_count)
+                    .ok_or(IndexFileError::Truncated("digest entries"))?;
+                if end as usize > entries {
+                    return Err(IndexFileError::Truncated("digest entries"));
+                }
+            }
+        }
+        self.validate_postings(SEC_LABELS, 256)?;
+        self.validate_postings(SEC_PAIRS, 16)?;
+        let (goff, glen) = self.section(SEC_GRAPHS);
+        if glen < n * DIR_ENTRY_LEN {
+            return Err(IndexFileError::Truncated("graph directory"));
+        }
+        let blob_base = n * DIR_ENTRY_LEN;
+        for id in 0..n {
+            let row = goff + id * DIR_ENTRY_LEN;
+            let off = get_u64(&self.bytes, row)? as usize;
+            let len = get_u64(&self.bytes, row + 8)? as usize;
+            let end = blob_base
+                .checked_add(off)
+                .and_then(|s| s.checked_add(len))
+                .ok_or(IndexFileError::Truncated("graph blob"))?;
+            if end > glen {
+                return Err(IndexFileError::Truncated("graph blob"));
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_postings(&self, sec: u32, slots: usize) -> Result<(), IndexFileError> {
+        let (off, len) = self.section(sec);
+        if len < slots * DIR_ENTRY_LEN || !(len - slots * DIR_ENTRY_LEN).is_multiple_of(4) {
+            return Err(IndexFileError::Corrupt("posting section size"));
+        }
+        let ids = (len - slots * DIR_ENTRY_LEN) / 4;
+        for s in 0..slots {
+            let row = off + s * DIR_ENTRY_LEN;
+            let start = get_u64(&self.bytes, row)? as usize;
+            let count = get_u64(&self.bytes, row + 8)? as usize;
+            let end = start
+                .checked_add(count)
+                .ok_or(IndexFileError::Truncated("posting list"))?;
+            if end > ids {
+                return Err(IndexFileError::Truncated("posting list"));
+            }
+        }
+        Ok(())
+    }
+
+    fn section(&self, id: u32) -> (usize, usize) {
+        self.sections[(id - 1) as usize]
+    }
+
+    /// Digest directory row: `Some((entry_off, entry_count, row_offset))`
+    /// when the slot is present.
+    fn digest_row(&self, id: MolId) -> Result<Option<(u32, u32, usize)>, IndexFileError> {
+        let (off, _) = self.section(SEC_DIGESTS);
+        let row = off + id as usize * DIGEST_ROW_LEN;
+        let flags = get_u32(&self.bytes, row)?;
+        Ok((flags & 1 != 0).then_some((
+            get_u32(&self.bytes, row + 8)?,
+            get_u32(&self.bytes, row + 12)?,
+            row,
+        )))
+    }
+
+    /// Digest radius the file was built at.
+    pub fn radius(&self) -> u32 {
+        self.radius
+    }
+
+    /// Digest slots (dense id upper bound, absent slots included).
+    pub fn num_mols(&self) -> u32 {
+        self.num_mols
+    }
+
+    /// The node-label schema the digests were computed under.
+    pub fn schema(&self) -> Result<LabelSchema, IndexFileError> {
+        let (off, len) = self.section(SEC_SCHEMA);
+        let n = get_u32(&self.bytes, off)? as usize;
+        if len < 4 + 2 * n {
+            return Err(IndexFileError::Truncated("schema section"));
+        }
+        let groups: Vec<BitGroup> = (0..n)
+            .map(|i| BitGroup {
+                shift: self.bytes[off + 4 + 2 * i],
+                bits: self.bytes[off + 5 + 2 * i],
+            })
+            .collect();
+        LabelSchema::from_groups(groups).ok_or(IndexFileError::Corrupt("schema groups overflow"))
+    }
+
+    /// Reads one slot's digest (present slots only).
+    pub fn digest(&self, id: MolId) -> Result<Option<MolDigest>, IndexFileError> {
+        if id >= self.num_mols {
+            return Ok(None);
+        }
+        let Some((entry_off, entry_count, row)) = self.digest_row(id)? else {
+            return Ok(None);
+        };
+        let (eoff, _) = self.section(SEC_ENTRIES);
+        let mut labels = Vec::with_capacity(entry_count as usize);
+        for e in 0..entry_count as usize {
+            let at = eoff + (entry_off as usize + e) * ENTRY_LEN;
+            labels.push(LabelEntry {
+                label: get_u32(&self.bytes, at)? as u8,
+                sig: Signature(get_u64(&self.bytes, at + 8)?),
+                pair: Signature(get_u64(&self.bytes, at + 16)?),
+            });
+        }
+        let mut presence = [0u64; 4];
+        for (w, slot) in presence.iter_mut().enumerate() {
+            *slot = get_u64(&self.bytes, row + 16 + 8 * w)?;
+        }
+        Ok(Some(MolDigest {
+            presence,
+            node_count: get_u32(&self.bytes, row + 4)?,
+            labels,
+            all_sig: Signature(get_u64(&self.bytes, row + 48)?),
+            all_pair: Signature(get_u64(&self.bytes, row + 56)?),
+        }))
+    }
+
+    /// Reads one slot's stored graph (present slots only).
+    pub fn graph(&self, id: MolId) -> Result<Option<LabeledGraph>, IndexFileError> {
+        if id >= self.num_mols || self.digest_row(id)?.is_none() {
+            return Ok(None);
+        }
+        let (goff, _) = self.section(SEC_GRAPHS);
+        let row = goff + id as usize * DIR_ENTRY_LEN;
+        let off = get_u64(&self.bytes, row)? as usize;
+        let len = get_u64(&self.bytes, row + 8)? as usize;
+        let base = goff + self.num_mols as usize * DIR_ENTRY_LEN + off;
+        let blob = &self.bytes[base..base + len];
+        let nodes = get_u32(blob, 0)? as usize;
+        if blob.len() < 4 + nodes + 4 {
+            return Err(IndexFileError::Truncated("graph blob header"));
+        }
+        let mut graph = LabeledGraph::new();
+        for &l in &blob[4..4 + nodes] {
+            graph.add_node(l);
+        }
+        let edges = get_u32(blob, 4 + nodes)? as usize;
+        let mut at = 8 + nodes;
+        if blob.len() < at + edges * 9 {
+            return Err(IndexFileError::Truncated("graph edges"));
+        }
+        for _ in 0..edges {
+            let a = get_u32(blob, at)?;
+            let b = get_u32(blob, at + 4)?;
+            let l = blob[at + 8];
+            graph
+                .add_edge(a, b, l)
+                .map_err(|_| IndexFileError::Corrupt("invalid stored edge"))?;
+            at += 9;
+        }
+        Ok(Some(graph))
+    }
+
+    /// Aggregate counters straight off the directories (no thaw).
+    pub fn stat(&self) -> Result<IndexStat, IndexFileError> {
+        let mut live = 0u32;
+        let mut digest_entries = 0u64;
+        for id in 0..self.num_mols {
+            if let Some((_, count, _)) = self.digest_row(id)? {
+                live += 1;
+                digest_entries += count as u64;
+            }
+        }
+        let posting_count = |sec: u32, slots: usize| -> (u64, u32) {
+            let (off, _) = self.section(sec);
+            let mut total = 0u64;
+            let mut nonempty = 0u32;
+            for s in 0..slots {
+                let count = get_u64(&self.bytes, off + s * DIR_ENTRY_LEN + 8).unwrap_or(0);
+                total += count;
+                nonempty += (count > 0) as u32;
+            }
+            (total, nonempty)
+        };
+        let (label_ids, label_nonempty) = posting_count(SEC_LABELS, 256);
+        let (pair_ids, _) = posting_count(SEC_PAIRS, 16);
+        let (_, glen) = self.section(SEC_GRAPHS);
+        Ok(IndexStat {
+            version: VERSION,
+            radius: self.radius,
+            molecules: self.num_mols,
+            live,
+            digest_entries,
+            posting_entries: label_ids + pair_ids,
+            label_postings: label_nonempty,
+            graph_bytes: (glen - self.num_mols as usize * DIR_ENTRY_LEN) as u64,
+            file_bytes: self.bytes.len() as u64,
+        })
+    }
+
+    /// Rehydrates the mutable index (digests verbatim — postings are
+    /// re-derived from them by the same rule that wrote the file) plus
+    /// the id-parallel stored graphs.
+    pub fn thaw(&self) -> Result<(MoleculeIndex, Vec<Option<LabeledGraph>>), IndexFileError> {
+        let schema = self.schema()?;
+        let mut index = MoleculeIndex::new(
+            IndexConfig {
+                radius: self.radius as usize,
+            },
+            &schema,
+        );
+        let mut graphs = Vec::with_capacity(self.num_mols as usize);
+        for id in 0..self.num_mols {
+            match self.digest(id)? {
+                Some(digest) => {
+                    index.add_digest(id, digest, false);
+                    graphs.push(self.graph(id)?);
+                }
+                None => {
+                    graphs.push(None);
+                }
+            }
+        }
+        // Absent trailing slots must still count toward len() so fresh
+        // ids mint above them after a reload.
+        index.reserve_len(self.num_mols as usize);
+        Ok((index, graphs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(labels: &[u8]) -> LabeledGraph {
+        let edges: Vec<(u32, u32)> = (1..labels.len() as u32).map(|i| (i - 1, i)).collect();
+        LabeledGraph::from_edges(labels, &edges).unwrap()
+    }
+
+    fn sample() -> (MoleculeIndex, Vec<LabeledGraph>) {
+        let mols = vec![chain(&[1, 2, 1]), chain(&[3, 3]), chain(&[1, 1, 1, 2])];
+        let mut ix = MoleculeIndex::new(IndexConfig::default(), &LabelSchema::organic());
+        for (i, m) in mols.iter().enumerate() {
+            ix.add(i as MolId, m);
+        }
+        (ix, mols)
+    }
+
+    fn bytes_of(ix: &MoleculeIndex, mols: &[LabeledGraph]) -> Vec<u8> {
+        let refs: Vec<Option<&LabeledGraph>> = mols.iter().map(Some).collect();
+        serialize(ix, &refs)
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let (ix, mols) = sample();
+        let bytes = bytes_of(&ix, &mols);
+        let frozen = FrozenIndex::open(bytes.clone()).unwrap();
+        let (thawed, graphs) = frozen.thaw().unwrap();
+        let refs: Vec<Option<&LabeledGraph>> = graphs.iter().map(|g| g.as_ref()).collect();
+        assert_eq!(
+            serialize(&thawed, &refs),
+            bytes,
+            "serialize ∘ thaw ∘ open is the identity on bytes"
+        );
+    }
+
+    #[test]
+    fn tombstones_compact_away_but_preserve_ids() {
+        let (mut ix, mols) = sample();
+        ix.remove(1);
+        let bytes = bytes_of(&ix, &mols);
+        let frozen = FrozenIndex::open(bytes).unwrap();
+        assert_eq!(frozen.num_mols(), 3, "slot count keeps the id space");
+        assert!(frozen.digest(1).unwrap().is_none(), "tombstone is absent");
+        assert!(frozen.digest(2).unwrap().is_some(), "later ids keep theirs");
+        let stat = frozen.stat().unwrap();
+        assert_eq!((stat.molecules, stat.live), (3, 2));
+        let (thawed, graphs) = frozen.thaw().unwrap();
+        assert_eq!(thawed.len(), 3);
+        assert!(graphs[1].is_none());
+        assert_eq!(graphs[2].as_ref().unwrap().num_nodes(), 4);
+    }
+
+    #[test]
+    fn stored_graphs_round_trip_exactly() {
+        let (ix, mols) = sample();
+        let frozen = FrozenIndex::open(bytes_of(&ix, &mols)).unwrap();
+        for (i, m) in mols.iter().enumerate() {
+            let back = frozen.graph(i as MolId).unwrap().unwrap();
+            assert_eq!(back.labels(), m.labels());
+            let e1: Vec<_> = back.edges().collect();
+            let e2: Vec<_> = m.edges().collect();
+            assert_eq!(e1, e2);
+        }
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected_cleanly() {
+        let (ix, mols) = sample();
+        let bytes = bytes_of(&ix, &mols);
+
+        assert_eq!(
+            FrozenIndex::open(Vec::new()).unwrap_err(),
+            IndexFileError::TooShort
+        );
+
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(
+            FrozenIndex::open(bad).unwrap_err(),
+            IndexFileError::BadMagic
+        );
+
+        let mut bad = bytes.clone();
+        bad[8] = 9; // version
+        assert_eq!(
+            FrozenIndex::open(bad).unwrap_err(),
+            IndexFileError::BadVersion(9)
+        );
+
+        let truncated = bytes[..bytes.len() / 2].to_vec();
+        assert!(matches!(
+            FrozenIndex::open(truncated).unwrap_err(),
+            IndexFileError::Truncated(_)
+        ));
+
+        // Flip one payload byte: some section's checksum must fail.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        assert!(matches!(
+            FrozenIndex::open(bad).unwrap_err(),
+            IndexFileError::ChecksumMismatch(_)
+        ));
+    }
+}

@@ -1,0 +1,450 @@
+//! The in-memory molecule index: digests, inverted postings, and the
+//! screening entry points.
+//!
+//! Postings are sorted `Vec<MolId>` per raw label (256 slots) and per
+//! label-pair bucket (16 slots). A molecule appears in label posting
+//! `l` iff it contains ≥ 1 node labeled `l`, and in pair posting `b`
+//! iff some node has ≥ 1 label-pair in bucket `b` — both facts are
+//! derived from the molecule's [`MolDigest`] at [`MoleculeIndex::add`]
+//! time, so posting membership can never disagree with the digest the
+//! second screening stage consults.
+//!
+//! Removal tombstones: the digest slot is flagged dead, postings are
+//! left in place (they are compacted on [`crate::serialize`]), and
+//! every corpus-level screen filters tombstones out. The *per-molecule*
+//! screen instead lets a tombstoned id **survive**: retired ids held by
+//! in-flight requests must keep executing exactly as they would with
+//! the index off, and "survive" is always the bit-identical-safe
+//! answer.
+
+use crate::digest::MolDigest;
+use crate::query::{GraphReq, ScreenQuery};
+use crate::IndexConfig;
+use sigmo_core::filter::pair_schema;
+use sigmo_core::{LabelSchema, Signature};
+use sigmo_graph::LabeledGraph;
+
+/// Dense molecule id — the same dense `u32` the serving layer's
+/// `MolStore` mints (this crate cannot depend on `sigmo-serve`, which
+/// depends on it).
+pub type MolId = u32;
+
+/// Aggregate index shape, for `sigmo index stat` and diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexStats {
+    /// Digest slots (including tombstoned).
+    pub molecules: usize,
+    /// Live (non-tombstoned) molecules.
+    pub live: usize,
+    /// Tombstoned molecules.
+    pub tombstoned: usize,
+    /// Non-empty label posting lists.
+    pub label_postings: usize,
+    /// Total posting entries across labels and pair buckets.
+    pub posting_entries: usize,
+    /// Total per-label digest entries.
+    pub digest_entries: usize,
+}
+
+/// One slot of the index: a digest plus liveness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Slot {
+    digest: MolDigest,
+    tombstoned: bool,
+}
+
+/// The persistent signature index over a standing molecule corpus. See
+/// the crate docs for the soundness contract.
+#[derive(Debug, Clone)]
+pub struct MoleculeIndex {
+    config: IndexConfig,
+    schema: LabelSchema,
+    pair: LabelSchema,
+    /// Digest per id; `None` for ids never added (sparse files only).
+    slots: Vec<Option<Slot>>,
+    /// label → sorted ids of molecules containing that label.
+    label_postings: Vec<Vec<MolId>>,
+    /// pair bucket → sorted ids of molecules with ≥ 1 pair in it.
+    pair_postings: Vec<Vec<MolId>>,
+}
+
+fn push_sorted(list: &mut Vec<MolId>, id: MolId) {
+    match list.last() {
+        Some(&last) if last >= id => {
+            if let Err(i) = list.binary_search(&id) {
+                list.insert(i, id);
+            }
+        }
+        _ => list.push(id),
+    }
+}
+
+impl MoleculeIndex {
+    /// Creates an empty index for molecules labeled under `schema`.
+    pub fn new(config: IndexConfig, schema: &LabelSchema) -> Self {
+        Self {
+            config,
+            schema: schema.clone(),
+            pair: pair_schema(),
+            slots: Vec::new(),
+            label_postings: vec![Vec::new(); 256],
+            pair_postings: vec![Vec::new(); pair_schema().num_labels()],
+        }
+    }
+
+    /// The build parameters.
+    pub fn config(&self) -> IndexConfig {
+        self.config
+    }
+
+    /// The node-label schema digests were computed under.
+    pub fn schema(&self) -> &LabelSchema {
+        &self.schema
+    }
+
+    /// Number of digest slots (dense upper bound on ids, including
+    /// tombstones).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no molecule was ever added.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The digest stored for `id`, live or tombstoned.
+    pub fn digest(&self, id: MolId) -> Option<&MolDigest> {
+        self.slots
+            .get(id as usize)
+            .and_then(|s| s.as_ref())
+            .map(|s| &s.digest)
+    }
+
+    /// Whether `id` is tombstoned.
+    pub fn is_tombstoned(&self, id: MolId) -> bool {
+        self.slots
+            .get(id as usize)
+            .and_then(|s| s.as_ref())
+            .is_some_and(|s| s.tombstoned)
+    }
+
+    /// Ingests (or re-ingests) a molecule: computes its digest through
+    /// the exact filter's own signature machinery and registers its
+    /// postings. Re-adding an id clears its tombstone.
+    pub fn add(&mut self, id: MolId, graph: &LabeledGraph) {
+        let digest = MolDigest::compute(graph, &self.schema, &self.pair, self.config.radius);
+        if self.slots.len() <= id as usize {
+            self.slots.resize(id as usize + 1, None);
+        }
+        for entry in &digest.labels {
+            push_sorted(&mut self.label_postings[entry.label as usize], id);
+        }
+        for (b, group) in self.pair.groups().iter().enumerate() {
+            if digest.all_pair.0 & group.mask() != 0 {
+                push_sorted(&mut self.pair_postings[b], id);
+            }
+        }
+        self.slots[id as usize] = Some(Slot {
+            digest,
+            tombstoned: false,
+        });
+    }
+
+    /// Installs a precomputed digest (the disk loader's path — no
+    /// signature recompute). Posting registration is identical to
+    /// [`MoleculeIndex::add`].
+    pub(crate) fn add_digest(&mut self, id: MolId, digest: MolDigest, tombstoned: bool) {
+        if self.slots.len() <= id as usize {
+            self.slots.resize(id as usize + 1, None);
+        }
+        for entry in &digest.labels {
+            push_sorted(&mut self.label_postings[entry.label as usize], id);
+        }
+        for (b, group) in self.pair.groups().iter().enumerate() {
+            if digest.all_pair.0 & group.mask() != 0 {
+                push_sorted(&mut self.pair_postings[b], id);
+            }
+        }
+        self.slots[id as usize] = Some(Slot { digest, tombstoned });
+    }
+
+    /// Grows the slot table to at least `len` absent slots — the disk
+    /// loader's way of preserving a file's id space past its last live
+    /// molecule, so fresh ids mint above retired ones after a reload.
+    pub(crate) fn reserve_len(&mut self, len: usize) {
+        if self.slots.len() < len {
+            self.slots.resize(len, None);
+        }
+    }
+
+    /// Tombstones a molecule: it stops appearing in every corpus-level
+    /// screen ([`MoleculeIndex::screen_corpus`]) immediately. Postings
+    /// keep the id until the next [`crate::serialize`] compacts them.
+    /// Returns whether the id was live.
+    pub fn remove(&mut self, id: MolId) -> bool {
+        match self.slots.get_mut(id as usize).and_then(|s| s.as_mut()) {
+            Some(slot) if !slot.tombstoned => {
+                slot.tombstoned = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Per-molecule screen: does `id` survive `query`? `true` means
+    /// "cannot be ruled out — execute it"; `false` is a *proof* that
+    /// the exact filter empties some candidate row of every query graph
+    /// over this molecule (no GMCR pair, zero matches, zero join steps,
+    /// `Complete`). Unknown and tombstoned ids survive — see the module
+    /// docs.
+    pub fn screen(&self, query: &ScreenQuery, id: MolId) -> bool {
+        debug_assert_eq!(query.schema, self.schema, "screen under a foreign schema");
+        let slot = match self.slots.get(id as usize).and_then(|s| s.as_ref()) {
+            Some(slot) if !slot.tombstoned => slot,
+            _ => return true,
+        };
+        query
+            .graphs
+            .iter()
+            .any(|g| Self::accepts(g, query, &slot.digest))
+    }
+
+    /// Whether one query graph's requirements all pass against a
+    /// digest (the molecule survives via this graph).
+    fn accepts(graph: &GraphReq, query: &ScreenQuery, digest: &MolDigest) -> bool {
+        for node in &graph.nodes {
+            let (sig_digest, pair_digest) = match node.label {
+                Some(label) => {
+                    if !digest.has_label(label) {
+                        return false;
+                    }
+                    match digest.entry(label) {
+                        Some(e) => (e.sig, e.pair),
+                        // Presence and entries are derived from the same
+                        // nodes; a mismatch means a foreign digest —
+                        // survive, never reject.
+                        None => return true,
+                    }
+                }
+                None => (digest.all_sig, digest.all_pair),
+            };
+            if node.pair != Signature::EMPTY
+                && !pair_digest.dominates(&query.pair_schema, &node.pair)
+            {
+                return false;
+            }
+            if query.sig_radius >= 1
+                && node.sig != Signature::EMPTY
+                && !sig_digest.dominates(&query.schema, &node.sig)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Corpus-level screen: every **live** molecule that survives
+    /// `query`, ascending. First stage intersects the query's required
+    /// posting lists (sorted-merge, rarest list first); the second
+    /// stage digest-checks only those candidates — so cost scales with
+    /// posting selectivity and the surviving set, not the corpus. A
+    /// query graph with no posting requirements falls back to scanning
+    /// every live digest (it can still reject via signatures).
+    ///
+    /// Equivalent, over live ids, to filtering with
+    /// [`MoleculeIndex::screen`] — a proptest pins this.
+    pub fn screen_corpus(&self, query: &ScreenQuery) -> Vec<MolId> {
+        let mut out: Vec<MolId> = Vec::new();
+        for g in &query.graphs {
+            match self.candidates(g) {
+                Some(candidates) => {
+                    for id in candidates {
+                        if !self.is_tombstoned(id)
+                            && self.digest(id).is_some_and(|d| Self::accepts(g, query, d))
+                        {
+                            out.push(id);
+                        }
+                    }
+                }
+                None => {
+                    for (i, slot) in self.slots.iter().enumerate() {
+                        if let Some(slot) = slot {
+                            if !slot.tombstoned && Self::accepts(g, query, &slot.digest) {
+                                out.push(i as MolId);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// First-stage candidates for one query graph: the intersection of
+    /// its required posting lists, or `None` when it has no posting
+    /// requirement (caller scans all live digests).
+    fn candidates(&self, graph: &GraphReq) -> Option<Vec<MolId>> {
+        let mut lists: Vec<&Vec<MolId>> = graph
+            .labels
+            .iter()
+            .map(|&l| &self.label_postings[l as usize])
+            .collect();
+        for b in 0..self.pair_postings.len() {
+            if graph.buckets & (1 << b) != 0 {
+                lists.push(&self.pair_postings[b]);
+            }
+        }
+        if lists.is_empty() {
+            return None;
+        }
+        // Rarest-first: intersect into the shortest list.
+        lists.sort_by_key(|l| l.len());
+        let mut acc: Vec<MolId> = lists[0].clone();
+        for list in &lists[1..] {
+            if acc.is_empty() {
+                break;
+            }
+            let mut next = Vec::with_capacity(acc.len());
+            let mut i = 0;
+            for &id in &acc {
+                // Galloping would win on skewed lists; linear merge is
+                // fine at molecular posting sizes.
+                while i < list.len() && list[i] < id {
+                    i += 1;
+                }
+                if i < list.len() && list[i] == id {
+                    next.push(id);
+                }
+            }
+            acc = next;
+        }
+        Some(acc)
+    }
+
+    /// Aggregate shape counters.
+    pub fn stats(&self) -> IndexStats {
+        let live = self
+            .slots
+            .iter()
+            .flatten()
+            .filter(|s| !s.tombstoned)
+            .count();
+        let present = self.slots.iter().flatten().count();
+        IndexStats {
+            molecules: self.slots.len(),
+            live,
+            tombstoned: present - live,
+            label_postings: self.label_postings.iter().filter(|p| !p.is_empty()).count(),
+            posting_entries: self.label_postings.iter().map(Vec::len).sum::<usize>()
+                + self.pair_postings.iter().map(Vec::len).sum::<usize>(),
+            digest_entries: self
+                .slots
+                .iter()
+                .flatten()
+                .map(|s| s.digest.labels.len())
+                .sum(),
+        }
+    }
+
+    /// The sorted label posting for `label` (diagnostics / tests).
+    pub fn label_posting(&self, label: u8) -> &[MolId] {
+        &self.label_postings[label as usize]
+    }
+
+    /// The sorted pair-bucket posting for `bucket` (diagnostics / tests).
+    pub fn pair_posting(&self, bucket: usize) -> &[MolId] {
+        &self.pair_postings[bucket]
+    }
+
+    /// Iterates `(id, digest, tombstoned)` over present slots,
+    /// ascending — the serializer's walk.
+    pub(crate) fn slots(&self) -> impl Iterator<Item = (MolId, &MolDigest, bool)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.as_ref()
+                .map(|slot| (i as MolId, &slot.digest, slot.tombstoned))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmo_core::engine::EngineConfig;
+    use sigmo_core::QueryPlan;
+
+    fn chain(labels: &[u8]) -> LabeledGraph {
+        let edges: Vec<(u32, u32)> = (1..labels.len() as u32).map(|i| (i - 1, i)).collect();
+        LabeledGraph::from_edges(labels, &edges).unwrap()
+    }
+
+    fn index_of(mols: &[LabeledGraph]) -> MoleculeIndex {
+        let mut ix = MoleculeIndex::new(IndexConfig::default(), &LabelSchema::organic());
+        for (i, m) in mols.iter().enumerate() {
+            ix.add(i as MolId, m);
+        }
+        ix
+    }
+
+    fn screen_query(queries: &[LabeledGraph]) -> ScreenQuery {
+        let plan = QueryPlan::build(queries, &EngineConfig::default());
+        ScreenQuery::from_plan(&plan, IndexConfig::default().radius)
+    }
+
+    #[test]
+    fn screens_out_missing_labels_and_keeps_matches() {
+        let ix = index_of(&[chain(&[1, 1, 1]), chain(&[1, 2, 1]), chain(&[3, 3])]);
+        let q = screen_query(&[chain(&[1, 2])]);
+        assert!(!ix.screen(&q, 0), "no nitrogen at all");
+        assert!(ix.screen(&q, 1), "contains the chain");
+        assert!(!ix.screen(&q, 2), "neither label");
+        assert_eq!(ix.screen_corpus(&q), vec![1]);
+    }
+
+    #[test]
+    fn pair_digest_rejects_wrong_adjacency() {
+        // Molecule 0 has both labels but never adjacent: 1-3-1 vs query 1-1.
+        let ix = index_of(&[chain(&[1, 3, 1]), chain(&[1, 1, 3])]);
+        let q = screen_query(&[chain(&[1, 1])]);
+        assert!(!ix.screen(&q, 0), "no C–C pair anywhere");
+        assert!(ix.screen(&q, 1));
+        assert_eq!(ix.screen_corpus(&q), vec![1]);
+    }
+
+    #[test]
+    fn any_query_graph_surviving_keeps_the_molecule() {
+        let ix = index_of(&[chain(&[2, 2])]);
+        let q = screen_query(&[chain(&[1, 1]), chain(&[2, 2])]);
+        assert!(ix.screen(&q, 0), "second query matches");
+        let q = screen_query(&[chain(&[1, 1]), chain(&[3, 3])]);
+        assert!(!ix.screen(&q, 0), "every query rejects");
+    }
+
+    #[test]
+    fn tombstones_leave_per_mol_screen_but_not_corpus_screen() {
+        let mut ix = index_of(&[chain(&[1, 2]), chain(&[1, 2])]);
+        let q = screen_query(&[chain(&[1, 2])]);
+        assert_eq!(ix.screen_corpus(&q), vec![0, 1]);
+        assert!(ix.remove(0));
+        assert!(!ix.remove(0), "second remove is a no-op");
+        assert_eq!(ix.screen_corpus(&q), vec![1], "tombstone never screened in");
+        assert!(
+            ix.screen(&q, 0),
+            "in-flight retired ids still execute (conservative survive)"
+        );
+        let stats = ix.stats();
+        assert_eq!((stats.live, stats.tombstoned), (1, 1));
+        // Re-adding resurrects the slot.
+        ix.add(0, &chain(&[1, 2]));
+        assert_eq!(ix.screen_corpus(&q), vec![0, 1]);
+    }
+
+    #[test]
+    fn unknown_ids_survive() {
+        let ix = index_of(&[chain(&[1, 2])]);
+        let q = screen_query(&[chain(&[3, 3])]);
+        assert!(ix.screen(&q, 99), "unknown id must never be rejected");
+    }
+}

@@ -18,8 +18,9 @@
 //!   partition can never be served against the new one (DESIGN.md §12).
 
 use sigmo_core::engine::EngineConfig;
-use sigmo_core::{MatchMode, QueryPlan};
+use sigmo_core::{LabelSchema, MatchMode, QueryPlan};
 use sigmo_graph::LabeledGraph;
+use sigmo_index::{FrozenIndex, IndexConfig, MoleculeIndex};
 use sigmo_mol::canonical_code;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -55,14 +56,83 @@ pub struct MolStore {
     exact: HashMap<Vec<u8>, MolId>,
     index: HashMap<Vec<u8>, MolId>,
     graphs: Vec<LabeledGraph>,
+    /// The standing-corpus screening index, maintained inline: interning
+    /// a new class digests it, retiring a class tombstones it. `None`
+    /// when screening is disabled.
+    screen: Option<MoleculeIndex>,
     hits: u64,
     misses: u64,
 }
 
 impl MolStore {
-    /// Creates an empty store.
+    /// Creates an empty store with screening disabled.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty store that maintains a [`MoleculeIndex`] over
+    /// the corpus: every interned class is digested once at ingest
+    /// under `schema` (which must be the engine's signature schema).
+    pub fn with_screen_index(config: IndexConfig, schema: &LabelSchema) -> Self {
+        Self {
+            screen: Some(MoleculeIndex::new(config, schema)),
+            ..Self::default()
+        }
+    }
+
+    /// The screening index, when one is maintained.
+    pub fn screen_index(&self) -> Option<&MoleculeIndex> {
+        self.screen.as_ref()
+    }
+
+    /// Bulk-loads a frozen index file into an **empty** store: stored
+    /// graphs become the corpus (absent slots — compacted tombstones —
+    /// keep their ids retired), interning entries are rebuilt, and with
+    /// `keep_screen` the file's digests are adopted verbatim (no
+    /// signature recompute). Returns the number of live molecules.
+    pub fn adopt_frozen(
+        &mut self,
+        frozen: &FrozenIndex,
+        keep_screen: bool,
+        schema: &LabelSchema,
+    ) -> Result<usize, String> {
+        if !self.is_empty() || self.screen.as_ref().is_some_and(|s| !s.is_empty()) {
+            return Err("index preload requires an empty molecule store".into());
+        }
+        let (index, graphs) = frozen.thaw().map_err(|e| e.to_string())?;
+        if keep_screen && index.schema() != schema {
+            return Err("index label schema does not match the engine schema".into());
+        }
+        let mut live = 0usize;
+        for (id, graph) in graphs.into_iter().enumerate() {
+            match graph {
+                Some(graph) => {
+                    self.exact.insert(exact_key(&graph), id as MolId);
+                    self.index.insert(canonical_code(&graph), id as MolId);
+                    self.graphs.push(graph);
+                    live += 1;
+                }
+                // A compacted tombstone: the slot keeps its id (so fresh
+                // interns mint above it) but is not resolvable.
+                None => self.graphs.push(LabeledGraph::new()),
+            }
+        }
+        if keep_screen {
+            self.screen = Some(index);
+        }
+        Ok(live)
+    }
+
+    /// Serializes the maintained screening index (with the stored
+    /// representatives) to the persistent `SIGMOIDX` byte layout.
+    /// Errors when the store maintains no index.
+    pub fn freeze_index(&self) -> Result<Vec<u8>, String> {
+        let screen = self
+            .screen
+            .as_ref()
+            .ok_or_else(|| "this store maintains no screening index".to_string())?;
+        let graphs: Vec<Option<&LabeledGraph>> = self.graphs.iter().map(Some).collect();
+        Ok(sigmo_index::serialize(screen, &graphs))
     }
 
     /// Interns a molecule, returning the id of its isomorphism class.
@@ -83,6 +153,9 @@ impl MolStore {
             None => {
                 self.misses += 1;
                 let id = self.graphs.len() as MolId;
+                if let Some(screen) = &mut self.screen {
+                    screen.add(id, graph);
+                }
                 self.graphs.push(graph.clone());
                 self.index.insert(key, id);
                 id
@@ -114,6 +187,13 @@ impl MolStore {
     /// must bump the shard epoch (see `Server::remove_molecule`) so stale
     /// cached results keyed to the old corpus become unreachable.
     pub fn retire(&mut self, id: MolId) -> bool {
+        // Tombstone first: a retired molecule must stop appearing in any
+        // corpus-level screen immediately (the per-molecule screen keeps
+        // letting the id survive, so in-flight holders still execute
+        // exactly as with the index off).
+        if let Some(screen) = &mut self.screen {
+            screen.remove(id);
+        }
         let before = self.exact.len() + self.index.len();
         // sigmo-lint: allow(nondet-collection-iter) — set-membership
         // retain; the surviving map is the same whatever order entries

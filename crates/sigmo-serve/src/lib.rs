@@ -20,6 +20,14 @@
 //!   work-stealing, and graceful degradation — results bit-identical to
 //!   the unsharded fault-free oracle.
 //!
+//! The [`sigmo_index`] screening tier plugs in underneath the molecule
+//! store: each interned molecule's signature digest is registered once,
+//! and every execution batch is screened against the standing index
+//! before the engine runs. Screening is sound (DESIGN.md §13) — a pruned
+//! molecule's synthesized empty outcome is exactly what the engine would
+//! have produced — so index-on and index-off transcripts are
+//! bit-identical, ticks included.
+//!
 //! The design contract (DESIGN.md §9): batching and caching are invisible
 //! to results. A molecule's outcome is a pure function of (plan, molecule,
 //! mode, step budget) because the stream runner bisects truncated chunks
@@ -37,6 +45,7 @@ pub use server::{
     MatchRequest, RejectReason, RequestReport, ServeConfig, ServeStats, Server, StepOutcome,
 };
 pub use shard::{ShardConfig, ShardRouter, ShardStats, SliceDispatch};
+pub use sigmo_index::{FrozenIndex, IndexConfig, IndexFileError, ScreenQuery};
 pub use sim::{
     generate_workload, oracle_replay, run_soak, served_outcome, OracleOutcome, SoakEntry,
     SoakReport, TimedRequest, WorkloadConfig,

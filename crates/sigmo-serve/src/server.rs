@@ -20,6 +20,7 @@ use sigmo_core::engine::EngineConfig;
 use sigmo_core::{Completion, MatchMode, RunBudget, StreamReport, StreamRunner, TruncationReason};
 use sigmo_device::Queue;
 use sigmo_graph::LabeledGraph;
+use sigmo_index::{FrozenIndex, IndexConfig, ScreenQuery};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -91,6 +92,13 @@ pub struct ServeStats {
     pub executed_molecules: u64,
     /// Micro-batch groups executed.
     pub batches: u64,
+    /// Molecules consulted against the screening index (the exec-stage
+    /// occurrences of [`ServeStats::executed_molecules`] while an index
+    /// is enabled).
+    pub index_screened: u64,
+    /// Molecules the index proved matchless — answered with a
+    /// synthesized empty outcome instead of an engine run.
+    pub index_pruned: u64,
 }
 
 /// Server configuration.
@@ -119,6 +127,13 @@ pub struct ServeConfig {
     /// degradation (see [`crate::shard`]); `None` keeps the single-node
     /// path bit-for-bit unchanged.
     pub sharding: Option<ShardConfig>,
+    /// Standing-corpus screening index: `Some` digests every interned
+    /// molecule once at ingest and consults the index per plan-group,
+    /// so provably matchless molecules skip the engine entirely. Sound
+    /// screening keeps every outcome — truncation flags and virtual-
+    /// clock accounting included — bit-identical to `None` (the
+    /// index-off oracle); only wall-clock work shrinks.
+    pub index: Option<IndexConfig>,
 }
 
 impl Default for ServeConfig {
@@ -133,6 +148,7 @@ impl Default for ServeConfig {
             result_cache_capacity: 1 << 16,
             caching: true,
             sharding: None,
+            index: Some(IndexConfig::default()),
         }
     }
 }
@@ -178,6 +194,8 @@ pub struct Server {
     mols: MolStore,
     plans: PlanCache,
     results: ResultCache,
+    /// Per-plan screening shadows, built lazily on first group run.
+    screens: HashMap<PlanId, Arc<ScreenQuery>>,
     router: Option<ShardRouter>,
     /// Corpus partition version: part of every result-cache key, bumped
     /// by [`Server::repartition`] so stale merged results never serve.
@@ -188,6 +206,8 @@ pub struct Server {
     rejected: u64,
     executed: u64,
     batches: u64,
+    screened: u64,
+    pruned: u64,
 }
 
 impl Server {
@@ -199,12 +219,17 @@ impl Server {
             0
         });
         let router = config.sharding.clone().map(ShardRouter::new);
+        let mols = match &config.index {
+            Some(ix) => MolStore::with_screen_index(*ix, &config.engine.schema),
+            None => MolStore::new(),
+        };
         Self {
             config,
             queue,
-            mols: MolStore::new(),
+            mols,
             plans: PlanCache::new(),
             results,
+            screens: HashMap::new(),
             router,
             epoch: 0,
             pending: Vec::new(),
@@ -213,7 +238,24 @@ impl Server {
             rejected: 0,
             executed: 0,
             batches: 0,
+            screened: 0,
+            pruned: 0,
         }
+    }
+
+    /// Bulk-loads a standing corpus from a frozen index file into this
+    /// (empty) server: stored graphs are re-interned, and — when
+    /// screening is enabled — the file's digests are adopted verbatim,
+    /// skipping the per-molecule signature recompute. The corpus change
+    /// is versioned forward via [`Server::repartition`]. Returns the
+    /// number of live molecules loaded.
+    pub fn preload_index(&mut self, frozen: &FrozenIndex) -> Result<usize, String> {
+        let keep_screen = self.config.index.is_some();
+        let live = self
+            .mols
+            .adopt_frozen(frozen, keep_screen, &self.config.engine.schema)?;
+        self.repartition();
+        Ok(live)
     }
 
     /// The server's configuration.
@@ -393,10 +435,18 @@ impl Server {
             }
         }
 
+        // Consult the standing-corpus index per plan-group: a pruned
+        // molecule is one the index *proves* the exact filter would
+        // reject outright (no GMCR pair, zero matches, zero join steps),
+        // so its outcome is synthesized instead of executed. Grouping,
+        // slicing, scheduling, and tick accounting all still see the
+        // full exec list — only engine work disappears — which keeps
+        // every run bit-identical to the index-off oracle.
+        let pruned = self.screen_exec(plan_id, &exec);
         let (fresh, cacheable, finishes) = if self.router.is_some() {
-            self.execute_sharded(plan_id, mode, &exec)
+            self.execute_sharded(plan_id, mode, &exec, pruned.as_deref())
         } else {
-            let (fresh, cacheable) = self.execute(plan_id, mode, &exec);
+            let (fresh, cacheable) = self.execute(plan_id, mode, &exec, pruned.as_deref());
             let finishes = vec![0u64; exec.len()];
             (fresh, cacheable, finishes)
         };
@@ -482,29 +532,48 @@ impl Server {
         (exec.len(), reports)
     }
 
+    /// Screens `exec` against the standing-corpus index (when enabled):
+    /// returns the parallel pruned mask — `true` marks a molecule whose
+    /// rejection is proven, so it need not run. The plan's screening
+    /// shadow is extracted once and cached by [`PlanId`].
+    fn screen_exec(&mut self, plan_id: PlanId, exec: &[MolId]) -> Option<Vec<bool>> {
+        let index = self.mols.screen_index()?;
+        let radius = index.config().radius;
+        let query = match self.screens.get(&plan_id) {
+            Some(q) => Arc::clone(q),
+            None => {
+                let plan = self.plans.plan(plan_id);
+                let q = Arc::new(ScreenQuery::from_plan(&plan, radius));
+                self.screens.insert(plan_id, Arc::clone(&q));
+                q
+            }
+        };
+        let index = self.mols.screen_index().expect("screen index checked");
+        let mask: Vec<bool> = exec.iter().map(|&m| !index.screen(&query, m)).collect();
+        self.screened += exec.len() as u64;
+        self.pruned += mask.iter().filter(|&&p| p).count() as u64;
+        Some(mask)
+    }
+
     /// Runs `exec` through the streamed engine under the shared plan,
     /// returning one outcome per executed molecule (in `exec` order) plus
-    /// a parallel cacheability mask.
+    /// a parallel cacheability mask. Molecules marked in `pruned` skip
+    /// the engine and keep their synthesized empty outcome — exactly the
+    /// value the engine would have produced (screening's soundness
+    /// contract), so the cacheability default (`true`) is also exact.
     fn execute(
         &mut self,
         plan_id: PlanId,
         mode: MatchMode,
         exec: &[MolId],
+        pruned: Option<&[bool]>,
     ) -> (Vec<Arc<MolOutcome>>, Vec<bool>) {
         if exec.is_empty() {
             return (Vec::new(), Vec::new());
         }
-        let mut cfg = self.config.engine.clone();
-        cfg.mode = mode;
-        let runner = StreamRunner::new(cfg, self.config.memory_budget)
-            .with_budget(self.config.budget.clone());
-        let mols: Vec<LabeledGraph> = exec.iter().map(|&m| self.mols.graph(m).clone()).collect();
-        let report = if self.config.caching {
-            let plan = self.plans.plan(plan_id);
-            runner.run_with_plan(&plan, mols, &self.queue)
-        } else {
-            // Ablation: rebuild the plan for every group execution.
-            runner.run(self.plans.queries(plan_id), mols, &self.queue)
+        let survivors: Vec<usize> = match pruned {
+            Some(mask) => (0..exec.len()).filter(|&i| !mask[i]).collect(),
+            None => (0..exec.len()).collect(),
         };
         let mut outcomes: Vec<MolOutcome> = exec
             .iter()
@@ -514,22 +583,39 @@ impl Server {
                 unavailable: false,
             })
             .collect();
-        for &(d, q, n) in &report.pair_counts {
-            outcomes[d].pairs.push((q, n));
-        }
-        for &d in &report.truncated_graphs {
-            outcomes[d].truncated = true;
-        }
-        // Quarantined molecules whose reason is not a local step trip
-        // (deadline / embedding cap) are also truncated, and their
-        // partials are wall-clock- or batch-dependent: report them but
-        // never cache them. With the serving default (step budgets only),
-        // this set is empty.
         let mut cacheable = vec![true; exec.len()];
-        for quarantined in &report.quarantined {
-            if quarantined.reason != TruncationReason::StepBudget {
-                outcomes[quarantined.index].truncated = true;
-                cacheable[quarantined.index] = false;
+        if !survivors.is_empty() {
+            let mut cfg = self.config.engine.clone();
+            cfg.mode = mode;
+            let runner = StreamRunner::new(cfg, self.config.memory_budget)
+                .with_budget(self.config.budget.clone());
+            let mols: Vec<LabeledGraph> = survivors
+                .iter()
+                .map(|&pos| self.mols.graph(exec[pos]).clone())
+                .collect();
+            let report = if self.config.caching {
+                let plan = self.plans.plan(plan_id);
+                runner.run_with_plan(&plan, mols, &self.queue)
+            } else {
+                // Ablation: rebuild the plan for every group execution.
+                runner.run(self.plans.queries(plan_id), mols, &self.queue)
+            };
+            for &(d, q, n) in &report.pair_counts {
+                outcomes[survivors[d]].pairs.push((q, n));
+            }
+            for &d in &report.truncated_graphs {
+                outcomes[survivors[d]].truncated = true;
+            }
+            // Quarantined molecules whose reason is not a local step trip
+            // (deadline / embedding cap) are also truncated, and their
+            // partials are wall-clock- or batch-dependent: report them but
+            // never cache them. With the serving default (step budgets
+            // only), this set is empty.
+            for quarantined in &report.quarantined {
+                if quarantined.reason != TruncationReason::StepBudget {
+                    outcomes[survivors[quarantined.index]].truncated = true;
+                    cacheable[survivors[quarantined.index]] = false;
+                }
             }
         }
         (outcomes.into_iter().map(Arc::new).collect(), cacheable)
@@ -544,11 +630,17 @@ impl Server {
     /// [`StreamReport::normalize`] — bit-identical to the unsharded path.
     /// Returns outcomes, the cacheability mask, and each molecule's
     /// finish tick (its slice's completion, relative to the step start).
+    ///
+    /// Index screening composes per slice: pruned molecules stay in
+    /// their slice for scheduling (ticks, replica wear, and degraded
+    /// bookkeeping are identical to the index-off run) but are dropped
+    /// from the engine batch — the synthesized empty outcome is exact.
     fn execute_sharded(
         &mut self,
         plan_id: PlanId,
         mode: MatchMode,
         exec: &[MolId],
+        pruned: Option<&[bool]>,
     ) -> (Vec<Arc<MolOutcome>>, Vec<bool>, Vec<u64>) {
         if exec.is_empty() {
             return (Vec::new(), Vec::new(), Vec::new());
@@ -582,15 +674,23 @@ impl Server {
             }
             if dispatch.rank.is_none() {
                 // Every replica exhausted: the slice degrades to zero
-                // counts instead of failing the batch.
+                // counts instead of failing the batch — pruned positions
+                // included, exactly as in the index-off run.
                 degraded.extend(slice.iter().copied());
+                continue;
+            }
+            let kept: Vec<usize> = match pruned {
+                Some(mask) => slice.iter().copied().filter(|&pos| !mask[pos]).collect(),
+                None => slice.clone(),
+            };
+            if kept.is_empty() {
                 continue;
             }
             let mut cfg = self.config.engine.clone();
             cfg.mode = mode;
             let runner = StreamRunner::new(cfg, self.config.memory_budget)
                 .with_budget(self.config.budget.clone());
-            let mols: Vec<LabeledGraph> = slice
+            let mols: Vec<LabeledGraph> = kept
                 .iter()
                 .map(|&pos| self.mols.graph(exec[pos]).clone())
                 .collect();
@@ -600,7 +700,7 @@ impl Server {
             } else {
                 runner.run(self.plans.queries(plan_id), mols, &self.queue)
             };
-            merged.absorb_partial(&part, slice);
+            merged.absorb_partial(&part, &kept);
         }
         merged.normalize();
         let mut outcomes: Vec<MolOutcome> = exec
@@ -652,6 +752,8 @@ impl Server {
             rejected: self.rejected,
             executed_molecules: self.executed,
             batches: self.batches,
+            index_screened: self.screened,
+            index_pruned: self.pruned,
         }
     }
 }

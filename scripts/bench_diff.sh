@@ -4,9 +4,11 @@
 # and the match totals) against the committed BENCH_pipeline.json.
 # Fails on a >25% phase regression or any drift in the match totals.
 # Also gates the serving soak (BENCH_serve.json), the adaptive-join
-# ablation (BENCH_adaptive.json), and the sharded fault soak
-# (BENCH_shard.json) — each skipped with a notice when its baseline is
-# not committed; virtual-clock quantities must match exactly.
+# ablation (BENCH_adaptive.json), the sharded fault soak
+# (BENCH_shard.json), and the corpus-screening bench (BENCH_index.json)
+# — each skipped with a notice when its baseline is not committed;
+# deterministic quantities (virtual-clock ticks, survivor sets, match
+# totals) must match exactly.
 #
 # Environment:
 #   SIGMO_BENCH_SCALE          must match the committed baseline's scale

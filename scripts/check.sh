@@ -32,12 +32,19 @@
 #                                 bit with zero degraded slices, and
 #                                 stealing must cut the hot shard's peak
 #                                 backlog (output diverted to target/)
-#  10. scripts/bench_diff.sh      per-phase wall-time regression gate vs
+#  10. ext_index                  corpus-screening bench: tiered corpora
+#                                 with planted rare-pattern carriers; the
+#                                 indexed path must match the index-off
+#                                 engine's totals exactly, beat it ≥5× at
+#                                 the largest corpus, and keep the screen
+#                                 wall sublinear (output diverted to
+#                                 target/)
+#  11. scripts/bench_diff.sh      per-phase wall-time regression gate vs
 #                                 the committed BENCH_pipeline.json,
 #                                 BENCH_serve.json, BENCH_adaptive.json,
-#                                 and BENCH_shard.json
+#                                 BENCH_shard.json, and BENCH_index.json
 #
-# `--fast` skips the bench stages (5-10) for quick pre-push runs. The lint
+# `--fast` skips the bench stages (5-11) for quick pre-push runs. The lint
 # stage is NOT skipped: the determinism audit is cheap (sub-second scan,
 # <5 s budget enforced in its own tests) and is exactly the check that
 # must not be skippable in a hurry.
@@ -90,6 +97,8 @@ if [ "$LINT_ONLY" -eq 0 ] && [ "$FAST" -eq 0 ]; then
         cargo run -q --release -p sigmo-bench --bin ext_adaptive
     stage shard-soak env SIGMO_BENCH_SHARD_OUT=target/BENCH_shard.fresh.json \
         cargo run -q --release -p sigmo-bench --bin ext_shard_soak
+    stage index-screen env SIGMO_BENCH_INDEX_OUT=target/BENCH_index.fresh.json \
+        cargo run -q --release -p sigmo-bench --bin ext_index
     stage bench-diff scripts/bench_diff.sh
 fi
 if [ "$LINT_ONLY" -eq 0 ] && [ "$PATHOLOGICAL" -eq 1 ]; then

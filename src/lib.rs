@@ -9,6 +9,7 @@ pub use sigmo_cluster as cluster;
 pub use sigmo_core as core;
 pub use sigmo_device as device;
 pub use sigmo_graph as graph;
+pub use sigmo_index as index;
 pub use sigmo_mol as mol;
 pub use sigmo_serve as serve;
 

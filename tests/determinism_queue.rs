@@ -23,8 +23,8 @@ use sigmo::device::{DeviceProfile, KernelRecord, Queue};
 use sigmo::graph::LabeledGraph;
 use sigmo::mol::{functional_groups, MoleculeGenerator};
 use sigmo::serve::{
-    generate_workload, run_soak, served_outcome, OracleOutcome, RejectReason, ServeConfig, Server,
-    ShardConfig, WorkloadConfig,
+    generate_workload, run_soak, served_outcome, IndexConfig, OracleOutcome, RejectReason,
+    ServeConfig, Server, ShardConfig, WorkloadConfig,
 };
 use std::sync::Mutex;
 
@@ -419,6 +419,96 @@ fn sharded_soak_is_identical_across_thread_counts_and_shard_counts() {
         }
     }
     std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+/// The indexed soak surface: the full [`SoakTrace`] plus the screening
+/// counters `(screened, pruned)` — counters included so the *screening
+/// decisions themselves* must be thread-count-independent.
+fn run_indexed_soak(
+    threads: &str,
+    index: Option<IndexConfig>,
+    sharding: Option<ShardConfig>,
+) -> (SoakTrace, (u64, u64)) {
+    std::env::set_var("RAYON_NUM_THREADS", threads);
+    let trace = generate_workload(&WorkloadConfig {
+        requests: 48,
+        seed: 0xbead,
+        mol_pool: 24,
+        query_sets: 3,
+        queries_per_set: 6,
+        max_request_molecules: 6,
+        mean_interarrival: 1,
+        find_first_pct: 25,
+        pool_skew: 2,
+    });
+    let config = ServeConfig {
+        queue_capacity: 4096,
+        max_batch_requests: 8,
+        budget: RunBudget::none().with_step_budget(25),
+        sharding,
+        index,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::new(config, Queue::new(DeviceProfile::host()));
+    let soak = run_soak(&mut server, &trace);
+    let stats = server.stats();
+    (
+        (
+            soak.entries
+                .iter()
+                .map(|e| {
+                    (
+                        e.trace_index,
+                        e.completed,
+                        e.report.completion,
+                        served_outcome(&e.report),
+                    )
+                })
+                .collect(),
+            soak.rejected,
+            soak.final_tick,
+        ),
+        (stats.index_screened, stats.index_pruned),
+    )
+}
+
+#[test]
+fn index_screening_is_deterministic_and_invisible_to_soak_transcripts() {
+    // Tentpole invariant, pinned from the outside: corpus screening must
+    // (a) make bit-identical prune decisions whatever the rayon thread
+    // count, and (b) leave the full transcript — per-request outcomes,
+    // statuses, completion ticks, rejections, final tick — bit-identical
+    // to the index-off run, unsharded and sharded alike. Pruned
+    // molecules still occupy their slice positions, so even the virtual
+    // clock may not move.
+    let _guard = ENV_LOCK.lock().unwrap();
+    let on = Some(IndexConfig::default());
+    let (trace_1, counters_1) = run_indexed_soak("1", on, None);
+    assert!(counters_1.0 > 0, "no molecules screened — test is vacuous");
+    for threads in ["2", "4", "8"] {
+        let (trace_n, counters_n) = run_indexed_soak(threads, on, None);
+        assert_eq!(
+            trace_1, trace_n,
+            "indexed trace diverged between 1 and {threads} threads"
+        );
+        assert_eq!(
+            counters_1, counters_n,
+            "screening counters diverged between 1 and {threads} threads"
+        );
+    }
+    let (trace_off, counters_off) = run_indexed_soak("1", None, None);
+    assert_eq!(counters_off, (0, 0), "index-off run must not screen");
+    assert_eq!(
+        trace_1, trace_off,
+        "index-on and index-off transcripts diverged"
+    );
+    let (sharded_on, _) = run_indexed_soak("1", on, Some(faulty_sharding(3)));
+    let (sharded_off, _) = run_indexed_soak("1", None, Some(faulty_sharding(3)));
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(
+        sharded_on, sharded_off,
+        "index-on and index-off sharded transcripts diverged"
+    );
 }
 
 #[test]

@@ -1,0 +1,237 @@
+//! Corpus-screening soundness, pinned from outside the crates.
+//!
+//! The screening tier's contract (DESIGN.md §13) is *no false rejects*:
+//! a molecule the index prunes for a query plan must be one the full
+//! engine would have reported zero matches for. These tests check that
+//! directly — every pruned molecule is re-run through the real engine —
+//! plus the corpus-level variants: `screen_corpus` must agree with the
+//! per-molecule screen over live ids, removed molecules must never
+//! appear in screened results, and the on-disk layout must round-trip
+//! byte-identically and reject corrupt files cleanly.
+
+use proptest::prelude::*;
+use sigmo::core::{Engine, EngineConfig, QueryPlan};
+use sigmo::device::{DeviceProfile, Queue};
+use sigmo::graph::LabeledGraph;
+use sigmo::index::{serialize, FrozenIndex, IndexConfig, MoleculeIndex, ScreenQuery};
+use sigmo::mol::{functional_groups, MoleculeGenerator};
+
+fn corpus(seed: u64, count: usize) -> Vec<LabeledGraph> {
+    let mut gen = MoleculeGenerator::with_seed(seed);
+    gen.generate_batch(count)
+        .iter()
+        .map(|m| m.to_labeled_graph())
+        .collect()
+}
+
+fn queries(take: usize, skip: usize) -> Vec<LabeledGraph> {
+    functional_groups()
+        .into_iter()
+        .skip(skip)
+        .take(take)
+        .map(|q| q.graph)
+        .collect()
+}
+
+/// Builds an index over `mols` and the screen query for `query_graphs`
+/// under the default engine schema.
+fn build_screen(
+    mols: &[LabeledGraph],
+    query_graphs: &[LabeledGraph],
+    radius: usize,
+) -> (MoleculeIndex, ScreenQuery) {
+    let config = EngineConfig::default();
+    let mut index = MoleculeIndex::new(IndexConfig { radius }, &config.schema);
+    for (id, mol) in mols.iter().enumerate() {
+        index.add(id as u32, mol);
+    }
+    let plan = QueryPlan::build(query_graphs, &config);
+    let screen = ScreenQuery::from_plan(&plan, radius);
+    (index, screen)
+}
+
+/// The soundness oracle: every molecule the screen rejects must get zero
+/// matches (and a complete, untruncated run) from the real engine.
+fn assert_no_false_rejects(
+    mols: &[LabeledGraph],
+    query_graphs: &[LabeledGraph],
+    index: &MoleculeIndex,
+    screen: &ScreenQuery,
+) -> usize {
+    let queue = Queue::new(DeviceProfile::host());
+    let mut pruned = 0usize;
+    for (id, mol) in mols.iter().enumerate() {
+        if index.screen(screen, id as u32) {
+            continue;
+        }
+        pruned += 1;
+        let report = Engine::new(EngineConfig::default()).run(
+            query_graphs,
+            std::slice::from_ref(mol),
+            &queue,
+        );
+        assert_eq!(
+            report.total_matches, 0,
+            "screen pruned molecule {id}, but the engine found matches"
+        );
+        assert!(
+            report.matched_pair_list.is_empty(),
+            "screen pruned molecule {id}, but a GMCR pair survived"
+        );
+        assert!(
+            report.completion.is_complete(),
+            "a pruned molecule's oracle run may not truncate"
+        );
+    }
+    pruned
+}
+
+#[test]
+fn screening_never_falsely_rejects_a_seeded_corpus() {
+    let mols = corpus(41, 60);
+    let qs = queries(8, 0);
+    let (index, screen) = build_screen(&mols, &qs, 4);
+    let pruned = assert_no_false_rejects(&mols, &qs, &index, &screen);
+    // Drug-like generated molecules vs the functional-group panel must
+    // prune *something*, or this test exercises nothing.
+    assert!(pruned > 0, "no molecule pruned — soundness test is vacuous");
+}
+
+#[test]
+fn screen_corpus_equals_per_molecule_screening() {
+    let mols = corpus(99, 50);
+    for skip in [0usize, 4, 8] {
+        let qs = queries(6, skip);
+        let (index, screen) = build_screen(&mols, &qs, 4);
+        let survivors = index.screen_corpus(&screen);
+        let expected: Vec<u32> = (0..mols.len() as u32)
+            .filter(|&id| index.screen(&screen, id))
+            .collect();
+        assert_eq!(
+            survivors, expected,
+            "posting-list path diverged (skip {skip})"
+        );
+    }
+}
+
+#[test]
+fn removed_molecules_never_appear_in_screened_results() {
+    let mols = corpus(7, 40);
+    let qs = queries(6, 0);
+    let (mut index, screen) = build_screen(&mols, &qs, 4);
+    let before = index.screen_corpus(&screen);
+    assert!(!before.is_empty(), "nothing survived — test is vacuous");
+    // Tombstone every surviving molecule one at a time: each must vanish
+    // from the screened corpus immediately, and nothing new may appear.
+    let mut gone: Vec<u32> = Vec::new();
+    for &id in &before {
+        index.remove(id);
+        gone.push(id);
+        let now = index.screen_corpus(&screen);
+        for dead in &gone {
+            assert!(
+                !now.contains(dead),
+                "removed molecule {dead} still screened in"
+            );
+        }
+        let expected: Vec<u32> = before
+            .iter()
+            .copied()
+            .filter(|m| !gone.contains(m))
+            .collect();
+        assert_eq!(now, expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized soundness: seeded corpora and query panels, digest
+    /// radii 0..=4 (0 exercises the presence/pair-only path). Every
+    /// prune decision is re-checked against the real engine.
+    #[test]
+    fn screening_is_sound_for_any_seed(
+        seed in 0u64..1000,
+        count in 8usize..24,
+        take in 2usize..6,
+        skip in 0usize..10,
+        radius in 0usize..=4,
+    ) {
+        let mols = corpus(seed, count);
+        let qs = queries(take, skip);
+        let (index, screen) = build_screen(&mols, &qs, radius);
+        assert_no_false_rejects(&mols, &qs, &index, &screen);
+        let survivors = index.screen_corpus(&screen);
+        let expected: Vec<u32> = (0..mols.len() as u32)
+            .filter(|&id| index.screen(&screen, id))
+            .collect();
+        prop_assert_eq!(survivors, expected);
+    }
+
+    /// Serialize → open → thaw → serialize is a byte-level fixpoint, for
+    /// any corpus and any tombstone pattern.
+    #[test]
+    fn disk_round_trip_is_byte_identical(
+        seed in 0u64..1000,
+        count in 1usize..16,
+        tombstone_mask in 0u32..4096,
+    ) {
+        let mols = corpus(seed, count);
+        let config = EngineConfig::default();
+        let mut index = MoleculeIndex::new(IndexConfig { radius: 3 }, &config.schema);
+        for (id, mol) in mols.iter().enumerate() {
+            index.add(id as u32, mol);
+        }
+        for (id, _) in mols.iter().enumerate() {
+            if tombstone_mask & (1 << (id % 12)) != 0 {
+                index.remove(id as u32);
+            }
+        }
+        let graphs: Vec<Option<&LabeledGraph>> = mols.iter().map(Some).collect();
+        let bytes = serialize(&index, &graphs);
+        let frozen = FrozenIndex::open(bytes.clone()).expect("fresh bytes must open");
+        let (thawed, thawed_graphs) = frozen.thaw().expect("fresh bytes must thaw");
+        let graph_refs: Vec<Option<&LabeledGraph>> =
+            thawed_graphs.iter().map(Option::as_ref).collect();
+        let again = serialize(&thawed, &graph_refs);
+        prop_assert_eq!(bytes, again, "second serialization diverged");
+    }
+
+    /// Corrupt inputs are rejected cleanly: truncations always error,
+    /// arbitrary single-byte flips either error or parse — never panic.
+    #[test]
+    fn corrupt_index_files_are_rejected_without_panic(
+        seed in 0u64..100,
+        cut in 0usize..10_000,
+        flip_pos in 0usize..10_000,
+        flip_bit in 0u8..8,
+    ) {
+        let mols = corpus(seed, 6);
+        let config = EngineConfig::default();
+        let mut index = MoleculeIndex::new(IndexConfig { radius: 2 }, &config.schema);
+        for (id, mol) in mols.iter().enumerate() {
+            index.add(id as u32, mol);
+        }
+        let graphs: Vec<Option<&LabeledGraph>> = mols.iter().map(Some).collect();
+        let bytes = serialize(&index, &graphs);
+
+        // Any proper prefix must fail validation (sections run to EOF).
+        let cut = cut % bytes.len();
+        prop_assert!(FrozenIndex::open(bytes[..cut].to_vec()).is_err());
+
+        // A flipped bit anywhere must not panic; the checksummed
+        // sections make almost all flips a hard error.
+        let mut flipped = bytes.clone();
+        let pos = flip_pos % flipped.len();
+        flipped[pos] ^= 1 << flip_bit;
+        let _ = FrozenIndex::open(flipped);
+
+        // A wrong version is always a clean, typed rejection.
+        let mut wrong = bytes;
+        wrong[8] = 0x7f;
+        prop_assert!(matches!(
+            FrozenIndex::open(wrong),
+            Err(sigmo::index::IndexFileError::BadVersion(_))
+        ));
+    }
+}
