@@ -47,38 +47,51 @@ pub(crate) fn edge_ok(ql: u8, dl: u8) -> bool {
 }
 
 /// Exhaustive brute force: tries every injective assignment in query-node
-/// order with only label pruning. Exponential — tests only.
+/// order with only label pruning. Honors compiled node predicates (SMARTS
+/// `[C,N]`, `D<n>`, ring membership, …) when the query carries them, so it
+/// doubles as the predicate-query oracle. Exponential — tests only.
 pub struct BruteForceMatcher;
 
-impl BruteForceMatcher {
-    fn recurse(
-        query: &LabeledGraph,
-        data: &LabeledGraph,
-        mapping: &mut Vec<NodeId>,
-        used: &mut Vec<bool>,
-        out: &mut Vec<Vec<NodeId>>,
-        limit: usize,
-        count: &mut u64,
-    ) {
-        let depth = mapping.len();
-        if depth == query.num_nodes() {
-            *count += 1;
-            if out.len() < limit {
-                out.push(mapping.clone());
+/// Backtracking state for one brute-force pair run.
+struct BruteForceSearch<'a> {
+    query: &'a LabeledGraph,
+    data: &'a LabeledGraph,
+    /// Data-node attribute table, built only when the query carries
+    /// predicates (degree, H count, charge, ring size).
+    attrs: Option<sigmo_graph::NodeAttrs>,
+    mapping: Vec<NodeId>,
+    used: Vec<bool>,
+    out: Vec<Vec<NodeId>>,
+    limit: usize,
+    count: u64,
+}
+
+impl BruteForceSearch<'_> {
+    fn recurse(&mut self) {
+        let depth = self.mapping.len();
+        if depth == self.query.num_nodes() {
+            self.count += 1;
+            if self.out.len() < self.limit {
+                self.out.push(self.mapping.clone());
             }
             return;
         }
         let q = depth as NodeId;
-        for d in 0..data.num_nodes() as NodeId {
-            if used[d as usize] || !label_ok(query.label(q), data.label(d)) {
+        for d in 0..self.data.num_nodes() as NodeId {
+            if self.used[d as usize] || !label_ok(self.query.label(q), self.data.label(d)) {
                 continue;
             }
+            if let (Some(attrs), Some(pred)) = (self.attrs.as_ref(), self.query.predicate(q)) {
+                if !pred.matches(attrs, d) {
+                    continue;
+                }
+            }
             // Check all query edges to already-mapped nodes.
-            let consistent = query.neighbors(q).iter().all(|&(u, ql)| {
+            let consistent = self.query.neighbors(q).iter().all(|&(u, ql)| {
                 if u >= q {
                     return true; // not mapped yet
                 }
-                match data.edge_label(mapping[u as usize], d) {
+                match self.data.edge_label(self.mapping[u as usize], d) {
                     Some(dl) => edge_ok(ql, dl),
                     None => false,
                 }
@@ -86,30 +99,32 @@ impl BruteForceMatcher {
             if !consistent {
                 continue;
             }
-            mapping.push(d);
-            used[d as usize] = true;
-            Self::recurse(query, data, mapping, used, out, limit, count);
-            used[d as usize] = false;
-            mapping.pop();
+            self.mapping.push(d);
+            self.used[d as usize] = true;
+            self.recurse();
+            self.used[d as usize] = false;
+            self.mapping.pop();
         }
     }
+}
 
+impl BruteForceMatcher {
     fn run(query: &LabeledGraph, data: &LabeledGraph, limit: usize) -> (u64, Vec<Vec<NodeId>>) {
         if query.num_nodes() == 0 || query.num_nodes() > data.num_nodes() {
             return (0, Vec::new());
         }
-        let mut out = Vec::new();
-        let mut count = 0;
-        Self::recurse(
+        let mut search = BruteForceSearch {
             query,
             data,
-            &mut Vec::with_capacity(query.num_nodes()),
-            &mut vec![false; data.num_nodes()],
-            &mut out,
+            attrs: query.has_predicates().then(|| data.node_attrs()),
+            mapping: Vec::with_capacity(query.num_nodes()),
+            used: vec![false; data.num_nodes()],
+            out: Vec::new(),
             limit,
-            &mut count,
-        );
-        (count, out)
+            count: 0,
+        };
+        search.recurse();
+        (search.count, search.out)
     }
 }
 

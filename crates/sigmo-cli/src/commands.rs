@@ -204,6 +204,29 @@ fn serve_setup(args: &ParsedArgs) -> Result<(ServeConfig, WorkloadConfig), ArgEr
     Ok((config, workload))
 }
 
+/// Bulk-loads a `--corpus <file.smi>` into the server's standing corpus
+/// when the flag is given, appending the load summary (and the
+/// deterministic quarantine report) to `out`.
+fn preload_corpus(
+    args: &ParsedArgs,
+    server: &mut Server,
+    out: &mut String,
+) -> Result<(), CliError> {
+    let Some(path) = args.get("corpus") else {
+        return Ok(());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(IoError::Fs(e)))?;
+    let load = server.preload_corpus(&text);
+    quarantine_report(out, &load.quarantined);
+    writeln!(
+        out,
+        "corpus: {} molecules ({} classes) from {path}",
+        load.loaded, load.classes
+    )
+    .unwrap();
+    Ok(())
+}
+
 /// Loads a persisted `--index` file when the flag is given.
 fn load_frozen(args: &ParsedArgs) -> Result<Option<FrozenIndex>, CliError> {
     match args.get("index") {
@@ -382,8 +405,9 @@ fn cmd_serve(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
     if let Some(frozen) = load_frozen(args)? {
         server.preload_index(&frozen).map_err(CliError::Index)?;
     }
-    let soak = run_soak(&mut server, &trace);
     let mut out = String::new();
+    preload_corpus(args, &mut server, &mut out)?;
+    let soak = run_soak(&mut server, &trace);
     serve_summary(&mut out, &soak, &server.stats());
     if let Some(stats) = server.shard_stats() {
         shard_summary(&mut out, stats);
@@ -401,11 +425,12 @@ fn cmd_replay(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
     if let Some(frozen) = load_frozen(args)? {
         server.preload_index(&frozen).map_err(CliError::Index)?;
     }
+    let mut out = String::new();
+    preload_corpus(args, &mut server, &mut out)?;
     let soak = run_soak(&mut server, &trace);
     let queue = Queue::new(DeviceProfile::host());
     let mut mismatches = 0usize;
     let mut degraded = 0usize;
-    let mut out = String::new();
     for entry in &soak.entries {
         if entry.report.completion
             == sigmo_core::Completion::Truncated(sigmo_core::TruncationReason::ShardUnavailable)
@@ -616,28 +641,60 @@ fn cmd_generate(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
     })
 }
 
+/// Renders a quarantine report: one deterministic line per rejected
+/// input line, in file order.
+fn quarantine_report(out: &mut String, quarantined: &[sigmo_mol::QuarantinedLine]) {
+    if quarantined.is_empty() {
+        return;
+    }
+    writeln!(out, "quarantined {} lines:", quarantined.len()).unwrap();
+    for q in quarantined {
+        writeln!(out, "  line {}: {} ({})", q.line, q.text, q.error).unwrap();
+    }
+}
+
 /// `index build`: digests every molecule in `--data` once (under the
 /// default engine schema, canonical-deduplicated exactly as the server
 /// interns them) and persists the screening index to `--output`.
+///
+/// `--smi <file>` is the bulk-ingest alternative to `--data`: lines parse
+/// in parallel and malformed records are quarantined (reported, never
+/// fatal) instead of aborting the whole build.
 fn cmd_index_build(args: &ParsedArgs) -> Result<CommandOutput, CliError> {
-    let data = load_molecules(args.require("data")?, false)?;
     let output = args.require("output")?.to_string();
     let radius = args.get_parsed("radius", IndexConfig::default().radius, "an integer ≥ 0")?;
     let schema = EngineConfig::default().schema;
     let mut store = MolStore::with_screen_index(IndexConfig { radius }, &schema);
-    for m in &data {
-        store.intern(&m.molecule.to_labeled_graph());
-    }
+    let mut out = String::new();
+    let total = match args.get("smi") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(IoError::Fs(e)))?;
+            let ingest = sigmo_mol::ingest_smi(&text, false);
+            for (_, mol) in &ingest.molecules {
+                store.intern(&mol.to_labeled_graph());
+            }
+            quarantine_report(&mut out, &ingest.quarantined);
+            ingest.molecules.len()
+        }
+        None => {
+            let data = load_molecules(args.require("data")?, false)?;
+            for m in &data {
+                store.intern(&m.molecule.to_labeled_graph());
+            }
+            data.len()
+        }
+    };
     let bytes = store.freeze_index().map_err(CliError::Index)?;
     let stats = store.screen_index().expect("index maintained").stats();
-    let stdout = format!(
-        "indexed {} molecules ({} classes) at radius {radius}: {output} ({} bytes)\n",
-        data.len(),
+    writeln!(
+        out,
+        "indexed {total} molecules ({} classes) at radius {radius}: {output} ({} bytes)",
         stats.live,
         bytes.len()
-    );
+    )
+    .unwrap();
     Ok(CommandOutput {
-        stdout,
+        stdout: out,
         files: vec![(output, bytes)],
     })
 }
@@ -1129,12 +1186,60 @@ mod tests {
         std::fs::write(&out.files[0].0, &out.files[0].1).unwrap();
         let args = parse_args(&strs(&["index", "stat", "--index", &out_path])).unwrap();
         let out = run_command(&args).unwrap();
-        assert!(out.stdout.contains("format version: 1"), "{}", out.stdout);
+        assert!(out.stdout.contains("format version: 2"), "{}", out.stdout);
         assert!(
             out.stdout.contains("molecules: 3 live / 3 slots"),
             "{}",
             out.stdout
         );
+    }
+
+    #[test]
+    fn index_build_smi_quarantines_bad_lines() {
+        let d = write_temp(
+            "ibq.smi",
+            "CCO ethanol\nnot(a(molecule garbage\nCC(=O)O acid\nXx bogus\nc1ccccc1 benzene\n",
+        );
+        let out_path = std::env::temp_dir()
+            .join("sigmo-cli-tests")
+            .join("ibq.sigmoidx")
+            .to_string_lossy()
+            .into_owned();
+        let args = parse_args(&strs(&[
+            "index", "build", "--smi", &d, "--output", &out_path,
+        ]))
+        .unwrap();
+        let out = run_command(&args).unwrap();
+        assert!(out.stdout.contains("quarantined 2 lines"), "{}", out.stdout);
+        assert!(out.stdout.contains("line 2:"), "{}", out.stdout);
+        assert!(out.stdout.contains("line 4:"), "{}", out.stdout);
+        assert!(out.stdout.contains("indexed 3 molecules"), "{}", out.stdout);
+        // Quarantine never aborts: the index is still produced.
+        assert_eq!(out.files.len(), 1);
+    }
+
+    #[test]
+    fn serve_corpus_flag_preloads_and_reports() {
+        let d = write_temp("corpus.smi", "CCO a\nbroken[ b\nCC(=O)O c\nCCO dup\n");
+        let args = parse_args(&strs(&[
+            "serve",
+            "--requests",
+            "5",
+            "--seed",
+            "3",
+            "--corpus",
+            &d,
+        ]))
+        .unwrap();
+        let out = run_command(&args).unwrap();
+        // 3 valid lines, one a duplicate class of another.
+        assert!(
+            out.stdout.contains("corpus: 3 molecules (2 classes)"),
+            "{}",
+            out.stdout
+        );
+        assert!(out.stdout.contains("quarantined 1 lines"), "{}", out.stdout);
+        assert!(out.stdout.contains("line 2:"), "{}", out.stdout);
     }
 
     #[test]

@@ -8,8 +8,8 @@
 
 use crate::candidates::{CandidateBitmap, WordWidth};
 use crate::filter::{
-    initialize_candidates_bucketed, label_pair_filter, refine_candidates_classes,
-    refine_candidates_delta,
+    initialize_candidates_bucketed, label_pair_filter, node_predicate_filter,
+    refine_candidates_classes, refine_candidates_delta,
 };
 use crate::governor::{Completion, Governor};
 use crate::join::cost::{JoinVariant, OrderChoice};
@@ -409,12 +409,19 @@ impl Engine {
             &bitmap,
             governor,
         );
+        // Node-predicate filter: clears candidates failing a query node's
+        // compiled SMARTS predicate (atom list, degree, ring, H-count,
+        // charge). Local properties, so — like the pair pre-check — it runs
+        // once at radius 0 and folds into iteration 1's stats. Predicate-free
+        // batches have an empty work list and skip the launch entirely,
+        // leaving their stats bit-identical to the pre-predicate engine.
+        let pred_cleared = node_predicate_filter(queue, data, plan.pred_rows(), &bitmap, governor);
         let mut iterations = Vec::with_capacity(cfg.refinement_iterations);
         iterations.push(IterationStats {
             iteration: 1,
             candidates: CandidateStats::from_bitmap(&bitmap),
-            cleared_bits: pair_cleared,
-            dirty_nodes: plan.pair_rows().len() as u64,
+            cleared_bits: pair_cleared + pred_cleared,
+            dirty_nodes: (plan.pair_rows().len() + plan.pred_rows().len()) as u64,
         });
         for it in 2..=cfg.refinement_iterations {
             // Refinement only prunes, so stopping between iterations keeps

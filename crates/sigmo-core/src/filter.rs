@@ -27,7 +27,7 @@ use crate::governor::Governor;
 use crate::schema::LabelSchema;
 use crate::signature::{Signature, SignatureSet};
 use sigmo_device::Queue;
-use sigmo_graph::{CsrGo, EdgeLabel, Label, NodeId, WILDCARD_EDGE, WILDCARD_LABEL};
+use sigmo_graph::{CsrGo, EdgeLabel, Label, NodeId, NodePredicate, WILDCARD_EDGE, WILDCARD_LABEL};
 
 /// Modeled instruction cost of one label comparison in the init kernel.
 const INIT_INSTR_PER_QNODE: u64 = 4;
@@ -710,9 +710,88 @@ pub fn pair_rows(queries: &CsrGo, schema: &LabelSchema) -> Vec<(u32, Signature)>
         .collect()
 }
 
+/// The node-predicate filter kernel: clears candidate bits whose data
+/// node fails a query node's compiled [`NodePredicate`] (SMARTS atom
+/// lists, degree, ring membership/size, H-count, formal charge). Runs
+/// once, right after the label-pair pre-check — predicates are *local*
+/// node properties, so like edge labels they are invisible to the
+/// node-label signature refinement loop, and the bits cleared here
+/// propagate to the join for free through the bitmap probe.
+///
+/// Transposed like [`label_pair_filter`]: one work-item per predicated
+/// query row, enumerating its live bits word-parallel and evaluating the
+/// predicate against host-precomputed per-data-node attributes
+/// ([`NodeAttrs`]: degree, H-neighbor count, charge, smallest-ring size —
+/// one pass over the data adjacency per launch).
+///
+/// Returns the number of bits cleared.
+pub fn node_predicate_filter(
+    queue: &Queue,
+    data: &CsrGo,
+    pred_rows: &[(u32, NodePredicate)],
+    bitmap: &CandidateBitmap,
+    governor: &Governor,
+) -> u64 {
+    if pred_rows.is_empty() {
+        return 0;
+    }
+    let attrs = data.node_attrs();
+    let word_bytes = bitmap.word_width().bytes();
+    let n = data.num_nodes();
+    let row_words = n.div_ceil(64) as u64;
+    let snap = queue.parallel_for_chunks_until(
+        "node_predicate_filter",
+        "filter",
+        pred_rows.len(),
+        DELTA_ROWS_PER_GROUP,
+        || governor.stopped(),
+        |items, counters| {
+            let mut cleared = 0u64;
+            let mut tests = 0u64;
+            let mut words = 0u64;
+            let mut trip_sq = 0u64;
+            let mut rows_run = 0u64;
+            let mut visit = |r: usize| {
+                let (q, ref pred) = pred_rows[r];
+                let mut row_tests = 0u64;
+                for d in bitmap.iter_set_in_range(q as usize, 0, n) {
+                    row_tests += 1;
+                    if !pred.matches(&attrs, d as NodeId) {
+                        bitmap.clear(q as usize, d);
+                        cleared += 1;
+                    }
+                }
+                words += row_words;
+                tests += row_tests;
+                trip_sq += row_tests * row_tests;
+                rows_run += 1;
+            };
+            for r in items {
+                if governor.stopped() {
+                    break; // consult once per row, never per bit
+                }
+                visit(r);
+            }
+            // Cost shape mirrors the label-pair kernel: each scanned row
+            // loads its bitmap words once; each live bit loads the data
+            // node's packed attributes (8 bytes: degree, h-count, charge,
+            // min-ring) and runs one predicate evaluation; each row its
+            // own predicate record (16 bytes).
+            counters.add_instructions(REFINE_INSTR_PER_TEST * tests + words);
+            counters.add_word_reads(words, word_bytes);
+            counters.add_bytes_read(tests * 8 + rows_run * 16);
+            counters.add_atomics(cleared);
+            counters.add_bytes_written(cleared * word_bytes);
+            counters.record_trip_moments(tests, trip_sq, rows_run);
+        },
+    );
+    snap.atomic_ops
+}
+
 /// Reference sequential filter for correctness tests: computes, per query
 /// node, the exact candidate set after `iterations` refinement iterations
-/// (iteration 1 = label match only) without any of the batched machinery.
+/// (iteration 1 = label match plus node predicates) without any of the
+/// batched machinery.
 pub fn reference_filter(
     queries: &CsrGo,
     data: &CsrGo,
@@ -723,11 +802,16 @@ pub fn reference_filter(
     assert!(iterations >= 1);
     let nq = queries.num_nodes();
     let nd = data.num_nodes();
+    let attrs = data.node_attrs();
     let mut cands: Vec<Vec<NodeId>> = (0..nq)
         .map(|q| {
             let ql = queries.label(q as NodeId);
+            let pred = queries.predicate(q as NodeId);
             (0..nd as NodeId)
-                .filter(|&d| ql == WILDCARD_LABEL || data.label(d) == ql)
+                .filter(|&d| {
+                    (ql == WILDCARD_LABEL || data.label(d) == ql)
+                        && pred.is_none_or(|p| p.matches(&attrs, d))
+                })
                 .collect()
         })
         .collect();

@@ -130,6 +130,37 @@ pub fn label_pair_filter(
     cleared
 }
 
+/// Per-bit reference of the node-predicate filter: for every set bit of a
+/// predicated query row, evaluates the compiled [`NodePredicate`] against
+/// freshly built data-node attributes and clears on failure. Shares the
+/// evaluation function with the kernel (`NodePredicate::matches`), so the
+/// differential test pins only the word-parallel row enumeration and the
+/// host-side attribute precompute. Returns the number of bits cleared.
+// sigmo-lint: allow(per-bit-probe) — this IS the per-bit oracle for the
+// transposed word-parallel node_predicate_filter kernel.
+pub fn node_predicate_filter(queries: &CsrGo, data: &CsrGo, bitmap: &CandidateBitmap) -> u64 {
+    let attrs = data.node_attrs();
+    let mut cleared = 0u64;
+    for q in 0..queries.num_nodes() {
+        let Some(pred) = queries.predicate(q as NodeId) else {
+            continue;
+        };
+        if pred.is_trivial() {
+            continue;
+        }
+        for d in 0..data.num_nodes() {
+            if !bitmap.get(q, d) {
+                continue;
+            }
+            if !pred.matches(&attrs, d as NodeId) {
+                bitmap.clear(q, d);
+                cleared += 1;
+            }
+        }
+    }
+    cleared
+}
+
 /// Per-bit candidate enumeration: probes every column of `[col_lo, col_hi)`
 /// with `get`, in ascending order.
 // sigmo-lint: allow(per-bit-probe) — oracle for iter_set_in_range; the

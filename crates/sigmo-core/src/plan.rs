@@ -29,7 +29,7 @@ use crate::filter::{self, DeltaClasses, LabelBuckets, SignatureClasses};
 use crate::join;
 use crate::schema::LabelSchema;
 use crate::signature::{Signature, SignatureSet};
-use sigmo_graph::{CsrGo, LabeledGraph};
+use sigmo_graph::{CsrGo, LabeledGraph, NodePredicate};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -84,6 +84,11 @@ pub struct QueryPlan {
     /// Query rows with a non-empty label-pair signature — the work list of
     /// the label-pair pre-check kernel (a pure function of the batch).
     pair_rows: Vec<(u32, Signature)>,
+    /// Query rows with a non-trivial compiled [`NodePredicate`] (SMARTS
+    /// atom lists, degree, ring, H-count, charge) — the work list of the
+    /// predicate filter kernel. Empty for predicate-free batches, in which
+    /// case that kernel never launches.
+    pred_rows: Vec<(u32, NodePredicate)>,
 }
 
 impl QueryPlan {
@@ -132,6 +137,12 @@ impl QueryPlan {
             .collect();
         let pair_schema = filter::pair_schema();
         let pair_rows = filter::pair_rows(&csr, &pair_schema);
+        let pred_rows = csr
+            .predicates()
+            .iter()
+            .filter(|(_, p)| !p.is_trivial())
+            .cloned()
+            .collect();
         Self {
             csr,
             schema: config.schema.clone(),
@@ -143,6 +154,7 @@ impl QueryPlan {
             join_plans,
             pair_schema,
             pair_rows,
+            pred_rows,
         }
     }
 
@@ -229,6 +241,12 @@ impl QueryPlan {
     /// neighbor is a wildcard, in which case the pre-check is skipped).
     pub fn pair_rows(&self) -> &[(u32, Signature)] {
         &self.pair_rows
+    }
+
+    /// Query rows with a non-trivial node predicate, ascending — the
+    /// predicate filter kernel's work list.
+    pub fn pred_rows(&self) -> &[(u32, NodePredicate)] {
+        &self.pred_rows
     }
 }
 

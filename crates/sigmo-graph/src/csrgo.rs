@@ -8,6 +8,7 @@
 
 use crate::csr::Csr;
 use crate::graph::{EdgeLabel, Label, LabeledGraph, NodeId};
+use crate::predicate::{NodeAttrs, NodePredicate};
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
@@ -26,6 +27,15 @@ use std::ops::Range;
 pub struct CsrGo {
     csr: Csr,
     graph_offsets: Vec<u32>,
+    /// Nonzero formal charges across the batch, sparse and sorted by
+    /// global node id (offsets applied). Empty for uncharged batches.
+    #[serde(default)]
+    charges: Vec<(NodeId, i8)>,
+    /// Per-node query predicates across the batch, sparse and sorted by
+    /// global node id. Only query batches compiled from SMARTS carry
+    /// these.
+    #[serde(default)]
+    preds: Vec<(NodeId, NodePredicate)>,
 }
 
 impl CsrGo {
@@ -34,6 +44,8 @@ impl CsrGo {
     pub fn from_graphs(graphs: &[LabeledGraph]) -> Self {
         let mut union = LabeledGraph::new();
         let mut graph_offsets = Vec::with_capacity(graphs.len() + 1);
+        let mut charges = Vec::new();
+        let mut preds = Vec::new();
         graph_offsets.push(0u32);
         let mut base: u32 = 0;
         for g in graphs {
@@ -45,12 +57,20 @@ impl CsrGo {
                     .add_edge(base + a, base + b, l)
                     .expect("offset edges cannot collide across graphs");
             }
+            for &(v, c) in g.charges() {
+                charges.push((base + v, c));
+            }
+            for (v, p) in g.predicates() {
+                preds.push((base + v, p.clone()));
+            }
             base += g.num_nodes() as u32;
             graph_offsets.push(base);
         }
         Self {
             csr: Csr::from_graph(&union),
             graph_offsets,
+            charges,
+            preds,
         }
     }
 
@@ -132,6 +152,56 @@ impl CsrGo {
         self.csr.has_edge(a, b)
     }
 
+    /// Formal charge of global node `v` (0 unless the source graph set
+    /// one).
+    pub fn charge(&self, v: NodeId) -> i8 {
+        self.charges
+            .binary_search_by_key(&v, |&(n, _)| n)
+            .map(|i| self.charges[i].1)
+            .unwrap_or(0)
+    }
+
+    /// The sparse nonzero-charge table, sorted by global node id.
+    pub fn charges(&self) -> &[(NodeId, i8)] {
+        &self.charges
+    }
+
+    /// The predicate attached to global node `v`, if any.
+    pub fn predicate(&self, v: NodeId) -> Option<&NodePredicate> {
+        self.preds
+            .binary_search_by_key(&v, |(n, _)| *n)
+            .ok()
+            .map(|i| &self.preds[i].1)
+    }
+
+    /// The sparse predicate table, sorted by global node id.
+    pub fn predicates(&self) -> &[(NodeId, NodePredicate)] {
+        &self.preds
+    }
+
+    /// True when any node in the batch carries a predicate.
+    pub fn has_predicates(&self) -> bool {
+        !self.preds.is_empty()
+    }
+
+    /// Per-node attributes over the whole batch (graphs are disconnected,
+    /// so per-graph ring perception composes trivially). Computed on
+    /// demand — only predicate-bearing runs pay for it.
+    pub fn node_attrs(&self) -> NodeAttrs {
+        let n = self.num_nodes();
+        let charges: Vec<i8> = {
+            let mut dense = vec![0i8; n];
+            for &(v, c) in &self.charges {
+                dense[v as usize] = c;
+            }
+            dense
+        };
+        let adj: Vec<Vec<NodeId>> = (0..n as NodeId)
+            .map(|v| self.neighbors(v).to_vec())
+            .collect();
+        NodeAttrs::build(self.labels(), &charges, &adj)
+    }
+
     /// The graph-offsets array (length `num_graphs + 1`).
     pub fn graph_offsets(&self) -> &[u32] {
         &self.graph_offsets
@@ -158,6 +228,16 @@ impl CsrGo {
                     out.add_edge(v - base, u - base, labels[i])
                         .expect("extracted edge valid");
                 }
+            }
+        }
+        for &(v, c) in &self.charges {
+            if v >= base && v < self.graph_offsets[g + 1] {
+                out.set_charge(v - base, c);
+            }
+        }
+        for (v, p) in &self.preds {
+            if *v >= base && *v < self.graph_offsets[g + 1] {
+                out.set_predicate(v - base, p.clone());
             }
         }
         out
@@ -240,6 +320,46 @@ mod tests {
         assert_eq!(b.graph_len(0), 0);
         assert_eq!(b.graph_len(1), 2);
         assert_eq!(b.graph_of(0), 1);
+    }
+
+    #[test]
+    fn charges_and_predicates_round_trip_through_batch() {
+        let mut g0 = LabeledGraph::from_edges(&[1, 2], &[(0, 1)]).unwrap();
+        g0.set_charge(1, -1);
+        let mut g1 = LabeledGraph::from_edges(&[3, 1, 1], &[(0, 1), (1, 2)]).unwrap();
+        g1.set_charge(0, 2);
+        g1.set_predicate(
+            2,
+            NodePredicate {
+                degree: Some(1),
+                ..Default::default()
+            },
+        );
+        let b = CsrGo::from_graphs(&[g0.clone(), g1.clone()]);
+        // Global views: offsets applied.
+        assert_eq!(b.charge(1), -1);
+        assert_eq!(b.charge(2), 2);
+        assert_eq!(b.charge(0), 0);
+        assert!(b.has_predicates());
+        assert_eq!(b.predicate(4).unwrap().degree, Some(1));
+        assert!(b.predicate(3).is_none());
+        // Round trip back to standalone graphs.
+        assert_eq!(b.extract_graph(0).charges(), g0.charges());
+        assert_eq!(b.extract_graph(1).charges(), g1.charges());
+        assert_eq!(b.extract_graph(1).predicates(), g1.predicates());
+    }
+
+    #[test]
+    fn batch_node_attrs_compose_per_graph() {
+        // g0 = triangle, g1 = path; ring perception must not leak across
+        // the graph boundary.
+        let g0 = LabeledGraph::from_edges(&[1, 1, 1], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let g1 = LabeledGraph::from_edges(&[0, 1], &[(0, 1)]).unwrap();
+        let b = CsrGo::from_graphs(&[g0, g1]);
+        let attrs = b.node_attrs();
+        assert_eq!(attrs.min_ring, vec![3, 3, 3, 0, 0]);
+        assert_eq!(attrs.h_count[4], 1);
+        assert_eq!(attrs.degree, vec![2, 2, 2, 1, 1]);
     }
 
     #[test]

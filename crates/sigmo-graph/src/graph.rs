@@ -1,5 +1,6 @@
 //! Simple, undirected, labeled graphs with an adjacency-list builder API.
 
+use crate::predicate::{NodeAttrs, NodePredicate};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -57,6 +58,15 @@ pub struct LabeledGraph {
     labels: Vec<Label>,
     adj: Vec<Vec<(NodeId, EdgeLabel)>>,
     num_edges: usize,
+    /// Nonzero formal charges, sparse and sorted by node id. Uncharged
+    /// graphs carry an empty vector, so equality and hashing of graphs
+    /// built before charges existed are unchanged.
+    #[serde(default)]
+    charges: Vec<(NodeId, i8)>,
+    /// Per-node query predicates, sparse and sorted by node id. Only query
+    /// graphs compiled from SMARTS carry these; data graphs never do.
+    #[serde(default)]
+    preds: Vec<(NodeId, NodePredicate)>,
 }
 
 impl LabeledGraph {
@@ -72,6 +82,8 @@ impl LabeledGraph {
             labels: vec![label; n],
             adj: vec![Vec::new(); n],
             num_edges: 0,
+            charges: Vec::new(),
+            preds: Vec::new(),
         }
     }
 
@@ -94,6 +106,86 @@ impl LabeledGraph {
         self.labels.push(label);
         self.adj.push(Vec::new());
         id
+    }
+
+    /// Sets node `v`'s formal charge. Zero (the default) removes the
+    /// entry, so an explicitly neutralized graph equals a never-charged
+    /// one.
+    pub fn set_charge(&mut self, v: NodeId, charge: i8) {
+        debug_assert!((v as usize) < self.labels.len());
+        match self.charges.binary_search_by_key(&v, |&(n, _)| n) {
+            Ok(i) if charge == 0 => {
+                self.charges.remove(i);
+            }
+            Ok(i) => self.charges[i].1 = charge,
+            Err(_) if charge == 0 => {}
+            Err(i) => self.charges.insert(i, (v, charge)),
+        }
+    }
+
+    /// Node `v`'s formal charge (0 unless set).
+    pub fn charge(&self, v: NodeId) -> i8 {
+        self.charges
+            .binary_search_by_key(&v, |&(n, _)| n)
+            .map(|i| self.charges[i].1)
+            .unwrap_or(0)
+    }
+
+    /// The sparse nonzero-charge table, sorted by node id.
+    pub fn charges(&self) -> &[(NodeId, i8)] {
+        &self.charges
+    }
+
+    /// True when any node carries a nonzero formal charge.
+    pub fn has_charges(&self) -> bool {
+        !self.charges.is_empty()
+    }
+
+    /// Attaches a query predicate to node `v` (replacing any existing
+    /// one). Trivial predicates remove the entry instead of storing an
+    /// always-true constraint.
+    pub fn set_predicate(&mut self, v: NodeId, pred: NodePredicate) {
+        debug_assert!((v as usize) < self.labels.len());
+        match self.preds.binary_search_by_key(&v, |(n, _)| *n) {
+            Ok(i) if pred.is_trivial() => {
+                self.preds.remove(i);
+            }
+            Ok(i) => self.preds[i].1 = pred,
+            Err(_) if pred.is_trivial() => {}
+            Err(i) => self.preds.insert(i, (v, pred)),
+        }
+    }
+
+    /// The predicate attached to node `v`, if any.
+    pub fn predicate(&self, v: NodeId) -> Option<&NodePredicate> {
+        self.preds
+            .binary_search_by_key(&v, |(n, _)| *n)
+            .ok()
+            .map(|i| &self.preds[i].1)
+    }
+
+    /// The sparse predicate table, sorted by node id.
+    pub fn predicates(&self) -> &[(NodeId, NodePredicate)] {
+        &self.preds
+    }
+
+    /// True when any node carries a predicate.
+    pub fn has_predicates(&self) -> bool {
+        !self.preds.is_empty()
+    }
+
+    /// Per-node attributes (degree, H-neighbor count, charge, smallest
+    /// ring) for predicate evaluation — see [`NodeAttrs`].
+    pub fn node_attrs(&self) -> NodeAttrs {
+        let charges: Vec<i8> = (0..self.labels.len() as NodeId)
+            .map(|v| self.charge(v))
+            .collect();
+        let adj: Vec<Vec<NodeId>> = self
+            .adj
+            .iter()
+            .map(|nbrs| nbrs.iter().map(|&(u, _)| u).collect())
+            .collect();
+        NodeAttrs::build(&self.labels, &charges, &adj)
     }
 
     /// Adds an undirected labeled edge. Fails on self-loops, duplicate
@@ -199,7 +291,11 @@ impl LabeledGraph {
         for (i, &v) in nodes.iter().enumerate() {
             debug_assert_eq!(map[v as usize], u32::MAX, "duplicate node in induced set");
             map[v as usize] = i as u32;
-            g.add_node(self.label(v));
+            let nv = g.add_node(self.label(v));
+            g.set_charge(nv, self.charge(v));
+            if let Some(p) = self.predicate(v) {
+                g.set_predicate(nv, p.clone());
+            }
         }
         for &v in nodes {
             let nv = map[v as usize];
@@ -215,8 +311,10 @@ impl LabeledGraph {
 
     /// Checks that a candidate mapping `f: query node -> data node` (this
     /// graph is the data graph) is a valid embedding of `query`:
-    /// label-preserving, injective, and edge-preserving with matching edge
-    /// labels. Wildcard labels on the query side match anything.
+    /// label-preserving, injective, edge-preserving with matching edge
+    /// labels, and satisfying every query-node [`NodePredicate`]. Wildcard
+    /// labels on the query side match anything. Raw formal charges are
+    /// *not* a matching constraint — only an explicit charge predicate is.
     ///
     /// This is the reference validity predicate used by tests and property
     /// checks; engines must only ever report mappings for which this holds.
@@ -234,6 +332,15 @@ impl LabeledGraph {
             let ql = query.label(q as NodeId);
             if ql != WILDCARD_LABEL && ql != self.label(d) {
                 return false;
+            }
+        }
+        // Node predicates, evaluated against this graph's attribute table.
+        if query.has_predicates() {
+            let attrs = self.node_attrs();
+            for (q, pred) in query.predicates() {
+                if !pred.matches(&attrs, f[*q as usize]) {
+                    return false;
+                }
             }
         }
         // Edge preservation with edge labels.

@@ -22,6 +22,7 @@ pub mod csrgo;
 pub mod generators;
 pub mod graph;
 pub mod metrics;
+pub mod predicate;
 
 pub use bfs::{Bfs, RingIter};
 pub use csr::Csr;
@@ -33,3 +34,4 @@ pub use graph::{
     EdgeLabel, GraphError, Label, LabeledGraph, NodeId, WILDCARD_EDGE, WILDCARD_LABEL,
 };
 pub use metrics::{connected_components, diameter, eccentricity, is_connected};
+pub use predicate::{NodeAttrs, NodePredicate, H_LABEL};

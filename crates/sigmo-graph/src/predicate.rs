@@ -1,0 +1,301 @@
+//! Per-node query predicates and the data-node attributes they test.
+//!
+//! SMARTS-style queries constrain more than the element label: atom lists
+//! `[C,N]`, negations `[!C]`, degree `D<n>`, ring membership `R` / `r<n>`,
+//! total-hydrogen `H<n>`, and formal-charge tests. A [`NodePredicate`]
+//! records the conjunction of such constraints for one query node; the
+//! query compiler (`sigmo-mol`'s SMARTS front-end) attaches them to
+//! [`crate::LabeledGraph`] nodes, and `sigmo-core` evaluates them during
+//! candidate-bitmap initialization via a dedicated filter pass.
+//!
+//! Evaluation is centralized in [`NodePredicate::matches`] against a
+//! [`NodeAttrs`] table so that the word-parallel kernel, the per-bit naive
+//! oracle, and the reference validity predicate
+//! ([`crate::LabeledGraph::is_valid_embedding`]) all agree bit for bit —
+//! the differential tests depend on there being exactly one definition.
+
+use crate::graph::{Label, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// The node label that counts as "hydrogen" for total-H predicates. The
+/// molecular front-end assigns element codes with hydrogen first; data
+/// graphs carry explicit hydrogens, so `H<n>` is a neighbor-label count.
+pub const H_LABEL: Label = 0;
+
+/// A conjunction of per-node constraints beyond the plain label match.
+/// Every field is optional; [`NodePredicate::is_trivial`] predicates with
+/// no set field are dropped at attach time.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodePredicate {
+    /// Allowed-label bitmask (bit `l` set ⇒ label `l` allowed), for atom
+    /// lists and negations. Labels ≥ 64 never match a mask. `None` means
+    /// the plain node label (possibly wildcard) already decides.
+    pub label_any: Option<u64>,
+    /// Exact degree (explicit-hydrogen neighbors included).
+    pub degree: Option<u8>,
+    /// Ring membership: `Some(true)` requires the node to lie on a cycle,
+    /// `Some(false)` forbids it.
+    pub ring: Option<bool>,
+    /// Smallest ring through the node must have exactly this size.
+    pub ring_size: Option<u8>,
+    /// Exact count of neighbors labeled [`H_LABEL`].
+    pub h_count: Option<u8>,
+    /// Exact formal charge.
+    pub charge: Option<i8>,
+}
+
+impl NodePredicate {
+    /// True when no constraint is set — such predicates are never stored.
+    pub fn is_trivial(&self) -> bool {
+        self.label_any.is_none()
+            && self.degree.is_none()
+            && self.ring.is_none()
+            && self.ring_size.is_none()
+            && self.h_count.is_none()
+            && self.charge.is_none()
+    }
+
+    /// Evaluates the conjunction against data node `v`'s attributes. This
+    /// is the single definition every evaluation path shares.
+    pub fn matches(&self, attrs: &NodeAttrs, v: NodeId) -> bool {
+        let i = v as usize;
+        if let Some(mask) = self.label_any {
+            let l = attrs.labels[i];
+            if (l as usize) >= 64 || mask & (1u64 << l) == 0 {
+                return false;
+            }
+        }
+        if let Some(d) = self.degree {
+            if attrs.degree[i] != d as u32 {
+                return false;
+            }
+        }
+        if let Some(h) = self.h_count {
+            if attrs.h_count[i] != h as u32 {
+                return false;
+            }
+        }
+        if let Some(c) = self.charge {
+            if attrs.charge[i] != c {
+                return false;
+            }
+        }
+        if let Some(in_ring) = self.ring {
+            if (attrs.min_ring[i] > 0) != in_ring {
+                return false;
+            }
+        }
+        if let Some(size) = self.ring_size {
+            if attrs.min_ring[i] != size as u32 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Per-node attributes of a data graph (or batch), precomputed once per
+/// graph so predicate evaluation is a table lookup. `min_ring[v]` is the
+/// length of the shortest cycle through `v` (0 when `v` is acyclic),
+/// computed exactly: for each incident edge, the edge is removed and the
+/// shortest alternative path between its endpoints closes the smallest
+/// cycle containing that edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeAttrs {
+    /// Node labels, id order.
+    pub labels: Vec<Label>,
+    /// Degrees.
+    pub degree: Vec<u32>,
+    /// Neighbors labeled [`H_LABEL`].
+    pub h_count: Vec<u32>,
+    /// Formal charges (0 unless the graph carries one).
+    pub charge: Vec<i8>,
+    /// Smallest ring through each node; 0 = not on any cycle.
+    pub min_ring: Vec<u32>,
+}
+
+impl NodeAttrs {
+    /// Builds the table from label/charge slices and an adjacency list
+    /// (`adj[v]` = neighbor ids of `v`). The adjacency must be symmetric.
+    pub fn build(labels: &[Label], charges: &[i8], adj: &[Vec<NodeId>]) -> Self {
+        let n = labels.len();
+        debug_assert_eq!(charges.len(), n);
+        debug_assert_eq!(adj.len(), n);
+        let degree: Vec<u32> = adj.iter().map(|nb| nb.len() as u32).collect();
+        let h_count: Vec<u32> = adj
+            .iter()
+            .map(|nb| {
+                nb.iter()
+                    .filter(|&&u| labels[u as usize] == H_LABEL)
+                    .count() as u32
+            })
+            .collect();
+        let min_ring = min_ring_sizes(n, adj);
+        Self {
+            labels: labels.to_vec(),
+            degree,
+            h_count,
+            charge: charges.to_vec(),
+            min_ring,
+        }
+    }
+}
+
+/// Shortest cycle through each node: min over incident edges `(v, u)` of
+/// `1 +` the shortest `v → u` path avoiding that edge (BFS). Exact on the
+/// simple graphs this crate builds; `O(Σ deg · (n + m))`, which is small
+/// for molecular graphs.
+fn min_ring_sizes(n: usize, adj: &[Vec<NodeId>]) -> Vec<u32> {
+    let mut out = vec![0u32; n];
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for v in 0..n as NodeId {
+        let mut best = u32::MAX;
+        for &u in &adj[v as usize] {
+            // BFS v → u without the direct edge.
+            dist.fill(u32::MAX);
+            dist[v as usize] = 0;
+            queue.clear();
+            queue.push_back(v);
+            'bfs: while let Some(x) = queue.pop_front() {
+                for &y in &adj[x as usize] {
+                    if x == v && y == u {
+                        continue; // the removed edge
+                    }
+                    if dist[y as usize] == u32::MAX {
+                        dist[y as usize] = dist[x as usize] + 1;
+                        if y == u {
+                            break 'bfs;
+                        }
+                        queue.push_back(y);
+                    }
+                }
+            }
+            if dist[u as usize] != u32::MAX {
+                best = best.min(dist[u as usize] + 1);
+            }
+        }
+        if best != u32::MAX {
+            out[v as usize] = best;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::LabeledGraph;
+
+    fn attrs_of(g: &LabeledGraph) -> NodeAttrs {
+        g.node_attrs()
+    }
+
+    #[test]
+    fn trivial_predicate_matches_everything() {
+        let g = LabeledGraph::from_edges(&[1, 0, 1], &[(0, 1), (1, 2)]).unwrap();
+        let attrs = attrs_of(&g);
+        let p = NodePredicate::default();
+        assert!(p.is_trivial());
+        for v in 0..3 {
+            assert!(p.matches(&attrs, v));
+        }
+    }
+
+    #[test]
+    fn label_mask_selects_listed_labels() {
+        let g = LabeledGraph::from_edges(&[1, 2, 3], &[(0, 1), (1, 2)]).unwrap();
+        let attrs = attrs_of(&g);
+        let p = NodePredicate {
+            label_any: Some((1 << 1) | (1 << 3)),
+            ..Default::default()
+        };
+        assert!(p.matches(&attrs, 0));
+        assert!(!p.matches(&attrs, 1));
+        assert!(p.matches(&attrs, 2));
+    }
+
+    #[test]
+    fn degree_and_h_count() {
+        // H-C-H chain: carbon has degree 2 and two hydrogens.
+        let g = LabeledGraph::from_edges(&[0, 1, 0], &[(0, 1), (1, 2)]).unwrap();
+        let attrs = attrs_of(&g);
+        let deg2 = NodePredicate {
+            degree: Some(2),
+            ..Default::default()
+        };
+        assert!(!deg2.matches(&attrs, 0));
+        assert!(deg2.matches(&attrs, 1));
+        let h2 = NodePredicate {
+            h_count: Some(2),
+            ..Default::default()
+        };
+        assert!(h2.matches(&attrs, 1));
+        assert!(!h2.matches(&attrs, 0));
+    }
+
+    #[test]
+    fn ring_membership_and_smallest_ring() {
+        // Triangle 0-1-2 with a pendant node 3 on node 2.
+        let g = LabeledGraph::from_edges(&[1, 1, 1, 1], &[(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
+        let attrs = attrs_of(&g);
+        assert_eq!(attrs.min_ring, vec![3, 3, 3, 0]);
+        let in_ring = NodePredicate {
+            ring: Some(true),
+            ..Default::default()
+        };
+        assert!(in_ring.matches(&attrs, 0));
+        assert!(!in_ring.matches(&attrs, 3));
+        let r3 = NodePredicate {
+            ring_size: Some(3),
+            ..Default::default()
+        };
+        assert!(r3.matches(&attrs, 1));
+        assert!(!r3.matches(&attrs, 3));
+    }
+
+    #[test]
+    fn fused_rings_report_smallest() {
+        // A 4-cycle sharing the edge (0, 1) with a triangle: nodes 0 and 1
+        // lie on both, their smallest ring is the triangle.
+        let mut g = LabeledGraph::with_uniform_labels(5, 1);
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (4, 1)] {
+            g.add_edge(a, b, 0).unwrap();
+        }
+        let attrs = attrs_of(&g);
+        assert_eq!(attrs.min_ring[0], 3);
+        assert_eq!(attrs.min_ring[1], 3);
+        assert_eq!(attrs.min_ring[2], 4);
+        assert_eq!(attrs.min_ring[4], 3);
+    }
+
+    #[test]
+    fn charge_predicate_reads_graph_charges() {
+        let mut g = LabeledGraph::from_edges(&[2, 1], &[(0, 1)]).unwrap();
+        g.set_charge(0, 1);
+        let attrs = attrs_of(&g);
+        let plus = NodePredicate {
+            charge: Some(1),
+            ..Default::default()
+        };
+        assert!(plus.matches(&attrs, 0));
+        assert!(!plus.matches(&attrs, 1));
+        let neutral = NodePredicate {
+            charge: Some(0),
+            ..Default::default()
+        };
+        assert!(neutral.matches(&attrs, 1));
+    }
+
+    #[test]
+    fn labels_at_or_above_64_never_match_a_mask() {
+        let g = LabeledGraph::from_edges(&[200, 1], &[(0, 1)]).unwrap();
+        let attrs = attrs_of(&g);
+        let p = NodePredicate {
+            label_any: Some(u64::MAX),
+            ..Default::default()
+        };
+        assert!(!p.matches(&attrs, 0));
+        assert!(p.matches(&attrs, 1));
+    }
+}

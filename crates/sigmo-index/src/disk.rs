@@ -42,8 +42,9 @@ use sigmo_graph::LabeledGraph;
 
 /// File magic: "SIGMOIDX".
 pub const MAGIC: &[u8; 8] = b"SIGMOIDX";
-/// Current (only) format version.
-pub const VERSION: u32 = 1;
+/// Current format version. Version 1 files (no charge section in graph
+/// blobs) remain readable; writes always produce the current version.
+pub const VERSION: u32 = 2;
 
 const HEADER_LEN: usize = 32;
 const SECTION_COUNT: usize = 6;
@@ -83,7 +84,10 @@ impl std::fmt::Display for IndexFileError {
             IndexFileError::TooShort => write!(f, "index file shorter than its header"),
             IndexFileError::BadMagic => write!(f, "not a SIGMOIDX index file"),
             IndexFileError::BadVersion(v) => {
-                write!(f, "unsupported index version {v} (expected {VERSION})")
+                write!(
+                    f,
+                    "unsupported index version {v} (supported: 1..={VERSION})"
+                )
             }
             IndexFileError::Truncated(what) => write!(f, "index file truncated: {what}"),
             IndexFileError::ChecksumMismatch(sec) => {
@@ -147,7 +151,9 @@ fn schema_bytes(schema: &LabelSchema) -> Vec<u8> {
 }
 
 fn graph_bytes(graph: &LabeledGraph) -> Vec<u8> {
-    let mut out = Vec::with_capacity(8 + graph.num_nodes() + 9 * graph.num_edges());
+    let charges = graph.charges();
+    let mut out =
+        Vec::with_capacity(12 + graph.num_nodes() + 9 * graph.num_edges() + 5 * charges.len());
     put_u32(&mut out, graph.num_nodes() as u32);
     out.extend_from_slice(graph.labels());
     put_u32(&mut out, graph.num_edges() as u32);
@@ -155,6 +161,13 @@ fn graph_bytes(graph: &LabeledGraph) -> Vec<u8> {
         put_u32(&mut out, a);
         put_u32(&mut out, b);
         out.push(l);
+    }
+    // Version 2: sparse formal charges. Version-1 blobs end at the last
+    // edge, so the reader treats a missing section as "no charges".
+    put_u32(&mut out, charges.len() as u32);
+    for &(v, c) in charges {
+        put_u32(&mut out, v);
+        out.push(c as u8);
     }
     out
 }
@@ -323,6 +336,7 @@ fn get_u64(bytes: &[u8], off: usize) -> Result<u64, IndexFileError> {
 #[derive(Debug)]
 pub struct FrozenIndex {
     bytes: Vec<u8>,
+    version: u32,
     radius: u32,
     num_mols: u32,
     /// `(offset, len)` per section id, index `id - 1`.
@@ -339,7 +353,7 @@ impl FrozenIndex {
             return Err(IndexFileError::BadMagic);
         }
         let version = get_u32(&bytes, 8)?;
-        if version != VERSION {
+        if version == 0 || version > VERSION {
             return Err(IndexFileError::BadVersion(version));
         }
         let radius = get_u32(&bytes, 12)?;
@@ -378,6 +392,7 @@ impl FrozenIndex {
         }
         let frozen = FrozenIndex {
             bytes,
+            version,
             radius,
             num_mols,
             sections,
@@ -559,6 +574,22 @@ impl FrozenIndex {
                 .map_err(|_| IndexFileError::Corrupt("invalid stored edge"))?;
             at += 9;
         }
+        // Version-2 charge section; version-1 blobs end at the last edge.
+        if at + 4 <= blob.len() {
+            let count = get_u32(blob, at)? as usize;
+            at += 4;
+            if blob.len() < at + count * 5 {
+                return Err(IndexFileError::Truncated("graph charges"));
+            }
+            for _ in 0..count {
+                let v = get_u32(blob, at)?;
+                if v as usize >= nodes {
+                    return Err(IndexFileError::Corrupt("charge on out-of-range node"));
+                }
+                graph.set_charge(v, blob[at + 4] as i8);
+                at += 5;
+            }
+        }
         Ok(Some(graph))
     }
 
@@ -587,7 +618,7 @@ impl FrozenIndex {
         let (pair_ids, _) = posting_count(SEC_PAIRS, 16);
         let (_, glen) = self.section(SEC_GRAPHS);
         Ok(IndexStat {
-            version: VERSION,
+            version: self.version,
             radius: self.radius,
             molecules: self.num_mols,
             live,

@@ -214,6 +214,14 @@ impl MoleculeIndex {
     /// digest (the molecule survives via this graph).
     fn accepts(graph: &GraphReq, query: &ScreenQuery, digest: &MolDigest) -> bool {
         for node in &graph.nodes {
+            // Atom-list weakening: the node maps only to labels in the
+            // mask, so the molecule must contain at least one of them.
+            if let Some(mask) = node.any_labels {
+                let present = (0..64u8).any(|l| mask >> l & 1 != 0 && digest.has_label(l));
+                if !present {
+                    return false;
+                }
+            }
             let (sig_digest, pair_digest) = match node.label {
                 Some(label) => {
                     if !digest.has_label(label) {

@@ -33,6 +33,14 @@ pub struct NodeReq {
     pub pair: Signature,
     /// Neighborhood signature at the screen radius (possibly `EMPTY`).
     pub sig: Signature,
+    /// Conservative weakening of a SMARTS atom-list / negation predicate:
+    /// the node can only map to a data node whose label bit is set here,
+    /// so the molecule must *contain* at least one such label
+    /// (presence-any digest check). The predicate's other fields (degree,
+    /// ring, H-count, charge) are per-node facts a molecule-level digest
+    /// cannot soundly test, so they are dropped — screening stays a pure
+    /// over-approximation of the exact filter.
+    pub any_labels: Option<u64>,
 }
 
 /// One query graph's requirements plus its posting-list needs.
@@ -75,8 +83,10 @@ impl ScreenQuery {
             .min(plan.last_dirty_radius())
             .min(plan.max_radius());
         let sigs = (sig_radius >= 1).then(|| plan.signatures_at(sig_radius));
-        // pair_rows is ascending by flat node id — walk it in lockstep.
+        // pair_rows and pred_rows are ascending by flat node id — walk
+        // them in lockstep.
         let mut pair_rows = plan.pair_rows().iter().peekable();
+        let mut pred_rows = plan.pred_rows().iter().peekable();
         let mut graphs = Vec::with_capacity(batch.num_graphs());
         for g in 0..batch.num_graphs() {
             let mut req = GraphReq::default();
@@ -89,12 +99,28 @@ impl ScreenQuery {
                     }
                     _ => Signature::EMPTY,
                 };
+                let any_labels = match pred_rows.peek() {
+                    Some(&&(row, ref pred)) if row == v => {
+                        pred_rows.next();
+                        pred.label_any
+                    }
+                    _ => None,
+                };
                 let sig = sigs.map_or(Signature::EMPTY, |s| s[v as usize]);
                 let label = (label != WILDCARD_LABEL).then_some(label);
-                if label.is_none() && pair == Signature::EMPTY && sig == Signature::EMPTY {
+                if label.is_none()
+                    && pair == Signature::EMPTY
+                    && sig == Signature::EMPTY
+                    && any_labels.is_none()
+                {
                     continue; // can never reject
                 }
-                req.nodes.push(NodeReq { label, pair, sig });
+                req.nodes.push(NodeReq {
+                    label,
+                    pair,
+                    sig,
+                    any_labels,
+                });
                 if let Some(l) = label {
                     if let Err(i) = req.labels.binary_search(&l) {
                         req.labels.insert(i, l);

@@ -77,6 +77,15 @@ fn emit_code(g: &LabeledGraph, classes: &[u32]) -> Vec<u8> {
         code.push(b as u8);
         code.push(l);
     }
+    // Charge section, only for charged graphs so uncharged codes are
+    // byte-identical to the pre-charge format. The 0xFF separator cannot
+    // collide with an edge triple's first byte (a class id < n ≤ 255).
+    if g.has_charges() {
+        code.push(0xFF);
+        for &v in &node_at {
+            code.push(g.charge(v) as u8);
+        }
+    }
     code
 }
 
@@ -175,14 +184,17 @@ pub fn canonical_code(g: &LabeledGraph) -> Vec<u8> {
     if g.num_nodes() == 0 {
         return vec![0];
     }
-    // Initial classes by node label.
-    let mut labels: Vec<u8> = g.labels().to_vec();
-    labels.sort_unstable();
-    labels.dedup();
-    let mut classes: Vec<u32> = g
-        .labels()
-        .iter()
-        .map(|l| labels.binary_search(l).unwrap() as u32)
+    // Initial classes by (node label, formal charge). Charges must split
+    // classes up front: the sibling-leaf shortcut below treats same-class
+    // leaves as interchangeable, which only holds when class membership
+    // already reflects every invariant the emitted code depends on.
+    let mut keys: Vec<(u8, i8)> = (0..g.num_nodes() as NodeId)
+        .map(|v| (g.label(v), g.charge(v)))
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let mut classes: Vec<u32> = (0..g.num_nodes() as NodeId)
+        .map(|v| keys.binary_search(&(g.label(v), g.charge(v))).unwrap() as u32)
         .collect();
     refine(g, &mut classes);
     split_sibling_leaves(g, &mut classes);
@@ -311,6 +323,50 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert!(are_isomorphic(&out[0], &a));
         assert!(are_isomorphic(&out[1], &c));
+    }
+
+    #[test]
+    fn charges_distinguish_otherwise_identical_graphs() {
+        // Methoxide vs methanol skeleton: same atoms/bonds, one charged O.
+        let neutral = parse_smiles("C[OH]").unwrap().to_labeled_graph();
+        let anion = parse_smiles("C[O-]").unwrap().to_labeled_graph();
+        // The anion has one fewer H, so compare heavy skeletons directly.
+        let mut a = LabeledGraph::from_edges(&[1, 3], &[(0, 1)]).unwrap();
+        let b = a.clone();
+        a.set_charge(1, -1);
+        assert_ne!(canonical_code(&a), canonical_code(&b));
+        assert!(!are_isomorphic(&neutral, &anion));
+    }
+
+    #[test]
+    fn charged_codes_are_permutation_invariant() {
+        // Carboxylate: two oxygens distinguishable only by charge.
+        let g = parse_smiles("CC(=O)[O-]").unwrap().to_labeled_graph();
+        let n = g.num_nodes() as u32;
+        let perm: Vec<u32> = (0..n).map(|v| (n - 1) - v).collect();
+        let h = permute_with_charges(&g, &perm);
+        assert_eq!(canonical_code(&g), canonical_code(&h));
+    }
+
+    fn permute_with_charges(g: &LabeledGraph, perm: &[u32]) -> LabeledGraph {
+        let mut out = permute(g, perm);
+        for &(v, c) in g.charges() {
+            out.set_charge(perm[v as usize], c);
+        }
+        out
+    }
+
+    #[test]
+    fn uncharged_codes_keep_the_legacy_format() {
+        // No 0xFF charge section for uncharged graphs — persisted index
+        // keys must stay stable.
+        let g = parse_smiles("CCO").unwrap().to_labeled_graph();
+        let code = canonical_code(&g);
+        assert_eq!(
+            code.len(),
+            1 + g.num_nodes() + 3 * g.num_edges(),
+            "unexpected trailing section in uncharged code"
+        );
     }
 
     #[test]

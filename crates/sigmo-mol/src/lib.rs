@@ -26,6 +26,7 @@ pub mod descriptors;
 pub mod elements;
 pub mod formats;
 pub mod generator;
+pub mod ingest;
 pub mod molecule;
 pub mod queries;
 pub mod smarts;
@@ -37,7 +38,8 @@ pub use descriptors::{cycle_basis, descriptors, ring_membership, Descriptors};
 pub use elements::{Element, NUM_ELEMENT_LABELS};
 pub use formats::{parse_mol_block, parse_sdf, write_mol_block, write_sdf, MolFileError};
 pub use generator::{GeneratorConfig, MoleculeGenerator};
-pub use molecule::{Bond, BondOrder, Molecule, MoleculeError};
+pub use ingest::{ingest_smi, QuarantinedLine, SmiIngest};
+pub use molecule::{Bond, BondOrder, Chirality, Molecule, MoleculeError};
 pub use queries::{functional_groups, QueryExtractor};
 pub use smarts::{parse_smarts, SmartsError};
 pub use smiles::{parse_smiles, parse_smiles_heavy, write_smiles, SmilesError};

@@ -43,6 +43,20 @@ impl BondOrder {
     }
 }
 
+/// Tetrahedral chirality marker parsed from SMILES. Recorded for
+/// round-tripping and provenance; matching ignores it (the engine works on
+/// constitution, not configuration).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Chirality {
+    /// No stereo descriptor.
+    #[default]
+    None,
+    /// `@` — anticlockwise.
+    Anticlockwise,
+    /// `@@` — clockwise.
+    Clockwise,
+}
+
 /// A bond record: endpoints plus order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Bond {
@@ -108,6 +122,22 @@ pub struct Molecule {
     /// Valence units in use per atom.
     used_valence: Vec<u8>,
     graph: LabeledGraph,
+    /// Formal charges per atom (0 = neutral). Charges shift the valence
+    /// budget (`[NH4+]` is tetravalent) and flow into the graph form so
+    /// canonicalization and charge predicates can see them.
+    #[serde(default)]
+    charges: Vec<i8>,
+    /// Isotope mass numbers per atom (0 = natural abundance). Recorded
+    /// only; isotopes do not change the element label.
+    #[serde(default)]
+    isotopes: Vec<u16>,
+    /// Chirality markers per atom. Recorded only.
+    #[serde(default)]
+    chirality: Vec<Chirality>,
+    /// Aromaticity flags per atom, from lowercase SMILES input or Hückel
+    /// perception after parsing. Recorded only; bonds stay kekulized.
+    #[serde(default)]
+    aromatic: Vec<bool>,
 }
 
 impl Molecule {
@@ -120,7 +150,68 @@ impl Molecule {
     pub fn add_atom(&mut self, element: Element) -> NodeId {
         self.atoms.push(element);
         self.used_valence.push(0);
+        self.charges.push(0);
+        self.isotopes.push(0);
+        self.chirality.push(Chirality::None);
+        self.aromatic.push(false);
         self.graph.add_node(element.label())
+    }
+
+    /// Sets atom `i`'s formal charge. Call before bonding the atom: the
+    /// charge shifts the valence budget (`N+` is tetravalent, `O-`
+    /// monovalent) and bonds already placed are not re-validated.
+    pub fn set_charge(&mut self, i: NodeId, charge: i8) {
+        self.charges[i as usize] = charge;
+        self.graph.set_charge(i, charge);
+    }
+
+    /// Formal charge of atom `i`.
+    pub fn charge(&self, i: NodeId) -> i8 {
+        self.charges[i as usize]
+    }
+
+    /// True when any atom carries a nonzero formal charge.
+    pub fn has_charges(&self) -> bool {
+        self.charges.iter().any(|&c| c != 0)
+    }
+
+    /// Sets atom `i`'s isotope mass number (0 = natural).
+    pub fn set_isotope(&mut self, i: NodeId, mass: u16) {
+        self.isotopes[i as usize] = mass;
+    }
+
+    /// Isotope mass number of atom `i` (0 = unspecified).
+    pub fn isotope(&self, i: NodeId) -> u16 {
+        self.isotopes[i as usize]
+    }
+
+    /// Sets atom `i`'s chirality marker.
+    pub fn set_chirality(&mut self, i: NodeId, c: Chirality) {
+        self.chirality[i as usize] = c;
+    }
+
+    /// Chirality marker of atom `i`.
+    pub fn chirality(&self, i: NodeId) -> Chirality {
+        self.chirality[i as usize]
+    }
+
+    /// Marks atom `i` as aromatic (perceived or declared).
+    pub fn set_aromatic(&mut self, i: NodeId, aromatic: bool) {
+        self.aromatic[i as usize] = aromatic;
+    }
+
+    /// Whether atom `i` was declared or perceived aromatic.
+    pub fn is_aromatic(&self, i: NodeId) -> bool {
+        self.aromatic[i as usize]
+    }
+
+    /// Maximum valence of atom `i` after its formal charge shifts the
+    /// budget: cations gain a bonding slot per positive charge, anions
+    /// lose one (clamped at zero). This simple shift covers the common
+    /// organic ions (`[NH4+]`, `[O-]`, `[NH3+]`…).
+    pub fn effective_max_valence(&self, i: NodeId) -> u8 {
+        let base = self.atoms[i as usize].max_valence() as i16;
+        (base + self.charges[i as usize] as i16).clamp(0, 8) as u8
     }
 
     /// Adds a bond, enforcing simple-graph and valence constraints.
@@ -134,7 +225,7 @@ impl Molecule {
         for &atom in &[a, b] {
             if let Some(&elem) = self.atoms.get(atom as usize) {
                 let used = self.used_valence[atom as usize] + order.valence();
-                if used > elem.max_valence() {
+                if used > self.effective_max_valence(atom) {
                     return Err(MoleculeError::ValenceExceeded {
                         atom,
                         element: elem,
@@ -177,9 +268,10 @@ impl Molecule {
         &self.bonds
     }
 
-    /// Remaining valence capacity of atom `i`.
+    /// Remaining valence capacity of atom `i` (charge-adjusted).
     pub fn free_valence(&self, i: NodeId) -> u8 {
-        self.atoms[i as usize].max_valence() - self.used_valence[i as usize]
+        self.effective_max_valence(i)
+            .saturating_sub(self.used_valence[i as usize])
     }
 
     /// Borrows the molecule as a labeled graph (element labels, bond-order

@@ -1,26 +1,34 @@
-//! A SMARTS-subset parser for query patterns.
+//! A SMARTS parser for query patterns.
 //!
 //! SMARTS is the de-facto query language for substructure search (the
 //! paper's §6 cites SMARTS evaluation as the rule-based alternative, and
 //! its conclusion announces wildcard atoms/bonds as future work). This
-//! subset maps directly onto the engine's wildcard support:
+//! subset maps onto the engine's wildcard machinery plus the per-node
+//! [`NodePredicate`] table evaluated during candidate-bitmap init:
 //!
 //! * `*` — wildcard atom (`WILDCARD_LABEL`): any element;
 //! * `~` — wildcard bond (`WILDCARD_EDGE`): any bond order;
-//! * element atoms, brackets, branches, ring closures, and `-`/`=`/`#`
-//!   bonds as in the SMILES subset;
-//! * aromatic lowercase atoms are accepted and kekulized like SMILES.
+//! * element atoms, branches, ring closures, and `-`/`=`/`#` bonds as in
+//!   SMILES; aromatic lowercase atoms are accepted (implicit bonds between
+//!   two aromatic atoms compile to wildcard edges so patterns match
+//!   kekulized data);
+//! * bracket predicates: atom lists `[C,N]`, negation `[!C]`, degree
+//!   `D<n>`, ring membership `R` / `R0`, smallest-ring size `r<n>`,
+//!   total-hydrogen `H<n>`, and formal charge `+` / `-` / `+n` / `-n`,
+//!   combined with `;` / `&` (AND, `;` binding loosest) — compiled into a
+//!   [`NodePredicate`] attached to the query node.
 //!
-//! Not supported: atom lists (`[C,N]`), recursive SMARTS (`$(...)`),
-//! charge/valence/ring-count predicates — rejected with an error so the
-//! caller knows the pattern was not silently weakened.
+//! OR (`,`) is supported between plain element symbols only (atom lists);
+//! recursive SMARTS (`$(...)`) stays rejected with an error so the caller
+//! knows the pattern was not silently weakened. Errors carry the byte
+//! offset of the offending character, including inside brackets.
 //!
 //! SMARTS patterns describe *constraints*, not molecules: the result is a
 //! [`LabeledGraph`] query (hydrogens never added, valence not enforced —
 //! `*(*)(*)(*)(*)*` is a legal pattern even though no atom has valence 5).
 
-use crate::elements::Element;
-use sigmo_graph::{GraphError, LabeledGraph, WILDCARD_EDGE, WILDCARD_LABEL};
+use crate::elements::{Element, NUM_ELEMENT_LABELS};
+use sigmo_graph::{GraphError, LabeledGraph, NodePredicate, WILDCARD_EDGE, WILDCARD_LABEL};
 use std::fmt;
 
 /// SMARTS parsing errors.
@@ -105,7 +113,324 @@ impl Bond {
     }
 }
 
-/// Parses a SMARTS-subset pattern into a query graph.
+/// A compiled bracket atom: the node label plus any predicate constraints.
+struct BracketSpec {
+    label: u8,
+    aromatic: bool,
+    pred: NodePredicate,
+}
+
+/// All element labels allowed.
+const FULL_MASK: u64 = (1u64 << NUM_ELEMENT_LABELS) - 1;
+
+/// One primitive constraint inside a bracket atom.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Primitive {
+    /// A positive element mention; `aromatic` records lowercase input.
+    Elem { label: u8, aromatic: bool },
+    /// `*` — any element.
+    AnyElem,
+    /// `!X` — element exclusion.
+    NotElem { label: u8 },
+    /// `D<n>`.
+    Degree(u8),
+    /// `H<n>`.
+    HCount(u8),
+    /// `R` / `R<n≥1>` (in ring) or `R0` (acyclic).
+    RingMem(bool),
+    /// `r<n>` — smallest ring through the atom has size `n`.
+    RingSize(u8),
+    /// `+n` / `-n`.
+    Charge(i8),
+}
+
+/// Scans one element symbol starting at `inner[j]`; returns (element,
+/// aromatic, bytes consumed). `j` and `at` are used for error spans.
+fn scan_element(inner: &str, j: usize, at: usize) -> Result<(Element, bool, usize), SmartsError> {
+    let b = inner.as_bytes();
+    let c = b[j] as char;
+    if c.is_ascii_uppercase() {
+        // Two-letter symbols first (Cl, Br, Si).
+        if j + 1 < b.len() && (b[j + 1] as char).is_ascii_lowercase() {
+            let two = format!("{c}{}", b[j + 1] as char);
+            if let Some(e) = Element::from_symbol(&two) {
+                return Ok((e, false, 2));
+            }
+        }
+        let e =
+            Element::from_symbol(&c.to_string()).ok_or_else(|| SmartsError::UnknownElement {
+                at: at + j,
+                symbol: c.to_string(),
+            })?;
+        Ok((e, false, 1))
+    } else {
+        let e = Element::from_symbol(&c.to_ascii_uppercase().to_string()).ok_or_else(|| {
+            SmartsError::UnknownElement {
+                at: at + j,
+                symbol: c.to_string(),
+            }
+        })?;
+        if !e.can_be_aromatic() {
+            return Err(SmartsError::UnknownElement {
+                at: at + j,
+                symbol: c.to_string(),
+            });
+        }
+        Ok((e, true, 1))
+    }
+}
+
+/// Parses the inside of a bracket atom into the compiled spec. `at` is the
+/// absolute byte offset of `inner`'s first character so every error points
+/// at the exact offending character.
+///
+/// Precedence (high to low): `!`, `&`/juxtaposition, `,`, `;`. OR is only
+/// supported between plain element symbols, so the compilation below
+/// treats each `;`-term as either an element alternation or a conjunction
+/// of primitives and ANDs the terms together.
+fn parse_bracket(inner: &str, at: usize) -> Result<BracketSpec, SmartsError> {
+    let b = inner.as_bytes();
+    if let Some(p) = inner.find('$') {
+        return Err(SmartsError::Unsupported {
+            at: at + p,
+            what: "recursive SMARTS ($(...))",
+        });
+    }
+    if b.is_empty() {
+        return Err(SmartsError::Unexpected { at, found: ']' });
+    }
+
+    // Tokenize into primitives plus separators, tracking offsets.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    enum Tok {
+        Prim(Primitive),
+        Or,
+        SemiAnd,
+    }
+    let mut toks: Vec<(Tok, usize)> = Vec::new();
+    let mut j = 0usize;
+    let mut expect_element = true; // start of an alternative: H = element
+    while j < b.len() {
+        let c = b[j] as char;
+        match c {
+            ',' => {
+                toks.push((Tok::Or, j));
+                expect_element = true;
+                j += 1;
+            }
+            ';' => {
+                toks.push((Tok::SemiAnd, j));
+                expect_element = true;
+                j += 1;
+            }
+            '&' => {
+                // Explicit AND: same as juxtaposition.
+                expect_element = false;
+                j += 1;
+            }
+            '!' => {
+                let k = j + 1;
+                // After '!' only an element symbol is allowed ('H' here is
+                // element hydrogen, not an H-count primitive).
+                let next = if k < b.len() { b[k] as char } else { ']' };
+                if !next.is_ascii_alphabetic() || matches!(next, 'D' | 'R' | 'r') {
+                    return Err(SmartsError::Unsupported {
+                        at: at + j,
+                        what: "negation of non-element primitives",
+                    });
+                }
+                let (e, _aromatic, len) = scan_element(inner, k, at)?;
+                toks.push((Tok::Prim(Primitive::NotElem { label: e.label() }), j));
+                expect_element = false;
+                j = k + len;
+            }
+            '*' => {
+                toks.push((Tok::Prim(Primitive::AnyElem), j));
+                expect_element = false;
+                j += 1;
+            }
+            'D' => {
+                let mut n = 1u8;
+                let mut len = 1;
+                if j + 1 < b.len() && b[j + 1].is_ascii_digit() {
+                    n = b[j + 1] - b'0';
+                    len = 2;
+                }
+                toks.push((Tok::Prim(Primitive::Degree(n)), j));
+                expect_element = false;
+                j += len;
+            }
+            'H' if !expect_element => {
+                let mut n = 1u8;
+                let mut len = 1;
+                if j + 1 < b.len() && b[j + 1].is_ascii_digit() {
+                    n = b[j + 1] - b'0';
+                    len = 2;
+                }
+                toks.push((Tok::Prim(Primitive::HCount(n)), j));
+                j += len;
+            }
+            'R' => {
+                let mut in_ring = true;
+                let mut len = 1;
+                if j + 1 < b.len() && b[j + 1].is_ascii_digit() {
+                    in_ring = b[j + 1] != b'0';
+                    len = 2;
+                }
+                toks.push((Tok::Prim(Primitive::RingMem(in_ring)), j));
+                expect_element = false;
+                j += len;
+            }
+            'r' => {
+                if j + 1 < b.len() && b[j + 1].is_ascii_digit() {
+                    let mut n = (b[j + 1] - b'0') as u16;
+                    let mut len = 2;
+                    if j + 2 < b.len() && b[j + 2].is_ascii_digit() {
+                        n = n * 10 + (b[j + 2] - b'0') as u16;
+                        len = 3;
+                    }
+                    toks.push((Tok::Prim(Primitive::RingSize(n.min(255) as u8)), j));
+                    j += len;
+                } else {
+                    toks.push((Tok::Prim(Primitive::RingMem(true)), j));
+                    j += 1;
+                }
+                expect_element = false;
+            }
+            '+' | '-' => {
+                let mark = b[j];
+                let sign: i8 = if mark == b'+' { 1 } else { -1 };
+                let mut k = j + 1;
+                let mut magnitude = 1i8;
+                if k < b.len() && b[k].is_ascii_digit() {
+                    magnitude = (b[k] - b'0') as i8;
+                    k += 1;
+                } else {
+                    while k < b.len() && b[k] == mark {
+                        magnitude += 1;
+                        k += 1;
+                    }
+                }
+                toks.push((Tok::Prim(Primitive::Charge(sign * magnitude)), j));
+                expect_element = false;
+                j = k;
+            }
+            _ if c.is_ascii_alphabetic() => {
+                let (e, aromatic, len) = scan_element(inner, j, at)?;
+                toks.push((
+                    Tok::Prim(Primitive::Elem {
+                        label: e.label(),
+                        aromatic,
+                    }),
+                    j,
+                ));
+                expect_element = false;
+                j += len;
+            }
+            _ => {
+                return Err(SmartsError::Unexpected {
+                    at: at + j,
+                    found: c,
+                });
+            }
+        }
+    }
+
+    // Group into `;`-terms, each a list of `,`-alternatives, each a list
+    // of primitives.
+    let mut terms: Vec<Vec<Vec<(Primitive, usize)>>> = vec![vec![Vec::new()]];
+    for (tok, off) in toks {
+        match tok {
+            Tok::SemiAnd => terms.push(vec![Vec::new()]),
+            Tok::Or => terms.last_mut().unwrap().push(Vec::new()),
+            Tok::Prim(p) => terms.last_mut().unwrap().last_mut().unwrap().push((p, off)),
+        }
+    }
+
+    // Compile: intersect an allowed-element mask across terms, gather
+    // predicate fields.
+    let mut allowed = FULL_MASK;
+    let mut pred = NodePredicate::default();
+    let mut positive_mentions = 0usize;
+    let mut lowercase_mentions = 0usize;
+    for alternatives in &terms {
+        if alternatives.len() > 1 {
+            // Atom list: every alternative must be one plain element.
+            let mut union = 0u64;
+            for alt in alternatives {
+                match alt.as_slice() {
+                    [(Primitive::Elem { label, aromatic }, _)] => {
+                        union |= 1u64 << label;
+                        positive_mentions += 1;
+                        if *aromatic {
+                            lowercase_mentions += 1;
+                        }
+                    }
+                    [(Primitive::AnyElem, _)] => union = FULL_MASK,
+                    [] => {
+                        return Err(SmartsError::Unexpected {
+                            at: at + inner.len(),
+                            found: ']',
+                        });
+                    }
+                    [(_, off)] | [(_, off), ..] => {
+                        return Err(SmartsError::Unsupported {
+                            at: at + off,
+                            what: "OR between non-element primitives",
+                        });
+                    }
+                }
+            }
+            allowed &= union;
+        } else {
+            for &(p, _off) in &alternatives[0] {
+                match p {
+                    Primitive::Elem { label, aromatic } => {
+                        allowed &= 1u64 << label;
+                        positive_mentions += 1;
+                        if aromatic {
+                            lowercase_mentions += 1;
+                        }
+                    }
+                    Primitive::AnyElem => {}
+                    Primitive::NotElem { label } => allowed &= !(1u64 << label),
+                    Primitive::Degree(n) => pred.degree = Some(n),
+                    Primitive::HCount(n) => pred.h_count = Some(n),
+                    Primitive::RingMem(m) => pred.ring = Some(m),
+                    Primitive::RingSize(n) => pred.ring_size = Some(n),
+                    Primitive::Charge(c) => pred.charge = Some(c),
+                }
+            }
+        }
+    }
+
+    // The label and label_any mask: a singleton set compiles to a concrete
+    // label (fast path — label buckets prune for free); the full set is a
+    // plain wildcard; anything else is a wildcard plus a mask predicate.
+    let (label, aromatic) = if allowed.count_ones() == 1 {
+        let l = allowed.trailing_zeros() as u8;
+        (
+            l,
+            positive_mentions > 0 && positive_mentions == lowercase_mentions,
+        )
+    } else if allowed == FULL_MASK {
+        (WILDCARD_LABEL, false)
+    } else {
+        pred.label_any = Some(allowed);
+        (
+            WILDCARD_LABEL,
+            positive_mentions > 0 && positive_mentions == lowercase_mentions,
+        )
+    };
+    Ok(BracketSpec {
+        label,
+        aromatic,
+        pred,
+    })
+}
+
+/// Parses a SMARTS-subset pattern into a query graph. Bracket predicates
+/// compile into [`NodePredicate`]s attached to the graph's nodes.
 pub fn parse_smarts(s: &str) -> Result<LabeledGraph, SmartsError> {
     let bytes = s.as_bytes();
     if bytes.is_empty() {
@@ -116,6 +441,8 @@ pub fn parse_smarts(s: &str) -> Result<LabeledGraph, SmartsError> {
     let mut stack: Vec<u32> = Vec::new();
     let mut prev: Option<u32> = None;
     let mut pending: Option<Bond> = None;
+    // Offset of the unconsumed bond symbol, for dangling-bond spans.
+    let mut pending_at = 0usize;
     let mut rings: Vec<Option<(u32, Option<Bond>)>> = vec![None; 100];
 
     let push_atom = |g: &mut LabeledGraph,
@@ -123,10 +450,14 @@ pub fn parse_smarts(s: &str) -> Result<LabeledGraph, SmartsError> {
                      prev: &mut Option<u32>,
                      pending: &mut Option<Bond>,
                      label: u8,
-                     is_aromatic: bool|
+                     is_aromatic: bool,
+                     pred: NodePredicate|
      -> Result<(), SmartsError> {
         let id = g.add_node(label);
         aromatic_list.push(is_aromatic);
+        if !pred.is_trivial() {
+            g.set_predicate(id, pred);
+        }
         if let Some(p) = *prev {
             let bond = pending.take().unwrap_or(Bond::Implicit);
             let pair = aromatic_list[p as usize] && is_aromatic;
@@ -148,6 +479,7 @@ pub fn parse_smarts(s: &str) -> Result<LabeledGraph, SmartsError> {
                     &mut pending,
                     WILDCARD_LABEL,
                     false,
+                    NodePredicate::default(),
                 )?;
                 i += 1;
             }
@@ -156,6 +488,7 @@ pub fn parse_smarts(s: &str) -> Result<LabeledGraph, SmartsError> {
                     return Err(SmartsError::DanglingBond { at: i });
                 }
                 pending = Some(Bond::Any);
+                pending_at = i;
                 i += 1;
             }
             '-' | '=' | '#' => {
@@ -167,6 +500,7 @@ pub fn parse_smarts(s: &str) -> Result<LabeledGraph, SmartsError> {
                     '=' => Bond::Double,
                     _ => Bond::Triple,
                 });
+                pending_at = i;
                 i += 1;
             }
             '(' => {
@@ -177,7 +511,18 @@ pub fn parse_smarts(s: &str) -> Result<LabeledGraph, SmartsError> {
                 i += 1;
             }
             ')' => {
+                // A bond symbol must bind an atom inside its own branch.
+                if pending.is_some() {
+                    return Err(SmartsError::DanglingBond { at: pending_at });
+                }
                 prev = Some(stack.pop().ok_or(SmartsError::Parenthesis { at: i })?);
+                i += 1;
+            }
+            '.' => {
+                if pending.is_some() {
+                    return Err(SmartsError::DanglingBond { at: i });
+                }
+                prev = None;
                 i += 1;
             }
             '1'..='9' => {
@@ -208,64 +553,16 @@ pub fn parse_smarts(s: &str) -> Result<LabeledGraph, SmartsError> {
                     .map(|j| i + j)
                     .ok_or(SmartsError::Unexpected { at: i, found: '[' })?;
                 let inner = &s[i + 1..close];
-                if inner.contains(',') {
-                    return Err(SmartsError::Unsupported {
-                        at: i,
-                        what: "atom lists ([C,N])",
-                    });
-                }
-                if inner.contains('$') {
-                    return Err(SmartsError::Unsupported {
-                        at: i,
-                        what: "recursive SMARTS ($(...))",
-                    });
-                }
-                if inner == "*" {
-                    push_atom(
-                        &mut g,
-                        &mut aromatic,
-                        &mut prev,
-                        &mut pending,
-                        WILDCARD_LABEL,
-                        false,
-                    )?;
-                } else {
-                    // Element symbol, optionally with an H-count we ignore
-                    // (patterns don't constrain hydrogens here).
-                    let sym_end = inner
-                        .char_indices()
-                        .take_while(|&(k, ch)| {
-                            (k == 0 && ch.is_ascii_alphabetic())
-                                || (k > 0 && ch.is_ascii_lowercase())
-                        })
-                        .count();
-                    let sym_raw = &inner[..sym_end.max(1).min(inner.len())];
-                    let is_aromatic = sym_raw.chars().next().is_some_and(|ch| ch.is_lowercase());
-                    let mut sym = sym_raw.to_string();
-                    if is_aromatic {
-                        sym = sym.to_uppercase();
-                    }
-                    let rest = &inner[sym_raw.len()..];
-                    if !rest.is_empty() && !rest.starts_with('H') {
-                        return Err(SmartsError::Unsupported {
-                            at: i,
-                            what: "bracket predicates beyond an H count",
-                        });
-                    }
-                    let element =
-                        Element::from_symbol(&sym).ok_or_else(|| SmartsError::UnknownElement {
-                            at: i,
-                            symbol: sym_raw.to_string(),
-                        })?;
-                    push_atom(
-                        &mut g,
-                        &mut aromatic,
-                        &mut prev,
-                        &mut pending,
-                        element.label(),
-                        is_aromatic,
-                    )?;
-                }
+                let spec = parse_bracket(inner, i + 1)?;
+                push_atom(
+                    &mut g,
+                    &mut aromatic,
+                    &mut prev,
+                    &mut pending,
+                    spec.label,
+                    spec.aromatic,
+                    spec.pred,
+                )?;
                 i = close + 1;
             }
             _ if c.is_ascii_alphabetic() => {
@@ -294,11 +591,15 @@ pub fn parse_smarts(s: &str) -> Result<LabeledGraph, SmartsError> {
                     &mut pending,
                     element.label(),
                     is_aromatic,
+                    NodePredicate::default(),
                 )?;
                 i += len;
             }
             _ => return Err(SmartsError::Unexpected { at: i, found: c }),
         }
+    }
+    if pending.is_some() {
+        return Err(SmartsError::DanglingBond { at: pending_at });
     }
     if !stack.is_empty() {
         return Err(SmartsError::Parenthesis { at: bytes.len() });
@@ -337,6 +638,7 @@ mod tests {
         assert_eq!(g.edge_label(0, 1), Some(2));
         let g2 = parse_smarts("[*]C").unwrap();
         assert_eq!(g2.label(0), WILDCARD_LABEL);
+        assert!(!g2.has_predicates());
     }
 
     #[test]
@@ -369,13 +671,16 @@ mod tests {
     }
 
     /// Minimal local matcher so this crate avoids a dev-dependency cycle.
+    /// Predicate-aware: mirrors `LabeledGraph::is_valid_embedding`.
     mod sigmo_baselines_shim {
         use sigmo_graph::{LabeledGraph, NodeId, WILDCARD_EDGE, WILDCARD_LABEL};
 
         pub fn count(q: &LabeledGraph, d: &LabeledGraph) -> u64 {
+            let attrs = d.node_attrs();
             fn rec(
                 q: &LabeledGraph,
                 d: &LabeledGraph,
+                attrs: &sigmo_graph::NodeAttrs,
                 map: &mut Vec<NodeId>,
                 used: &mut Vec<bool>,
                 n: &mut u64,
@@ -393,6 +698,11 @@ mod tests {
                     if ql != WILDCARD_LABEL && ql != d.label(c) {
                         continue;
                     }
+                    if let Some(pred) = q.predicate(depth as NodeId) {
+                        if !pred.matches(attrs, c) {
+                            continue;
+                        }
+                    }
                     let ok = q.neighbors(depth as NodeId).iter().all(|&(u, l)| {
                         if u >= depth as NodeId {
                             return true;
@@ -407,7 +717,7 @@ mod tests {
                     }
                     map.push(c);
                     used[c as usize] = true;
-                    rec(q, d, map, used, n);
+                    rec(q, d, attrs, map, used, n);
                     used[c as usize] = false;
                     map.pop();
                 }
@@ -416,6 +726,7 @@ mod tests {
             rec(
                 q,
                 d,
+                &attrs,
                 &mut Vec::new(),
                 &mut vec![false; d.num_nodes()],
                 &mut n,
@@ -436,21 +747,151 @@ mod tests {
     }
 
     #[test]
+    fn atom_lists_compile_to_label_masks() {
+        let g = parse_smarts("[C,N]O").unwrap();
+        assert_eq!(g.label(0), WILDCARD_LABEL);
+        let pred = g.predicate(0).expect("atom list needs a predicate");
+        let mask = pred.label_any.unwrap();
+        assert_eq!(mask, (1 << Element::C.label()) | (1 << Element::N.label()));
+    }
+
+    #[test]
+    fn negation_compiles_to_complement_mask() {
+        let g = parse_smarts("[!C]").unwrap();
+        assert_eq!(g.label(0), WILDCARD_LABEL);
+        let mask = g.predicate(0).unwrap().label_any.unwrap();
+        assert_eq!(mask & (1 << Element::C.label()), 0);
+        assert_ne!(mask & (1 << Element::O.label()), 0);
+        // Double negation narrows further.
+        let g = parse_smarts("[!C!H]").unwrap();
+        let mask = g.predicate(0).unwrap().label_any.unwrap();
+        assert_eq!(mask & (1 << Element::C.label()), 0);
+        assert_eq!(mask & (1 << Element::H.label()), 0);
+        assert_ne!(mask & (1 << Element::N.label()), 0);
+    }
+
+    #[test]
+    fn singleton_lists_collapse_to_concrete_labels() {
+        // A one-element "list" needs no mask at all.
+        let g = parse_smarts("[C]").unwrap();
+        assert_eq!(g.label(0), Element::C.label());
+        assert!(!g.has_predicates());
+        // Negating everything but one element also collapses.
+        let g2 = parse_smarts("[C,C]").unwrap();
+        assert_eq!(g2.label(0), Element::C.label());
+        assert!(!g2.has_predicates());
+    }
+
+    #[test]
+    fn degree_ring_hcount_charge_predicates() {
+        let g = parse_smarts("[CD3]").unwrap();
+        assert_eq!(g.label(0), Element::C.label());
+        assert_eq!(g.predicate(0).unwrap().degree, Some(3));
+
+        let g = parse_smarts("[CR]").unwrap();
+        assert_eq!(g.predicate(0).unwrap().ring, Some(true));
+        let g = parse_smarts("[CR0]").unwrap();
+        assert_eq!(g.predicate(0).unwrap().ring, Some(false));
+        let g = parse_smarts("[Cr6]").unwrap();
+        assert_eq!(g.predicate(0).unwrap().ring_size, Some(6));
+
+        let g = parse_smarts("[CH2]").unwrap();
+        assert_eq!(g.predicate(0).unwrap().h_count, Some(2));
+
+        let g = parse_smarts("[N+]").unwrap();
+        assert_eq!(g.label(0), Element::N.label());
+        assert_eq!(g.predicate(0).unwrap().charge, Some(1));
+        let g = parse_smarts("[O-]").unwrap();
+        assert_eq!(g.predicate(0).unwrap().charge, Some(-1));
+        let g = parse_smarts("[N+2]").unwrap();
+        assert_eq!(g.predicate(0).unwrap().charge, Some(2));
+    }
+
+    #[test]
+    fn semicolon_and_ampersand_are_conjunction() {
+        let g = parse_smarts("[C,N;R]").unwrap();
+        let pred = g.predicate(0).unwrap();
+        assert!(pred.label_any.is_some());
+        assert_eq!(pred.ring, Some(true));
+        let g = parse_smarts("[C&D2]").unwrap();
+        assert_eq!(g.label(0), Element::C.label());
+        assert_eq!(g.predicate(0).unwrap().degree, Some(2));
+    }
+
+    #[test]
+    fn bracket_h_is_element_at_alternative_start() {
+        // [H] is a hydrogen atom; [CH] is carbon with one hydrogen.
+        let g = parse_smarts("[H]").unwrap();
+        assert_eq!(g.label(0), Element::H.label());
+        assert!(!g.has_predicates());
+        let g = parse_smarts("[CH]").unwrap();
+        assert_eq!(g.label(0), Element::C.label());
+        assert_eq!(g.predicate(0).unwrap().h_count, Some(1));
+    }
+
+    #[test]
+    fn predicate_patterns_match_via_shim() {
+        use crate::smiles::parse_smiles;
+        // [CD4] — quaternary-environment carbon (counting hydrogens).
+        let pattern = parse_smarts("[CD4]").unwrap();
+        let methane = parse_smiles("C").unwrap().to_labeled_graph();
+        assert_eq!(sigmo_baselines_shim::count(&pattern, &methane), 1);
+
+        // [CR]: ring carbon — cyclohexane yes, hexane no.
+        let ring = parse_smarts("[CR]").unwrap();
+        let cyclo = parse_smiles("C1CCCCC1").unwrap().to_labeled_graph();
+        let chain = parse_smiles("CCCCCC").unwrap().to_labeled_graph();
+        assert_eq!(sigmo_baselines_shim::count(&ring, &cyclo), 6);
+        assert_eq!(sigmo_baselines_shim::count(&ring, &chain), 0);
+
+        // [C,N] matches both carbons and nitrogens.
+        let list = parse_smarts("[C,N]").unwrap();
+        let mea = parse_smiles("CN").unwrap().to_labeled_graph();
+        assert_eq!(sigmo_baselines_shim::count(&list, &mea), 2);
+
+        // Charge predicate distinguishes the carboxylate oxygen.
+        let anion = parse_smarts("[O-]").unwrap();
+        let acetate = parse_smiles("CC(=O)[O-]").unwrap().to_labeled_graph();
+        let acid = parse_smiles("CC(=O)O").unwrap().to_labeled_graph();
+        assert_eq!(sigmo_baselines_shim::count(&anion, &acetate), 1);
+        assert_eq!(sigmo_baselines_shim::count(&anion, &acid), 0);
+
+        // [!C] with a neighbor: hetero-neighbor of a carbonyl carbon.
+        let hetero = parse_smarts("[!C][H]").unwrap();
+        let water_ish = parse_smiles("O").unwrap().to_labeled_graph();
+        assert!(sigmo_baselines_shim::count(&hetero, &water_ish) > 0);
+    }
+
+    #[test]
     fn unsupported_constructs_are_rejected_loudly() {
-        assert!(matches!(
-            parse_smarts("[C,N]"),
-            Err(SmartsError::Unsupported {
-                what: "atom lists ([C,N])",
-                ..
-            })
-        ));
+        // Recursive SMARTS stays out of scope, with an exact offset.
         assert!(matches!(
             parse_smarts("[$(CC)]"),
+            Err(SmartsError::Unsupported { at: 1, .. })
+        ));
+        // OR between non-element primitives.
+        assert!(matches!(
+            parse_smarts("[R,D2]"),
             Err(SmartsError::Unsupported { .. })
         ));
+        // Negating a predicate primitive.
         assert!(matches!(
-            parse_smarts("[C+]"),
+            parse_smarts("[!R]"),
             Err(SmartsError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn bracket_error_spans_are_exact() {
+        // "C[N?]": '?' is at byte offset 3.
+        assert_eq!(
+            parse_smarts("C[N?]"),
+            Err(SmartsError::Unexpected { at: 3, found: '?' })
+        );
+        // "[C;Xy]": unknown element at offset 3.
+        assert!(matches!(
+            parse_smarts("[C;Xy]"),
+            Err(SmartsError::UnknownElement { at: 3, .. })
         ));
     }
 
@@ -473,6 +914,14 @@ mod tests {
             parse_smarts("Xy"),
             Err(SmartsError::UnknownElement { .. })
         ));
+        assert!(matches!(
+            parse_smarts("C~"),
+            Err(SmartsError::DanglingBond { at: 1 })
+        ));
+        assert!(matches!(
+            parse_smarts("C(=)C"),
+            Err(SmartsError::DanglingBond { at: 2 })
+        ));
     }
 
     #[test]
@@ -481,5 +930,12 @@ mod tests {
         let g = parse_smarts("*(*)(*)(*)(*)*").unwrap();
         assert_eq!(g.num_nodes(), 6);
         assert_eq!(g.degree(0), 5);
+    }
+
+    #[test]
+    fn dot_separates_pattern_fragments() {
+        let g = parse_smarts("C.N").unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 0);
     }
 }

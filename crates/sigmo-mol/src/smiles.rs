@@ -1,22 +1,30 @@
-//! A SMILES-subset parser and writer.
+//! A SMILES parser and writer.
 //!
 //! Supported syntax: organic-subset atoms (`B C N O P S F Cl Br I`),
-//! bracket atoms with an optional hydrogen count (`[Si]`, `[nH]`), bond
-//! symbols (`-`, `=`, `#`), branches (`(...)`), ring-bond closures (digits
-//! `1`–`9` and `%nn`), and aromatic lowercase atoms (`b c n o p s`), which
-//! are kekulized into alternating single/double bonds via backtracking.
+//! bracket atoms in full `[isotope? symbol chirality? Hcount? charge?
+//! map?]` form (`[13CH4]`, `[NH4+]`, `[O-]`, `[C@@H]`, `[CH3:1]`), bond
+//! symbols (`-`, `=`, `#`, `:`), branches (`(...)`), ring-bond closures
+//! (digits `1`–`9` and `%nn`), dot-separated multi-fragment inputs
+//! (`[Na+].[Cl-]`), and aromatic lowercase atoms (`c n o s`), which are
+//! kekulized into alternating single/double bonds via backtracking.
 //!
-//! Not supported (rejected with an error): charges, isotopes, stereo
-//! descriptors, dots (multi-fragment), and wildcards. The subset is enough
-//! to express the functional-group query library and load typical drug-like
-//! structures.
+//! Formal charges shift the valence budget (`[NH4+]` is tetravalent) and
+//! are stored on the molecule and its graph form. Isotopes and chirality
+//! are accepted and recorded but do not affect matching. After parsing,
+//! aromaticity is *perceived* (a Hückel-style 4n+2 pass over the ring
+//! basis) and recorded as per-atom flags, so Kekulé-written benzene gets
+//! the same flags as lowercase input; bonds stay kekulized either way.
+//!
+//! Still rejected: wildcards (`*` is a query construct — see `smarts`).
+//! Errors carry the byte offset of the offending character, including
+//! inside bracket atoms.
 //!
 //! Parsed molecules get explicit hydrogens appended (the paper's data
 //! graphs carry explicit hydrogens — see Figure 1), unless
 //! [`parse_smiles_heavy`] is used.
 
 use crate::elements::Element;
-use crate::molecule::{BondOrder, Molecule, MoleculeError};
+use crate::molecule::{BondOrder, Chirality, Molecule, MoleculeError};
 use sigmo_graph::NodeId;
 use std::fmt;
 
@@ -84,6 +92,25 @@ struct RawAtom {
     aromatic: bool,
     /// Explicit H count from a bracket atom, if any.
     bracket_h: Option<u8>,
+    /// Formal charge from a bracket atom (0 outside brackets).
+    charge: i8,
+    /// Isotope mass number (0 = unspecified).
+    isotope: u16,
+    /// Stereo descriptor, recorded only.
+    chirality: Chirality,
+}
+
+impl RawAtom {
+    fn plain(element: Element, aromatic: bool) -> Self {
+        RawAtom {
+            element,
+            aromatic,
+            bracket_h: None,
+            charge: 0,
+            isotope: 0,
+            chirality: Chirality::None,
+        }
+    }
 }
 
 /// Parses SMILES and appends explicit hydrogens saturating every atom's
@@ -115,6 +142,8 @@ fn parse_inner(s: &str, implicit_h: bool) -> Result<Molecule, SmilesError> {
     let mut stack: Vec<u32> = Vec::new();
     let mut prev: Option<u32> = None;
     let mut pending: Option<RawBond> = None;
+    // Offset of the unconsumed bond symbol, for dangling-bond spans.
+    let mut pending_at = 0usize;
     // Open ring bonds: number -> (atom, bond symbol if given at open).
     let mut rings: Vec<Option<(u32, Option<RawBond>)>> = vec![None; 100];
 
@@ -133,6 +162,7 @@ fn parse_inner(s: &str, implicit_h: bool) -> Result<Molecule, SmilesError> {
                     return Err(SmilesError::DanglingBond { at: i });
                 }
                 pending = Some(b);
+                pending_at = i;
                 i += 1;
             }
             '(' => {
@@ -143,7 +173,19 @@ fn parse_inner(s: &str, implicit_h: bool) -> Result<Molecule, SmilesError> {
                 i += 1;
             }
             ')' => {
+                // A bond symbol must bind an atom inside its own branch.
+                if pending.is_some() {
+                    return Err(SmilesError::DanglingBond { at: pending_at });
+                }
                 prev = Some(stack.pop().ok_or(SmilesError::Parenthesis { at: i })?);
+                i += 1;
+            }
+            '.' => {
+                // Fragment separator: the next atom starts a new component.
+                if pending.is_some() {
+                    return Err(SmilesError::DanglingBond { at: i });
+                }
+                prev = None;
                 i += 1;
             }
             '1'..='9' | '%' => {
@@ -194,7 +236,7 @@ fn parse_inner(s: &str, implicit_h: bool) -> Result<Molecule, SmilesError> {
                     .map(|j| i + j)
                     .ok_or(SmilesError::Unexpected { at: i, found: '[' })?;
                 let inner = &s[i + 1..close];
-                let (atom, _consumed) = parse_bracket_atom(inner, i + 1)?;
+                let atom = parse_bracket_atom(inner, i + 1)?;
                 let id = atoms.len() as u32;
                 atoms.push(atom);
                 link(&mut edges, &atoms, prev, id, pending.take());
@@ -206,16 +248,15 @@ fn parse_inner(s: &str, implicit_h: bool) -> Result<Molecule, SmilesError> {
                 // aromatic lowercase.
                 let (element, aromatic, len) = parse_organic_atom(s, i)?;
                 let id = atoms.len() as u32;
-                atoms.push(RawAtom {
-                    element,
-                    aromatic,
-                    bracket_h: None,
-                });
+                atoms.push(RawAtom::plain(element, aromatic));
                 link(&mut edges, &atoms, prev, id, pending.take());
                 prev = Some(id);
                 i += len;
             }
         }
+    }
+    if pending.is_some() {
+        return Err(SmilesError::DanglingBond { at: pending_at });
     }
     if !stack.is_empty() {
         return Err(SmilesError::Parenthesis { at: bytes.len() });
@@ -236,7 +277,16 @@ fn parse_inner(s: &str, implicit_h: bool) -> Result<Molecule, SmilesError> {
 
     let mut mol = Molecule::new();
     for a in &atoms {
-        mol.add_atom(a.element);
+        let id = mol.add_atom(a.element);
+        // Charge before bonding: it shifts the valence budget.
+        if a.charge != 0 {
+            mol.set_charge(id, a.charge);
+        }
+        if a.isotope != 0 {
+            mol.set_isotope(id, a.isotope);
+        }
+        mol.set_chirality(id, a.chirality);
+        mol.set_aromatic(id, a.aromatic);
     }
     for (k, &(a, b, _)) in edges.iter().enumerate() {
         mol.add_bond(a as NodeId, b as NodeId, orders[k])?;
@@ -257,7 +307,47 @@ fn parse_inner(s: &str, implicit_h: bool) -> Result<Molecule, SmilesError> {
             mol.add_bond(idx as NodeId, h, BondOrder::Single)?;
         }
     }
+    perceive_aromaticity(&mut mol);
     Ok(mol)
+}
+
+/// Hückel-style aromaticity perception over the ring basis: a ring is
+/// flagged aromatic when every member is C/N/O/S, every member is either
+/// π-bonded within the molecule (carries a double bond) or a heteroatom
+/// donating a lone pair, and the π-electron count is 4n+2 (each
+/// double-bonded member contributes 1 electron, each lone-pair heteroatom
+/// 2). Flags are additive with the parser's lowercase declarations, so
+/// `C1=CC=CC=C1` and `c1ccccc1` perceive identically; bonds are left in
+/// their kekulized form.
+fn perceive_aromaticity(mol: &mut Molecule) {
+    let rings = crate::descriptors::cycle_basis(mol);
+    let g = mol.graph();
+    let mut flagged: Vec<NodeId> = Vec::new();
+    for ring in &rings {
+        let mut pi = 0usize;
+        let mut ok = true;
+        for &v in ring {
+            if !mol.element(v).can_be_aromatic() {
+                ok = false;
+                break;
+            }
+            let has_double = g.neighbors(v).iter().any(|&(_, l)| l == 2);
+            if has_double {
+                pi += 1;
+            } else if mol.element(v) != Element::C {
+                pi += 2; // lone-pair donor (pyrrole N, furan O…)
+            } else {
+                ok = false; // sp3 carbon breaks conjugation
+                break;
+            }
+        }
+        if ok && pi >= 2 && (pi - 2).is_multiple_of(4) {
+            flagged.extend_from_slice(ring);
+        }
+    }
+    for v in flagged {
+        mol.set_aromatic(v, true);
+    }
 }
 
 fn link(
@@ -311,53 +401,138 @@ fn parse_organic_atom(s: &str, i: usize) -> Result<(Element, bool, usize), Smile
     }
 }
 
-fn parse_bracket_atom(inner: &str, at: usize) -> Result<(RawAtom, usize), SmilesError> {
-    // Grammar subset: SYMBOL ('H' COUNT?)?  — anything else is rejected.
-    let mut chars = inner.char_indices().peekable();
-    let (_, first) = chars
-        .next()
-        .ok_or(SmilesError::Unexpected { at, found: ']' })?;
+/// Parses the inside of a bracket atom. `at` is the absolute byte offset
+/// of `inner`'s first character, so every error points at the exact
+/// offending character rather than the opening `[`.
+///
+/// Grammar: `ISOTOPE? SYMBOL CHIRAL? ('H' COUNT?)? CHARGE? (':' MAP)?`
+/// where ISOTOPE is 1–3 digits, CHIRAL is `@` or `@@`, CHARGE is `+`/`-`
+/// optionally followed by a digit or repeated (`++`), and MAP (an atom
+/// class) is accepted and discarded.
+fn parse_bracket_atom(inner: &str, at: usize) -> Result<RawAtom, SmilesError> {
+    let b = inner.as_bytes();
+    let mut j = 0usize;
+
+    // Isotope mass number.
+    let mut isotope = 0u16;
+    let iso_start = j;
+    while j < b.len() && b[j].is_ascii_digit() {
+        if j - iso_start >= 3 {
+            return Err(SmilesError::Unexpected {
+                at: at + j,
+                found: b[j] as char,
+            });
+        }
+        isotope = isotope * 10 + (b[j] - b'0') as u16;
+        j += 1;
+    }
+
+    // Element symbol.
+    if j >= b.len() {
+        return Err(SmilesError::Unexpected {
+            at: at + j,
+            found: ']',
+        });
+    }
+    let first = b[j] as char;
+    if !first.is_ascii_alphabetic() {
+        return Err(SmilesError::Unexpected {
+            at: at + j,
+            found: first,
+        });
+    }
+    let sym_at = j;
     let aromatic = first.is_ascii_lowercase();
     let mut sym = first.to_ascii_uppercase().to_string();
-    if let Some(&(_, c2)) = chars.peek() {
-        if c2.is_ascii_lowercase() && Element::from_symbol(&format!("{sym}{c2}")).is_some() {
-            sym.push(c2);
-            chars.next();
+    j += 1;
+    if !aromatic && j < b.len() && (b[j] as char).is_ascii_lowercase() {
+        let two = format!("{sym}{}", b[j] as char);
+        if Element::from_symbol(&two).is_some() {
+            sym = two;
+            j += 1;
         }
     }
     let element = Element::from_symbol(&sym).ok_or_else(|| SmilesError::UnknownElement {
-        at,
+        at: at + sym_at,
         symbol: sym.clone(),
     })?;
     if aromatic && !element.can_be_aromatic() {
-        return Err(SmilesError::UnknownElement { at, symbol: sym });
-    }
-    let mut bracket_h = Some(0u8);
-    if let Some(&(_, 'H')) = chars.peek() {
-        chars.next();
-        let mut count = 1u8;
-        if let Some(&(_, d)) = chars.peek() {
-            if d.is_ascii_digit() {
-                count = d as u8 - b'0';
-                chars.next();
-            }
-        }
-        bracket_h = Some(count);
-    }
-    if let Some((j, c)) = chars.next() {
-        return Err(SmilesError::Unexpected {
-            at: at + j,
-            found: c,
+        return Err(SmilesError::UnknownElement {
+            at: at + sym_at,
+            symbol: first.to_string(),
         });
     }
-    Ok((
-        RawAtom {
-            element,
-            aromatic,
-            bracket_h,
-        },
-        inner.len(),
-    ))
+
+    // Chirality: @ or @@ (recorded, not matched).
+    let mut chirality = Chirality::None;
+    if j < b.len() && b[j] == b'@' {
+        if j + 1 < b.len() && b[j + 1] == b'@' {
+            chirality = Chirality::Clockwise;
+            j += 2;
+        } else {
+            chirality = Chirality::Anticlockwise;
+            j += 1;
+        }
+    }
+
+    // Hydrogen count (default 0 for bracket atoms, per the SMILES spec).
+    let mut bracket_h = 0u8;
+    if j < b.len() && b[j] == b'H' {
+        j += 1;
+        bracket_h = 1;
+        if j < b.len() && b[j].is_ascii_digit() {
+            bracket_h = b[j] - b'0';
+            j += 1;
+        }
+    }
+
+    // Formal charge: +, -, +n, -n, ++, --.
+    let mut charge = 0i8;
+    if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+        let mark = b[j];
+        let sign: i8 = if mark == b'+' { 1 } else { -1 };
+        j += 1;
+        let mut magnitude = 1i8;
+        if j < b.len() && b[j].is_ascii_digit() {
+            magnitude = (b[j] - b'0') as i8;
+            j += 1;
+        } else {
+            while j < b.len() && b[j] == mark {
+                magnitude += 1;
+                j += 1;
+            }
+        }
+        charge = sign * magnitude;
+    }
+
+    // Atom-map class: accepted and discarded.
+    if j < b.len() && b[j] == b':' {
+        j += 1;
+        if j >= b.len() || !b[j].is_ascii_digit() {
+            return Err(SmilesError::Unexpected {
+                at: at + j,
+                found: if j < b.len() { b[j] as char } else { ']' },
+            });
+        }
+        while j < b.len() && b[j].is_ascii_digit() {
+            j += 1;
+        }
+    }
+
+    if j < b.len() {
+        return Err(SmilesError::Unexpected {
+            at: at + j,
+            found: b[j] as char,
+        });
+    }
+    Ok(RawAtom {
+        element,
+        aromatic,
+        bracket_h: Some(bracket_h),
+        charge,
+        isotope,
+        chirality,
+    })
 }
 
 /// Resolves aromatic bonds to alternating single/double via backtracking.
@@ -395,8 +570,9 @@ fn kekulize(
                 // lone pair in the ring, no double bond.
                 // Aromatic carbons must take exactly one ring double bond;
                 // aromatic heteroatoms (incl. pyrrole-type [nH]) may donate
-                // a lone pair instead and take none.
-                Some(a.element == Element::C)
+                // a lone pair instead and take none. Charged aromatic atoms
+                // ([n+], tropylium [c+]…) are relaxed the same way.
+                Some(a.element == Element::C && a.charge == 0)
             } else {
                 None
             }
@@ -502,6 +678,8 @@ fn bond_symbol(order: BondOrder) -> &'static str {
 
 fn atom_token(mol: &Molecule, v: NodeId, h_count: usize) -> String {
     let e = mol.element(v);
+    let charge = mol.charge(v);
+    let isotope = mol.isotope(v);
     let organic = matches!(
         e,
         Element::B
@@ -517,17 +695,30 @@ fn atom_token(mol: &Molecule, v: NodeId, h_count: usize) -> String {
     );
     // Organic-subset atoms rely on implicit-H inference at read time; that
     // round-trips when either the atom is fully saturated (the reader will
-    // re-add the same hydrogens) or it carries none to restore. Anything
-    // else gets an explicit bracket-H count.
-    if organic && (mol.free_valence(v) == 0 || h_count == 0) {
-        e.symbol().to_string()
-    } else {
-        match h_count {
-            0 => format!("[{}]", e.symbol()),
-            1 => format!("[{}H]", e.symbol()),
-            k => format!("[{}H{k}]", e.symbol()),
-        }
+    // re-add the same hydrogens) or it carries none to restore. Charged or
+    // isotopic atoms always need brackets.
+    if organic && charge == 0 && isotope == 0 && (mol.free_valence(v) == 0 || h_count == 0) {
+        return e.symbol().to_string();
     }
+    let mut t = String::from("[");
+    if isotope != 0 {
+        t.push_str(&isotope.to_string());
+    }
+    t.push_str(e.symbol());
+    match h_count {
+        0 => {}
+        1 => t.push('H'),
+        k => t.push_str(&format!("H{k}")),
+    }
+    match charge {
+        0 => {}
+        1 => t.push('+'),
+        -1 => t.push('-'),
+        c if c > 0 => t.push_str(&format!("+{c}")),
+        c => t.push_str(&format!("-{}", -c)),
+    }
+    t.push(']');
+    t
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -804,6 +995,26 @@ mod tests {
     }
 
     #[test]
+    fn error_on_trailing_bond() {
+        assert!(matches!(
+            parse_smiles("C="),
+            Err(SmilesError::DanglingBond { at: 1 })
+        ));
+        assert!(matches!(
+            parse_smiles("CC#"),
+            Err(SmilesError::DanglingBond { at: 2 })
+        ));
+    }
+
+    #[test]
+    fn error_on_bond_before_branch_close() {
+        assert!(matches!(
+            parse_smiles("C(=)C"),
+            Err(SmilesError::DanglingBond { at: 2 })
+        ));
+    }
+
+    #[test]
     fn error_on_empty() {
         assert_eq!(parse_smiles(""), Err(SmilesError::Empty));
     }
@@ -835,5 +1046,138 @@ mod tests {
             parse_smiles("C(C)(C)(C)(C)C"),
             Err(SmilesError::Molecule(_))
         ));
+    }
+
+    #[test]
+    fn bracket_charges_parse_and_shift_valence() {
+        // Ammonium: N+ is tetravalent.
+        let m = parse_smiles("[NH4+]").unwrap();
+        assert_eq!(m.formula(), "H4N");
+        assert_eq!(m.charge(0), 1);
+        assert_eq!(m.num_bonds(), 4);
+        // Alkoxide: O- is monovalent.
+        let m = parse_smiles("C[O-]").unwrap();
+        assert_eq!(m.charge(1), -1);
+        assert_eq!(m.free_valence(1), 0);
+        // Doubly charged forms, both spellings.
+        assert_eq!(parse_smiles("[O-2]").unwrap().charge(0), -2);
+        assert_eq!(parse_smiles("[O--]").unwrap().charge(0), -2);
+    }
+
+    #[test]
+    fn charge_flows_into_graph_form() {
+        let m = parse_smiles("C[O-]").unwrap();
+        let g = m.to_labeled_graph();
+        assert_eq!(g.charge(1), -1);
+        assert!(g.has_charges());
+    }
+
+    #[test]
+    fn dot_separates_components() {
+        let m = parse_smiles("C.C").unwrap();
+        assert_eq!(m.formula(), "C2H8");
+        assert!(!sigmo_graph::is_connected(m.graph()));
+        // Salt-like pair with charges: raw atoms come first (N = 0,
+        // Cl = 1), hydrogens are appended afterwards.
+        let salt = parse_smiles("[NH4+].[Cl-]").unwrap();
+        assert_eq!(salt.charge(0), 1);
+        assert_eq!(salt.charge(1), -1);
+    }
+
+    #[test]
+    fn dot_with_pending_bond_is_an_error() {
+        assert!(matches!(
+            parse_smiles("C=.C"),
+            Err(SmilesError::DanglingBond { at: 2 })
+        ));
+    }
+
+    #[test]
+    fn isotopes_and_chirality_are_recorded() {
+        let m = parse_smiles("[13CH4]").unwrap();
+        assert_eq!(m.isotope(0), 13);
+        assert_eq!(m.formula(), "CH4");
+        let m = parse_smiles("[C@@H](F)(Cl)Br").unwrap();
+        assert_eq!(m.chirality(0), crate::molecule::Chirality::Clockwise);
+        let m = parse_smiles("[C@H](F)(Cl)Br").unwrap();
+        assert_eq!(m.chirality(0), crate::molecule::Chirality::Anticlockwise);
+    }
+
+    #[test]
+    fn atom_maps_are_accepted_and_discarded() {
+        let m = parse_smiles("[CH3:1][CH3:2]").unwrap();
+        assert_eq!(m.formula(), "C2H6");
+    }
+
+    #[test]
+    fn charged_round_trip_preserves_charges() {
+        for s in ["[NH4+]", "C[O-]", "[NH4+].[Cl-]", "CC(=O)[O-]"] {
+            let m = parse_smiles(s).unwrap();
+            let written = write_smiles(&m);
+            let back = parse_smiles(&written)
+                .unwrap_or_else(|e| panic!("re-parse of {written:?} (from {s:?}) failed: {e}"));
+            assert_eq!(back.formula(), m.formula(), "round-trip of {s}");
+            let total_in: i32 = (0..m.num_atoms())
+                .map(|v| m.charge(v as NodeId) as i32)
+                .sum();
+            let total_out: i32 = (0..back.num_atoms())
+                .map(|v| back.charge(v as NodeId) as i32)
+                .sum();
+            assert_eq!(total_in, total_out, "net charge of {s} via {written}");
+        }
+    }
+
+    #[test]
+    fn aromaticity_is_perceived_on_kekule_input() {
+        // Same flags whether benzene is written lowercase or Kekulé.
+        let lower = parse_smiles("c1ccccc1").unwrap();
+        let kekule = parse_smiles("C1=CC=CC=C1").unwrap();
+        for v in 0..6 {
+            assert!(lower.is_aromatic(v), "lowercase atom {v}");
+            assert!(kekule.is_aromatic(v), "kekulé atom {v}");
+        }
+        // Cyclohexane is not aromatic; the sp3 carbons break conjugation.
+        let hexane = parse_smiles("C1CCCCC1").unwrap();
+        assert!((0..6).all(|v| !hexane.is_aromatic(v)));
+        // Pyrrole: lone-pair N plus two double bonds = 6 π electrons.
+        let pyrrole = parse_smiles("C1=CC=CN1").unwrap();
+        assert!((0..5).all(|v| pyrrole.is_aromatic(v)), "pyrrole ring");
+        // Cyclobutadiene (4 π) must NOT be flagged.
+        let cbd = parse_smiles("C1=CC=C1").unwrap();
+        assert!((0..4).all(|v| !cbd.is_aromatic(v)), "antiaromatic ring");
+    }
+
+    #[test]
+    fn bracket_error_spans_point_at_the_offending_character() {
+        // "C[C&H]": the '&' is at byte offset 3.
+        assert_eq!(
+            parse_smiles("C[C&H]"),
+            Err(SmilesError::Unexpected { at: 3, found: '&' })
+        );
+        // "C[Xy]": unknown element symbol starts at offset 2.
+        assert!(matches!(
+            parse_smiles("C[Xy]"),
+            Err(SmilesError::UnknownElement { at: 2, .. })
+        ));
+        // "[CH4+?]": the '?' after the charge is at offset 5.
+        assert_eq!(
+            parse_smiles("[CH4+?]"),
+            Err(SmilesError::Unexpected { at: 5, found: '?' })
+        );
+        // "[1234C]": the 4th isotope digit at offset 4 overflows the field.
+        assert_eq!(
+            parse_smiles("[1234C]"),
+            Err(SmilesError::Unexpected { at: 4, found: '4' })
+        );
+        // "[13]": isotope with no symbol — error at the ']' position.
+        assert_eq!(
+            parse_smiles("[13]"),
+            Err(SmilesError::Unexpected { at: 3, found: ']' })
+        );
+        // "[CH3:]": atom map with no digits — error at offset 5.
+        assert_eq!(
+            parse_smiles("[CH3:]"),
+            Err(SmilesError::Unexpected { at: 5, found: ']' })
+        );
     }
 }

@@ -36,9 +36,19 @@ pub type PlanId = usize;
 /// labeled adjacency structures, hence trivially isomorphic — so the
 /// exact map is a sound fast path in front of the canonical one.
 fn exact_key(graph: &LabeledGraph) -> Vec<u8> {
-    let mut key = Vec::with_capacity(8 + graph.num_nodes() + 9 * graph.num_edges());
+    // Formal charges distinguish otherwise-identical graphs (e.g. acetate
+    // vs acetic acid's heavy skeleton). The two counts up front fix every
+    // section's length, keeping the key injective.
+    let charges = graph.charges();
+    let mut key =
+        Vec::with_capacity(12 + graph.num_nodes() + 9 * graph.num_edges() + 5 * charges.len());
     key.extend_from_slice(&(graph.num_nodes() as u32).to_le_bytes());
+    key.extend_from_slice(&(charges.len() as u32).to_le_bytes());
     key.extend_from_slice(graph.labels());
+    for &(v, c) in charges {
+        key.extend_from_slice(&v.to_le_bytes());
+        key.push(c as u8);
+    }
     for (a, b, l) in graph.edges() {
         key.extend_from_slice(&a.to_le_bytes());
         key.extend_from_slice(&b.to_le_bytes());

@@ -42,7 +42,8 @@ pub mod sim;
 
 pub use cache::{MolOutcome, MolStore, PlanCache, ResultCache};
 pub use server::{
-    MatchRequest, RejectReason, RequestReport, ServeConfig, ServeStats, Server, StepOutcome,
+    CorpusLoad, MatchRequest, RejectReason, RequestReport, ServeConfig, ServeStats, Server,
+    StepOutcome,
 };
 pub use shard::{ShardConfig, ShardRouter, ShardStats, SliceDispatch};
 pub use sigmo_index::{FrozenIndex, IndexConfig, IndexFileError, ScreenQuery};

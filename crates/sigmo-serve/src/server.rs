@@ -69,6 +69,17 @@ pub struct RequestReport {
     pub executed_molecules: usize,
 }
 
+/// Result of a `.smi` corpus preload ([`Server::preload_corpus`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusLoad {
+    /// Valid molecules loaded (pre-dedup occurrences).
+    pub loaded: usize,
+    /// Distinct isomorphism classes those molecules interned to.
+    pub classes: usize,
+    /// Malformed lines, in file order.
+    pub quarantined: Vec<sigmo_mol::QuarantinedLine>,
+}
+
 /// Aggregate cache/queue counters, exposed by [`Server::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
@@ -256,6 +267,26 @@ impl Server {
             .adopt_frozen(frozen, keep_screen, &self.config.engine.schema)?;
         self.repartition();
         Ok(live)
+    }
+
+    /// Bulk-loads a standing corpus from `.smi` text (one `SMILES [name]`
+    /// record per line): every line parses in parallel, valid molecules
+    /// are interned (canonical-deduplicated, digested when screening is
+    /// on), and malformed lines are quarantined — reported back, never
+    /// fatal. The corpus change is versioned forward via
+    /// [`Server::repartition`].
+    pub fn preload_corpus(&mut self, smi_text: &str) -> CorpusLoad {
+        let ingest = sigmo_mol::ingest_smi(smi_text, false);
+        let mut classes = std::collections::HashSet::new();
+        for (_, mol) in &ingest.molecules {
+            classes.insert(self.mols.intern(&mol.to_labeled_graph()));
+        }
+        self.repartition();
+        CorpusLoad {
+            loaded: ingest.molecules.len(),
+            classes: classes.len(),
+            quarantined: ingest.quarantined,
+        }
     }
 
     /// The server's configuration.

@@ -43,8 +43,13 @@
 #                                 the committed BENCH_pipeline.json,
 #                                 BENCH_serve.json, BENCH_adaptive.json,
 #                                 BENCH_shard.json, and BENCH_index.json
+#  12. fuzz-smoke                 deep parser fuzz sweep: reruns the
+#                                 tests/parser_fuzz.rs battery at 10 000
+#                                 cases per property (raw bytes, grammar
+#                                 token soup, and round-trip layers for
+#                                 both the SMILES and SMARTS parsers)
 #
-# `--fast` skips the bench stages (5-11) for quick pre-push runs. The lint
+# `--fast` skips the bench and fuzz stages (5-12) for quick pre-push runs. The lint
 # stage is NOT skipped: the determinism audit is cheap (sub-second scan,
 # <5 s budget enforced in its own tests) and is exactly the check that
 # must not be skippable in a hurry.
@@ -100,6 +105,8 @@ if [ "$LINT_ONLY" -eq 0 ] && [ "$FAST" -eq 0 ]; then
     stage index-screen env SIGMO_BENCH_INDEX_OUT=target/BENCH_index.fresh.json \
         cargo run -q --release -p sigmo-bench --bin ext_index
     stage bench-diff scripts/bench_diff.sh
+    stage fuzz-smoke env SIGMO_FUZZ_CASES=10000 \
+        cargo test -q --release --test parser_fuzz
 fi
 if [ "$LINT_ONLY" -eq 0 ] && [ "$PATHOLOGICAL" -eq 1 ]; then
     stage pathological cargo run -q --release -p sigmo-bench --bin ext_pathological

@@ -21,10 +21,10 @@ use sigmo::core::{
 };
 use sigmo::device::{DeviceProfile, KernelRecord, Queue};
 use sigmo::graph::LabeledGraph;
-use sigmo::mol::{functional_groups, MoleculeGenerator};
+use sigmo::mol::{functional_groups, parse_smarts, MoleculeGenerator};
 use sigmo::serve::{
     generate_workload, run_soak, served_outcome, IndexConfig, OracleOutcome, RejectReason,
-    ServeConfig, Server, ShardConfig, WorkloadConfig,
+    ServeConfig, Server, ShardConfig, TimedRequest, WorkloadConfig,
 };
 use std::sync::Mutex;
 
@@ -508,6 +508,113 @@ fn index_screening_is_deterministic_and_invisible_to_soak_transcripts() {
     assert_eq!(
         sharded_on, sharded_off,
         "index-on and index-off sharded transcripts diverged"
+    );
+}
+
+/// The generated workload with SMARTS predicate query sets spliced into
+/// every other request, so screening sees predicate plans (and their
+/// conservatively weakened `ScreenQuery`s) mixed with plain ones.
+fn predicate_trace() -> Vec<TimedRequest> {
+    let mut trace = generate_workload(&WorkloadConfig {
+        requests: 36,
+        seed: 0xfeed,
+        mol_pool: 24,
+        query_sets: 3,
+        queries_per_set: 4,
+        max_request_molecules: 6,
+        mean_interarrival: 1,
+        find_first_pct: 25,
+        pool_skew: 1,
+    });
+    let panels: Vec<Vec<LabeledGraph>> = [
+        &["[C,N]", "[CR]"][..],
+        &["[!C]", "[CD4]"][..],
+        &["[F,Cl,Br]"][..],
+        &["[O-]", "[CH3]", "[R0]"][..],
+    ]
+    .iter()
+    .map(|set| {
+        set.iter()
+            .map(|s| parse_smarts(s).expect("panel SMARTS"))
+            .collect()
+    })
+    .collect();
+    for (i, t) in trace.iter_mut().enumerate() {
+        if i % 2 == 0 {
+            t.request.queries = panels[(i / 2) % panels.len()].clone();
+        }
+    }
+    trace
+}
+
+fn run_predicate_indexed_soak(
+    threads: &str,
+    index: Option<IndexConfig>,
+) -> (SoakTrace, (u64, u64)) {
+    std::env::set_var("RAYON_NUM_THREADS", threads);
+    let trace = predicate_trace();
+    let config = ServeConfig {
+        queue_capacity: 4096,
+        max_batch_requests: 8,
+        budget: RunBudget::none().with_step_budget(25),
+        index,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::new(config, Queue::new(DeviceProfile::host()));
+    let soak = run_soak(&mut server, &trace);
+    let stats = server.stats();
+    (
+        (
+            soak.entries
+                .iter()
+                .map(|e| {
+                    (
+                        e.trace_index,
+                        e.completed,
+                        e.report.completion,
+                        served_outcome(&e.report),
+                    )
+                })
+                .collect(),
+            soak.rejected,
+            soak.final_tick,
+        ),
+        (stats.index_screened, stats.index_pruned),
+    )
+}
+
+#[test]
+fn index_screening_stays_invisible_with_predicate_queries() {
+    // Acceptance pin for predicate queries in the serving mix: screening
+    // may only act on the weakened predicate form, so index-on and
+    // index-off transcripts must stay bit-identical, the prune decisions
+    // thread-count-independent, and the halogen atom-list set must give
+    // the screen something it can actually prune on.
+    let _guard = ENV_LOCK.lock().unwrap();
+    let on = Some(IndexConfig::default());
+    let (trace_1, counters_1) = run_predicate_indexed_soak("1", on);
+    assert!(counters_1.0 > 0, "no molecules screened — test is vacuous");
+    assert!(
+        counters_1.1 > 0,
+        "predicate workload never pruned — weakening untested"
+    );
+    for threads in ["4", "8"] {
+        let (trace_n, counters_n) = run_predicate_indexed_soak(threads, on);
+        assert_eq!(
+            trace_1, trace_n,
+            "predicate indexed trace diverged between 1 and {threads} threads"
+        );
+        assert_eq!(
+            counters_1, counters_n,
+            "predicate screening counters diverged between 1 and {threads} threads"
+        );
+    }
+    let (trace_off, counters_off) = run_predicate_indexed_soak("1", None);
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(counters_off, (0, 0), "index-off run must not screen");
+    assert_eq!(
+        trace_1, trace_off,
+        "index-on and index-off predicate transcripts diverged"
     );
 }
 

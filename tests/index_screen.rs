@@ -14,13 +14,51 @@ use sigmo::core::{Engine, EngineConfig, QueryPlan};
 use sigmo::device::{DeviceProfile, Queue};
 use sigmo::graph::LabeledGraph;
 use sigmo::index::{serialize, FrozenIndex, IndexConfig, MoleculeIndex, ScreenQuery};
-use sigmo::mol::{functional_groups, MoleculeGenerator};
+use sigmo::mol::{functional_groups, parse_smarts, parse_smiles, MoleculeGenerator};
 
 fn corpus(seed: u64, count: usize) -> Vec<LabeledGraph> {
     let mut gen = MoleculeGenerator::with_seed(seed);
     gen.generate_batch(count)
         .iter()
         .map(|m| m.to_labeled_graph())
+        .collect()
+}
+
+/// Generated molecules plus a charged/aromatic tail, so predicate queries
+/// over charge and ring membership have something to accept and reject.
+fn predicate_corpus(seed: u64, count: usize) -> Vec<LabeledGraph> {
+    let mut mols = corpus(seed, count);
+    for smi in ["CC(=O)[O-]", "[NH4+]", "c1ccccc1O", "C1CCCCC1", "CC(C)(C)O"] {
+        mols.push(parse_smiles(smi).expect("corpus SMILES").to_labeled_graph());
+    }
+    mols
+}
+
+/// SMARTS predicate queries covering every weakening class the screen
+/// handles: atom lists (presence-any), negation (full-mask wildcard), and
+/// per-node facts the digest must conservatively drop (degree, ring,
+/// H count, charge).
+const PREDICATE_PANEL: &[&str] = &[
+    "[C,N]",
+    "[!C]",
+    "[CD4]",
+    "[CR]",
+    "[R0]",
+    "[CH3]",
+    "[O-]",
+    "[N+]",
+    "C[!C]",
+    "[C,O]=O",
+    "[F,Cl,Br]",
+    "[cr6]",
+];
+
+fn predicate_queries(take: usize, skip: usize) -> Vec<LabeledGraph> {
+    (0..take)
+        .map(|i| {
+            let s = PREDICATE_PANEL[(skip + i) % PREDICATE_PANEL.len()];
+            parse_smarts(s).expect("panel SMARTS")
+        })
         .collect()
 }
 
@@ -98,6 +136,30 @@ fn screening_never_falsely_rejects_a_seeded_corpus() {
 }
 
 #[test]
+fn predicate_screening_never_falsely_rejects() {
+    let mols = predicate_corpus(53, 40);
+    let qs = predicate_queries(PREDICATE_PANEL.len(), 0);
+    let (index, screen) = build_screen(&mols, &qs, 3);
+    // The wide panel rarely prunes (a molecule survives if any query
+    // might hit), so the assertion here is pure soundness.
+    assert_no_false_rejects(&mols, &qs, &index, &screen);
+}
+
+#[test]
+fn atom_list_weakening_prunes_and_stays_sound() {
+    // A lone halogen atom-list query: the screen's presence-any weakening
+    // of the [F,Cl,Br] mask must reject every halogen-free molecule —
+    // this is the one predicate class the digest CAN act on, so pruning
+    // must actually happen, and every prune must survive the engine
+    // oracle.
+    let mols = predicate_corpus(53, 40);
+    let qs = vec![parse_smarts("[F,Cl,Br]").unwrap()];
+    let (index, screen) = build_screen(&mols, &qs, 3);
+    let pruned = assert_no_false_rejects(&mols, &qs, &index, &screen);
+    assert!(pruned > 0, "atom-list weakening never pruned — vacuous");
+}
+
+#[test]
 fn screen_corpus_equals_per_molecule_screening() {
     let mols = corpus(99, 50);
     for skip in [0usize, 4, 8] {
@@ -159,6 +221,30 @@ proptest! {
     ) {
         let mols = corpus(seed, count);
         let qs = queries(take, skip);
+        let (index, screen) = build_screen(&mols, &qs, radius);
+        assert_no_false_rejects(&mols, &qs, &index, &screen);
+        let survivors = index.screen_corpus(&screen);
+        let expected: Vec<u32> = (0..mols.len() as u32)
+            .filter(|&id| index.screen(&screen, id))
+            .collect();
+        prop_assert_eq!(survivors, expected);
+    }
+
+    /// Randomized predicate soundness: SMARTS predicate panels (atom
+    /// lists, negation, degree/ring/H/charge) over charged corpora and
+    /// every digest radius. The screen may only act on the weakened form
+    /// (presence-any over the label mask), so no prune may ever
+    /// contradict the engine.
+    #[test]
+    fn predicate_screening_is_sound_for_any_seed(
+        seed in 0u64..1000,
+        count in 6usize..20,
+        take in 1usize..5,
+        skip in 0usize..12,
+        radius in 0usize..=4,
+    ) {
+        let mols = predicate_corpus(seed, count);
+        let qs = predicate_queries(take, skip);
         let (index, screen) = build_screen(&mols, &qs, radius);
         assert_no_false_rejects(&mols, &qs, &index, &screen);
         let survivors = index.screen_corpus(&screen);

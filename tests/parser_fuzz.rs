@@ -1,0 +1,122 @@
+//! Structured fuzz battery for the SMILES and SMARTS parsers.
+//!
+//! Three layers, all seeded and deterministic:
+//!
+//! 1. **Raw bytes never panic** — arbitrary byte soup through both
+//!    parsers; every outcome must be `Ok` or a typed error.
+//! 2. **Grammar-shaped garbage never panics** — token streams drawn from
+//!    each parser's own alphabet (brackets, ring digits, predicates,
+//!    charges …), which reach far deeper than uniform bytes.
+//! 3. **Valid inputs round-trip** — generated molecules (including
+//!    charged bracket-atom variants) survive `parse → write → parse` with
+//!    an identical canonical code.
+//!
+//! The case count defaults low so tier-1 stays fast; `scripts/check.sh`
+//! reruns this file with `SIGMO_FUZZ_CASES=10000` for the deep sweep.
+
+use proptest::prelude::*;
+use sigmo::mol::{canonical_code, parse_smarts, parse_smiles, write_smiles, MoleculeGenerator};
+
+/// Per-test case count: `SIGMO_FUZZ_CASES` when set, else a tier-1-fast
+/// default.
+fn fuzz_cases() -> u32 {
+    std::env::var("SIGMO_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Builds a token-soup string from the given alphabet. Grammar-shaped
+/// garbage: individually valid tokens in arbitrary order, which exercises
+/// bracket bodies, ring bookkeeping, and branch stacks far more than
+/// uniform bytes can.
+fn token_soup(alphabet: &[&str], picks: &[u8]) -> String {
+    let mut s = String::new();
+    for &p in picks {
+        s.push_str(alphabet[p as usize % alphabet.len()]);
+    }
+    s
+}
+
+const SMILES_TOKENS: &[&str] = &[
+    "C", "c", "N", "n", "O", "o", "S", "s", "P", "F", "Cl", "Br", "Si", "H", "B", "(", ")", "=",
+    "#", "-", ".", "1", "2", "3", "%", "[", "]", "@", "@@", "+", "-", "+2", "H4", ":", "0", "13",
+    "Xx",
+];
+
+const SMARTS_TOKENS: &[&str] = &[
+    "C", "c", "N", "O", "*", "~", "=", "#", "-", "(", ")", "1", "2", "[", "]", "!", ",", ";", "&",
+    "D", "D2", "H", "H2", "R", "R0", "r", "r5", "r12", "+", "-", "+2", "$", "$(C)", "Xy",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
+
+    /// Arbitrary bytes: both parsers must return, never panic.
+    #[test]
+    fn raw_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..80)) {
+        let s = String::from_utf8_lossy(&bytes);
+        let _ = parse_smiles(&s);
+        let _ = parse_smarts(&s);
+    }
+
+    /// SMILES-alphabet token soup: every outcome is Ok or a typed error,
+    /// and an Ok parse yields a structurally sane molecule.
+    #[test]
+    fn smiles_token_soup_never_panics(picks in prop::collection::vec(any::<u8>(), 0..40)) {
+        let s = token_soup(SMILES_TOKENS, &picks);
+        if let Ok(mol) = parse_smiles(&s) {
+            let g = mol.to_labeled_graph();
+            prop_assert_eq!(g.num_nodes(), mol.num_atoms());
+        }
+    }
+
+    /// SMARTS-alphabet token soup (predicates, lists, negation, recursive
+    /// rejects): never panics, and an Ok parse yields a non-empty graph.
+    #[test]
+    fn smarts_token_soup_never_panics(picks in prop::collection::vec(any::<u8>(), 0..40)) {
+        let s = token_soup(SMARTS_TOKENS, &picks);
+        if let Ok(g) = parse_smarts(&s) {
+            prop_assert!(g.num_nodes() > 0);
+        }
+    }
+
+    /// Generated-valid molecules round-trip: parse(write(m)) is
+    /// canonically identical to m.
+    #[test]
+    fn generated_smiles_round_trip(seed in any::<u64>()) {
+        let mut gen = MoleculeGenerator::with_seed(seed);
+        for mol in gen.generate_batch(2) {
+            let text = write_smiles(&mol);
+            let back = parse_smiles(&text)
+                .unwrap_or_else(|e| panic!("own output {text:?} failed to parse: {e}"));
+            prop_assert_eq!(
+                canonical_code(&mol.to_labeled_graph()),
+                canonical_code(&back.to_labeled_graph()),
+                "round trip through {:?} changed the molecule", text
+            );
+        }
+    }
+
+    /// Charged/isotopic bracket SMILES round-trip whenever they parse:
+    /// compose fragments over a bracket-heavy vocabulary, and for every
+    /// valid input pin write → parse canonical identity.
+    #[test]
+    fn bracket_smiles_round_trip(picks in prop::collection::vec(any::<u8>(), 1..12)) {
+        const FRAGMENTS: &[&str] = &[
+            "C", "[NH4+]", "[O-]", "[13C]", "[CH3]", "[N+]", "[C@H]", "[C@@H2]", "O", "N",
+            "(C)", "(=O)", ".", "[S-2]", "[n+]",
+        ];
+        let s = token_soup(FRAGMENTS, &picks);
+        if let Ok(mol) = parse_smiles(&s) {
+            let text = write_smiles(&mol);
+            let back = parse_smiles(&text)
+                .unwrap_or_else(|e| panic!("own output {text:?} failed to parse: {e}"));
+            prop_assert_eq!(
+                canonical_code(&mol.to_labeled_graph()),
+                canonical_code(&back.to_labeled_graph()),
+                "round trip through {:?} changed the molecule", text
+            );
+        }
+    }
+}
